@@ -1,0 +1,83 @@
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// regenerates one table/figure of the paper: same per-layer rows, same
+// baselines, same series (see DESIGN.md Sec. 4 for the experiment index).
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/report.h"
+#include "nets/nets.h"
+
+namespace lbc::bench {
+
+/// ARM per-layer timing with fresh synthetic data in the bit width's
+/// adjusted range (kernel time is data-independent; the data only needs to
+/// be range-legal).
+inline double arm_layer_seconds(const ConvShape& s, int bits,
+                                core::ArmImpl impl,
+                                armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
+                                u64 seed = 42) {
+  const Tensor<i8> in =
+      random_qtensor(Shape4{s.batch, s.in_c, s.in_h, s.in_w}, bits, seed);
+  const Tensor<i8> w = random_qtensor(
+      Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, seed + 1);
+  return core::run_arm_conv(s, in, w, bits, impl, algo).seconds;
+}
+
+/// Fig. 7/14/15 body: our 2-8-bit kernels vs the ncnn 8-bit baseline.
+inline void run_arm_bits_figure(const std::string& title,
+                                std::span<const ConvShape> layers) {
+  core::print_environment_banner();
+  core::SpeedupTable tab;
+  tab.title = title;
+  tab.baseline_name = "ncnn 8-bit conv (16-bit SMLAL scheme)";
+  tab.time_unit = "ms";
+  for (int bits = 2; bits <= 8; ++bits)
+    tab.add_series(std::to_string(bits) + "-bit");
+
+  for (const ConvShape& s : layers) {
+    std::fprintf(stderr, "  %s ...\n", describe(s).c_str());
+    tab.layer_names.push_back(s.name);
+    tab.baseline_seconds.push_back(
+        arm_layer_seconds(s, 8, core::ArmImpl::kNcnn8bit));
+    for (int bits = 2; bits <= 8; ++bits)
+      tab.series[static_cast<size_t>(bits - 2)].seconds.push_back(
+          arm_layer_seconds(s, bits, core::ArmImpl::kOurs));
+  }
+  tab.print();
+}
+
+/// Fig. 10/16/17 body: our 4/8-bit tensor-core kernels vs cuDNN-dp4a and
+/// TensorRT 8-bit, at the given batch size.
+inline void run_gpu_figure(const std::string& title,
+                           std::span<const ConvShape> layers, i64 batch) {
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+  core::SpeedupTable tab;
+  tab.title = title + " (batch " + std::to_string(batch) + ")";
+  tab.baseline_name = "cuDNN 8-bit conv with dp4a";
+  tab.time_unit = "us";
+  tab.add_series("ours-8b");
+  tab.add_series("ours-4b");
+  tab.add_series("TRT-8b");
+
+  for (const ConvShape& base : layers) {
+    const ConvShape s = base.with_batch(batch);
+    tab.layer_names.push_back(s.name);
+    tab.baseline_seconds.push_back(
+        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kCudnnDp4a).seconds);
+    tab.series[0].seconds.push_back(
+        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kOurs).seconds);
+    tab.series[1].seconds.push_back(
+        core::time_gpu_conv(dev, s, 4, core::GpuImpl::kOurs).seconds);
+    tab.series[2].seconds.push_back(
+        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kTensorRT).seconds);
+  }
+  tab.print();
+}
+
+}  // namespace lbc::bench

@@ -1,0 +1,43 @@
+// Extension bench: multicore scaling of the re-designed GEMM on the
+// 4-core Cortex-A53 (Raspberry Pi 3B). The paper evaluates single-threaded
+// (batch 1); this measures how the row-panel parallelism scales under the
+// multicore timing model (serial im2col/packing + parallel panel loop +
+// fork/join overhead — an Amdahl decomposition over measured counts).
+#include "bench_common.h"
+
+int main() {
+  using namespace lbc;
+  core::print_environment_banner();
+
+  std::printf(
+      "\n== Extension - multicore scaling, 4-bit conv, ResNet-50, Pi 3B "
+      "(4x A53) ==\n");
+  std::printf("%-9s %10s %10s %10s %8s %8s\n", "layer", "1thr(ms)",
+              "2thr(ms)", "4thr(ms)", "x2", "x4");
+  double s2 = 0, s4 = 0;
+  const auto layers = nets::resnet50_layers();
+  for (const ConvShape& s : layers) {
+    std::fprintf(stderr, "  %s ...\n", describe(s).c_str());
+    double t[3];
+    int idx = 0;
+    for (int threads : {1, 2, 4}) {
+      const Tensor<i8> in =
+          random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 4, 1);
+      const Tensor<i8> w =
+          random_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, 4, 2);
+      t[idx++] = core::run_arm_conv(s, in, w, 4, core::ArmImpl::kOurs,
+                                    armkern::ConvAlgo::kGemm, threads)
+                     .seconds;
+    }
+    std::printf("%-9s %10.3f %10.3f %10.3f %7.2fx %7.2fx\n", s.name.c_str(),
+                t[0] * 1e3, t[1] * 1e3, t[2] * 1e3, t[0] / t[1], t[0] / t[2]);
+    s2 += t[0] / t[1];
+    s4 += t[0] / t[2];
+  }
+  const double n = static_cast<double>(layers.size());
+  std::printf(
+      "-- summary: avg scaling 2 threads %.2fx, 4 threads %.2fx (sublinear: "
+      "im2col + packing stay serial) --\n",
+      s2 / n, s4 / n);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension bench: why the paper rejects F(4x4, 3x3) winograd (Sec. 3.4).
+//
+// F(4x4) needs only 2.25 multiplies per output (vs 4 for F(2x2) and 9 for
+// direct), but its input transform grows the numeric range by up to 100x:
+// the transformed activations no longer fit int8 for anything above 2-bit,
+// so the elementwise products must run on 16-bit SMLAL at HALF the MAC
+// throughput — which cancels the arithmetic saving. This bench prints the
+// quantitative version of that argument and functionally validates the
+// exact F(4x4) path against direct convolution.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "refconv/conv_ref.h"
+#include "refconv/winograd43_ref.h"
+
+int main() {
+  using namespace lbc;
+  core::print_environment_banner();
+  std::printf("\n== Extension - F(4x4,3x3) range analysis (paper Sec. 3.4) ==\n");
+
+  std::printf("\n-- numeric range growth of the transforms --\n");
+  std::printf("%-12s %14s %14s\n", "algorithm", "input growth", "weight growth");
+  std::printf("%-12s %13dx %13s\n", "F(2x2,3x3)", ref::kWinograd22InputGrowth,
+              "9/4");
+  std::printf("%-12s %13dx %13dx\n", "F(4x4,3x3)", ref::kWinograd43InputGrowth,
+              ref::kWinograd43WeightGrowth);
+
+  std::printf("\n-- does the transformed input V fit int8 storage? --\n");
+  std::printf("%-6s %10s %10s\n", "bits", "F(2x2)", "F(4x4)");
+  for (int bits = 2; bits <= 8; ++bits) {
+    const bool f22 = 4 * qmax_for_bits(bits) <= 127;
+    std::printf("%-6d %10s %10s\n", bits, f22 ? "yes" : "no",
+                ref::winograd43_v_fits_int8(bits) ? "yes" : "no");
+  }
+
+  std::printf("\n-- modeled MACs per output (3x3 conv) --\n");
+  std::printf("direct: 9.00 | F(2x2): %.2f on 8-bit SMLAL | F(4x4): %.2f but "
+              "forced onto 16-bit SMLAL (half throughput) -> effective %.2f\n",
+              ref::kWinograd22MultsPerOutput, ref::kWinograd43MultsPerOutput,
+              ref::kWinograd43MultsPerOutput * 2.0);
+  std::printf(
+      "=> effective F(4x4) cost (%.2f) >= F(2x2) cost (%.2f): no win, plus "
+      "6x6 transform overhead — the paper's conclusion.\n",
+      ref::kWinograd43MultsPerOutput * 2.0, ref::kWinograd22MultsPerOutput);
+
+  // Functional validation of the exact integer F(4x4) path.
+  std::printf("\n-- exactness check of the F(4x4) integer reference --\n");
+  int checked = 0, exact = 0;
+  for (const ConvShape& base : nets::resnet50_winograd_layers()) {
+    ConvShape s = base;
+    s.in_h = s.in_w = 12;  // shrink spatially; channels keep their ratio
+    s.in_c = std::min<i64>(s.in_c, 16);
+    s.out_c = std::min<i64>(s.out_c, 16);
+    const Tensor<i8> in =
+        random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 6, 3);
+    const Tensor<i8> w =
+        random_qtensor(Shape4{s.out_c, s.in_c, 3, 3}, 6, 4);
+    const Tensor<i32> direct = ref::conv2d_s32(s, in, w);
+    const Tensor<i32> f44 = ref::winograd43_conv_s32(s, in, w);
+    ++checked;
+    exact += (count_mismatches(direct, f44) == 0);
+  }
+  std::printf("F(4x4) == direct conv on %d/%d shrunken winograd layers\n",
+              exact, checked);
+  return exact == checked ? 0 : 1;
+}

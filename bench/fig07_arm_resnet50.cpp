@@ -1,0 +1,15 @@
+// Fig. 7: our optimized 2-8-bit convolution kernels vs the ncnn 8-bit
+// baseline on all 19 representative ResNet-50 layers, batch 1, Cortex-A53.
+//
+// Paper reference points: highest speedups 2.13x/2.06x/1.76x/1.73x/1.69x/
+// 1.54x for 2-7-bit (all at conv14), 1.04x for 8-bit (conv9); our kernels
+// beat ncnn in 17/17/16/15/15/14/2 of 19 layers; average speedups among
+// winning layers 1.60/1.54/1.38/1.38/1.34/1.27/1.03.
+#include "bench_common.h"
+
+int main() {
+  lbc::bench::run_arm_bits_figure(
+      "Fig. 7 - ARM 2~8-bit conv vs ncnn 8-bit, ResNet-50, batch 1",
+      lbc::nets::resnet50_layers());
+  return 0;
+}

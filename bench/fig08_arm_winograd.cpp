@@ -1,0 +1,38 @@
+// Fig. 8: winograd F(2x2,3x3) vs GEMM-based kernels at 4-6-bit input on
+// the winograd-eligible ResNet-50 layers (3x3, stride 1), vs ncnn 8-bit.
+//
+// Paper reference points: winograd beats both the baseline and the GEMM
+// kernels in all cases; max speedups 1.73/1.66/1.52x and averages
+// 1.50/1.44/1.34x for 4/5/6-bit.
+#include "bench_common.h"
+
+int main() {
+  using namespace lbc;
+  core::print_environment_banner();
+  const auto layers = nets::resnet50_winograd_layers();
+
+  core::SpeedupTable tab;
+  tab.title = "Fig. 8 - winograd vs GEMM at 4~6-bit, ResNet-50 3x3/s1 layers";
+  tab.baseline_name = "ncnn 8-bit conv";
+  tab.time_unit = "ms";
+  for (int bits = 4; bits <= 6; ++bits) {
+    tab.add_series("gemm-" + std::to_string(bits) + "b");
+    tab.add_series("wino-" + std::to_string(bits) + "b");
+  }
+
+  for (const ConvShape& s : layers) {
+    std::fprintf(stderr, "  %s ...\n", describe(s).c_str());
+    tab.layer_names.push_back(s.name);
+    tab.baseline_seconds.push_back(
+        bench::arm_layer_seconds(s, 8, core::ArmImpl::kNcnn8bit));
+    size_t col = 0;
+    for (int bits = 4; bits <= 6; ++bits) {
+      tab.series[col++].seconds.push_back(bench::arm_layer_seconds(
+          s, bits, core::ArmImpl::kOurs, armkern::ConvAlgo::kGemm));
+      tab.series[col++].seconds.push_back(bench::arm_layer_seconds(
+          s, bits, core::ArmImpl::kOurs, armkern::ConvAlgo::kWinograd));
+    }
+  }
+  tab.print();
+  return 0;
+}

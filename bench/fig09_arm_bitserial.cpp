@@ -1,0 +1,29 @@
+// Fig. 9: our 2-bit GEMM-based convolution (A2W2) vs the TVM-style
+// popcount bit-serial implementation across the ResNet-50 layers.
+//
+// Paper reference points: ours wins 16/19 layers, highest speedup 2.11x
+// (conv11), average 1.78x among winning layers. TVM is the baseline here.
+#include "bench_common.h"
+
+int main() {
+  using namespace lbc;
+  core::print_environment_banner();
+
+  core::SpeedupTable tab;
+  tab.title = "Fig. 9 - 2-bit conv (A2W2): ours vs TVM popcount, ResNet-50";
+  tab.baseline_name = "TVM popcount bit-serial 2-bit conv";
+  tab.time_unit = "ms";
+  tab.add_series("ours-2b");
+
+  for (const ConvShape& s : nets::resnet50_layers()) {
+    std::fprintf(stderr, "  %s ...\n", describe(s).c_str());
+    tab.layer_names.push_back(s.name);
+    tab.baseline_seconds.push_back(
+        bench::arm_layer_seconds(s, 2, core::ArmImpl::kTvmBitserial,
+                                 armkern::ConvAlgo::kBitserial));
+    tab.series[0].seconds.push_back(
+        bench::arm_layer_seconds(s, 2, core::ArmImpl::kOurs));
+  }
+  tab.print();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 11: performance gain from determining the tiling parameters with
+// profile runs vs the default (experience-chosen) parameters, batch 1.
+//
+// Paper reference points: average speedup with profile runs is 2.29x for
+// 4-bit and 2.91x for 8-bit (baseline: the 8-bit kernel without profile
+// runs; we report per-bit w/ vs w/o ratios, which is the figure's message).
+#include "bench_common.h"
+
+int main() {
+  using namespace lbc;
+  core::print_environment_banner();
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+
+  std::printf(
+      "\n== Fig. 11 - tiling auto-search via profile runs, ResNet-50, batch 1 "
+      "==\n");
+  std::printf("%-9s %12s %12s %8s %12s %12s %8s %9s\n", "layer", "8b w/o(us)",
+              "8b w/(us)", "8b gain", "4b w/o(us)", "4b w/(us)", "4b gain",
+              "configs");
+  double g8 = 0, g4 = 0;
+  const auto layers = nets::resnet50_layers();
+  for (const ConvShape& s : layers) {
+    const auto r8 = gpukern::autotune_tiling(dev, s, 8, true);
+    const auto r4 = gpukern::autotune_tiling(dev, s, 4, true);
+    const double gain8 = r8.default_cost.seconds / r8.best_cost.seconds;
+    const double gain4 = r4.default_cost.seconds / r4.best_cost.seconds;
+    std::printf("%-9s %12.2f %12.2f %7.2fx %12.2f %12.2f %7.2fx %9d\n",
+                s.name.c_str(), r8.default_cost.seconds * 1e6,
+                r8.best_cost.seconds * 1e6, gain8,
+                r4.default_cost.seconds * 1e6, r4.best_cost.seconds * 1e6,
+                gain4, r8.evaluated);
+    g8 += gain8;
+    g4 += gain4;
+  }
+  const double n = static_cast<double>(layers.size());
+  std::printf("-- summary: avg gain from profile runs: 8-bit %.2fx, 4-bit %.2fx --\n",
+              g8 / n, g4 / n);
+  std::printf("paper:      avg 2.91x (8-bit), 2.29x (4-bit)\n");
+  return 0;
+}

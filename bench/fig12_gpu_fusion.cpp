@@ -1,0 +1,45 @@
+// Fig. 12: quantization fusion gains on the 8-bit kernels, batch 1:
+// conv+dequantization fusion and conv+ReLU fusion vs the unfused pipeline.
+//
+// Paper reference points: 1.18x average for conv+dequant fusion, 1.51x
+// average for conv+ReLU fusion.
+#include "bench_common.h"
+#include "gpukern/fusion.h"
+
+int main() {
+  using namespace lbc;
+  core::print_environment_banner();
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+
+  std::printf("\n== Fig. 12 - quantization fusion, 8-bit, ResNet-50, batch 1 ==\n");
+  std::printf("%-9s %13s %13s %13s %10s %10s\n", "layer", "unfused(us)",
+              "f-dequant(us)", "f-relu(us)", "dq gain", "relu gain");
+
+  const auto in_s = quant::choose_scheme(1.0f, 8);
+  const auto w_s = quant::choose_scheme(0.5f, 8);
+  const auto out_s = quant::choose_scheme(20.0f, 8);
+  double sdq = 0, srelu = 0;
+  const auto layers = nets::resnet50_layers();
+  for (const ConvShape& s : layers) {
+    gpukern::GpuConvOptions opt = gpukern::ours_options(dev, s, 8);
+    opt.functional = false;  // timing only; functional parity is tested
+    const Tensor<i8> dummy;  // not touched when functional == false
+    auto run = [&](gpukern::FusionMode m) {
+      return gpukern::run_qnn_pipeline(dev, s, dummy, dummy, {}, in_s, w_s,
+                                       out_s, m, opt)
+          .seconds;
+    };
+    const double t0 = run(gpukern::FusionMode::kNone);
+    const double tdq = run(gpukern::FusionMode::kFuseDequant);
+    const double trl = run(gpukern::FusionMode::kFuseRelu);
+    std::printf("%-9s %13.2f %13.2f %13.2f %9.2fx %9.2fx\n", s.name.c_str(),
+                t0 * 1e6, tdq * 1e6, trl * 1e6, t0 / tdq, t0 / trl);
+    sdq += t0 / tdq;
+    srelu += t0 / trl;
+  }
+  const double n = static_cast<double>(layers.size());
+  std::printf("-- summary: avg gain conv+dequant %.2fx, conv+ReLU %.2fx --\n",
+              sdq / n, srelu / n);
+  std::printf("paper:      avg 1.18x (conv+dequant), 1.51x (conv+ReLU)\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 13: space overhead of im2col and of data padding+packing for every
+// ResNet-50 layer, relative to the activation+weight footprint.
+//
+// Paper reference points (reproduced EXACTLY by this bench, which is what
+// pins down the layer table): im2col overhead min 1.0218x (conv18), max
+// 8.6034x (conv2), average 1.9445x; padding+packing overhead 1.0x for
+// conv1~14, max 1.0058x (conv2), average 1.0010x.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace lbc;
+  core::print_environment_banner();
+  std::printf(
+      "\n== Fig. 13 - ARM space overhead of im2col + padding/packing, "
+      "ResNet-50 ==\n");
+  std::printf("%-9s %14s %14s %14s %14s\n", "layer", "act+w (KB)",
+              "im2col_ovh", "pack_ovh", "total_ovh");
+
+  double sum_im2col = 0, sum_pack = 0, min_im = 1e9, max_im = 0;
+  std::string min_l, max_l;
+  const auto layers = nets::resnet50_layers();
+  for (const ConvShape& s : layers) {
+    // Run the actual driver so the report reflects the real buffers.
+    const Tensor<i8> in =
+        random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 8, 1);
+    const Tensor<i8> w =
+        random_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, 8, 2);
+    const armkern::ArmConvResult r =
+        armkern::conv2d_s32(s, in, w, armkern::ArmConvOptions{});
+    const double im = r.space.im2col_overhead();
+    const double pk = r.space.pack_overhead();
+    std::printf("%-9s %14.1f %13.4fx %13.4fx %13.4fx\n", s.name.c_str(),
+                static_cast<double>(r.space.baseline_elems) / 1024.0, im, pk,
+                r.space.total_overhead());
+    sum_im2col += im;
+    sum_pack += pk;
+    if (im < min_im) {
+      min_im = im;
+      min_l = s.name;
+    }
+    if (im > max_im) {
+      max_im = im;
+      max_l = s.name;
+    }
+  }
+  const double n = static_cast<double>(layers.size());
+  std::printf(
+      "-- summary: im2col overhead min %.4fx (%s), max %.4fx (%s), avg %.4fx"
+      " | pack overhead avg %.4fx --\n",
+      min_im, min_l.c_str(), max_im, max_l.c_str(), sum_im2col / n,
+      sum_pack / n);
+  std::printf(
+      "paper:      im2col overhead min 1.0218x (conv18), max 8.6034x (conv2),"
+      " avg 1.9445x | pack overhead avg 1.0010x\n");
+  return 0;
+}

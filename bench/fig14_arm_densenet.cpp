@@ -1,0 +1,11 @@
+// Fig. 14: our optimized 2-8-bit kernels vs ncnn 8-bit on the DenseNet-121
+// representative layers (paper: 1.79/1.74/1.56/1.50/1.51/1.37x average for
+// 2-7-bit; 8-bit wins 6/16 layers at 1.09x average).
+#include "bench_common.h"
+
+int main() {
+  lbc::bench::run_arm_bits_figure(
+      "Fig. 14 - ARM 2~8-bit conv vs ncnn 8-bit, DenseNet-121, batch 1",
+      lbc::nets::densenet121_layers());
+  return 0;
+}

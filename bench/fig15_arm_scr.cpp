@@ -1,0 +1,10 @@
+// Fig. 15: our optimized 2-8-bit kernels vs ncnn 8-bit on SCR-ResNet-50
+// (paper: wins on all layers; averages 3.17/3.00/2.65/2.54/2.54/2.27/1.52x).
+#include "bench_common.h"
+
+int main() {
+  lbc::bench::run_arm_bits_figure(
+      "Fig. 15 - ARM 2~8-bit conv vs ncnn 8-bit, SCR-ResNet-50, batch 1",
+      lbc::nets::scr_resnet50_layers());
+  return 0;
+}

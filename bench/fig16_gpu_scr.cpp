@@ -1,0 +1,12 @@
+// Fig. 16: GPU kernels on SCR-ResNet-50 (batch 1). Paper: our 4/8-bit beat
+// TensorRT by 3.53x / 2.22x on average; wins on all layers — the CRNAS
+// shapes are "out of the radar" of TensorRT's SASS tuning.
+#include "bench_common.h"
+
+int main() {
+  lbc::core::print_environment_banner();
+  lbc::bench::run_gpu_figure(
+      "Fig. 16 - GPU conv vs cuDNN/TensorRT, SCR-ResNet-50",
+      lbc::nets::scr_resnet50_layers(), 1);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fig. 17: GPU kernels on DenseNet-121 (batch 1). Paper: our 4/8-bit beat
+// TensorRT by 3.29x / 2.53x on average across all layers.
+#include "bench_common.h"
+
+int main() {
+  lbc::core::print_environment_banner();
+  lbc::bench::run_gpu_figure(
+      "Fig. 17 - GPU conv vs cuDNN/TensorRT, DenseNet-121",
+      lbc::nets::densenet121_layers(), 1);
+  return 0;
+}

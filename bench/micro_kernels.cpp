@@ -1,0 +1,137 @@
+// google-benchmark microbenchmarks of the emulated kernels themselves:
+// host-side wall time of the NEON-emulated micro kernels and the GPU
+// functional executor. These measure the *simulator's* speed (useful for
+// keeping the figure benches fast), not the modeled device time — the
+// modeled device time is what the fig* benches report.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "armkern/gemm_lowbit.h"
+#include "armkern/micro.h"
+#include "common/rng.h"
+#include "gpukern/autotune.h"
+#include "gpukern/conv_igemm.h"
+#include "refconv/gemm_ref.h"
+
+using namespace lbc;
+using namespace lbc::armkern;
+
+namespace {
+
+void BM_MicroSmlal16x4(benchmark::State& state) {
+  const i64 kc = state.range(0);
+  std::vector<i8> ap(static_cast<size_t>(kc * kMr), 3),
+      bp(static_cast<size_t>(kc * kNr), -2);
+  i32 tile[kMr * kNr];
+  for (auto _ : state) {
+    armsim::Ctx ctx;
+    micro_smlal_16x4(ctx, ap.data(), bp.data(), kc, 32, tile);
+    benchmark::DoNotOptimize(tile);
+  }
+  state.SetItemsProcessed(state.iterations() * kc * kMr * kNr);
+}
+BENCHMARK(BM_MicroSmlal16x4)->Arg(256)->Arg(1024);
+
+void BM_MicroMla16x4(benchmark::State& state) {
+  const i64 kc = state.range(0);
+  std::vector<i8> ap(static_cast<size_t>(kc * kMr), 1),
+      bp(static_cast<size_t>(kc * kNr), -1);
+  i32 tile[kMr * kNr];
+  for (auto _ : state) {
+    armsim::Ctx ctx;
+    micro_mla_16x4(ctx, ap.data(), bp.data(), kc, 31, tile);
+    benchmark::DoNotOptimize(tile);
+  }
+  state.SetItemsProcessed(state.iterations() * kc * kMr * kNr);
+}
+BENCHMARK(BM_MicroMla16x4)->Arg(256)->Arg(1024);
+
+void BM_MicroNcnn16x4(benchmark::State& state) {
+  const i64 kc = state.range(0);
+  std::vector<i8> ap(static_cast<size_t>(kc * kMr), 3),
+      bp(static_cast<size_t>(kc * kNr), -2);
+  i32 tile[kMr * kNr];
+  for (auto _ : state) {
+    armsim::Ctx ctx;
+    micro_ncnn_16x4(ctx, ap.data(), bp.data(), kc, tile);
+    benchmark::DoNotOptimize(tile);
+  }
+  state.SetItemsProcessed(state.iterations() * kc * kMr * kNr);
+}
+BENCHMARK(BM_MicroNcnn16x4)->Arg(256)->Arg(1024);
+
+void BM_FullGemmEmulated(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const i64 m = 64, n = 196, k = 256;
+  const Tensor<i8> a = random_qtensor(Shape4{1, 1, m, k}, bits, 1);
+  const Tensor<i8> b = random_qtensor(Shape4{1, 1, k, n}, bits, 2);
+  std::vector<i32> c(static_cast<size_t>(m * n));
+  for (auto _ : state) {
+    GemmOptions opt;
+    opt.bits = bits;
+    gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, opt);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_FullGemmEmulated)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ScalarReferenceGemm(benchmark::State& state) {
+  const i64 m = 64, n = 196, k = 256;
+  const Tensor<i8> a = random_qtensor(Shape4{1, 1, m, k}, 8, 1);
+  const Tensor<i8> b = random_qtensor(Shape4{1, 1, k, n}, 8, 2);
+  std::vector<i32> c(static_cast<size_t>(m * n));
+  for (auto _ : state) {
+    ref::gemm_s8s32(a.data(), b.data(), c.data(), m, n, k);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+BENCHMARK(BM_ScalarReferenceGemm);
+
+void BM_GpuFunctionalExecutor(benchmark::State& state) {
+  ConvShape s;
+  s.name = "b";
+  s.batch = 1;
+  s.in_c = 32;
+  s.in_h = s.in_w = 14;
+  s.out_c = 32;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+  const Tensor<i8> in = random_qtensor(Shape4{1, 32, 14, 14}, 8, 1);
+  const Tensor<i8> w = random_qtensor(Shape4{32, 32, 3, 3}, 8, 2);
+  gpukern::GpuConvOptions opt;
+  opt.tiling = gpukern::Tiling{32, 32, 64, 32, 2, 2};
+  opt.epilogue = gpukern::Epilogue::kRawS32;
+  for (auto _ : state) {
+    auto r = gpukern::conv2d(dev, s, in, w, {}, nullptr, 1.0f, opt);
+    benchmark::DoNotOptimize(r.out_s32.data());
+  }
+  state.SetItemsProcessed(state.iterations() * s.macs());
+}
+BENCHMARK(BM_GpuFunctionalExecutor);
+
+void BM_AutotuneSearch(benchmark::State& state) {
+  ConvShape s;
+  s.name = "b";
+  s.batch = 1;
+  s.in_c = 1024;
+  s.in_h = s.in_w = 14;
+  s.out_c = 256;
+  s.kernel = 1;
+  s.stride = 1;
+  s.pad = 0;
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+  for (auto _ : state) {
+    auto r = gpukern::autotune_tiling(dev, s, 8, true);
+    benchmark::DoNotOptimize(r.best_cost.seconds);
+  }
+}
+BENCHMARK(BM_AutotuneSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Interactive exploration of the GPU tiling auto-search (paper Fig. 11):
+// for a convolution shape given on the command line, enumerate the search
+// space, print the best configurations with their cost-model breakdown,
+// and compare against the default tiling and the baselines.
+//
+//   $ ./examples/gpu_autotune_explorer [in_c=1024] [hw=14] [out_c=256]
+//                                      [kernel=1] [batch=1] [bits=8]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "gpukern/baselines.h"
+
+using namespace lbc;
+
+int main(int argc, char** argv) {
+  auto arg = [&](int i, i64 dflt) {
+    return argc > i ? static_cast<i64>(std::atoll(argv[i])) : dflt;
+  };
+  ConvShape s;
+  s.name = "user";
+  s.in_c = arg(1, 1024);
+  s.in_h = s.in_w = arg(2, 14);
+  s.out_c = arg(3, 256);
+  s.kernel = arg(4, 1);
+  s.pad = s.kernel / 2;
+  s.batch = arg(5, 1);
+  const int bits = static_cast<int>(arg(6, 8));
+  if (!s.valid() || (bits != 4 && bits != 8)) {
+    std::fprintf(stderr, "invalid shape or bits (4/8)\n");
+    return 1;
+  }
+
+  core::print_environment_banner();
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+  std::printf("\nshape: %s  batch=%lld  bits=%d  (GEMM %lld x %lld x %lld)\n",
+              describe(s).c_str(), static_cast<long long>(s.batch), bits,
+              static_cast<long long>(s.gemm_m()),
+              static_cast<long long>(s.gemm_n()),
+              static_cast<long long>(s.gemm_k()));
+
+  // Rank the whole space.
+  struct Entry {
+    gpukern::Tiling t;
+    gpusim::KernelCost c;
+  };
+  std::vector<Entry> entries;
+  for (const auto& t : gpukern::tiling_search_space(bits)) {
+    gpusim::KernelShape ks = gpukern::make_kernel_shape(s, bits, t);
+    const gpusim::KernelCost c = gpusim::estimate_kernel(dev, ks);
+    if (c.valid) entries.push_back({t, c});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.c.seconds < b.c.seconds;
+            });
+
+  std::printf("\n%zu legal configurations; top 8 by modeled time:\n",
+              entries.size());
+  std::printf("%-26s %10s %8s %8s %9s %9s %9s\n",
+              "tiling (M,N,K,Ks,warps)", "time(us)", "blocks", "occup",
+              "comp(us)", "gmem(us)", "smem(us)");
+  for (size_t i = 0; i < std::min<size_t>(8, entries.size()); ++i) {
+    const auto& e = entries[i];
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%d x %d x %d x %d, %dx%d", e.t.mtile,
+                  e.t.ntile, e.t.ktile, e.t.kstep, e.t.warp_rows,
+                  e.t.warp_cols);
+    std::printf("%-26s %10.2f %8lld %7.0f%% %9.2f %9.2f %9.2f\n", buf,
+                e.c.seconds * 1e6, static_cast<long long>(e.c.blocks),
+                e.c.occupancy * 100, e.c.compute_s * 1e6, e.c.gmem_s * 1e6,
+                e.c.smem_s * 1e6);
+  }
+
+  const double deflt =
+      core::time_gpu_conv(dev, s, bits, core::GpuImpl::kOursDefaultTiling)
+          .seconds;
+  const double cudnn =
+      core::time_gpu_conv(dev, s, 8, core::GpuImpl::kCudnnDp4a).seconds;
+  const double trt =
+      core::time_gpu_conv(dev, s, 8, core::GpuImpl::kTensorRT).seconds;
+  std::printf("\ndefault tiling: %.2f us (auto-search gain %.2fx)\n",
+              deflt * 1e6, deflt / entries.front().c.seconds);
+  std::printf("cuDNN dp4a 8-bit: %.2f us | TensorRT 8-bit: %.2f us\n",
+              cudnn * 1e6, trt * 1e6);
+  return 0;
+}

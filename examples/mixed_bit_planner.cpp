@@ -1,0 +1,82 @@
+// Mixed-precision deployment planner: given a latency budget for the
+// ResNet-50 conv stack on the edge (ARM) backend, choose per-layer bit
+// widths that meet the budget while keeping layers at the highest possible
+// precision — the practical workflow extremely-low-bit kernels enable
+// (paper Sec. 1: "deployment on edge devices ... limited power budget").
+//
+// Greedy strategy: start everything at 8-bit, repeatedly drop the bit
+// width of the layer with the best time-saved-per-bit ratio until the
+// budget is met (floor at 2 bits).
+//
+//   $ ./examples/mixed_bit_planner [budget_ms=45]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "../bench/bench_common.h"
+
+using namespace lbc;
+
+int main(int argc, char** argv) {
+  const double budget_s = (argc > 1 ? std::atof(argv[1]) : 45.0) * 1e-3;
+  core::print_environment_banner();
+
+  const auto layers = nets::resnet50_layers();
+  const int kBits[5] = {8, 6, 5, 4, 2};  // precision ladder
+
+  // Measure every (layer, bits) once on the simulator.
+  std::printf("\nprofiling %zu layers x %zu bit widths ...\n", layers.size(),
+              std::size(kBits));
+  std::map<std::pair<size_t, int>, double> t;
+  for (size_t i = 0; i < layers.size(); ++i)
+    for (int bits : kBits)
+      t[{i, bits}] = bench::arm_layer_seconds(layers[i], bits,
+                                              core::ArmImpl::kOurs,
+                                              armkern::ConvAlgo::kAuto);
+
+  std::vector<int> level(layers.size(), 0);  // index into kBits
+  auto total = [&] {
+    double sum = 0;
+    for (size_t i = 0; i < layers.size(); ++i)
+      sum += t[{i, kBits[static_cast<size_t>(level[i])]}];
+    return sum;
+  };
+
+  double now = total();
+  std::printf("all-8-bit latency: %.2f ms; budget %.2f ms\n", now * 1e3,
+              budget_s * 1e3);
+  while (now > budget_s) {
+    // Pick the drop with the largest time saving per precision level lost.
+    double best_save = 0;
+    size_t best_i = layers.size();
+    for (size_t i = 0; i < layers.size(); ++i) {
+      if (level[i] + 1 >= static_cast<int>(std::size(kBits))) continue;
+      const double save = t[{i, kBits[static_cast<size_t>(level[i])]}] -
+                          t[{i, kBits[static_cast<size_t>(level[i]) + 1]}];
+      if (save > best_save) {
+        best_save = save;
+        best_i = i;
+      }
+    }
+    if (best_i == layers.size()) break;  // everything already at 2-bit
+    ++level[best_i];
+    now = total();
+  }
+
+  std::printf("\n%-9s %-10s %12s\n", "layer", "bits", "time (ms)");
+  std::map<int, int> histogram;
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const int bits = kBits[static_cast<size_t>(level[i])];
+    ++histogram[bits];
+    std::printf("%-9s %-10d %12.3f\n", layers[i].name.c_str(), bits,
+                t[{i, bits}] * 1e3);
+  }
+  std::printf("plan latency: %.2f ms (budget %.2f ms, %s)\n", now * 1e3,
+              budget_s * 1e3, now <= budget_s ? "met" : "NOT met");
+  std::printf("bit-width mix:");
+  for (const auto& [bits, count] : histogram)
+    std::printf("  %d-bit x %d", bits, count);
+  std::printf("\n");
+  return 0;
+}

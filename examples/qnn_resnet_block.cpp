@@ -1,0 +1,61 @@
+// End-to-end quantized network example: build a three-block ResNet-style
+// stack with the QnnGraph runner, calibrate it post-training, and sweep
+// the bit width — showing the accuracy/latency tradeoff the paper's
+// kernels make tunable, on the simulated Cortex-A53.
+//
+//   $ ./examples/qnn_resnet_block
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/qnn_graph.h"
+#include "core/report.h"
+
+using namespace lbc;
+
+namespace {
+
+core::QnnGraph build_stack(int bits) {
+  core::QnnGraph g;
+  auto cur = g.add_input(16, 32);
+  cur = core::add_bottleneck_block(g, cur, 16, 16, 32, 1, bits, 100);
+  cur = core::add_bottleneck_block(g, cur, 32, 16, 32, 1, bits, 200);
+  cur = core::add_bottleneck_block(g, cur, 32, 32, 64, 2, bits, 300);
+  g.add_global_avgpool(cur);
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  core::print_environment_banner();
+  const Tensor<float> x =
+      random_ftensor(Shape4{1, 16, 32, 32}, -1.0f, 1.0f, 9);
+
+  std::printf("\nquantized 3-block ResNet stack, 16x32x32 input, ARM backend\n");
+  std::printf("%-6s %12s %14s %16s\n", "bits", "latency(ms)", "max rel err",
+              "vs 8-bit speed");
+
+  double t8 = 0;
+  for (int bits : {8, 6, 5, 4, 3, 2}) {
+    core::QnnGraph g = build_stack(bits);
+    g.calibrate(x);
+    const core::QnnGraph::RunResult r = g.forward(x);
+    const Tensor<float> ref = g.forward_fp32(x);
+    double err = 0, mag = 1e-9;
+    for (i64 i = 0; i < r.out.elems(); ++i) {
+      err = std::max(err, static_cast<double>(
+                              std::fabs(r.out.data()[i] - ref.data()[i])));
+      mag = std::max(mag, static_cast<double>(std::fabs(ref.data()[i])));
+    }
+    if (bits == 8) t8 = r.seconds;
+    std::printf("%-6d %12.3f %13.1f%% %15.2fx\n", bits, r.seconds * 1e3,
+                100.0 * err / mag, t8 / r.seconds);
+  }
+  std::printf(
+      "\nInteger-only inference end to end: activations stay int8-packed "
+      "between nodes, re-quantization is fused into each producer, and the "
+      "residual adds rescale with fixed-point multipliers — the deployment "
+      "regime the paper's kernels target.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: run one quantized convolution layer fp32 -> fp32 through the
+// public QuantizedConv2d API on both simulated backends, at several bit
+// widths, and print the modeled execution time and quantization error.
+//
+//   $ ./examples/quickstart
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/report.h"
+#include "refconv/conv_ref.h"
+
+using namespace lbc;
+
+int main() {
+  core::print_environment_banner();
+
+  // A ResNet-style layer: 3x3, 64 -> 64 channels on a 28x28 feature map.
+  ConvShape shape;
+  shape.name = "demo";
+  shape.batch = 1;
+  shape.in_c = 64;
+  shape.in_h = shape.in_w = 28;
+  shape.out_c = 64;
+  shape.kernel = 3;
+  shape.stride = 1;
+  shape.pad = 1;
+
+  const Tensor<float> x =
+      random_ftensor(Shape4{1, 64, 28, 28}, -1.0f, 1.0f, 7);
+  const Tensor<float> w =
+      random_ftensor(Shape4{64, 64, 3, 3}, -0.3f, 0.3f, 8);
+  const Tensor<float> ref = ref::conv2d_f32(shape, x, w);
+
+  std::printf("\nLayer: %s\n", describe(shape).c_str());
+  std::printf("%-6s %-18s %14s %14s\n", "bits", "backend", "time (ms/us)",
+              "max rel err");
+  for (int bits : {8, 6, 4, 2}) {
+    core::QuantizedConv2d layer(shape, bits, core::Backend::kArmCortexA53);
+    layer.set_weights(w);
+    const Tensor<float> out = layer.forward(x);
+    double err = 0, mag = 1e-9;
+    for (i64 i = 0; i < out.elems(); ++i) {
+      err = std::max(err, static_cast<double>(
+                              std::fabs(out.data()[i] - ref.data()[i])));
+      mag = std::max(mag, static_cast<double>(std::fabs(ref.data()[i])));
+    }
+    std::printf("%-6d %-18s %11.3f ms %13.1f%%\n", bits, "ARM Cortex-A53",
+                layer.last_seconds() * 1e3, 100.0 * err / mag);
+  }
+  for (int bits : {8, 4}) {
+    core::QuantizedConv2d layer(shape, bits, core::Backend::kGpuTU102);
+    layer.set_weights(w);
+    const Tensor<float> out = layer.forward(x);
+    double err = 0, mag = 1e-9;
+    for (i64 i = 0; i < out.elems(); ++i) {
+      err = std::max(err, static_cast<double>(
+                              std::fabs(out.data()[i] - ref.data()[i])));
+      mag = std::max(mag, static_cast<double>(std::fabs(ref.data()[i])));
+    }
+    std::printf("%-6d %-18s %11.3f us %13.1f%%\n", bits, "GPU TU102",
+                layer.last_seconds() * 1e6, 100.0 * err / mag);
+  }
+  std::printf(
+      "\nLower bit widths run faster on both backends; quantization error "
+      "grows as bits shrink — the tradeoff the paper's QNNs exploit.\n");
+  return 0;
+}

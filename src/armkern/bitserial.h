@@ -1,0 +1,30 @@
+// Bit-serial popcount GEMM — the TVM/Cowan-style baseline of paper Fig. 9.
+//
+// Each b-bit two's-complement operand is decomposed into b bit planes
+// packed 128 bits per vector register along the K dimension. A dot product
+// becomes a signed combination of plane-pair popcounts:
+//   dot(a, w) = sum_{p,q} coef(p) * coef(q) * popcount(Aplane_p & Bplane_q)
+// with coef(p) = 2^p except the sign plane, coef(b-1) = -2^(b-1).
+// The NEON kernel is AND + CNT + UADALP per 128-bit chunk, with SADALP /
+// ADDV reductions — the popcount pipeline that the paper's MLA scheme is
+// compared against for 2-bit convolution (A2W2).
+#pragma once
+
+#include "armsim/counters.h"
+#include "common/types.h"
+
+namespace lbc::armkern {
+
+struct BitserialStats {
+  armsim::Counters counts;
+  i64 plane_buf_elems = 0;  ///< bytes of packed bit planes (space accounting)
+};
+
+/// C[M x N] (i32, row-major) = A[M x K] (i8) * B[K x N] (i8), operands in
+/// the adjusted range of `bits` (1 or 2). Bit-exact with ref::gemm_s8s32.
+/// A planes are packed offline (weights, not tallied); B planes are packed
+/// online and tallied.
+BitserialStats bitserial_gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m,
+                                    i64 n, i64 k, int bits);
+
+}  // namespace lbc::armkern

@@ -1,0 +1,141 @@
+#include "armkern/conv_arm.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/align.h"
+
+#include "armkern/bitserial.h"
+#include "armkern/direct_conv.h"
+#include "armkern/winograd23.h"
+#include "armsim/neon.h"
+#include "refconv/im2col.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+namespace {
+
+// im2col is a bulk copy on NEON, with per-row index math.
+void tally_im2col(Ctx& ctx, const ConvShape& s, const Tensor<i8>& input,
+                  const Tensor<i8>& bmat) {
+  // Strided gather: the 3x3/strided cases copy short row segments, so the
+  // effective move width is ~8 bytes per load/store pair.
+  const u64 groups = static_cast<u64>(ceil_div(s.im2col_elems(), 8));
+  ctx.tally(Op::kLd1, groups);
+  ctx.tally(Op::kSt1, groups);
+  ctx.tally(Op::kScalar, static_cast<u64>(s.gemm_k() * s.batch * s.out_h()));
+  ctx.tally(Op::kLoop, groups / 4 + 1);
+  // Cache traffic: each kernel tap streams the whole input once, and the
+  // im2col matrix is written once.
+  for (i64 tap = 0; tap < s.kernel * s.kernel; ++tap)
+    ctx.mem_range(input.data(), static_cast<u64>(input.elems()));
+  ctx.mem_range(bmat.data(), static_cast<u64>(bmat.elems()));
+}
+
+/// Fixed cost of forking/joining the row-panel worker pool (Pi 3B has 4
+/// A53 cores; the paper evaluates single-threaded, threads > 1 is our
+/// extension — see bench/ext_multicore_arm).
+constexpr double kThreadSyncCycles = 20000.0;
+
+}  // namespace
+
+ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
+                         const Tensor<i8>& weight, const ArmConvOptions& opt) {
+  assert(s.valid());
+  ArmConvResult res;
+  res.space.baseline_elems = s.activation_elems() + s.weight_elems();
+
+  ConvAlgo algo = opt.algo;
+  if (algo == ConvAlgo::kAuto)
+    algo = (s.winograd_eligible() && opt.bits >= 4 && opt.bits <= 6)
+               ? ConvAlgo::kWinograd
+               : ConvAlgo::kGemm;
+
+  const CostModel cm = CostModel::cortex_a53();
+  bool interleaved = true;
+  Ctx serial_ctx;                  // im2col + packing pre-passes
+  double parallel_cycles = 0;      // slowest worker of the kernel region
+  bool threaded = false;
+
+  if (algo == ConvAlgo::kDirect) {
+    const DirectConvStats ds = direct_conv_s32(s, input, weight, res.out);
+    res.counts.merge(ds.counts);
+    parallel_cycles = cm.cycles_for(ds.counts, interleaved);
+    // No im2col and no packing: zero space overhead (the algorithm's one
+    // advantage; Sec. 2.2).
+  } else if (algo == ConvAlgo::kWinograd) {
+    const WinogradStats ws =
+        winograd_conv_s32(s, input, weight, opt.bits, res.out);
+    res.counts.merge(ws.counts);
+    parallel_cycles = cm.cycles_for(ws.counts, interleaved);
+    res.space.im2col_elems = ws.transform_buf_elems;  // transform scratch
+  } else {
+    // Explicit GEMM path: materialize im2col (the paper materializes it for
+    // every layer, including 1x1 — Fig. 13's conv18 ratio pins this down).
+    const Tensor<i8> bmat = ref::im2col(s, input);
+    tally_im2col(serial_ctx, s, input, bmat);
+    res.space.im2col_elems = s.im2col_elems();
+
+    const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
+    res.out = Tensor<i32>(Shape4{s.batch, s.out_c, s.out_h(), s.out_w()});
+    // weight tensor [oc][ic][kh][kw] is already the row-major M x K matrix
+    // with K ordered (ic, kh, kw), matching im2col's row order. The GEMM
+    // writes C[M x N] = C[out_c][b*oh*ow]; for batch 1 that is exactly the
+    // NCHW output layout, and for batch > 1 the rows are re-scattered into
+    // NCHW below. (The paper's ARM evaluation uses batch 1, Sec. 5.2.)
+
+    AlignedVector<i32> cbuf;
+    i32* cptr = res.out.data();
+    if (s.batch > 1) {
+      cbuf.resize(static_cast<size_t>(m * n));
+      cptr = cbuf.data();
+    }
+    if (algo == ConvAlgo::kBitserial) {
+      assert(opt.bits <= 2);
+      const BitserialStats bs = bitserial_gemm_s8s32(
+          weight.data(), bmat.data(), cptr, m, n, k, opt.bits);
+      res.counts.merge(bs.counts);
+      parallel_cycles = cm.cycles_for(bs.counts, interleaved);
+    } else {
+      GemmOptions gopt;
+      gopt.bits = opt.bits;
+      gopt.kernel = opt.kernel;
+      gopt.threads = opt.threads;
+      const GemmStats gs =
+          gemm_s8s32(weight.data(), bmat.data(), cptr, m, n, k, gopt);
+      res.counts.merge(gs.counts);
+      res.space.pack_extra_elems = gs.pack_extra_elems;
+      interleaved = gs.interleaved;
+      // Multicore timing: the panel loop is split across workers; total
+      // time follows the slowest one. The packing pre-pass stays serial.
+      for (const auto& tc : gs.thread_counts)
+        parallel_cycles =
+            std::max(parallel_cycles, cm.cycles_for(tc, interleaved));
+      serial_ctx.counts.merge(gs.serial_counts);
+      threaded = gs.thread_counts.size() > 1;
+    }
+    if (s.batch > 1) {
+      // Re-scatter C[oc][b*oh*ow] into NCHW (bookkeeping copy; its cost is
+      // charged as a streaming pass).
+      const i64 ohw = s.out_h() * s.out_w();
+      for (i64 oc = 0; oc < m; ++oc)
+        for (i64 b = 0; b < s.batch; ++b)
+          for (i64 i = 0; i < ohw; ++i)
+            res.out.data()[((b * m + oc) * ohw) + i] =
+                cbuf[static_cast<size_t>(oc * n + b * ohw + i)];
+      serial_ctx.tally(Op::kLd1, static_cast<u64>(m * n / 4 + 1));
+      serial_ctx.tally(Op::kSt1, static_cast<u64>(m * n / 4 + 1));
+      serial_ctx.mem_range(res.out.data(), static_cast<u64>(m * n) * 4);
+    }
+  }
+
+  res.counts.merge(serial_ctx.counts);
+  res.cycles = parallel_cycles + cm.cycles_for(serial_ctx.counts, interleaved) +
+               (threaded ? kThreadSyncCycles : 0.0);
+  res.seconds = res.cycles / cm.freq_hz;
+  return res;
+}
+
+}  // namespace lbc::armkern

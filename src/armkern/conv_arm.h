@@ -1,0 +1,60 @@
+// ARM-backend convolution driver: explicit im2col + re-designed low-bit
+// GEMM (paper Sec. 3), with winograd and bit-serial alternatives, plus the
+// cost-model evaluation and the Fig. 13 space accounting.
+#pragma once
+
+#include "armkern/gemm_lowbit.h"
+#include "armsim/cost_model.h"
+#include "common/conv_shape.h"
+#include "common/tensor.h"
+
+namespace lbc::armkern {
+
+enum class ConvAlgo {
+  kAuto,       ///< winograd when eligible and 4-6 bit, else GEMM
+  kGemm,       ///< explicit im2col + re-designed GEMM
+  kWinograd,   ///< F(2x2,3x3), requires 3x3/stride-1 and 4-6 bit
+  kBitserial,  ///< popcount baseline, requires <= 2 bit
+  kDirect,     ///< im2col-free direct convolution (Sec. 2.2 baseline)
+};
+
+struct ArmConvOptions {
+  int bits = 8;
+  ConvAlgo algo = ConvAlgo::kGemm;
+  ArmKernel kernel = ArmKernel::kOursGemm;
+  int threads = 1;
+};
+
+/// Fig. 13 space accounting. The paper's ratios are
+///   im2col overhead  = (act + weight + im2col) / (act + weight)
+///   packing overhead = extra padded elements on top of that.
+struct SpaceReport {
+  i64 baseline_elems = 0;     ///< activation + weight
+  i64 im2col_elems = 0;       ///< materialized im2col matrix
+  i64 pack_extra_elems = 0;   ///< zero-padding added by pack
+  double im2col_overhead() const {
+    return static_cast<double>(baseline_elems + im2col_elems) /
+           static_cast<double>(baseline_elems);
+  }
+  double pack_overhead() const {
+    const double base = static_cast<double>(baseline_elems + im2col_elems);
+    return (base + static_cast<double>(pack_extra_elems)) / base;
+  }
+  double total_overhead() const { return im2col_overhead() * pack_overhead(); }
+};
+
+struct ArmConvResult {
+  Tensor<i32> out;
+  armsim::Counters counts;
+  double cycles = 0;
+  double seconds = 0;
+  SpaceReport space;
+};
+
+/// Quantized convolution to 32-bit accumulators. Bit-exact with
+/// ref::conv2d_s32 for GEMM/bitserial algos and with
+/// ref::winograd_conv_s32(kRoundedInt8) for the winograd algo.
+ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
+                         const Tensor<i8>& weight, const ArmConvOptions& opt);
+
+}  // namespace lbc::armkern

@@ -1,0 +1,77 @@
+#include "armkern/direct_conv.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "armsim/neon.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+DirectConvStats direct_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight, Tensor<i32>& out) {
+  assert(s.valid());
+  DirectConvStats stats;
+  Ctx ctx;
+  const i64 oh = s.out_h(), ow = s.out_w();
+  out = Tensor<i32>(Shape4{s.batch, s.out_c, oh, ow}, 0);
+
+  for (i64 b = 0; b < s.batch; ++b)
+    for (i64 oc = 0; oc < s.out_c; ++oc)
+      for (i64 y = 0; y < oh; ++y) {
+        for (i64 x0 = 0; x0 < ow; x0 += 8) {
+          const i64 vec = std::min<i64>(8, ow - x0);  // lanes in this block
+          int32x4 acc_lo, acc_hi;
+          movi_zero(ctx, acc_lo);
+          movi_zero(ctx, acc_hi);
+          for (i64 ic = 0; ic < s.in_c; ++ic)
+            for (i64 kh = 0; kh < s.kernel; ++kh) {
+              const i64 ih = y * s.stride + kh - s.pad;
+              if (ih < 0 || ih >= s.in_h) continue;
+              for (i64 kw = 0; kw < s.kernel; ++kw) {
+                // Gather up to 8 input pixels for outputs x0..x0+vec-1.
+                int8x16 pix{};
+                bool any = false;
+                for (i64 v = 0; v < vec; ++v) {
+                  const i64 iw = (x0 + v) * s.stride + kw - s.pad;
+                  if (iw < 0 || iw >= s.in_w) continue;
+                  pix.v[static_cast<size_t>(v)] = input.at(b, ic, ih, iw);
+                  any = true;
+                }
+                if (!any) continue;
+                // Load cost: contiguous for stride 1 (one 8-byte load),
+                // strided gather for stride 2 (two 8-byte loads).
+                ctx.tally(Op::kLd1_64, s.stride == 1 ? 1 : 2);
+                const i64 iw0 = x0 * s.stride + kw - s.pad;
+                const i64 iw_clamped = std::min<i64>(std::max<i64>(iw0, 0),
+                                                     s.in_w - 1);
+                ctx.mem(&input.at(b, ic, ih, iw_clamped),
+                        static_cast<u64>(vec) * static_cast<u64>(s.stride));
+                // Widen pixels, broadcast the weight, SMLAL into 32-bit.
+                const int16x8 p16 = sshll_s8(ctx, pix);
+                int16x8 w16;
+                w16.v.fill(static_cast<i16>(weight.at(oc, ic, kh, kw)));
+                ctx.tally(Op::kDup);
+                smlal_s16(ctx, acc_lo, p16, w16);
+                smlal2_s16(ctx, acc_hi, p16, w16);
+              }
+            }
+          // Store the 8 outputs (two ST1.4S).
+          i32 lanes[8];
+          for (int i = 0; i < 4; ++i) {
+            lanes[i] = acc_lo.v[static_cast<size_t>(i)];
+            lanes[4 + i] = acc_hi.v[static_cast<size_t>(i)];
+          }
+          ctx.tally(Op::kSt1, 2);
+          ctx.mem(&out.at(b, oc, y, x0), static_cast<u64>(vec) * 4);
+          for (i64 v = 0; v < vec; ++v)
+            out.at(b, oc, y, x0 + v) = lanes[v];
+          ctx.tally(Op::kLoop);
+        }
+      }
+  stats.counts = ctx.counts;
+  return stats;
+}
+
+}  // namespace lbc::armkern

@@ -1,0 +1,28 @@
+// Direct (im2col-free) convolution on the emulated NEON ISA — the first
+// algorithm class of paper Sec. 2.2 ("simple to implement but inefficient
+// ... generally optimized to use the cache and SIMD instructions").
+//
+// The kernel vectorizes over output width: for each filter tap (ic, kh,
+// kw) it loads 8 contiguous input pixels, widens them, and SMLALs them
+// against the broadcast weight into int32 accumulators. No packing and no
+// im2col buffer (zero space overhead), but every tap re-walks the input
+// and the 16-bit multiply path halves MAC width — which is why the paper
+// builds on GEMM instead; the ablation bench quantifies the gap.
+#pragma once
+
+#include "armsim/counters.h"
+#include "common/conv_shape.h"
+#include "common/tensor.h"
+
+namespace lbc::armkern {
+
+struct DirectConvStats {
+  armsim::Counters counts;
+};
+
+/// Bit-exact with ref::conv2d_s32 for inputs within the adjusted range of
+/// any bit width (the 16-bit multiply path cannot overflow on int8 data).
+DirectConvStats direct_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight, Tensor<i32>& out);
+
+}  // namespace lbc::armkern

@@ -1,0 +1,141 @@
+#include "armkern/gemm_lowbit.h"
+
+#include <cassert>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "armkern/micro.h"
+#include "armkern/pack.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+namespace {
+
+// Process the m-panel range [p0, p1) against every n-panel, tallying into
+// `ctx`. Each 16x4 micro tile lands in a column-major scratch tile and is
+// then scattered into row-major C with edge clipping (the micro kernel's
+// ST1s already account for the store cost; the scatter is an emulation
+// artifact of keeping C row-major for the tests).
+void run_panels(Ctx& ctx, const PackedA& pa, const PackedB& pb, i32* c, i64 m,
+                i64 n, i64 k, const GemmOptions& opt, i64 p0, i64 p1) {
+  const int bits = opt.bits;
+  const ArmKernel kernel = opt.kernel;
+  alignas(64) i32 tile[kMr * kNr];
+  for (i64 p = p0; p < p1; ++p) {
+    for (i64 q = 0; q < pb.panels(); ++q) {
+      switch (kernel) {
+        case ArmKernel::kOursGemm:
+          if (opt.flush_override > 0)
+            micro_smlal_16x4(ctx, pa.panel(p), pb.panel(q), k,
+                             opt.flush_override, tile);
+          else if (bits <= 3)
+            micro_mla_16x4(ctx, pa.panel(p), pb.panel(q), k,
+                           mla_flush_interval(bits), tile);
+          else
+            micro_smlal_16x4(ctx, pa.panel(p), pb.panel(q), k,
+                             smlal_flush_interval(bits), tile);
+          break;
+        case ArmKernel::kNcnn:
+          micro_ncnn_16x4(ctx, pa.panel(p), pb.panel(q), k, tile);
+          break;
+        case ArmKernel::kTraditional:
+        case ArmKernel::kSdotExt:
+          assert(false && "kernel has its own entry point");
+          break;
+      }
+      const i64 rows = std::min<i64>(kMr, m - p * kMr);
+      const i64 cols = std::min<i64>(kNr, n - q * kNr);
+      for (i64 ii = 0; ii < rows; ++ii) {
+        // Cache traffic of the real kernel's C store (the scratch tile is
+        // an emulation artifact; its issue cost is the micro kernel's ST1).
+        ctx.mem(&c[(p * kMr + ii) * n + q * kNr], static_cast<u64>(cols) * 4);
+        for (i64 jj = 0; jj < cols; ++jj)
+          c[(p * kMr + ii) * n + q * kNr + jj] = tile[jj * kMr + ii];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
+                     const GemmOptions& opt) {
+  assert(opt.bits >= 2 && opt.bits <= 8);
+  GemmStats stats;
+
+  if (opt.kernel == ArmKernel::kTraditional) {
+    Ctx ctx;
+    gemm_traditional(ctx, opt.bits, a, b, c, m, n, k);
+    stats.counts = ctx.counts;
+    stats.thread_counts = {ctx.counts};
+    stats.interleaved = false;  // the naive loop does not software-pipeline
+    return stats;
+  }
+
+  if (opt.kernel == ArmKernel::kSdotExt) {
+    Ctx pack_ctx;
+    Ctx ctx;
+    const PackedSdot ps = pack_sdot(&pack_ctx, a, b, m, n, k);
+    stats.pack_extra_elems = static_cast<i64>(ps.a.size() + ps.b.size()) -
+                             m * k - k * n;
+    alignas(64) i32 tile[kMr * kNr];
+    for (i64 p = 0; p < ps.a_panels(); ++p)
+      for (i64 q = 0; q < ps.b_panels(); ++q) {
+        micro_sdot_16x4(ctx, ps.a_panel(p), ps.b_panel(q), ps.k_pad, tile);
+        const i64 rows = std::min<i64>(kMr, m - p * kMr);
+        const i64 cols = std::min<i64>(kNr, n - q * kNr);
+        for (i64 ii = 0; ii < rows; ++ii) {
+          ctx.mem(&c[(p * kMr + ii) * n + q * kNr], static_cast<u64>(cols) * 4);
+          for (i64 jj = 0; jj < cols; ++jj)
+            c[(p * kMr + ii) * n + q * kNr + jj] = tile[jj * kMr + ii];
+        }
+      }
+    stats.thread_counts = {ctx.counts};
+    stats.serial_counts = pack_ctx.counts;
+    stats.counts = ctx.counts;
+    stats.counts.merge(pack_ctx.counts);
+    return stats;
+  }
+
+  Ctx pack_ctx;
+  const PackedA pa = pack_a(opt.count_a_pack ? &pack_ctx : nullptr, a, m, k);
+  const PackedB pb = pack_b(&pack_ctx, b, k, n);
+  stats.pack_extra_elems = pa.extra_elems() + pb.extra_elems();
+
+  const int threads =
+      std::max(1, std::min<int>(opt.threads, static_cast<int>(pa.panels())));
+  if (threads == 1) {
+    Ctx ctx;
+    run_panels(ctx, pa, pb, c, m, n, k, opt, 0, pa.panels());
+    stats.counts = ctx.counts;
+    stats.thread_counts = {ctx.counts};
+  } else {
+    // Row-panel parallelism: each worker owns a disjoint band of C.
+    std::vector<Ctx> ctxs(static_cast<size_t>(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    const i64 per = ceil_div(pa.panels(), threads);
+    for (int t = 0; t < threads; ++t) {
+      const i64 p0 = t * per;
+      const i64 p1 = std::min<i64>(pa.panels(), p0 + per);
+      if (p0 >= p1) break;
+      pool.emplace_back([&, t, p0, p1] {
+        run_panels(ctxs[static_cast<size_t>(t)], pa, pb, c, m, n, k, opt, p0,
+                   p1);
+      });
+    }
+    for (auto& th : pool) th.join();
+    for (const auto& cx : ctxs) {
+      stats.counts.merge(cx.counts);
+      stats.thread_counts.push_back(cx.counts);
+    }
+  }
+  stats.serial_counts = pack_ctx.counts;
+  stats.counts.merge(pack_ctx.counts);
+  return stats;
+}
+
+}  // namespace lbc::armkern

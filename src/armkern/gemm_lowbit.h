@@ -1,0 +1,61 @@
+// Low-bit GEMM driver over the packed panels and micro kernels.
+//
+// This is the "re-designed GEMM computation" of paper Sec. 3.2: packing
+// (Fig. 2) plus the per-bit-width instruction schemes (Fig. 3), dispatched
+// by bit width — MLA scheme for 2-3 bit, SMLAL scheme for 4-8 bit — with
+// the ncnn-style 8-bit baseline and the traditional (Fig. 1a) GEMM
+// available for comparison.
+#pragma once
+
+#include <vector>
+
+#include "armsim/cost_model.h"
+#include "armsim/counters.h"
+#include "common/types.h"
+
+namespace lbc::armkern {
+
+enum class ArmKernel {
+  kOursGemm,     ///< the paper's re-designed GEMM with per-bit schemes
+  kNcnn,         ///< ncnn-style 8-bit baseline (widen + 16-bit SMLAL)
+  kTraditional,  ///< Fig. 1a inner-product GEMM (ablation)
+  kSdotExt,      ///< ARMv8.2 SDOT kernel (extension; not on the v8.1 target)
+};
+
+struct GemmOptions {
+  int bits = 8;
+  ArmKernel kernel = ArmKernel::kOursGemm;
+  int threads = 1;
+  /// Weights are packed offline in deployment, so A-pack cost is excluded
+  /// by default; activation (B) packing is always on the critical path.
+  bool count_a_pack = false;
+  /// Non-zero: override the SADDW flush interval of the SMLAL scheme.
+  /// Used by the winograd path, whose operand ranges (4x activations,
+  /// 9/4 weights) shrink the safe ratio below the raw-bit-width table.
+  int flush_override = 0;
+};
+
+struct GemmStats {
+  armsim::Counters counts;   ///< total instruction mix (all threads + pack)
+  i64 pack_extra_elems = 0;  ///< padding bytes added by pack (Fig. 13)
+  bool interleaved = true;   ///< whether the kernel interleaves LD/MAC
+
+  /// Timing decomposition for the multicore model: the packing pre-pass is
+  /// serial; the panel loop splits across threads. Single-threaded runs
+  /// have exactly one entry in thread_counts.
+  armsim::Counters serial_counts;
+  std::vector<armsim::Counters> thread_counts;
+};
+
+/// C[M x N] (i32, row-major) = A[M x K] (i8, row-major) * B[K x N]
+/// (i8, row-major). Bit-exact with ref::gemm_s8s32 for inputs within the
+/// adjusted range of `bits`.
+GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
+                     const GemmOptions& opt);
+
+/// Traditional GEMM used by the ablation bench (declared here, defined in
+/// gemm_traditional.cpp); B is consumed column-major-packed internally.
+void gemm_traditional(armsim::Ctx& ctx, int bits, const i8* a, const i8* b,
+                      i32* c, i64 m, i64 n, i64 k);
+
+}  // namespace lbc::armkern

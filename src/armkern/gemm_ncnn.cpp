@@ -1,0 +1,39 @@
+#include "armkern/micro.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+// ncnn's 8-bit scheme per the paper (Sec. 5.2): "it stores the 8-bit input
+// into a 16-bit register, and uses 16-bit SMLAL instruction to compute and
+// accumulate the result to a 32-bit register." No intermediate flushes,
+// but every operand is widened (SSHLL) and each SMLAL covers only 4 lanes.
+void micro_ncnn_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
+                     i32* c) {
+  int32x4 acc32[kNr][4];
+  for (int j = 0; j < kNr; ++j)
+    for (int g = 0; g < 4; ++g) movi_zero(ctx, acc32[j][g]);
+
+  constexpr i64 kUnroll = 4;  // ncnn's typical inner unrolling
+  for (i64 k = 0; k < kc; ++k) {
+    const int8x16 a = ld1_s8(ctx, a_panel + k * kMr);
+    const int16x8 a_lo = sshll_s8(ctx, a);   // rows 0-7 widened
+    const int16x8 a_hi = sshll2_s8(ctx, a);  // rows 8-15 widened
+    int8x16 b[4];
+    ld4r_s8(ctx, b_panel + k * kNr, b);
+    for (int j = 0; j < kNr; ++j) {
+      const int16x8 b16 = sshll_s8(ctx, b[j]);  // replicated, widened
+      smlal_s16(ctx, acc32[j][0], a_lo, b16);
+      smlal2_s16(ctx, acc32[j][1], a_lo, b16);
+      smlal_s16(ctx, acc32[j][2], a_hi, b16);
+      smlal2_s16(ctx, acc32[j][3], a_hi, b16);
+    }
+    if (k % kUnroll == kUnroll - 1) ctx.tally(Op::kLoop);
+  }
+
+  for (int j = 0; j < kNr; ++j)
+    for (int g = 0; g < 4; ++g)
+      st1_s32(ctx, acc32[j][g], c + j * kMr + g * 4);
+}
+
+}  // namespace lbc::armkern

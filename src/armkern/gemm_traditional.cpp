@@ -1,0 +1,69 @@
+#include "armkern/gemm_lowbit.h"
+
+#include <vector>
+
+#include "common/align.h"
+
+#include "armkern/micro.h"
+#include "armkern/pack.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+// Traditional GEMM (paper Fig. 1a): every output element is an inner
+// product computed from one vector of A's row and one vector of B's column,
+// so each 16-MAC step costs two loads (beta_1 = 2 in Eq. 1). Compare with
+// the re-designed GEMM where one LD1 + one LD4R feed 64 MACs (Eq. 3).
+void gemm_traditional(Ctx& ctx, int bits, const i8* a, const i8* b, i32* c,
+                      i64 m, i64 n, i64 k) {
+  const i64 k16 = round_up(k, 16);
+
+  // Pad A rows into contiguous 16-multiples; transpose B column-major.
+  AlignedVector<i8> a_pad(static_cast<size_t>(m * k16), 0);
+  for (i64 i = 0; i < m; ++i)
+    for (i64 kk = 0; kk < k; ++kk) a_pad[i * k16 + kk] = a[i * k + kk];
+  AlignedVector<i8> b_cm(static_cast<size_t>(n * k16), 0);
+  for (i64 j = 0; j < n; ++j)
+    for (i64 kk = 0; kk < k; ++kk) b_cm[j * k16 + kk] = b[kk * n + j];
+
+  const int flush = (bits <= 3) ? mla_flush_interval(bits) * 4
+                                : smlal_flush_interval(bits);
+  for (i64 i = 0; i < m; ++i) {
+    for (i64 j = 0; j < n; ++j) {
+      int16x8 acc16;
+      int32x4 acc32;
+      movi_zero(ctx, acc16);
+      movi_zero(ctx, acc32);
+      i32 result = 0;
+      int since_flush = 0;
+      for (i64 kk = 0; kk < k16; kk += 16) {
+        const int8x16 av = ld1_s8(ctx, a_pad.data() + i * k16 + kk);
+        const int8x16 bv = ld1_s8(ctx, b_cm.data() + j * k16 + kk);
+        smlal_s8(ctx, acc16, av, bv);
+        smlal2_s8(ctx, acc16, av, bv);
+        ctx.tally(Op::kLoop);
+        // Each lane gained two products this step (SMLAL + SMLAL2 halves
+        // land in the same 8 lanes? No: SMLAL2 uses the high bytes but the
+        // same 16-bit lanes — two products per lane per step).
+        since_flush += 2;
+        if (since_flush + 2 > flush) {
+          saddw_s16(ctx, acc32, acc16);
+          saddw2_s16(ctx, acc32, acc16);
+          movi_zero(ctx, acc16);
+          since_flush = 0;
+        }
+      }
+      if (since_flush > 0) {
+        saddw_s16(ctx, acc32, acc16);
+        saddw2_s16(ctx, acc32, acc16);
+      }
+      // Reduced-sum epilogue (the paper's delta term in Eq. 2).
+      result = addv_s32(ctx, acc32);
+      ctx.tally(Op::kScalar);  // scalar store of one element
+      c[i * n + j] = result;
+    }
+  }
+}
+
+}  // namespace lbc::armkern

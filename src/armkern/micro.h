@@ -1,0 +1,38 @@
+// GEMM micro kernels on the emulated NEON ISA. Each computes one
+// kMr x kNr (16 x 4) tile of C from packed panels:
+//   a_panel: [kc][16] (one LD1 per depth step)
+//   b_panel: [kc][4]  (one LD4R per depth step)
+//   c:       16 x 4 tile, COLUMN-major (c[col*16 + row]), int32.
+//
+// micro_smlal_16x4 — the paper's 4-8 bit scheme (Fig. 3a, Alg. 1):
+//   SMLAL/SMLAL2 into 16-bit lanes, SADDW/SADDW2 flush to 32-bit every
+//   `flush` depth steps, with the Alg. 1 v<->x spill traffic charged.
+// micro_mla_16x4 — the paper's 2-3 bit scheme (Fig. 3b):
+//   MLA into 8-bit lanes, SADDW (8->16) flush every `flush8` steps,
+//   second-level SADDW (16->32) every kSecondLevelRounds flushes.
+// micro_ncnn_16x4 — the ncnn 8-bit baseline (Sec. 5.2): inputs widened to
+//   16-bit registers (SSHLL), SMLAL on 16-bit lanes straight into 32-bit.
+#pragma once
+
+#include <algorithm>
+
+#include "armsim/neon.h"
+#include "armkern/schemes.h"
+
+namespace lbc::armkern {
+
+void micro_smlal_16x4(armsim::Ctx& ctx, const i8* a_panel, const i8* b_panel,
+                      i64 kc, int flush, i32* c);
+
+void micro_mla_16x4(armsim::Ctx& ctx, const i8* a_panel, const i8* b_panel,
+                    i64 kc, int flush8, i32* c);
+
+void micro_ncnn_16x4(armsim::Ctx& ctx, const i8* a_panel, const i8* b_panel,
+                     i64 kc, i32* c);
+
+/// ARMv8.2 extension: SDOT kernel over pack_sdot panels (a: [k/4][16][4],
+/// b: [k/4][4][4], k_pad a multiple of 4).
+void micro_sdot_16x4(armsim::Ctx& ctx, const i8* a_panel, const i8* b_panel,
+                     i64 k_pad, i32* c);
+
+}  // namespace lbc::armkern

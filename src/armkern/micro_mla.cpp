@@ -1,0 +1,64 @@
+#include "armkern/micro.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+void micro_mla_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
+                    int flush8, i32* c) {
+  // Register plan (Sec. 3.3): v0~v3 read A, v4~v7 read B, v8~v11 hold
+  // 8-bit partials, v12~v19 hold 16-bit partials, v20~v31 + x0~x7 hold
+  // the 32-bit results.
+  int8x16 acc8[kNr];
+  int16x8 acc16[kNr][2];
+  int32x4 acc32[kNr][4];
+  for (int j = 0; j < kNr; ++j) {
+    movi_zero(ctx, acc8[j]);
+    movi_zero(ctx, acc16[j][0]);
+    movi_zero(ctx, acc16[j][1]);
+    for (int g = 0; g < 4; ++g) movi_zero(ctx, acc32[j][g]);
+  }
+
+  auto flush_16_to_32 = [&] {
+    mov_vx(ctx, 8);  // x0~x7 round trip for the spilled 32-bit accumulators
+    for (int j = 0; j < kNr; ++j) {
+      saddw_s16(ctx, acc32[j][0], acc16[j][0]);
+      saddw2_s16(ctx, acc32[j][1], acc16[j][0]);
+      saddw_s16(ctx, acc32[j][2], acc16[j][1]);
+      saddw2_s16(ctx, acc32[j][3], acc16[j][1]);
+      movi_zero(ctx, acc16[j][0]);
+      movi_zero(ctx, acc16[j][1]);
+    }
+  };
+
+  i64 k = 0;
+  int rounds = 0;
+  while (k < kc) {
+    const i64 steps = std::min<i64>(flush8, kc - k);
+    for (i64 s = 0; s < steps; ++s) {
+      const int8x16 a = ld1_s8(ctx, a_panel + (k + s) * kMr);
+      int8x16 b[4];
+      ld4r_s8(ctx, b_panel + (k + s) * kNr, b);
+      for (int j = 0; j < kNr; ++j) mla_s8(ctx, acc8[j], a, b[j]);
+    }
+    // First-level SADDW flush: 8-bit partials -> 16-bit partials.
+    for (int j = 0; j < kNr; ++j) {
+      saddw_s8(ctx, acc16[j][0], acc8[j]);
+      saddw2_s8(ctx, acc16[j][1], acc8[j]);
+      movi_zero(ctx, acc8[j]);
+    }
+    ctx.tally(Op::kLoop);
+    k += steps;
+    if (++rounds == kSecondLevelRounds) {
+      flush_16_to_32();
+      rounds = 0;
+    }
+  }
+  if (rounds != 0) flush_16_to_32();
+
+  for (int j = 0; j < kNr; ++j)
+    for (int g = 0; g < 4; ++g)
+      st1_s32(ctx, acc32[j][g], c + j * kMr + g * 4);
+}
+
+}  // namespace lbc::armkern

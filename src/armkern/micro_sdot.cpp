@@ -1,0 +1,40 @@
+#include "armkern/micro.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+// ARMv8.2 SDOT extension kernel (not available on the paper's v8.1 target;
+// see Sec. 2.3). One indexed SDOT (Vd.4S, Vn.16B, Vm.4B[lane]) retires 16
+// MACs straight into 32-bit accumulators with no widening chain at all:
+// per 4-depth step the 16x4 tile costs 5 loads + 16 SDOTs for 256 MACs.
+// The ext_sdot bench quantifies how this erases the need for bit-width-
+// specific schemes on v8.2 cores.
+void micro_sdot_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 k_pad,
+                     i32* c) {
+  int32x4 acc[kNr][4];  // [col][row group of 4]
+  for (int j = 0; j < kNr; ++j)
+    for (int g = 0; g < 4; ++g) movi_zero(ctx, acc[j][g]);
+
+  const i64 ksteps = k_pad / 4;
+  for (i64 ks = 0; ks < ksteps; ++ks) {
+    int8x16 a[4];
+    for (int g = 0; g < 4; ++g)
+      a[g] = ld1_s8(ctx, a_panel + (ks * kMr + g * 4) * 4);
+    const int8x16 b = ld1_s8(ctx, b_panel + ks * kNr * 4);
+    for (int j = 0; j < kNr; ++j) {
+      // Indexed form: broadcast b's 4-byte group j across the register
+      // (free in hardware; no extra instruction tallied).
+      int8x16 bj;
+      for (int g = 0; g < 4; ++g)
+        for (int d = 0; d < 4; ++d) bj.v[4 * g + d] = b.v[4 * j + d];
+      for (int g = 0; g < 4; ++g) sdot_s8(ctx, acc[j][g], a[g], bj);
+    }
+    if (ks % 4 == 3) ctx.tally(Op::kLoop);
+  }
+
+  for (int j = 0; j < kNr; ++j)
+    for (int g = 0; g < 4; ++g) st1_s32(ctx, acc[j][g], c + j * kMr + g * 4);
+}
+
+}  // namespace lbc::armkern

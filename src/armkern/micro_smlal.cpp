@@ -1,0 +1,59 @@
+#include "armkern/micro.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+void micro_smlal_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
+                      int flush, i32* c) {
+  // Register plan mirrors Alg. 1: v0~v1 read A, v2~v9 read B (two LD4R
+  // groups interleaved with the SMLALs for prefetching), v10~v17 hold the
+  // 16-bit partials, v18~v31 plus four x-register spills hold the 32-bit
+  // results. The emulator has unlimited registers; the spill traffic is
+  // charged via mov_vx.
+  int32x4 acc32[kNr][4];
+  int16x8 acc16[kNr][2];
+  for (int j = 0; j < kNr; ++j) {
+    for (int g = 0; g < 4; ++g) movi_zero(ctx, acc32[j][g]);
+    movi_zero(ctx, acc16[j][0]);
+    movi_zero(ctx, acc16[j][1]);
+  }
+
+  i64 k = 0;
+  while (k < kc) {
+    const i64 steps = std::min<i64>(flush, kc - k);
+    // Two interleaved {LD1, LD4R} + SMLAL(2) groups per iteration (Alg. 1
+    // lines 3-8); the odd tail falls out naturally.
+    for (i64 s = 0; s < steps; ++s) {
+      const int8x16 a = ld1_s8(ctx, a_panel + (k + s) * kMr);
+      int8x16 b[4];
+      ld4r_s8(ctx, b_panel + (k + s) * kNr, b);
+      for (int j = 0; j < kNr; ++j) {
+        smlal_s8(ctx, acc16[j][0], a, b[j]);
+        smlal2_s8(ctx, acc16[j][1], a, b[j]);
+      }
+    }
+    // SADDW flush of the 16-bit partials into the 32-bit accumulators
+    // (Alg. 1 lines 10-13), including the x-register round trip for the
+    // accumulators that do not fit in v18~v31.
+    mov_vx(ctx, 4);
+    for (int j = 0; j < kNr; ++j) {
+      saddw_s16(ctx, acc32[j][0], acc16[j][0]);
+      saddw2_s16(ctx, acc32[j][1], acc16[j][0]);
+      saddw_s16(ctx, acc32[j][2], acc16[j][1]);
+      saddw2_s16(ctx, acc32[j][3], acc16[j][1]);
+      movi_zero(ctx, acc16[j][0]);
+      movi_zero(ctx, acc16[j][1]);
+    }
+    mov_vx(ctx, 4);
+    ctx.tally(Op::kLoop);
+    k += steps;
+  }
+
+  // ST1 of the finished tile (Alg. 1 line 17).
+  for (int j = 0; j < kNr; ++j)
+    for (int g = 0; g < 4; ++g)
+      st1_s32(ctx, acc32[j][g], c + j * kMr + g * 4);
+}
+
+}  // namespace lbc::armkern

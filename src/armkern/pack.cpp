@@ -1,0 +1,127 @@
+#include "armkern/pack.h"
+
+namespace lbc::armkern {
+namespace {
+
+// Cost accounting for pack loops. Real NEON packing moves 16 bytes per
+// vector op; the A pack additionally pays a strided-gather (transpose)
+// overhead we charge as scalar ops per element group.
+void tally_pack_a(armsim::Ctx* ctx, i64 elems) {
+  if (!ctx) return;
+  const u64 groups = static_cast<u64>(ceil_div(elems, 16));
+  ctx->tally(armsim::Op::kLd1, groups);     // gather source rows
+  ctx->tally(armsim::Op::kSt1, groups);     // store packed panel
+  ctx->tally(armsim::Op::kScalar, groups * 2);  // transpose/index math
+  ctx->tally(armsim::Op::kLoop, groups / 4 + 1);
+}
+
+void tally_pack_b(armsim::Ctx* ctx, i64 elems) {
+  if (!ctx) return;
+  const u64 groups = static_cast<u64>(ceil_div(elems, 16));
+  ctx->tally(armsim::Op::kLd1, groups);
+  ctx->tally(armsim::Op::kSt1, groups);
+  ctx->tally(armsim::Op::kLoop, groups / 4 + 1);
+}
+
+}  // namespace
+
+PackedA pack_a(armsim::Ctx* ctx, const i8* a, i64 m, i64 k) {
+  PackedA pa;
+  pa.m = m;
+  pa.k = k;
+  pa.m_pad = round_up(m, kMr);
+  pa.data.assign(static_cast<size_t>(pa.m_pad * k), 0);
+  for (i64 p = 0; p < pa.panels(); ++p) {
+    i8* dst = pa.data.data() + p * k * kMr;
+    for (i64 kk = 0; kk < k; ++kk)
+      for (i64 r = 0; r < kMr; ++r) {
+        const i64 row = p * kMr + r;
+        dst[kk * kMr + r] = (row < m) ? a[row * k + kk] : i8{0};
+      }
+  }
+  tally_pack_a(ctx, pa.m_pad * k);
+  if (ctx) {
+    ctx->mem_range(a, static_cast<u64>(m * k));
+    ctx->mem_range(pa.data.data(), pa.data.size());
+  }
+  return pa;
+}
+
+PackedB pack_b(armsim::Ctx* ctx, const i8* b, i64 k, i64 n) {
+  PackedB pb;
+  pb.k = k;
+  pb.n = n;
+  pb.n_pad = round_up(n, kNr);
+  pb.data.assign(static_cast<size_t>(pb.n_pad * k), 0);
+  for (i64 q = 0; q < pb.panels(); ++q) {
+    i8* dst = pb.data.data() + q * k * kNr;
+    for (i64 kk = 0; kk < k; ++kk)
+      for (i64 c = 0; c < kNr; ++c) {
+        const i64 col = q * kNr + c;
+        dst[kk * kNr + c] = (col < n) ? b[kk * n + col] : i8{0};
+      }
+  }
+  tally_pack_b(ctx, pb.n_pad * k);
+  if (ctx) {
+    ctx->mem_range(b, static_cast<u64>(k * n));
+    ctx->mem_range(pb.data.data(), pb.data.size());
+  }
+  return pb;
+}
+
+PackedSdot pack_sdot(armsim::Ctx* ctx, const i8* a, const i8* b, i64 m, i64 n,
+                     i64 k) {
+  PackedSdot ps;
+  ps.m = m;
+  ps.n = n;
+  ps.k = k;
+  ps.m_pad = round_up(m, kMr);
+  ps.n_pad = round_up(n, kNr);
+  ps.k_pad = round_up(k, 4);
+  ps.a.assign(static_cast<size_t>(ps.m_pad * ps.k_pad), 0);
+  ps.b.assign(static_cast<size_t>(ps.n_pad * ps.k_pad), 0);
+  const i64 ksteps = ps.k_pad / 4;
+  for (i64 p = 0; p < ps.a_panels(); ++p) {
+    i8* dst = ps.a.data() + p * ps.k_pad * kMr;
+    for (i64 ks = 0; ks < ksteps; ++ks)
+      for (i64 r = 0; r < kMr; ++r)
+        for (i64 d = 0; d < 4; ++d) {
+          const i64 row = p * kMr + r;
+          const i64 kk = ks * 4 + d;
+          dst[(ks * kMr + r) * 4 + d] =
+              (row < m && kk < k) ? a[row * k + kk] : i8{0};
+        }
+  }
+  for (i64 q = 0; q < ps.b_panels(); ++q) {
+    i8* dst = ps.b.data() + q * ps.k_pad * kNr;
+    for (i64 ks = 0; ks < ksteps; ++ks)
+      for (i64 c = 0; c < kNr; ++c)
+        for (i64 d = 0; d < 4; ++d) {
+          const i64 col = q * kNr + c;
+          const i64 kk = ks * 4 + d;
+          dst[(ks * kNr + c) * 4 + d] =
+              (col < n && kk < k) ? b[kk * n + col] : i8{0};
+        }
+  }
+  // A pack is offline (weights); B pack is a strided interleave.
+  tally_pack_a(ctx, ps.n_pad * ps.k_pad);
+  if (ctx) {
+    ctx->mem_range(b, static_cast<u64>(k * n));
+    ctx->mem_range(ps.b.data(), ps.b.size());
+  }
+  return ps;
+}
+
+AlignedVector<i8> pack_b_colmajor(armsim::Ctx* ctx, const i8* b, i64 k, i64 n) {
+  AlignedVector<i8> out(static_cast<size_t>(k * n));
+  for (i64 j = 0; j < n; ++j)
+    for (i64 kk = 0; kk < k; ++kk) out[j * k + kk] = b[kk * n + j];
+  tally_pack_a(ctx, k * n);  // strided gather, same cost class as A pack
+  if (ctx) {
+    ctx->mem_range(b, static_cast<u64>(k * n));
+    ctx->mem_range(out.data(), out.size());
+  }
+  return out;
+}
+
+}  // namespace lbc::armkern

@@ -1,0 +1,73 @@
+// Data padding and packing for the re-designed GEMM (paper Sec. 3.2, Fig. 2).
+//
+// A (M x K, row-major) is packed into panels of kMr = 16 rows stored
+// column-of-the-panel-major: for panel p and depth k, the 16 row values
+// A[p*16 .. p*16+15][k] are contiguous — exactly what one LD1 of the micro
+// kernel consumes. B (K x N, row-major) is packed into panels of kNr = 4
+// columns: for panel q and depth k, B[k][q*4 .. q*4+3] are contiguous — one
+// LD4R. Rows beyond M / columns beyond N are zero-padded ("zero padding"
+// in the paper), which is value-safe: padded lanes only ever add zero
+// products.
+#pragma once
+
+#include <vector>
+
+#include "common/align.h"
+
+#include "armsim/counters.h"
+#include "armkern/schemes.h"
+#include "common/types.h"
+
+namespace lbc::armkern {
+
+struct PackedA {
+  AlignedVector<i8> data;  ///< [panels][K][kMr]
+  i64 m = 0, k = 0;
+  i64 m_pad = 0;  ///< m rounded up to kMr
+
+  i64 panels() const { return m_pad / kMr; }
+  const i8* panel(i64 p) const { return data.data() + p * k * kMr; }
+  /// Extra elements introduced by padding+packing (Fig. 13 accounting).
+  i64 extra_elems() const { return static_cast<i64>(data.size()) - m * k; }
+};
+
+struct PackedB {
+  AlignedVector<i8> data;  ///< [panels][K][kNr]
+  i64 k = 0, n = 0;
+  i64 n_pad = 0;  ///< n rounded up to kNr
+
+  i64 panels() const { return n_pad / kNr; }
+  const i8* panel(i64 q) const { return data.data() + q * k * kNr; }
+  i64 extra_elems() const { return static_cast<i64>(data.size()) - k * n; }
+};
+
+/// Pack A with cost tallying (the packing itself runs per GEMM call for
+/// activations; for weights it can be done offline — callers choose whether
+/// to pass a tallying ctx).
+PackedA pack_a(armsim::Ctx* ctx, const i8* a, i64 m, i64 k);
+PackedB pack_b(armsim::Ctx* ctx, const i8* b, i64 k, i64 n);
+
+/// Column-major copy of B (N x K panels of contiguous columns), used by the
+/// traditional-GEMM ablation where each output needs a contiguous B column.
+AlignedVector<i8> pack_b_colmajor(armsim::Ctx* ctx, const i8* b, i64 k, i64 n);
+
+/// SDOT packing (ARMv8.2 extension kernel): K grouped by 4 so that each
+/// 32-bit SDOT lane sees four consecutive depth values.
+///   A: [K4/4][kMr rows][4 depths]  (4 x LD1 per 4-depth step)
+///   B: [K4/4][kNr cols][4 depths]  (1 x LD1 per 4-depth step)
+/// Rows/cols beyond M/N and depths beyond K are zero-padded.
+struct PackedSdot {
+  AlignedVector<i8> a, b;
+  i64 m = 0, n = 0, k = 0;
+  i64 m_pad = 0, n_pad = 0, k_pad = 0;
+
+  i64 a_panels() const { return m_pad / kMr; }
+  i64 b_panels() const { return n_pad / kNr; }
+  const i8* a_panel(i64 p) const { return a.data() + p * k_pad * kMr; }
+  const i8* b_panel(i64 q) const { return b.data() + q * k_pad * kNr; }
+};
+
+PackedSdot pack_sdot(armsim::Ctx* ctx, const i8* a, const i8* b, i64 m, i64 n,
+                     i64 k);
+
+}  // namespace lbc::armkern

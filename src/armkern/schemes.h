@@ -1,0 +1,62 @@
+// Instruction-scheme parameters for each bit width (paper Sec. 3.3).
+//
+// SMLAL scheme (4-8 bit): products of two b-bit values in the adjusted
+// range [-(2^(b-1)-1), +(2^(b-1)-1)] accumulate in 16-bit lanes; a SADDW
+// flush to 32-bit must happen before the 16-bit lane can overflow. The safe
+// bound is floor((2^15 - 1) / qmax^2) SMLALs between flushes (the paper's
+// 511/127/31/8/2 for 4..8-bit). The kernels actually flush at the paper's
+// unrolling factors (32/24/16/8/2), each of which is within its safe bound.
+//
+// MLA scheme (2-3 bit): products accumulate in 8-bit lanes; the first-level
+// SADDW (8->16) ratio is 31 (2-bit) and 7 (3-bit) per the paper, and a
+// second-level SADDW (16->32) flush runs every kSecondLevelRounds first-
+// level flushes (far inside the 16-bit headroom; asserted below).
+#pragma once
+
+#include "common/types.h"
+
+namespace lbc::armkern {
+
+/// Largest number of SMLAL.8H accumulations into a fresh 16-bit lane that
+/// cannot overflow for b-bit inputs in the adjusted range.
+constexpr int smlal_safe_ratio(int bits) {
+  const i32 q = qmax_for_bits(bits);
+  return static_cast<int>(32767 / (q * q));
+}
+
+/// Flush interval actually used by the 4-8 bit kernel (= the paper's loop
+/// unrolling factor, Sec. 3.3: 32/24/16/8/2 for 4/5/6/7/8-bit).
+constexpr int smlal_flush_interval(int bits) {
+  switch (bits) {
+    case 4: return 32;
+    case 5: return 24;
+    case 6: return 16;
+    case 7: return 8;
+    case 8: return 2;
+    default: return 1;
+  }
+}
+static_assert(smlal_flush_interval(4) <= smlal_safe_ratio(4));
+static_assert(smlal_flush_interval(5) <= smlal_safe_ratio(5));
+static_assert(smlal_flush_interval(6) <= smlal_safe_ratio(6));
+static_assert(smlal_flush_interval(7) <= smlal_safe_ratio(7));
+static_assert(smlal_flush_interval(8) <= smlal_safe_ratio(8));
+
+/// MLA accumulations into a fresh 8-bit lane between 8->16-bit flushes
+/// (paper: 31 for 2-bit, 7 for 3-bit).
+constexpr int mla_flush_interval(int bits) { return bits == 2 ? 31 : 7; }
+
+/// 8->16 flush rounds between 16->32-bit flushes in the MLA scheme.
+constexpr int kSecondLevelRounds = 16;
+
+// 16-bit headroom check: each first-level flush adds at most
+// mla_flush * qmax^2 to a 16-bit lane.
+static_assert(kSecondLevelRounds * mla_flush_interval(2) * 1 * 1 <= 32767);
+static_assert(kSecondLevelRounds * mla_flush_interval(3) * 3 * 3 <= 32767);
+
+/// Micro-tile geometry of the re-designed GEMM: n_a rows of A per LD1 and
+/// n_b columns of B per LD4R (Sec. 3.2/3.3, Alg. 1).
+constexpr i64 kMr = 16;  // rows per A panel (one 16-byte LD1)
+constexpr i64 kNr = 4;   // cols per B panel (one LD4R)
+
+}  // namespace lbc::armkern

@@ -1,0 +1,140 @@
+#include "armkern/winograd23.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "armkern/gemm_lowbit.h"
+#include "common/align.h"
+#include "armsim/neon.h"
+#include "refconv/winograd_ref.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+int winograd_flush_interval(int bits) {
+  const i32 q = qmax_for_bits(bits);
+  const i32 umax = (9 * q + 2) / 4 + 1;  // rounded-weight bound
+  const i32 vmax = 4 * q;                // input-transform bound
+  const int safe = static_cast<int>(32767 / (umax * vmax));
+  return std::clamp(safe, 1, 32);
+}
+
+WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight, int bits,
+                                Tensor<i32>& out) {
+  assert(s.winograd_eligible());
+  assert(bits >= 4 && bits <= 6);
+  WinogradStats stats;
+  Ctx ctx;
+
+  const i64 oh = s.out_h(), ow = s.out_w();
+  const i64 nth = ceil_div(oh, 2), ntw = ceil_div(ow, 2);
+  const i64 tiles = s.batch * nth * ntw;
+  out = Tensor<i32>(Shape4{s.batch, s.out_c, oh, ow}, 0);
+
+  // ---- offline: transformed weights, re-laid out as 16 contiguous
+  // [out_c x in_c] matrices (weights transform offline; not tallied).
+  const Tensor<i8> u8 = ref::winograd_weight_rounded(weight, s.out_c, s.in_c);
+  std::vector<AlignedVector<i8>> u_mats(16);
+  for (int e = 0; e < 16; ++e) {
+    u_mats[static_cast<size_t>(e)].resize(static_cast<size_t>(s.out_c * s.in_c));
+    for (i64 oc = 0; oc < s.out_c; ++oc)
+      for (i64 ic = 0; ic < s.in_c; ++ic)
+        u_mats[static_cast<size_t>(e)][static_cast<size_t>(oc * s.in_c + ic)] =
+            u8.at(oc, ic, e / 4, e % 4);
+  }
+
+  // ---- input transform: V_e [in_c x tiles], int8.
+  std::vector<AlignedVector<i8>> v_mats(16);
+  for (auto& v : v_mats) v.resize(static_cast<size_t>(s.in_c * tiles));
+  for (i64 b = 0; b < s.batch; ++b)
+    for (i64 ic = 0; ic < s.in_c; ++ic)
+      for (i64 th = 0; th < nth; ++th)
+        for (i64 tw = 0; tw < ntw; ++tw) {
+          i16 d[16];
+          for (int r = 0; r < 4; ++r)
+            for (int col = 0; col < 4; ++col) {
+              const i64 ih = th * 2 + r - s.pad;
+              const i64 iw = tw * 2 + col - s.pad;
+              d[r * 4 + col] =
+                  (ih < 0 || ih >= s.in_h || iw < 0 || iw >= s.in_w)
+                      ? i16{0}
+                      : static_cast<i16>(input.at(b, ic, ih, iw));
+            }
+          i16 v[16];
+          ref::winograd_input_tile(d, v);
+          const i64 t = (b * nth + th) * ntw + tw;
+          for (int e = 0; e < 16; ++e) {
+            assert(v[e] >= -128 && v[e] <= 127);
+            i8* dst = &v_mats[static_cast<size_t>(e)]
+                             [static_cast<size_t>(ic * tiles + t)];
+            *dst = static_cast<i8>(v[e]);
+            ctx.mem(dst, 1);  // scatter store: 16 matrices, 16 cache lines
+          }
+          // Transform issue cost: 4x4 byte gather (two 8-byte loads), 32
+          // adds across 8-lane vectors, 16 single-byte scatter stores
+          // (their cache behaviour is charged by the model above; the
+          // byte-granular store issue itself is the dominant overhead —
+          // it cannot be vectorized across the 16 destination matrices).
+          ctx.tally(Op::kLd1_64, 2);
+          ctx.tally(Op::kAdd, 4);
+          ctx.tally(Op::kScalar, 16 + 8);
+          ctx.tally(Op::kLoop, 1);
+        }
+
+  // ---- 16 batched GEMMs on the SMLAL scheme.
+  const int flush = winograd_flush_interval(bits);
+  std::vector<AlignedVector<i32>> m_mats(16);
+  for (int e = 0; e < 16; ++e) {
+    auto& m_e = m_mats[static_cast<size_t>(e)];
+    m_e.resize(static_cast<size_t>(s.out_c * tiles));
+    GemmOptions opt;
+    opt.bits = 8;  // operands are transformed values; range handled by flush
+    opt.kernel = ArmKernel::kOursGemm;
+    opt.flush_override = flush;
+    const GemmStats gs =
+        gemm_s8s32(u_mats[static_cast<size_t>(e)].data(),
+                   v_mats[static_cast<size_t>(e)].data(), m_e.data(), s.out_c,
+                   tiles, s.in_c, opt);
+    ctx.counts.merge(gs.counts);
+  }
+  stats.transform_buf_elems =
+      16 * s.in_c * tiles + 16 * s.out_c * tiles * static_cast<i64>(sizeof(i32));
+
+  // ---- inverse transform.
+  for (i64 b = 0; b < s.batch; ++b)
+    for (i64 oc = 0; oc < s.out_c; ++oc)
+      for (i64 th = 0; th < nth; ++th)
+        for (i64 tw = 0; tw < ntw; ++tw) {
+          const i64 t = (b * nth + th) * ntw + tw;
+          i32 m[16];
+          for (int e = 0; e < 16; ++e) {
+            const i32* src = &m_mats[static_cast<size_t>(e)]
+                                    [static_cast<size_t>(oc * tiles + t)];
+            m[e] = *src;
+            ctx.mem(src, 4);  // gather load: 16 matrices, 16 cache lines
+          }
+          i32 y[4];
+          ref::winograd_output_tile(m, y);
+          for (int r = 0; r < 2; ++r)
+            for (int col = 0; col < 2; ++col) {
+              const i64 o_h = th * 2 + r, o_w = tw * 2 + col;
+              if (o_h >= oh || o_w >= ow) continue;
+              out.at(b, oc, o_h, o_w) = y[r * 2 + col];
+            }
+          // Inverse-transform issue cost: the 16-way gather above (cache
+          // stalls charged by the model), 24 adds across 4-lane vectors,
+          // 2x2 strided store.
+          ctx.tally(Op::kAdd, 6);
+          ctx.tally(Op::kSt1, 1);
+          ctx.tally(Op::kScalar, 16 + 8);
+          ctx.tally(Op::kLoop, 1);
+        }
+
+  stats.counts = ctx.counts;
+  return stats;
+}
+
+}  // namespace lbc::armkern

@@ -1,0 +1,39 @@
+// Optimized Winograd F(2x2, 3x3) convolution for 4-6 bit input (Sec. 3.4).
+//
+// Structure (the standard winograd-as-16-GEMMs decomposition):
+//  1. offline: transformed weights U_e = round(G g G^T) per winograd
+//     coordinate e, stored int8 (winograd-domain quantization; |U| <=
+//     round(9/4 * qmax) fits int8 for <= 6-bit weights);
+//  2. input transform: V_e = (B^T d B)_e per 4x4 tile and channel, |V| <=
+//     4*qmax <= 124 for <= 6-bit activations, stored int8;
+//  3. 16 batched GEMMs M_e[out_c x tiles] = U_e[out_c x in_c] * V_e[in_c x
+//     tiles] on the SMLAL scheme, with the flush interval recomputed from
+//     the *transformed* ranges (winograd_flush_interval below) — this is
+//     why the paper notes winograd runs on SMLAL rather than MLA, which
+//     also explains why it only pays off at 4-6 bit;
+//  4. inverse transform Y = A^T M A per tile.
+//
+// Bit-exact against ref::winograd_conv_s32(kRoundedInt8).
+#pragma once
+
+#include "armsim/counters.h"
+#include "common/conv_shape.h"
+#include "common/tensor.h"
+
+namespace lbc::armkern {
+
+/// Safe SMLAL:SADDW flush interval for the transformed operand ranges,
+/// clamped to the 4-bit unrolling factor 32.
+int winograd_flush_interval(int bits);
+
+struct WinogradStats {
+  armsim::Counters counts;
+  i64 transform_buf_elems = 0;  ///< V + M scratch (space accounting)
+};
+
+/// Requires s.winograd_eligible() and 4 <= bits <= 6.
+WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight, int bits,
+                                Tensor<i32>& out);
+
+}  // namespace lbc::armkern

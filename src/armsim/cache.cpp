@@ -1,0 +1,49 @@
+#include "armsim/cache.h"
+
+namespace lbc::armsim {
+
+bool CacheSim::Level::touch(u64 line) {
+  const auto it = where.find(line);
+  if (it == where.end()) return false;
+  lru.splice(lru.begin(), lru, it->second);
+  return true;
+}
+
+void CacheSim::Level::insert(u64 line) {
+  if (static_cast<i64>(lru.size()) >= capacity) {
+    where.erase(lru.back());
+    lru.pop_back();
+  }
+  lru.push_front(line);
+  where[line] = lru.begin();
+}
+
+MemLevel CacheSim::access_line(u64 line) {
+  ++stats_.accesses;
+  if (line == mru_line_) return MemLevel::kL1;  // streaming fast path
+  mru_line_ = line;
+  if (l1_.touch(line)) return MemLevel::kL1;
+  ++stats_.l1_misses;
+  if (l2_.touch(line)) {
+    l1_.insert(line);
+    return MemLevel::kL2;
+  }
+  ++stats_.l2_misses;
+  l2_.insert(line);
+  l1_.insert(line);
+  return MemLevel::kDram;
+}
+
+MemLevel CacheSim::access(const void* p, u64 bytes) {
+  const u64 addr = reinterpret_cast<u64>(p);
+  const u64 first = addr / kLineBytes;
+  const u64 last = (addr + (bytes ? bytes - 1 : 0)) / kLineBytes;
+  MemLevel worst = MemLevel::kL1;
+  for (u64 line = first; line <= last; ++line) {
+    const MemLevel lv = access_line(line);
+    if (static_cast<int>(lv) > static_cast<int>(worst)) worst = lv;
+  }
+  return worst;
+}
+
+}  // namespace lbc::armsim

@@ -1,0 +1,63 @@
+// Cache-hierarchy model for the emulated Cortex-A53 (Raspberry Pi 3B):
+// 32 KB L1D and 512 KB shared L2, 64-byte lines.
+//
+// Both levels are modeled FULLY ASSOCIATIVE with exact LRU. This is a
+// deliberate approximation with one decisive property: hit/miss behaviour
+// depends only on the *recency order of distinct line identities*, never on
+// absolute addresses — so the model is invariant under renaming of host
+// heap addresses, and simulation results are bit-reproducible across runs
+// even though the emulator feeds it real pointers. (A set-associative model
+// would make miss counts depend on where malloc happened to place buffers.)
+// Capacity misses — the effect that matters for the kernels here, e.g.
+// winograd's 16 scattered matrices — are captured exactly; conflict misses
+// are not, which makes the model slightly optimistic.
+//
+// A one-line MRU filter keeps the common streaming case (four 16-byte
+// loads per line) off the LRU bookkeeping path.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace lbc::armsim {
+
+enum class MemLevel { kL1, kL2, kDram };
+
+class CacheSim {
+ public:
+  static constexpr int kLineBytes = 64;
+  static constexpr i64 kL1Lines = 32 * 1024 / kLineBytes;    // 512
+  static constexpr i64 kL2Lines = 512 * 1024 / kLineBytes;   // 8192
+
+  /// Where the access hit. Spans crossing line boundaries report the worst
+  /// level among the touched lines.
+  MemLevel access(const void* p, u64 bytes);
+
+  struct Stats {
+    u64 accesses = 0;
+    u64 l1_misses = 0;  ///< served by L2
+    u64 l2_misses = 0;  ///< served by DRAM
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  MemLevel access_line(u64 line);
+
+  struct Level {
+    i64 capacity = 0;
+    std::list<u64> lru;  // front = most recent
+    std::unordered_map<u64, std::list<u64>::iterator> where;
+
+    bool touch(u64 line);   // true if present (moves to front)
+    void insert(u64 line);  // inserts at front, evicting LRU if full
+  };
+
+  Level l1_{kL1Lines, {}, {}};
+  Level l2_{kL2Lines, {}, {}};
+  u64 mru_line_ = ~u64{0};
+  Stats stats_;
+};
+
+}  // namespace lbc::armsim

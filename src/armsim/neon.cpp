@@ -1,0 +1,9 @@
+#include "armsim/neon.h"
+
+// All instruction emulations are inline in the header (they sit on the
+// hottest path of the emulator); this TU just forces a standalone compile.
+namespace lbc::armsim {
+static_assert(sizeof(int8x16) == 16);
+static_assert(sizeof(int16x8) == 16);
+static_assert(sizeof(int32x4) == 16);
+}  // namespace lbc::armsim

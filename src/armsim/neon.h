@@ -1,0 +1,269 @@
+// Functional emulation of the ARMv8.1 NEON (AdvSIMD) instructions used by
+// the paper's kernels (Sec. 2.3, 3.3): LD1 / LD4R / ST1 / SMLAL(2) / MLA /
+// SADDW(2) / SSHLL(2) / MOVI / AND / CNT / UADALP / SADALP / ADDV.
+//
+// Semantics are bit-faithful: SMLAL widens before accumulating; MLA
+// accumulates modulo 2^8 (non-saturating wrap, like the hardware), which is
+// exactly why the paper's MLA:SADDW ratio analysis matters — exceeding it
+// silently corrupts results, and the overflow property tests pin this down.
+//
+// Every instruction takes a Ctx& and tallies itself; the emulation cost is
+// one counter increment plus a fixed-size lane loop that the host compiler
+// vectorizes, so full layers run in milliseconds.
+#pragma once
+
+#include <array>
+
+#include "armsim/counters.h"
+#include "common/types.h"
+
+namespace lbc::armsim {
+
+struct int8x16 {
+  std::array<i8, 16> v{};
+};
+struct int16x8 {
+  std::array<i16, 8> v{};
+};
+struct int32x4 {
+  std::array<i32, 4> v{};
+};
+struct uint8x16 {
+  std::array<u8, 16> v{};
+};
+struct uint16x8 {
+  std::array<u16, 8> v{};
+};
+
+// ---------------------------------------------------------------------------
+// Loads / stores
+// ---------------------------------------------------------------------------
+
+/// LD1 {Vt.16B}, [Xn] — contiguous 16-byte load.
+inline int8x16 ld1_s8(Ctx& ctx, const i8* p) {
+  ctx.tally(Op::kLd1);
+  ctx.mem(p, 16);
+  int8x16 r;
+  for (int i = 0; i < 16; ++i) r.v[i] = p[i];
+  return r;
+}
+
+/// LD1 {Vt.8B}, [Xn] — 8-byte load into the low half (high half zero).
+inline int8x16 ld1_s8_64(Ctx& ctx, const i8* p) {
+  ctx.tally(Op::kLd1_64);
+  ctx.mem(p, 8);
+  int8x16 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = p[i];
+  return r;
+}
+
+inline uint8x16 ld1_u8(Ctx& ctx, const u8* p) {
+  ctx.tally(Op::kLd1);
+  ctx.mem(p, 16);
+  uint8x16 r;
+  for (int i = 0; i < 16; ++i) r.v[i] = p[i];
+  return r;
+}
+
+/// LD4R {V0.16B..V3.16B}, [Xn] — load 4 bytes, replicate each across one
+/// register. This is the single-load-replicate instruction behind the
+/// re-designed GEMM (Fig. 1b, theta_2 = 4).
+inline void ld4r_s8(Ctx& ctx, const i8* p, int8x16 out[4]) {
+  ctx.tally(Op::kLd4r);
+  ctx.mem(p, 4);
+  for (int r = 0; r < 4; ++r)
+    for (int i = 0; i < 16; ++i) out[r].v[i] = p[r];
+}
+
+/// ST1 {Vt.4S}, [Xn].
+inline void st1_s32(Ctx& ctx, const int32x4& v, i32* p) {
+  ctx.tally(Op::kSt1);
+  ctx.mem(p, 16);
+  for (int i = 0; i < 4; ++i) p[i] = v.v[i];
+}
+
+inline void st1_s8(Ctx& ctx, const int8x16& v, i8* p) {
+  ctx.tally(Op::kSt1);
+  ctx.mem(p, 16);
+  for (int i = 0; i < 16; ++i) p[i] = v.v[i];
+}
+
+// ---------------------------------------------------------------------------
+// Multiply-accumulate
+// ---------------------------------------------------------------------------
+
+/// SMLAL Vd.8H, Vn.8B, Vm.8B — widen-multiply the LOW 8 byte lanes and
+/// accumulate into a 16-bit register (wraps mod 2^16 if the paper's
+/// SMLAL:SADDW ratio were violated).
+inline void smlal_s8(Ctx& ctx, int16x8& acc, const int8x16& a, const int8x16& b) {
+  ctx.tally(Op::kSmlal8);
+  for (int i = 0; i < 8; ++i) {
+    const i32 prod = static_cast<i32>(a.v[i]) * static_cast<i32>(b.v[i]);
+    acc.v[i] = static_cast<i16>(static_cast<u16>(acc.v[i]) + static_cast<u16>(prod));
+  }
+}
+
+/// SMLAL2 Vd.8H, Vn.16B, Vm.16B — same, HIGH 8 byte lanes.
+inline void smlal2_s8(Ctx& ctx, int16x8& acc, const int8x16& a, const int8x16& b) {
+  ctx.tally(Op::kSmlal8);
+  for (int i = 0; i < 8; ++i) {
+    const i32 prod =
+        static_cast<i32>(a.v[8 + i]) * static_cast<i32>(b.v[8 + i]);
+    acc.v[i] = static_cast<i16>(static_cast<u16>(acc.v[i]) + static_cast<u16>(prod));
+  }
+}
+
+/// SMLAL Vd.4S, Vn.4H, Vm.4H — 16-bit lanes into 32-bit accumulators (the
+/// instruction ncnn's 8-bit scheme is built on).
+inline void smlal_s16(Ctx& ctx, int32x4& acc, const int16x8& a, const int16x8& b) {
+  ctx.tally(Op::kSmlal16);
+  for (int i = 0; i < 4; ++i)
+    acc.v[i] += static_cast<i32>(a.v[i]) * static_cast<i32>(b.v[i]);
+}
+
+/// SMLAL2 Vd.4S, Vn.8H, Vm.8H — high 4 halfword lanes.
+inline void smlal2_s16(Ctx& ctx, int32x4& acc, const int16x8& a, const int16x8& b) {
+  ctx.tally(Op::kSmlal16);
+  for (int i = 0; i < 4; ++i)
+    acc.v[i] += static_cast<i32>(a.v[4 + i]) * static_cast<i32>(b.v[4 + i]);
+}
+
+/// MLA Vd.16B, Vn.16B, Vm.16B — 16 byte-lane MACs, accumulating mod 2^8.
+/// Twice the per-instruction MAC width of SMLAL on byte lanes (Sec. 3.4).
+inline void mla_s8(Ctx& ctx, int8x16& acc, const int8x16& a, const int8x16& b) {
+  ctx.tally(Op::kMla8);
+  for (int i = 0; i < 16; ++i) {
+    const u8 prod = static_cast<u8>(static_cast<u8>(a.v[i]) * static_cast<u8>(b.v[i]));
+    acc.v[i] = static_cast<i8>(static_cast<u8>(static_cast<u8>(acc.v[i]) + prod));
+  }
+}
+
+/// SDOT Vd.4S, Vn.16B, Vm.16B — ARMv8.2 dot-product extension: each 32-bit
+/// lane accumulates the dot product of the corresponding four byte lanes.
+/// Not available on the paper's ARMv8.1 target (Sec. 2.3); provided for
+/// the v8.2 extension kernel (ext_sdot bench) that quantifies what the
+/// paper's 2-8-bit schemes are competing against on newer cores.
+inline void sdot_s8(Ctx& ctx, int32x4& acc, const int8x16& a, const int8x16& b) {
+  ctx.tally(Op::kSdot);
+  for (int i = 0; i < 4; ++i) {
+    i32 dot = 0;
+    for (int j = 0; j < 4; ++j)
+      dot += static_cast<i32>(a.v[4 * i + j]) * static_cast<i32>(b.v[4 * i + j]);
+    acc.v[i] += dot;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Widening adds (the SADDW family the instruction schemes flush through)
+// ---------------------------------------------------------------------------
+
+/// SADDW Vd.8H, Vn.8H, Vm.8B — accumulate sign-extended LOW byte lanes.
+inline void saddw_s8(Ctx& ctx, int16x8& acc, const int8x16& v) {
+  ctx.tally(Op::kSaddw8);
+  for (int i = 0; i < 8; ++i)
+    acc.v[i] = static_cast<i16>(acc.v[i] + static_cast<i16>(v.v[i]));
+}
+
+/// SADDW2 Vd.8H, Vn.8H, Vm.16B — HIGH byte lanes.
+inline void saddw2_s8(Ctx& ctx, int16x8& acc, const int8x16& v) {
+  ctx.tally(Op::kSaddw8);
+  for (int i = 0; i < 8; ++i)
+    acc.v[i] = static_cast<i16>(acc.v[i] + static_cast<i16>(v.v[8 + i]));
+}
+
+/// SADDW Vd.4S, Vn.4S, Vm.4H — accumulate sign-extended LOW halfword lanes.
+inline void saddw_s16(Ctx& ctx, int32x4& acc, const int16x8& v) {
+  ctx.tally(Op::kSaddw16);
+  for (int i = 0; i < 4; ++i) acc.v[i] += static_cast<i32>(v.v[i]);
+}
+
+/// SADDW2 Vd.4S, Vn.4S, Vm.8H — HIGH halfword lanes.
+inline void saddw2_s16(Ctx& ctx, int32x4& acc, const int16x8& v) {
+  ctx.tally(Op::kSaddw16);
+  for (int i = 0; i < 4; ++i) acc.v[i] += static_cast<i32>(v.v[4 + i]);
+}
+
+// ---------------------------------------------------------------------------
+// Widening moves, zeroing, register moves
+// ---------------------------------------------------------------------------
+
+/// SSHLL Vd.8H, Vn.8B, #0 — sign-extend the low 8 bytes.
+inline int16x8 sshll_s8(Ctx& ctx, const int8x16& v) {
+  ctx.tally(Op::kSshll);
+  int16x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = static_cast<i16>(v.v[i]);
+  return r;
+}
+
+/// SSHLL2 Vd.8H, Vn.16B, #0 — sign-extend the high 8 bytes.
+inline int16x8 sshll2_s8(Ctx& ctx, const int8x16& v) {
+  ctx.tally(Op::kSshll);
+  int16x8 r;
+  for (int i = 0; i < 8; ++i) r.v[i] = static_cast<i16>(v.v[8 + i]);
+  return r;
+}
+
+inline void movi_zero(Ctx& ctx, int8x16& v) {
+  ctx.tally(Op::kMovi);
+  v.v.fill(0);
+}
+inline void movi_zero(Ctx& ctx, int16x8& v) {
+  ctx.tally(Op::kMovi);
+  v.v.fill(0);
+}
+inline void movi_zero(Ctx& ctx, int32x4& v) {
+  ctx.tally(Op::kMovi);
+  v.v.fill(0);
+}
+
+/// Cost-only marker for the v-register <-> x-register spills of Alg. 1
+/// (lines 10 and 13): the emulator has unlimited registers, so the data
+/// movement is a no-op, but its cycle cost must be charged.
+inline void mov_vx(Ctx& ctx, u64 count = 1) { ctx.tally(Op::kMovVX, count); }
+
+// ---------------------------------------------------------------------------
+// Bit-serial support (the TVM popcount baseline, Sec. 6 / Fig. 9)
+// ---------------------------------------------------------------------------
+
+inline uint8x16 and_u8(Ctx& ctx, const uint8x16& a, const uint8x16& b) {
+  ctx.tally(Op::kAnd);
+  uint8x16 r;
+  for (int i = 0; i < 16; ++i) r.v[i] = static_cast<u8>(a.v[i] & b.v[i]);
+  return r;
+}
+
+/// CNT Vd.16B, Vn.16B — per-byte population count.
+inline uint8x16 cnt_u8(Ctx& ctx, const uint8x16& a) {
+  ctx.tally(Op::kCnt);
+  uint8x16 r;
+  for (int i = 0; i < 16; ++i)
+    r.v[i] = static_cast<u8>(__builtin_popcount(a.v[i]));
+  return r;
+}
+
+/// UADALP Vd.8H, Vn.16B — pairwise widening add-accumulate.
+inline void uadalp_u8(Ctx& ctx, uint16x8& acc, const uint8x16& v) {
+  ctx.tally(Op::kUadalp);
+  for (int i = 0; i < 8; ++i)
+    acc.v[i] = static_cast<u16>(acc.v[i] + v.v[2 * i] + v.v[2 * i + 1]);
+}
+
+/// SADALP Vd.4S, Vn.8H (on unsigned counts the sign never matters here).
+inline void sadalp_u16(Ctx& ctx, int32x4& acc, const uint16x8& v) {
+  ctx.tally(Op::kSadalp);
+  for (int i = 0; i < 4; ++i)
+    acc.v[i] += static_cast<i32>(v.v[2 * i]) + static_cast<i32>(v.v[2 * i + 1]);
+}
+
+/// ADDV Sd, Vn.4S — across-vector sum.
+inline i32 addv_s32(Ctx& ctx, const int32x4& v) {
+  ctx.tally(Op::kAddv);
+  return v.v[0] + v.v[1] + v.v[2] + v.v[3];
+}
+
+inline void add_s32(Ctx& ctx, int32x4& acc, const int32x4& v) {
+  ctx.tally(Op::kAdd);
+  for (int i = 0; i < 4; ++i) acc.v[i] += v.v[i];
+}
+
+}  // namespace lbc::armsim

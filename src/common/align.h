@@ -1,0 +1,56 @@
+// Cache-line-aligned allocation for every buffer the ARM emulator touches.
+//
+// The cache model identifies lines by address. With 64-byte-aligned
+// buffers, the mapping (buffer, offset) -> line is the same in every run
+// up to an injective renaming of line ids — and fully-associative LRU is
+// invariant under such renaming — so modeled cycle counts are bit-
+// reproducible even though the emulator feeds real heap pointers to the
+// cache model. (It also matches practice: NEON kernels align their packed
+// buffers.)
+#pragma once
+
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lbc {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+template <typename T, size_t Align = kCacheLineBytes>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // Required explicitly: allocator_traits cannot synthesize rebind for an
+  // allocator with a non-type template parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) {}
+
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Align});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, size_t n) {
+    (void)n;
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const {
+    return true;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace lbc

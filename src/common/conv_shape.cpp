@@ -1,0 +1,33 @@
+#include "common/conv_shape.h"
+
+#include <cstdio>
+
+namespace lbc {
+
+bool ConvShape::valid() const {
+  if (batch < 1 || in_c < 1 || in_h < 1 || in_w < 1) return false;
+  if (out_c < 1 || kernel < 1 || stride < 1 || pad < 0) return false;
+  if (in_h + 2 * pad < kernel || in_w + 2 * pad < kernel) return false;
+  if ((in_h + 2 * pad - kernel) % stride != 0 &&
+      out_h() < 1)  // non-exact strides still yield floor geometry
+    return false;
+  return out_h() >= 1 && out_w() >= 1;
+}
+
+ConvShape ConvShape::with_batch(i64 b) const {
+  ConvShape s = *this;
+  s.batch = b;
+  return s;
+}
+
+std::string describe(const ConvShape& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-7s %4lldx%-3lldx%-4lld k%lld s%lld p%lld -> %lld",
+                s.name.c_str(), static_cast<long long>(s.in_h),
+                static_cast<long long>(s.in_w), static_cast<long long>(s.in_c),
+                static_cast<long long>(s.kernel), static_cast<long long>(s.stride),
+                static_cast<long long>(s.pad), static_cast<long long>(s.out_c));
+  return buf;
+}
+
+}  // namespace lbc

@@ -1,0 +1,46 @@
+// Convolution layer geometry, shared by every backend and the layer tables.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace lbc {
+
+/// Geometry of one 2-D convolution layer. Square kernels/strides/pads only,
+/// which covers every layer the paper evaluates (1x1, 3x3, 7x7).
+struct ConvShape {
+  std::string name;  ///< layer label used in the paper's figures (e.g. "conv14")
+  i64 batch = 1;
+  i64 in_c = 0, in_h = 0, in_w = 0;
+  i64 out_c = 0;
+  i64 kernel = 0, stride = 1, pad = 0;
+
+  i64 out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  i64 out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+
+  /// GEMM view used by both backends: C[M x N] = A[M x K] * B[K x N] with
+  /// A = weights (out_c rows) and B = im2col(input).
+  i64 gemm_m() const { return out_c; }
+  i64 gemm_k() const { return in_c * kernel * kernel; }
+  i64 gemm_n() const { return batch * out_h() * out_w(); }
+
+  /// Total multiply-accumulates for the layer.
+  i64 macs() const { return gemm_m() * gemm_n() * gemm_k(); }
+
+  /// Element counts used by the Fig. 13 space-overhead analysis.
+  i64 activation_elems() const { return batch * in_c * in_h * in_w; }
+  i64 weight_elems() const { return out_c * in_c * kernel * kernel; }
+  i64 output_elems() const { return batch * out_c * out_h() * out_w(); }
+  i64 im2col_elems() const { return gemm_k() * gemm_n(); }
+
+  bool winograd_eligible() const { return kernel == 3 && stride == 1; }
+
+  bool valid() const;
+  ConvShape with_batch(i64 b) const;
+};
+
+/// Human-readable "CxHxW k3 s1 -> Cout" summary for bench tables.
+std::string describe(const ConvShape& s);
+
+}  // namespace lbc

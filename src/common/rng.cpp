@@ -1,0 +1,32 @@
+#include "common/rng.h"
+
+namespace lbc {
+
+Tensor<i8> random_qtensor(Shape4 shape, int bits, u64 seed) {
+  Tensor<i8> t(shape);
+  Rng rng(seed);
+  const i32 lo = qmin_for_bits(bits), hi = qmax_for_bits(bits);
+  for (auto& v : t.span()) v = static_cast<i8>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor<i8> extreme_qtensor(Shape4 shape, int bits, u64 seed) {
+  Tensor<i8> t(shape);
+  Rng rng(seed);
+  const i32 hi = qmax_for_bits(bits);
+  // Mostly extremes, with random signs: worst case for accumulator range.
+  for (auto& v : t.span()) {
+    const bool neg = rng.next_u64() & 1;
+    v = static_cast<i8>(neg ? -hi : hi);
+  }
+  return t;
+}
+
+Tensor<float> random_ftensor(Shape4 shape, float lo, float hi, u64 seed) {
+  Tensor<float> t(shape);
+  Rng rng(seed);
+  for (auto& v : t.span()) v = rng.uniform_f(lo, hi);
+  return t;
+}
+
+}  // namespace lbc

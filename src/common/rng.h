@@ -1,0 +1,51 @@
+// Deterministic pseudo-random generation for synthetic quantized tensors.
+//
+// Every experiment in the paper runs on quantized weights/activations whose
+// *values* do not affect kernel run time; what matters for correctness tests
+// is covering the exact legal range of each bit width (including the
+// adversarial extremes that the instruction schemes' overflow analysis
+// depends on). SplitMix64 keeps runs reproducible across platforms.
+#pragma once
+
+#include "common/tensor.h"
+#include "common/types.h"
+
+namespace lbc {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  u64 next_u64() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  i32 uniform(i32 lo, i32 hi) {
+    return lo + static_cast<i32>(next_u64() % static_cast<u64>(hi - lo + 1));
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform_f(float lo, float hi) {
+    return lo + (hi - lo) * static_cast<float>(next_u64() >> 40) /
+                    static_cast<float>(1 << 24);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Fill with uniform values over the adjusted symmetric b-bit range.
+Tensor<i8> random_qtensor(Shape4 shape, int bits, u64 seed);
+
+/// Fill with the overflow-adversarial pattern: alternating +/- qmax, which
+/// maximizes |accumulator| growth in the SMLAL/MLA schemes.
+Tensor<i8> extreme_qtensor(Shape4 shape, int bits, u64 seed);
+
+/// Uniform float tensor in [lo, hi).
+Tensor<float> random_ftensor(Shape4 shape, float lo, float hi, u64 seed);
+
+}  // namespace lbc

@@ -1,0 +1,7 @@
+#include "common/tensor.h"
+
+// Header-only implementation; this TU exists so the library has an archive
+// member and the header is compiled standalone at least once.
+namespace lbc {
+static_assert(Shape4{2, 3, 4, 5}.elems() == 120);
+}  // namespace lbc

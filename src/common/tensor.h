@@ -1,0 +1,80 @@
+// Minimal owning dense tensor with NCHW convention, plus flat views.
+//
+// The library deliberately avoids a heavyweight tensor abstraction: kernels
+// operate on raw pointers with explicit strides, and Tensor<T> exists to own
+// storage, carry a shape, and offer bounds-checked indexing in tests.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/align.h"
+#include "common/types.h"
+
+namespace lbc {
+
+/// Shape of a rank-4 tensor in NCHW order. Rank-2 matrices use (1,1,rows,cols).
+struct Shape4 {
+  i64 n = 1, c = 1, h = 1, w = 1;
+
+  constexpr i64 elems() const { return n * c * h * w; }
+  bool operator==(const Shape4&) const = default;
+};
+
+template <typename T>
+class Tensor {
+ public:
+  /// Default tensor is empty (zero elements), not a 1x1x1x1 scalar.
+  Tensor() : shape_{0, 0, 0, 0} {}
+  explicit Tensor(Shape4 s) : shape_(s), data_(static_cast<size_t>(s.elems())) {}
+  Tensor(Shape4 s, T fill)
+      : shape_(s), data_(static_cast<size_t>(s.elems()), fill) {}
+
+  const Shape4& shape() const { return shape_; }
+  i64 elems() const { return shape_.elems(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+
+  /// Bounds-checked NCHW access (assert in debug; used heavily in tests).
+  T& at(i64 n, i64 c, i64 h, i64 w) {
+    return data_[static_cast<size_t>(index(n, c, h, w))];
+  }
+  const T& at(i64 n, i64 c, i64 h, i64 w) const {
+    return data_[static_cast<size_t>(index(n, c, h, w))];
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool operator==(const Tensor& o) const {
+    return shape_ == o.shape_ && data_ == o.data_;
+  }
+
+ private:
+  i64 index(i64 n, i64 c, i64 h, i64 w) const {
+    assert(n >= 0 && n < shape_.n && c >= 0 && c < shape_.c);
+    assert(h >= 0 && h < shape_.h && w >= 0 && w < shape_.w);
+    return ((n * shape_.c + c) * shape_.h + h) * shape_.w + w;
+  }
+
+  Shape4 shape_{};
+  AlignedVector<T> data_;
+};
+
+/// Count of elementwise differences between two equally-shaped tensors;
+/// convenience for tests ("expect exactly equal" with a useful failure count).
+template <typename T>
+i64 count_mismatches(const Tensor<T>& a, const Tensor<T>& b) {
+  assert(a.shape() == b.shape());
+  i64 bad = 0;
+  auto sa = a.span(), sb = b.span();
+  for (size_t i = 0; i < sa.size(); ++i) bad += (sa[i] != sb[i]) ? 1 : 0;
+  return bad;
+}
+
+}  // namespace lbc

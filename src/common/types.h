@@ -1,0 +1,47 @@
+// Fundamental scalar aliases and small helpers shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace lbc {
+
+using i8 = std::int8_t;
+using u8 = std::uint8_t;
+using i16 = std::int16_t;
+using u16 = std::uint16_t;
+using i32 = std::int32_t;
+using u32 = std::uint32_t;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// Integer ceiling division for non-negative values.
+constexpr i64 ceil_div(i64 a, i64 b) { return (a + b - 1) / b; }
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+constexpr i64 round_up(i64 a, i64 b) { return ceil_div(a, b) * b; }
+
+/// Saturate a wide integer into [lo, hi].
+template <typename T>
+constexpr T clamp_to(i64 v, i64 lo, i64 hi) {
+  if (v < lo) v = lo;
+  if (v > hi) v = hi;
+  return static_cast<T>(v);
+}
+
+/// Saturating cast into the full range of the destination integer type.
+template <typename Dst>
+constexpr Dst sat_cast(i64 v) {
+  return clamp_to<Dst>(v, std::numeric_limits<Dst>::min(),
+                       std::numeric_limits<Dst>::max());
+}
+
+/// Symmetric quantized range for a signed b-bit type, adjusted per the
+/// paper (Sec. 3.3): values are restricted to [-(2^(b-1)-1), 2^(b-1)-1]
+/// (e.g. [-127,127] for 8-bit) so that overflow analysis of the
+/// instruction schemes holds.
+constexpr i32 qmax_for_bits(int bits) { return (1 << (bits - 1)) - 1; }
+constexpr i32 qmin_for_bits(int bits) { return -qmax_for_bits(bits); }
+
+}  // namespace lbc

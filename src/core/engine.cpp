@@ -1,0 +1,149 @@
+#include "core/engine.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lbc::core {
+
+ArmLayerResult run_arm_conv(const ConvShape& s, const Tensor<i8>& input,
+                            const Tensor<i8>& weight, int bits, ArmImpl impl,
+                            armkern::ConvAlgo algo, int threads) {
+  armkern::ArmConvOptions opt;
+  opt.bits = bits;
+  opt.threads = threads;
+  switch (impl) {
+    case ArmImpl::kOurs:
+      opt.kernel = armkern::ArmKernel::kOursGemm;
+      opt.algo = algo;
+      break;
+    case ArmImpl::kNcnn8bit:
+      // ncnn's baseline runs everything through its 8-bit path.
+      opt.kernel = armkern::ArmKernel::kNcnn;
+      opt.bits = 8;
+      opt.algo = armkern::ConvAlgo::kGemm;
+      break;
+    case ArmImpl::kTvmBitserial:
+      assert(bits <= 2);
+      opt.algo = armkern::ConvAlgo::kBitserial;
+      break;
+    case ArmImpl::kTraditionalGemm:
+      opt.kernel = armkern::ArmKernel::kTraditional;
+      opt.algo = armkern::ConvAlgo::kGemm;
+      break;
+    case ArmImpl::kSdotExt:
+      opt.kernel = armkern::ArmKernel::kSdotExt;
+      opt.algo = armkern::ConvAlgo::kGemm;
+      break;
+  }
+  const armkern::ArmConvResult r = armkern::conv2d_s32(s, input, weight, opt);
+  ArmLayerResult res;
+  res.out = r.out;
+  res.seconds = r.seconds;
+  res.cycles = r.cycles;
+  res.counts = r.counts;
+  res.space = r.space;
+  return res;
+}
+
+GpuLayerResult time_gpu_conv(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                             int bits, GpuImpl impl) {
+  gpukern::GpuConvOptions opt;
+  switch (impl) {
+    case GpuImpl::kOurs:
+      opt = gpukern::ours_options(dev, s, bits, /*profile_runs=*/true);
+      break;
+    case GpuImpl::kOursDefaultTiling:
+      opt = gpukern::ours_options(dev, s, bits, /*profile_runs=*/false);
+      break;
+    case GpuImpl::kCudnnDp4a:
+      opt = gpukern::cudnn_dp4a_options();
+      break;
+    case GpuImpl::kTensorRT:
+      opt = gpukern::tensorrt_options();
+      break;
+  }
+  const gpusim::KernelShape ks = [&] {
+    gpusim::KernelShape k = gpukern::make_kernel_shape(s, opt.bits, opt.tiling);
+    k.use_tc = opt.use_tc;
+    k.reorder_smem = opt.reorder_smem;
+    k.double_buffer = opt.double_buffer;
+    k.coalesce_eff = opt.coalesce_eff;
+    k.compute_eff = opt.compute_eff;
+    k.launch_overhead_s = opt.launch_overhead_s;
+    return k;
+  }();
+  GpuLayerResult res;
+  res.cost = gpusim::estimate_kernel(dev, ks);
+  res.seconds = res.cost.seconds;
+  res.tiling = opt.tiling;
+  return res;
+}
+
+QuantizedConv2d::QuantizedConv2d(ConvShape shape, int bits, Backend backend)
+    : shape_(std::move(shape)), bits_(bits), backend_(backend) {
+  assert(shape_.valid());
+  assert(bits_ >= 2 && bits_ <= 8);
+  if (backend_ == Backend::kGpuTU102) assert(bits_ == 4 || bits_ == 8);
+}
+
+void QuantizedConv2d::set_weights(const Tensor<float>& w,
+                                  std::span<const float> bias) {
+  assert(w.shape() ==
+         (Shape4{shape_.out_c, shape_.in_c, shape_.kernel, shape_.kernel}));
+  float absmax = 0;
+  for (float v : w.span()) absmax = std::max(absmax, std::fabs(v));
+  w_scheme_ = quant::choose_scheme(absmax, bits_);
+  w_q_ = quant::quantize(w, w_scheme_);
+  bias_f_.clear();
+  if (!bias.empty()) {
+    assert(static_cast<i64>(bias.size()) == shape_.out_c);
+    // Bias is folded in the int32 accumulator domain at scale s_in * s_w;
+    // the exact values are filled per-forward once the input scale is known.
+    bias_f_.assign(bias.begin(), bias.end());
+  }
+  has_weights_ = true;
+}
+
+Tensor<float> QuantizedConv2d::forward(const Tensor<float>& x) {
+  assert(has_weights_);
+  assert(x.shape() == (Shape4{shape_.batch, shape_.in_c, shape_.in_h, shape_.in_w}));
+  float absmax = 0;
+  for (float v : x.span()) absmax = std::max(absmax, std::fabs(v));
+  const quant::QScheme in_s = quant::choose_scheme(absmax, bits_);
+  const Tensor<i8> x_q = quant::quantize(x, in_s);
+
+  const float acc_scale = in_s.scale * w_scheme_.scale;
+  std::vector<i32> bias_q(static_cast<size_t>(shape_.out_c), 0);
+  for (size_t i = 0; i < bias_f_.size(); ++i)
+    bias_q[i] = static_cast<i32>(std::lround(bias_f_[i] / acc_scale));
+
+  if (backend_ == Backend::kArmCortexA53) {
+    const ArmLayerResult r = run_arm_conv(shape_, x_q, w_q_, bits_);
+    last_seconds_ = r.seconds;
+    Tensor<float> out(r.out.shape());
+    auto os = out.span();
+    auto as = r.out.span();
+    const Shape4 sh = r.out.shape();
+    for (i64 n = 0; n < sh.n; ++n)
+      for (i64 c = 0; c < sh.c; ++c)
+        for (i64 h = 0; h < sh.h; ++h)
+          for (i64 w = 0; w < sh.w; ++w)
+            out.at(n, c, h, w) =
+                acc_scale * static_cast<float>(r.out.at(n, c, h, w) +
+                                               bias_q[static_cast<size_t>(c)]);
+    (void)os;
+    (void)as;
+    return out;
+  }
+
+  // GPU backend: fused conv + dequantization epilogue.
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+  gpukern::GpuConvOptions opt = gpukern::ours_options(dev, shape_, bits_);
+  opt.epilogue = gpukern::Epilogue::kDequantF32;
+  const gpukern::GpuConvResult r = gpukern::conv2d(
+      dev, shape_, x_q, w_q_, bias_q, /*requant=*/nullptr, acc_scale, opt);
+  last_seconds_ = r.cost.seconds;
+  return r.out_f;
+}
+
+}  // namespace lbc::core

@@ -1,0 +1,87 @@
+// Public convolution engine API — the layer a downstream user programs
+// against. Wraps backend selection (simulated ARM Cortex-A53 or simulated
+// TU102 GPU), implementation selection (ours vs the paper's baselines), and
+// the full quantized layer flow (quantize -> conv -> re-quantize ->
+// dequantize) behind one class.
+#pragma once
+
+#include <optional>
+
+#include "armkern/conv_arm.h"
+#include "gpukern/baselines.h"
+#include "gpukern/fusion.h"
+#include "nets/nets.h"
+#include "quant/quantize.h"
+
+namespace lbc::core {
+
+enum class Backend { kArmCortexA53, kGpuTU102 };
+
+/// Which ARM implementation executes a layer.
+enum class ArmImpl {
+  kOurs,
+  kNcnn8bit,
+  kTvmBitserial,
+  kTraditionalGemm,
+  kSdotExt,  ///< ARMv8.2 SDOT kernel (extension; see bench/ext_sdot_arm)
+};
+
+/// Which GPU implementation executes a layer.
+enum class GpuImpl { kOurs, kOursDefaultTiling, kCudnnDp4a, kTensorRT };
+
+struct ArmLayerResult {
+  Tensor<i32> out;
+  double seconds = 0;
+  double cycles = 0;
+  armsim::Counters counts;
+  armkern::SpaceReport space;
+};
+
+/// Run one quantized convolution on the ARM backend (functional + timed).
+/// `algo` kAuto picks winograd for eligible 4-6-bit layers.
+ArmLayerResult run_arm_conv(const ConvShape& s, const Tensor<i8>& input,
+                            const Tensor<i8>& weight, int bits,
+                            ArmImpl impl = ArmImpl::kOurs,
+                            armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
+                            int threads = 1);
+
+struct GpuLayerResult {
+  gpusim::KernelCost cost;
+  double seconds = 0;
+  gpukern::Tiling tiling;
+};
+
+/// Time one convolution kernel on the GPU backend (cost model only; the
+/// functional executor is exercised via gpukern::conv2d directly).
+GpuLayerResult time_gpu_conv(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                             int bits, GpuImpl impl);
+
+/// High-level quantized convolution layer: owns quantized weights and
+/// schemes, runs fp32 -> fp32 with the full quantize/conv/requant/dequant
+/// chain on the selected backend. This is the quickstart-facing API.
+class QuantizedConv2d {
+ public:
+  QuantizedConv2d(ConvShape shape, int bits, Backend backend);
+
+  /// Quantize and store weights (+ optional bias). Must be called once.
+  void set_weights(const Tensor<float>& w, std::span<const float> bias = {});
+
+  /// Full forward pass. Records the modeled execution time of the conv.
+  Tensor<float> forward(const Tensor<float>& x);
+
+  double last_seconds() const { return last_seconds_; }
+  int bits() const { return bits_; }
+  const ConvShape& shape() const { return shape_; }
+
+ private:
+  ConvShape shape_;
+  int bits_;
+  Backend backend_;
+  quant::QScheme w_scheme_;
+  Tensor<i8> w_q_;
+  std::vector<float> bias_f_;
+  bool has_weights_ = false;
+  double last_seconds_ = 0;
+};
+
+}  // namespace lbc::core

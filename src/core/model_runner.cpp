@@ -1,0 +1,46 @@
+#include "core/model_runner.h"
+
+#include "common/rng.h"
+#include "refconv/conv_ref.h"
+
+namespace lbc::core {
+
+ModelRunReport run_model(std::span<const ConvShape> layers,
+                         const ModelRunOptions& opt) {
+  ModelRunReport rep;
+  u64 seed = opt.seed;
+  for (const ConvShape& s : layers) {
+    const Tensor<i8> input = random_qtensor(
+        Shape4{s.batch, s.in_c, s.in_h, s.in_w}, opt.bits, seed++);
+    const Tensor<i8> weight = random_qtensor(
+        Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, opt.bits, seed++);
+
+    LayerRun run;
+    run.name = s.name;
+    if (opt.backend == Backend::kArmCortexA53) {
+      const ArmLayerResult r = run_arm_conv(s, input, weight, opt.bits,
+                                            opt.arm_impl, opt.arm_algo,
+                                            opt.threads);
+      run.seconds = r.seconds;
+      if (opt.verify) {
+        const Tensor<i32> ref = ref::conv2d_s32(s, input, weight);
+        // Winograd uses winograd-domain rounded weights; its oracle is the
+        // winograd reference, checked by dedicated tests, not here.
+        run.verified = (opt.arm_algo != armkern::ConvAlgo::kWinograd) &&
+                       count_mismatches(ref, r.out) == 0;
+      }
+    } else {
+      const GpuLayerResult r =
+          time_gpu_conv(gpusim::DeviceSpec::rtx2080ti(), s, opt.bits,
+                        opt.gpu_impl);
+      run.seconds = r.seconds;
+      run.verified = false;  // GPU functional checks live in the test suite
+    }
+    rep.total_seconds += run.seconds;
+    rep.total_macs += s.macs();
+    rep.layers.push_back(std::move(run));
+  }
+  return rep;
+}
+
+}  // namespace lbc::core

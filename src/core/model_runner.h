@@ -1,0 +1,42 @@
+// Whole-model conv-stack runner: executes every layer of a network table
+// on synthetic quantized tensors, functionally verifying each against the
+// int32 reference and accumulating modeled time. Used by examples and the
+// end-to-end tests.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace lbc::core {
+
+struct LayerRun {
+  std::string name;
+  double seconds = 0;
+  bool verified = false;  ///< bit-exact vs reference conv (if checked)
+};
+
+struct ModelRunReport {
+  std::vector<LayerRun> layers;
+  double total_seconds = 0;
+  i64 total_macs = 0;
+};
+
+struct ModelRunOptions {
+  int bits = 8;
+  Backend backend = Backend::kArmCortexA53;
+  ArmImpl arm_impl = ArmImpl::kOurs;
+  GpuImpl gpu_impl = GpuImpl::kOurs;
+  armkern::ConvAlgo arm_algo = armkern::ConvAlgo::kGemm;
+  int threads = 1;      ///< ARM row-panel workers (Pi 3B has 4 cores)
+  bool verify = false;  ///< run the reference conv per layer (slow)
+  u64 seed = 1;
+};
+
+/// Run every layer with fresh synthetic data in the adjusted bit range.
+ModelRunReport run_model(std::span<const ConvShape> layers,
+                         const ModelRunOptions& opt);
+
+}  // namespace lbc::core

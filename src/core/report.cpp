@@ -1,0 +1,67 @@
+#include "core/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lbc::core {
+
+double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (double x : v) s += std::log(x);
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+void SpeedupTable::print() const {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("baseline: %s (absolute time per layer shown in %s)\n",
+              baseline_name.c_str(), time_unit.c_str());
+  const double unit = (time_unit == "ms") ? 1e3 : 1e6;
+
+  std::printf("%-9s %12s", "layer", ("base_" + time_unit).c_str());
+  for (const auto& s : series) std::printf(" %10s", s.name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < layer_names.size(); ++i) {
+    std::printf("%-9s %12.2f", layer_names[i].c_str(),
+                baseline_seconds[i] * unit);
+    for (const auto& s : series)
+      std::printf(" %9.2fx", baseline_seconds[i] / s.seconds[i]);
+    std::printf("\n");
+  }
+
+  std::printf("-- summary (speedup vs %s) --\n", baseline_name.c_str());
+  for (const auto& s : series) {
+    std::vector<double> all, wins;
+    double mx = 0;
+    size_t mx_i = 0;
+    for (size_t i = 0; i < s.seconds.size(); ++i) {
+      const double sp = baseline_seconds[i] / s.seconds[i];
+      all.push_back(sp);
+      if (sp > 1.0) wins.push_back(sp);
+      if (sp > mx) {
+        mx = sp;
+        mx_i = i;
+      }
+    }
+    double avg = 0, avg_w = 0;
+    for (double x : all) avg += x;
+    avg /= all.empty() ? 1 : static_cast<double>(all.size());
+    for (double x : wins) avg_w += x;
+    avg_w /= wins.empty() ? 1 : static_cast<double>(wins.size());
+    std::printf(
+        "%10s: avg %.2fx | avg-among-wins %.2fx | wins %zu/%zu | max %.2fx (%s)\n",
+        s.name.c_str(), avg, avg_w, wins.size(), all.size(), mx,
+        layer_names.empty() ? "-" : layer_names[mx_i].c_str());
+  }
+}
+
+void print_environment_banner() {
+  std::printf(
+      "[simulated substrate] ARM: Cortex-A53 cost model over emulated NEON "
+      "(Raspberry Pi 3B class, 1.2 GHz); GPU: analytic TU102 model (RTX "
+      "2080Ti class, 68 SMs, 616 GB/s). See DESIGN.md for the substitution "
+      "rationale; speedup *shapes* reproduce the paper, absolute times are "
+      "modeled.\n");
+}
+
+}  // namespace lbc::core

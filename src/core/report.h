@@ -1,0 +1,38 @@
+// Table formatting shared by the benchmark binaries: each bench prints the
+// same rows/series its paper figure reports (per-layer speedups over a
+// named baseline, with the baseline's absolute time in the header column).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lbc::core {
+
+struct SpeedupTable {
+  std::string title;
+  std::string baseline_name;
+  std::string time_unit = "us";  ///< unit for the baseline column
+  std::vector<std::string> layer_names;
+  std::vector<double> baseline_seconds;
+  struct Series {
+    std::string name;
+    std::vector<double> seconds;
+  };
+  std::vector<Series> series;
+
+  void add_series(std::string name) { series.push_back({std::move(name), {}}); }
+
+  /// Print the per-layer table plus per-series summary statistics
+  /// (average speedup, average among winning layers, win count, max).
+  void print() const;
+};
+
+/// Geometric mean of a vector (empty -> 0).
+double geomean(const std::vector<double>& v);
+
+/// Simulator banner: replaces the paper's Tab. 1 hardware/software table.
+void print_environment_banner();
+
+}  // namespace lbc::core

@@ -1,0 +1,34 @@
+#include "gpukern/autotune.h"
+
+namespace lbc::gpukern {
+
+AutotuneResult autotune_tiling(const gpusim::DeviceSpec& dev,
+                               const ConvShape& s, int bits, bool use_tc,
+                               double compute_eff,
+                               i64 epilogue_bytes_per_elem) {
+  AutotuneResult res;
+  auto shape_for = [&](const Tiling& t) {
+    gpusim::KernelShape ks = make_kernel_shape(s, bits, t);
+    ks.use_tc = use_tc;
+    ks.compute_eff = compute_eff;
+    ks.epilogue_bytes_per_elem = epilogue_bytes_per_elem;
+    return ks;
+  };
+
+  res.default_cost = gpusim::estimate_kernel(dev, shape_for(default_tiling(bits)));
+
+  bool first = true;
+  for (const Tiling& t : tiling_search_space(bits)) {
+    const gpusim::KernelCost c = gpusim::estimate_kernel(dev, shape_for(t));
+    if (!c.valid) continue;
+    ++res.evaluated;
+    if (first || c.seconds < res.best_cost.seconds) {
+      res.best = t;
+      res.best_cost = c;
+      first = false;
+    }
+  }
+  return res;
+}
+
+}  // namespace lbc::gpukern

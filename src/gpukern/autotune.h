@@ -1,0 +1,28 @@
+// Tiling auto-search through simulated profile runs (paper Sec. 5.1/5.3).
+//
+// The paper generates kernel variants for many tiling-parameter
+// combinations via C++ templates and picks the best by profiling once per
+// convolution shape. Here the "profile run" is an evaluation of the
+// analytic cost model — same role, same per-shape amortization argument.
+#pragma once
+
+#include "common/conv_shape.h"
+#include "gpukern/tiling.h"
+
+namespace lbc::gpukern {
+
+struct AutotuneResult {
+  Tiling best;
+  gpusim::KernelCost best_cost;
+  gpusim::KernelCost default_cost;  ///< Fig. 11 "w/o profile" comparison
+  int evaluated = 0;                ///< legal configurations profiled
+};
+
+/// Flags mirror GpuConvOptions: the searched kernel keeps the same engine
+/// and memory-optimization switches; only the data partition varies.
+AutotuneResult autotune_tiling(const gpusim::DeviceSpec& dev,
+                               const ConvShape& s, int bits, bool use_tc,
+                               double compute_eff = 1.0,
+                               i64 epilogue_bytes_per_elem = 1);
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,56 @@
+#include "gpukern/baselines.h"
+
+namespace lbc::gpukern {
+
+GpuConvOptions cudnn_dp4a_options() {
+  GpuConvOptions o;
+  o.bits = 8;
+  o.use_tc = false;
+  o.tiling = Tiling{128, 128, 64, 32, 2, 4};
+  o.reorder_smem = false;  // strided 4-byte shared-memory access
+  o.double_buffer = true;
+  o.coalesce_eff = 0.6;    // int8x4 layout, partially coalesced
+  o.compute_eff = 1.0;
+  return o;
+}
+
+GpuConvOptions tensorrt_options() {
+  GpuConvOptions o;
+  o.bits = 8;
+  o.use_tc = true;
+  o.tiling = Tiling{128, 128, 64, 32, 2, 4};
+  o.reorder_smem = true;
+  o.double_buffer = true;
+  o.coalesce_eff = 0.9;
+  o.compute_eff = 1.15;        // SASS-level tuning (Sec. 5.3 discussion)
+  o.launch_overhead_s = 3e-6;  // leaner runtime
+  return o;
+}
+
+GpuConvOptions wmma_options(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                            int bits) {
+  GpuConvOptions o = ours_options(dev, s, bits, /*profile_runs=*/true);
+  o.double_buffer = false;  // fragment contents are opaque: no staging regs
+  o.reorder_smem = false;   // fragment load layout is fixed by the API
+  return o;
+}
+
+GpuConvOptions ours_options(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                            int bits, bool profile_runs) {
+  GpuConvOptions o;
+  o.bits = bits;
+  o.use_tc = true;
+  o.reorder_smem = true;
+  o.double_buffer = true;
+  o.coalesce_eff = 0.9;
+  o.compute_eff = 1.0;
+  if (profile_runs) {
+    const AutotuneResult r = autotune_tiling(dev, s, bits, /*use_tc=*/true);
+    o.tiling = r.best;
+  } else {
+    o.tiling = default_tiling(bits);
+  }
+  return o;
+}
+
+}  // namespace lbc::gpukern

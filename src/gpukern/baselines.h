@@ -1,0 +1,35 @@
+// Option factories for the GPU baselines the paper compares against
+// (Sec. 5.1/5.3) and for "our" autotuned kernel. All three run through the
+// same functional executor; they differ in engine (dp4a vs tensor core),
+// tiling policy, memory-optimization flags, and tuning factors — the
+// substitution rationale is in DESIGN.md Sec. 2.
+#pragma once
+
+#include "gpukern/autotune.h"
+#include "gpukern/conv_igemm.h"
+
+namespace lbc::gpukern {
+
+/// cuDNN's int8 path with dp4a (the paper's GPU baseline): CUDA-core dp4a
+/// rate, a fixed large-GEMM tiling (cuDNN's int8x4 kernels are not
+/// shape-specialized for tiny batches — exactly the behaviour the paper
+/// measures), strided shared-memory access, moderate coalescing.
+GpuConvOptions cudnn_dp4a_options();
+
+/// TensorRT's int8 kernels: tensor cores with heavily tuned SASS (modeled
+/// as a compute-efficiency bonus and lower launch overhead) but a fixed
+/// heuristic tiling — strong on common shapes, weaker on unusual ones.
+GpuConvOptions tensorrt_options();
+
+/// Our kernel with the profile-run auto-search applied for this shape.
+GpuConvOptions ours_options(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                            int bits, bool profile_runs = true);
+
+/// A WMMA-API variant of our kernel (ablation): same tiling search, but
+/// the opaque WMMA fragments forbid the register double buffer and the
+/// Fig. 5 shared-memory reordering — quantifying why the paper programs
+/// tensor cores through mma instructions instead (Sec. 2.3).
+GpuConvOptions wmma_options(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                            int bits);
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,221 @@
+#include "gpukern/conv_igemm.h"
+
+#include <cassert>
+#include <vector>
+
+#include "gpukern/precomp.h"
+#include "gpusim/mma.h"
+
+namespace lbc::gpukern {
+
+using gpusim::DeviceSpec;
+using gpusim::KernelCost;
+using gpusim::KernelShape;
+
+namespace {
+
+// Functional execution of Alg. 2 for one thread block (bm, bn): fills the
+// shared-memory tiles via the precomputed offsets, iterates KTile/KStep,
+// runs each warp's fragment through mma semantics, then applies the
+// in-place epilogue. Accumulators live per block here; on hardware they are
+// the C fragments distributed over warp registers.
+struct BlockExecutor {
+  const ConvShape& s;
+  const PrecompBuffer& pc;
+  const GpuConvOptions& opt;
+  const i8* weights;  // [M x K] row-major
+  const i8* input;
+  i64 m, n, k;
+
+  std::vector<i8> w_tile;   // [mtile][ktile]
+  std::vector<i8> x_tile;   // [ktile][ntile]
+  std::vector<i32> acc;     // [mtile][ntile]
+
+  explicit BlockExecutor(const ConvShape& sh, const PrecompBuffer& p,
+                         const GpuConvOptions& o, const i8* w, const i8* in)
+      : s(sh), pc(p), opt(o), weights(w), input(in) {
+    m = s.gemm_m();
+    n = s.gemm_n();
+    k = s.gemm_k();
+    w_tile.resize(static_cast<size_t>(opt.tiling.mtile * opt.tiling.ktile));
+    x_tile.resize(static_cast<size_t>(opt.tiling.ktile * opt.tiling.ntile));
+    acc.resize(static_cast<size_t>(opt.tiling.mtile * opt.tiling.ntile));
+  }
+
+  void run(i64 bm, i64 bn) {
+    const Tiling& t = opt.tiling;
+    std::fill(acc.begin(), acc.end(), 0);
+    const i64 ktiles = ceil_div(k, t.ktile);
+    for (i64 ko = 0; ko < ktiles; ++ko) {
+      load_tiles(bm, bn, ko);
+      // __syncthreads();
+      const int ksteps = t.ktile / t.kstep;
+      for (int ki = 0; ki < ksteps; ++ki) warp_compute(ki);
+    }
+  }
+
+  void load_tiles(i64 bm, i64 bn, i64 ko) {
+    const Tiling& t = opt.tiling;
+    // B_Tile: weights, plain coalesced loads.
+    for (int i = 0; i < t.mtile; ++i)
+      for (int p = 0; p < t.ktile; ++p) {
+        const i64 row = bm * t.mtile + i;
+        const i64 depth = ko * t.ktile + p;
+        w_tile[static_cast<size_t>(i * t.ktile + p)] =
+            (row < m && depth < k) ? weights[row * k + depth] : i8{0};
+      }
+    // A_Tile: input through the precomputed offset buffer.
+    for (int p = 0; p < t.ktile; ++p)
+      for (int j = 0; j < t.ntile; ++j) {
+        const i64 depth = ko * t.ktile + p;
+        const i64 col = bn * t.ntile + j;
+        x_tile[static_cast<size_t>(p * t.ntile + j)] =
+            (depth < k && col < n) ? pc.load(input, depth, col) : i8{0};
+      }
+  }
+
+  // One KStep: every warp multiplies its fragment through mma tiles.
+  void warp_compute(int ki) {
+    const Tiling& t = opt.tiling;
+    const int kk = gpusim::mma_k(opt.bits);
+    const int mma_steps = t.kstep / kk;
+    for (int wr = 0; wr < t.warp_rows; ++wr)
+      for (int wc = 0; wc < t.warp_cols; ++wc) {
+        const int mf = t.mtile / t.warp_rows;  // MFrag
+        const int nf = t.ntile / t.warp_cols;  // NFrag
+        for (int tm = 0; tm < mf / 8; ++tm)
+          for (int tn = 0; tn < nf / 8; ++tn)
+            for (int msx = 0; msx < mma_steps; ++msx) {
+              i8 afrag[8 * 32];
+              i8 bfrag[32 * 8];
+              const int row0 = wr * mf + tm * 8;
+              const int col0 = wc * nf + tn * 8;
+              const int p0 = ki * t.kstep + msx * kk;
+              for (int i = 0; i < 8; ++i)
+                for (int p = 0; p < kk; ++p)
+                  afrag[i * kk + p] =
+                      w_tile[static_cast<size_t>((row0 + i) * t.ktile + p0 + p)];
+              for (int p = 0; p < kk; ++p)
+                for (int j = 0; j < 8; ++j)
+                  bfrag[p * 8 + j] =
+                      x_tile[static_cast<size_t>((p0 + p) * t.ntile + col0 + j)];
+              i32 dfrag[64];
+              for (int i = 0; i < 8; ++i)
+                for (int j = 0; j < 8; ++j)
+                  dfrag[i * 8 + j] =
+                      acc[static_cast<size_t>((row0 + i) * t.ntile + col0 + j)];
+              if (opt.use_tc) {
+                if (opt.bits == 4)
+                  gpusim::mma_m8n8k32_s4(afrag, bfrag, dfrag);
+                else
+                  gpusim::mma_m8n8k16_s8(afrag, bfrag, dfrag);
+              } else {
+                // dp4a path: CUDA cores, 4-wide dot products.
+                for (int i = 0; i < 8; ++i)
+                  for (int j = 0; j < 8; ++j) {
+                    i32 a32 = dfrag[i * 8 + j];
+                    for (int p = 0; p < kk; p += 4) {
+                      i8 bq[4] = {bfrag[(p + 0) * 8 + j], bfrag[(p + 1) * 8 + j],
+                                  bfrag[(p + 2) * 8 + j], bfrag[(p + 3) * 8 + j]};
+                      a32 = gpusim::dp4a(a32, afrag + i * kk + p, bq);
+                    }
+                    dfrag[i * 8 + j] = a32;
+                  }
+              }
+              for (int i = 0; i < 8; ++i)
+                for (int j = 0; j < 8; ++j)
+                  acc[static_cast<size_t>((row0 + i) * t.ntile + col0 + j)] =
+                      dfrag[i * 8 + j];
+            }
+      }
+  }
+};
+
+KernelShape build_shape(const ConvShape& s, const GpuConvOptions& opt) {
+  KernelShape ks = make_kernel_shape(s, opt.bits, opt.tiling);
+  ks.use_tc = opt.use_tc;
+  ks.reorder_smem = opt.reorder_smem;
+  ks.double_buffer = opt.double_buffer;
+  ks.coalesce_eff = opt.coalesce_eff;
+  ks.compute_eff = opt.compute_eff;
+  ks.launch_overhead_s = opt.launch_overhead_s;
+  ks.epilogue_bytes_per_elem =
+      (opt.epilogue == Epilogue::kRequantS8) ? 1 : 4;
+  return ks;
+}
+
+}  // namespace
+
+GpuConvResult conv2d(const DeviceSpec& dev, const ConvShape& s,
+                     const Tensor<i8>& input, const Tensor<i8>& weight,
+                     std::span<const i32> bias,
+                     const quant::RequantParams* requant, float dequant_scale,
+                     const GpuConvOptions& opt,
+                     const quant::PerChannelRequant* pc_requant) {
+  assert(s.valid());
+  assert(opt.bits == 4 || opt.bits == 8);
+  GpuConvResult res;
+
+  const KernelShape ks = build_shape(s, opt);
+  res.cost = gpusim::estimate_kernel(dev, ks);
+  assert(res.cost.valid && "invalid tiling configuration");
+
+  PrecompBuffer pc(s);
+  res.precomp_bytes = pc.bytes();
+  if (!opt.functional) return res;
+
+  const i64 m = s.gemm_m(), n = s.gemm_n();
+  const Shape4 out_shape{s.batch, s.out_c, s.out_h(), s.out_w()};
+  switch (opt.epilogue) {
+    case Epilogue::kRawS32: res.out_s32 = Tensor<i32>(out_shape); break;
+    case Epilogue::kRequantS8:
+      assert(requant != nullptr || pc_requant != nullptr);
+      res.out_q = Tensor<i8>(out_shape);
+      break;
+    case Epilogue::kDequantF32: res.out_f = Tensor<float>(out_shape); break;
+  }
+
+  BlockExecutor ex(s, pc, opt, weight.data(), input.data());
+  const Tiling& t = opt.tiling;
+  const i64 ohw = s.out_h() * s.out_w();
+  for (i64 bm = 0; bm < ceil_div(m, t.mtile); ++bm)
+    for (i64 bn = 0; bn < ceil_div(n, t.ntile); ++bn) {
+      ex.run(bm, bn);
+      // In-place epilogue on the accumulators (Sec. 4.3), then store.
+      for (int i = 0; i < t.mtile; ++i)
+        for (int j = 0; j < t.ntile; ++j) {
+          const i64 row = bm * t.mtile + i;  // output channel
+          const i64 col = bn * t.ntile + j;  // (batch, oh, ow)
+          if (row >= m || col >= n) continue;
+          const i32 a = ex.acc[static_cast<size_t>(i * t.ntile + j)] +
+                        (bias.empty() ? 0 : bias[static_cast<size_t>(row)]);
+          const i64 b = col / ohw;
+          const i64 oh = (col % ohw) / s.out_w();
+          const i64 ow = col % s.out_w();
+          switch (opt.epilogue) {
+            case Epilogue::kRawS32:
+              res.out_s32.at(b, row, oh, ow) = a;
+              break;
+            case Epilogue::kRequantS8: {
+              quant::RequantParams p;
+              if (pc_requant != nullptr) {
+                p.mult = pc_requant->mult[static_cast<size_t>(row)];
+                p.clamp = pc_requant->clamp;
+              } else {
+                p = *requant;
+              }
+              if (opt.fuse_relu) p.clamp.lo = 0;  // conv+ReLU fusion
+              res.out_q.at(b, row, oh, ow) = quant::requantize_one(a, p);
+              break;
+            }
+            case Epilogue::kDequantF32:
+              res.out_f.at(b, row, oh, ow) =
+                  static_cast<float>(a) * dequant_scale;
+              break;
+          }
+        }
+    }
+  return res;
+}
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,64 @@
+// Implicit-precomp GEMM convolution on the simulated GPU (paper Alg. 2).
+//
+// The functional executor walks the exact block/warp/mma structure of the
+// kernel — shared-memory tiles filled through the precomputed offset
+// buffer, warp fragments, mma.m8n8k16.s8 / mma.m8n8k32.s4 semantics, and
+// the in-place bias + re-quantization epilogue (Sec. 4.3) — producing
+// bit-exact outputs against the reference convolution. Timing comes from
+// the analytic cost model over the same tiling parameters.
+#pragma once
+
+#include <span>
+
+#include "common/conv_shape.h"
+#include "common/tensor.h"
+#include "gpukern/tiling.h"
+#include "gpusim/cost_model.h"
+#include "quant/per_channel.h"
+#include "quant/quantize.h"
+
+namespace lbc::gpukern {
+
+enum class Epilogue {
+  kRawS32,      ///< int32 accumulators out (no fusion; feeds a requant kernel)
+  kRequantS8,   ///< in-place bias + re-quantization to int8 (Sec. 4.3)
+  kDequantF32,  ///< conv + dequantization fusion (Sec. 4.4): fp32 out
+};
+
+struct GpuConvOptions {
+  int bits = 8;  ///< 4 or 8
+  Tiling tiling;
+  bool use_tc = true;
+  bool reorder_smem = true;
+  bool double_buffer = true;
+  double coalesce_eff = 0.9;
+  double compute_eff = 1.0;
+  double launch_overhead_s = -1.0;
+  Epilogue epilogue = Epilogue::kRequantS8;
+  bool fuse_relu = false;  ///< conv + ReLU fusion: clamp range [0, qmax]
+  bool functional = true;  ///< run the executor (tests); false = cost only
+};
+
+struct GpuConvResult {
+  // Exactly one of these is populated, per the epilogue.
+  Tensor<i32> out_s32;
+  Tensor<i8> out_q;
+  Tensor<float> out_f;
+
+  gpusim::KernelCost cost;
+  i64 precomp_bytes = 0;
+};
+
+/// One convolution kernel launch. `requant` is required for kRequantS8,
+/// and its scales are also used for kDequantF32 (out = acc * s_in * s_w).
+/// If `pc_requant` is non-null it overrides `requant` with per-output-
+/// channel multipliers (per-channel weight quantization; the epilogue
+/// simply indexes the multiplier by the fragment's output channel).
+GpuConvResult conv2d(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                     const Tensor<i8>& input, const Tensor<i8>& weight,
+                     std::span<const i32> bias,
+                     const quant::RequantParams* requant, float dequant_scale,
+                     const GpuConvOptions& opt,
+                     const quant::PerChannelRequant* pc_requant = nullptr);
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,91 @@
+#include "gpukern/fusion.h"
+
+#include <cmath>
+
+namespace lbc::gpukern {
+
+using gpusim::DeviceSpec;
+
+namespace {
+
+Tensor<float> dequant_t(const Tensor<i8>& q, float scale) {
+  Tensor<float> f(q.shape());
+  auto qs = q.span();
+  auto fs = f.span();
+  for (size_t i = 0; i < qs.size(); ++i)
+    fs[i] = scale * static_cast<float>(qs[i]);
+  return f;
+}
+
+Tensor<i8> quant_t(const Tensor<float>& f, const quant::QScheme& s) {
+  return quant::quantize(f, s);
+}
+
+}  // namespace
+
+PipelineResult run_qnn_pipeline(const DeviceSpec& dev, const ConvShape& s,
+                                const Tensor<i8>& input,
+                                const Tensor<i8>& weight,
+                                std::span<const i32> bias,
+                                const quant::QScheme& in_s,
+                                const quant::QScheme& w_s,
+                                const quant::QScheme& out_s, FusionMode mode,
+                                GpuConvOptions opt) {
+  PipelineResult res;
+  const quant::RequantParams rq =
+      quant::make_requant(in_s, w_s, out_s, /*fused_relu=*/false);
+  const float acc_scale = in_s.scale * w_s.scale;
+  const i64 elems = s.output_elems();
+
+  switch (mode) {
+    case FusionMode::kNone: {
+      opt.epilogue = Epilogue::kRequantS8;
+      opt.fuse_relu = false;
+      GpuConvResult conv = conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt);
+      res.conv_seconds = conv.cost.seconds;
+      res.seconds = conv.cost.seconds;
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, 4 * elems);  // dequant
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, 4 * elems, elems);  // quant
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, elems);      // ReLU
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, 4 * elems);  // dequant
+      res.kernel_launches = 5;
+      if (opt.functional) {
+        Tensor<float> f1 = dequant_t(conv.out_q, out_s.scale);
+        Tensor<i8> q2 = quant_t(f1, out_s);
+        Tensor<i8> r = quant::relu_q(q2);
+        res.out = dequant_t(r, out_s.scale);
+      }
+      break;
+    }
+    case FusionMode::kFuseDequant: {
+      opt.epilogue = Epilogue::kDequantF32;
+      GpuConvResult conv = conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt);
+      res.conv_seconds = conv.cost.seconds;
+      res.seconds = conv.cost.seconds;
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, 4 * elems, elems);  // quant
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, elems);      // ReLU
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, 4 * elems);  // dequant
+      res.kernel_launches = 4;
+      if (opt.functional) {
+        Tensor<i8> q2 = quant_t(conv.out_f, out_s);
+        Tensor<i8> r = quant::relu_q(q2);
+        res.out = dequant_t(r, out_s.scale);
+      }
+      break;
+    }
+    case FusionMode::kFuseRelu: {
+      opt.epilogue = Epilogue::kRequantS8;
+      opt.fuse_relu = true;  // clamp range [0, qmax] inside re-quantization
+      GpuConvResult conv = conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt);
+      res.conv_seconds = conv.cost.seconds;
+      res.seconds = conv.cost.seconds;
+      res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, 4 * elems);  // dequant
+      res.kernel_launches = 2;
+      if (opt.functional) res.out = dequant_t(conv.out_q, out_s.scale);
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,48 @@
+// Quantization-fusion pipelines (paper Sec. 4.4, Fig. 12).
+//
+// The QNN layer sequence around a convolution is
+//   quantize -> conv (+re-quantize) -> dequantize -> quantize -> ReLU
+//   -> dequantize
+// and the paper evaluates two fusions:
+//  * conv + dequantization: the conv epilogue writes fp32 directly,
+//    eliminating the int8 intermediate and one kernel launch;
+//  * conv + ReLU: re-quantization clamps to [0, qmax], eliminating the
+//    dequantize/quantize pair AND the ReLU kernel (three launches).
+//
+// Functional note: the conv+ReLU fusion is bit-exact against the unfused
+// chain (quant(dequant(q)) round-trips exactly and clamp-at-zero commutes);
+// the conv+dequant fusion is *more accurate* than the unfused chain (it
+// skips an int8 rounding), so its output matches within one quantization
+// step — both facts are pinned by tests.
+#pragma once
+
+#include "gpukern/conv_igemm.h"
+
+namespace lbc::gpukern {
+
+enum class FusionMode {
+  kNone,         ///< conv->s8, dequant, quant, ReLU, dequant (5 kernels)
+  kFuseDequant,  ///< conv->fp32 fused, quant, ReLU, dequant   (4 kernels)
+  kFuseRelu,     ///< conv->s8 with ReLU clamp, dequant        (2 kernels)
+};
+
+struct PipelineResult {
+  Tensor<float> out;  ///< final fp32 activations
+  double seconds = 0; ///< modeled end-to-end time
+  double conv_seconds = 0;
+  int kernel_launches = 0;
+};
+
+/// Run (functionally and in the cost model) the post-conv chain under the
+/// given fusion mode. `opt` carries the conv tiling/engine flags; its
+/// epilogue/fuse_relu fields are overridden per the fusion mode.
+PipelineResult run_qnn_pipeline(const gpusim::DeviceSpec& dev,
+                                const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight,
+                                std::span<const i32> bias,
+                                const quant::QScheme& in_s,
+                                const quant::QScheme& w_s,
+                                const quant::QScheme& out_s, FusionMode mode,
+                                GpuConvOptions opt);
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,44 @@
+#include "gpukern/precomp.h"
+
+namespace lbc::gpukern {
+
+PrecompBuffer::PrecompBuffer(const ConvShape& s) {
+  in_h_ = s.in_h;
+  in_w_ = s.in_w;
+  const i64 K = s.gemm_k(), N = s.gemm_n();
+  k_off_.resize(static_cast<size_t>(K));
+  kh_.resize(static_cast<size_t>(K));
+  kw_.resize(static_cast<size_t>(K));
+  for (i64 k = 0; k < K; ++k) {
+    const i64 ic = k / (s.kernel * s.kernel);
+    const i64 kh = (k / s.kernel) % s.kernel;
+    const i64 kw = k % s.kernel;
+    // The -pad terms keep g(k) + h(n) equal to the true flat index
+    // ((b*C + ic)*H + oh*stride + kh - pad)*W + ow*stride + kw - pad.
+    k_off_[static_cast<size_t>(k)] =
+        ic * s.in_h * s.in_w + (kh - s.pad) * s.in_w + (kw - s.pad);
+    kh_[static_cast<size_t>(k)] = static_cast<i32>(kh - s.pad);
+    kw_[static_cast<size_t>(k)] = static_cast<i32>(kw - s.pad);
+  }
+  n_off_.resize(static_cast<size_t>(N));
+  ih_base_.resize(static_cast<size_t>(N));
+  iw_base_.resize(static_cast<size_t>(N));
+  const i64 ohw = s.out_h() * s.out_w();
+  for (i64 n = 0; n < N; ++n) {
+    const i64 b = n / ohw;
+    const i64 oh = (n % ohw) / s.out_w();
+    const i64 ow = n % s.out_w();
+    n_off_[static_cast<size_t>(n)] = b * s.in_c * s.in_h * s.in_w +
+                                     oh * s.stride * s.in_w + ow * s.stride;
+    ih_base_[static_cast<size_t>(n)] = static_cast<i32>(oh * s.stride);
+    iw_base_[static_cast<size_t>(n)] = static_cast<i32>(ow * s.stride);
+  }
+}
+
+i64 PrecompBuffer::bytes() const {
+  // As stored on device: 32-bit offsets plus 16-bit coordinates.
+  return static_cast<i64>(k_off_.size()) * (4 + 2 + 2) +
+         static_cast<i64>(n_off_.size()) * (4 + 2 + 2);
+}
+
+}  // namespace lbc::gpukern

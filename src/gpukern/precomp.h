@@ -1,0 +1,45 @@
+// Implicit-precomp GEMM offset buffer (paper Sec. 4.2).
+//
+// The im2col matrix element (k, n) maps to input offset g(k) + h(n) when in
+// bounds: with k = (ic, kh, kw) and n = (b, oh, ow),
+//   g(k) = ic*H*W + kh*W + kw
+//   h(n) = b*C*H*W + oh*stride*W + ow*stride
+// so the precomputed buffer stores K + N offsets (plus the per-k and per-n
+// coordinates needed for the padding bounds check) instead of K*N pointers
+// — this is why the paper's buffer is only 0.5 KB to 50 KB (Sec. 5.4), and
+// why it "only needs to be done once for a specific shape".
+#pragma once
+
+#include <vector>
+
+#include "common/conv_shape.h"
+#include "common/types.h"
+
+namespace lbc::gpukern {
+
+class PrecompBuffer {
+ public:
+  explicit PrecompBuffer(const ConvShape& s);
+
+  /// Load im2col element (k, n) from the raw input tensor, honoring padding.
+  i8 load(const i8* input, i64 k, i64 n) const {
+    const i64 ih = ih_base_[static_cast<size_t>(n)] + kh_[static_cast<size_t>(k)];
+    const i64 iw = iw_base_[static_cast<size_t>(n)] + kw_[static_cast<size_t>(k)];
+    if (ih < 0 || ih >= in_h_ || iw < 0 || iw >= in_w_) return 0;
+    return input[k_off_[static_cast<size_t>(k)] + n_off_[static_cast<size_t>(n)]];
+  }
+
+  /// Size of the buffer as it would sit in GPU global memory.
+  i64 bytes() const;
+
+  i64 k_extent() const { return static_cast<i64>(k_off_.size()); }
+  i64 n_extent() const { return static_cast<i64>(n_off_.size()); }
+
+ private:
+  std::vector<i64> k_off_, n_off_;
+  std::vector<i32> kh_, kw_;        // per-k kernel coordinates
+  std::vector<i32> ih_base_, iw_base_;  // per-n output-pixel bases
+  i64 in_h_ = 0, in_w_ = 0;
+};
+
+}  // namespace lbc::gpukern

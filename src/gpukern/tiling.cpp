@@ -1,0 +1,51 @@
+#include "gpukern/tiling.h"
+
+namespace lbc::gpukern {
+
+Tiling default_tiling(int bits) {
+  Tiling t;  // 128x128x64, 2x4 warps
+  t.kstep = (bits == 4) ? 64 : 32;
+  return t;
+}
+
+std::vector<Tiling> tiling_search_space(int bits) {
+  std::vector<Tiling> out;
+  const int kstep_a = gpusim::mma_k(bits);       // 16 or 32
+  const int kstep_b = 2 * kstep_a;
+  for (int mtile : {16, 32, 64, 128, 256})
+    for (int ntile : {16, 32, 64, 128, 256})
+      for (int ktile : {32, 64, 128})
+        for (int kstep : {kstep_a, kstep_b})
+          for (auto [wr, wc] : {std::pair{1, 1}, {2, 1}, {1, 2}, {2, 2},
+                                 {4, 2}, {2, 4}, {4, 4}}) {
+            if (ktile % kstep != 0) continue;
+            if (mtile % (8 * wr) != 0 || ntile % (8 * wc) != 0) continue;
+            Tiling t;
+            t.mtile = mtile;
+            t.ntile = ntile;
+            t.ktile = ktile;
+            t.kstep = kstep;
+            t.warp_rows = wr;
+            t.warp_cols = wc;
+            out.push_back(t);
+          }
+  return out;
+}
+
+gpusim::KernelShape make_kernel_shape(const ConvShape& s, int bits,
+                                      const Tiling& t) {
+  gpusim::KernelShape ks;
+  ks.m = s.gemm_m();
+  ks.n = s.gemm_n();
+  ks.k = s.gemm_k();
+  ks.bits = bits;
+  ks.mtile = t.mtile;
+  ks.ntile = t.ntile;
+  ks.ktile = t.ktile;
+  ks.kstep = t.kstep;
+  ks.warp_rows = t.warp_rows;
+  ks.warp_cols = t.warp_cols;
+  return ks;
+}
+
+}  // namespace lbc::gpukern

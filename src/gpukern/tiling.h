@@ -1,0 +1,32 @@
+// Tiling parameter sets for the GPU data-partition mechanism (Sec. 4.2)
+// and the auto-search space used by the profile runs (Sec. 5.1, Fig. 11).
+#pragma once
+
+#include <vector>
+
+#include "common/conv_shape.h"
+#include "gpusim/cost_model.h"
+
+namespace lbc::gpukern {
+
+struct Tiling {
+  int mtile = 128, ntile = 128, ktile = 64, kstep = 32;
+  int warp_rows = 2, warp_cols = 4;
+
+  bool operator==(const Tiling&) const = default;
+};
+
+/// The Fig. 11 "w/o profile" configuration: a large-GEMM tiling "selected
+/// based on programmer experience", good for big batches, poor for batch 1.
+Tiling default_tiling(int bits);
+
+/// Enumerated search space for the auto-search. All combinations are
+/// legality-filtered by gpusim::config_valid at evaluation time.
+std::vector<Tiling> tiling_search_space(int bits);
+
+/// Assemble the cost-model kernel descriptor for a convolution executed
+/// with this tiling (GEMM view: M = out_c, N = batch*oh*ow, K = c*k*k).
+gpusim::KernelShape make_kernel_shape(const ConvShape& s, int bits,
+                                      const Tiling& t);
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,73 @@
+#include "gpukern/tuning_cache.h"
+
+#include <sstream>
+
+namespace lbc::gpukern {
+
+std::optional<Tiling> TuningCache::lookup(const TuningKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Tiling TuningCache::get_or_search(const gpusim::DeviceSpec& dev,
+                                  const ConvShape& s, int bits, bool use_tc) {
+  const TuningKey key{s.gemm_m(), s.gemm_n(), s.gemm_k(), bits, use_tc};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  const AutotuneResult r = autotune_tiling(dev, s, bits, use_tc);
+  put(key, r.best);
+  return r.best;
+}
+
+void TuningCache::put(const TuningKey& key, const Tiling& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = t;
+}
+
+size_t TuningCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string TuningCache::serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [k, t] : entries_)
+    out << k.m << ' ' << k.n << ' ' << k.k << ' ' << k.bits << ' '
+        << (k.use_tc ? 1 : 0) << ' ' << t.mtile << ' ' << t.ntile << ' '
+        << t.ktile << ' ' << t.kstep << ' ' << t.warp_rows << ' '
+        << t.warp_cols << '\n';
+  return out.str();
+}
+
+int TuningCache::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int accepted = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    TuningKey k;
+    Tiling t;
+    int tc = 1;
+    if (!(ls >> k.m >> k.n >> k.k >> k.bits >> tc >> t.mtile >> t.ntile >>
+          t.ktile >> t.kstep >> t.warp_rows >> t.warp_cols))
+      continue;  // skip corrupt lines
+    if (k.m <= 0 || k.n <= 0 || k.k <= 0) continue;
+    if (t.mtile <= 0 || t.ntile <= 0 || t.ktile <= 0 || t.kstep <= 0) continue;
+    k.use_tc = (tc != 0);
+    put(k, t);
+    ++accepted;
+  }
+  return accepted;
+}
+
+}  // namespace lbc::gpukern

@@ -1,0 +1,52 @@
+// Persistent cache of auto-searched tiling parameters, keyed by the GEMM
+// view of the convolution. The paper notes "the optimal tiling parameters
+// only need to be determined once per convolution shape" (Sec. 5.1); this
+// is the library piece that makes the amortization real across process
+// runs — a deployment runs the profile search once and ships the cache.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "gpukern/autotune.h"
+
+namespace lbc::gpukern {
+
+struct TuningKey {
+  i64 m = 0, n = 0, k = 0;
+  int bits = 8;
+  bool use_tc = true;
+
+  auto operator<=>(const TuningKey&) const = default;
+};
+
+class TuningCache {
+ public:
+  /// Cached tiling for a key, if the search ran before.
+  std::optional<Tiling> lookup(const TuningKey& key) const;
+
+  /// Cached tiling, running (and storing) the auto-search on a miss.
+  Tiling get_or_search(const gpusim::DeviceSpec& dev, const ConvShape& s,
+                       int bits, bool use_tc);
+
+  void put(const TuningKey& key, const Tiling& t);
+
+  size_t size() const;
+  i64 hits() const { return hits_; }
+  i64 misses() const { return misses_; }
+
+  /// Text round trip: "m n k bits use_tc mtile ntile ktile kstep wr wc"
+  /// per line. Unknown/corrupt lines are skipped on load.
+  std::string serialize() const;
+  /// Merge entries from serialized text; returns entries accepted.
+  int deserialize(const std::string& text);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<TuningKey, Tiling> entries_;
+  i64 hits_ = 0, misses_ = 0;
+};
+
+}  // namespace lbc::gpukern

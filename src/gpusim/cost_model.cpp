@@ -1,0 +1,154 @@
+#include "gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/smem.h"
+
+namespace lbc::gpusim {
+namespace {
+
+double elem_bytes(int bits) { return bits == 4 ? 0.5 : 1.0; }
+
+/// Rough register pressure per thread: bookkeeping + the C fragment
+/// (int32 accumulators spread over the warp) + double-buffer staging.
+int regs_per_thread(const KernelShape& ks) {
+  const int accum = ks.mfrag() * ks.nfrag() / 32;
+  return 40 + accum + (ks.double_buffer ? 24 : 0);
+}
+
+}  // namespace
+
+bool config_valid(const DeviceSpec& dev, const KernelShape& ks,
+                  std::string* why) {
+  auto fail = [&](const char* msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  if (ks.bits != 4 && ks.bits != 8) return fail("bits must be 4 or 8");
+  if (ks.m <= 0 || ks.n <= 0 || ks.k <= 0) return fail("empty GEMM");
+  if (ks.mtile <= 0 || ks.ntile <= 0 || ks.ktile <= 0 || ks.kstep <= 0)
+    return fail("non-positive tile");
+  if (ks.mtile % (kMmaM * ks.warp_rows) != 0)
+    return fail("MTile must split across warp rows into whole mma tiles");
+  if (ks.ntile % (kMmaN * ks.warp_cols) != 0)
+    return fail("NTile must split across warp cols into whole mma tiles");
+  if (ks.ktile % ks.kstep != 0) return fail("KTile must be a KStep multiple");
+  if (ks.use_tc && ks.kstep % mma_k(ks.bits) != 0)
+    return fail("KStep must be a whole number of mma K extents");
+  if (ks.warps() > dev.max_warps_per_sm) return fail("too many warps");
+
+  const double smem =
+      (static_cast<double>(ks.mtile) * ks.ktile + static_cast<double>(ks.ktile) * ks.ntile) *
+      elem_bytes(ks.bits) * (ks.double_buffer ? 2.0 : 1.0);
+  if (smem > static_cast<double>(dev.smem_per_sm))
+    return fail("shared memory tile exceeds SM capacity");
+  const i64 regs = static_cast<i64>(regs_per_thread(ks)) * ks.warps() * 32;
+  if (regs > dev.regs_per_sm) return fail("register file exceeded");
+  return true;
+}
+
+KernelCost estimate_kernel(const DeviceSpec& dev, const KernelShape& ks) {
+  KernelCost c;
+  if (!config_valid(dev, ks, &c.why_invalid)) return c;
+  c.valid = true;
+
+  const double eb = elem_bytes(ks.bits);
+  const i64 mblocks = ceil_div(ks.m, ks.mtile);
+  const i64 nblocks = ceil_div(ks.n, ks.ntile);
+  c.blocks = mblocks * nblocks;
+  const i64 ktiles = ceil_div(ks.k, ks.ktile);
+
+  // ---- occupancy.
+  const double smem_block = (static_cast<double>(ks.mtile) * ks.ktile +
+                             static_cast<double>(ks.ktile) * ks.ntile) *
+                            eb * (ks.double_buffer ? 2.0 : 1.0);
+  const int by_smem =
+      static_cast<int>(static_cast<double>(dev.smem_per_sm) / smem_block);
+  const int by_regs = static_cast<int>(
+      dev.regs_per_sm / (static_cast<i64>(regs_per_thread(ks)) * ks.warps() * 32));
+  const int by_warps = dev.max_warps_per_sm / ks.warps();
+  c.blocks_per_sm = std::max(
+      1, std::min({dev.max_blocks_per_sm, by_smem, by_regs, by_warps}));
+  c.occupancy = std::min(
+      1.0, static_cast<double>(c.blocks_per_sm * ks.warps()) / dev.max_warps_per_sm);
+
+  // ---- per-block costs.
+  const double macs_block =
+      static_cast<double>(ks.mtile) * ks.ntile * static_cast<double>(ktiles) * ks.ktile;
+  const double rate =
+      (ks.use_tc ? (ks.bits == 4 ? dev.tc_int4_macs : dev.tc_int8_macs)
+                 : dev.dp4a_macs) *
+      ks.compute_eff;
+  const double compute_block_s = macs_block / (rate * dev.clock_hz);
+
+  const double tile_bytes = (static_cast<double>(ks.mtile) * ks.ktile +
+                             static_cast<double>(ks.ktile) * ks.ntile) * eb;
+  const double gmem_block_bytes =
+      static_cast<double>(ktiles) * tile_bytes / ks.coalesce_eff +
+      static_cast<double>(ks.mtile) * ks.ntile *
+          static_cast<double>(ks.epilogue_bytes_per_elem);
+
+  // Shared-memory loads: per warp per KStep, the A and B fragments, in
+  // 128-byte units whose instruction count and bank-conflict cycles come
+  // from the Fig. 5 access-pattern simulation; plus the gmem->smem staging
+  // stores once per KTile.
+  const double frag_bytes_per_kstep =
+      (static_cast<double>(ks.mfrag()) + static_cast<double>(ks.nfrag())) *
+      ks.kstep * eb;
+  const SmemPattern pat = simulate_fragment_access(
+      static_cast<int>(static_cast<double>(ks.ktile) * eb), ks.reorder_smem);
+  const double ksteps = static_cast<double>(ktiles) * (ks.ktile / ks.kstep);
+  // One pattern unit = 512 bytes (32 threads x 16 bytes, i.e. four mma
+  // k-chunks of the 8x16 operand tile).
+  const double units_block =
+      ks.warps() * ksteps * frag_bytes_per_kstep / 512.0;
+  const double staging_instr =
+      static_cast<double>(ktiles) * tile_bytes / (16.0 * 32.0);  // STS.128
+  double lds_block = units_block * static_cast<double>(pat.instructions) +
+                     staging_instr;
+  const double smem_cycles_block =
+      units_block * static_cast<double>(pat.cycles) + staging_instr;
+  const double smem_block_s =
+      smem_cycles_block * dev.lds_issue_cycles / dev.clock_hz;
+
+  // ---- waves.
+  const i64 concurrent = static_cast<i64>(dev.sms) * c.blocks_per_sm;
+  const i64 full_waves = c.blocks / concurrent;
+  const i64 rem = c.blocks % concurrent;
+  c.waves = static_cast<double>(full_waves) + (rem ? 1.0 : 0.0);
+
+  auto wave_time = [&](int bpsm, i64 blocks_in_wave, double repeat) {
+    const double comp = compute_block_s * bpsm;
+    const double smem = smem_block_s * bpsm;
+    const double gmem =
+        static_cast<double>(blocks_in_wave) * gmem_block_bytes / dev.gmem_bw;
+    c.compute_s += comp * repeat;
+    c.smem_s += smem * repeat;
+    c.gmem_s += gmem * repeat;
+    const double one =
+        ks.double_buffer ? std::max(comp + smem, gmem) : comp + smem + gmem;
+    return one * repeat;
+  };
+
+  double t = 0;
+  if (full_waves > 0)
+    t += wave_time(c.blocks_per_sm, concurrent, static_cast<double>(full_waves));
+  if (rem > 0)
+    t += wave_time(static_cast<int>(ceil_div(rem, dev.sms)), rem, 1.0);
+
+  c.gmem_bytes = static_cast<i64>(gmem_block_bytes * static_cast<double>(c.blocks));
+  c.lds_instructions = static_cast<i64>(lds_block * static_cast<double>(c.blocks));
+  const double launch =
+      ks.launch_overhead_s >= 0 ? ks.launch_overhead_s : dev.launch_overhead_s;
+  c.seconds = t + launch;
+  return c;
+}
+
+double elementwise_kernel_seconds(const DeviceSpec& dev, i64 bytes_read,
+                                  i64 bytes_written) {
+  const double traffic = static_cast<double>(bytes_read + bytes_written);
+  return traffic / dev.gmem_bw + dev.elementwise_launch_s;
+}
+
+}  // namespace lbc::gpusim

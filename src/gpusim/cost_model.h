@@ -1,0 +1,80 @@
+// Analytic timing model for tiled implicit-GEMM convolution kernels on the
+// simulated TU102 (see DESIGN.md Sec. 2 for the substitution argument).
+//
+// Inputs are the GEMM view of the convolution (M = out_c, N = batch*oh*ow,
+// K = in_c*kh*kw), the data-partition parameters of paper Sec. 4.2
+// (MTile/NTile/KTile/KStep, blockRow/ColWarpNum) and the memory-access
+// optimization flags of Sec. 4.3. The model composes:
+//
+//  * occupancy: blocks per SM limited by shared memory, registers, warp
+//    slots; wave quantization over 68 SMs — this is what the tiling
+//    auto-search (Fig. 11) trades against data reuse;
+//  * global memory: tile traffic (each A tile is re-read N/NTile times and
+//    vice versa) over peak bandwidth, divided by a coalescing efficiency
+//    (16-byte vectorized access vs strided access, Sec. 4.3);
+//  * shared memory: LDS instruction issue, x4 when access reordering is
+//    off (4x LDS.32 instead of 1x LDS.128, Fig. 5);
+//  * compute: MACs through the tensor-core (int8/int4) or dp4a rate;
+//  * overlap: with the register double buffer (Fig. 6) a wave costs
+//    max(compute + smem, gmem) instead of the sum;
+//  * a fixed launch overhead per kernel.
+#pragma once
+
+#include <string>
+
+#include "gpusim/device.h"
+#include "gpusim/mma.h"
+
+namespace lbc::gpusim {
+
+struct KernelShape {
+  // GEMM dims.
+  i64 m = 0, n = 0, k = 0;
+  int bits = 8;  ///< operand width: 8 or 4
+
+  // Data partition (Alg. 2 tiling parameters).
+  int mtile = 64, ntile = 64, ktile = 64, kstep = 32;
+  int warp_rows = 2, warp_cols = 2;  ///< blockRowWarpNum, blockColWarpNum
+
+  // Engine and memory-optimization switches.
+  bool use_tc = true;         ///< tensor core vs dp4a
+  bool reorder_smem = true;   ///< Fig. 5 LDS.128 reordering
+  bool double_buffer = true;  ///< Fig. 6 register double buffer
+  double coalesce_eff = 0.9;  ///< achieved fraction of peak gmem bandwidth
+  double compute_eff = 1.0;   ///< SASS-level tuning factor (TensorRT ~1.15)
+  double launch_overhead_s = -1.0;  ///< <0: use device default
+
+  i64 epilogue_bytes_per_elem = 1;  ///< output store width (int8=1, int32=4)
+
+  int warps() const { return warp_rows * warp_cols; }
+  int mfrag() const { return mtile / warp_rows; }
+  int nfrag() const { return ntile / warp_cols; }
+};
+
+struct KernelCost {
+  bool valid = false;
+  std::string why_invalid;
+
+  double seconds = 0;  ///< total, including launch overhead
+  double compute_s = 0, gmem_s = 0, smem_s = 0;
+  i64 blocks = 0;
+  int blocks_per_sm = 0;
+  double occupancy = 0;  ///< resident warps / max warps
+  double waves = 0;
+  i64 gmem_bytes = 0;        ///< total global traffic
+  i64 lds_instructions = 0;  ///< total shared-memory load instructions
+};
+
+/// Static validity of a configuration (geometry + resource fit).
+bool config_valid(const DeviceSpec& dev, const KernelShape& ks,
+                  std::string* why = nullptr);
+
+/// Timing estimate; cost.valid == false iff config_valid fails.
+KernelCost estimate_kernel(const DeviceSpec& dev, const KernelShape& ks);
+
+/// Elementwise kernel (dequantize / quantize / ReLU): memory-bound
+/// streaming over `bytes_read + bytes_written` plus launch overhead.
+double elementwise_kernel_seconds(const DeviceSpec& dev, i64 bytes_read,
+                                  i64 bytes_written);
+
+}  // namespace lbc::gpusim

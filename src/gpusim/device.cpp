@@ -1,0 +1,6 @@
+#include "gpusim/device.h"
+
+namespace lbc::gpusim {
+// Data-only header; this TU anchors the library archive.
+static_assert(sizeof(DeviceSpec) > 0);
+}  // namespace lbc::gpusim

@@ -1,0 +1,37 @@
+#include "gpusim/mma.h"
+
+#include <cassert>
+
+namespace lbc::gpusim {
+namespace {
+
+void mma_impl(const i8* a, const i8* b, i32* d, int kk) {
+  for (int i = 0; i < kMmaM; ++i)
+    for (int j = 0; j < kMmaN; ++j) {
+      i32 acc = d[i * kMmaN + j];
+      for (int p = 0; p < kk; ++p)
+        acc += static_cast<i32>(a[i * kk + p]) *
+               static_cast<i32>(b[p * kMmaN + j]);
+      d[i * kMmaN + j] = acc;
+    }
+}
+
+}  // namespace
+
+void mma_m8n8k16_s8(const i8* a, const i8* b, i32* d) { mma_impl(a, b, d, 16); }
+
+void mma_m8n8k32_s4(const i8* a, const i8* b, i32* d) {
+#ifndef NDEBUG
+  for (int i = 0; i < kMmaM * 32; ++i) assert(a[i] >= -8 && a[i] <= 7);
+  for (int i = 0; i < 32 * kMmaN; ++i) assert(b[i] >= -8 && b[i] <= 7);
+#endif
+  mma_impl(a, b, d, 32);
+}
+
+i32 dp4a(i32 acc, const i8* a, const i8* b) {
+  for (int i = 0; i < 4; ++i)
+    acc += static_cast<i32>(a[i]) * static_cast<i32>(b[i]);
+  return acc;
+}
+
+}  // namespace lbc::gpusim

@@ -1,0 +1,31 @@
+// Functional semantics of the Tensor Core mma instructions the paper's GPU
+// kernels are built on (Sec. 2.3): mma.m8n8k16.s8 and mma.m8n8k32.s4, plus
+// the dp4a CUDA-core instruction used by the cuDNN baseline.
+//
+// Fragments are plain row-major arrays here — the warp-level register
+// distribution of real mma fragments is a physical detail that does not
+// change the arithmetic, and the cost model accounts for its access costs
+// separately.
+#pragma once
+
+#include "common/types.h"
+
+namespace lbc::gpusim {
+
+/// D[8x8] += A[8x16] * B[16x8]; A row-major, B row-major (k x n), int8
+/// operands, int32 accumulate. One warp-level mma.m8n8k16.s8 instruction.
+void mma_m8n8k16_s8(const i8* a, const i8* b, i32* d);
+
+/// D[8x8] += A[8x32] * B[32x8]; operands are 4-bit values carried in i8
+/// storage (range [-8, 7] enforced by assertion). mma.m8n8k32.s4.
+void mma_m8n8k32_s4(const i8* a, const i8* b, i32* d);
+
+/// dp4a: acc + dot(a[0..3], b[0..3]) with int8 operands, int32 accumulate.
+i32 dp4a(i32 acc, const i8* a, const i8* b);
+
+/// mma geometry by operand width: K extent of one instruction.
+constexpr int mma_k(int bits) { return bits == 4 ? 32 : 16; }
+constexpr int kMmaM = 8;
+constexpr int kMmaN = 8;
+
+}  // namespace lbc::gpusim

@@ -1,0 +1,35 @@
+// Functional simulation of the shared-memory access patterns of paper
+// Fig. 5 — the "reordering memory access on shared memory" optimization.
+//
+// For each 128-byte fragment unit (one 8x16 int8 mma operand tile spread
+// over a warp), the simulator generates the actual per-thread addresses of
+// both access orders and runs them against the 32-bank, 4-byte-word shared
+// memory of the SM:
+//
+//  * strided (the "common approach", Fig. 5a): every thread issues four
+//    LDS.32 to blocks 16 bytes apart; bank conflicts depend on the tile's
+//    row stride (KTile) — power-of-two strides put same-column rows in the
+//    same bank and serialize;
+//  * reordered (Fig. 5b): the tile is re-laid so each thread issues one
+//    LDS.128 over 16 consecutive bytes — a quarter of the instructions
+//    ("the number of access instructions is reduced to one-quarter") and
+//    conflict-free by construction.
+//
+// The GPU cost model consumes these measured (instructions, cycles) pairs
+// instead of assuming constants.
+#pragma once
+
+#include "common/types.h"
+
+namespace lbc::gpusim {
+
+struct SmemPattern {
+  u64 instructions = 0;  ///< warp-level LDS instructions per 128-byte unit
+  u64 cycles = 0;        ///< issue cycles including bank-conflict replays
+};
+
+/// Simulate one warp loading a 128-byte fragment unit from a shared-memory
+/// tile with row stride `ld_bytes` (= KTile for the A operand).
+SmemPattern simulate_fragment_access(int ld_bytes, bool reordered);
+
+}  // namespace lbc::gpusim

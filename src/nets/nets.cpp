@@ -1,0 +1,116 @@
+#include "nets/nets.h"
+
+#include <algorithm>
+
+namespace lbc::nets {
+namespace {
+
+ConvShape make(const char* name, i64 in_h, i64 in_c, i64 out_c, i64 k, i64 st,
+               i64 pad) {
+  ConvShape s;
+  s.name = name;
+  s.batch = 1;
+  s.in_h = s.in_w = in_h;
+  s.in_c = in_c;
+  s.out_c = out_c;
+  s.kernel = k;
+  s.stride = st;
+  s.pad = pad;
+  return s;
+}
+
+// Distinct bottleneck conv shapes of ResNet-50 in network order; see the
+// header for why this list is pinned down by the paper's Fig. 13 numbers.
+const std::vector<ConvShape> kResNet50 = {
+    make("conv1", 56, 64, 64, 1, 1, 0),      // smallest 1x1/64ch (Sec. 5.2)
+    make("conv2", 56, 64, 64, 3, 1, 1),      // Fig. 13 max im2col 8.6034x
+    make("conv3", 56, 256, 64, 1, 1, 0),
+    make("conv4", 56, 64, 256, 1, 1, 0),
+    make("conv5", 56, 256, 128, 1, 2, 0),
+    make("conv6", 28, 128, 128, 3, 1, 1),
+    make("conv7", 28, 128, 512, 1, 1, 0),
+    make("conv8", 56, 256, 512, 1, 2, 0),    // stage-2 projection
+    make("conv9", 28, 512, 128, 1, 1, 0),
+    make("conv10", 28, 512, 256, 1, 2, 0),
+    make("conv11", 14, 256, 256, 3, 1, 1),
+    make("conv12", 14, 256, 1024, 1, 1, 0),
+    make("conv13", 28, 512, 1024, 1, 2, 0),  // stage-3 projection
+    make("conv14", 14, 1024, 256, 1, 1, 0),  // deepest-K 1x1: paper's top speedup
+    make("conv15", 14, 1024, 512, 1, 2, 0),
+    make("conv16", 7, 512, 512, 3, 1, 1),
+    make("conv17", 7, 512, 2048, 1, 1, 0),
+    make("conv18", 14, 1024, 2048, 1, 2, 0),  // Fig. 13 min im2col 1.0218x
+    make("conv19", 7, 2048, 512, 1, 1, 0),
+};
+
+// CRNAS reallocates computation across stages, producing channel counts off
+// the usual power-of-two grid (Sec. 5.5: shapes "not commonly used").
+const std::vector<ConvShape> kScrResNet50 = {
+    make("conv1", 56, 88, 88, 1, 1, 0),
+    make("conv2", 56, 88, 88, 3, 1, 1),
+    make("conv3", 56, 88, 344, 1, 1, 0),
+    make("conv4", 56, 344, 176, 1, 2, 0),
+    make("conv5", 28, 176, 176, 3, 1, 1),
+    make("conv6", 28, 176, 688, 1, 1, 0),
+    make("conv7", 28, 688, 344, 1, 2, 0),
+    make("conv8", 14, 344, 344, 3, 1, 1),
+    make("conv9", 14, 344, 1376, 1, 1, 0),
+    make("conv10", 14, 1376, 720, 1, 2, 0),
+    make("conv11", 7, 720, 720, 3, 1, 1),
+    make("conv12", 7, 720, 2880, 1, 1, 0),
+    make("conv13", 7, 2880, 720, 1, 1, 0),
+};
+
+// DenseNet-121 (growth rate 32): bottleneck 1x1 -> 128 and 3x3 128 -> 32
+// inside each block, 1x1 transitions between blocks. Representative
+// input-channel counts sampled along each block, including the paper-cited
+// 14x14x736 layer (conv11 below).
+const std::vector<ConvShape> kDenseNet121 = {
+    make("conv1", 56, 64, 128, 1, 1, 0),
+    make("conv2", 56, 128, 32, 3, 1, 1),
+    make("conv3", 56, 192, 128, 1, 1, 0),
+    make("conv4", 56, 256, 128, 1, 1, 0),   // transition 1
+    make("conv5", 28, 128, 128, 1, 1, 0),
+    make("conv6", 28, 128, 32, 3, 1, 1),
+    make("conv7", 28, 384, 128, 1, 1, 0),
+    make("conv8", 28, 512, 256, 1, 1, 0),   // transition 2
+    make("conv9", 14, 256, 128, 1, 1, 0),
+    make("conv10", 14, 128, 32, 3, 1, 1),
+    make("conv11", 14, 736, 128, 1, 1, 0),  // the Sec. 5.5 example shape
+    make("conv12", 14, 1024, 128, 1, 1, 0),
+    make("conv13", 14, 1024, 512, 1, 1, 0),  // transition 3
+    make("conv14", 7, 512, 128, 1, 1, 0),
+    make("conv15", 7, 128, 32, 3, 1, 1),
+    make("conv16", 7, 1024, 128, 1, 1, 0),
+};
+
+}  // namespace
+
+std::span<const ConvShape> resnet50_layers() { return kResNet50; }
+std::span<const ConvShape> scr_resnet50_layers() { return kScrResNet50; }
+std::span<const ConvShape> densenet121_layers() { return kDenseNet121; }
+
+std::vector<ConvShape> resnet50_winograd_layers() {
+  std::vector<ConvShape> out;
+  for (const auto& s : kResNet50)
+    if (s.winograd_eligible()) out.push_back(s);
+  return out;
+}
+
+std::vector<ConvShape> shrink_for_tests(std::span<const ConvShape> layers,
+                                        i64 max_hw, i64 max_c) {
+  std::vector<ConvShape> out;
+  for (const auto& s : layers) {
+    ConvShape t = s;
+    t.in_h = std::min(t.in_h, max_hw);
+    t.in_w = std::min(t.in_w, max_hw);
+    t.in_c = std::min(t.in_c, max_c);
+    t.out_c = std::min(t.out_c, max_c);
+    // Keep geometry valid for 3x3 layers on tiny inputs.
+    if (t.in_h + 2 * t.pad < t.kernel) t.pad = t.kernel - t.in_h;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace lbc::nets

@@ -1,0 +1,76 @@
+#include "quant/per_channel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lbc::quant {
+
+PerChannelScheme choose_per_channel(const Tensor<float>& w, int bits) {
+  const Shape4 sh = w.shape();
+  PerChannelScheme s;
+  s.bits = bits;
+  s.scales.resize(static_cast<size_t>(sh.n));
+  const float qmax = static_cast<float>(qmax_for_bits(bits));
+  for (i64 oc = 0; oc < sh.n; ++oc) {
+    float absmax = 0;
+    for (i64 ic = 0; ic < sh.c; ++ic)
+      for (i64 kh = 0; kh < sh.h; ++kh)
+        for (i64 kw = 0; kw < sh.w; ++kw)
+          absmax = std::max(absmax, std::fabs(w.at(oc, ic, kh, kw)));
+    s.scales[static_cast<size_t>(oc)] = absmax > 0 ? absmax / qmax : 1.0f;
+  }
+  return s;
+}
+
+Tensor<i8> quantize_per_channel(const Tensor<float>& w,
+                                const PerChannelScheme& s) {
+  const Shape4 sh = w.shape();
+  assert(s.scales.size() == static_cast<size_t>(sh.n));
+  Tensor<i8> q(sh);
+  for (i64 oc = 0; oc < sh.n; ++oc) {
+    const float inv = 1.0f / s.scales[static_cast<size_t>(oc)];
+    for (i64 ic = 0; ic < sh.c; ++ic)
+      for (i64 kh = 0; kh < sh.h; ++kh)
+        for (i64 kw = 0; kw < sh.w; ++kw) {
+          const i64 v = std::lround(w.at(oc, ic, kh, kw) * inv);
+          q.at(oc, ic, kh, kw) = clamp_to<i8>(v, s.qmin(), s.qmax());
+        }
+  }
+  return q;
+}
+
+PerChannelRequant make_per_channel_requant(const QScheme& in,
+                                           const PerChannelScheme& w,
+                                           const QScheme& out,
+                                           bool fused_relu) {
+  PerChannelRequant p;
+  p.mult.reserve(w.scales.size());
+  for (float sw : w.scales)
+    p.mult.push_back(make_multiplier(static_cast<double>(in.scale) *
+                                     static_cast<double>(sw) /
+                                     static_cast<double>(out.scale)));
+  p.clamp = clamp_for(out.bits, fused_relu);
+  return p;
+}
+
+Tensor<i8> requantize_per_channel(const Tensor<i32>& acc,
+                                  std::span<const i32> bias,
+                                  const PerChannelRequant& p) {
+  const Shape4 sh = acc.shape();
+  assert(p.mult.size() == static_cast<size_t>(sh.c));
+  assert(bias.empty() || bias.size() == static_cast<size_t>(sh.c));
+  Tensor<i8> out(sh);
+  for (i64 n = 0; n < sh.n; ++n)
+    for (i64 c = 0; c < sh.c; ++c) {
+      const FixedPointMultiplier m = p.mult[static_cast<size_t>(c)];
+      const i32 b = bias.empty() ? 0 : bias[static_cast<size_t>(c)];
+      for (i64 h = 0; h < sh.h; ++h)
+        for (i64 w = 0; w < sh.w; ++w) {
+          const i32 v = apply_multiplier(acc.at(n, c, h, w) + b, m);
+          out.at(n, c, h, w) = clamp_to<i8>(v, p.clamp.lo, p.clamp.hi);
+        }
+    }
+  return out;
+}
+
+}  // namespace lbc::quant

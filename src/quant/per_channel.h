@@ -1,0 +1,51 @@
+// Per-output-channel weight quantization — the scheme production QNN
+// deployments actually use for weights (one scale per filter), and a
+// natural extension of the paper's per-tensor setup. The convolution
+// kernels are unaffected (they compute raw int32 accumulators); only the
+// re-quantization epilogue changes: one fixed-point multiplier per output
+// channel instead of one per tensor.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "quant/quantize.h"
+
+namespace lbc::quant {
+
+/// One scale per output channel; values per channel are chosen so that the
+/// channel's |absmax| maps onto the b-bit grid.
+struct PerChannelScheme {
+  std::vector<float> scales;  ///< size == out_c
+  int bits = 8;
+
+  i32 qmax() const { return qmax_for_bits(bits); }
+  i32 qmin() const { return qmin_for_bits(bits); }
+};
+
+/// Build a per-channel scheme from fp32 weights [out_c, in_c, k, k].
+PerChannelScheme choose_per_channel(const Tensor<float>& w, int bits);
+
+/// Quantize weights with one scale per output channel.
+Tensor<i8> quantize_per_channel(const Tensor<float>& w,
+                                const PerChannelScheme& s);
+
+/// Per-channel requantization parameters: multiplier_c = s_in * s_w[c] /
+/// s_out for each output channel.
+struct PerChannelRequant {
+  std::vector<FixedPointMultiplier> mult;  ///< size == out_c
+  ClampRange clamp;
+};
+
+PerChannelRequant make_per_channel_requant(const QScheme& in,
+                                           const PerChannelScheme& w,
+                                           const QScheme& out,
+                                           bool fused_relu);
+
+/// Requantize accumulators [n, out_c, h, w] with per-channel multipliers
+/// and per-channel bias.
+Tensor<i8> requantize_per_channel(const Tensor<i32>& acc,
+                                  std::span<const i32> bias,
+                                  const PerChannelRequant& p);
+
+}  // namespace lbc::quant

@@ -1,0 +1,67 @@
+#include "quant/quantize.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lbc::quant {
+
+Tensor<i8> quantize(const Tensor<float>& x, const QScheme& s) {
+  Tensor<i8> q(x.shape());
+  auto xs = x.span();
+  auto qs = q.span();
+  const float inv = 1.0f / s.scale;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const i64 v = static_cast<i64>(std::lround(xs[i] * inv));
+    qs[i] = clamp_to<i8>(v, s.qmin(), s.qmax());
+  }
+  return q;
+}
+
+Tensor<float> dequantize(const Tensor<i8>& q, const QScheme& s) {
+  Tensor<float> x(q.shape());
+  auto xs = x.span();
+  auto qs = q.span();
+  for (size_t i = 0; i < qs.size(); ++i)
+    xs[i] = s.scale * static_cast<float>(qs[i]);
+  return x;
+}
+
+RequantParams make_requant(const QScheme& in, const QScheme& weight,
+                           const QScheme& out, bool fused_relu) {
+  RequantParams p;
+  const double m = static_cast<double>(in.scale) *
+                   static_cast<double>(weight.scale) /
+                   static_cast<double>(out.scale);
+  p.mult = make_multiplier(m);
+  p.clamp = clamp_for(out.bits, fused_relu);
+  return p;
+}
+
+i8 requantize_one(i32 acc, const RequantParams& p) {
+  const i32 v = apply_multiplier(acc, p.mult);
+  return clamp_to<i8>(v, p.clamp.lo, p.clamp.hi);
+}
+
+Tensor<i8> requantize(const Tensor<i32>& acc, std::span<const i32> bias,
+                      const RequantParams& p) {
+  const Shape4 sh = acc.shape();
+  assert(static_cast<i64>(bias.size()) == sh.c);
+  Tensor<i8> out(sh);
+  for (i64 n = 0; n < sh.n; ++n)
+    for (i64 c = 0; c < sh.c; ++c)
+      for (i64 h = 0; h < sh.h; ++h)
+        for (i64 w = 0; w < sh.w; ++w)
+          out.at(n, c, h, w) =
+              requantize_one(acc.at(n, c, h, w) + bias[static_cast<size_t>(c)], p);
+  return out;
+}
+
+Tensor<i8> relu_q(const Tensor<i8>& q) {
+  Tensor<i8> out(q.shape());
+  auto in = q.span();
+  auto os = out.span();
+  for (size_t i = 0; i < in.size(); ++i) os[i] = in[i] > 0 ? in[i] : i8{0};
+  return out;
+}
+
+}  // namespace lbc::quant

@@ -1,0 +1,47 @@
+#include "refconv/conv_ref.h"
+
+#include <cassert>
+
+namespace lbc::ref {
+namespace {
+
+template <typename In, typename Acc>
+Tensor<Acc> conv2d_impl(const ConvShape& s, const Tensor<In>& input,
+                        const Tensor<In>& weight) {
+  assert(s.valid());
+  assert(input.shape() == (Shape4{s.batch, s.in_c, s.in_h, s.in_w}));
+  assert(weight.shape() == (Shape4{s.out_c, s.in_c, s.kernel, s.kernel}));
+
+  Tensor<Acc> out(Shape4{s.batch, s.out_c, s.out_h(), s.out_w()}, Acc{0});
+  for (i64 n = 0; n < s.batch; ++n)
+    for (i64 oc = 0; oc < s.out_c; ++oc)
+      for (i64 oh = 0; oh < s.out_h(); ++oh)
+        for (i64 ow = 0; ow < s.out_w(); ++ow) {
+          Acc acc{0};
+          for (i64 ic = 0; ic < s.in_c; ++ic)
+            for (i64 kh = 0; kh < s.kernel; ++kh)
+              for (i64 kw = 0; kw < s.kernel; ++kw) {
+                const i64 ih = oh * s.stride + kh - s.pad;
+                const i64 iw = ow * s.stride + kw - s.pad;
+                if (ih < 0 || ih >= s.in_h || iw < 0 || iw >= s.in_w) continue;
+                acc += static_cast<Acc>(input.at(n, ic, ih, iw)) *
+                       static_cast<Acc>(weight.at(oc, ic, kh, kw));
+              }
+          out.at(n, oc, oh, ow) = acc;
+        }
+  return out;
+}
+
+}  // namespace
+
+Tensor<i32> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
+                       const Tensor<i8>& weight) {
+  return conv2d_impl<i8, i32>(s, input, weight);
+}
+
+Tensor<float> conv2d_f32(const ConvShape& s, const Tensor<float>& input,
+                         const Tensor<float>& weight) {
+  return conv2d_impl<float, float>(s, input, weight);
+}
+
+}  // namespace lbc::ref

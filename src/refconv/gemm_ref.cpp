@@ -1,0 +1,25 @@
+#include "refconv/gemm_ref.h"
+
+#include <cassert>
+
+namespace lbc::ref {
+
+void gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k) {
+  for (i64 i = 0; i < m; ++i)
+    for (i64 j = 0; j < n; ++j) {
+      i32 acc = 0;
+      for (i64 p = 0; p < k; ++p)
+        acc += static_cast<i32>(a[i * k + p]) * static_cast<i32>(b[p * n + j]);
+      c[i * n + j] = acc;
+    }
+}
+
+Tensor<i32> gemm_s8s32(const Tensor<i8>& a, const Tensor<i8>& b) {
+  const i64 m = a.shape().h, k = a.shape().w, n = b.shape().w;
+  assert(b.shape().h == k);
+  Tensor<i32> c(Shape4{1, 1, m, n});
+  gemm_s8s32(a.data(), b.data(), c.data(), m, n, k);
+  return c;
+}
+
+}  // namespace lbc::ref

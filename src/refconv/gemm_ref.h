@@ -1,0 +1,14 @@
+// Scalar reference GEMM (row-major), the oracle for all optimized GEMMs.
+#pragma once
+
+#include "common/tensor.h"
+
+namespace lbc::ref {
+
+/// C[M x N] (i32) = A[M x K] (i8) * B[K x N] (i8), all row-major.
+void gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k);
+
+/// Tensor convenience wrapper: shapes (1,1,M,K) x (1,1,K,N) -> (1,1,M,N).
+Tensor<i32> gemm_s8s32(const Tensor<i8>& a, const Tensor<i8>& b);
+
+}  // namespace lbc::ref

@@ -1,0 +1,43 @@
+#include "refconv/im2col.h"
+
+#include <cassert>
+
+namespace lbc::ref {
+
+std::vector<i64> im2col_offsets(const ConvShape& s) {
+  const i64 K = s.gemm_k(), N = s.gemm_n();
+  std::vector<i64> off(static_cast<size_t>(K * N), -1);
+  const i64 ohw = s.out_h() * s.out_w();
+  for (i64 k = 0; k < K; ++k) {
+    const i64 ic = k / (s.kernel * s.kernel);
+    const i64 kh = (k / s.kernel) % s.kernel;
+    const i64 kw = k % s.kernel;
+    for (i64 n = 0; n < N; ++n) {
+      const i64 b = n / ohw;
+      const i64 oh = (n % ohw) / s.out_w();
+      const i64 ow = n % s.out_w();
+      const i64 ih = oh * s.stride + kh - s.pad;
+      const i64 iw = ow * s.stride + kw - s.pad;
+      if (ih < 0 || ih >= s.in_h || iw < 0 || iw >= s.in_w) continue;
+      off[static_cast<size_t>(k * N + n)] =
+          ((b * s.in_c + ic) * s.in_h + ih) * s.in_w + iw;
+    }
+  }
+  return off;
+}
+
+Tensor<i8> im2col(const ConvShape& s, const Tensor<i8>& input) {
+  assert(input.shape() == (Shape4{s.batch, s.in_c, s.in_h, s.in_w}));
+  const i64 K = s.gemm_k(), N = s.gemm_n();
+  Tensor<i8> mat(Shape4{1, 1, K, N}, 0);
+  const auto off = im2col_offsets(s);
+  const i8* in = input.data();
+  i8* out = mat.data();
+  for (i64 i = 0; i < K * N; ++i) {
+    const i64 o = off[static_cast<size_t>(i)];
+    if (o >= 0) out[i] = in[o];
+  }
+  return mat;
+}
+
+}  // namespace lbc::ref

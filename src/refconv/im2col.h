@@ -1,0 +1,23 @@
+// Explicit im2col transformation (NCHW), as used by the ARM backend's
+// explicit-GEMM convolution (Sec. 2.2), plus the index computation shared
+// with the GPU backend's implicit-precomp offset buffer.
+#pragma once
+
+#include <vector>
+
+#include "common/conv_shape.h"
+#include "common/tensor.h"
+
+namespace lbc::ref {
+
+/// B[K x N] with K = in_c*k*k and N = batch*out_h*out_w, row-major,
+/// zero-filled where the receptive field falls into padding.
+Tensor<i8> im2col(const ConvShape& s, const Tensor<i8>& input);
+
+/// For each (kRow, nCol) of the im2col matrix, the flat offset into the
+/// input tensor, or -1 for padding. This is exactly what the GPU backend
+/// precomputes once per shape ("we store the offsets of elements instead of
+/// the pointers in the precomputed buffer", Sec. 4.2).
+std::vector<i64> im2col_offsets(const ConvShape& s);
+
+}  // namespace lbc::ref

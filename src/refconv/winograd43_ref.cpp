@@ -1,0 +1,126 @@
+#include "refconv/winograd43_ref.h"
+
+#include <cassert>
+#include <vector>
+
+namespace lbc::ref {
+namespace {
+
+// Canonical Lavin F(4x4, 3x3) matrices over points {0, +-1, +-2}.
+constexpr i32 kBT[6][6] = {
+    {4, 0, -5, 0, 1, 0},  {0, -4, -4, 1, 1, 0}, {0, 4, -4, -1, 1, 0},
+    {0, -2, -1, 2, 1, 0}, {0, 2, -1, -2, 1, 0}, {0, 4, 0, -5, 0, 1},
+};
+
+// 24 * G, so the weight transform stays integral; (24G) g (24G)^T = 576 U.
+constexpr i32 kG24[6][3] = {
+    {6, 0, 0}, {-4, -4, -4}, {-4, 4, -4}, {1, 2, 4}, {1, -2, 4}, {0, 0, 24},
+};
+
+constexpr i32 kAT[4][6] = {
+    {1, 1, 1, 1, 1, 0},
+    {0, 1, -1, 2, -2, 0},
+    {0, 1, 1, 4, 4, 0},
+    {0, 1, -1, 8, -8, 1},
+};
+
+}  // namespace
+
+void winograd43_weight_tile(const i8 g[9], i32 u576[36]) {
+  i32 tmp[6][3];
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 3; ++j) {
+      i32 acc = 0;
+      for (int k = 0; k < 3; ++k)
+        acc += kG24[i][k] * static_cast<i32>(g[k * 3 + j]);
+      tmp[i][j] = acc;
+    }
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) {
+      i32 acc = 0;
+      for (int k = 0; k < 3; ++k) acc += tmp[i][k] * kG24[j][k];
+      u576[i * 6 + j] = acc;
+    }
+}
+
+void winograd43_input_tile(const i32 d[36], i32 v[36]) {
+  i32 t[36];
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) {
+      i32 acc = 0;
+      for (int k = 0; k < 6; ++k) acc += kBT[i][k] * d[k * 6 + j];
+      t[i * 6 + j] = acc;
+    }
+  for (int i = 0; i < 6; ++i)
+    for (int j = 0; j < 6; ++j) {
+      i32 acc = 0;
+      for (int k = 0; k < 6; ++k) acc += t[i * 6 + k] * kBT[j][k];
+      v[i * 6 + j] = acc;
+    }
+}
+
+void winograd43_output_tile(const i64 m[36], i64 y[16]) {
+  i64 t[24];
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 6; ++j) {
+      i64 acc = 0;
+      for (int k = 0; k < 6; ++k) acc += kAT[i][k] * m[k * 6 + j];
+      t[i * 6 + j] = acc;
+    }
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      i64 acc = 0;
+      for (int k = 0; k < 6; ++k) acc += t[i * 6 + k] * kAT[j][k];
+      y[i * 4 + j] = acc;
+    }
+}
+
+Tensor<i32> winograd43_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight) {
+  assert(s.winograd_eligible());
+  const i64 oh = s.out_h(), ow = s.out_w();
+  Tensor<i32> out(Shape4{s.batch, s.out_c, oh, ow}, 0);
+
+  // Offline weight transform (int32, exact).
+  std::vector<i32> u(static_cast<size_t>(s.out_c * s.in_c * 36));
+  for (i64 oc = 0; oc < s.out_c; ++oc)
+    for (i64 ic = 0; ic < s.in_c; ++ic)
+      winograd43_weight_tile(&weight.at(oc, ic, 0, 0),
+                             u.data() + (oc * s.in_c + ic) * 36);
+
+  for (i64 b = 0; b < s.batch; ++b)
+    for (i64 oc = 0; oc < s.out_c; ++oc)
+      for (i64 th = 0; th < oh; th += 4)
+        for (i64 tw = 0; tw < ow; tw += 4) {
+          i64 msum[36] = {0};
+          for (i64 ic = 0; ic < s.in_c; ++ic) {
+            i32 d[36];
+            for (int r = 0; r < 6; ++r)
+              for (int cc = 0; cc < 6; ++cc) {
+                const i64 ih = th + r - s.pad;
+                const i64 iw = tw + cc - s.pad;
+                d[r * 6 + cc] =
+                    (ih < 0 || ih >= s.in_h || iw < 0 || iw >= s.in_w)
+                        ? 0
+                        : static_cast<i32>(input.at(b, ic, ih, iw));
+              }
+            i32 v[36];
+            winograd43_input_tile(d, v);
+            const i32* uf = u.data() + (oc * s.in_c + ic) * 36;
+            for (int i = 0; i < 36; ++i)
+              msum[i] += static_cast<i64>(uf[i]) * static_cast<i64>(v[i]);
+          }
+          i64 y[16];
+          winograd43_output_tile(msum, y);
+          for (int r = 0; r < 4; ++r)
+            for (int cc = 0; cc < 4; ++cc) {
+              const i64 o_h = th + r, o_w = tw + cc;
+              if (o_h >= oh || o_w >= ow) continue;
+              // The (24G)(24G)^T scaling contributes exactly 576.
+              out.at(b, oc, o_h, o_w) = static_cast<i32>(y[r * 4 + cc] / 576);
+            }
+        }
+  return out;
+}
+
+}  // namespace lbc::ref

@@ -1,0 +1,55 @@
+// Winograd F(4x4, 3x3) — implemented to *quantify* why the paper rejects
+// it (Sec. 3.4: "we do not apply winograd algorithm with F(4x4,3x3), due
+// to the unacceptable increment of numerical range after G and B
+// transformation").
+//
+// With the standard Lavin matrices, B^T is integral with row |.|-sums of
+// 10, so V = B^T d B grows the input range by up to 100x — storing V in
+// int8 is impossible for anything above 2-bit inputs (100 * qmax > 127
+// for qmax >= 2), and an int16 V forces the elementwise products onto
+// 16-bit SMLAL (half the MAC throughput), erasing the extra arithmetic
+// saving over F(2x2) (36 multiplies per 16 outputs = 4x, vs 2.25x).
+//
+// The exact int32 path below (weights transformed with 24*G, outputs
+// divided by 576) is bit-exact against direct convolution and serves as
+// the oracle for the analysis bench (ext_winograd43).
+#pragma once
+
+#include "common/conv_shape.h"
+#include "common/tensor.h"
+
+namespace lbc::ref {
+
+/// Max growth of the input numeric range under B^T d B (analytic bound).
+constexpr i32 kWinograd43InputGrowth = 100;
+/// Max growth of the weight numeric range under G g G^T (analytic bound).
+constexpr i32 kWinograd43WeightGrowth = 1;  // rows of G sum to <= 1
+/// F(2x2) counterparts for comparison (paper Sec. 3.4: 4x and 9/4).
+constexpr i32 kWinograd22InputGrowth = 4;
+
+/// Multiplies per output pixel per channel: direct 3x3 = 9, F(2x2) = 4,
+/// F(4x4) = 36/16 = 2.25.
+constexpr double kWinograd43MultsPerOutput = 36.0 / 16.0;
+constexpr double kWinograd22MultsPerOutput = 16.0 / 4.0;
+
+/// Whether the transformed input V of F(4x4) still fits int8 storage for
+/// b-bit activations (only true at 2 bits).
+constexpr bool winograd43_v_fits_int8(int bits) {
+  return kWinograd43InputGrowth * qmax_for_bits(bits) <= 127;
+}
+
+/// U576 = (24 G) g (24 G)^T for one 3x3 filter (int32, exact).
+void winograd43_weight_tile(const i8 g[9], i32 u576[36]);
+
+/// V = B^T d B for one 6x6 input tile (int32, exact).
+void winograd43_input_tile(const i32 d[36], i32 v[36]);
+
+/// y[4x4] = A^T m A for one 6x6 elementwise-product tile.
+void winograd43_output_tile(const i64 m[36], i64 y[16]);
+
+/// Full F(4x4,3x3) convolution in exact integer arithmetic; bit-exact
+/// equal to conv2d_s32 for any 3x3/stride-1 shape.
+Tensor<i32> winograd43_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight);
+
+}  // namespace lbc::ref

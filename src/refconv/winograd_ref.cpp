@@ -1,0 +1,140 @@
+#include "refconv/winograd_ref.h"
+
+#include <cassert>
+
+namespace lbc::ref {
+namespace {
+
+// 2*G so the weight transform stays in integers; (2G) g (2G)^T = 4 U.
+constexpr i32 kG2[4][3] = {{2, 0, 0}, {1, 1, 1}, {1, -1, 1}, {0, 0, 2}};
+
+// U4 = (2G) g (2G)^T for one 3x3 filter.
+void weight_tile_4u(const i8 g[9], i32 u4[16]) {
+  i32 tmp[4][3];  // (2G) * g
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 3; ++j) {
+      i32 acc = 0;
+      for (int k = 0; k < 3; ++k) acc += kG2[i][k] * static_cast<i32>(g[k * 3 + j]);
+      tmp[i][j] = acc;
+    }
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      i32 acc = 0;
+      for (int k = 0; k < 3; ++k) acc += tmp[i][k] * kG2[j][k];
+      u4[i * 4 + j] = acc;
+    }
+}
+
+// Round-to-nearest (ties away from zero) division by 4.
+i32 round_div4(i32 v) { return (v >= 0) ? ((v + 2) >> 2) : -((-v + 2) >> 2); }
+
+}  // namespace
+
+Tensor<i16> winograd_weight_exact(const Tensor<i8>& weight, i64 out_c, i64 in_c) {
+  assert(weight.shape() == (Shape4{out_c, in_c, 3, 3}));
+  Tensor<i16> u(Shape4{out_c, in_c, 4, 4});
+  for (i64 oc = 0; oc < out_c; ++oc)
+    for (i64 ic = 0; ic < in_c; ++ic) {
+      i32 u4[16];
+      weight_tile_4u(&weight.at(oc, ic, 0, 0), u4);
+      for (int i = 0; i < 16; ++i)
+        u.at(oc, ic, i / 4, i % 4) = static_cast<i16>(u4[i]);
+    }
+  return u;
+}
+
+Tensor<i8> winograd_weight_rounded(const Tensor<i8>& weight, i64 out_c, i64 in_c) {
+  Tensor<i16> exact = winograd_weight_exact(weight, out_c, in_c);
+  Tensor<i8> u8(exact.shape());
+  auto src = exact.span();
+  auto dst = u8.span();
+  for (size_t i = 0; i < src.size(); ++i)
+    dst[i] = sat_cast<i8>(round_div4(src[i]));
+  return u8;
+}
+
+void winograd_input_tile(const i16 d[16], i16 v[16]) {
+  // V = B^T d B with B^T = [[1,0,-1,0],[0,1,1,0],[0,-1,1,0],[0,1,0,-1]].
+  i16 t[16];  // B^T d
+  for (int j = 0; j < 4; ++j) {
+    t[0 * 4 + j] = static_cast<i16>(d[0 * 4 + j] - d[2 * 4 + j]);
+    t[1 * 4 + j] = static_cast<i16>(d[1 * 4 + j] + d[2 * 4 + j]);
+    t[2 * 4 + j] = static_cast<i16>(d[2 * 4 + j] - d[1 * 4 + j]);
+    t[3 * 4 + j] = static_cast<i16>(d[1 * 4 + j] - d[3 * 4 + j]);
+  }
+  for (int i = 0; i < 4; ++i) {
+    v[i * 4 + 0] = static_cast<i16>(t[i * 4 + 0] - t[i * 4 + 2]);
+    v[i * 4 + 1] = static_cast<i16>(t[i * 4 + 1] + t[i * 4 + 2]);
+    v[i * 4 + 2] = static_cast<i16>(t[i * 4 + 2] - t[i * 4 + 1]);
+    v[i * 4 + 3] = static_cast<i16>(t[i * 4 + 1] - t[i * 4 + 3]);
+  }
+}
+
+void winograd_output_tile(const i32 m[16], i32 y[4]) {
+  // y = A^T m A with A^T = [[1,1,1,0],[0,1,-1,-1]].
+  i32 t[8];  // A^T m  (2x4)
+  for (int j = 0; j < 4; ++j) {
+    t[0 * 4 + j] = m[0 * 4 + j] + m[1 * 4 + j] + m[2 * 4 + j];
+    t[1 * 4 + j] = m[1 * 4 + j] - m[2 * 4 + j] - m[3 * 4 + j];
+  }
+  for (int i = 0; i < 2; ++i) {
+    y[i * 2 + 0] = t[i * 4 + 0] + t[i * 4 + 1] + t[i * 4 + 2];
+    y[i * 2 + 1] = t[i * 4 + 1] - t[i * 4 + 2] - t[i * 4 + 3];
+  }
+}
+
+Tensor<i32> winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                              const Tensor<i8>& weight, WinogradWeightMode mode) {
+  assert(s.winograd_eligible());
+  assert(s.batch == 1 || s.batch >= 1);
+  const i64 oh = s.out_h(), ow = s.out_w();
+  Tensor<i32> out(Shape4{s.batch, s.out_c, oh, ow}, 0);
+
+  const bool exact = (mode == WinogradWeightMode::kExactInt16);
+  Tensor<i16> u16;
+  Tensor<i8> u8;
+  if (exact)
+    u16 = winograd_weight_exact(weight, s.out_c, s.in_c);
+  else
+    u8 = winograd_weight_rounded(weight, s.out_c, s.in_c);
+
+  for (i64 b = 0; b < s.batch; ++b)
+    for (i64 oc = 0; oc < s.out_c; ++oc)
+      for (i64 th = 0; th < oh; th += 2)
+        for (i64 tw = 0; tw < ow; tw += 2) {
+          i32 msum[16] = {0};
+          for (i64 ic = 0; ic < s.in_c; ++ic) {
+            // Gather the 4x4 input patch with zero padding.
+            i16 d[16];
+            for (int r = 0; r < 4; ++r)
+              for (int c = 0; c < 4; ++c) {
+                const i64 ih = th + r - s.pad;
+                const i64 iw = tw + c - s.pad;
+                d[r * 4 + c] =
+                    (ih < 0 || ih >= s.in_h || iw < 0 || iw >= s.in_w)
+                        ? i16{0}
+                        : static_cast<i16>(input.at(b, ic, ih, iw));
+              }
+            i16 v[16];
+            winograd_input_tile(d, v);
+            for (int i = 0; i < 16; ++i) {
+              const i32 u = exact
+                                ? static_cast<i32>(u16.at(oc, ic, i / 4, i % 4))
+                                : static_cast<i32>(u8.at(oc, ic, i / 4, i % 4));
+              msum[i] += u * static_cast<i32>(v[i]);
+            }
+          }
+          i32 y[4];
+          winograd_output_tile(msum, y);
+          for (int r = 0; r < 2; ++r)
+            for (int c = 0; c < 2; ++c) {
+              const i64 o_h = th + r, o_w = tw + c;
+              if (o_h >= oh || o_w >= ow) continue;
+              // Exact mode carries the (2G)(2G)^T factor of 4.
+              out.at(b, oc, o_h, o_w) = exact ? y[r * 2 + c] / 4 : y[r * 2 + c];
+            }
+        }
+  return out;
+}
+
+}  // namespace lbc::ref

@@ -1,0 +1,46 @@
+// Reference Winograd F(2x2, 3x3) convolution (Sec. 3.4).
+//
+//   Y = A^T [ (G g G^T) . (B^T d B) ] A            (Eq. 5)
+//
+// Integer analysis: B has entries in {0, +-1}, so V = B^T d B is integral
+// and |V| <= 4 * max|d| (the paper's "input range increases by 4x"). G has
+// entries in {0, 1, 1/2}, so U = G g G^T has entries in quarters and
+// |U| <= 9/4 * max|g| ("weight range increases by 9/4").
+//
+// Two weight-storage modes are provided:
+//  * kExactInt16 — stores U4 = 4*G g G^T exactly in int16 and divides the
+//    inverse-transformed result by 4 (always divisible). Bit-exact equal to
+//    direct convolution; used as a ground-truth winograd oracle.
+//  * kRoundedInt8 — stores round(G g G^T) in int8 (winograd-domain weight
+//    quantization). This is the faithful reading of the paper's 8-bit
+//    storage constraint (|U| <= 9/4*31 = 69.75 fits int8 for <=6-bit
+//    weights only as *rounded* values). The optimized ARM kernel must match
+//    this reference bit-exactly; vs. direct convolution it carries the
+//    winograd-domain rounding error, which the quantization scheme absorbs.
+#pragma once
+
+#include "common/conv_shape.h"
+#include "common/tensor.h"
+
+namespace lbc::ref {
+
+enum class WinogradWeightMode { kExactInt16, kRoundedInt8 };
+
+/// U4 = 4 * G g G^T per (out_c, in_c) filter; shape [out_c, in_c, 4, 4].
+Tensor<i16> winograd_weight_exact(const Tensor<i8>& weight, i64 out_c, i64 in_c);
+
+/// round(G g G^T) per filter, saturated to int8; shape [out_c, in_c, 4, 4].
+Tensor<i8> winograd_weight_rounded(const Tensor<i8>& weight, i64 out_c, i64 in_c);
+
+/// 4x4 input-tile transform V = B^T d B (d given row-major, 16 values).
+void winograd_input_tile(const i16 d[16], i16 v[16]);
+
+/// 2x2 output-tile inverse transform y = A^T m A (m row-major, 16 values).
+void winograd_output_tile(const i32 m[16], i32 y[4]);
+
+/// Full winograd convolution for a 3x3/stride-1 shape. Bit-exact equal to
+/// conv2d_s32 in kExactInt16 mode; the kRoundedInt8 oracle otherwise.
+Tensor<i32> winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                              const Tensor<i8>& weight, WinogradWeightMode mode);
+
+}  // namespace lbc::ref

@@ -1,0 +1,250 @@
+// Bit-level semantics tests for the emulated NEON instructions and the
+// Cortex-A53 cost model. These pin exactly the properties the paper's
+// instruction schemes rely on: widening behaviour of SMLAL/SADDW, the
+// non-saturating wrap of MLA, LD4R replication, CNT popcounts.
+#include <gtest/gtest.h>
+
+#include "armsim/cost_model.h"
+#include "armsim/neon.h"
+
+namespace lbc::armsim {
+namespace {
+
+TEST(Neon, Ld1LoadsSixteenBytes) {
+  Ctx ctx;
+  i8 buf[16] = {};
+  for (int i = 0; i < 16; ++i) buf[i] = static_cast<i8>(i - 8);
+  const int8x16 v = ld1_s8(ctx, buf);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(v.v[i], i - 8);
+  EXPECT_EQ(ctx.counts[Op::kLd1], 1u);
+}
+
+TEST(Neon, Ld4rReplicatesEachByte) {
+  Ctx ctx;
+  const i8 buf[4] = {1, -2, 3, -4};
+  int8x16 out[4];
+  ld4r_s8(ctx, buf, out);
+  for (int r = 0; r < 4; ++r)
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(out[r].v[i], buf[r]);
+  EXPECT_EQ(ctx.counts[Op::kLd4r], 1u);
+}
+
+TEST(Neon, SmlalUsesLowLanes_Smlal2High) {
+  Ctx ctx;
+  int8x16 a, b;
+  for (int i = 0; i < 16; ++i) {
+    a.v[i] = static_cast<i8>(i + 1);
+    b.v[i] = 2;
+  }
+  int16x8 lo{}, hi{};
+  smlal_s8(ctx, lo, a, b);
+  smlal2_s8(ctx, hi, a, b);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(lo.v[i], 2 * (i + 1));
+    EXPECT_EQ(hi.v[i], 2 * (i + 9));
+  }
+  EXPECT_EQ(ctx.counts[Op::kSmlal8], 2u);
+}
+
+TEST(Neon, SmlalAccumulatesAndWrapsMod16Bit) {
+  Ctx ctx;
+  int8x16 a, b;
+  a.v.fill(127);
+  b.v.fill(127);
+  int16x8 acc{};
+  // 127*127 = 16129; the paper's 8-bit ratio says exactly 2 accumulations
+  // fit in 16 bits (32258 <= 32767) and the third wraps.
+  smlal_s8(ctx, acc, a, b);
+  smlal_s8(ctx, acc, a, b);
+  EXPECT_EQ(acc.v[0], 32258);
+  smlal_s8(ctx, acc, a, b);
+  EXPECT_EQ(acc.v[0], static_cast<i16>(48387 - 65536));  // wrapped
+}
+
+TEST(Neon, Smlal16Widens4LanesInto32Bit) {
+  Ctx ctx;
+  int16x8 a{}, b{};
+  for (int i = 0; i < 8; ++i) {
+    a.v[i] = static_cast<i16>(1000 * (i + 1));
+    b.v[i] = 30;
+  }
+  int32x4 lo{}, hi{};
+  smlal_s16(ctx, lo, a, b);
+  smlal2_s16(ctx, hi, a, b);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(lo.v[i], 30000 * (i + 1));
+    EXPECT_EQ(hi.v[i], 30000 * (i + 5));
+  }
+  EXPECT_EQ(ctx.counts[Op::kSmlal16], 2u);
+}
+
+TEST(Neon, MlaSixteenLanesWrapsMod256) {
+  Ctx ctx;
+  int8x16 a, b, acc{};
+  a.v.fill(3);
+  b.v.fill(3);
+  // 3*3 = 9 per step; 15 steps = 135 > 127 wraps to -121.
+  for (int s = 0; s < 15; ++s) mla_s8(ctx, acc, a, b);
+  EXPECT_EQ(acc.v[0], static_cast<i8>(135 - 256));
+  EXPECT_EQ(ctx.counts[Op::kMla8], 15u);
+}
+
+TEST(Neon, MlaStaysExactWithinPaperRatio) {
+  // 2-bit scheme: values in [-1,1], 31 MLAs never exceed +-31 (no wrap).
+  Ctx ctx;
+  int8x16 a, b, acc{};
+  a.v.fill(1);
+  b.v.fill(-1);
+  for (int s = 0; s < 31; ++s) mla_s8(ctx, acc, a, b);
+  EXPECT_EQ(acc.v[5], -31);
+}
+
+TEST(Neon, SaddwVariants) {
+  Ctx ctx;
+  int8x16 v8;
+  for (int i = 0; i < 16; ++i) v8.v[i] = static_cast<i8>(i - 8);
+  int16x8 a16{};
+  saddw_s8(ctx, a16, v8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a16.v[i], i - 8);
+  saddw2_s8(ctx, a16, v8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a16.v[i], (i - 8) + (i));
+
+  int16x8 v16{};
+  v16.v = {100, -200, 300, -400, 500, -600, 700, -800};
+  int32x4 a32{};
+  saddw_s16(ctx, a32, v16);
+  EXPECT_EQ(a32.v[0], 100);
+  EXPECT_EQ(a32.v[3], -400);
+  saddw2_s16(ctx, a32, v16);
+  EXPECT_EQ(a32.v[0], 100 + 500);
+  EXPECT_EQ(a32.v[3], -400 - 800);
+  EXPECT_EQ(ctx.counts[Op::kSaddw8], 2u);
+  EXPECT_EQ(ctx.counts[Op::kSaddw16], 2u);
+}
+
+TEST(Neon, SshllSignExtends) {
+  Ctx ctx;
+  int8x16 v;
+  for (int i = 0; i < 16; ++i) v.v[i] = static_cast<i8>(-i);
+  const int16x8 lo = sshll_s8(ctx, v);
+  const int16x8 hi = sshll2_s8(ctx, v);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(lo.v[i], -i);
+    EXPECT_EQ(hi.v[i], -(i + 8));
+  }
+}
+
+TEST(Neon, CntCountsBitsPerByte) {
+  Ctx ctx;
+  uint8x16 v{};
+  v.v[0] = 0xFF;
+  v.v[1] = 0x0F;
+  v.v[2] = 0x00;
+  v.v[3] = 0xA5;
+  const uint8x16 c = cnt_u8(ctx, v);
+  EXPECT_EQ(c.v[0], 8);
+  EXPECT_EQ(c.v[1], 4);
+  EXPECT_EQ(c.v[2], 0);
+  EXPECT_EQ(c.v[3], 4);
+}
+
+TEST(Neon, AndUadalpSadalpAddvChain) {
+  // The bitserial accumulation chain end to end on a known pattern.
+  Ctx ctx;
+  uint8x16 a{}, b{};
+  a.v.fill(0b10101010);
+  b.v.fill(0b11001100);
+  const uint8x16 anded = and_u8(ctx, a, b);
+  EXPECT_EQ(anded.v[0], 0b10001000);
+  const uint8x16 c = cnt_u8(ctx, anded);
+  EXPECT_EQ(c.v[0], 2);
+  uint16x8 acc16{};
+  uadalp_u8(ctx, acc16, c);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(acc16.v[i], 4);  // 2+2 pairwise
+  int32x4 acc32{};
+  movi_zero(ctx, acc32);
+  sadalp_u16(ctx, acc32, acc16);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(acc32.v[i], 8);
+  EXPECT_EQ(addv_s32(ctx, acc32), 32);  // 16 bytes * 2 bits set
+}
+
+TEST(Neon, StoreRoundTrip) {
+  Ctx ctx;
+  int32x4 v{};
+  v.v = {1, -2, 3, -4};
+  i32 buf[4] = {};
+  st1_s32(ctx, v, buf);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[3], -4);
+  EXPECT_EQ(ctx.counts[Op::kSt1], 1u);
+}
+
+TEST(Counters, MergeAndAggregates) {
+  Ctx a, b;
+  a.tally(Op::kLd1, 3);
+  a.tally(Op::kSmlal8, 5);
+  b.tally(Op::kLd4r, 2);
+  b.tally(Op::kMla8, 7);
+  a.counts.merge(b.counts);
+  EXPECT_EQ(a.counts.loads(), 5u);
+  EXPECT_EQ(a.counts.macs_instrs(), 12u);
+  EXPECT_EQ(a.counts.total(), 17u);
+}
+
+TEST(Counters, PipeClassification) {
+  EXPECT_TRUE(is_mem_op(Op::kLd1));
+  EXPECT_TRUE(is_mem_op(Op::kLd4r));
+  EXPECT_TRUE(is_mem_op(Op::kSt1));
+  EXPECT_FALSE(is_mem_op(Op::kSmlal8));
+  EXPECT_TRUE(is_scalar_op(Op::kLoop));
+  EXPECT_FALSE(is_scalar_op(Op::kMla8));
+}
+
+TEST(CostModel, BreakdownSeparatesPipes) {
+  const CostModel m = CostModel::cortex_a53();
+  const double ld1 = m.cycles[static_cast<size_t>(Op::kLd1)];
+  const double smlal = m.cycles[static_cast<size_t>(Op::kSmlal8)];
+  const double loop = m.cycles[static_cast<size_t>(Op::kLoop)];
+  Counters c;
+  c[Op::kLd1] = 10;
+  c[Op::kSmlal8] = 30;
+  c[Op::kLoop] = 4;
+  const auto b = m.breakdown(c, /*interleaved=*/false);
+  EXPECT_DOUBLE_EQ(b.mem_cycles, 10 * ld1);
+  EXPECT_DOUBLE_EQ(b.alu_cycles, 30 * smlal);
+  EXPECT_DOUBLE_EQ(b.scalar_cycles, 4 * loop);
+  EXPECT_DOUBLE_EQ(b.total_cycles,
+                   10 * ld1 + 30 * smlal + m.scalar_issue * 4 * loop);
+}
+
+TEST(CostModel, InterleavingOverlapsPipes) {
+  const CostModel m = CostModel::cortex_a53();
+  Counters c;
+  c[Op::kLd1] = 10;
+  c[Op::kSmlal8] = 100;  // ALU-dominant mix
+  const double mem = 10 * m.cycles[static_cast<size_t>(Op::kLd1)];
+  const double alu = 100 * m.cycles[static_cast<size_t>(Op::kSmlal8)];
+  const double seq = m.cycles_for(c, false);
+  const double il = m.cycles_for(c, true);
+  EXPECT_LT(il, seq);                          // overlap always helps
+  EXPECT_GE(il, alu);                          // bounded by the longer pipe
+  EXPECT_DOUBLE_EQ(il, alu + m.kappa * mem);   // max + kappa*min
+}
+
+TEST(CostModel, MlaTwiceTheMacThroughputOfSmlal) {
+  // Paper Sec. 3.4: same cycle cost per instruction, but MLA retires 16
+  // MACs vs SMLAL's 8.
+  const CostModel m = CostModel::cortex_a53();
+  EXPECT_DOUBLE_EQ(m.cycles[static_cast<size_t>(Op::kMla8)],
+                   m.cycles[static_cast<size_t>(Op::kSmlal8)]);
+}
+
+TEST(CostModel, SecondsUsesPiClock) {
+  const CostModel m = CostModel::cortex_a53();
+  Counters c;
+  c[Op::kSmlal8] = 1200;  // 1200 cycles
+  EXPECT_NEAR(m.seconds_for(c, false), 1e-6, 1e-12);  // 1.2 GHz
+}
+
+}  // namespace
+}  // namespace lbc::armsim

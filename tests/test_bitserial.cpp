@@ -1,0 +1,79 @@
+// Correctness of the bit-serial popcount GEMM (the TVM baseline of Fig. 9)
+// including the signed two's-complement plane combination.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "armkern/bitserial.h"
+#include "common/rng.h"
+#include "refconv/gemm_ref.h"
+
+namespace lbc::armkern {
+namespace {
+
+void expect_exact(int bits, i64 m, i64 n, i64 k, i32 lo, i32 hi, u64 seed) {
+  Rng rng(seed);
+  std::vector<i8> a(static_cast<size_t>(m * k)), b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = static_cast<i8>(rng.uniform(lo, hi));
+  for (auto& v : b) v = static_cast<i8>(rng.uniform(lo, hi));
+  std::vector<i32> c(static_cast<size_t>(m * n)), ref(c.size());
+  bitserial_gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, bits);
+  ref::gemm_s8s32(a.data(), b.data(), ref.data(), m, n, k);
+  ASSERT_EQ(c, ref) << "bits=" << bits << " k=" << k;
+}
+
+TEST(Bitserial, TwoBitAdjustedRange) { expect_exact(2, 8, 6, 100, -1, 1, 1); }
+
+TEST(Bitserial, TwoBitFullTwosComplementRange) {
+  // Full 2-bit range [-2, 1] must also be exact (the sign plane carries -2).
+  expect_exact(2, 6, 5, 64, -2, 1, 2);
+}
+
+TEST(Bitserial, OneBitBinary) {
+  // 1-bit two's complement: values in {-1, 0}.
+  expect_exact(1, 7, 7, 200, -1, 0, 3);
+}
+
+TEST(Bitserial, KExactly128) { expect_exact(2, 4, 4, 128, -2, 1, 4); }
+
+TEST(Bitserial, KNotAMultipleOf128) {
+  expect_exact(2, 4, 4, 1, -2, 1, 5);
+  expect_exact(2, 4, 4, 127, -2, 1, 6);
+  expect_exact(2, 4, 4, 129, -2, 1, 7);
+  expect_exact(2, 4, 4, 1000, -2, 1, 8);
+}
+
+TEST(Bitserial, SingleElement) { expect_exact(2, 1, 1, 1, -2, 1, 9); }
+
+TEST(Bitserial, InstructionMixIsPopcountChain) {
+  const i64 m = 4, n = 4, k = 256;
+  std::vector<i8> a(static_cast<size_t>(m * k), 1), b(static_cast<size_t>(k * n), -1);
+  std::vector<i32> c(static_cast<size_t>(m * n));
+  const BitserialStats st =
+      bitserial_gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, 2);
+  using armsim::Op;
+  EXPECT_GT(st.counts[Op::kAnd], 0u);
+  EXPECT_GT(st.counts[Op::kCnt], 0u);
+  EXPECT_GT(st.counts[Op::kUadalp], 0u);
+  EXPECT_GT(st.counts[Op::kAddv], 0u);
+  // AND/CNT/UADALP come in lockstep: one of each per chunk per plane pair.
+  EXPECT_EQ(st.counts[Op::kAnd], st.counts[Op::kCnt]);
+  EXPECT_EQ(st.counts[Op::kAnd], st.counts[Op::kUadalp]);
+  // 4 plane pairs * 2 chunks * 16 outputs.
+  EXPECT_EQ(st.counts[Op::kAnd], 4u * 2u * 16u);
+  EXPECT_GT(st.plane_buf_elems, 0);
+}
+
+TEST(Bitserial, PlaneBufferSizeScalesWithBits) {
+  const i64 m = 4, n = 4, k = 256;
+  std::vector<i8> a(static_cast<size_t>(m * k), 0), b(static_cast<size_t>(k * n), 0);
+  std::vector<i32> c(static_cast<size_t>(m * n));
+  const BitserialStats s1 =
+      bitserial_gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, 1);
+  const BitserialStats s2 =
+      bitserial_gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, 2);
+  EXPECT_EQ(s2.plane_buf_elems, 2 * s1.plane_buf_elems);
+}
+
+}  // namespace
+}  // namespace lbc::armkern

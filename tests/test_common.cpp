@@ -1,0 +1,150 @@
+// Unit tests for src/common: scalar helpers, Tensor, Rng, ConvShape.
+#include <gtest/gtest.h>
+
+#include "common/conv_shape.h"
+#include "common/rng.h"
+#include "common/tensor.h"
+#include "common/types.h"
+
+namespace lbc {
+namespace {
+
+TEST(Types, CeilDivAndRoundUp) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(round_up(0, 16), 0);
+  EXPECT_EQ(round_up(1, 16), 16);
+  EXPECT_EQ(round_up(16, 16), 16);
+  EXPECT_EQ(round_up(17, 16), 32);
+}
+
+TEST(Types, SatCast) {
+  EXPECT_EQ(sat_cast<i8>(127), 127);
+  EXPECT_EQ(sat_cast<i8>(128), 127);
+  EXPECT_EQ(sat_cast<i8>(-128), -128);
+  EXPECT_EQ(sat_cast<i8>(-129), -128);
+  EXPECT_EQ(sat_cast<i16>(1 << 20), 32767);
+}
+
+TEST(Types, QuantRanges) {
+  EXPECT_EQ(qmax_for_bits(8), 127);
+  EXPECT_EQ(qmin_for_bits(8), -127);  // adjusted range (Sec. 3.3)
+  EXPECT_EQ(qmax_for_bits(4), 7);
+  EXPECT_EQ(qmax_for_bits(2), 1);
+  EXPECT_EQ(qmin_for_bits(2), -1);
+}
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor<i32> t(Shape4{2, 3, 4, 5});
+  EXPECT_EQ(t.elems(), 120);
+  t.at(1, 2, 3, 4) = 42;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 42);
+  EXPECT_EQ(t.data()[119], 42);  // last element in NCHW order
+  t.fill(7);
+  for (i32 v : t.span()) EXPECT_EQ(v, 7);
+}
+
+TEST(Tensor, CountMismatches) {
+  Tensor<i8> a(Shape4{1, 1, 2, 2}, 1);
+  Tensor<i8> b(Shape4{1, 1, 2, 2}, 1);
+  EXPECT_EQ(count_mismatches(a, b), 0);
+  b.at(0, 0, 1, 1) = 2;
+  EXPECT_EQ(count_mismatches(a, b), 1);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const i32 v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+class QTensorRange : public ::testing::TestWithParam<int> {};
+
+TEST_P(QTensorRange, RandomStaysInAdjustedRange) {
+  const int bits = GetParam();
+  const Tensor<i8> t = random_qtensor(Shape4{1, 3, 8, 8}, bits, 11);
+  for (i8 v : t.span()) {
+    EXPECT_GE(v, qmin_for_bits(bits));
+    EXPECT_LE(v, qmax_for_bits(bits));
+  }
+}
+
+TEST_P(QTensorRange, ExtremeOnlyUsesExtremes) {
+  const int bits = GetParam();
+  const Tensor<i8> t = extreme_qtensor(Shape4{1, 2, 4, 4}, bits, 3);
+  for (i8 v : t.span())
+    EXPECT_TRUE(v == qmax_for_bits(bits) || v == qmin_for_bits(bits));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, QTensorRange, ::testing::Range(2, 9));
+
+TEST(ConvShape, Geometry) {
+  ConvShape s{.name = "t", .batch = 1, .in_c = 64, .in_h = 56, .in_w = 56,
+              .out_c = 64, .kernel = 3, .stride = 1, .pad = 1};
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.out_h(), 56);
+  EXPECT_EQ(s.out_w(), 56);
+  EXPECT_EQ(s.gemm_m(), 64);
+  EXPECT_EQ(s.gemm_k(), 576);
+  EXPECT_EQ(s.gemm_n(), 3136);
+  EXPECT_EQ(s.macs(), 64 * 576 * 3136);
+  EXPECT_TRUE(s.winograd_eligible());
+}
+
+TEST(ConvShape, StridedGeometry) {
+  ConvShape s{.name = "t", .batch = 2, .in_c = 256, .in_h = 56, .in_w = 56,
+              .out_c = 512, .kernel = 1, .stride = 2, .pad = 0};
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.out_h(), 28);
+  EXPECT_EQ(s.gemm_n(), 2 * 28 * 28);
+  EXPECT_FALSE(s.winograd_eligible());
+  const ConvShape b = s.with_batch(16);
+  EXPECT_EQ(b.batch, 16);
+  EXPECT_EQ(b.gemm_n(), 16 * 28 * 28);
+}
+
+TEST(ConvShape, InvalidShapes) {
+  ConvShape s{.name = "bad", .batch = 1, .in_c = 0, .in_h = 8, .in_w = 8,
+              .out_c = 8, .kernel = 3, .stride = 1, .pad = 1};
+  EXPECT_FALSE(s.valid());
+  s.in_c = 8;
+  s.kernel = 11;  // kernel larger than padded input
+  s.pad = 0;
+  EXPECT_FALSE(s.valid());
+}
+
+TEST(ConvShape, SpaceAccountingElems) {
+  // conv2 of ResNet-50: the Fig. 13 extreme case.
+  ConvShape s{.name = "conv2", .batch = 1, .in_c = 64, .in_h = 56, .in_w = 56,
+              .out_c = 64, .kernel = 3, .stride = 1, .pad = 1};
+  EXPECT_EQ(s.activation_elems(), 64 * 56 * 56);
+  EXPECT_EQ(s.weight_elems(), 64 * 64 * 9);
+  EXPECT_EQ(s.im2col_elems(), 576 * 3136);
+  const double overhead =
+      static_cast<double>(s.activation_elems() + s.weight_elems() +
+                          s.im2col_elems()) /
+      static_cast<double>(s.activation_elems() + s.weight_elems());
+  EXPECT_NEAR(overhead, 8.6034, 1e-3);  // the paper's exact number
+}
+
+TEST(ConvShape, Describe) {
+  ConvShape s{.name = "conv9", .batch = 1, .in_c = 512, .in_h = 28, .in_w = 28,
+              .out_c = 128, .kernel = 1, .stride = 1, .pad = 0};
+  const std::string d = describe(s);
+  EXPECT_NE(d.find("conv9"), std::string::npos);
+  EXPECT_NE(d.find("512"), std::string::npos);
+  EXPECT_NE(d.find("128"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbc

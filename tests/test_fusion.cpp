@@ -1,0 +1,106 @@
+// Quantization-fusion pipelines (paper Sec. 4.4 / Fig. 12): functional
+// equivalence between fused and unfused chains and the modeled time wins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gpukern/fusion.h"
+
+namespace lbc::gpukern {
+namespace {
+
+using gpusim::DeviceSpec;
+
+struct Env {
+  DeviceSpec dev = DeviceSpec::rtx2080ti();
+  ConvShape s;
+  Tensor<i8> in, w;
+  std::vector<i32> bias;
+  quant::QScheme in_s = quant::choose_scheme(1.0f, 8);
+  quant::QScheme w_s = quant::choose_scheme(0.5f, 8);
+  quant::QScheme out_s = quant::choose_scheme(30.0f, 8);
+
+  explicit Env(u64 seed) {
+    s.name = "t";
+    s.batch = 1;
+    s.in_c = 4;
+    s.in_h = s.in_w = 6;
+    s.out_c = 6;
+    s.kernel = 3;
+    s.stride = 1;
+    s.pad = 1;
+    in = random_qtensor(Shape4{1, 4, 6, 6}, 8, seed);
+    w = random_qtensor(Shape4{6, 4, 3, 3}, 8, seed + 1);
+    Rng rng(seed + 2);
+    bias.resize(6);
+    for (auto& b : bias) b = rng.uniform(-50, 50);
+  }
+
+  PipelineResult run(FusionMode mode) {
+    GpuConvOptions o;
+    o.bits = 8;
+    o.tiling = Tiling{16, 16, 32, 16, 1, 1};
+    return run_qnn_pipeline(dev, s, in, w, bias, in_s, w_s, out_s, mode, o);
+  }
+};
+
+TEST(Fusion, ReluFusionBitExactAgainstUnfused) {
+  Env e(1);
+  const PipelineResult unfused = e.run(FusionMode::kNone);
+  const PipelineResult fused = e.run(FusionMode::kFuseRelu);
+  ASSERT_EQ(unfused.out.shape(), fused.out.shape());
+  for (i64 i = 0; i < unfused.out.elems(); ++i)
+    ASSERT_EQ(unfused.out.data()[i], fused.out.data()[i]) << "i=" << i;
+}
+
+TEST(Fusion, DequantFusionWithinOneQuantStep) {
+  // The fused conv+dequant skips one int8 rounding, so it is at least as
+  // accurate; outputs agree within one output-scale step.
+  Env e(5);
+  const PipelineResult unfused = e.run(FusionMode::kNone);
+  const PipelineResult fused = e.run(FusionMode::kFuseDequant);
+  for (i64 i = 0; i < unfused.out.elems(); ++i)
+    EXPECT_LE(std::fabs(unfused.out.data()[i] - fused.out.data()[i]),
+              e.out_s.scale * 1.001f);
+}
+
+TEST(Fusion, OutputsAreNonNegative) {
+  // Every pipeline ends after a ReLU, fused or not.
+  Env e(9);
+  for (FusionMode m :
+       {FusionMode::kNone, FusionMode::kFuseDequant, FusionMode::kFuseRelu}) {
+    const PipelineResult r = e.run(m);
+    for (float v : r.out.span()) EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(Fusion, KernelLaunchCounts) {
+  Env e(11);
+  EXPECT_EQ(e.run(FusionMode::kNone).kernel_launches, 5);
+  EXPECT_EQ(e.run(FusionMode::kFuseDequant).kernel_launches, 4);
+  EXPECT_EQ(e.run(FusionMode::kFuseRelu).kernel_launches, 2);
+}
+
+TEST(Fusion, ModeledTimeOrdering) {
+  // Fig. 12 shape: conv+ReLU fusion saves more than conv+dequant fusion,
+  // and both beat the unfused chain.
+  Env e(13);
+  const double t_none = e.run(FusionMode::kNone).seconds;
+  const double t_dq = e.run(FusionMode::kFuseDequant).seconds;
+  const double t_relu = e.run(FusionMode::kFuseRelu).seconds;
+  EXPECT_LT(t_dq, t_none);
+  EXPECT_LT(t_relu, t_dq);
+}
+
+TEST(Fusion, ConvTimeUnchangedByFusionMode) {
+  // Fusion only removes surrounding kernels (plus epilogue width); the mma
+  // work is identical across modes.
+  Env e(17);
+  const PipelineResult a = e.run(FusionMode::kNone);
+  const PipelineResult b = e.run(FusionMode::kFuseRelu);
+  EXPECT_NEAR(a.conv_seconds, b.conv_seconds, a.conv_seconds * 0.2);
+}
+
+}  // namespace
+}  // namespace lbc::gpukern

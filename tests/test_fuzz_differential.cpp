@@ -1,0 +1,167 @@
+// Randomized differential testing: every optimized kernel against the
+// scalar reference on randomly drawn shapes, bit widths, and data
+// (including extreme values), with deterministic seeds. Each TEST_P seed
+// runs dozens of random cases, so this file contributes several hundred
+// distinct kernel-vs-oracle comparisons.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "armkern/bitserial.h"
+#include "armkern/conv_arm.h"
+#include "armkern/winograd23.h"
+#include "refconv/winograd_ref.h"
+#include "common/rng.h"
+#include "gpukern/conv_igemm.h"
+#include "refconv/conv_ref.h"
+#include "refconv/gemm_ref.h"
+
+namespace lbc {
+namespace {
+
+ConvShape random_conv_shape(Rng& rng) {
+  ConvShape s;
+  s.name = "fuzz";
+  s.batch = 1;
+  s.kernel = rng.uniform(0, 1) ? 1 : 3;
+  if (rng.uniform(0, 4) == 0) s.kernel = 5;
+  s.stride = rng.uniform(0, 2) == 0 ? 2 : 1;
+  s.pad = (s.kernel > 1 && rng.uniform(0, 1)) ? s.kernel / 2 : 0;
+  s.in_c = rng.uniform(1, 24);
+  s.out_c = rng.uniform(1, 40);
+  s.in_h = s.in_w = rng.uniform(s.kernel + (s.pad ? 0 : 1), 14);
+  return s;
+}
+
+class FuzzArmGemmConv : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzArmGemmConv, RandomShapesAllKernels) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    const ConvShape s = random_conv_shape(rng);
+    if (!s.valid()) continue;
+    const int bits = rng.uniform(2, 8);
+    const bool extreme = rng.uniform(0, 3) == 0;
+    const auto make = extreme ? extreme_qtensor : random_qtensor;
+    const Tensor<i8> in =
+        make(Shape4{1, s.in_c, s.in_h, s.in_w}, bits, rng.next_u64());
+    const Tensor<i8> w =
+        make(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, rng.next_u64());
+    const Tensor<i32> ref = ref::conv2d_s32(s, in, w);
+
+    armkern::ArmConvOptions opt;
+    opt.bits = bits;
+    opt.threads = rng.uniform(1, 3);
+    // Rotate through the comparable kernels.
+    switch (iter % 3) {
+      case 0: opt.kernel = armkern::ArmKernel::kOursGemm; break;
+      case 1: opt.kernel = armkern::ArmKernel::kNcnn; break;
+      case 2: opt.kernel = armkern::ArmKernel::kSdotExt; break;
+    }
+    const armkern::ArmConvResult r = armkern::conv2d_s32(s, in, w, opt);
+    ASSERT_EQ(count_mismatches(ref, r.out), 0)
+        << describe(s) << " bits=" << bits << " kernel=" << (iter % 3)
+        << " extreme=" << extreme;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzArmGemmConv,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+class FuzzWinograd : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzWinograd, RandomEligibleShapes) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 12; ++iter) {
+    ConvShape s;
+    s.name = "wf";
+    s.batch = rng.uniform(1, 2);
+    s.kernel = 3;
+    s.stride = 1;
+    s.pad = rng.uniform(0, 1);
+    s.in_c = rng.uniform(1, 20);
+    s.out_c = rng.uniform(1, 20);
+    s.in_h = s.in_w = rng.uniform(4, 13);
+    if (!s.valid()) continue;
+    const int bits = rng.uniform(4, 6);
+    const Tensor<i8> in =
+        random_qtensor(Shape4{s.batch, s.in_c, s.in_h, s.in_w}, bits,
+                       rng.next_u64());
+    const Tensor<i8> w = random_qtensor(Shape4{s.out_c, s.in_c, 3, 3}, bits,
+                                        rng.next_u64());
+    Tensor<i32> out;
+    armkern::winograd_conv_s32(s, in, w, bits, out);
+    const Tensor<i32> ref = ref::winograd_conv_s32(
+        s, in, w, ref::WinogradWeightMode::kRoundedInt8);
+    ASSERT_EQ(count_mismatches(ref, out), 0) << describe(s) << " bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWinograd, ::testing::Values(7, 17, 27));
+
+class FuzzBitserial : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzBitserial, RandomGemms) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    const i64 m = rng.uniform(1, 20), n = rng.uniform(1, 20),
+              k = rng.uniform(1, 300);
+    const int bits = rng.uniform(1, 2);
+    std::vector<i8> a(static_cast<size_t>(m * k)), b(static_cast<size_t>(k * n));
+    const i32 lo = bits == 1 ? -1 : -2, hi = bits == 1 ? 0 : 1;
+    for (auto& v : a) v = static_cast<i8>(rng.uniform(lo, hi));
+    for (auto& v : b) v = static_cast<i8>(rng.uniform(lo, hi));
+    std::vector<i32> c(static_cast<size_t>(m * n)), ref(c.size());
+    armkern::bitserial_gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, bits);
+    ref::gemm_s8s32(a.data(), b.data(), ref.data(), m, n, k);
+    ASSERT_EQ(c, ref) << "m=" << m << " n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBitserial, ::testing::Values(3, 13));
+
+class FuzzGpuIgemm : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzGpuIgemm, RandomShapesAndTilings) {
+  Rng rng(GetParam());
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+  const auto space8 = gpukern::tiling_search_space(8);
+  const auto space4 = gpukern::tiling_search_space(4);
+  for (int iter = 0; iter < 10; ++iter) {
+    ConvShape s = random_conv_shape(rng);
+    s.batch = rng.uniform(1, 2);
+    if (!s.valid()) continue;
+    const int bits = rng.uniform(0, 1) ? 8 : 4;
+    const auto& space = bits == 8 ? space8 : space4;
+    gpukern::GpuConvOptions opt;
+    opt.bits = bits;
+    opt.use_tc = rng.uniform(0, 3) != 0;  // mostly tensor core, some dp4a
+    opt.epilogue = gpukern::Epilogue::kRawS32;
+    // Draw tilings until one is legal for this device.
+    for (int tries = 0; tries < 50; ++tries) {
+      const auto& t =
+          space[static_cast<size_t>(rng.next_u64() % space.size())];
+      gpusim::KernelShape ks = gpukern::make_kernel_shape(s, bits, t);
+      ks.use_tc = opt.use_tc;
+      if (gpusim::config_valid(dev, ks)) {
+        opt.tiling = t;
+        break;
+      }
+    }
+    const Tensor<i8> in = random_qtensor(
+        Shape4{s.batch, s.in_c, s.in_h, s.in_w}, bits, rng.next_u64());
+    const Tensor<i8> w = random_qtensor(
+        Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, rng.next_u64());
+    const Tensor<i32> ref = ref::conv2d_s32(s, in, w);
+    const gpukern::GpuConvResult r =
+        gpukern::conv2d(dev, s, in, w, {}, nullptr, 1.0f, opt);
+    ASSERT_EQ(count_mismatches(ref, r.out_s32), 0)
+        << describe(s) << " bits=" << bits << " tc=" << opt.use_tc
+        << " tiling " << opt.tiling.mtile << "x" << opt.tiling.ntile;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGpuIgemm, ::testing::Values(5, 15, 25));
+
+}  // namespace
+}  // namespace lbc

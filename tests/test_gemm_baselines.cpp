@@ -1,0 +1,94 @@
+// Correctness and instruction-mix tests for the two comparison GEMMs:
+// the ncnn-style 8-bit baseline and the traditional (Fig. 1a) GEMM.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "armkern/gemm_lowbit.h"
+#include "common/rng.h"
+#include "refconv/gemm_ref.h"
+
+namespace lbc::armkern {
+namespace {
+
+void expect_exact(ArmKernel kernel, int bits, i64 m, i64 n, i64 k,
+                  bool extreme) {
+  const auto make = extreme ? extreme_qtensor : random_qtensor;
+  const Tensor<i8> a = make(Shape4{1, 1, m, k}, bits, 31);
+  const Tensor<i8> b = make(Shape4{1, 1, k, n}, bits, 32);
+  std::vector<i32> c(static_cast<size_t>(m * n)), ref(c.size());
+  GemmOptions opt;
+  opt.bits = bits;
+  opt.kernel = kernel;
+  gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, opt);
+  ref::gemm_s8s32(a.data(), b.data(), ref.data(), m, n, k);
+  ASSERT_EQ(c, ref);
+}
+
+TEST(NcnnBaseline, ExactOnRandom8Bit) { expect_exact(ArmKernel::kNcnn, 8, 32, 12, 64, false); }
+
+TEST(NcnnBaseline, ExactOnExtreme8BitDeepK) {
+  // The 16-bit SMLAL scheme accumulates straight into 32-bit registers, so
+  // even +-127 data over deep K must be exact.
+  expect_exact(ArmKernel::kNcnn, 8, 16, 8, 4096, true);
+}
+
+TEST(NcnnBaseline, ExactOnEdgeGeometry) {
+  expect_exact(ArmKernel::kNcnn, 8, 19, 7, 31, false);
+  expect_exact(ArmKernel::kNcnn, 8, 1, 1, 1, true);
+}
+
+TEST(NcnnBaseline, UsesWidenedSmlal16NotSmlal8) {
+  const i64 m = 16, n = 4, k = 32;
+  const Tensor<i8> a = random_qtensor(Shape4{1, 1, m, k}, 8, 33);
+  const Tensor<i8> b = random_qtensor(Shape4{1, 1, k, n}, 8, 34);
+  std::vector<i32> c(static_cast<size_t>(m * n));
+  GemmOptions opt;
+  opt.kernel = ArmKernel::kNcnn;
+  const GemmStats st = gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, opt);
+  EXPECT_EQ(st.counts[armsim::Op::kSmlal8], 0u);
+  EXPECT_GT(st.counts[armsim::Op::kSmlal16], 0u);
+  EXPECT_GT(st.counts[armsim::Op::kSshll], 0u);
+  EXPECT_EQ(st.counts[armsim::Op::kSaddw16], 0u);  // no flush stage
+}
+
+class TraditionalAllBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraditionalAllBits, ExactOnRandom) {
+  expect_exact(ArmKernel::kTraditional, GetParam(), 9, 7, 40, false);
+}
+
+TEST_P(TraditionalAllBits, ExactOnExtreme) {
+  expect_exact(ArmKernel::kTraditional, GetParam(), 8, 4, 300, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, TraditionalAllBits, ::testing::Values(2, 4, 6, 8));
+
+TEST(Traditional, NotInterleavedInStats) {
+  const i64 m = 8, n = 4, k = 32;
+  const Tensor<i8> a = random_qtensor(Shape4{1, 1, m, k}, 8, 35);
+  const Tensor<i8> b = random_qtensor(Shape4{1, 1, k, n}, 8, 36);
+  std::vector<i32> c(static_cast<size_t>(m * n));
+  GemmOptions opt;
+  opt.kernel = ArmKernel::kTraditional;
+  const GemmStats st = gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, opt);
+  EXPECT_FALSE(st.interleaved);
+  EXPECT_GT(st.counts[armsim::Op::kAddv], 0u);  // reduced-sum epilogue
+}
+
+TEST(Traditional, LoadHeavyMix) {
+  // beta_1 = 2 loads per 16-MAC step (Eq. 1): loads ~= smlal instructions.
+  const i64 m = 8, n = 8, k = 160;
+  const Tensor<i8> a = random_qtensor(Shape4{1, 1, m, k}, 8, 37);
+  const Tensor<i8> b = random_qtensor(Shape4{1, 1, k, n}, 8, 38);
+  std::vector<i32> c(static_cast<size_t>(m * n));
+  GemmOptions opt;
+  opt.kernel = ArmKernel::kTraditional;
+  const GemmStats st = gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, opt);
+  const double ratio = static_cast<double>(st.counts.macs_instrs()) /
+                       static_cast<double>(st.counts.loads());
+  EXPECT_NEAR(ratio, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace lbc::armkern

@@ -1,0 +1,183 @@
+// Property tests on the GPU cost model: the monotonicities and orderings
+// that make the paper's GPU figures come out (Sec. 4.3, 5.3).
+#include <gtest/gtest.h>
+
+#include "gpukern/baselines.h"
+#include "gpusim/cost_model.h"
+#include "nets/nets.h"
+
+namespace lbc::gpusim {
+namespace {
+
+KernelShape base_shape() {
+  KernelShape ks;
+  ks.m = 256;
+  ks.n = 3136;  // a batch-16-ish GEMM
+  ks.k = 1024;
+  ks.bits = 8;
+  ks.mtile = 64;
+  ks.ntile = 64;
+  ks.ktile = 64;
+  ks.kstep = 32;
+  ks.warp_rows = 2;
+  ks.warp_cols = 2;
+  return ks;
+}
+
+TEST(ConfigValid, AcceptsBase) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  std::string why;
+  EXPECT_TRUE(config_valid(dev, base_shape(), &why)) << why;
+}
+
+TEST(ConfigValid, RejectsBadGeometry) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape ks = base_shape();
+  ks.mtile = 24;  // not divisible into 8-row mma tiles across 2 warp rows
+  EXPECT_FALSE(config_valid(dev, ks));
+  ks = base_shape();
+  ks.kstep = 24;  // not a multiple of mma K (16)
+  EXPECT_FALSE(config_valid(dev, ks));
+  ks = base_shape();
+  ks.ktile = 96;
+  ks.kstep = 64;  // ktile % kstep != 0
+  EXPECT_FALSE(config_valid(dev, ks));
+  ks = base_shape();
+  ks.mtile = 512;
+  ks.ntile = 512;  // shared memory blowout
+  EXPECT_FALSE(config_valid(dev, ks));
+}
+
+TEST(CostModel, MoreMacsCostMore) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape a = base_shape(), b = base_shape();
+  b.k *= 4;
+  EXPECT_GT(estimate_kernel(dev, b).seconds, estimate_kernel(dev, a).seconds);
+}
+
+TEST(CostModel, Int4FasterThanInt8) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape s8 = base_shape();
+  KernelShape s4 = base_shape();
+  s4.bits = 4;
+  s4.kstep = 32;  // one mma.m8n8k32
+  EXPECT_LT(estimate_kernel(dev, s4).seconds, estimate_kernel(dev, s8).seconds);
+}
+
+TEST(CostModel, TensorCoreBeatsDp4a) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  // Large tiles make the kernel compute-bound, where the engine rate shows.
+  KernelShape tc = base_shape();
+  tc.mtile = tc.ntile = 128;
+  tc.warp_cols = 4;
+  KernelShape dp = tc;
+  dp.use_tc = false;
+  const double t_tc = estimate_kernel(dev, tc).seconds;
+  const double t_dp = estimate_kernel(dev, dp).seconds;
+  EXPECT_LT(t_tc, t_dp);
+  // On a compute-bound shape the gap approaches the 4x rate ratio.
+  EXPECT_GT(t_dp / t_tc, 1.5);
+}
+
+TEST(CostModel, ReorderingCutsLdsInstructionsBy4x) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape on = base_shape();
+  KernelShape off = base_shape();
+  off.reorder_smem = false;
+  const KernelCost c_on = estimate_kernel(dev, on);
+  const KernelCost c_off = estimate_kernel(dev, off);
+  EXPECT_GT(c_off.lds_instructions, c_on.lds_instructions * 2);
+  EXPECT_LE(c_on.seconds, c_off.seconds);
+}
+
+TEST(CostModel, DoubleBufferOverlapsNeverSlower) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape on = base_shape();
+  KernelShape off = base_shape();
+  off.double_buffer = false;
+  // Note: double buffering also doubles smem (can reduce occupancy), so
+  // compare with identical occupancy by using small tiles.
+  on.mtile = on.ntile = 32;
+  off.mtile = off.ntile = 32;
+  EXPECT_LE(estimate_kernel(dev, on).seconds,
+            estimate_kernel(dev, off).seconds);
+}
+
+TEST(CostModel, WaveQuantizationPenalizesHugeTilesAtBatchOne) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape big = base_shape();
+  big.n = 196;  // batch 1, 14x14
+  big.mtile = 128;
+  big.ntile = 128;
+  big.warp_cols = 4;
+  KernelShape small = big;
+  small.mtile = 32;
+  small.ntile = 32;
+  small.warp_rows = 2;
+  small.warp_cols = 2;
+  const KernelCost c_big = estimate_kernel(dev, big);
+  const KernelCost c_small = estimate_kernel(dev, small);
+  EXPECT_LT(c_small.seconds, c_big.seconds);
+  EXPECT_GT(c_small.blocks, c_big.blocks);
+}
+
+TEST(CostModel, CoalescingScalesGmemTime) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape good = base_shape();
+  KernelShape bad = base_shape();
+  bad.coalesce_eff = 0.45;
+  EXPECT_GT(estimate_kernel(dev, bad).gmem_s,
+            estimate_kernel(dev, good).gmem_s * 1.5);
+}
+
+TEST(CostModel, LaunchOverheadFloorsTinyKernels) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  KernelShape tiny = base_shape();
+  tiny.m = 8;
+  tiny.n = 8;
+  tiny.k = 16;
+  tiny.mtile = tiny.ntile = 16;
+  tiny.ktile = 32;
+  tiny.kstep = 16;
+  tiny.warp_rows = tiny.warp_cols = 1;
+  EXPECT_GE(estimate_kernel(dev, tiny).seconds, dev.launch_overhead_s);
+}
+
+TEST(CostModel, ElementwiseKernelIsBandwidthPlusLaunch) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const double t = elementwise_kernel_seconds(dev, 1 << 20, 4 << 20);
+  EXPECT_NEAR(t, dev.elementwise_launch_s + (5.0 * (1 << 20)) / dev.gmem_bw,
+              1e-9);
+}
+
+TEST(CostModel, WmmaVariantNeverFasterThanMma) {
+  // Sec. 2.3: WMMA's opaque fragments forbid the double buffer and the
+  // shared-memory reordering, so the mma path must dominate.
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  for (const ConvShape& base : lbc::nets::resnet50_layers()) {
+    const ConvShape s = base.with_batch(16);
+    const auto mma = lbc::gpukern::ours_options(dev, s, 8);
+    const auto wmma = lbc::gpukern::wmma_options(dev, s, 8);
+    auto seconds = [&](const lbc::gpukern::GpuConvOptions& o) {
+      KernelShape ks = lbc::gpukern::make_kernel_shape(s, o.bits, o.tiling);
+      ks.use_tc = o.use_tc;
+      ks.reorder_smem = o.reorder_smem;
+      ks.double_buffer = o.double_buffer;
+      ks.coalesce_eff = o.coalesce_eff;
+      ks.compute_eff = o.compute_eff;
+      return estimate_kernel(dev, ks).seconds;
+    };
+    EXPECT_LE(seconds(mma), seconds(wmma)) << s.name;
+  }
+}
+
+TEST(CostModel, OccupancyWithinBounds) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const KernelCost c = estimate_kernel(dev, base_shape());
+  EXPECT_GT(c.occupancy, 0.0);
+  EXPECT_LE(c.occupancy, 1.0);
+  EXPECT_GE(c.blocks_per_sm, 1);
+}
+
+}  // namespace
+}  // namespace lbc::gpusim

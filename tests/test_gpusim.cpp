@@ -1,0 +1,100 @@
+// Functional semantics of the simulated Tensor Core / dp4a instructions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gpusim/mma.h"
+
+namespace lbc::gpusim {
+namespace {
+
+void ref_matmul(const i8* a, const i8* b, i32* d, int kk) {
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) {
+      i32 acc = d[i * 8 + j];
+      for (int p = 0; p < kk; ++p)
+        acc += static_cast<i32>(a[i * kk + p]) * static_cast<i32>(b[p * 8 + j]);
+      d[i * 8 + j] = acc;
+    }
+}
+
+TEST(Mma, M8N8K16S8MatchesMatmul) {
+  Rng rng(1);
+  i8 a[8 * 16], b[16 * 8];
+  for (auto& v : a) v = static_cast<i8>(rng.uniform(-127, 127));
+  for (auto& v : b) v = static_cast<i8>(rng.uniform(-127, 127));
+  i32 d[64], ref[64];
+  for (int i = 0; i < 64; ++i) d[i] = ref[i] = i * 3 - 10;  // prior accum
+  mma_m8n8k16_s8(a, b, d);
+  ref_matmul(a, b, ref, 16);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(d[i], ref[i]);
+}
+
+TEST(Mma, M8N8K32S4MatchesMatmul) {
+  Rng rng(2);
+  i8 a[8 * 32], b[32 * 8];
+  for (auto& v : a) v = static_cast<i8>(rng.uniform(-8, 7));
+  for (auto& v : b) v = static_cast<i8>(rng.uniform(-8, 7));
+  i32 d[64] = {0}, ref[64] = {0};
+  mma_m8n8k32_s4(a, b, d);
+  ref_matmul(a, b, ref, 32);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(d[i], ref[i]);
+}
+
+TEST(Mma, AccumulationChains) {
+  // Two mma calls over split K equal one call over the union.
+  Rng rng(3);
+  i8 a[8 * 32], b[32 * 8];
+  for (auto& v : a) v = static_cast<i8>(rng.uniform(-127, 127));
+  for (auto& v : b) v = static_cast<i8>(rng.uniform(-127, 127));
+  i8 a0[8 * 16], a1[8 * 16], b0[16 * 8], b1[16 * 8];
+  for (int i = 0; i < 8; ++i)
+    for (int p = 0; p < 16; ++p) {
+      a0[i * 16 + p] = a[i * 32 + p];
+      a1[i * 16 + p] = a[i * 32 + 16 + p];
+    }
+  for (int p = 0; p < 16; ++p)
+    for (int j = 0; j < 8; ++j) {
+      b0[p * 8 + j] = b[p * 8 + j];
+      b1[p * 8 + j] = b[(16 + p) * 8 + j];
+    }
+  i32 split[64] = {0}, ref[64] = {0};
+  mma_m8n8k16_s8(a0, b0, split);
+  mma_m8n8k16_s8(a1, b1, split);
+  ref_matmul(a, b, ref, 32);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(split[i], ref[i]);
+}
+
+TEST(Dp4a, FourWideDot) {
+  const i8 a[4] = {1, -2, 3, -4};
+  const i8 b[4] = {5, 6, 7, 8};
+  EXPECT_EQ(dp4a(10, a, b), 10 + 5 - 12 + 21 - 32);
+}
+
+TEST(Dp4a, ChainEqualsMma) {
+  // dp4a chained over K=16 equals one mma row/col element.
+  Rng rng(4);
+  i8 a[16], b[16 * 8];
+  for (auto& v : a) v = static_cast<i8>(rng.uniform(-127, 127));
+  for (auto& v : b) v = static_cast<i8>(rng.uniform(-127, 127));
+  i32 acc = 0;
+  for (int p = 0; p < 16; p += 4) {
+    const i8 bq[4] = {b[(p + 0) * 8], b[(p + 1) * 8], b[(p + 2) * 8],
+                      b[(p + 3) * 8]};
+    acc = dp4a(acc, a + p, bq);
+  }
+  i8 afull[8 * 16] = {0};
+  for (int p = 0; p < 16; ++p) afull[p] = a[p];
+  i32 d[64] = {0};
+  mma_m8n8k16_s8(afull, b, d);
+  EXPECT_EQ(acc, d[0]);
+}
+
+TEST(MmaGeometry, KExtentByBits) {
+  EXPECT_EQ(mma_k(8), 16);
+  EXPECT_EQ(mma_k(4), 32);
+}
+
+}  // namespace
+}  // namespace lbc::gpusim

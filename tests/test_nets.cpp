@@ -1,0 +1,104 @@
+// Sanity of the network layer tables (paper Sec. 5.1/5.5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nets/nets.h"
+
+namespace lbc::nets {
+namespace {
+
+TEST(Nets, TableSizesMatchPaperFigures) {
+  EXPECT_EQ(resnet50_layers().size(), 19u);    // Fig. 7 has 19 layers
+  EXPECT_EQ(scr_resnet50_layers().size(), 13u);
+  EXPECT_EQ(densenet121_layers().size(), 16u);
+}
+
+TEST(Nets, AllShapesValidAndBatchOne) {
+  for (auto table : {resnet50_layers(), scr_resnet50_layers(),
+                     densenet121_layers()})
+    for (const ConvShape& s : table) {
+      EXPECT_TRUE(s.valid()) << s.name;
+      EXPECT_EQ(s.batch, 1) << s.name;
+    }
+}
+
+TEST(Nets, NamesUniqueAndOrdered) {
+  for (auto table : {resnet50_layers(), scr_resnet50_layers(),
+                     densenet121_layers()}) {
+    std::set<std::string> names;
+    for (const ConvShape& s : table) EXPECT_TRUE(names.insert(s.name).second);
+  }
+}
+
+TEST(Nets, ShapesNonRepetitive) {
+  // "representative and non-repetitive convolution layers" (Sec. 5.1).
+  for (auto table : {resnet50_layers(), scr_resnet50_layers(),
+                     densenet121_layers()}) {
+    std::set<std::tuple<i64, i64, i64, i64, i64>> geos;
+    for (const ConvShape& s : table)
+      EXPECT_TRUE(
+          geos.insert({s.in_c, s.in_h, s.out_c, s.kernel, s.stride}).second)
+          << s.name;
+  }
+}
+
+TEST(Nets, ResNetPinnedByFig13) {
+  // conv2 and conv18 must reproduce the paper's space-overhead extremes.
+  const auto layers = resnet50_layers();
+  const ConvShape& conv2 = layers[1];
+  EXPECT_EQ(conv2.name, "conv2");
+  const double ov2 = static_cast<double>(conv2.activation_elems() +
+                                         conv2.weight_elems() +
+                                         conv2.im2col_elems()) /
+                     static_cast<double>(conv2.activation_elems() +
+                                         conv2.weight_elems());
+  EXPECT_NEAR(ov2, 8.6034, 1e-3);
+  const ConvShape& conv18 = layers[17];
+  const double ov18 = static_cast<double>(conv18.activation_elems() +
+                                          conv18.weight_elems() +
+                                          conv18.im2col_elems()) /
+                      static_cast<double>(conv18.activation_elems() +
+                                          conv18.weight_elems());
+  EXPECT_NEAR(ov18, 1.0218, 1e-3);
+}
+
+TEST(Nets, WinogradSubsetIsThe3x3Stride1Layers) {
+  const auto wino = resnet50_winograd_layers();
+  EXPECT_EQ(wino.size(), 4u);  // conv2, conv6, conv11, conv16
+  for (const ConvShape& s : wino) {
+    EXPECT_EQ(s.kernel, 3);
+    EXPECT_EQ(s.stride, 1);
+  }
+}
+
+TEST(Nets, DenseNetContainsThePaperCitedShape) {
+  // Sec. 5.5 cites a 1 x 14 x 14 x 736 input layer in DenseNet-121.
+  bool found = false;
+  for (const ConvShape& s : densenet121_layers())
+    found |= (s.in_h == 14 && s.in_c == 736 && s.kernel == 1);
+  EXPECT_TRUE(found);
+}
+
+TEST(Nets, ScrShapesAreUnusual) {
+  // CRNAS channels are off the power-of-two grid for most layers.
+  int unusual = 0;
+  for (const ConvShape& s : scr_resnet50_layers()) {
+    const auto pow2 = [](i64 v) { return (v & (v - 1)) == 0; };
+    if (!pow2(s.in_c) || !pow2(s.out_c)) ++unusual;
+  }
+  EXPECT_GT(unusual, 8);
+}
+
+TEST(Nets, ShrinkForTestsKeepsValidity) {
+  const auto small = shrink_for_tests(resnet50_layers(), 8, 24);
+  ASSERT_EQ(small.size(), 19u);
+  for (const ConvShape& s : small) {
+    EXPECT_TRUE(s.valid()) << s.name;
+    EXPECT_LE(s.in_h, 8);
+    EXPECT_LE(s.in_c, 24);
+  }
+}
+
+}  // namespace
+}  // namespace lbc::nets

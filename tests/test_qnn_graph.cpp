@@ -1,0 +1,175 @@
+// End-to-end quantized graph runner tests: calibration, integer-only
+// inference accuracy against the fp32 reference, node semantics (residual
+// add rescaling, pooling), fused-ReLU behaviour, and bit-width effects.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/qnn_graph.h"
+
+namespace lbc::core {
+namespace {
+
+double max_rel_err(const Tensor<float>& got, const Tensor<float>& want) {
+  double err = 0, mag = 1e-9;
+  for (i64 i = 0; i < got.elems(); ++i) {
+    err = std::max(err, static_cast<double>(
+                            std::fabs(got.data()[i] - want.data()[i])));
+    mag = std::max(mag, static_cast<double>(std::fabs(want.data()[i])));
+  }
+  return err / mag;
+}
+
+TEST(QnnGraph, SingleConvMatchesFp32Within8BitError) {
+  QnnGraph g;
+  const auto in = g.add_input(8, 10);
+  const Tensor<float> w = random_ftensor(Shape4{12, 8, 3, 3}, -0.3f, 0.3f, 1);
+  g.add_conv(in, 12, 3, 1, 1, 8, w);
+  const Tensor<float> x = random_ftensor(Shape4{1, 8, 10, 10}, -1.0f, 1.0f, 2);
+  g.calibrate(x);
+  const auto r = g.forward(x);
+  EXPECT_LT(max_rel_err(r.out, g.forward_fp32(x)), 0.03);
+  EXPECT_GT(r.seconds, 0);
+}
+
+TEST(QnnGraph, FusedReluMatchesReference) {
+  QnnGraph g;
+  const auto in = g.add_input(4, 8);
+  const Tensor<float> w = random_ftensor(Shape4{4, 4, 3, 3}, -0.5f, 0.5f, 3);
+  g.add_conv(in, 4, 3, 1, 1, 8, w, {}, /*relu=*/true);
+  const Tensor<float> x = random_ftensor(Shape4{1, 4, 8, 8}, -1.0f, 1.0f, 4);
+  g.calibrate(x);
+  const auto r = g.forward(x);
+  const Tensor<float> ref = g.forward_fp32(x);
+  for (float v : r.out.span()) EXPECT_GE(v, 0.0f);
+  EXPECT_LT(max_rel_err(r.out, ref), 0.03);
+}
+
+TEST(QnnGraph, BiasIsCarriedThroughIntegerPath) {
+  QnnGraph g;
+  const auto in = g.add_input(2, 4);
+  Tensor<float> w(Shape4{3, 2, 1, 1}, 0.1f);
+  const std::vector<float> bias = {0.5f, -0.25f, 1.0f};
+  g.add_conv(in, 3, 1, 1, 0, 8, w, bias);
+  const Tensor<float> x = random_ftensor(Shape4{1, 2, 4, 4}, -1.0f, 1.0f, 5);
+  g.calibrate(x);
+  const auto r = g.forward(x);
+  EXPECT_LT(max_rel_err(r.out, g.forward_fp32(x)), 0.03);
+}
+
+TEST(QnnGraph, ResidualAddRescalesOperands) {
+  // Two conv branches with very different output magnitudes, then add:
+  // the rescaling multipliers must align them into one scheme.
+  QnnGraph g;
+  const auto in = g.add_input(4, 6);
+  Tensor<float> w_small(Shape4{4, 4, 1, 1}, 0.05f);
+  Tensor<float> w_big(Shape4{4, 4, 1, 1}, 0.9f);
+  const auto a = g.add_conv(in, 4, 1, 1, 0, 8, w_small);
+  const auto b = g.add_conv(in, 4, 1, 1, 0, 8, w_big);
+  g.add_add(a, b);
+  const Tensor<float> x = random_ftensor(Shape4{1, 4, 6, 6}, -1.0f, 1.0f, 6);
+  g.calibrate(x);
+  EXPECT_LT(max_rel_err(g.forward(x).out, g.forward_fp32(x)), 0.04);
+}
+
+TEST(QnnGraph, MaxPoolIsExactOnQuantizedValues) {
+  // Max pooling commutes with dequantization: the only error is the
+  // input quantization itself.
+  QnnGraph g;
+  const auto in = g.add_input(3, 8);
+  g.add_maxpool2(in);
+  const Tensor<float> x = random_ftensor(Shape4{1, 3, 8, 8}, -2.0f, 2.0f, 7);
+  g.calibrate(x);
+  EXPECT_LT(max_rel_err(g.forward(x).out, g.forward_fp32(x)), 0.02);
+}
+
+TEST(QnnGraph, GlobalAvgPoolWithinOneStep) {
+  QnnGraph g;
+  const auto in = g.add_input(6, 8);
+  g.add_global_avgpool(in);
+  const Tensor<float> x = random_ftensor(Shape4{1, 6, 8, 8}, -1.0f, 1.0f, 8);
+  g.calibrate(x);
+  const auto r = g.forward(x);
+  const Tensor<float> ref = g.forward_fp32(x);
+  for (i64 i = 0; i < r.out.elems(); ++i)
+    EXPECT_NEAR(r.out.data()[i], ref.data()[i], 0.03f);
+}
+
+TEST(QnnGraph, BottleneckBlockEndToEnd) {
+  QnnGraph g;
+  const auto in = g.add_input(16, 8);
+  add_bottleneck_block(g, in, 16, 8, 16, 1, 8, 42);
+  const Tensor<float> x = random_ftensor(Shape4{1, 16, 8, 8}, -1.0f, 1.0f, 9);
+  g.calibrate(x);
+  const auto r = g.forward(x);
+  EXPECT_EQ(r.out.shape(), (Shape4{1, 16, 8, 8}));
+  EXPECT_LT(max_rel_err(r.out, g.forward_fp32(x)), 0.10);  // 3 convs + add
+  EXPECT_GT(r.seconds, 0);
+}
+
+TEST(QnnGraph, StridedProjectionBlock) {
+  QnnGraph g;
+  const auto in = g.add_input(8, 8);
+  add_bottleneck_block(g, in, 8, 4, 24, 2, 8, 43);
+  const Tensor<float> x = random_ftensor(Shape4{1, 8, 8, 8}, -1.0f, 1.0f, 10);
+  g.calibrate(x);
+  const auto r = g.forward(x);
+  EXPECT_EQ(r.out.shape(), (Shape4{1, 24, 4, 4}));
+  EXPECT_LT(max_rel_err(r.out, g.forward_fp32(x)), 0.10);
+}
+
+TEST(QnnGraph, LowerBitsLargerErrorFasterRun) {
+  QnnGraph g8, g4;
+  for (auto* g : {&g8, &g4}) {
+    const int bits = (g == &g8) ? 8 : 4;
+    const auto in = g->add_input(16, 12);
+    add_bottleneck_block(*g, in, 16, 16, 16, 1, bits, 77);
+  }
+  const Tensor<float> x = random_ftensor(Shape4{1, 16, 12, 12}, -1.0f, 1.0f, 11);
+  g8.calibrate(x);
+  g4.calibrate(x);
+  const auto r8 = g8.forward(x);
+  const auto r4 = g4.forward(x);
+  const Tensor<float> ref = g8.forward_fp32(x);
+  EXPECT_LT(max_rel_err(r8.out, ref), max_rel_err(r4.out, ref));
+  EXPECT_LT(r4.seconds, r8.seconds);
+}
+
+TEST(QnnGraph, MultiBlockStackStaysAccurate) {
+  QnnGraph g;
+  auto cur = g.add_input(8, 16);
+  cur = add_bottleneck_block(g, cur, 8, 8, 16, 1, 8, 50);
+  cur = add_bottleneck_block(g, cur, 16, 8, 16, 1, 8, 60);
+  cur = add_bottleneck_block(g, cur, 16, 8, 32, 2, 8, 70);
+  g.add_global_avgpool(cur);
+  const Tensor<float> x = random_ftensor(Shape4{1, 8, 16, 16}, -1.0f, 1.0f, 12);
+  g.calibrate(x);
+  const auto r = g.forward(x);
+  EXPECT_EQ(r.out.shape(), (Shape4{1, 32, 1, 1}));
+  const Tensor<float> ref = g.forward_fp32(x);
+  for (i64 i = 0; i < r.out.elems(); ++i)
+    EXPECT_NEAR(r.out.data()[i], ref.data()[i],
+                0.15f * std::max(1.0f, std::fabs(ref.data()[i])));
+  EXPECT_EQ(r.node_seconds.size(), static_cast<size_t>(g.node_count()));
+}
+
+TEST(QnnGraph, WinogradAutoDispatchInsideGraph) {
+  // A 4-bit 3x3/s1 conv inside the graph takes the winograd path under
+  // kAuto; the end-to-end error stays bounded (winograd-domain rounding
+  // is absorbed by the quantization error budget).
+  // Channels deep enough that the transform overhead amortizes.
+  QnnGraph g;
+  const auto in = g.add_input(32, 14);
+  const Tensor<float> w = random_ftensor(Shape4{32, 32, 3, 3}, -0.3f, 0.3f, 13);
+  g.add_conv(in, 32, 3, 1, 1, 5, w);
+  const Tensor<float> x = random_ftensor(Shape4{1, 32, 14, 14}, -1.0f, 1.0f, 14);
+  g.calibrate(x);
+  const auto r_auto = g.forward(x, armkern::ConvAlgo::kAuto);
+  const auto r_gemm = g.forward(x, armkern::ConvAlgo::kGemm);
+  EXPECT_LT(max_rel_err(r_auto.out, g.forward_fp32(x)), 0.15);
+  EXPECT_LT(r_auto.seconds, r_gemm.seconds);  // winograd is the faster path
+}
+
+}  // namespace
+}  // namespace lbc::core

@@ -1,0 +1,65 @@
+// Report-formatting tests: geomean, speedup-table construction, and the
+// summary statistics the bench binaries print.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/report.h"
+
+namespace lbc::core {
+namespace {
+
+TEST(Geomean, KnownValues) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(SpeedupTable, ConstructionAndPrint) {
+  SpeedupTable t;
+  t.title = "test";
+  t.baseline_name = "base";
+  t.layer_names = {"l1", "l2"};
+  t.baseline_seconds = {1e-3, 2e-3};
+  t.add_series("fast");
+  t.series[0].seconds = {0.5e-3, 1e-3};  // 2x on both layers
+  ASSERT_EQ(t.series.size(), 1u);
+  // print() must not crash and must flush coherent output; capture it.
+  ::testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("test"), std::string::npos);
+  EXPECT_NE(out.find("l1"), std::string::npos);
+  EXPECT_NE(out.find("2.00x"), std::string::npos);
+  EXPECT_NE(out.find("wins 2/2"), std::string::npos);
+}
+
+TEST(SpeedupTable, SummaryCountsWinsAndMax) {
+  SpeedupTable t;
+  t.title = "mix";
+  t.baseline_name = "b";
+  t.time_unit = "ms";
+  t.layer_names = {"a", "b", "c"};
+  t.baseline_seconds = {1.0, 1.0, 1.0};
+  t.add_series("s");
+  t.series[0].seconds = {0.5, 2.0, 0.25};  // wins on a (2x) and c (4x)
+  ::testing::internal::CaptureStdout();
+  t.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("wins 2/3"), std::string::npos);
+  EXPECT_NE(out.find("max 4.00x (c)"), std::string::npos);
+}
+
+TEST(Banner, MentionsBothSimulatedSubstrates) {
+  ::testing::internal::CaptureStdout();
+  print_environment_banner();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Cortex-A53"), std::string::npos);
+  EXPECT_NE(out.find("TU102"), std::string::npos);
+  EXPECT_NE(out.find("DESIGN.md"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbc::core

@@ -1,0 +1,53 @@
+// Tests for the Fig. 5 shared-memory access-pattern simulation.
+#include <gtest/gtest.h>
+
+#include "gpusim/smem.h"
+
+namespace lbc::gpusim {
+namespace {
+
+TEST(SmemPattern, ReorderedIsOneInstructionConflictFree) {
+  for (int ld : {32, 64, 128, 48}) {
+    const SmemPattern p = simulate_fragment_access(ld, true);
+    EXPECT_EQ(p.instructions, 1u);
+    EXPECT_EQ(p.cycles, 4u);  // four phases, each conflict-free
+  }
+}
+
+TEST(SmemPattern, StridedIsFourInstructions) {
+  // "each thread needs four LDS.32 instructions ... reduced to
+  // one-quarter" (Sec. 4.3).
+  for (int ld : {32, 64, 128}) {
+    const SmemPattern p = simulate_fragment_access(ld, false);
+    EXPECT_EQ(p.instructions, 4u);
+    EXPECT_EQ(p.instructions,
+              4 * simulate_fragment_access(ld, true).instructions);
+  }
+}
+
+TEST(SmemPattern, StridedConflictsGrowWithPowerOfTwoStride) {
+  // ld = 128 bytes puts every row's same column in the same bank: the
+  // 8 rows serialize harder than with ld = 64.
+  const SmemPattern p64 = simulate_fragment_access(64, false);
+  const SmemPattern p128 = simulate_fragment_access(128, false);
+  EXPECT_GE(p128.cycles, p64.cycles);
+  EXPECT_GT(p128.cycles, p128.instructions);  // real conflicts exist
+}
+
+TEST(SmemPattern, ReorderedAlwaysCheaperInCycles) {
+  for (int ld : {32, 64, 128, 256}) {
+    EXPECT_LE(simulate_fragment_access(ld, true).cycles,
+              simulate_fragment_access(ld, false).cycles)
+        << "ld=" << ld;
+  }
+}
+
+TEST(SmemPattern, StridedCyclesAtLeastInstructionCount) {
+  for (int ld : {32, 48, 64, 96, 128}) {
+    const SmemPattern p = simulate_fragment_access(ld, false);
+    EXPECT_GE(p.cycles, p.instructions) << "ld=" << ld;
+  }
+}
+
+}  // namespace
+}  // namespace lbc::gpusim

@@ -1,0 +1,104 @@
+// Tuning cache: hit/miss behaviour, consistency with a fresh search,
+// serialization round trip, corrupt-input tolerance, thread safety.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gpukern/tuning_cache.h"
+#include "nets/nets.h"
+
+namespace lbc::gpukern {
+namespace {
+
+using gpusim::DeviceSpec;
+
+TEST(TuningCache, MissThenHit) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const ConvShape s = nets::resnet50_layers()[0];
+  TuningCache cache;
+  EXPECT_FALSE(
+      cache.lookup({s.gemm_m(), s.gemm_n(), s.gemm_k(), 8, true}).has_value());
+  const Tiling t1 = cache.get_or_search(dev, s, 8, true);
+  EXPECT_EQ(cache.misses(), 1);
+  const Tiling t2 = cache.get_or_search(dev, s, 8, true);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(TuningCache, MatchesFreshSearch) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const ConvShape s = nets::resnet50_layers()[13];
+  TuningCache cache;
+  const Tiling cached = cache.get_or_search(dev, s, 4, true);
+  const AutotuneResult fresh = autotune_tiling(dev, s, 4, true);
+  EXPECT_EQ(cached, fresh.best);
+}
+
+TEST(TuningCache, KeysDistinguishBitsAndEngine) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const ConvShape s = nets::resnet50_layers()[1];
+  TuningCache cache;
+  cache.get_or_search(dev, s, 8, true);
+  cache.get_or_search(dev, s, 4, true);
+  cache.get_or_search(dev, s, 8, false);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.misses(), 3);
+}
+
+TEST(TuningCache, SerializeRoundTrip) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  TuningCache a;
+  for (int i = 0; i < 4; ++i)
+    a.get_or_search(dev, nets::resnet50_layers()[static_cast<size_t>(i)], 8,
+                    true);
+  const std::string text = a.serialize();
+
+  TuningCache b;
+  EXPECT_EQ(b.deserialize(text), 4);
+  EXPECT_EQ(b.size(), 4u);
+  // Every restored entry serves as a hit with identical tiling.
+  for (int i = 0; i < 4; ++i) {
+    const ConvShape& s = nets::resnet50_layers()[static_cast<size_t>(i)];
+    EXPECT_EQ(b.get_or_search(dev, s, 8, true),
+              a.get_or_search(dev, s, 8, true));
+  }
+  EXPECT_EQ(b.misses(), 0);
+}
+
+TEST(TuningCache, DeserializeSkipsCorruptLines) {
+  TuningCache c;
+  const std::string text =
+      "64 196 1024 8 1 32 16 64 32 2 1\n"
+      "garbage line\n"
+      "1 2 -3 8 1 16 16 32 16 1 1\n"      // negative K: rejected
+      "64 196 1024 4 1 0 16 64 32 2 1\n"  // zero mtile: rejected
+      "\n"
+      "128 49 512 4 1 64 16 64 32 2 2\n";
+  EXPECT_EQ(c.deserialize(text), 2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.lookup({64, 196, 1024, 8, true}).has_value());
+  EXPECT_TRUE(c.lookup({128, 49, 512, 4, true}).has_value());
+}
+
+TEST(TuningCache, ConcurrentAccessIsSafeAndConsistent) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  TuningCache cache;
+  const auto layers = nets::resnet50_layers();
+  std::vector<std::thread> pool;
+  std::vector<Tiling> results(8);
+  for (int t = 0; t < 8; ++t)
+    pool.emplace_back([&, t] {
+      // All threads tune the same handful of shapes concurrently.
+      for (int i = 0; i < 4; ++i)
+        results[static_cast<size_t>(t)] = cache.get_or_search(
+            dev, layers[static_cast<size_t>(i % 4)], 8, true);
+    });
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(cache.size(), 4u);
+  // Every thread converged to the same (deterministic) tiling for layer 3.
+  for (const Tiling& t : results) EXPECT_EQ(t, results[0]);
+}
+
+}  // namespace
+}  // namespace lbc::gpukern

@@ -1,0 +1,98 @@
+// The optimized winograd kernel (paper Sec. 3.4) must be bit-exact against
+// the rounded-int8 winograd reference for 4-6-bit data, across tile-edge
+// geometries, and its flush table must be overflow-safe under extreme data.
+#include <gtest/gtest.h>
+
+#include "armkern/winograd23.h"
+#include "common/rng.h"
+#include "refconv/winograd_ref.h"
+
+namespace lbc::armkern {
+namespace {
+
+ConvShape shape(i64 b, i64 ic, i64 hw, i64 oc, i64 pad) {
+  ConvShape s;
+  s.name = "w";
+  s.batch = b;
+  s.in_c = ic;
+  s.in_h = s.in_w = hw;
+  s.out_c = oc;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = pad;
+  return s;
+}
+
+void expect_matches_reference(const ConvShape& s, int bits, bool extreme,
+                              u64 seed) {
+  const auto make = extreme ? extreme_qtensor : random_qtensor;
+  const Tensor<i8> in =
+      make(Shape4{s.batch, s.in_c, s.in_h, s.in_w}, bits, seed);
+  const Tensor<i8> w =
+      make(Shape4{s.out_c, s.in_c, 3, 3}, bits, seed + 1);
+  Tensor<i32> out;
+  winograd_conv_s32(s, in, w, bits, out);
+  const Tensor<i32> ref = ref::winograd_conv_s32(
+      s, in, w, ref::WinogradWeightMode::kRoundedInt8);
+  ASSERT_EQ(count_mismatches(ref, out), 0)
+      << "bits=" << bits << " hw=" << s.in_h << " pad=" << s.pad;
+}
+
+TEST(WinogradFlush, TableIsSafeAndMonotonic) {
+  // 4-bit transformed products are small -> big interval; 6-bit -> small.
+  EXPECT_GE(winograd_flush_interval(4), winograd_flush_interval(5));
+  EXPECT_GE(winograd_flush_interval(5), winograd_flush_interval(6));
+  EXPECT_GE(winograd_flush_interval(6), 1);
+  for (int bits : {4, 5, 6}) {
+    const i32 q = qmax_for_bits(bits);
+    const i32 umax = (9 * q + 2) / 4 + 1, vmax = 4 * q;
+    EXPECT_LE(static_cast<i64>(winograd_flush_interval(bits)) * umax * vmax,
+              32767);
+  }
+}
+
+class WinogradBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(WinogradBits, MatchesReferenceRandom) {
+  expect_matches_reference(shape(1, 4, 8, 4, 1), GetParam(), false, 60);
+}
+
+TEST_P(WinogradBits, MatchesReferenceExtreme) {
+  // Extreme data exercises the tightest accumulator headroom of the
+  // transformed-domain SMLAL scheme.
+  expect_matches_reference(shape(1, 8, 6, 4, 1), GetParam(), true, 70);
+}
+
+TEST_P(WinogradBits, OddOutputEdgeTiles) {
+  expect_matches_reference(shape(1, 3, 7, 2, 1), GetParam(), false, 80);
+}
+
+TEST_P(WinogradBits, NoPadding) {
+  expect_matches_reference(shape(1, 2, 6, 3, 0), GetParam(), false, 90);
+}
+
+TEST_P(WinogradBits, Batched) {
+  expect_matches_reference(shape(2, 2, 6, 2, 1), GetParam(), false, 95);
+}
+
+TEST_P(WinogradBits, DeepChannels) {
+  // in_c beyond one flush interval in the transformed-domain GEMM.
+  expect_matches_reference(shape(1, 40, 6, 2, 1), GetParam(), true, 99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits4to6, WinogradBits, ::testing::Range(4, 7));
+
+TEST(Winograd, StatsTrackGemmAndTransformWork) {
+  const ConvShape s = shape(1, 4, 8, 4, 1);
+  const Tensor<i8> in = random_qtensor(Shape4{1, 4, 8, 8}, 4, 1);
+  const Tensor<i8> w = random_qtensor(Shape4{4, 4, 3, 3}, 4, 2);
+  Tensor<i32> out;
+  const WinogradStats st = winograd_conv_s32(s, in, w, 4, out);
+  using armsim::Op;
+  EXPECT_GT(st.counts[Op::kSmlal8], 0u);  // 16 GEMMs on the SMLAL scheme
+  EXPECT_GT(st.counts[Op::kAdd], 0u);     // transforms
+  EXPECT_GT(st.transform_buf_elems, 0);
+}
+
+}  // namespace
+}  // namespace lbc::armkern

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_arm_gemm"
+  "../bench/ablation_arm_gemm.pdb"
+  "CMakeFiles/ablation_arm_gemm.dir/ablation_arm_gemm.cpp.o"
+  "CMakeFiles/ablation_arm_gemm.dir/ablation_arm_gemm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arm_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

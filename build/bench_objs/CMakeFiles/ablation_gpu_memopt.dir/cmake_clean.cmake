@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gpu_memopt"
+  "../bench/ablation_gpu_memopt.pdb"
+  "CMakeFiles/ablation_gpu_memopt.dir/ablation_gpu_memopt.cpp.o"
+  "CMakeFiles/ablation_gpu_memopt.dir/ablation_gpu_memopt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_memopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

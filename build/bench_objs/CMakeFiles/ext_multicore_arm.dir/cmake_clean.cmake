@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multicore_arm"
+  "../bench/ext_multicore_arm.pdb"
+  "CMakeFiles/ext_multicore_arm.dir/ext_multicore_arm.cpp.o"
+  "CMakeFiles/ext_multicore_arm.dir/ext_multicore_arm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicore_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_winograd43"
+  "../bench/ext_winograd43.pdb"
+  "CMakeFiles/ext_winograd43.dir/ext_winograd43.cpp.o"
+  "CMakeFiles/ext_winograd43.dir/ext_winograd43.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_winograd43.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

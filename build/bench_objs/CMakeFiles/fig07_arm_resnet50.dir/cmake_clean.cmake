@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_arm_resnet50"
+  "../bench/fig07_arm_resnet50.pdb"
+  "CMakeFiles/fig07_arm_resnet50.dir/fig07_arm_resnet50.cpp.o"
+  "CMakeFiles/fig07_arm_resnet50.dir/fig07_arm_resnet50.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_arm_resnet50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

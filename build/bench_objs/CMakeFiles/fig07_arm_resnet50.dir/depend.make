@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_arm_resnet50.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_arm_winograd"
+  "../bench/fig08_arm_winograd.pdb"
+  "CMakeFiles/fig08_arm_winograd.dir/fig08_arm_winograd.cpp.o"
+  "CMakeFiles/fig08_arm_winograd.dir/fig08_arm_winograd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_arm_winograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_arm_bitserial"
+  "../bench/fig09_arm_bitserial.pdb"
+  "CMakeFiles/fig09_arm_bitserial.dir/fig09_arm_bitserial.cpp.o"
+  "CMakeFiles/fig09_arm_bitserial.dir/fig09_arm_bitserial.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_arm_bitserial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

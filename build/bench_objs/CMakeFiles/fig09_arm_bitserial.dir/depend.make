@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_arm_bitserial.
+# This may be replaced when dependencies are built.

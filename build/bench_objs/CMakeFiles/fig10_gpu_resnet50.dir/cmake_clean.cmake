@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_gpu_resnet50"
+  "../bench/fig10_gpu_resnet50.pdb"
+  "CMakeFiles/fig10_gpu_resnet50.dir/fig10_gpu_resnet50.cpp.o"
+  "CMakeFiles/fig10_gpu_resnet50.dir/fig10_gpu_resnet50.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gpu_resnet50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_gpu_autotune"
+  "../bench/fig11_gpu_autotune.pdb"
+  "CMakeFiles/fig11_gpu_autotune.dir/fig11_gpu_autotune.cpp.o"
+  "CMakeFiles/fig11_gpu_autotune.dir/fig11_gpu_autotune.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_gpu_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_gpu_fusion"
+  "../bench/fig12_gpu_fusion.pdb"
+  "CMakeFiles/fig12_gpu_fusion.dir/fig12_gpu_fusion.cpp.o"
+  "CMakeFiles/fig12_gpu_fusion.dir/fig12_gpu_fusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gpu_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

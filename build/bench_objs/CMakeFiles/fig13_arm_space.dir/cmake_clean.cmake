@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_arm_space"
+  "../bench/fig13_arm_space.pdb"
+  "CMakeFiles/fig13_arm_space.dir/fig13_arm_space.cpp.o"
+  "CMakeFiles/fig13_arm_space.dir/fig13_arm_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_arm_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

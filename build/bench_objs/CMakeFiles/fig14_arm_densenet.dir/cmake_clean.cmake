@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_arm_densenet"
+  "../bench/fig14_arm_densenet.pdb"
+  "CMakeFiles/fig14_arm_densenet.dir/fig14_arm_densenet.cpp.o"
+  "CMakeFiles/fig14_arm_densenet.dir/fig14_arm_densenet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_arm_densenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

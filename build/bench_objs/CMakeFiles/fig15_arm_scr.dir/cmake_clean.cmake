@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_arm_scr"
+  "../bench/fig15_arm_scr.pdb"
+  "CMakeFiles/fig15_arm_scr.dir/fig15_arm_scr.cpp.o"
+  "CMakeFiles/fig15_arm_scr.dir/fig15_arm_scr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_arm_scr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_gpu_scr"
+  "../bench/fig16_gpu_scr.pdb"
+  "CMakeFiles/fig16_gpu_scr.dir/fig16_gpu_scr.cpp.o"
+  "CMakeFiles/fig16_gpu_scr.dir/fig16_gpu_scr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_gpu_scr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

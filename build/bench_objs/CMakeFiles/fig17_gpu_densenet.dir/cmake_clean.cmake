@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_gpu_densenet"
+  "../bench/fig17_gpu_densenet.pdb"
+  "CMakeFiles/fig17_gpu_densenet.dir/fig17_gpu_densenet.cpp.o"
+  "CMakeFiles/fig17_gpu_densenet.dir/fig17_gpu_densenet.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_gpu_densenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_autotune_explorer.dir/gpu_autotune_explorer.cpp.o"
+  "CMakeFiles/gpu_autotune_explorer.dir/gpu_autotune_explorer.cpp.o.d"
+  "gpu_autotune_explorer"
+  "gpu_autotune_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_autotune_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

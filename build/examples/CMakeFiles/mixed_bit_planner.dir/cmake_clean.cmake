@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_bit_planner.dir/mixed_bit_planner.cpp.o"
+  "CMakeFiles/mixed_bit_planner.dir/mixed_bit_planner.cpp.o.d"
+  "mixed_bit_planner"
+  "mixed_bit_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_bit_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qnn_resnet_block.dir/qnn_resnet_block.cpp.o"
+  "CMakeFiles/qnn_resnet_block.dir/qnn_resnet_block.cpp.o.d"
+  "qnn_resnet_block"
+  "qnn_resnet_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qnn_resnet_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

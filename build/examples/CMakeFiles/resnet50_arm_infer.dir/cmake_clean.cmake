@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet50_arm_infer.dir/resnet50_arm_infer.cpp.o"
+  "CMakeFiles/resnet50_arm_infer.dir/resnet50_arm_infer.cpp.o.d"
+  "resnet50_arm_infer"
+  "resnet50_arm_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet50_arm_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

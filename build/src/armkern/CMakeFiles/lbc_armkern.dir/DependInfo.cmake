@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/armkern/bitserial.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/bitserial.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/bitserial.cpp.o.d"
+  "/root/repo/src/armkern/conv_arm.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/conv_arm.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/conv_arm.cpp.o.d"
+  "/root/repo/src/armkern/direct_conv.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/direct_conv.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/direct_conv.cpp.o.d"
+  "/root/repo/src/armkern/gemm_lowbit.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/gemm_lowbit.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/gemm_lowbit.cpp.o.d"
+  "/root/repo/src/armkern/gemm_ncnn.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/gemm_ncnn.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/gemm_ncnn.cpp.o.d"
+  "/root/repo/src/armkern/gemm_traditional.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/gemm_traditional.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/gemm_traditional.cpp.o.d"
+  "/root/repo/src/armkern/micro_mla.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/micro_mla.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/micro_mla.cpp.o.d"
+  "/root/repo/src/armkern/micro_sdot.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/micro_sdot.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/micro_sdot.cpp.o.d"
+  "/root/repo/src/armkern/micro_smlal.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/micro_smlal.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/micro_smlal.cpp.o.d"
+  "/root/repo/src/armkern/pack.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/pack.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/pack.cpp.o.d"
+  "/root/repo/src/armkern/schemes.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/schemes.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/schemes.cpp.o.d"
+  "/root/repo/src/armkern/winograd23.cpp" "src/armkern/CMakeFiles/lbc_armkern.dir/winograd23.cpp.o" "gcc" "src/armkern/CMakeFiles/lbc_armkern.dir/winograd23.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/armsim/CMakeFiles/lbc_armsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/refconv/CMakeFiles/lbc_refconv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_armkern.dir/bitserial.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/bitserial.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/conv_arm.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/conv_arm.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/direct_conv.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/direct_conv.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/gemm_lowbit.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/gemm_lowbit.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/gemm_ncnn.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/gemm_ncnn.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/gemm_traditional.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/gemm_traditional.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/micro_mla.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/micro_mla.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/micro_sdot.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/micro_sdot.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/micro_smlal.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/micro_smlal.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/pack.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/pack.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/schemes.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/schemes.cpp.o.d"
+  "CMakeFiles/lbc_armkern.dir/winograd23.cpp.o"
+  "CMakeFiles/lbc_armkern.dir/winograd23.cpp.o.d"
+  "liblbc_armkern.a"
+  "liblbc_armkern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_armkern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lbc_armkern.
+# This may be replaced when dependencies are built.

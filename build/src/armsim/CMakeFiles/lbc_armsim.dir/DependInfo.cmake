@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/armsim/cache.cpp" "src/armsim/CMakeFiles/lbc_armsim.dir/cache.cpp.o" "gcc" "src/armsim/CMakeFiles/lbc_armsim.dir/cache.cpp.o.d"
+  "/root/repo/src/armsim/cost_model.cpp" "src/armsim/CMakeFiles/lbc_armsim.dir/cost_model.cpp.o" "gcc" "src/armsim/CMakeFiles/lbc_armsim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/armsim/counters.cpp" "src/armsim/CMakeFiles/lbc_armsim.dir/counters.cpp.o" "gcc" "src/armsim/CMakeFiles/lbc_armsim.dir/counters.cpp.o.d"
+  "/root/repo/src/armsim/neon.cpp" "src/armsim/CMakeFiles/lbc_armsim.dir/neon.cpp.o" "gcc" "src/armsim/CMakeFiles/lbc_armsim.dir/neon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_armsim.dir/cache.cpp.o"
+  "CMakeFiles/lbc_armsim.dir/cache.cpp.o.d"
+  "CMakeFiles/lbc_armsim.dir/cost_model.cpp.o"
+  "CMakeFiles/lbc_armsim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lbc_armsim.dir/counters.cpp.o"
+  "CMakeFiles/lbc_armsim.dir/counters.cpp.o.d"
+  "CMakeFiles/lbc_armsim.dir/neon.cpp.o"
+  "CMakeFiles/lbc_armsim.dir/neon.cpp.o.d"
+  "liblbc_armsim.a"
+  "liblbc_armsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_armsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

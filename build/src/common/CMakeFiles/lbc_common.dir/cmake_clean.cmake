@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_common.dir/conv_shape.cpp.o"
+  "CMakeFiles/lbc_common.dir/conv_shape.cpp.o.d"
+  "CMakeFiles/lbc_common.dir/rng.cpp.o"
+  "CMakeFiles/lbc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lbc_common.dir/tensor.cpp.o"
+  "CMakeFiles/lbc_common.dir/tensor.cpp.o.d"
+  "liblbc_common.a"
+  "liblbc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

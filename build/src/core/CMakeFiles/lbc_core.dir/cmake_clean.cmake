@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_core.dir/engine.cpp.o"
+  "CMakeFiles/lbc_core.dir/engine.cpp.o.d"
+  "CMakeFiles/lbc_core.dir/model_runner.cpp.o"
+  "CMakeFiles/lbc_core.dir/model_runner.cpp.o.d"
+  "CMakeFiles/lbc_core.dir/qnn_graph.cpp.o"
+  "CMakeFiles/lbc_core.dir/qnn_graph.cpp.o.d"
+  "CMakeFiles/lbc_core.dir/report.cpp.o"
+  "CMakeFiles/lbc_core.dir/report.cpp.o.d"
+  "liblbc_core.a"
+  "liblbc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpukern/autotune.cpp" "src/gpukern/CMakeFiles/lbc_gpukern.dir/autotune.cpp.o" "gcc" "src/gpukern/CMakeFiles/lbc_gpukern.dir/autotune.cpp.o.d"
+  "/root/repo/src/gpukern/baselines.cpp" "src/gpukern/CMakeFiles/lbc_gpukern.dir/baselines.cpp.o" "gcc" "src/gpukern/CMakeFiles/lbc_gpukern.dir/baselines.cpp.o.d"
+  "/root/repo/src/gpukern/conv_igemm.cpp" "src/gpukern/CMakeFiles/lbc_gpukern.dir/conv_igemm.cpp.o" "gcc" "src/gpukern/CMakeFiles/lbc_gpukern.dir/conv_igemm.cpp.o.d"
+  "/root/repo/src/gpukern/fusion.cpp" "src/gpukern/CMakeFiles/lbc_gpukern.dir/fusion.cpp.o" "gcc" "src/gpukern/CMakeFiles/lbc_gpukern.dir/fusion.cpp.o.d"
+  "/root/repo/src/gpukern/precomp.cpp" "src/gpukern/CMakeFiles/lbc_gpukern.dir/precomp.cpp.o" "gcc" "src/gpukern/CMakeFiles/lbc_gpukern.dir/precomp.cpp.o.d"
+  "/root/repo/src/gpukern/tiling.cpp" "src/gpukern/CMakeFiles/lbc_gpukern.dir/tiling.cpp.o" "gcc" "src/gpukern/CMakeFiles/lbc_gpukern.dir/tiling.cpp.o.d"
+  "/root/repo/src/gpukern/tuning_cache.cpp" "src/gpukern/CMakeFiles/lbc_gpukern.dir/tuning_cache.cpp.o" "gcc" "src/gpukern/CMakeFiles/lbc_gpukern.dir/tuning_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/lbc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/refconv/CMakeFiles/lbc_refconv.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lbc_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

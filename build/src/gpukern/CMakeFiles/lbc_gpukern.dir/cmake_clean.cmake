@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_gpukern.dir/autotune.cpp.o"
+  "CMakeFiles/lbc_gpukern.dir/autotune.cpp.o.d"
+  "CMakeFiles/lbc_gpukern.dir/baselines.cpp.o"
+  "CMakeFiles/lbc_gpukern.dir/baselines.cpp.o.d"
+  "CMakeFiles/lbc_gpukern.dir/conv_igemm.cpp.o"
+  "CMakeFiles/lbc_gpukern.dir/conv_igemm.cpp.o.d"
+  "CMakeFiles/lbc_gpukern.dir/fusion.cpp.o"
+  "CMakeFiles/lbc_gpukern.dir/fusion.cpp.o.d"
+  "CMakeFiles/lbc_gpukern.dir/precomp.cpp.o"
+  "CMakeFiles/lbc_gpukern.dir/precomp.cpp.o.d"
+  "CMakeFiles/lbc_gpukern.dir/tiling.cpp.o"
+  "CMakeFiles/lbc_gpukern.dir/tiling.cpp.o.d"
+  "CMakeFiles/lbc_gpukern.dir/tuning_cache.cpp.o"
+  "CMakeFiles/lbc_gpukern.dir/tuning_cache.cpp.o.d"
+  "liblbc_gpukern.a"
+  "liblbc_gpukern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_gpukern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lbc_gpukern.
+# This may be replaced when dependencies are built.

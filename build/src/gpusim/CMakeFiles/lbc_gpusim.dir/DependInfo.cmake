@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/cost_model.cpp" "src/gpusim/CMakeFiles/lbc_gpusim.dir/cost_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/lbc_gpusim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/lbc_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/lbc_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/mma.cpp" "src/gpusim/CMakeFiles/lbc_gpusim.dir/mma.cpp.o" "gcc" "src/gpusim/CMakeFiles/lbc_gpusim.dir/mma.cpp.o.d"
+  "/root/repo/src/gpusim/smem.cpp" "src/gpusim/CMakeFiles/lbc_gpusim.dir/smem.cpp.o" "gcc" "src/gpusim/CMakeFiles/lbc_gpusim.dir/smem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

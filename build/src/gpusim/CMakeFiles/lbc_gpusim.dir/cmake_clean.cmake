@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/lbc_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lbc_gpusim.dir/device.cpp.o"
+  "CMakeFiles/lbc_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/lbc_gpusim.dir/mma.cpp.o"
+  "CMakeFiles/lbc_gpusim.dir/mma.cpp.o.d"
+  "CMakeFiles/lbc_gpusim.dir/smem.cpp.o"
+  "CMakeFiles/lbc_gpusim.dir/smem.cpp.o.d"
+  "liblbc_gpusim.a"
+  "liblbc_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_nets.dir/nets.cpp.o"
+  "CMakeFiles/lbc_nets.dir/nets.cpp.o.d"
+  "liblbc_nets.a"
+  "liblbc_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_quant.dir/per_channel.cpp.o"
+  "CMakeFiles/lbc_quant.dir/per_channel.cpp.o.d"
+  "CMakeFiles/lbc_quant.dir/qscheme.cpp.o"
+  "CMakeFiles/lbc_quant.dir/qscheme.cpp.o.d"
+  "CMakeFiles/lbc_quant.dir/quantize.cpp.o"
+  "CMakeFiles/lbc_quant.dir/quantize.cpp.o.d"
+  "liblbc_quant.a"
+  "liblbc_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

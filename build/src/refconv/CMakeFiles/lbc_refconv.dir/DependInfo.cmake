@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refconv/conv_ref.cpp" "src/refconv/CMakeFiles/lbc_refconv.dir/conv_ref.cpp.o" "gcc" "src/refconv/CMakeFiles/lbc_refconv.dir/conv_ref.cpp.o.d"
+  "/root/repo/src/refconv/gemm_ref.cpp" "src/refconv/CMakeFiles/lbc_refconv.dir/gemm_ref.cpp.o" "gcc" "src/refconv/CMakeFiles/lbc_refconv.dir/gemm_ref.cpp.o.d"
+  "/root/repo/src/refconv/im2col.cpp" "src/refconv/CMakeFiles/lbc_refconv.dir/im2col.cpp.o" "gcc" "src/refconv/CMakeFiles/lbc_refconv.dir/im2col.cpp.o.d"
+  "/root/repo/src/refconv/winograd43_ref.cpp" "src/refconv/CMakeFiles/lbc_refconv.dir/winograd43_ref.cpp.o" "gcc" "src/refconv/CMakeFiles/lbc_refconv.dir/winograd43_ref.cpp.o.d"
+  "/root/repo/src/refconv/winograd_ref.cpp" "src/refconv/CMakeFiles/lbc_refconv.dir/winograd_ref.cpp.o" "gcc" "src/refconv/CMakeFiles/lbc_refconv.dir/winograd_ref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lbc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbc_refconv.dir/conv_ref.cpp.o"
+  "CMakeFiles/lbc_refconv.dir/conv_ref.cpp.o.d"
+  "CMakeFiles/lbc_refconv.dir/gemm_ref.cpp.o"
+  "CMakeFiles/lbc_refconv.dir/gemm_ref.cpp.o.d"
+  "CMakeFiles/lbc_refconv.dir/im2col.cpp.o"
+  "CMakeFiles/lbc_refconv.dir/im2col.cpp.o.d"
+  "CMakeFiles/lbc_refconv.dir/winograd43_ref.cpp.o"
+  "CMakeFiles/lbc_refconv.dir/winograd43_ref.cpp.o.d"
+  "CMakeFiles/lbc_refconv.dir/winograd_ref.cpp.o"
+  "CMakeFiles/lbc_refconv.dir/winograd_ref.cpp.o.d"
+  "liblbc_refconv.a"
+  "liblbc_refconv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbc_refconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_armsim.dir/test_armsim.cpp.o"
+  "CMakeFiles/test_armsim.dir/test_armsim.cpp.o.d"
+  "test_armsim"
+  "test_armsim.pdb"
+  "test_armsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_armsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_igemm.dir/test_conv_igemm.cpp.o"
+  "CMakeFiles/test_conv_igemm.dir/test_conv_igemm.cpp.o.d"
+  "test_conv_igemm"
+  "test_conv_igemm.pdb"
+  "test_conv_igemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_igemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct_conv.dir/test_direct_conv.cpp.o"
+  "CMakeFiles/test_direct_conv.dir/test_direct_conv.cpp.o.d"
+  "test_direct_conv"
+  "test_direct_conv.pdb"
+  "test_direct_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

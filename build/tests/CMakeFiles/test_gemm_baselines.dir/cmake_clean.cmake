@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_baselines.dir/test_gemm_baselines.cpp.o"
+  "CMakeFiles/test_gemm_baselines.dir/test_gemm_baselines.cpp.o.d"
+  "test_gemm_baselines"
+  "test_gemm_baselines.pdb"
+  "test_gemm_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemm_lowbit.dir/test_gemm_lowbit.cpp.o"
+  "CMakeFiles/test_gemm_lowbit.dir/test_gemm_lowbit.cpp.o.d"
+  "test_gemm_lowbit"
+  "test_gemm_lowbit.pdb"
+  "test_gemm_lowbit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemm_lowbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

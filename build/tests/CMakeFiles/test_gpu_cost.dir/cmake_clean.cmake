@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_cost.dir/test_gpu_cost.cpp.o"
+  "CMakeFiles/test_gpu_cost.dir/test_gpu_cost.cpp.o.d"
+  "test_gpu_cost"
+  "test_gpu_cost.pdb"
+  "test_gpu_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

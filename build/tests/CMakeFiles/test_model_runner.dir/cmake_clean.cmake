@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_runner.dir/test_model_runner.cpp.o"
+  "CMakeFiles/test_model_runner.dir/test_model_runner.cpp.o.d"
+  "test_model_runner"
+  "test_model_runner.pdb"
+  "test_model_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

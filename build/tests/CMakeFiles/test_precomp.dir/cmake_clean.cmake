@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_precomp.dir/test_precomp.cpp.o"
+  "CMakeFiles/test_precomp.dir/test_precomp.cpp.o.d"
+  "test_precomp"
+  "test_precomp.pdb"
+  "test_precomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_precomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

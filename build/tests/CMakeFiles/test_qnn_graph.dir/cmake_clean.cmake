@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qnn_graph.dir/test_qnn_graph.cpp.o"
+  "CMakeFiles/test_qnn_graph.dir/test_qnn_graph.cpp.o.d"
+  "test_qnn_graph"
+  "test_qnn_graph.pdb"
+  "test_qnn_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refconv.dir/test_refconv.cpp.o"
+  "CMakeFiles/test_refconv.dir/test_refconv.cpp.o.d"
+  "test_refconv"
+  "test_refconv.pdb"
+  "test_refconv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

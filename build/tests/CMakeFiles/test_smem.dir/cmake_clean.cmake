@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smem.dir/test_smem.cpp.o"
+  "CMakeFiles/test_smem.dir/test_smem.cpp.o.d"
+  "test_smem"
+  "test_smem.pdb"
+  "test_smem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_winograd_arm.dir/test_winograd_arm.cpp.o"
+  "CMakeFiles/test_winograd_arm.dir/test_winograd_arm.cpp.o.d"
+  "test_winograd_arm"
+  "test_winograd_arm.pdb"
+  "test_winograd_arm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_winograd_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_quant[1]_include.cmake")
+include("/root/repo/build/tests/test_refconv[1]_include.cmake")
+include("/root/repo/build/tests/test_armsim[1]_include.cmake")
+include("/root/repo/build/tests/test_pack[1]_include.cmake")
+include("/root/repo/build/tests/test_gemm_lowbit[1]_include.cmake")
+include("/root/repo/build/tests/test_gemm_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_bitserial[1]_include.cmake")
+include("/root/repo/build/tests/test_winograd_arm[1]_include.cmake")
+include("/root/repo/build/tests/test_conv_arm[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_precomp[1]_include.cmake")
+include("/root/repo/build/tests/test_conv_igemm[1]_include.cmake")
+include("/root/repo/build/tests/test_autotune[1]_include.cmake")
+include("/root/repo/build/tests/test_fusion[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_cost[1]_include.cmake")
+include("/root/repo/build/tests/test_nets[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_model_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_per_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_tuning_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_qnn_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_smem[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_direct_conv[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")

@@ -125,7 +125,7 @@ void ablate_algorithms() {
     armkern::ArmConvOptions opt;
     opt.bits = 4;
     opt.algo = algo;
-    const armkern::ArmConvResult r = armkern::conv2d_s32(s, in, w, opt);
+    const armkern::ArmConvResult r = armkern::conv2d_s32(s, in, w, opt).value();
     std::printf("%-12s %12.3f %13.3fx\n", name, r.seconds * 1e3,
                 r.space.total_overhead());
   }

@@ -26,7 +26,7 @@ inline double arm_layer_seconds(const ConvShape& s, int bits,
       random_qtensor(Shape4{s.batch, s.in_c, s.in_h, s.in_w}, bits, seed);
   const Tensor<i8> w = random_qtensor(
       Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, seed + 1);
-  return core::run_arm_conv(s, in, w, bits, impl, algo).seconds;
+  return core::run_arm_conv(s, in, w, bits, impl, algo).value().seconds;
 }
 
 /// Fig. 7/14/15 body: our 2-8-bit kernels vs the ncnn 8-bit baseline.
@@ -69,13 +69,13 @@ inline void run_gpu_figure(const std::string& title,
     const ConvShape s = base.with_batch(batch);
     tab.layer_names.push_back(s.name);
     tab.baseline_seconds.push_back(
-        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kCudnnDp4a).seconds);
+        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kCudnnDp4a).value().seconds);
     tab.series[0].seconds.push_back(
-        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kOurs).seconds);
+        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kOurs).value().seconds);
     tab.series[1].seconds.push_back(
-        core::time_gpu_conv(dev, s, 4, core::GpuImpl::kOurs).seconds);
+        core::time_gpu_conv(dev, s, 4, core::GpuImpl::kOurs).value().seconds);
     tab.series[2].seconds.push_back(
-        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kTensorRT).seconds);
+        core::time_gpu_conv(dev, s, 8, core::GpuImpl::kTensorRT).value().seconds);
   }
   tab.print();
 }

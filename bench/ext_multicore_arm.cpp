@@ -26,7 +26,7 @@ int main() {
       const Tensor<i8> w =
           random_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, 4, 2);
       t[idx++] = core::run_arm_conv(s, in, w, 4, core::ArmImpl::kOurs,
-                                    armkern::ConvAlgo::kGemm, threads)
+                                    armkern::ConvAlgo::kGemm, threads).value()
                      .seconds;
     }
     std::printf("%-9s %10.3f %10.3f %10.3f %7.2fx %7.2fx\n", s.name.c_str(),

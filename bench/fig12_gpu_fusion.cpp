@@ -15,9 +15,9 @@ int main() {
   std::printf("%-9s %13s %13s %13s %10s %10s\n", "layer", "unfused(us)",
               "f-dequant(us)", "f-relu(us)", "dq gain", "relu gain");
 
-  const auto in_s = quant::choose_scheme(1.0f, 8);
-  const auto w_s = quant::choose_scheme(0.5f, 8);
-  const auto out_s = quant::choose_scheme(20.0f, 8);
+  const auto in_s = quant::choose_scheme(1.0f, 8).value();
+  const auto w_s = quant::choose_scheme(0.5f, 8).value();
+  const auto out_s = quant::choose_scheme(20.0f, 8).value();
   double sdq = 0, srelu = 0;
   const auto layers = nets::resnet50_layers();
   for (const ConvShape& s : layers) {

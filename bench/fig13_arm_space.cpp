@@ -28,7 +28,7 @@ int main() {
     const Tensor<i8> w =
         random_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, 8, 2);
     const armkern::ArmConvResult r =
-        armkern::conv2d_s32(s, in, w, armkern::ArmConvOptions{});
+        armkern::conv2d_s32(s, in, w, armkern::ArmConvOptions{}).value();
     const double im = r.space.im2col_overhead();
     const double pk = r.space.pack_overhead();
     std::printf("%-9s %14.1f %13.4fx %13.4fx %13.4fx\n", s.name.c_str(),

@@ -107,7 +107,7 @@ void BM_GpuFunctionalExecutor(benchmark::State& state) {
   opt.tiling = gpukern::Tiling{32, 32, 64, 32, 2, 2};
   opt.epilogue = gpukern::Epilogue::kRawS32;
   for (auto _ : state) {
-    auto r = gpukern::conv2d(dev, s, in, w, {}, nullptr, 1.0f, opt);
+    auto r = gpukern::conv2d(dev, s, in, w, {}, nullptr, 1.0f, opt).value();
     benchmark::DoNotOptimize(r.out_s32.data());
   }
   state.SetItemsProcessed(state.iterations() * s.macs());

@@ -198,8 +198,28 @@ bench_objs/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o: \
  /root/repo/src/common/tensor.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \
  /root/repo/src/common/align.h /root/repo/src/gpukern/autotune.h \
- /root/repo/src/common/conv_shape.h /root/repo/src/gpukern/tiling.h \
- /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device.h \
- /root/repo/src/gpusim/mma.h /root/repo/src/gpukern/conv_igemm.h \
- /root/repo/src/quant/per_channel.h /root/repo/src/quant/quantize.h \
- /root/repo/src/quant/qscheme.h /root/repo/src/refconv/gemm_ref.h
+ /root/repo/src/common/conv_shape.h /root/repo/src/common/fallback.h \
+ /root/repo/src/gpukern/tiling.h /root/repo/src/gpusim/cost_model.h \
+ /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
+ /root/repo/src/gpukern/conv_igemm.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/quant/per_channel.h \
+ /root/repo/src/quant/quantize.h /root/repo/src/quant/qscheme.h \
+ /root/repo/src/refconv/gemm_ref.h

@@ -9,7 +9,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/conv_shape.cpp" "src/common/CMakeFiles/lbc_common.dir/conv_shape.cpp.o" "gcc" "src/common/CMakeFiles/lbc_common.dir/conv_shape.cpp.o.d"
+  "/root/repo/src/common/fault_injection.cpp" "src/common/CMakeFiles/lbc_common.dir/fault_injection.cpp.o" "gcc" "src/common/CMakeFiles/lbc_common.dir/fault_injection.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/lbc_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/lbc_common.dir/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/lbc_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/lbc_common.dir/status.cpp.o.d"
   "/root/repo/src/common/tensor.cpp" "src/common/CMakeFiles/lbc_common.dir/tensor.cpp.o" "gcc" "src/common/CMakeFiles/lbc_common.dir/tensor.cpp.o.d"
   )
 

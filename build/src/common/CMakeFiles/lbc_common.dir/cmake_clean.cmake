@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
   "CMakeFiles/lbc_common.dir/conv_shape.cpp.o"
   "CMakeFiles/lbc_common.dir/conv_shape.cpp.o.d"
+  "CMakeFiles/lbc_common.dir/fault_injection.cpp.o"
+  "CMakeFiles/lbc_common.dir/fault_injection.cpp.o.d"
   "CMakeFiles/lbc_common.dir/rng.cpp.o"
   "CMakeFiles/lbc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/lbc_common.dir/status.cpp.o"
+  "CMakeFiles/lbc_common.dir/status.cpp.o.d"
   "CMakeFiles/lbc_common.dir/tensor.cpp.o"
   "CMakeFiles/lbc_common.dir/tensor.cpp.o.d"
   "liblbc_common.a"

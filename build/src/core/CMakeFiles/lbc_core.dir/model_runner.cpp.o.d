@@ -144,13 +144,50 @@ src/core/CMakeFiles/lbc_core.dir/model_runner.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/common/types.h \
  /usr/include/c++/12/limits /root/repo/src/common/conv_shape.h \
- /root/repo/src/common/tensor.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/cstring /usr/include/string.h \
- /usr/include/strings.h /root/repo/src/common/align.h \
- /root/repo/src/gpukern/baselines.h /root/repo/src/gpukern/autotune.h \
- /root/repo/src/gpukern/tiling.h /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
- /root/repo/src/gpukern/conv_igemm.h /root/repo/src/quant/per_channel.h \
- /root/repo/src/quant/quantize.h /root/repo/src/quant/qscheme.h \
- /root/repo/src/gpukern/fusion.h /root/repo/src/nets/nets.h \
+ /root/repo/src/common/fallback.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
+ /usr/include/pthread.h /usr/include/sched.h \
+ /usr/include/x86_64-linux-gnu/bits/sched.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_sched_param.h \
+ /usr/include/x86_64-linux-gnu/bits/cpu-set.h /usr/include/time.h \
+ /usr/include/x86_64-linux-gnu/bits/time.h \
+ /usr/include/x86_64-linux-gnu/bits/timex.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_tm.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_itimerspec.h \
+ /usr/include/x86_64-linux-gnu/bits/setjmp.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct___jmp_buf_tag.h \
+ /usr/include/x86_64-linux-gnu/bits/pthread_stack_min-dynamic.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/system_error \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
+ /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/tensor.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/common/align.h /root/repo/src/gpukern/baselines.h \
+ /root/repo/src/gpukern/autotune.h /root/repo/src/gpukern/tiling.h \
+ /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device.h \
+ /root/repo/src/gpusim/mma.h /root/repo/src/gpukern/conv_igemm.h \
+ /root/repo/src/quant/per_channel.h /root/repo/src/quant/quantize.h \
+ /root/repo/src/quant/qscheme.h /root/repo/src/gpukern/fusion.h \
+ /root/repo/src/nets/nets.h /root/repo/src/common/fault_injection.h \
  /root/repo/src/common/rng.h /root/repo/src/refconv/conv_ref.h

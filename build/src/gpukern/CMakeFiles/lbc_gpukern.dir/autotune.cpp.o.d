@@ -121,9 +121,10 @@ src/gpukern/CMakeFiles/lbc_gpukern.dir/autotune.cpp.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/types.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
- /root/repo/src/gpukern/tiling.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /root/repo/src/common/fallback.h /root/repo/src/gpukern/tiling.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h
+ /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
+ /root/repo/src/common/fault_injection.h

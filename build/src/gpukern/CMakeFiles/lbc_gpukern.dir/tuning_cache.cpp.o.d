@@ -155,16 +155,9 @@ src/gpukern/CMakeFiles/lbc_gpukern.dir/tuning_cache.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/gpukern/autotune.h /root/repo/src/common/conv_shape.h \
- /root/repo/src/common/types.h /usr/include/c++/12/cstddef \
- /root/repo/src/gpukern/tiling.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/bits/locale_classes.h \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
@@ -178,4 +171,14 @@ src/gpukern/CMakeFiles/lbc_gpukern.dir/tuning_cache.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/gpukern/autotune.h \
+ /root/repo/src/common/conv_shape.h /root/repo/src/common/types.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/fallback.h \
+ /root/repo/src/gpukern/tiling.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/gpusim/cost_model.h \
+ /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
+ /root/repo/src/common/fault_injection.h

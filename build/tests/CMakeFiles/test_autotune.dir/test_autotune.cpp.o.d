@@ -294,7 +294,7 @@ tests/CMakeFiles/test_autotune.dir/test_autotune.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/gpukern/autotune.h /root/repo/src/common/conv_shape.h \
- /root/repo/src/common/types.h /root/repo/src/gpukern/tiling.h \
- /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device.h \
- /root/repo/src/gpusim/mma.h /root/repo/src/nets/nets.h \
- /usr/include/c++/12/span
+ /root/repo/src/common/types.h /root/repo/src/common/fallback.h \
+ /root/repo/src/gpukern/tiling.h /root/repo/src/gpusim/cost_model.h \
+ /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
+ /root/repo/src/nets/nets.h /usr/include/c++/12/span

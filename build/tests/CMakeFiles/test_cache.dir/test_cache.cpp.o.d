@@ -298,6 +298,7 @@ tests/CMakeFiles/test_cache.dir/test_cache.cpp.o: \
  /root/repo/src/armsim/cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/common/types.h /root/repo/src/common/conv_shape.h \
+ /root/repo/src/common/fallback.h /root/repo/src/common/status.h \
  /root/repo/src/common/tensor.h /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/common/align.h \
  /root/repo/src/armsim/neon.h /root/repo/src/common/rng.h

@@ -297,6 +297,7 @@ tests/CMakeFiles/test_conv_igemm.dir/test_conv_igemm.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/common/align.h /root/repo/src/common/types.h \
  /root/repo/src/gpukern/conv_igemm.h /root/repo/src/common/conv_shape.h \
+ /root/repo/src/common/fallback.h /root/repo/src/common/status.h \
  /root/repo/src/gpukern/tiling.h /root/repo/src/gpusim/cost_model.h \
  /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
  /root/repo/src/quant/per_channel.h /root/repo/src/quant/quantize.h \

@@ -322,7 +322,8 @@ tests/CMakeFiles/test_engine.dir/test_engine.cpp.o: \
  /root/repo/src/armsim/cost_model.h /root/repo/src/armsim/counters.h \
  /root/repo/src/armsim/cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/common/conv_shape.h /root/repo/src/gpukern/baselines.h \
+ /root/repo/src/common/conv_shape.h /root/repo/src/common/fallback.h \
+ /root/repo/src/common/status.h /root/repo/src/gpukern/baselines.h \
  /root/repo/src/gpukern/autotune.h /root/repo/src/gpukern/tiling.h \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device.h \
  /root/repo/src/gpusim/mma.h /root/repo/src/gpukern/conv_igemm.h \

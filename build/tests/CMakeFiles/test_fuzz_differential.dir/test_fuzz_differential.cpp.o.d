@@ -298,12 +298,16 @@ tests/CMakeFiles/test_fuzz_differential.dir/test_fuzz_differential.cpp.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/common/types.h /root/repo/src/armkern/conv_arm.h \
  /root/repo/src/armkern/gemm_lowbit.h /root/repo/src/armsim/cost_model.h \
- /root/repo/src/common/conv_shape.h /root/repo/src/common/tensor.h \
+ /root/repo/src/common/conv_shape.h /root/repo/src/common/fallback.h \
+ /root/repo/src/common/status.h /root/repo/src/common/tensor.h \
  /usr/include/c++/12/cstring /usr/include/c++/12/span \
  /root/repo/src/common/align.h /root/repo/src/armkern/winograd23.h \
- /root/repo/src/refconv/winograd_ref.h /root/repo/src/common/rng.h \
- /root/repo/src/gpukern/conv_igemm.h /root/repo/src/gpukern/tiling.h \
+ /root/repo/src/core/engine.h /root/repo/src/gpukern/baselines.h \
+ /root/repo/src/gpukern/autotune.h /root/repo/src/gpukern/tiling.h \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device.h \
- /root/repo/src/gpusim/mma.h /root/repo/src/quant/per_channel.h \
- /root/repo/src/quant/quantize.h /root/repo/src/quant/qscheme.h \
- /root/repo/src/refconv/conv_ref.h /root/repo/src/refconv/gemm_ref.h
+ /root/repo/src/gpusim/mma.h /root/repo/src/gpukern/conv_igemm.h \
+ /root/repo/src/quant/per_channel.h /root/repo/src/quant/quantize.h \
+ /root/repo/src/quant/qscheme.h /root/repo/src/gpukern/fusion.h \
+ /root/repo/src/nets/nets.h /root/repo/src/refconv/winograd_ref.h \
+ /root/repo/src/common/rng.h /root/repo/src/refconv/conv_ref.h \
+ /root/repo/src/refconv/gemm_ref.h

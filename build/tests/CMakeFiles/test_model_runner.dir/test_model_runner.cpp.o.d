@@ -299,7 +299,8 @@ tests/CMakeFiles/test_model_runner.dir/test_model_runner.cpp.o: \
  /root/repo/src/armsim/counters.h /root/repo/src/armsim/cache.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/common/types.h \
- /root/repo/src/common/conv_shape.h /root/repo/src/common/tensor.h \
+ /root/repo/src/common/conv_shape.h /root/repo/src/common/fallback.h \
+ /root/repo/src/common/status.h /root/repo/src/common/tensor.h \
  /usr/include/c++/12/cstring /root/repo/src/common/align.h \
  /root/repo/src/gpukern/baselines.h /root/repo/src/gpukern/autotune.h \
  /root/repo/src/gpukern/tiling.h /root/repo/src/gpusim/cost_model.h \

@@ -318,7 +318,8 @@ tests/CMakeFiles/test_per_channel.dir/test_per_channel.cpp.o: \
  /root/repo/src/common/tensor.h /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/common/align.h \
  /root/repo/src/common/types.h /root/repo/src/gpukern/conv_igemm.h \
- /root/repo/src/common/conv_shape.h /root/repo/src/gpukern/tiling.h \
+ /root/repo/src/common/conv_shape.h /root/repo/src/common/fallback.h \
+ /root/repo/src/common/status.h /root/repo/src/gpukern/tiling.h \
  /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device.h \
  /root/repo/src/gpusim/mma.h /root/repo/src/quant/per_channel.h \
  /root/repo/src/quant/quantize.h /root/repo/src/quant/qscheme.h \

@@ -322,5 +322,6 @@ tests/CMakeFiles/test_qnn_graph.dir/test_qnn_graph.cpp.o: \
  /root/repo/src/armsim/cost_model.h /root/repo/src/armsim/counters.h \
  /root/repo/src/armsim/cache.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/common/conv_shape.h /root/repo/src/quant/quantize.h \
+ /root/repo/src/common/conv_shape.h /root/repo/src/common/fallback.h \
+ /root/repo/src/common/status.h /root/repo/src/quant/quantize.h \
  /root/repo/src/quant/qscheme.h

@@ -318,4 +318,4 @@ tests/CMakeFiles/test_quant.dir/test_quant.cpp.o: \
  /root/repo/src/common/tensor.h /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/common/align.h \
  /root/repo/src/common/types.h /root/repo/src/quant/quantize.h \
- /root/repo/src/quant/qscheme.h
+ /root/repo/src/quant/qscheme.h /root/repo/src/common/status.h

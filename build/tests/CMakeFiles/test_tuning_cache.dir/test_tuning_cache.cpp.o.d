@@ -301,9 +301,11 @@ tests/CMakeFiles/test_tuning_cache.dir/test_tuning_cache.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/fault_injection.h /root/repo/src/common/types.h \
  /root/repo/src/gpukern/tuning_cache.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/gpukern/autotune.h \
- /root/repo/src/common/conv_shape.h /root/repo/src/common/types.h \
- /root/repo/src/gpukern/tiling.h /root/repo/src/gpusim/cost_model.h \
- /root/repo/src/gpusim/device.h /root/repo/src/gpusim/mma.h \
- /root/repo/src/nets/nets.h /usr/include/c++/12/span
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
+ /root/repo/src/gpukern/autotune.h /root/repo/src/common/conv_shape.h \
+ /root/repo/src/common/fallback.h /root/repo/src/gpukern/tiling.h \
+ /root/repo/src/gpusim/cost_model.h /root/repo/src/gpusim/device.h \
+ /root/repo/src/gpusim/mma.h /root/repo/src/nets/nets.h \
+ /usr/include/c++/12/span

@@ -76,12 +76,12 @@ int main(int argc, char** argv) {
   }
 
   const double deflt =
-      core::time_gpu_conv(dev, s, bits, core::GpuImpl::kOursDefaultTiling)
+      core::time_gpu_conv(dev, s, bits, core::GpuImpl::kOursDefaultTiling).value()
           .seconds;
   const double cudnn =
-      core::time_gpu_conv(dev, s, 8, core::GpuImpl::kCudnnDp4a).seconds;
+      core::time_gpu_conv(dev, s, 8, core::GpuImpl::kCudnnDp4a).value().seconds;
   const double trt =
-      core::time_gpu_conv(dev, s, 8, core::GpuImpl::kTensorRT).seconds;
+      core::time_gpu_conv(dev, s, 8, core::GpuImpl::kTensorRT).value().seconds;
   std::printf("\ndefault tiling: %.2f us (auto-search gain %.2fx)\n",
               deflt * 1e6, deflt / entries.front().c.seconds);
   std::printf("cuDNN dp4a 8-bit: %.2f us | TensorRT 8-bit: %.2f us\n",

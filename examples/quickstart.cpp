@@ -39,7 +39,7 @@ int main() {
   for (int bits : {8, 6, 4, 2}) {
     core::QuantizedConv2d layer(shape, bits, core::Backend::kArmCortexA53);
     layer.set_weights(w);
-    const Tensor<float> out = layer.forward(x);
+    const Tensor<float> out = layer.forward(x).value();
     double err = 0, mag = 1e-9;
     for (i64 i = 0; i < out.elems(); ++i) {
       err = std::max(err, static_cast<double>(
@@ -52,7 +52,7 @@ int main() {
   for (int bits : {8, 4}) {
     core::QuantizedConv2d layer(shape, bits, core::Backend::kGpuTU102);
     layer.set_weights(w);
-    const Tensor<float> out = layer.forward(x);
+    const Tensor<float> out = layer.forward(x).value();
     double err = 0, mag = 1e-9;
     for (i64 i = 0; i < out.elems(); ++i) {
       err = std::max(err, static_cast<double>(

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::printf("%-9s %-34s %12s %10s\n", "layer", "shape", "time (ms)",
               "GMACs");
   const auto layers = nets::resnet50_layers();
-  const core::ModelRunReport rep = core::run_model(layers, opt);
+  const core::ModelRunReport rep = core::run_model(layers, opt).value();
   for (size_t i = 0; i < rep.layers.size(); ++i) {
     const auto& l = rep.layers[i];
     std::printf("%-9s %-34s %12.3f %10.3f\n", l.name.c_str(),
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   base.bits = 8;
   base.arm_impl = core::ArmImpl::kNcnn8bit;
   base.arm_algo = armkern::ConvAlgo::kGemm;
-  const core::ModelRunReport ncnn = core::run_model(layers, base);
+  const core::ModelRunReport ncnn = core::run_model(layers, base).value();
   std::printf("ncnn 8-bit baseline total: %.2f ms -> end-to-end speedup %.2fx\n",
               ncnn.total_seconds * 1e3,
               ncnn.total_seconds / rep.total_seconds);

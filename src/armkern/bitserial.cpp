@@ -1,6 +1,6 @@
 #include "armkern/bitserial.h"
 
-#include <cassert>
+#include "common/status.h"
 #include <vector>
 
 #include "common/align.h"
@@ -42,9 +42,9 @@ void tally_pack_online(Ctx& ctx, i64 elems, int bits) {
 
 BitserialStats bitserial_gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m,
                                     i64 n, i64 k, int bits) {
-  assert(bits == 1 || bits == 2);
+  LBC_CHECK_MSG(bits == 1 || bits == 2, "bitserial gemm only supports 1-2 bit");
   // UADALP headroom: each 128-bit chunk adds at most 16 to a u16 lane.
-  assert(ceil_div(k, 128) * 16 < 65535 && "K too large for one u16 chain");
+  LBC_CHECK_MSG(ceil_div(k, 128) * 16 < 65535, "K too large for one u16 chain");
 
   BitserialStats stats;
   Ctx ctx;

@@ -1,14 +1,16 @@
 #include "armkern/conv_arm.h"
 
 #include <algorithm>
-#include <cassert>
+#include <sstream>
 
 #include "common/align.h"
+#include "common/fault_injection.h"
 
 #include "armkern/bitserial.h"
 #include "armkern/direct_conv.h"
 #include "armkern/winograd23.h"
 #include "armsim/neon.h"
+#include "refconv/conv_ref.h"
 #include "refconv/im2col.h"
 
 namespace lbc::armkern {
@@ -34,32 +36,137 @@ void tally_im2col(Ctx& ctx, const ConvShape& s, const Tensor<i8>& input,
   ctx.mem_range(bmat.data(), static_cast<u64>(bmat.elems()));
 }
 
+// The reference rung is a plain scalar loop nest: per MAC, two scalar
+// loads folded into address math plus the multiply-add, and loop control
+// per inner iteration. Roughly an order of magnitude slower than the
+// packed NEON kernels — the price of degrading instead of crashing.
+void tally_reference(Ctx& ctx, const ConvShape& s) {
+  const u64 macs = static_cast<u64>(s.macs());
+  ctx.tally(Op::kScalar, 3 * macs);
+  ctx.tally(Op::kLoop, macs);
+}
+
 /// Fixed cost of forking/joining the row-panel worker pool (Pi 3B has 4
 /// A53 cores; the paper evaluates single-threaded, threads > 1 is our
 /// extension — see bench/ext_multicore_arm).
 constexpr double kThreadSyncCycles = 20000.0;
 
+std::string shape4_str(const Shape4& sh) {
+  std::ostringstream os;
+  os << sh.n << 'x' << sh.c << 'x' << sh.h << 'x' << sh.w;
+  return os.str();
+}
+
 }  // namespace
 
-ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
-                         const Tensor<i8>& weight, const ArmConvOptions& opt) {
-  assert(s.valid());
+const char* algo_name(ConvAlgo a) {
+  switch (a) {
+    case ConvAlgo::kAuto: return "auto";
+    case ConvAlgo::kGemm: return "gemm";
+    case ConvAlgo::kWinograd: return "winograd";
+    case ConvAlgo::kBitserial: return "bitserial";
+    case ConvAlgo::kDirect: return "direct";
+    case ConvAlgo::kReference: return "reference";
+  }
+  return "unknown";
+}
+
+bool winograd_eligible_for(const ConvShape& s, int bits) {
+  return s.winograd_eligible() && bits >= 4 && bits <= 6;
+}
+
+bool bitserial_eligible_for(int bits) { return bits <= 2; }
+
+bool sdot_eligible_for(int bits) { return bits >= 4; }
+
+StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
+                                   const Tensor<i8>& weight,
+                                   const ArmConvOptions& opt) {
+  // Boundary validation: survives release builds, rejects instead of UB.
+  LBC_VALIDATE(s.valid(), kInvalidArgument,
+               "invalid conv shape: " << describe(s));
+  LBC_VALIDATE(opt.bits >= 2 && opt.bits <= 8, kInvalidArgument,
+               "bits must be in [2, 8], got " << opt.bits);
+  LBC_VALIDATE(opt.threads >= 1 && opt.threads <= 64, kInvalidArgument,
+               "threads must be in [1, 64], got " << opt.threads);
+  const Shape4 want_in{s.batch, s.in_c, s.in_h, s.in_w};
+  const Shape4 want_w{s.out_c, s.in_c, s.kernel, s.kernel};
+  LBC_VALIDATE(input.shape() == want_in, kInvalidArgument,
+               "input tensor is " << shape4_str(input.shape())
+                                  << " but the shape needs "
+                                  << shape4_str(want_in));
+  LBC_VALIDATE(weight.shape() == want_w, kInvalidArgument,
+               "weight tensor is " << shape4_str(weight.shape())
+                                   << " but the shape needs "
+                                   << shape4_str(want_w));
+
   ArmConvResult res;
   res.space.baseline_elems = s.activation_elems() + s.weight_elems();
 
   ConvAlgo algo = opt.algo;
+  ArmKernel kernel = opt.kernel;
   if (algo == ConvAlgo::kAuto)
-    algo = (s.winograd_eligible() && opt.bits >= 4 && opt.bits <= 6)
-               ? ConvAlgo::kWinograd
-               : ConvAlgo::kGemm;
+    algo = winograd_eligible_for(s, opt.bits) ? ConvAlgo::kWinograd
+                                              : ConvAlgo::kGemm;
+
+  // Dispatch fallback chain, rung 1: an ineligible specialized algo
+  // degrades to the low-bit GEMM instead of asserting.
+  if (algo == ConvAlgo::kWinograd && !winograd_eligible_for(s, opt.bits)) {
+    std::ostringstream why;
+    if (!s.winograd_eligible())
+      why << "winograd needs 3x3/stride-1, got k" << s.kernel << " s"
+          << s.stride;
+    else
+      why << "winograd runs at 4-6 bit, got " << opt.bits;
+    res.fallback.record("winograd", "gemm", why.str());
+    algo = ConvAlgo::kGemm;
+  }
+  if (algo == ConvAlgo::kBitserial && !bitserial_eligible_for(opt.bits)) {
+    res.fallback.record(
+        "bitserial", "gemm",
+        "bit-serial popcount kernel supports <= 2 bit, got " +
+            std::to_string(opt.bits));
+    algo = ConvAlgo::kGemm;
+  }
+  if (algo == ConvAlgo::kGemm && kernel == ArmKernel::kSdotExt &&
+      !sdot_eligible_for(opt.bits)) {
+    res.fallback.record("gemm[sdot]", "gemm[ours]",
+                        "SDOT packing pays off only at >= 4 bit, got " +
+                            std::to_string(opt.bits));
+    kernel = ArmKernel::kOursGemm;
+  }
 
   const CostModel cm = CostModel::cortex_a53();
   bool interleaved = true;
   Ctx serial_ctx;                  // im2col + packing pre-passes
   double parallel_cycles = 0;      // slowest worker of the kernel region
   bool threaded = false;
+  FaultInjector& fi = FaultInjector::instance();
 
-  if (algo == ConvAlgo::kDirect) {
+  // Rung 2 (the ladder's floor): scalar reference conv. Used when
+  // explicitly requested, and as the recovery path when a fault fires in
+  // the optimized pipeline. Cost of any wasted optimized attempt stays
+  // charged — degradation is not free.
+  const auto run_reference = [&] {
+    res.out = ref::conv2d_s32(s, input, weight);
+    Ctx ref_ctx;
+    ref_ctx.model_cache = false;  // scalar loop, charged per-op below
+    tally_reference(ref_ctx, s);
+    serial_ctx.counts.merge(ref_ctx.counts);
+    res.executed_algo = "reference";
+  };
+  const auto degrade_to_reference = [&](const char* from, std::string why) {
+    res.fallback.record(from, "reference", std::move(why));
+    run_reference();
+  };
+
+  res.executed_algo = algo_name(algo);
+  bool degraded = false;
+
+  if (algo == ConvAlgo::kReference) {
+    run_reference();
+    interleaved = false;
+  } else if (algo == ConvAlgo::kDirect) {
     const DirectConvStats ds = direct_conv_s32(s, input, weight, res.out);
     res.counts.merge(ds.counts);
     parallel_cycles = cm.cycles_for(ds.counts, interleaved);
@@ -71,6 +178,12 @@ ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
     res.counts.merge(ws.counts);
     parallel_cycles = cm.cycles_for(ws.counts, interleaved);
     res.space.im2col_elems = ws.transform_buf_elems;  // transform scratch
+  } else if (fi.should_fire(FaultSite::kAllocFail)) {
+    // Injected allocation failure of the im2col matrix: the GEMM path
+    // cannot run, but the reference rung needs no scratch buffer at all.
+    degrade_to_reference(algo_name(algo),
+                         "im2col buffer allocation failed (injected fault)");
+    degraded = true;
   } else {
     // Explicit GEMM path: materialize im2col (the paper materializes it for
     // every layer, including 1x1 — Fig. 13's conv18 ratio pins this down).
@@ -92,8 +205,14 @@ ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
       cbuf.resize(static_cast<size_t>(m * n));
       cptr = cbuf.data();
     }
-    if (algo == ConvAlgo::kBitserial) {
-      assert(opt.bits <= 2);
+    if (fi.should_fire(FaultSite::kPackMisalign)) {
+      // Injected packing misalignment: the panel layout the micro kernels
+      // assume does not hold, so running them would read out of lane.
+      degrade_to_reference("gemm",
+                           "packed panel alignment check failed "
+                           "(injected fault)");
+      degraded = true;
+    } else if (algo == ConvAlgo::kBitserial) {
       const BitserialStats bs = bitserial_gemm_s8s32(
           weight.data(), bmat.data(), cptr, m, n, k, opt.bits);
       res.counts.merge(bs.counts);
@@ -101,7 +220,7 @@ ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
     } else {
       GemmOptions gopt;
       gopt.bits = opt.bits;
-      gopt.kernel = opt.kernel;
+      gopt.kernel = kernel;
       gopt.threads = opt.threads;
       const GemmStats gs =
           gemm_s8s32(weight.data(), bmat.data(), cptr, m, n, k, gopt);
@@ -116,7 +235,7 @@ ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
       serial_ctx.counts.merge(gs.serial_counts);
       threaded = gs.thread_counts.size() > 1;
     }
-    if (s.batch > 1) {
+    if (!degraded && s.batch > 1) {
       // Re-scatter C[oc][b*oh*ow] into NCHW (bookkeeping copy; its cost is
       // charged as a streaming pass).
       const i64 ohw = s.out_h() * s.out_w();
@@ -129,6 +248,16 @@ ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
       serial_ctx.tally(Op::kSt1, static_cast<u64>(m * n / 4 + 1));
       serial_ctx.mem_range(res.out.data(), static_cast<u64>(m * n) * 4);
     }
+  }
+
+  // Post-run overflow self-check: a kernel that reports accumulator
+  // overflow (injected here; a real deployment checks saturation flags)
+  // has produced untrusted output — recompute on the reference rung.
+  if (res.executed_algo != "reference" &&
+      fi.should_fire(FaultSite::kKernelOverflow)) {
+    degrade_to_reference(res.executed_algo.c_str(),
+                         "kernel accumulator overflow self-check tripped "
+                         "(injected fault); recomputed");
   }
 
   res.counts.merge(serial_ctx.counts);

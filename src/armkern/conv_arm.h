@@ -1,11 +1,18 @@
 // ARM-backend convolution driver: explicit im2col + re-designed low-bit
 // GEMM (paper Sec. 3), with winograd and bit-serial alternatives, plus the
 // cost-model evaluation and the Fig. 13 space accounting.
+//
+// The driver validates its inputs (shape, bit width, tensor dims) and
+// returns a Status error instead of asserting; an ineligible algo request
+// degrades along the ladder specialized -> GEMM -> reference conv, with
+// the degradation recorded in ArmConvResult::fallback.
 #pragma once
 
 #include "armkern/gemm_lowbit.h"
 #include "armsim/cost_model.h"
 #include "common/conv_shape.h"
+#include "common/fallback.h"
+#include "common/status.h"
 #include "common/tensor.h"
 
 namespace lbc::armkern {
@@ -16,7 +23,18 @@ enum class ConvAlgo {
   kWinograd,   ///< F(2x2,3x3), requires 3x3/stride-1 and 4-6 bit
   kBitserial,  ///< popcount baseline, requires <= 2 bit
   kDirect,     ///< im2col-free direct convolution (Sec. 2.2 baseline)
+  kReference,  ///< scalar reference conv — the fallback ladder's last rung
 };
+
+/// Stable lowercase name ("gemm", "winograd", ...) for reports.
+const char* algo_name(ConvAlgo a);
+
+/// Eligibility predicates for the specialized algos/kernels. The dispatch
+/// fallback chain consults these; they are public so callers can predict
+/// which rung will execute.
+bool winograd_eligible_for(const ConvShape& s, int bits);
+bool bitserial_eligible_for(int bits);
+bool sdot_eligible_for(int bits);
 
 struct ArmConvOptions {
   int bits = 8;
@@ -49,12 +67,20 @@ struct ArmConvResult {
   double cycles = 0;
   double seconds = 0;
   SpaceReport space;
+  std::string executed_algo;  ///< rung that produced `out` ("gemm", ...)
+  FallbackRecord fallback;    ///< set when the request was degraded
 };
 
 /// Quantized convolution to 32-bit accumulators. Bit-exact with
 /// ref::conv2d_s32 for GEMM/bitserial algos and with
 /// ref::winograd_conv_s32(kRoundedInt8) for the winograd algo.
-ArmConvResult conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
-                         const Tensor<i8>& weight, const ArmConvOptions& opt);
+///
+/// Errors (never asserts, also in release builds):
+///  * kInvalidArgument — invalid shape, bits outside [2, 8], tensor dims
+///    that do not match the shape, or threads < 1.
+/// Ineligible algo/kernel requests do NOT error; they degrade and record.
+StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
+                                   const Tensor<i8>& weight,
+                                   const ArmConvOptions& opt);
 
 }  // namespace lbc::armkern

@@ -1,7 +1,7 @@
 #include "armkern/direct_conv.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/status.h"
 
 #include "armsim/neon.h"
 
@@ -11,7 +11,7 @@ using namespace armsim;
 
 DirectConvStats direct_conv_s32(const ConvShape& s, const Tensor<i8>& input,
                                 const Tensor<i8>& weight, Tensor<i32>& out) {
-  assert(s.valid());
+  LBC_CHECK_MSG(s.valid(), "direct_conv: invalid conv shape");
   DirectConvStats stats;
   Ctx ctx;
   const i64 oh = s.out_h(), ow = s.out_w();

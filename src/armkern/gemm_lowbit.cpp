@@ -1,6 +1,6 @@
 #include "armkern/gemm_lowbit.h"
 
-#include <cassert>
+#include "common/status.h"
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -43,7 +43,7 @@ void run_panels(Ctx& ctx, const PackedA& pa, const PackedB& pb, i32* c, i64 m,
           break;
         case ArmKernel::kTraditional:
         case ArmKernel::kSdotExt:
-          assert(false && "kernel has its own entry point");
+          LBC_CHECK_MSG(false, "kernel has its own entry point");
           break;
       }
       const i64 rows = std::min<i64>(kMr, m - p * kMr);
@@ -63,7 +63,7 @@ void run_panels(Ctx& ctx, const PackedA& pa, const PackedB& pb, i32* c, i64 m,
 
 GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
                      const GemmOptions& opt) {
-  assert(opt.bits >= 2 && opt.bits <= 8);
+  LBC_CHECK_MSG(opt.bits >= 2 && opt.bits <= 8, "gemm_lowbit: bits outside [2, 8]");
   GemmStats stats;
 
   if (opt.kernel == ArmKernel::kTraditional) {

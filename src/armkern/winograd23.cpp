@@ -1,7 +1,7 @@
 #include "armkern/winograd23.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/status.h"
 #include <vector>
 
 #include "armkern/gemm_lowbit.h"
@@ -24,8 +24,8 @@ int winograd_flush_interval(int bits) {
 WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
                                 const Tensor<i8>& weight, int bits,
                                 Tensor<i32>& out) {
-  assert(s.winograd_eligible());
-  assert(bits >= 4 && bits <= 6);
+  LBC_CHECK_MSG(s.winograd_eligible(), "winograd23: shape is not 3x3/stride-1");
+  LBC_CHECK_MSG(bits >= 4 && bits <= 6, "winograd23: bits outside [4, 6]");
   WinogradStats stats;
   Ctx ctx;
 
@@ -67,7 +67,8 @@ WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
           ref::winograd_input_tile(d, v);
           const i64 t = (b * nth + th) * ntw + tw;
           for (int e = 0; e < 16; ++e) {
-            assert(v[e] >= -128 && v[e] <= 127);
+            LBC_CHECK_MSG(v[e] >= -128 && v[e] <= 127,
+                          "winograd23: transformed activation overflows i8");
             i8* dst = &v_mats[static_cast<size_t>(e)]
                              [static_cast<size_t>(ic * tiles + t)];
             *dst = static_cast<i8>(v[e]);

@@ -7,6 +7,9 @@ namespace lbc {
 bool ConvShape::valid() const {
   if (batch < 1 || in_c < 1 || in_h < 1 || in_w < 1) return false;
   if (out_c < 1 || kernel < 1 || stride < 1 || pad < 0) return false;
+  // pad >= kernel means some output pixels read zero-padding only — no
+  // real network does this, and it usually signals a transposed parameter.
+  if (pad >= kernel) return false;
   if (in_h + 2 * pad < kernel || in_w + 2 * pad < kernel) return false;
   if ((in_h + 2 * pad - kernel) % stride != 0 &&
       out_h() < 1)  // non-exact strides still yield floor geometry

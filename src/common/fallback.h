@@ -1,0 +1,36 @@
+// Fallback bookkeeping shared by the kernel dispatchers.
+//
+// When a requested implementation or algorithm is ineligible for a layer
+// (winograd on a non-3x3 shape, SDOT below 4 bit, bit-serial above 2 bit)
+// or a fault fires mid-kernel, the engine degrades along the ladder
+// specialized -> low-bit GEMM -> reference convolution instead of
+// asserting. Every degradation is recorded so run reports can show what
+// was requested, what actually executed, and why.
+#pragma once
+
+#include <string>
+
+namespace lbc {
+
+struct FallbackRecord {
+  bool fell_back = false;
+  std::string requested;  ///< impl/algo the caller asked for
+  std::string executed;   ///< impl/algo that actually ran
+  std::string reason;     ///< why the request was degraded
+
+  void record(std::string req, std::string exec, std::string why) {
+    fell_back = true;
+    if (requested.empty()) requested = std::move(req);
+    executed = std::move(exec);
+    if (!reason.empty()) reason += "; ";
+    reason += why;
+  }
+
+  /// "winograd -> gemm (bits=8 outside winograd's 4-6 bit range)"
+  std::string describe() const {
+    if (!fell_back) return "";
+    return requested + " -> " + executed + " (" + reason + ")";
+  }
+};
+
+}  // namespace lbc

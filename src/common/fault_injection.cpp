@@ -1,0 +1,135 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace lbc {
+namespace {
+
+constexpr int kNumSites = static_cast<int>(FaultSite::kSiteCount);
+
+struct SiteState {
+  bool armed = false;
+  i64 remaining = 0;  ///< -1 = unlimited
+  double probability = 1.0;
+  u64 seed = 0;
+  i64 consults = 0;
+  i64 fires = 0;
+};
+
+struct InjectorState {
+  // Fast path: disarmed processes pay one relaxed load, no lock.
+  std::atomic<int> armed_sites{0};
+  std::mutex mu;
+  SiteState sites[kNumSites];
+};
+
+InjectorState& state() {
+  static InjectorState s;
+  return s;
+}
+
+int index_of(FaultSite site) {
+  const int i = static_cast<int>(site);
+  LBC_CHECK_MSG(i >= 0 && i < kNumSites, "invalid FaultSite");
+  return i;
+}
+
+// splitmix64: tiny, stateless, high-quality mixer — the firing decision for
+// consult `n` depends only on (seed, n), never on call interleaving.
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAllocFail: return "alloc_fail";
+    case FaultSite::kTuningCacheCorrupt: return "tuning_cache_corrupt";
+    case FaultSite::kKernelOverflow: return "kernel_overflow";
+    case FaultSite::kPackMisalign: return "pack_misalign";
+    case FaultSite::kAutotuneInvalid: return "autotune_invalid";
+    case FaultSite::kSiteCount: break;
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector inj;
+  return inj;
+}
+
+void FaultInjector::arm(FaultSite site, int fire_count, double probability,
+                        u64 seed) {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  SiteState& s = st.sites[index_of(site)];
+  if (!s.armed) st.armed_sites.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.remaining = fire_count;
+  s.probability = probability;
+  s.seed = seed;
+  s.consults = 0;
+  s.fires = 0;
+}
+
+void FaultInjector::disarm(FaultSite site) {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  SiteState& s = st.sites[index_of(site)];
+  if (s.armed) st.armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  s.armed = false;
+}
+
+void FaultInjector::disarm_all() {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (SiteState& s : st.sites) s.armed = false;
+  st.armed_sites.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(FaultSite site) {
+  InjectorState& st = state();
+  if (st.armed_sites.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(st.mu);
+  SiteState& s = st.sites[index_of(site)];
+  if (!s.armed) return false;
+  const i64 consult = s.consults++;
+  if (s.remaining == 0) return false;
+  if (s.probability < 1.0) {
+    const u64 draw = splitmix64(s.seed ^ (0x5151'5151ULL * static_cast<u64>(
+                                              consult + 1)));
+    const double unit =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (unit >= s.probability) return false;
+  }
+  if (s.remaining > 0) --s.remaining;
+  ++s.fires;
+  return true;
+}
+
+bool FaultInjector::armed(FaultSite site) const {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.sites[index_of(site)].armed;
+}
+
+i64 FaultInjector::consults(FaultSite site) const {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.sites[index_of(site)].consults;
+}
+
+i64 FaultInjector::fires(FaultSite site) const {
+  InjectorState& st = state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.sites[index_of(site)].fires;
+}
+
+}  // namespace lbc

@@ -1,0 +1,80 @@
+// Deterministic fault-injection harness.
+//
+// The degradation paths of a fault-tolerant engine (kernel fallback on
+// overflow, tuning-cache corruption recovery, allocation-failure handling)
+// are exactly the paths that never run in a healthy process — so they are
+// exactly the paths that rot. This harness compiles the injection sites
+// into every build (they are a single relaxed atomic load when disarmed)
+// and lets tests arm a named site with a deterministic, seed-driven firing
+// pattern, then assert that the engine recovered and reported the event.
+//
+// Usage in tests:
+//   ScopedFault f(FaultSite::kTuningCacheCorrupt, /*fire_count=*/1);
+//   ... exercise the engine; every consult of the site fires until the
+//   budget is exhausted; firing decisions with probability < 1 derive from
+//   splitmix64(seed, consult_index) and are identical across runs.
+#pragma once
+
+#include "common/types.h"
+
+namespace lbc {
+
+enum class FaultSite : int {
+  kAllocFail = 0,        ///< im2col / scratch allocation fails
+  kTuningCacheCorrupt,   ///< a cache hit returns a corrupted Tiling
+  kKernelOverflow,       ///< specialized kernel reports accumulator overflow
+  kPackMisalign,         ///< packed panels fail the alignment check
+  kAutotuneInvalid,      ///< every autotune candidate reports illegal
+  kSiteCount,
+};
+
+/// Stable site name for reports ("alloc_fail", "tuning_cache_corrupt", ...).
+const char* fault_site_name(FaultSite site);
+
+class FaultInjector {
+ public:
+  /// Process-wide injector. Sites are global because the code under test
+  /// (tuning cache, conv drivers) is reached through many layers.
+  static FaultInjector& instance();
+
+  /// Arm `site`. It fires on each consult while `fire_count` > 0
+  /// (-1 = unlimited). With `probability` < 1, each consult fires iff a
+  /// splitmix64 draw keyed by (seed, consult index) lands below the
+  /// threshold — fully deterministic for a fixed seed.
+  void arm(FaultSite site, int fire_count = -1, double probability = 1.0,
+           u64 seed = 0);
+  void disarm(FaultSite site);
+  void disarm_all();
+
+  /// Consult the site: true = the fault fires now. Increments the consult
+  /// counter; decrements the remaining-fire budget when it fires. Disarmed
+  /// sites return false after one atomic load.
+  bool should_fire(FaultSite site);
+
+  bool armed(FaultSite site) const;
+  i64 consults(FaultSite site) const;  ///< times the site was reached
+  i64 fires(FaultSite site) const;     ///< times it actually fired
+
+ private:
+  FaultInjector() = default;
+};
+
+/// RAII arming for tests: arms in the constructor, disarms (and only this
+/// site) in the destructor, so a failing test cannot leak an armed site
+/// into the next one.
+class ScopedFault {
+ public:
+  explicit ScopedFault(FaultSite site, int fire_count = -1,
+                       double probability = 1.0, u64 seed = 0)
+      : site_(site) {
+    FaultInjector::instance().arm(site_, fire_count, probability, seed);
+  }
+  ~ScopedFault() { FaultInjector::instance().disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  FaultSite site_;
+};
+
+}  // namespace lbc

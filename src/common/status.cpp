@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lbc {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDataLoss: return "DataLoss";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "Ok";
+  std::string s = status_code_name(code_);
+  s += ": ";
+  s += message_;
+  if (!context_.empty()) {
+    s += " (while ";
+    s += context_;
+    s += ")";
+  }
+  return s;
+}
+
+namespace detail {
+
+[[noreturn]] void die(const char* file, int line, const std::string& what) {
+  std::fprintf(stderr, "[lbc fatal] %s:%d: %s\n", file, line, what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace lbc

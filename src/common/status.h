@@ -1,0 +1,193 @@
+// Structured error handling for the library's public boundaries.
+//
+// Production inference stacks cannot afford `assert`: it vanishes under
+// -DNDEBUG and turns invalid shapes, unsupported bit widths, or corrupt
+// tuning caches into silent UB. Every public entry point (engine, ARM/GPU
+// conv drivers, tuning-cache deserialization, quant scheme construction)
+// instead returns lbc::Status / lbc::StatusOr<T>: a code, a message, and a
+// context chain that records the call path the error travelled through.
+//
+// Internal invariants that indicate a library bug (not a caller mistake)
+// use LBC_CHECK, which is compiled in every build type and aborts with a
+// readable message instead of corrupting memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace lbc {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,     ///< caller passed a bad shape / bits / option combo
+  kFailedPrecondition,  ///< API misuse (e.g. forward before set_weights)
+  kOutOfRange,          ///< value outside the representable/validated range
+  kNotFound,            ///< lookup miss where presence was required
+  kResourceExhausted,   ///< allocation failure (real or fault-injected)
+  kDataLoss,            ///< corrupt persisted state (tuning cache, etc.)
+  kUnimplemented,       ///< requested combination has no kernel
+  kInternal,            ///< invariant violation surfaced as an error
+};
+
+/// Short stable name ("InvalidArgument", ...) for messages and logs.
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status failed_precondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status out_of_range(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status not_found(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status data_loss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Prepend a context frame ("while running layer conv14") to the chain.
+  /// Returns *this so propagation sites can annotate in one expression.
+  Status& with_context(std::string frame) {
+    if (!ok()) {
+      if (context_.empty())
+        context_ = std::move(frame);
+      else
+        context_ = std::move(frame) + ": " + context_;
+    }
+    return *this;
+  }
+  const std::string& context() const { return context_; }
+
+  /// "InvalidArgument: bad shape (while ...)" — for logs and test output.
+  std::string to_string() const;
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::string context_;
+};
+
+namespace detail {
+[[noreturn]] void die(const char* file, int line, const std::string& what);
+}  // namespace detail
+
+/// StatusOr<T>: either a value or a non-OK Status. value() on an error is a
+/// fatal, always-compiled check (never UB), so test/bench code that knows
+/// its inputs are valid can call .value() directly.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {
+    if (status_.ok())
+      status_ = Status::internal("StatusOr constructed from OK status");
+  }
+  StatusOr(T v) : status_(), value_(std::move(v)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!ok()) detail::die(__FILE__, __LINE__,
+                           "StatusOr::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) detail::die(__FILE__, __LINE__,
+                           "StatusOr::value() on error: " + status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) detail::die(__FILE__, __LINE__,
+                           "StatusOr::value() on error: " + status_.to_string());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lbc
+
+/// Fatal, always-on invariant check (survives -DNDEBUG). Use for internal
+/// invariants whose violation means a library bug; public-boundary
+/// validation should return Status via LBC_VALIDATE instead.
+#define LBC_CHECK(cond)                                                       \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::lbc::detail::die(__FILE__, __LINE__, "LBC_CHECK failed: " #cond);     \
+  } while (0)
+
+#define LBC_CHECK_MSG(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::lbc::detail::die(__FILE__, __LINE__,                                  \
+                         std::string("LBC_CHECK failed: " #cond " — ") +      \
+                             (msg));                                          \
+  } while (0)
+
+/// Boundary validation: return an error Status when `cond` is false. The
+/// message is an ostream expression, so callers can embed values:
+///   LBC_VALIDATE(bits >= 2 && bits <= 8, kInvalidArgument,
+///                "bits must be in [2,8], got " << bits);
+#define LBC_VALIDATE(cond, code, stream_expr)                                 \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream lbc_validate_os_;                                    \
+      lbc_validate_os_ << stream_expr;                                        \
+      return ::lbc::Status(::lbc::StatusCode::code, lbc_validate_os_.str());  \
+    }                                                                         \
+  } while (0)
+
+/// Propagate a non-OK Status from a Status-returning expression.
+#define LBC_RETURN_IF_ERROR(expr)                                             \
+  do {                                                                        \
+    ::lbc::Status lbc_rie_status_ = (expr);                                   \
+    if (!lbc_rie_status_.ok()) return lbc_rie_status_;                        \
+  } while (0)
+
+/// Unwrap a StatusOr expression into `lhs`, propagating errors.
+#define LBC_ASSIGN_OR_RETURN(lhs, expr)                                       \
+  LBC_ASSIGN_OR_RETURN_IMPL_(LBC_STATUS_CONCAT_(lbc_sor_, __LINE__), lhs, expr)
+#define LBC_STATUS_CONCAT_INNER_(a, b) a##b
+#define LBC_STATUS_CONCAT_(a, b) LBC_STATUS_CONCAT_INNER_(a, b)
+#define LBC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)                            \
+  auto tmp = (expr);                                                          \
+  if (!tmp.ok()) return tmp.status();                                         \
+  lhs = std::move(tmp).value()

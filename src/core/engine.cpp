@@ -1,13 +1,46 @@
 #include "core/engine.h"
 
-#include <cassert>
 #include <cmath>
+#include <sstream>
 
 namespace lbc::core {
 
-ArmLayerResult run_arm_conv(const ConvShape& s, const Tensor<i8>& input,
-                            const Tensor<i8>& weight, int bits, ArmImpl impl,
-                            armkern::ConvAlgo algo, int threads) {
+namespace {
+
+std::string shape4_str(const Shape4& sh) {
+  std::ostringstream os;
+  os << sh.n << 'x' << sh.c << 'x' << sh.h << 'x' << sh.w;
+  return os.str();
+}
+
+}  // namespace
+
+const char* arm_impl_name(ArmImpl impl) {
+  switch (impl) {
+    case ArmImpl::kOurs: return "ours";
+    case ArmImpl::kNcnn8bit: return "ncnn-8bit";
+    case ArmImpl::kTvmBitserial: return "tvm-bitserial";
+    case ArmImpl::kTraditionalGemm: return "traditional-gemm";
+    case ArmImpl::kSdotExt: return "sdot-ext";
+  }
+  return "unknown";
+}
+
+const char* gpu_impl_name(GpuImpl impl) {
+  switch (impl) {
+    case GpuImpl::kOurs: return "ours";
+    case GpuImpl::kOursDefaultTiling: return "ours-default-tiling";
+    case GpuImpl::kCudnnDp4a: return "cudnn-dp4a";
+    case GpuImpl::kTensorRT: return "tensorrt";
+  }
+  return "unknown";
+}
+
+StatusOr<ArmLayerResult> run_arm_conv(const ConvShape& s,
+                                      const Tensor<i8>& input,
+                                      const Tensor<i8>& weight, int bits,
+                                      ArmImpl impl, armkern::ConvAlgo algo,
+                                      int threads) {
   armkern::ArmConvOptions opt;
   opt.bits = bits;
   opt.threads = threads;
@@ -23,7 +56,8 @@ ArmLayerResult run_arm_conv(const ConvShape& s, const Tensor<i8>& input,
       opt.algo = armkern::ConvAlgo::kGemm;
       break;
     case ArmImpl::kTvmBitserial:
-      assert(bits <= 2);
+      // > 2 bit degrades inside the driver (bitserial -> gemm), recorded
+      // in the fallback chain rather than asserted here.
       opt.algo = armkern::ConvAlgo::kBitserial;
       break;
     case ArmImpl::kTraditionalGemm:
@@ -35,23 +69,37 @@ ArmLayerResult run_arm_conv(const ConvShape& s, const Tensor<i8>& input,
       opt.algo = armkern::ConvAlgo::kGemm;
       break;
   }
-  const armkern::ArmConvResult r = armkern::conv2d_s32(s, input, weight, opt);
+  LBC_ASSIGN_OR_RETURN(armkern::ArmConvResult r,
+                       armkern::conv2d_s32(s, input, weight, opt));
   ArmLayerResult res;
-  res.out = r.out;
+  res.out = std::move(r.out);
   res.seconds = r.seconds;
   res.cycles = r.cycles;
   res.counts = r.counts;
   res.space = r.space;
+  res.executed_algo = std::move(r.executed_algo);
+  res.fallback = std::move(r.fallback);
   return res;
 }
 
-GpuLayerResult time_gpu_conv(const gpusim::DeviceSpec& dev, const ConvShape& s,
-                             int bits, GpuImpl impl) {
+StatusOr<GpuLayerResult> time_gpu_conv(const gpusim::DeviceSpec& dev,
+                                       const ConvShape& s, int bits,
+                                       GpuImpl impl) {
+  LBC_VALIDATE(s.valid(), kInvalidArgument,
+               "invalid conv shape: " << describe(s));
+  LBC_VALIDATE(bits == 4 || bits == 8, kInvalidArgument,
+               "GPU backend supports 4- or 8-bit, got " << bits);
   gpukern::GpuConvOptions opt;
+  FallbackRecord fallback;
   switch (impl) {
-    case GpuImpl::kOurs:
-      opt = gpukern::ours_options(dev, s, bits, /*profile_runs=*/true);
+    case GpuImpl::kOurs: {
+      const gpukern::AutotuneResult r =
+          gpukern::autotune_tiling(dev, s, bits, /*use_tc=*/true);
+      opt = gpukern::ours_options(dev, s, bits, /*profile_runs=*/false);
+      opt.tiling = r.best;
+      fallback = r.fallback;
       break;
+    }
     case GpuImpl::kOursDefaultTiling:
       opt = gpukern::ours_options(dev, s, bits, /*profile_runs=*/false);
       break;
@@ -74,42 +122,68 @@ GpuLayerResult time_gpu_conv(const gpusim::DeviceSpec& dev, const ConvShape& s,
   }();
   GpuLayerResult res;
   res.cost = gpusim::estimate_kernel(dev, ks);
+  LBC_VALIDATE(res.cost.valid, kUnimplemented,
+               "no legal kernel configuration for "
+                   << describe(s) << ": " << res.cost.why_invalid);
   res.seconds = res.cost.seconds;
   res.tiling = opt.tiling;
+  res.fallback = std::move(fallback);
   return res;
 }
 
 QuantizedConv2d::QuantizedConv2d(ConvShape shape, int bits, Backend backend)
     : shape_(std::move(shape)), bits_(bits), backend_(backend) {
-  assert(shape_.valid());
-  assert(bits_ >= 2 && bits_ <= 8);
-  if (backend_ == Backend::kGpuTU102) assert(bits_ == 4 || bits_ == 8);
+  init_status_ = [&]() -> Status {
+    LBC_VALIDATE(shape_.valid(), kInvalidArgument,
+                 "invalid conv shape: " << describe(shape_));
+    LBC_VALIDATE(bits_ >= 2 && bits_ <= 8, kInvalidArgument,
+                 "bits must be in [2, 8], got " << bits_);
+    LBC_VALIDATE(backend_ != Backend::kGpuTU102 || bits_ == 4 || bits_ == 8,
+                 kInvalidArgument,
+                 "GPU backend supports 4- or 8-bit, got " << bits_);
+    return Status();
+  }();
 }
 
-void QuantizedConv2d::set_weights(const Tensor<float>& w,
-                                  std::span<const float> bias) {
-  assert(w.shape() ==
-         (Shape4{shape_.out_c, shape_.in_c, shape_.kernel, shape_.kernel}));
+Status QuantizedConv2d::set_weights(const Tensor<float>& w,
+                                    std::span<const float> bias) {
+  LBC_RETURN_IF_ERROR(Status(init_status_));
+  const Shape4 want{shape_.out_c, shape_.in_c, shape_.kernel, shape_.kernel};
+  LBC_VALIDATE(w.shape() == want, kInvalidArgument,
+               "weight tensor is " << shape4_str(w.shape())
+                                   << " but the layer needs "
+                                   << shape4_str(want));
+  LBC_VALIDATE(bias.empty() || static_cast<i64>(bias.size()) == shape_.out_c,
+               kInvalidArgument,
+               "bias has " << bias.size() << " entries, expected "
+                           << shape_.out_c);
   float absmax = 0;
   for (float v : w.span()) absmax = std::max(absmax, std::fabs(v));
-  w_scheme_ = quant::choose_scheme(absmax, bits_);
+  LBC_ASSIGN_OR_RETURN(w_scheme_, quant::choose_scheme(absmax, bits_));
   w_q_ = quant::quantize(w, w_scheme_);
   bias_f_.clear();
   if (!bias.empty()) {
-    assert(static_cast<i64>(bias.size()) == shape_.out_c);
     // Bias is folded in the int32 accumulator domain at scale s_in * s_w;
     // the exact values are filled per-forward once the input scale is known.
     bias_f_.assign(bias.begin(), bias.end());
   }
   has_weights_ = true;
+  return Status();
 }
 
-Tensor<float> QuantizedConv2d::forward(const Tensor<float>& x) {
-  assert(has_weights_);
-  assert(x.shape() == (Shape4{shape_.batch, shape_.in_c, shape_.in_h, shape_.in_w}));
+StatusOr<Tensor<float>> QuantizedConv2d::forward(const Tensor<float>& x) {
+  LBC_RETURN_IF_ERROR(Status(init_status_));
+  LBC_VALIDATE(has_weights_, kFailedPrecondition,
+               "forward() before set_weights()");
+  const Shape4 want{shape_.batch, shape_.in_c, shape_.in_h, shape_.in_w};
+  LBC_VALIDATE(x.shape() == want, kInvalidArgument,
+               "input tensor is " << shape4_str(x.shape())
+                                  << " but the layer needs "
+                                  << shape4_str(want));
   float absmax = 0;
   for (float v : x.span()) absmax = std::max(absmax, std::fabs(v));
-  const quant::QScheme in_s = quant::choose_scheme(absmax, bits_);
+  LBC_ASSIGN_OR_RETURN(const quant::QScheme in_s,
+                       quant::choose_scheme(absmax, bits_));
   const Tensor<i8> x_q = quant::quantize(x, in_s);
 
   const float acc_scale = in_s.scale * w_scheme_.scale;
@@ -118,11 +192,11 @@ Tensor<float> QuantizedConv2d::forward(const Tensor<float>& x) {
     bias_q[i] = static_cast<i32>(std::lround(bias_f_[i] / acc_scale));
 
   if (backend_ == Backend::kArmCortexA53) {
-    const ArmLayerResult r = run_arm_conv(shape_, x_q, w_q_, bits_);
+    LBC_ASSIGN_OR_RETURN(const ArmLayerResult r,
+                         run_arm_conv(shape_, x_q, w_q_, bits_));
     last_seconds_ = r.seconds;
+    last_fallback_ = r.fallback;
     Tensor<float> out(r.out.shape());
-    auto os = out.span();
-    auto as = r.out.span();
     const Shape4 sh = r.out.shape();
     for (i64 n = 0; n < sh.n; ++n)
       for (i64 c = 0; c < sh.c; ++c)
@@ -131,8 +205,6 @@ Tensor<float> QuantizedConv2d::forward(const Tensor<float>& x) {
             out.at(n, c, h, w) =
                 acc_scale * static_cast<float>(r.out.at(n, c, h, w) +
                                                bias_q[static_cast<size_t>(c)]);
-    (void)os;
-    (void)as;
     return out;
   }
 
@@ -140,10 +212,13 @@ Tensor<float> QuantizedConv2d::forward(const Tensor<float>& x) {
   const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
   gpukern::GpuConvOptions opt = gpukern::ours_options(dev, shape_, bits_);
   opt.epilogue = gpukern::Epilogue::kDequantF32;
-  const gpukern::GpuConvResult r = gpukern::conv2d(
-      dev, shape_, x_q, w_q_, bias_q, /*requant=*/nullptr, acc_scale, opt);
+  LBC_ASSIGN_OR_RETURN(
+      gpukern::GpuConvResult r,
+      gpukern::conv2d(dev, shape_, x_q, w_q_, bias_q, /*requant=*/nullptr,
+                      acc_scale, opt));
   last_seconds_ = r.cost.seconds;
-  return r.out_f;
+  last_fallback_ = std::move(r.fallback);
+  return std::move(r.out_f);
 }
 
 }  // namespace lbc::core

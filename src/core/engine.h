@@ -3,11 +3,20 @@
 // TU102 GPU), implementation selection (ours vs the paper's baselines), and
 // the full quantized layer flow (quantize -> conv -> re-quantize ->
 // dequantize) behind one class.
+//
+// Error contract: every entry point validates its inputs and returns
+// Status/StatusOr instead of asserting, so invalid shapes, unsupported bit
+// widths, or use-before-set_weights surface as typed errors in release
+// builds. Ineligible impl/algo requests do not error — they degrade along
+// the kernel fallback ladder (specialized -> GEMM -> reference) and the
+// degradation is recorded in the result's FallbackRecord.
 #pragma once
 
 #include <optional>
 
 #include "armkern/conv_arm.h"
+#include "common/fallback.h"
+#include "common/status.h"
 #include "gpukern/baselines.h"
 #include "gpukern/fusion.h"
 #include "nets/nets.h"
@@ -29,47 +38,67 @@ enum class ArmImpl {
 /// Which GPU implementation executes a layer.
 enum class GpuImpl { kOurs, kOursDefaultTiling, kCudnnDp4a, kTensorRT };
 
+/// Stable names for run reports.
+const char* arm_impl_name(ArmImpl impl);
+const char* gpu_impl_name(GpuImpl impl);
+
 struct ArmLayerResult {
   Tensor<i32> out;
   double seconds = 0;
   double cycles = 0;
   armsim::Counters counts;
   armkern::SpaceReport space;
+  std::string executed_algo;  ///< kernel rung that produced `out`
+  FallbackRecord fallback;    ///< set when the request was degraded
 };
 
 /// Run one quantized convolution on the ARM backend (functional + timed).
-/// `algo` kAuto picks winograd for eligible 4-6-bit layers.
-ArmLayerResult run_arm_conv(const ConvShape& s, const Tensor<i8>& input,
-                            const Tensor<i8>& weight, int bits,
-                            ArmImpl impl = ArmImpl::kOurs,
-                            armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
-                            int threads = 1);
+/// `algo` kAuto picks winograd for eligible 4-6-bit layers. Ineligible
+/// impl/algo requests degrade (specialized -> GEMM -> reference) and the
+/// executed rung + reason land in the result; invalid shapes/bits/dims
+/// return kInvalidArgument.
+StatusOr<ArmLayerResult> run_arm_conv(
+    const ConvShape& s, const Tensor<i8>& input, const Tensor<i8>& weight,
+    int bits, ArmImpl impl = ArmImpl::kOurs,
+    armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm, int threads = 1);
 
 struct GpuLayerResult {
   gpusim::KernelCost cost;
   double seconds = 0;
   gpukern::Tiling tiling;
+  FallbackRecord fallback;  ///< autotune degradation, when it occurred
 };
 
 /// Time one convolution kernel on the GPU backend (cost model only; the
 /// functional executor is exercised via gpukern::conv2d directly).
-GpuLayerResult time_gpu_conv(const gpusim::DeviceSpec& dev, const ConvShape& s,
-                             int bits, GpuImpl impl);
+/// Invalid shapes or bit widths return kInvalidArgument.
+StatusOr<GpuLayerResult> time_gpu_conv(const gpusim::DeviceSpec& dev,
+                                       const ConvShape& s, int bits,
+                                       GpuImpl impl);
 
 /// High-level quantized convolution layer: owns quantized weights and
 /// schemes, runs fp32 -> fp32 with the full quantize/conv/requant/dequant
 /// chain on the selected backend. This is the quickstart-facing API.
 class QuantizedConv2d {
  public:
+  /// Construction never aborts; an invalid shape/bits/backend combination
+  /// is held in init_status() and poisons set_weights()/forward().
   QuantizedConv2d(ConvShape shape, int bits, Backend backend);
 
-  /// Quantize and store weights (+ optional bias). Must be called once.
-  void set_weights(const Tensor<float>& w, std::span<const float> bias = {});
+  const Status& init_status() const { return init_status_; }
+
+  /// Quantize and store weights (+ optional bias). Must be called once
+  /// before forward(). Rejects mismatched weight/bias dims.
+  Status set_weights(const Tensor<float>& w, std::span<const float> bias = {});
 
   /// Full forward pass. Records the modeled execution time of the conv.
-  Tensor<float> forward(const Tensor<float>& x);
+  /// kFailedPrecondition before set_weights(); kInvalidArgument on an
+  /// input tensor that does not match the layer shape.
+  StatusOr<Tensor<float>> forward(const Tensor<float>& x);
 
   double last_seconds() const { return last_seconds_; }
+  /// Fallback record of the last forward's conv (empty if none fired).
+  const FallbackRecord& last_fallback() const { return last_fallback_; }
   int bits() const { return bits_; }
   const ConvShape& shape() const { return shape_; }
 
@@ -77,11 +106,13 @@ class QuantizedConv2d {
   ConvShape shape_;
   int bits_;
   Backend backend_;
+  Status init_status_;
   quant::QScheme w_scheme_;
   Tensor<i8> w_q_;
   std::vector<float> bias_f_;
   bool has_weights_ = false;
   double last_seconds_ = 0;
+  FallbackRecord last_fallback_;
 };
 
 }  // namespace lbc::core

@@ -1,43 +1,82 @@
 #include "core/model_runner.h"
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "refconv/conv_ref.h"
 
 namespace lbc::core {
 
-ModelRunReport run_model(std::span<const ConvShape> layers,
-                         const ModelRunOptions& opt) {
+StatusOr<ModelRunReport> run_model(std::span<const ConvShape> layers,
+                                   const ModelRunOptions& opt) {
+  LBC_VALIDATE(opt.bits >= 2 && opt.bits <= 8, kInvalidArgument,
+               "bits must be in [2, 8], got " << opt.bits);
+  LBC_VALIDATE(opt.threads >= 1 && opt.threads <= 64, kInvalidArgument,
+               "threads must be in [1, 64], got " << opt.threads);
+  LBC_VALIDATE(
+      opt.backend != Backend::kGpuTU102 || opt.bits == 4 || opt.bits == 8,
+      kInvalidArgument, "GPU backend supports 4- or 8-bit, got " << opt.bits);
+
   ModelRunReport rep;
   u64 seed = opt.seed;
+  auto& fi = FaultInjector::instance();
   for (const ConvShape& s : layers) {
-    const Tensor<i8> input = random_qtensor(
-        Shape4{s.batch, s.in_c, s.in_h, s.in_w}, opt.bits, seed++);
-    const Tensor<i8> weight = random_qtensor(
-        Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, opt.bits, seed++);
-
     LayerRun run;
     run.name = s.name;
-    if (opt.backend == Backend::kArmCortexA53) {
-      const ArmLayerResult r = run_arm_conv(s, input, weight, opt.bits,
-                                            opt.arm_impl, opt.arm_algo,
-                                            opt.threads);
-      run.seconds = r.seconds;
-      if (opt.verify) {
-        const Tensor<i32> ref = ref::conv2d_s32(s, input, weight);
-        // Winograd uses winograd-domain rounded weights; its oracle is the
-        // winograd reference, checked by dedicated tests, not here.
-        run.verified = (opt.arm_algo != armkern::ConvAlgo::kWinograd) &&
-                       count_mismatches(ref, r.out) == 0;
+    run.requested_impl = opt.backend == Backend::kArmCortexA53
+                             ? arm_impl_name(opt.arm_impl)
+                             : gpu_impl_name(opt.gpu_impl);
+    const u64 layer_seed = seed;
+    seed += 2;
+
+    // A layer that cannot run costs one report row, not the whole model.
+    Status st = [&]() -> Status {
+      LBC_VALIDATE(!fi.should_fire(FaultSite::kAllocFail), kResourceExhausted,
+                   "synthetic tensor allocation failed (injected fault)");
+      const Tensor<i8> input = random_qtensor(
+          Shape4{s.batch, s.in_c, s.in_h, s.in_w}, opt.bits, layer_seed);
+      const Tensor<i8> weight = random_qtensor(
+          Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, opt.bits,
+          layer_seed + 1);
+
+      if (opt.backend == Backend::kArmCortexA53) {
+        LBC_ASSIGN_OR_RETURN(
+            const ArmLayerResult r,
+            run_arm_conv(s, input, weight, opt.bits, opt.arm_impl,
+                         opt.arm_algo, opt.threads));
+        run.seconds = r.seconds;
+        run.executed_algo = r.executed_algo;
+        run.fallback = r.fallback;
+        if (opt.verify) {
+          const Tensor<i32> ref = ref::conv2d_s32(s, input, weight);
+          // Winograd uses winograd-domain rounded weights; its oracle is the
+          // winograd reference, checked by dedicated tests, not here. A
+          // degraded layer executed GEMM or reference, which are exact.
+          const bool winograd_ran =
+              opt.arm_algo == armkern::ConvAlgo::kWinograd &&
+              r.executed_algo == "winograd";
+          run.verified =
+              !winograd_ran && count_mismatches(ref, r.out) == 0;
+        }
+      } else {
+        LBC_ASSIGN_OR_RETURN(
+            const GpuLayerResult r,
+            time_gpu_conv(gpusim::DeviceSpec::rtx2080ti(), s, opt.bits,
+                          opt.gpu_impl));
+        run.seconds = r.seconds;
+        run.fallback = r.fallback;
+        run.verified = false;  // GPU functional checks live in the test suite
       }
+      return Status();
+    }();
+
+    if (!st.ok()) {
+      run.error = st.with_context("layer " + run.name).to_string();
+      ++rep.error_layers;
     } else {
-      const GpuLayerResult r =
-          time_gpu_conv(gpusim::DeviceSpec::rtx2080ti(), s, opt.bits,
-                        opt.gpu_impl);
-      run.seconds = r.seconds;
-      run.verified = false;  // GPU functional checks live in the test suite
+      if (run.fallback.fell_back) ++rep.fallback_layers;
+      rep.total_seconds += run.seconds;
+      rep.total_macs += s.macs();
     }
-    rep.total_seconds += run.seconds;
-    rep.total_macs += s.macs();
     rep.layers.push_back(std::move(run));
   }
   return rep;

@@ -2,6 +2,13 @@
 // on synthetic quantized tensors, functionally verifying each against the
 // int32 reference and accumulating modeled time. Used by examples and the
 // end-to-end tests.
+//
+// Degradation policy: run_model() validates its options up front and
+// returns kInvalidArgument for nonsense (bits outside [2, 8], bad thread
+// count, unsupported backend/bits pairing). Per-layer failures — an
+// invalid shape in the table, an injected allocation failure — do NOT
+// abort the run: the layer is recorded with its error string and the
+// remaining layers still execute, so one bad table row costs one row.
 #pragma once
 
 #include <span>
@@ -16,12 +23,18 @@ struct LayerRun {
   std::string name;
   double seconds = 0;
   bool verified = false;  ///< bit-exact vs reference conv (if checked)
+  std::string requested_impl;  ///< impl the caller asked for
+  std::string executed_algo;   ///< kernel rung that actually ran (ARM)
+  FallbackRecord fallback;     ///< set when the layer degraded
+  std::string error;           ///< non-empty if this layer failed to run
 };
 
 struct ModelRunReport {
   std::vector<LayerRun> layers;
   double total_seconds = 0;
   i64 total_macs = 0;
+  int fallback_layers = 0;  ///< layers that ran, but on a degraded kernel
+  int error_layers = 0;     ///< layers that could not run at all
 };
 
 struct ModelRunOptions {
@@ -36,7 +49,9 @@ struct ModelRunOptions {
 };
 
 /// Run every layer with fresh synthetic data in the adjusted bit range.
-ModelRunReport run_model(std::span<const ConvShape> layers,
-                         const ModelRunOptions& opt);
+/// kInvalidArgument on bad options; per-layer failures are recorded in the
+/// report (error_layers / LayerRun::error) without aborting the run.
+StatusOr<ModelRunReport> run_model(std::span<const ConvShape> layers,
+                                   const ModelRunOptions& opt);
 
 }  // namespace lbc::core

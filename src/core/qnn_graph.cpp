@@ -1,9 +1,9 @@
 #include "core/qnn_graph.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "refconv/conv_ref.h"
 
 namespace lbc::core {
@@ -56,11 +56,13 @@ QnnGraph::NodeId QnnGraph::add_conv(NodeId src, i64 out_c, i64 kernel,
   n.conv.kernel = kernel;
   n.conv.stride = stride;
   n.conv.pad = pad;
-  assert(n.conv.valid());
-  assert(weight.shape() == (Shape4{out_c, in.c, kernel, kernel}));
+  LBC_CHECK_MSG(n.conv.valid(), "add_conv: invalid conv shape");
+  LBC_CHECK_MSG(weight.shape() == (Shape4{out_c, in.c, kernel, kernel}),
+                "add_conv: weight tensor does not match out_c/in_c/kernel");
   n.weight_f = weight;
   if (!bias.empty()) {
-    assert(static_cast<i64>(bias.size()) == out_c);
+    LBC_CHECK_MSG(static_cast<i64>(bias.size()) == out_c,
+                  "add_conv: bias size does not match out_c");
     n.bias_f.assign(bias.begin(), bias.end());
   }
   n.out_shape = Shape4{1, out_c, n.conv.out_h(), n.conv.out_w()};
@@ -68,7 +70,8 @@ QnnGraph::NodeId QnnGraph::add_conv(NodeId src, i64 out_c, i64 kernel,
 }
 
 QnnGraph::NodeId QnnGraph::add_add(NodeId a, NodeId b, bool relu) {
-  assert(at(a).out_shape == at(b).out_shape);
+  LBC_CHECK_MSG(at(a).out_shape == at(b).out_shape,
+                "add_add: operand shapes differ");
   Node n;
   n.kind = Kind::kAdd;
   n.src0 = a;
@@ -81,7 +84,8 @@ QnnGraph::NodeId QnnGraph::add_add(NodeId a, NodeId b, bool relu) {
 
 QnnGraph::NodeId QnnGraph::add_maxpool2(NodeId src) {
   const Shape4 in = at(src).out_shape;
-  assert(in.h % 2 == 0 && in.w % 2 == 0);
+  LBC_CHECK_MSG(in.h % 2 == 0 && in.w % 2 == 0,
+                "add_maxpool2: input height/width must be even");
   Node n;
   n.kind = Kind::kMaxPool2;
   n.src0 = src;
@@ -101,7 +105,7 @@ QnnGraph::NodeId QnnGraph::add_global_avgpool(NodeId src) {
 }
 
 Shape4 QnnGraph::output_shape() const {
-  assert(!nodes_.empty());
+  LBC_CHECK_MSG(!nodes_.empty(), "output_shape: graph has no nodes");
   return nodes_.back().out_shape;
 }
 
@@ -115,7 +119,8 @@ Tensor<float> QnnGraph::forward_fp32(const Tensor<float>& x) const {
     const Node& n = nodes_[i];
     switch (n.kind) {
       case Kind::kInput:
-        assert(x.shape() == n.out_shape);
+        LBC_CHECK_MSG(x.shape() == n.out_shape,
+                      "forward_fp32: input shape does not match input node");
         acts[i] = x;
         break;
       case Kind::kConv: {
@@ -199,7 +204,8 @@ void QnnGraph::calibrate(const Tensor<float>& x) {
               for (i64 w = 0; w < y.shape().w; ++w)
                 y.at(0, c, h, w) += n.bias_f[static_cast<size_t>(c)];
         acts[i] = n.relu ? relu_f(y) : y;
-        n.weight_scheme = quant::choose_scheme(tensor_absmax(n.weight_f), n.bits);
+        n.weight_scheme =
+            quant::choose_scheme(tensor_absmax(n.weight_f), n.bits).value();
         n.weight_q = quant::quantize(n.weight_f, n.weight_scheme);
         break;
       }
@@ -243,7 +249,7 @@ void QnnGraph::calibrate(const Tensor<float>& x) {
         break;
       }
     }
-    n.scheme = quant::choose_scheme(tensor_absmax(acts[i]), n.act_bits);
+    n.scheme = quant::choose_scheme(tensor_absmax(acts[i]), n.act_bits).value();
     n.calibrated = true;
   }
   calibrated_ = true;
@@ -255,7 +261,7 @@ void QnnGraph::calibrate(const Tensor<float>& x) {
 
 QnnGraph::RunResult QnnGraph::forward(const Tensor<float>& x,
                                       armkern::ConvAlgo algo) const {
-  assert(calibrated_ && "call calibrate() first");
+  LBC_CHECK_MSG(calibrated_, "forward: call calibrate() first");
   RunResult res;
   res.node_seconds.resize(nodes_.size(), 0.0);
   std::vector<Tensor<i8>> acts(nodes_.size());
@@ -271,8 +277,12 @@ QnnGraph::RunResult QnnGraph::forward(const Tensor<float>& x,
         armkern::ArmConvOptions opt;
         opt.bits = n.bits;
         opt.algo = algo;
-        const armkern::ArmConvResult r = armkern::conv2d_s32(
-            n.conv, acts[static_cast<size_t>(n.src0)], n.weight_q, opt);
+        // Graph construction already validated the conv; a failure here is
+        // a programming error, so .value() (fatal, defined) is correct.
+        const armkern::ArmConvResult r =
+            armkern::conv2d_s32(n.conv, acts[static_cast<size_t>(n.src0)],
+                                n.weight_q, opt)
+                .value();
         res.node_seconds[i] = r.seconds;
         res.seconds += r.seconds;
         // Fold bias into the int32 domain, then re-quantize (+fused ReLU).

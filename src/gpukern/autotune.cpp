@@ -1,5 +1,7 @@
 #include "gpukern/autotune.h"
 
+#include "common/fault_injection.h"
+
 namespace lbc::gpukern {
 
 AutotuneResult autotune_tiling(const gpusim::DeviceSpec& dev,
@@ -17,16 +19,35 @@ AutotuneResult autotune_tiling(const gpusim::DeviceSpec& dev,
 
   res.default_cost = gpusim::estimate_kernel(dev, shape_for(default_tiling(bits)));
 
+  // kAutotuneInvalid: simulate a profile run where every candidate reports
+  // illegal (e.g. a cost-model/device mismatch) — the search must degrade,
+  // not return an uninitialized winner.
+  const bool poisoned =
+      FaultInjector::instance().should_fire(FaultSite::kAutotuneInvalid);
+
   bool first = true;
-  for (const Tiling& t : tiling_search_space(bits)) {
-    const gpusim::KernelCost c = gpusim::estimate_kernel(dev, shape_for(t));
-    if (!c.valid) continue;
-    ++res.evaluated;
-    if (first || c.seconds < res.best_cost.seconds) {
-      res.best = t;
-      res.best_cost = c;
-      first = false;
+  if (!poisoned) {
+    for (const Tiling& t : tiling_search_space(bits)) {
+      const gpusim::KernelCost c = gpusim::estimate_kernel(dev, shape_for(t));
+      if (!c.valid) continue;
+      ++res.evaluated;
+      if (first || c.seconds < res.best_cost.seconds) {
+        res.best = t;
+        res.best_cost = c;
+        first = false;
+      }
     }
+  }
+  if (first) {
+    // No legal candidate: degrade to the programmer-experience default so
+    // callers always receive a runnable tiling.
+    res.best = default_tiling(bits);
+    res.best_cost = res.default_cost;
+    res.fallback.record("autotuned tiling", "default tiling",
+                        poisoned
+                            ? "profile search reported every candidate "
+                              "illegal (injected fault)"
+                            : "no legal tiling candidate for this shape");
   }
   return res;
 }

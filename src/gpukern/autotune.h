@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/conv_shape.h"
+#include "common/fallback.h"
 #include "gpukern/tiling.h"
 
 namespace lbc::gpukern {
@@ -16,10 +17,16 @@ struct AutotuneResult {
   gpusim::KernelCost best_cost;
   gpusim::KernelCost default_cost;  ///< Fig. 11 "w/o profile" comparison
   int evaluated = 0;                ///< legal configurations profiled
+  /// Set when the search found no legal configuration (or the
+  /// kAutotuneInvalid fault fired) and `best` degraded to the default
+  /// tiling rather than a profiled winner.
+  FallbackRecord fallback;
 };
 
 /// Flags mirror GpuConvOptions: the searched kernel keeps the same engine
 /// and memory-optimization switches; only the data partition varies.
+/// Never fails: an empty search space degrades to default_tiling(bits),
+/// recorded in AutotuneResult::fallback.
 AutotuneResult autotune_tiling(const gpusim::DeviceSpec& dev,
                                const ConvShape& s, int bits, bool use_tc,
                                double compute_eff = 1.0,

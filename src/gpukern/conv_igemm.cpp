@@ -1,6 +1,7 @@
 #include "gpukern/conv_igemm.h"
 
-#include <cassert>
+#include <optional>
+#include <sstream>
 #include <vector>
 
 #include "gpukern/precomp.h"
@@ -144,39 +145,100 @@ KernelShape build_shape(const ConvShape& s, const GpuConvOptions& opt) {
   return ks;
 }
 
+std::string shape4_str(const Shape4& sh) {
+  std::ostringstream os;
+  os << sh.n << 'x' << sh.c << 'x' << sh.h << 'x' << sh.w;
+  return os.str();
+}
+
+std::string tiling_str(const Tiling& t) {
+  std::ostringstream os;
+  os << t.mtile << 'x' << t.ntile << 'x' << t.ktile << '/' << t.kstep << " w"
+     << t.warp_rows << 'x' << t.warp_cols;
+  return os.str();
+}
+
 }  // namespace
 
-GpuConvResult conv2d(const DeviceSpec& dev, const ConvShape& s,
-                     const Tensor<i8>& input, const Tensor<i8>& weight,
-                     std::span<const i32> bias,
-                     const quant::RequantParams* requant, float dequant_scale,
-                     const GpuConvOptions& opt,
-                     const quant::PerChannelRequant* pc_requant) {
-  assert(s.valid());
-  assert(opt.bits == 4 || opt.bits == 8);
-  GpuConvResult res;
+StatusOr<GpuConvResult> conv2d(const DeviceSpec& dev, const ConvShape& s,
+                               const Tensor<i8>& input,
+                               const Tensor<i8>& weight,
+                               std::span<const i32> bias,
+                               const quant::RequantParams* requant,
+                               float dequant_scale, const GpuConvOptions& opt,
+                               const quant::PerChannelRequant* pc_requant) {
+  // Boundary validation: survives release builds, rejects instead of UB.
+  LBC_VALIDATE(s.valid(), kInvalidArgument,
+               "invalid conv shape: " << describe(s));
+  LBC_VALIDATE(opt.bits == 4 || opt.bits == 8, kInvalidArgument,
+               "GPU backend supports 4- or 8-bit, got " << opt.bits);
+  const Shape4 want_in{s.batch, s.in_c, s.in_h, s.in_w};
+  const Shape4 want_w{s.out_c, s.in_c, s.kernel, s.kernel};
+  LBC_VALIDATE(input.shape() == want_in, kInvalidArgument,
+               "input tensor is " << shape4_str(input.shape())
+                                  << " but the shape needs "
+                                  << shape4_str(want_in));
+  LBC_VALIDATE(weight.shape() == want_w, kInvalidArgument,
+               "weight tensor is " << shape4_str(weight.shape())
+                                   << " but the shape needs "
+                                   << shape4_str(want_w));
+  LBC_VALIDATE(bias.empty() || static_cast<i64>(bias.size()) == s.out_c,
+               kInvalidArgument,
+               "bias has " << bias.size() << " entries, expected " << s.out_c);
+  LBC_VALIDATE(!opt.functional || opt.epilogue != Epilogue::kRequantS8 ||
+                   requant != nullptr || pc_requant != nullptr,
+               kInvalidArgument,
+               "requant epilogue needs requant parameters");
+  LBC_VALIDATE(pc_requant == nullptr ||
+                   static_cast<i64>(pc_requant->mult.size()) == s.out_c,
+               kInvalidArgument,
+               "per-channel requant has " << pc_requant->mult.size()
+                                          << " multipliers, expected "
+                                          << s.out_c);
 
-  const KernelShape ks = build_shape(s, opt);
+  GpuConvResult res;
+  GpuConvOptions run_opt = opt;
+
+  // Tiling fallback: an illegal requested tiling (geometry or resource
+  // fit) degrades to the shape-agnostic default tiling before erroring.
+  const auto legality = [&](const Tiling& t) -> std::optional<std::string> {
+    GpuConvOptions probe = opt;
+    probe.tiling = t;
+    std::string why;
+    if (!gpusim::config_valid(dev, build_shape(s, probe), &why)) return why;
+    return std::nullopt;
+  };
+  if (const auto why = legality(opt.tiling)) {
+    const Tiling dflt = default_tiling(opt.bits);
+    if (const auto why_dflt = legality(dflt)) {
+      Status err = Status::unimplemented(
+          "no legal tiling: requested " + tiling_str(opt.tiling) + " (" +
+          *why + "), default " + tiling_str(dflt) + " (" + *why_dflt + ")");
+      return err.with_context("gpukern::conv2d on " + describe(s));
+    }
+    res.fallback.record(tiling_str(opt.tiling), tiling_str(dflt), *why);
+    run_opt.tiling = dflt;
+  }
+  res.executed_tiling = run_opt.tiling;
+
+  const KernelShape ks = build_shape(s, run_opt);
   res.cost = gpusim::estimate_kernel(dev, ks);
-  assert(res.cost.valid && "invalid tiling configuration");
+  LBC_CHECK_MSG(res.cost.valid, "tiling legality was checked above");
 
   PrecompBuffer pc(s);
   res.precomp_bytes = pc.bytes();
-  if (!opt.functional) return res;
+  if (!run_opt.functional) return res;
 
   const i64 m = s.gemm_m(), n = s.gemm_n();
   const Shape4 out_shape{s.batch, s.out_c, s.out_h(), s.out_w()};
-  switch (opt.epilogue) {
+  switch (run_opt.epilogue) {
     case Epilogue::kRawS32: res.out_s32 = Tensor<i32>(out_shape); break;
-    case Epilogue::kRequantS8:
-      assert(requant != nullptr || pc_requant != nullptr);
-      res.out_q = Tensor<i8>(out_shape);
-      break;
+    case Epilogue::kRequantS8: res.out_q = Tensor<i8>(out_shape); break;
     case Epilogue::kDequantF32: res.out_f = Tensor<float>(out_shape); break;
   }
 
-  BlockExecutor ex(s, pc, opt, weight.data(), input.data());
-  const Tiling& t = opt.tiling;
+  BlockExecutor ex(s, pc, run_opt, weight.data(), input.data());
+  const Tiling& t = run_opt.tiling;
   const i64 ohw = s.out_h() * s.out_w();
   for (i64 bm = 0; bm < ceil_div(m, t.mtile); ++bm)
     for (i64 bn = 0; bn < ceil_div(n, t.ntile); ++bn) {
@@ -192,7 +254,7 @@ GpuConvResult conv2d(const DeviceSpec& dev, const ConvShape& s,
           const i64 b = col / ohw;
           const i64 oh = (col % ohw) / s.out_w();
           const i64 ow = col % s.out_w();
-          switch (opt.epilogue) {
+          switch (run_opt.epilogue) {
             case Epilogue::kRawS32:
               res.out_s32.at(b, row, oh, ow) = a;
               break;
@@ -204,7 +266,7 @@ GpuConvResult conv2d(const DeviceSpec& dev, const ConvShape& s,
               } else {
                 p = *requant;
               }
-              if (opt.fuse_relu) p.clamp.lo = 0;  // conv+ReLU fusion
+              if (run_opt.fuse_relu) p.clamp.lo = 0;  // conv+ReLU fusion
               res.out_q.at(b, row, oh, ow) = quant::requantize_one(a, p);
               break;
             }

@@ -11,6 +11,8 @@
 #include <span>
 
 #include "common/conv_shape.h"
+#include "common/fallback.h"
+#include "common/status.h"
 #include "common/tensor.h"
 #include "gpukern/tiling.h"
 #include "gpusim/cost_model.h"
@@ -47,6 +49,8 @@ struct GpuConvResult {
 
   gpusim::KernelCost cost;
   i64 precomp_bytes = 0;
+  Tiling executed_tiling;   ///< tiling that actually ran (after fallback)
+  FallbackRecord fallback;  ///< set when the requested tiling was replaced
 };
 
 /// One convolution kernel launch. `requant` is required for kRequantS8,
@@ -54,11 +58,22 @@ struct GpuConvResult {
 /// If `pc_requant` is non-null it overrides `requant` with per-output-
 /// channel multipliers (per-channel weight quantization; the epilogue
 /// simply indexes the multiplier by the fragment's output channel).
-GpuConvResult conv2d(const gpusim::DeviceSpec& dev, const ConvShape& s,
-                     const Tensor<i8>& input, const Tensor<i8>& weight,
-                     std::span<const i32> bias,
-                     const quant::RequantParams* requant, float dequant_scale,
-                     const GpuConvOptions& opt,
-                     const quant::PerChannelRequant* pc_requant = nullptr);
+///
+/// Errors (never asserts, also in release builds):
+///  * kInvalidArgument — invalid shape, bits not 4/8, tensor dims that do
+///    not match the shape, bias of the wrong length, or a requant epilogue
+///    without requant parameters.
+///  * kUnimplemented — neither the requested nor the default tiling is
+///    legal on this device.
+/// A requested tiling that is illegal (geometry or resource fit) degrades
+/// to default_tiling(bits), recorded in GpuConvResult::fallback.
+StatusOr<GpuConvResult> conv2d(const gpusim::DeviceSpec& dev,
+                               const ConvShape& s, const Tensor<i8>& input,
+                               const Tensor<i8>& weight,
+                               std::span<const i32> bias,
+                               const quant::RequantParams* requant,
+                               float dequant_scale, const GpuConvOptions& opt,
+                               const quant::PerChannelRequant* pc_requant =
+                                   nullptr);
 
 }  // namespace lbc::gpukern

@@ -41,7 +41,8 @@ PipelineResult run_qnn_pipeline(const DeviceSpec& dev, const ConvShape& s,
     case FusionMode::kNone: {
       opt.epilogue = Epilogue::kRequantS8;
       opt.fuse_relu = false;
-      GpuConvResult conv = conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt);
+      GpuConvResult conv =
+          conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt).value();
       res.conv_seconds = conv.cost.seconds;
       res.seconds = conv.cost.seconds;
       res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, 4 * elems);  // dequant
@@ -59,7 +60,8 @@ PipelineResult run_qnn_pipeline(const DeviceSpec& dev, const ConvShape& s,
     }
     case FusionMode::kFuseDequant: {
       opt.epilogue = Epilogue::kDequantF32;
-      GpuConvResult conv = conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt);
+      GpuConvResult conv =
+          conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt).value();
       res.conv_seconds = conv.cost.seconds;
       res.seconds = conv.cost.seconds;
       res.seconds += gpusim::elementwise_kernel_seconds(dev, 4 * elems, elems);  // quant
@@ -76,7 +78,8 @@ PipelineResult run_qnn_pipeline(const DeviceSpec& dev, const ConvShape& s,
     case FusionMode::kFuseRelu: {
       opt.epilogue = Epilogue::kRequantS8;
       opt.fuse_relu = true;  // clamp range [0, qmax] inside re-quantization
-      GpuConvResult conv = conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt);
+      GpuConvResult conv =
+          conv2d(dev, s, input, weight, bias, &rq, acc_scale, opt).value();
       res.conv_seconds = conv.cost.seconds;
       res.seconds = conv.cost.seconds;
       res.seconds += gpusim::elementwise_kernel_seconds(dev, elems, 4 * elems);  // dequant

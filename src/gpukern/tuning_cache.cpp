@@ -1,8 +1,27 @@
 #include "gpukern/tuning_cache.h"
 
 #include <sstream>
+#include <vector>
+
+#include "common/fault_injection.h"
 
 namespace lbc::gpukern {
+
+Status validate_tiling(const Tiling& t) {
+  LBC_VALIDATE(t.mtile > 0 && t.ntile > 0 && t.ktile > 0 && t.kstep > 0,
+               kOutOfRange, "non-positive tile dimension");
+  LBC_VALIDATE(t.mtile <= 1024 && t.ntile <= 1024 && t.ktile <= 1024,
+               kOutOfRange, "tile dimension exceeds 1024");
+  LBC_VALIDATE(t.kstep <= t.ktile && t.ktile % t.kstep == 0, kOutOfRange,
+               "KTile (" << t.ktile << ") must be a positive multiple of KStep ("
+                         << t.kstep << ")");
+  LBC_VALIDATE(t.warp_rows >= 1 && t.warp_rows <= 16 && t.warp_cols >= 1 &&
+                   t.warp_cols <= 16,
+               kOutOfRange, "warp grid must be within 16x16");
+  LBC_VALIDATE(t.mtile % t.warp_rows == 0 && t.ntile % t.warp_cols == 0,
+               kOutOfRange, "tile must split evenly across the warp grid");
+  return Status();
+}
 
 std::optional<Tiling> TuningCache::lookup(const TuningKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -18,10 +37,24 @@ Tiling TuningCache::get_or_search(const gpusim::DeviceSpec& dev,
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++hits_;
-      return it->second;
+      Tiling hit = it->second;
+      // kTuningCacheCorrupt: simulate a poisoned entry (bit rot in a
+      // shipped cache file, a bad merge) surfacing at lookup time.
+      if (FaultInjector::instance().should_fire(
+              FaultSite::kTuningCacheCorrupt))
+        hit.mtile = -7;
+      if (validate_tiling(hit).ok()) {
+        ++hits_;
+        return hit;
+      }
+      // Corrupt hit: evict and fall through to a fresh search. The cache
+      // self-heals instead of handing the kernel a bogus partition.
+      entries_.erase(it);
+      ++corrupt_evictions_;
+      ++misses_;
+    } else {
+      ++misses_;
     }
-    ++misses_;
   }
   const AutotuneResult r = autotune_tiling(dev, s, bits, use_tc);
   put(key, r.best);
@@ -41,6 +74,7 @@ size_t TuningCache::size() const {
 std::string TuningCache::serialize() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
+  out << kTuningCacheHeader << '\n';
   for (const auto& [k, t] : entries_)
     out << k.m << ' ' << k.n << ' ' << k.k << ' ' << k.bits << ' '
         << (k.use_tc ? 1 : 0) << ' ' << t.mtile << ' ' << t.ntile << ' '
@@ -49,25 +83,47 @@ std::string TuningCache::serialize() const {
   return out.str();
 }
 
-int TuningCache::deserialize(const std::string& text) {
+StatusOr<int> TuningCache::deserialize(const std::string& text) {
   std::istringstream in(text);
   std::string line;
-  int accepted = 0;
+  LBC_VALIDATE(std::getline(in, line), kDataLoss,
+               "empty input: expected header \"" << kTuningCacheHeader << "\"");
+  LBC_VALIDATE(line == kTuningCacheHeader, kDataLoss,
+               "unsupported cache format: expected header \""
+                   << kTuningCacheHeader << "\", got \"" << line << "\"");
+
+  // Parse everything before merging anything: a corrupt line must not
+  // leave the cache half-updated.
+  std::vector<std::pair<TuningKey, Tiling>> parsed;
+  int lineno = 1;
   while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
     std::istringstream ls(line);
     TuningKey k;
     Tiling t;
     int tc = 1;
-    if (!(ls >> k.m >> k.n >> k.k >> k.bits >> tc >> t.mtile >> t.ntile >>
-          t.ktile >> t.kstep >> t.warp_rows >> t.warp_cols))
-      continue;  // skip corrupt lines
-    if (k.m <= 0 || k.n <= 0 || k.k <= 0) continue;
-    if (t.mtile <= 0 || t.ntile <= 0 || t.ktile <= 0 || t.kstep <= 0) continue;
+    LBC_VALIDATE(static_cast<bool>(ls >> k.m >> k.n >> k.k >> k.bits >> tc >>
+                                   t.mtile >> t.ntile >> t.ktile >> t.kstep >>
+                                   t.warp_rows >> t.warp_cols),
+                 kDataLoss, "line " << lineno << ": truncated or garbage entry");
+    std::string trailing;
+    LBC_VALIDATE(!(ls >> trailing), kDataLoss,
+                 "line " << lineno << ": trailing fields after entry");
+    LBC_VALIDATE(k.m > 0 && k.n > 0 && k.k > 0, kDataLoss,
+                 "line " << lineno << ": non-positive GEMM dimension");
+    LBC_VALIDATE(k.bits >= 2 && k.bits <= 8, kDataLoss,
+                 "line " << lineno << ": bits " << k.bits
+                         << " outside [2, 8]");
+    LBC_VALIDATE(tc == 0 || tc == 1, kDataLoss,
+                 "line " << lineno << ": use_tc must be 0 or 1, got " << tc);
     k.use_tc = (tc != 0);
-    put(k, t);
-    ++accepted;
+    if (Status ts = validate_tiling(t); !ts.ok())
+      return ts.with_context("line " + std::to_string(lineno));
+    parsed.emplace_back(k, t);
   }
-  return accepted;
+  for (const auto& [k, t] : parsed) put(k, t);
+  return static_cast<int>(parsed.size());
 }
 
 }  // namespace lbc::gpukern

@@ -3,6 +3,12 @@
 // only need to be determined once per convolution shape" (Sec. 5.1); this
 // is the library piece that makes the amortization real across process
 // runs — a deployment runs the profile search once and ships the cache.
+//
+// The text format is versioned and strictly validated on load: a shipped
+// cache file travels through filesystems and deploy pipelines, so a
+// truncated or corrupted file must surface as a Status error, never as a
+// bogus Tiling driving the kernel. Cache *hits* are sanity-checked too
+// (and re-searched on corruption) so a poisoned entry cannot escape.
 #pragma once
 
 #include <map>
@@ -10,9 +16,14 @@
 #include <optional>
 #include <string>
 
+#include "common/status.h"
 #include "gpukern/autotune.h"
 
 namespace lbc::gpukern {
+
+/// First line of every serialized cache. Bump the version when fields
+/// change so old readers reject new files instead of misparsing them.
+inline constexpr const char* kTuningCacheHeader = "lbc-tuning-cache v1";
 
 struct TuningKey {
   i64 m = 0, n = 0, k = 0;
@@ -22,12 +33,19 @@ struct TuningKey {
   auto operator<=>(const TuningKey&) const = default;
 };
 
+/// Static sanity of a tiling (positive, bounded, divisible): the check a
+/// deserialized or cached entry must pass before it may drive a kernel.
+Status validate_tiling(const Tiling& t);
+
 class TuningCache {
  public:
   /// Cached tiling for a key, if the search ran before.
   std::optional<Tiling> lookup(const TuningKey& key) const;
 
-  /// Cached tiling, running (and storing) the auto-search on a miss.
+  /// Cached tiling, running (and storing) the auto-search on a miss. A hit
+  /// whose entry fails validate_tiling (cache corruption — also the
+  /// kTuningCacheCorrupt fault-injection site) is evicted and re-searched;
+  /// corrupt_evictions() counts these recoveries.
   Tiling get_or_search(const gpusim::DeviceSpec& dev, const ConvShape& s,
                        int bits, bool use_tc);
 
@@ -36,17 +54,22 @@ class TuningCache {
   size_t size() const;
   i64 hits() const { return hits_; }
   i64 misses() const { return misses_; }
+  i64 corrupt_evictions() const { return corrupt_evictions_; }
 
-  /// Text round trip: "m n k bits use_tc mtile ntile ktile kstep wr wc"
-  /// per line. Unknown/corrupt lines are skipped on load.
+  /// Text round trip. Format: the version header line, then one entry per
+  /// line, "m n k bits use_tc mtile ntile ktile kstep wr wc".
   std::string serialize() const;
+
   /// Merge entries from serialized text; returns entries accepted.
-  int deserialize(const std::string& text);
+  /// Strict: a missing/unknown header, a truncated or garbage line, or
+  /// out-of-range tiling values yield a kDataLoss error naming the line,
+  /// and NO entries are merged (all-or-nothing).
+  StatusOr<int> deserialize(const std::string& text);
 
  private:
   mutable std::mutex mu_;
   std::map<TuningKey, Tiling> entries_;
-  i64 hits_ = 0, misses_ = 0;
+  i64 hits_ = 0, misses_ = 0, corrupt_evictions_ = 0;
 };
 
 }  // namespace lbc::gpukern

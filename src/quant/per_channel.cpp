@@ -1,7 +1,8 @@
 #include "quant/per_channel.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/status.h"
 
 namespace lbc::quant {
 
@@ -25,7 +26,8 @@ PerChannelScheme choose_per_channel(const Tensor<float>& w, int bits) {
 Tensor<i8> quantize_per_channel(const Tensor<float>& w,
                                 const PerChannelScheme& s) {
   const Shape4 sh = w.shape();
-  assert(s.scales.size() == static_cast<size_t>(sh.n));
+  LBC_CHECK_MSG(s.scales.size() == static_cast<size_t>(sh.n),
+                "per-channel scheme does not match weight out_c");
   Tensor<i8> q(sh);
   for (i64 oc = 0; oc < sh.n; ++oc) {
     const float inv = 1.0f / s.scales[static_cast<size_t>(oc)];
@@ -57,8 +59,10 @@ Tensor<i8> requantize_per_channel(const Tensor<i32>& acc,
                                   std::span<const i32> bias,
                                   const PerChannelRequant& p) {
   const Shape4 sh = acc.shape();
-  assert(p.mult.size() == static_cast<size_t>(sh.c));
-  assert(bias.empty() || bias.size() == static_cast<size_t>(sh.c));
+  LBC_CHECK_MSG(p.mult.size() == static_cast<size_t>(sh.c),
+                "per-channel requant params do not match channel count");
+  LBC_CHECK_MSG(bias.empty() || bias.size() == static_cast<size_t>(sh.c),
+                "per-channel bias size does not match channel count");
   Tensor<i8> out(sh);
   for (i64 n = 0; n < sh.n; ++n)
     for (i64 c = 0; c < sh.c; ++c) {

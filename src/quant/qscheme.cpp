@@ -1,12 +1,14 @@
 #include "quant/qscheme.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace lbc::quant {
 
-QScheme choose_scheme(float absmax, int bits) {
-  assert(bits >= 2 && bits <= 8);
+StatusOr<QScheme> choose_scheme(float absmax, int bits) {
+  LBC_VALIDATE(bits >= 2 && bits <= 8, kInvalidArgument,
+               "quantization bits must be in [2, 8], got " << bits);
+  LBC_VALIDATE(std::isfinite(absmax) && absmax >= 0.0f, kInvalidArgument,
+               "absmax must be finite and non-negative, got " << absmax);
   QScheme s;
   s.bits = bits;
   const float qmax = static_cast<float>(qmax_for_bits(bits));
@@ -15,7 +17,7 @@ QScheme choose_scheme(float absmax, int bits) {
 }
 
 FixedPointMultiplier make_multiplier(double m) {
-  assert(m > 0.0);
+  LBC_CHECK_MSG(m > 0.0, "requant multiplier must be positive");
   FixedPointMultiplier fp;
   // Normalize m into [0.5, 1) * 2^exp, then fix mult = round(m_frac * 2^31).
   int exp = 0;
@@ -27,7 +29,7 @@ FixedPointMultiplier make_multiplier(double m) {
   }
   fp.mult = static_cast<i32>(q);
   fp.shift = 31 - exp;
-  assert(fp.shift >= 0 && "requantization multipliers are always < 1 here");
+  LBC_CHECK_MSG(fp.shift >= 0, "requantization multipliers are always < 1 here");
   return fp;
 }
 

@@ -6,6 +6,7 @@
 // is exactly what makes the paper's SMLAL/MLA accumulation ratios safe.
 #pragma once
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace lbc::quant {
@@ -19,7 +20,9 @@ struct QScheme {
 };
 
 /// Choose a scale so that |real| <= absmax maps onto the full b-bit range.
-QScheme choose_scheme(float absmax, int bits);
+/// Rejects bits outside [2, 8] and non-finite/negative absmax — the checks
+/// survive release builds (callers with known-valid constants use .value()).
+StatusOr<QScheme> choose_scheme(float absmax, int bits);
 
 /// Fixed-point requantization multiplier: represents a positive real
 /// multiplier m as m ~= mult * 2^-shift with mult a normalized i32 in

@@ -1,7 +1,8 @@
 #include "quant/quantize.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/status.h"
 
 namespace lbc::quant {
 
@@ -45,7 +46,8 @@ i8 requantize_one(i32 acc, const RequantParams& p) {
 Tensor<i8> requantize(const Tensor<i32>& acc, std::span<const i32> bias,
                       const RequantParams& p) {
   const Shape4 sh = acc.shape();
-  assert(static_cast<i64>(bias.size()) == sh.c);
+  LBC_CHECK_MSG(static_cast<i64>(bias.size()) == sh.c,
+                "requantize: bias size does not match channel count");
   Tensor<i8> out(sh);
   for (i64 n = 0; n < sh.n; ++n)
     for (i64 c = 0; c < sh.c; ++c)

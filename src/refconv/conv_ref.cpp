@@ -1,6 +1,6 @@
 #include "refconv/conv_ref.h"
 
-#include <cassert>
+#include "common/status.h"
 
 namespace lbc::ref {
 namespace {
@@ -8,9 +8,11 @@ namespace {
 template <typename In, typename Acc>
 Tensor<Acc> conv2d_impl(const ConvShape& s, const Tensor<In>& input,
                         const Tensor<In>& weight) {
-  assert(s.valid());
-  assert(input.shape() == (Shape4{s.batch, s.in_c, s.in_h, s.in_w}));
-  assert(weight.shape() == (Shape4{s.out_c, s.in_c, s.kernel, s.kernel}));
+  LBC_CHECK_MSG(s.valid(), "conv2d: invalid conv shape");
+  LBC_CHECK_MSG(input.shape() == (Shape4{s.batch, s.in_c, s.in_h, s.in_w}),
+                "conv2d: input tensor does not match conv shape");
+  LBC_CHECK_MSG(weight.shape() == (Shape4{s.out_c, s.in_c, s.kernel, s.kernel}),
+                "conv2d: weight tensor does not match conv shape");
 
   Tensor<Acc> out(Shape4{s.batch, s.out_c, s.out_h(), s.out_w()}, Acc{0});
   for (i64 n = 0; n < s.batch; ++n)

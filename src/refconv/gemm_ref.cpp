@@ -1,6 +1,6 @@
 #include "refconv/gemm_ref.h"
 
-#include <cassert>
+#include "common/status.h"
 
 namespace lbc::ref {
 
@@ -16,7 +16,7 @@ void gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k) {
 
 Tensor<i32> gemm_s8s32(const Tensor<i8>& a, const Tensor<i8>& b) {
   const i64 m = a.shape().h, k = a.shape().w, n = b.shape().w;
-  assert(b.shape().h == k);
+  LBC_CHECK_MSG(b.shape().h == k, "gemm_s8s32: inner dimensions differ");
   Tensor<i32> c(Shape4{1, 1, m, n});
   gemm_s8s32(a.data(), b.data(), c.data(), m, n, k);
   return c;

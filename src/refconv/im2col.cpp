@@ -1,6 +1,6 @@
 #include "refconv/im2col.h"
 
-#include <cassert>
+#include "common/status.h"
 
 namespace lbc::ref {
 
@@ -27,7 +27,8 @@ std::vector<i64> im2col_offsets(const ConvShape& s) {
 }
 
 Tensor<i8> im2col(const ConvShape& s, const Tensor<i8>& input) {
-  assert(input.shape() == (Shape4{s.batch, s.in_c, s.in_h, s.in_w}));
+  LBC_CHECK_MSG(input.shape() == (Shape4{s.batch, s.in_c, s.in_h, s.in_w}),
+                "im2col: input tensor does not match conv shape");
   const i64 K = s.gemm_k(), N = s.gemm_n();
   Tensor<i8> mat(Shape4{1, 1, K, N}, 0);
   const auto off = im2col_offsets(s);

@@ -1,7 +1,8 @@
 #include "refconv/winograd43_ref.h"
 
-#include <cassert>
 #include <vector>
+
+#include "common/status.h"
 
 namespace lbc::ref {
 namespace {
@@ -77,7 +78,7 @@ void winograd43_output_tile(const i64 m[36], i64 y[16]) {
 
 Tensor<i32> winograd43_conv_s32(const ConvShape& s, const Tensor<i8>& input,
                                 const Tensor<i8>& weight) {
-  assert(s.winograd_eligible());
+  LBC_CHECK_MSG(s.winograd_eligible(), "winograd43: shape is not 3x3/stride-1");
   const i64 oh = s.out_h(), ow = s.out_w();
   Tensor<i32> out(Shape4{s.batch, s.out_c, oh, ow}, 0);
 

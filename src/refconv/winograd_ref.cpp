@@ -1,6 +1,6 @@
 #include "refconv/winograd_ref.h"
 
-#include <cassert>
+#include "common/status.h"
 
 namespace lbc::ref {
 namespace {
@@ -31,7 +31,8 @@ i32 round_div4(i32 v) { return (v >= 0) ? ((v + 2) >> 2) : -((-v + 2) >> 2); }
 }  // namespace
 
 Tensor<i16> winograd_weight_exact(const Tensor<i8>& weight, i64 out_c, i64 in_c) {
-  assert(weight.shape() == (Shape4{out_c, in_c, 3, 3}));
+  LBC_CHECK_MSG(weight.shape() == (Shape4{out_c, in_c, 3, 3}),
+                "winograd_weight_exact: weight tensor is not out_c x in_c x 3x3");
   Tensor<i16> u(Shape4{out_c, in_c, 4, 4});
   for (i64 oc = 0; oc < out_c; ++oc)
     for (i64 ic = 0; ic < in_c; ++ic) {
@@ -85,8 +86,7 @@ void winograd_output_tile(const i32 m[16], i32 y[4]) {
 
 Tensor<i32> winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
                               const Tensor<i8>& weight, WinogradWeightMode mode) {
-  assert(s.winograd_eligible());
-  assert(s.batch == 1 || s.batch >= 1);
+  LBC_CHECK_MSG(s.winograd_eligible(), "winograd: shape is not 3x3/stride-1");
   const i64 oh = s.out_h(), ow = s.out_w();
   Tensor<i32> out(Shape4{s.batch, s.out_c, oh, ow}, 0);
 

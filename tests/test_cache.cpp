@@ -128,8 +128,8 @@ TEST(CacheIntegration, WinogradAndGemmBothRecordRealisticMissRates) {
   og.bits = ow.bits = 4;
   og.algo = lbc::armkern::ConvAlgo::kGemm;
   ow.algo = lbc::armkern::ConvAlgo::kWinograd;
-  const auto rg = lbc::armkern::conv2d_s32(s, in, w, og);
-  const auto rw = lbc::armkern::conv2d_s32(s, in, w, ow);
+  const auto rg = lbc::armkern::conv2d_s32(s, in, w, og).value();
+  const auto rw = lbc::armkern::conv2d_s32(s, in, w, ow).value();
   // Both paths see real cache traffic...
   EXPECT_GT(rg.counts[Op::kL1Miss], 10000u);
   EXPECT_GT(rw.counts[Op::kL1Miss], 5000u);
@@ -153,7 +153,7 @@ TEST(CacheIntegration, DeepKGemmSeesL2Traffic) {
   s.pad = 0;
   const Tensor<i8> in = random_qtensor(Shape4{1, 512, 14, 14}, 8, 7);
   const Tensor<i8> w = random_qtensor(Shape4{64, 512, 1, 1}, 8, 8);
-  const auto r = lbc::armkern::conv2d_s32(s, in, w, lbc::armkern::ArmConvOptions{});
+  const auto r = lbc::armkern::conv2d_s32(s, in, w, lbc::armkern::ArmConvOptions{}).value();
   EXPECT_GT(r.counts[Op::kL1Miss], 1000u);
   EXPECT_GT(r.counts[Op::kL2Miss], 100u);
 }

@@ -32,7 +32,7 @@ void expect_conv_exact(const ConvShape& s, const ArmConvOptions& opt,
   const Tensor<i8> w =
       random_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, opt.bits,
                      seed + 1);
-  const ArmConvResult r = conv2d_s32(s, in, w, opt);
+  const ArmConvResult r = conv2d_s32(s, in, w, opt).value();
   const Tensor<i32> ref = ref::conv2d_s32(s, in, w);
   ASSERT_EQ(count_mismatches(ref, r.out), 0);
   EXPECT_GT(r.cycles, 0);
@@ -99,7 +99,7 @@ TEST(ConvArm, WinogradAutoDispatch) {
   ArmConvOptions o;
   o.bits = 5;
   o.algo = ConvAlgo::kAuto;
-  const ArmConvResult r = conv2d_s32(s, in, w, o);
+  const ArmConvResult r = conv2d_s32(s, in, w, o).value();
   const Tensor<i32> ref =
       ref::winograd_conv_s32(s, in, w, ref::WinogradWeightMode::kRoundedInt8);
   EXPECT_EQ(count_mismatches(ref, r.out), 0);
@@ -113,7 +113,7 @@ TEST(ConvArm, AutoFallsBackToGemmOutsideWinogradRange) {
   ArmConvOptions o;
   o.bits = 2;  // winograd not eligible below 4 bits
   o.algo = ConvAlgo::kAuto;
-  const ArmConvResult r = conv2d_s32(s, in, w, o);
+  const ArmConvResult r = conv2d_s32(s, in, w, o).value();
   EXPECT_EQ(count_mismatches(ref::conv2d_s32(s, in, w), r.out), 0);
 }
 
@@ -124,12 +124,12 @@ TEST(ConvArm, SpaceReportReproducesPaperFig13Extremes) {
   const Tensor<i8> in2 = random_qtensor(Shape4{1, 64, 56, 56}, 8, 13);
   const Tensor<i8> w2 = random_qtensor(Shape4{64, 64, 3, 3}, 8, 14);
   ArmConvOptions o;
-  const ArmConvResult r2 = conv2d_s32(conv2, in2, w2, o);
+  const ArmConvResult r2 = conv2d_s32(conv2, in2, w2, o).value();
   EXPECT_NEAR(r2.space.im2col_overhead(), 8.6034, 1e-3);
 
   const Tensor<i8> in18 = random_qtensor(Shape4{1, 1024, 14, 14}, 8, 15);
   const Tensor<i8> w18 = random_qtensor(Shape4{2048, 1024, 1, 1}, 8, 16);
-  const ArmConvResult r18 = conv2d_s32(conv18, in18, w18, o);
+  const ArmConvResult r18 = conv2d_s32(conv18, in18, w18, o).value();
   EXPECT_NEAR(r18.space.im2col_overhead(), 1.0218, 1e-3);
 }
 
@@ -138,7 +138,7 @@ TEST(ConvArm, PackOverheadIsOneWhenAligned) {
   const ConvShape s = shape(16, 8, 32, 1, 1, 0);  // N = 64, M = 32, K = 16
   const Tensor<i8> in = random_qtensor(Shape4{1, 16, 8, 8}, 8, 17);
   const Tensor<i8> w = random_qtensor(Shape4{32, 16, 1, 1}, 8, 18);
-  const ArmConvResult r = conv2d_s32(s, in, w, ArmConvOptions{});
+  const ArmConvResult r = conv2d_s32(s, in, w, ArmConvOptions{}).value();
   EXPECT_DOUBLE_EQ(r.space.pack_overhead(), 1.0);
 }
 

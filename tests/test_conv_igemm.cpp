@@ -51,7 +51,7 @@ TEST(ConvIgemm, RawS32MatchesReferencePlusBias) {
   o.tiling = Tiling{16, 16, 32, 16, 1, 1};
   o.epilogue = Epilogue::kRawS32;
   const GpuConvResult r =
-      conv2d(e.dev, e.s, e.in, e.w, e.bias, nullptr, 1.0f, o);
+      conv2d(e.dev, e.s, e.in, e.w, e.bias, nullptr, 1.0f, o).value();
   ASSERT_EQ(r.out_s32.shape(), e.ref.shape());
   for (i64 c = 0; c < e.s.out_c; ++c)
     for (i64 h = 0; h < e.s.out_h(); ++h)
@@ -74,7 +74,7 @@ TEST_P(IgemmTilings, S32ExactUnderAnyLegalTiling) {
   o.bits = 8;
   o.tiling = Tiling{p.mtile, p.ntile, p.ktile, p.kstep, p.wr, p.wc};
   o.epilogue = Epilogue::kRawS32;
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o).value();
   ASSERT_EQ(count_mismatches(e.ref, r.out_s32), 0);
 }
 
@@ -97,7 +97,7 @@ TEST_P(IgemmBits, TensorCoreExact) {
   o.bits = bits;
   o.tiling = Tiling{16, 16, 64, static_cast<int>(gpusim::mma_k(bits)), 1, 1};
   o.epilogue = Epilogue::kRawS32;
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o).value();
   ASSERT_EQ(count_mismatches(e.ref, r.out_s32), 0);
 }
 
@@ -110,7 +110,7 @@ TEST_P(IgemmBits, Dp4aEngineExact) {
   o.tiling = Tiling{16, 16, 32, 16, 1, 1};
   if (bits == 4) o.tiling.kstep = 32;
   o.epilogue = Epilogue::kRawS32;
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o).value();
   ASSERT_EQ(count_mismatches(e.ref, r.out_s32), 0);
 }
 
@@ -118,27 +118,27 @@ INSTANTIATE_TEST_SUITE_P(Bits, IgemmBits, ::testing::Values(4, 8));
 
 TEST(ConvIgemm, RequantEpilogueMatchesReferenceChain) {
   Env e(shape(1, 3, 6, 5, 3, 1, 1), 8, 17);
-  const auto in_s = quant::choose_scheme(1.0f, 8);
-  const auto w_s = quant::choose_scheme(0.5f, 8);
-  const auto out_s = quant::choose_scheme(20.0f, 8);
+  const auto in_s = quant::choose_scheme(1.0f, 8).value();
+  const auto w_s = quant::choose_scheme(0.5f, 8).value();
+  const auto out_s = quant::choose_scheme(20.0f, 8).value();
   const quant::RequantParams rq = quant::make_requant(in_s, w_s, out_s, false);
   GpuConvOptions o;
   o.tiling = Tiling{16, 16, 32, 16, 1, 1};
   o.epilogue = Epilogue::kRequantS8;
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, e.bias, &rq, 1.0f, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, e.bias, &rq, 1.0f, o).value();
   const Tensor<i8> expect = quant::requantize(e.ref, e.bias, rq);
   ASSERT_EQ(count_mismatches(expect, r.out_q), 0);
 }
 
 TEST(ConvIgemm, FusedReluClampsAtZero) {
   Env e(shape(1, 3, 6, 5, 3, 1, 1), 8, 19);
-  const auto u = quant::choose_scheme(127.0f, 8);
+  const auto u = quant::choose_scheme(127.0f, 8).value();
   const quant::RequantParams rq = quant::make_requant(u, u, u, false);
   GpuConvOptions o;
   o.tiling = Tiling{16, 16, 32, 16, 1, 1};
   o.epilogue = Epilogue::kRequantS8;
   o.fuse_relu = true;
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, &rq, 1.0f, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, &rq, 1.0f, o).value();
   bool any_zero = false;
   for (i8 v : r.out_q.span()) {
     EXPECT_GE(v, 0);
@@ -153,7 +153,7 @@ TEST(ConvIgemm, DequantF32Epilogue) {
   o.tiling = Tiling{16, 16, 32, 16, 1, 1};
   o.epilogue = Epilogue::kDequantF32;
   const float scale = 0.03125f;
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, scale, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, scale, o).value();
   for (i64 i = 0; i < e.ref.elems(); ++i)
     EXPECT_FLOAT_EQ(r.out_f.data()[i],
                     scale * static_cast<float>(e.ref.data()[i]));
@@ -164,7 +164,7 @@ TEST(ConvIgemm, BatchedExact) {
   GpuConvOptions o;
   o.tiling = Tiling{16, 32, 32, 16, 1, 2};
   o.epilogue = Epilogue::kRawS32;
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o).value();
   ASSERT_EQ(count_mismatches(e.ref, r.out_s32), 0);
 }
 
@@ -173,7 +173,7 @@ TEST(ConvIgemm, CostAttachedAndPrecompSmall) {
   GpuConvOptions o;
   o.tiling = Tiling{16, 16, 32, 16, 1, 1};
   o.functional = false;  // cost-only fast path
-  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o);
+  const GpuConvResult r = conv2d(e.dev, e.s, e.in, e.w, {}, nullptr, 1.0f, o).value();
   EXPECT_TRUE(r.cost.valid);
   EXPECT_GT(r.cost.seconds, 0);
   EXPECT_GT(r.precomp_bytes, 0);

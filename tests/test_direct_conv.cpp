@@ -71,7 +71,7 @@ TEST(DirectConv, DriverPathHasZeroSpaceOverhead) {
   const Tensor<i8> w = random_qtensor(Shape4{8, 8, 3, 3}, 8, 10);
   ArmConvOptions o;
   o.algo = ConvAlgo::kDirect;
-  const ArmConvResult r = conv2d_s32(s, in, w, o);
+  const ArmConvResult r = conv2d_s32(s, in, w, o).value();
   EXPECT_EQ(count_mismatches(ref::conv2d_s32(s, in, w), r.out), 0);
   EXPECT_EQ(r.space.im2col_elems, 0);
   EXPECT_EQ(r.space.pack_extra_elems, 0);
@@ -87,8 +87,8 @@ TEST(DirectConv, SlowerThanRedesignedGemmOnRealLayers) {
   ArmConvOptions od, og;
   od.algo = ConvAlgo::kDirect;
   og.algo = ConvAlgo::kGemm;
-  const double td = conv2d_s32(s, in, w, od).seconds;
-  const double tg = conv2d_s32(s, in, w, og).seconds;
+  const double td = conv2d_s32(s, in, w, od).value().seconds;
+  const double tg = conv2d_s32(s, in, w, og).value().seconds;
   EXPECT_GT(td, tg);
 }
 
@@ -112,7 +112,7 @@ TEST(GemmDriver, BatchGreaterThanOneMatchesReference) {
         random_qtensor(Shape4{10, 6, 3, 3}, bits, 30 + static_cast<u64>(bits));
     ArmConvOptions o;
     o.bits = bits;
-    const ArmConvResult r = conv2d_s32(s, in, w, o);
+    const ArmConvResult r = conv2d_s32(s, in, w, o).value();
     ASSERT_EQ(count_mismatches(ref::conv2d_s32(s, in, w), r.out), 0)
         << "bits=" << bits;
   }
@@ -122,7 +122,7 @@ TEST(GemmDriver, BatchedStridedOneByOne) {
   const ConvShape s = shape(2, 8, 10, 12, 1, 2, 0);
   const Tensor<i8> in = random_qtensor(Shape4{2, 8, 10, 10}, 8, 40);
   const Tensor<i8> w = random_qtensor(Shape4{12, 8, 1, 1}, 8, 41);
-  const ArmConvResult r = conv2d_s32(s, in, w, ArmConvOptions{});
+  const ArmConvResult r = conv2d_s32(s, in, w, ArmConvOptions{}).value();
   EXPECT_EQ(count_mismatches(ref::conv2d_s32(s, in, w), r.out), 0);
 }
 

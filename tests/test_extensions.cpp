@@ -125,8 +125,8 @@ TEST(Sdot, FasterThanEveryV81SchemeOnDeepLayers) {
   const Tensor<i8> in = random_qtensor(Shape4{1, 256, 7, 7}, 2, 67);
   const Tensor<i8> w = random_qtensor(Shape4{64, 256, 1, 1}, 2, 68);
   const double t_sdot =
-      core::run_arm_conv(s, in, w, 8, core::ArmImpl::kSdotExt).seconds;
-  const double t_mla2 = core::run_arm_conv(s, in, w, 2).seconds;
+      core::run_arm_conv(s, in, w, 8, core::ArmImpl::kSdotExt).value().seconds;
+  const double t_mla2 = core::run_arm_conv(s, in, w, 2).value().seconds;
   EXPECT_LT(t_sdot, t_mla2);  // v8.2 beats even the 2-bit v8.1 scheme
 }
 
@@ -228,13 +228,13 @@ TEST(Multicore, ModeledTimeScalesDown) {
   const Tensor<i8> in = random_qtensor(Shape4{1, 64, 14, 14}, 4, 75);
   const Tensor<i8> w = random_qtensor(Shape4{128, 64, 3, 3}, 4, 76);
   const double t1 = core::run_arm_conv(s, in, w, 4, core::ArmImpl::kOurs,
-                                       armkern::ConvAlgo::kGemm, 1)
+                                       armkern::ConvAlgo::kGemm, 1).value()
                         .seconds;
   const double t2 = core::run_arm_conv(s, in, w, 4, core::ArmImpl::kOurs,
-                                       armkern::ConvAlgo::kGemm, 2)
+                                       armkern::ConvAlgo::kGemm, 2).value()
                         .seconds;
   const double t4 = core::run_arm_conv(s, in, w, 4, core::ArmImpl::kOurs,
-                                       armkern::ConvAlgo::kGemm, 4)
+                                       armkern::ConvAlgo::kGemm, 4).value()
                         .seconds;
   EXPECT_LT(t2, t1);
   EXPECT_LT(t4, t2);

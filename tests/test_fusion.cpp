@@ -17,9 +17,9 @@ struct Env {
   ConvShape s;
   Tensor<i8> in, w;
   std::vector<i32> bias;
-  quant::QScheme in_s = quant::choose_scheme(1.0f, 8);
-  quant::QScheme w_s = quant::choose_scheme(0.5f, 8);
-  quant::QScheme out_s = quant::choose_scheme(30.0f, 8);
+  quant::QScheme in_s = quant::choose_scheme(1.0f, 8).value();
+  quant::QScheme w_s = quant::choose_scheme(0.5f, 8).value();
+  quant::QScheme out_s = quant::choose_scheme(30.0f, 8).value();
 
   explicit Env(u64 seed) {
     s.name = "t";

@@ -10,6 +10,7 @@
 #include "armkern/bitserial.h"
 #include "armkern/conv_arm.h"
 #include "armkern/winograd23.h"
+#include "core/engine.h"
 #include "refconv/winograd_ref.h"
 #include "common/rng.h"
 #include "gpukern/conv_igemm.h"
@@ -58,7 +59,7 @@ TEST_P(FuzzArmGemmConv, RandomShapesAllKernels) {
       case 1: opt.kernel = armkern::ArmKernel::kNcnn; break;
       case 2: opt.kernel = armkern::ArmKernel::kSdotExt; break;
     }
-    const armkern::ArmConvResult r = armkern::conv2d_s32(s, in, w, opt);
+    const armkern::ArmConvResult r = armkern::conv2d_s32(s, in, w, opt).value();
     ASSERT_EQ(count_mismatches(ref, r.out), 0)
         << describe(s) << " bits=" << bits << " kernel=" << (iter % 3)
         << " extreme=" << extreme;
@@ -154,7 +155,7 @@ TEST_P(FuzzGpuIgemm, RandomShapesAndTilings) {
         Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, rng.next_u64());
     const Tensor<i32> ref = ref::conv2d_s32(s, in, w);
     const gpukern::GpuConvResult r =
-        gpukern::conv2d(dev, s, in, w, {}, nullptr, 1.0f, opt);
+        gpukern::conv2d(dev, s, in, w, {}, nullptr, 1.0f, opt).value();
     ASSERT_EQ(count_mismatches(ref, r.out_s32), 0)
         << describe(s) << " bits=" << bits << " tc=" << opt.use_tc
         << " tiling " << opt.tiling.mtile << "x" << opt.tiling.ntile;
@@ -162,6 +163,123 @@ TEST_P(FuzzGpuIgemm, RandomShapesAndTilings) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGpuIgemm, ::testing::Values(5, 15, 25));
+
+// ---------------------------------------------------------------------------
+// Invalid/boundary-shape fuzzing: every mutated-invalid input must come
+// back as a Status error (never a crash, never silent output), and every
+// boundary-legal input must still run.
+// ---------------------------------------------------------------------------
+
+StatusOr<core::GpuLayerResult> core_time_gpu(const ConvShape& s, int bits) {
+  return core::time_gpu_conv(gpusim::DeviceSpec::rtx2080ti(), s, bits,
+                             core::GpuImpl::kOursDefaultTiling);
+}
+
+ConvShape mutate_invalid(ConvShape s, Rng& rng) {
+  switch (rng.uniform(0, 6)) {
+    case 0: s.in_c = 0; break;
+    case 1: s.out_c = -1; break;
+    case 2: s.in_h = 0; break;
+    case 3: s.kernel = 0; break;
+    case 4: s.stride = 0; break;
+    case 5: s.stride = -2; break;
+    case 6: s.pad = s.kernel + rng.uniform(0, 3); break;  // pad >= kernel
+  }
+  return s;
+}
+
+class FuzzInvalidShapes : public ::testing::TestWithParam<u64> {};
+
+TEST_P(FuzzInvalidShapes, ArmDriverRejectsWithoutCrashing) {
+  Rng rng(GetParam());
+  int rejected = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    ConvShape base = random_conv_shape(rng);
+    if (!base.valid()) continue;
+    const ConvShape s = mutate_invalid(base, rng);
+    if (s.valid()) continue;  // some mutations keep small shapes legal
+    // Tensors sized for the *valid* base shape: the driver must reject on
+    // the shape alone, before ever touching the data.
+    const Tensor<i8> in =
+        random_qtensor(Shape4{1, base.in_c, base.in_h, base.in_w}, 4,
+                       rng.next_u64());
+    const Tensor<i8> w = random_qtensor(
+        Shape4{base.out_c, base.in_c, base.kernel, base.kernel}, 4,
+        rng.next_u64());
+    armkern::ArmConvOptions opt;
+    opt.bits = 4;
+    const auto r = armkern::conv2d_s32(s, in, w, opt);
+    ASSERT_FALSE(r.ok()) << describe(s);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << describe(s);
+    ++rejected;
+  }
+  EXPECT_GT(rejected, 5) << "mutator produced too few invalid shapes";
+}
+
+TEST_P(FuzzInvalidShapes, BadBitWidthsRejectedAtEveryBoundary) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 10; ++iter) {
+    const ConvShape s = random_conv_shape(rng);
+    if (!s.valid()) continue;
+    const Tensor<i8> in = random_qtensor(
+        Shape4{1, s.in_c, s.in_h, s.in_w}, 4, rng.next_u64());
+    const Tensor<i8> w = random_qtensor(
+        Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, 4, rng.next_u64());
+    for (int bits : {-1, 0, 1, 9, 16}) {
+      armkern::ArmConvOptions opt;
+      opt.bits = bits;
+      const auto r = armkern::conv2d_s32(s, in, w, opt);
+      ASSERT_FALSE(r.ok()) << "bits=" << bits;
+      EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    }
+    for (int bits : {3, 5, 7}) {  // GPU backend: only 4 and 8 supported
+      const auto r = core_time_gpu(s, bits);
+      ASSERT_FALSE(r.ok()) << "gpu bits=" << bits;
+    }
+    // Boundary-legal widths still run.
+    for (int bits : {2, 8}) {
+      const Tensor<i8> bin = random_qtensor(
+          Shape4{1, s.in_c, s.in_h, s.in_w}, bits, rng.next_u64());
+      const Tensor<i8> bw = random_qtensor(
+          Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, rng.next_u64());
+      armkern::ArmConvOptions opt;
+      opt.bits = bits;
+      const auto r = armkern::conv2d_s32(s, bin, bw, opt);
+      ASSERT_TRUE(r.ok()) << r.status().to_string();
+      EXPECT_EQ(count_mismatches(ref::conv2d_s32(s, bin, bw), r.value().out),
+                0);
+    }
+  }
+}
+
+TEST_P(FuzzInvalidShapes, GpuDriverRejectsWithoutCrashing) {
+  Rng rng(GetParam());
+  const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
+  int rejected = 0;
+  for (int iter = 0; iter < 30; ++iter) {
+    ConvShape base = random_conv_shape(rng);
+    if (!base.valid()) continue;
+    const ConvShape s = mutate_invalid(base, rng);
+    if (s.valid()) continue;
+    const Tensor<i8> in =
+        random_qtensor(Shape4{1, base.in_c, base.in_h, base.in_w}, 4,
+                       rng.next_u64());
+    const Tensor<i8> w = random_qtensor(
+        Shape4{base.out_c, base.in_c, base.kernel, base.kernel}, 4,
+        rng.next_u64());
+    gpukern::GpuConvOptions opt;
+    opt.bits = 4;
+    opt.epilogue = gpukern::Epilogue::kRawS32;
+    const auto r = gpukern::conv2d(dev, s, in, w, {}, nullptr, 1.0f, opt);
+    ASSERT_FALSE(r.ok()) << describe(s);
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << describe(s);
+    ++rejected;
+  }
+  EXPECT_GT(rejected, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzInvalidShapes,
+                         ::testing::Values(101, 202, 303));
 
 }  // namespace
 }  // namespace lbc

@@ -11,7 +11,7 @@ TEST(ModelRunner, ArmStackRunsAndVerifies) {
   ModelRunOptions opt;
   opt.bits = 4;
   opt.verify = true;
-  const ModelRunReport rep = run_model(layers, opt);
+  const ModelRunReport rep = run_model(layers, opt).value();
   ASSERT_EQ(rep.layers.size(), 19u);
   EXPECT_GT(rep.total_seconds, 0);
   EXPECT_GT(rep.total_macs, 0);
@@ -26,7 +26,7 @@ TEST(ModelRunner, BitserialStackVerifies) {
   opt.arm_impl = ArmImpl::kTvmBitserial;
   opt.arm_algo = armkern::ConvAlgo::kBitserial;
   opt.verify = true;
-  const ModelRunReport rep = run_model(layers, opt);
+  const ModelRunReport rep = run_model(layers, opt).value();
   for (const auto& l : rep.layers) EXPECT_TRUE(l.verified) << l.name;
 }
 
@@ -34,7 +34,7 @@ TEST(ModelRunner, GpuStackTimesAllLayers) {
   ModelRunOptions opt;
   opt.backend = Backend::kGpuTU102;
   opt.bits = 4;
-  const ModelRunReport rep = run_model(nets::scr_resnet50_layers(), opt);
+  const ModelRunReport rep = run_model(nets::scr_resnet50_layers(), opt).value();
   ASSERT_EQ(rep.layers.size(), 13u);
   for (const auto& l : rep.layers) EXPECT_GT(l.seconds, 0) << l.name;
 }
@@ -44,8 +44,8 @@ TEST(ModelRunner, LowerBitsNoSlowerEndToEndOnArm) {
   ModelRunOptions o2, o8;
   o2.bits = 2;
   o8.bits = 8;
-  const double t2 = run_model(layers, o2).total_seconds;
-  const double t8 = run_model(layers, o8).total_seconds;
+  const double t2 = run_model(layers, o2).value().total_seconds;
+  const double t8 = run_model(layers, o8).value().total_seconds;
   EXPECT_LT(t2, t8);
 }
 
@@ -53,8 +53,8 @@ TEST(ModelRunner, DeterministicAcrossRuns) {
   const auto layers = nets::shrink_for_tests(nets::resnet50_layers(), 6, 8);
   ModelRunOptions opt;
   opt.bits = 8;
-  const ModelRunReport a = run_model(layers, opt);
-  const ModelRunReport b = run_model(layers, opt);
+  const ModelRunReport a = run_model(layers, opt).value();
+  const ModelRunReport b = run_model(layers, opt).value();
   ASSERT_EQ(a.layers.size(), b.layers.size());
   for (size_t i = 0; i < a.layers.size(); ++i)
     EXPECT_DOUBLE_EQ(a.layers[i].seconds, b.layers[i].seconds);

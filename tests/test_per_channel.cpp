@@ -54,7 +54,7 @@ TEST(PerChannel, MoreAccurateThanPerTensorOnSpreadScales) {
   float absmax = 0;
   for (float v : w.span()) absmax = std::max(absmax, std::fabs(v));
 
-  const QScheme per_tensor = choose_scheme(absmax, 8);
+  const QScheme per_tensor = choose_scheme(absmax, 8).value();
   const PerChannelScheme per_chan = choose_per_channel(w, 8);
   const Tensor<i8> qt = quantize(w, per_tensor);
   const Tensor<i8> qc = quantize_per_channel(w, per_chan);
@@ -79,7 +79,7 @@ TEST(PerChannel, MoreAccurateThanPerTensorOnSpreadScales) {
 }
 
 TEST(PerChannel, RequantMatchesScalarPerChannelMath) {
-  const QScheme in = choose_scheme(1.0f, 8), out = choose_scheme(10.0f, 8);
+  const QScheme in = choose_scheme(1.0f, 8).value(), out = choose_scheme(10.0f, 8).value();
   PerChannelScheme ws;
   ws.bits = 8;
   ws.scales = {0.1f, 0.7f};
@@ -100,7 +100,7 @@ TEST(PerChannel, RequantMatchesScalarPerChannelMath) {
 }
 
 TEST(PerChannel, ReluFoldingAppliesToAllChannels) {
-  const QScheme u = choose_scheme(127.0f, 8);
+  const QScheme u = choose_scheme(127.0f, 8).value();
   PerChannelScheme ws;
   ws.bits = 8;
   ws.scales = {1.0f, 1.0f, 1.0f};
@@ -129,7 +129,7 @@ TEST(PerChannel, GpuEpilogueMatchesReferenceChain) {
   std::vector<i32> bias(5);
   for (auto& b : bias) b = rng.uniform(-40, 40);
 
-  const QScheme in_s = choose_scheme(1.0f, 8), out_s = choose_scheme(25.0f, 8);
+  const QScheme in_s = choose_scheme(1.0f, 8).value(), out_s = choose_scheme(25.0f, 8).value();
   PerChannelScheme ws;
   ws.bits = 8;
   ws.scales = {0.1f, 0.2f, 0.4f, 0.8f, 1.6f};
@@ -140,7 +140,7 @@ TEST(PerChannel, GpuEpilogueMatchesReferenceChain) {
   opt.epilogue = gpukern::Epilogue::kRequantS8;
   const gpukern::GpuConvResult r =
       gpukern::conv2d(gpusim::DeviceSpec::rtx2080ti(), s, in, w, bias,
-                      nullptr, 1.0f, opt, &p);
+                      nullptr, 1.0f, opt, &p).value();
 
   const Tensor<i32> acc = ref::conv2d_s32(s, in, w);
   const Tensor<i8> expect = requantize_per_channel(acc, bias, p);

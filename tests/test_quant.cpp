@@ -11,7 +11,7 @@ namespace lbc::quant {
 namespace {
 
 TEST(QScheme, ChooseSchemeMapsAbsmaxToQmax) {
-  const QScheme s = choose_scheme(2.54f, 8);
+  const QScheme s = choose_scheme(2.54f, 8).value();
   EXPECT_EQ(s.bits, 8);
   EXPECT_FLOAT_EQ(s.scale, 2.54f / 127.0f);
   EXPECT_EQ(s.qmax(), 127);
@@ -19,7 +19,7 @@ TEST(QScheme, ChooseSchemeMapsAbsmaxToQmax) {
 }
 
 TEST(QScheme, ZeroAbsmaxFallsBackToUnitScale) {
-  EXPECT_FLOAT_EQ(choose_scheme(0.0f, 4).scale, 1.0f);
+  EXPECT_FLOAT_EQ(choose_scheme(0.0f, 4).value().scale, 1.0f);
 }
 
 class MultiplierExactness : public ::testing::TestWithParam<int> {};
@@ -68,7 +68,7 @@ class QuantRoundTrip : public ::testing::TestWithParam<int> {};
 TEST_P(QuantRoundTrip, QuantizeDequantizeErrorBounded) {
   const int bits = GetParam();
   const Tensor<float> x = random_ftensor(Shape4{1, 2, 6, 6}, -3.0f, 3.0f, 5);
-  const QScheme s = choose_scheme(3.0f, bits);
+  const QScheme s = choose_scheme(3.0f, bits).value();
   const Tensor<i8> q = quantize(x, s);
   const Tensor<float> back = dequantize(q, s);
   for (size_t i = 0; i < x.span().size(); ++i)
@@ -78,7 +78,7 @@ TEST_P(QuantRoundTrip, QuantizeDequantizeErrorBounded) {
 TEST_P(QuantRoundTrip, QuantOfDequantIsIdentity) {
   // The pipeline-fusion equivalence relies on quant(dequant(q)) == q.
   const int bits = GetParam();
-  const QScheme s = choose_scheme(1.7f, bits);
+  const QScheme s = choose_scheme(1.7f, bits).value();
   Tensor<i8> q = random_qtensor(Shape4{1, 1, 8, 8}, bits, 17);
   const Tensor<i8> q2 = quantize(dequantize(q, s), s);
   EXPECT_EQ(count_mismatches(q, q2), 0);
@@ -97,8 +97,8 @@ TEST(Quantize, Clamps) {
 }
 
 TEST(Requantize, OneValueWithClamp) {
-  const QScheme in = choose_scheme(1.0f, 8), w = choose_scheme(1.0f, 8),
-                out = choose_scheme(4.0f, 8);
+  const QScheme in = choose_scheme(1.0f, 8).value(), w = choose_scheme(1.0f, 8).value(),
+                out = choose_scheme(4.0f, 8).value();
   const RequantParams p = make_requant(in, w, out, false);
   EXPECT_EQ(requantize_one(0, p), 0);
   // A huge accumulator saturates at qmax.
@@ -107,8 +107,8 @@ TEST(Requantize, OneValueWithClamp) {
 }
 
 TEST(Requantize, ReluFusedClampsNegativeToZero) {
-  const QScheme in = choose_scheme(1.0f, 8), w = choose_scheme(1.0f, 8),
-                out = choose_scheme(1.0f, 8);
+  const QScheme in = choose_scheme(1.0f, 8).value(), w = choose_scheme(1.0f, 8).value(),
+                out = choose_scheme(1.0f, 8).value();
   const RequantParams p = make_requant(in, w, out, true);
   EXPECT_EQ(requantize_one(-50000, p), 0);
   EXPECT_GT(requantize_one(50000, p), 0);
@@ -119,7 +119,7 @@ TEST(Requantize, TensorWithPerChannelBias) {
   acc.at(0, 0, 0, 0) = 100;
   acc.at(0, 1, 0, 0) = 100;
   const std::vector<i32> bias = {0, 27};
-  const QScheme u = choose_scheme(127.0f, 8);
+  const QScheme u = choose_scheme(127.0f, 8).value();
   const RequantParams p = make_requant(u, u, u, false);  // multiplier ~1
   const Tensor<i8> q = requantize(acc, bias, p);
   EXPECT_EQ(q.at(0, 0, 0, 0), 100);

@@ -1,9 +1,11 @@
 // Tuning cache: hit/miss behaviour, consistency with a fresh search,
-// serialization round trip, corrupt-input tolerance, thread safety.
+// serialization round trip, strict corrupt-input rejection, hit-time
+// corruption recovery, thread safety.
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "common/fault_injection.h"
 #include "gpukern/tuning_cache.h"
 #include "nets/nets.h"
 
@@ -11,6 +13,10 @@ namespace lbc::gpukern {
 namespace {
 
 using gpusim::DeviceSpec;
+
+std::string with_header(const std::string& body) {
+  return std::string(kTuningCacheHeader) + "\n" + body;
+}
 
 TEST(TuningCache, MissThenHit) {
   const DeviceSpec dev = DeviceSpec::rtx2080ti();
@@ -53,9 +59,13 @@ TEST(TuningCache, SerializeRoundTrip) {
     a.get_or_search(dev, nets::resnet50_layers()[static_cast<size_t>(i)], 8,
                     true);
   const std::string text = a.serialize();
+  EXPECT_EQ(text.rfind(kTuningCacheHeader, 0), 0u)
+      << "serialized form must start with the format-version header";
 
   TuningCache b;
-  EXPECT_EQ(b.deserialize(text), 4);
+  const StatusOr<int> n = b.deserialize(text);
+  ASSERT_TRUE(n.ok()) << n.status().to_string();
+  EXPECT_EQ(n.value(), 4);
   EXPECT_EQ(b.size(), 4u);
   // Every restored entry serves as a hit with identical tiling.
   for (int i = 0; i < 4; ++i) {
@@ -66,19 +76,87 @@ TEST(TuningCache, SerializeRoundTrip) {
   EXPECT_EQ(b.misses(), 0);
 }
 
-TEST(TuningCache, DeserializeSkipsCorruptLines) {
+TEST(TuningCache, DeserializeRejectsMissingOrWrongHeader) {
   TuningCache c;
-  const std::string text =
-      "64 196 1024 8 1 32 16 64 32 2 1\n"
-      "garbage line\n"
-      "1 2 -3 8 1 16 16 32 16 1 1\n"      // negative K: rejected
-      "64 196 1024 4 1 0 16 64 32 2 1\n"  // zero mtile: rejected
-      "\n"
-      "128 49 512 4 1 64 16 64 32 2 2\n";
-  EXPECT_EQ(c.deserialize(text), 2);
-  EXPECT_EQ(c.size(), 2u);
+  const StatusOr<int> empty = c.deserialize("");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kDataLoss);
+
+  const StatusOr<int> wrong =
+      c.deserialize("lbc-tuning-cache v99\n64 196 1024 8 1 32 16 64 32 2 1\n");
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(TuningCache, DeserializeRejectsTruncatedAndGarbageLines) {
+  const char* bad_bodies[] = {
+      "garbage line\n",
+      "64 196 1024 8 1 32 16 64 32 2\n",         // truncated (10 fields)
+      "64 196 1024 8 1 32 16 64 32 2 1 99\n",    // trailing field
+      "1 2 -3 8 1 16 16 32 16 1 1\n",            // negative K
+      "64 196 1024 9 1 32 16 64 32 2 1\n",       // bits out of range
+      "64 196 1024 8 7 32 16 64 32 2 1\n",       // use_tc not 0/1
+      "64 196 1024 4 1 0 16 64 32 2 1\n",        // zero mtile
+      "64 196 1024 4 1 32 16 64 48 2 1\n",       // kstep does not divide ktile
+      "64 196 1024 4 1 2048 16 64 32 2 1\n",     // mtile > 1024
+      "64 196 1024 4 1 32 16 64 32 3 1\n",       // warp grid does not divide
+  };
+  for (const char* body : bad_bodies) {
+    TuningCache c;
+    const StatusOr<int> r = c.deserialize(with_header(body));
+    ASSERT_FALSE(r.ok()) << "accepted corrupt body: " << body;
+    // Structural corruption reports kDataLoss; out-of-range tiling values
+    // propagate validate_tiling's kOutOfRange with line context.
+    EXPECT_TRUE(r.status().code() == StatusCode::kDataLoss ||
+                r.status().code() == StatusCode::kOutOfRange)
+        << body << " -> " << r.status().to_string();
+    EXPECT_EQ(c.size(), 0u) << body;
+  }
+}
+
+TEST(TuningCache, DeserializeIsTransactional) {
+  // One corrupt line anywhere must leave the cache completely unmodified,
+  // even when valid lines precede it.
+  TuningCache c;
+  const StatusOr<int> r = c.deserialize(
+      with_header("64 196 1024 8 1 32 16 64 32 2 1\n"
+                  "garbage line\n"
+                  "128 49 512 4 1 64 16 64 32 2 2\n"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.lookup({64, 196, 1024, 8, true}).has_value());
+}
+
+TEST(TuningCache, DeserializeSkipsBlankLinesOnly) {
+  TuningCache c;
+  const StatusOr<int> r = c.deserialize(
+      with_header("64 196 1024 8 1 32 16 64 32 2 1\n"
+                  "\n"
+                  "128 49 512 4 1 64 16 64 32 2 2\n"));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), 2);
   EXPECT_TRUE(c.lookup({64, 196, 1024, 8, true}).has_value());
   EXPECT_TRUE(c.lookup({128, 49, 512, 4, true}).has_value());
+}
+
+TEST(TuningCache, CorruptHitIsEvictedAndResearched) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  const ConvShape s = nets::resnet50_layers()[0];
+  TuningCache cache;
+  const Tiling clean = cache.get_or_search(dev, s, 8, true);
+
+  // Poison exactly the next cache hit; the cache must evict the bogus
+  // entry and recover via a fresh search rather than return it.
+  ScopedFault fault(FaultSite::kTuningCacheCorrupt, /*fire_count=*/1);
+  const Tiling healed = cache.get_or_search(dev, s, 8, true);
+  EXPECT_EQ(healed, clean);
+  EXPECT_EQ(cache.corrupt_evictions(), 1);
+  EXPECT_TRUE(validate_tiling(healed).ok());
+
+  // And the re-searched entry serves clean hits afterwards.
+  EXPECT_EQ(cache.get_or_search(dev, s, 8, true), clean);
+  EXPECT_EQ(cache.corrupt_evictions(), 1);
 }
 
 TEST(TuningCache, ConcurrentAccessIsSafeAndConsistent) {

@@ -2,11 +2,11 @@
 
 #include "common/status.h"
 #include <cstring>
-#include <thread>
 #include <vector>
 
 #include "armkern/micro.h"
 #include "armkern/pack.h"
+#include "serve/thread_pool.h"
 
 namespace lbc::armkern {
 
@@ -113,21 +113,22 @@ GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
     stats.counts = ctx.counts;
     stats.thread_counts = {ctx.counts};
   } else {
-    // Row-panel parallelism: each worker owns a disjoint band of C.
+    // Row-panel parallelism: each modeled worker owns a disjoint band of C
+    // and its own Ctx (the per-band counts feed the multicore Amdahl timing
+    // model unchanged). Bands execute on the shared persistent pool — no
+    // per-call thread spawn; grain 1 = one band per pool chunk.
     std::vector<Ctx> ctxs(static_cast<size_t>(threads));
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
     const i64 per = ceil_div(pa.panels(), threads);
-    for (int t = 0; t < threads; ++t) {
-      const i64 p0 = t * per;
-      const i64 p1 = std::min<i64>(pa.panels(), p0 + per);
-      if (p0 >= p1) break;
-      pool.emplace_back([&, t, p0, p1] {
-        run_panels(ctxs[static_cast<size_t>(t)], pa, pb, c, m, n, k, opt, p0,
-                   p1);
-      });
-    }
-    for (auto& th : pool) th.join();
+    serve::ThreadPool::global().parallel_for(
+        0, threads, 1, [&](i64 t0, i64 t1) {
+          for (i64 t = t0; t < t1; ++t) {
+            const i64 p0 = t * per;
+            const i64 p1 = std::min<i64>(pa.panels(), p0 + per);
+            if (p0 < p1)
+              run_panels(ctxs[static_cast<size_t>(t)], pa, pb, c, m, n, k,
+                         opt, p0, p1);
+          }
+        });
     for (const auto& cx : ctxs) {
       stats.counts.merge(cx.counts);
       stats.thread_counts.push_back(cx.counts);

@@ -55,6 +55,7 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kKernelOverflow: return "kernel_overflow";
     case FaultSite::kPackMisalign: return "pack_misalign";
     case FaultSite::kAutotuneInvalid: return "autotune_invalid";
+    case FaultSite::kServeWorkerThrow: return "serve_worker_throw";
     case FaultSite::kSiteCount: break;
   }
   return "unknown";

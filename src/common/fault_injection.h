@@ -25,6 +25,7 @@ enum class FaultSite : int {
   kKernelOverflow,       ///< specialized kernel reports accumulator overflow
   kPackMisalign,         ///< packed panels fail the alignment check
   kAutotuneInvalid,      ///< every autotune candidate reports illegal
+  kServeWorkerThrow,     ///< a serving batch worker throws mid-execution
   kSiteCount,
 };
 

@@ -16,6 +16,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kDataLoss: return "DataLoss";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kOverloaded: return "Overloaded";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

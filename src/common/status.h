@@ -30,6 +30,8 @@ enum class StatusCode : int {
   kDataLoss,            ///< corrupt persisted state (tuning cache, etc.)
   kUnimplemented,       ///< requested combination has no kernel
   kInternal,            ///< invariant violation surfaced as an error
+  kOverloaded,          ///< admission control rejected the request (queue full)
+  kDeadlineExceeded,    ///< request expired before it could be served
 };
 
 /// Short stable name ("InvalidArgument", ...) for messages and logs.
@@ -64,6 +66,12 @@ class Status {
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

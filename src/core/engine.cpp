@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 namespace lbc::core {
@@ -79,6 +80,53 @@ StatusOr<ArmLayerResult> run_arm_conv(const ConvShape& s,
   res.space = r.space;
   res.executed_algo = std::move(r.executed_algo);
   res.fallback = std::move(r.fallback);
+  return res;
+}
+
+StatusOr<BatchedArmResult> run_arm_conv_batched(
+    const ConvShape& s, std::span<const Tensor<i8>> inputs,
+    const Tensor<i8>& weight, int bits, ArmImpl impl, armkern::ConvAlgo algo,
+    int threads) {
+  LBC_VALIDATE(!inputs.empty(), kInvalidArgument,
+               "batched conv needs at least one input");
+  LBC_VALIDATE(s.batch == 1, kInvalidArgument,
+               "batched conv takes the batch-1 layer geometry, got batch "
+                   << s.batch);
+  const Shape4 want_in{1, s.in_c, s.in_h, s.in_w};
+  for (size_t i = 0; i < inputs.size(); ++i)
+    LBC_VALIDATE(inputs[i].shape() == want_in, kInvalidArgument,
+                 "batched input " << i << " does not match the layer shape "
+                                  << describe(s));
+
+  // One contiguous NCHW batch: images are concatenated along N, which is
+  // exactly how the im2col GEMM view columns-blocks them.
+  const i64 k = static_cast<i64>(inputs.size());
+  Tensor<i8> batched(Shape4{k, s.in_c, s.in_h, s.in_w});
+  const i64 per_image = want_in.elems();
+  for (i64 i = 0; i < k; ++i)
+    std::memcpy(batched.data() + i * per_image,
+                inputs[static_cast<size_t>(i)].data(),
+                static_cast<size_t>(per_image) * sizeof(i8));
+
+  LBC_ASSIGN_OR_RETURN(
+      ArmLayerResult r,
+      run_arm_conv(s.with_batch(k), batched, weight, bits, impl, algo,
+                   threads));
+
+  BatchedArmResult res;
+  res.seconds = r.seconds;
+  res.cycles = r.cycles;
+  res.executed_algo = std::move(r.executed_algo);
+  res.fallback = std::move(r.fallback);
+  const Shape4 out_one{1, s.out_c, s.out_h(), s.out_w()};
+  const i64 per_out = out_one.elems();
+  res.outputs.reserve(inputs.size());
+  for (i64 i = 0; i < k; ++i) {
+    Tensor<i32> out(out_one);
+    std::memcpy(out.data(), r.out.data() + i * per_out,
+                static_cast<size_t>(per_out) * sizeof(i32));
+    res.outputs.push_back(std::move(out));
+  }
   return res;
 }
 

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "armkern/conv_arm.h"
 #include "common/fallback.h"
@@ -60,6 +62,26 @@ struct ArmLayerResult {
 StatusOr<ArmLayerResult> run_arm_conv(
     const ConvShape& s, const Tensor<i8>& input, const Tensor<i8>& weight,
     int bits, ArmImpl impl = ArmImpl::kOurs,
+    armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm, int threads = 1);
+
+struct BatchedArmResult {
+  std::vector<Tensor<i32>> outputs;  ///< one batch-1 NCHW tensor per input
+  double seconds = 0;   ///< modeled time of the single batched conv
+  double cycles = 0;
+  std::string executed_algo;
+  FallbackRecord fallback;
+};
+
+/// Micro-batched ARM conv — the serving runtime's execution entry point.
+/// Concatenates K batch-1 inputs along N, runs ONE conv with batch = K
+/// (amortizing weight packing and the padded n-panel waste the paper's GEMM
+/// pays at tiny N), and splits the output back per request. Each output is
+/// bit-exact vs running that input alone: an output element is a dot product
+/// over its own image only, and the GEMM/bitserial/reference rungs are exact
+/// integer arithmetic. `s` must describe the batch-1 geometry.
+StatusOr<BatchedArmResult> run_arm_conv_batched(
+    const ConvShape& s, std::span<const Tensor<i8>> inputs,
+    const Tensor<i8>& weight, int bits, ArmImpl impl = ArmImpl::kOurs,
     armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm, int threads = 1);
 
 struct GpuLayerResult {

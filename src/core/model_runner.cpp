@@ -12,6 +12,8 @@ StatusOr<ModelRunReport> run_model(std::span<const ConvShape> layers,
                "bits must be in [2, 8], got " << opt.bits);
   LBC_VALIDATE(opt.threads >= 1 && opt.threads <= 64, kInvalidArgument,
                "threads must be in [1, 64], got " << opt.threads);
+  LBC_VALIDATE(opt.batch >= 1 && opt.batch <= 64, kInvalidArgument,
+               "batch must be in [1, 64], got " << opt.batch);
   LBC_VALIDATE(
       opt.backend != Backend::kGpuTU102 || opt.bits == 4 || opt.bits == 8,
       kInvalidArgument, "GPU backend supports 4- or 8-bit, got " << opt.bits);
@@ -19,7 +21,11 @@ StatusOr<ModelRunReport> run_model(std::span<const ConvShape> layers,
   ModelRunReport rep;
   u64 seed = opt.seed;
   auto& fi = FaultInjector::instance();
-  for (const ConvShape& s : layers) {
+  for (const ConvShape& table_shape : layers) {
+    // The serving path batches whole-model runs: each layer executes once
+    // with the micro-batch folded into N, amortizing packing per layer.
+    const ConvShape s =
+        opt.batch == 1 ? table_shape : table_shape.with_batch(opt.batch);
     LayerRun run;
     run.name = s.name;
     run.requested_impl = opt.backend == Backend::kArmCortexA53

@@ -44,6 +44,7 @@ struct ModelRunOptions {
   GpuImpl gpu_impl = GpuImpl::kOurs;
   armkern::ConvAlgo arm_algo = armkern::ConvAlgo::kGemm;
   int threads = 1;      ///< ARM row-panel workers (Pi 3B has 4 cores)
+  int batch = 1;        ///< micro-batch: every layer runs with this batch
   bool verify = false;  ///< run the reference conv per layer (slow)
   u64 seed = 1;
 };

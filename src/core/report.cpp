@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -10,6 +11,29 @@ double geomean(const std::vector<double>& v) {
   double s = 0;
   for (double x : v) s += std::log(x);
   return std::exp(s / static_cast<double>(v.size()));
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  p = std::min(100.0, std::max(0.0, p));
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it. p = 0 is the minimum, p = 100 the maximum.
+  const size_t n = samples.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  return samples[rank];
+}
+
+void print_metric_table(const std::string& title,
+                        const std::vector<MetricRow>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  size_t width = 0;
+  for (const MetricRow& r : rows) width = std::max(width, r.name.size());
+  for (const MetricRow& r : rows)
+    std::printf("%-*s  %12.3f %s\n", static_cast<int>(width), r.name.c_str(),
+                r.value, r.unit.c_str());
 }
 
 void SpeedupTable::print() const {

@@ -32,6 +32,22 @@ struct SpeedupTable {
 /// Geometric mean of a vector (empty -> 0).
 double geomean(const std::vector<double>& v);
 
+/// Nearest-rank percentile, p in [0, 100] (empty -> 0). Sorts a copy, so
+/// callers can pass their live sample buffers directly.
+double percentile(std::vector<double> samples, double p);
+
+/// One labelled value in a metrics table (latency percentiles, counters).
+struct MetricRow {
+  std::string name;
+  double value = 0;
+  std::string unit;  ///< printed after the value ("ms", "req/s", "")
+};
+
+/// Aligned name/value/unit table — the report surface the serving metrics
+/// layer prints through (same banner/table machinery as the figure benches).
+void print_metric_table(const std::string& title,
+                        const std::vector<MetricRow>& rows);
+
 /// Simulator banner: replaces the paper's Tab. 1 hardware/software table.
 void print_environment_banner();
 

@@ -71,6 +71,21 @@ size_t TuningCache::size() const {
   return entries_.size();
 }
 
+i64 TuningCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+i64 TuningCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+i64 TuningCache::corrupt_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_evictions_;
+}
+
 std::string TuningCache::serialize() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;

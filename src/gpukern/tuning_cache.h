@@ -52,9 +52,12 @@ class TuningCache {
   void put(const TuningKey& key, const Tiling& t);
 
   size_t size() const;
-  i64 hits() const { return hits_; }
-  i64 misses() const { return misses_; }
-  i64 corrupt_evictions() const { return corrupt_evictions_; }
+  // Stat reads take the mutex too: concurrent scheduler workers share one
+  // cache, and an unlocked i64 read against a writer is a data race (TSan
+  // flags it) even when the torn value would be harmless.
+  i64 hits() const;
+  i64 misses() const;
+  i64 corrupt_evictions() const;
 
   /// Text round trip. Format: the version header line, then one entry per
   /// line, "m n k bits use_tc mtile ntile ktile kstep wr wc".

@@ -1,0 +1,107 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+#include "core/report.h"
+
+namespace lbc::serve {
+
+void ServeMetrics::record_admitted(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_window_) {
+    first_admitted_ = now;
+    has_window_ = true;
+  }
+}
+
+void ServeMetrics::record_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServeMetrics::record_expired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++expired_;
+}
+
+void ServeMetrics::record_batch(int batch_size) {
+  if (batch_size <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += batch_size;
+  if (batch_hist_.size() < static_cast<size_t>(batch_size))
+    batch_hist_.resize(static_cast<size_t>(batch_size), 0);
+  ++batch_hist_[static_cast<size_t>(batch_size - 1)];
+}
+
+void ServeMetrics::record_completion(double queue_wait_s, double latency_s,
+                                     bool ok, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ok)
+    ++completed_;
+  else
+    ++failed_;
+  if (queue_wait_s_.size() < kMaxSamples) {
+    queue_wait_s_.push_back(queue_wait_s);
+    latency_s_.push_back(latency_s);
+  }
+  if (!has_window_ || now > last_completed_) last_completed_ = now;
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.completed = completed_;
+  s.failed = failed_;
+  s.rejected = rejected_;
+  s.expired = expired_;
+  s.batches = batches_;
+  s.batch_hist = batch_hist_;
+  s.mean_batch = batches_ == 0 ? 0
+                               : static_cast<double>(batched_requests_) /
+                                     static_cast<double>(batches_);
+  s.queue_wait_p50_s = core::percentile(queue_wait_s_, 50);
+  s.queue_wait_p95_s = core::percentile(queue_wait_s_, 95);
+  s.queue_wait_p99_s = core::percentile(queue_wait_s_, 99);
+  s.latency_p50_s = core::percentile(latency_s_, 50);
+  s.latency_p95_s = core::percentile(latency_s_, 95);
+  s.latency_p99_s = core::percentile(latency_s_, 99);
+  if (!latency_s_.empty()) {
+    double sum = 0;
+    for (double v : latency_s_) sum += v;
+    s.mean_latency_s = sum / static_cast<double>(latency_s_.size());
+  }
+  if (has_window_ && last_completed_ > first_admitted_) {
+    s.window_s = std::chrono::duration<double>(last_completed_ -
+                                               first_admitted_)
+                     .count();
+    s.throughput_rps = static_cast<double>(completed_) / s.window_s;
+  }
+  return s;
+}
+
+void ServeMetrics::print(const std::string& title) const {
+  const MetricsSnapshot s = snapshot();
+  std::vector<core::MetricRow> rows = {
+      {"completed", static_cast<double>(s.completed), "req"},
+      {"failed", static_cast<double>(s.failed), "req"},
+      {"rejected (overloaded)", static_cast<double>(s.rejected), "req"},
+      {"expired (deadline)", static_cast<double>(s.expired), "req"},
+      {"batches", static_cast<double>(s.batches), ""},
+      {"mean batch size", s.mean_batch, ""},
+      {"queue wait p50", s.queue_wait_p50_s * 1e3, "ms"},
+      {"queue wait p95", s.queue_wait_p95_s * 1e3, "ms"},
+      {"queue wait p99", s.queue_wait_p99_s * 1e3, "ms"},
+      {"latency p50", s.latency_p50_s * 1e3, "ms"},
+      {"latency p95", s.latency_p95_s * 1e3, "ms"},
+      {"latency p99", s.latency_p99_s * 1e3, "ms"},
+      {"throughput", s.throughput_rps, "req/s"},
+  };
+  for (size_t b = 0; b < s.batch_hist.size(); ++b)
+    if (s.batch_hist[b] > 0)
+      rows.push_back({"batch size " + std::to_string(b + 1),
+                      static_cast<double>(s.batch_hist[b]), "batches"});
+  core::print_metric_table(title, rows);
+}
+
+}  // namespace lbc::serve

@@ -1,0 +1,70 @@
+// Per-request serving metrics: queue wait, end-to-end latency, batch-size
+// histogram, and outcome counters, aggregated thread-safely across the
+// scheduler's dispatcher and the pool workers that complete batches.
+//
+// The snapshot computes p50/p95/p99 from retained samples (bounded; see
+// kMaxSamples) and throughput over the window from the first admission to
+// the last completion — the number an operator compares against offered
+// load to size queue_capacity and max_batch. Printing goes through
+// core::report's metric-table machinery so serving reports look like the
+// figure benches.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "serve/request.h"
+
+namespace lbc::serve {
+
+struct MetricsSnapshot {
+  i64 completed = 0;  ///< responded OK
+  i64 failed = 0;     ///< responded with a non-OK Status (worker fault, ...)
+  i64 rejected = 0;   ///< refused at admission (queue full -> kOverloaded)
+  i64 expired = 0;    ///< dropped at batch formation (kDeadlineExceeded)
+  i64 batches = 0;    ///< micro-batches executed
+  double mean_batch = 0;
+  std::vector<i64> batch_hist;  ///< batch_hist[b-1] = batches of size b
+
+  double queue_wait_p50_s = 0, queue_wait_p95_s = 0, queue_wait_p99_s = 0;
+  double latency_p50_s = 0, latency_p95_s = 0, latency_p99_s = 0;
+  double mean_latency_s = 0;
+
+  double window_s = 0;          ///< first admission -> last completion
+  double throughput_rps = 0;    ///< completed / window_s
+};
+
+class ServeMetrics {
+ public:
+  /// Latency/queue-wait sample retention cap; aggregate counters keep
+  /// counting past it, percentiles then describe the first N requests.
+  static constexpr size_t kMaxSamples = 1 << 16;
+
+  void record_admitted(Clock::time_point now);
+  void record_rejected();
+  void record_expired();
+  void record_batch(int batch_size);
+  /// One response delivered (OK or failed), with its measured times.
+  void record_completion(double queue_wait_s, double latency_s, bool ok,
+                         Clock::time_point now);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Render a snapshot through core::report::print_metric_table.
+  void print(const std::string& title) const;
+
+ private:
+  mutable std::mutex mu_;
+  i64 completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0;
+  i64 batches_ = 0, batched_requests_ = 0;
+  std::vector<i64> batch_hist_;
+  std::vector<double> queue_wait_s_;
+  std::vector<double> latency_s_;
+  bool has_window_ = false;
+  Clock::time_point first_admitted_{};
+  Clock::time_point last_completed_{};
+};
+
+}  // namespace lbc::serve

@@ -1,0 +1,36 @@
+// Request/response types of the serving runtime. A request carries one
+// batch-1 activation tensor for the layer a scheduler instance serves; the
+// scheduler coalesces admitted requests into micro-batches and answers with
+// an InferResponse per request (through the future returned by submit()).
+#pragma once
+
+#include <chrono>
+
+#include "common/status.h"
+#include "common/tensor.h"
+
+namespace lbc::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// "No deadline": requests wait in the queue as long as admission allows.
+inline constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+struct InferRequest {
+  u64 id = 0;            ///< assigned by the scheduler at admission
+  Tensor<i8> input;      ///< batch-1 NCHW activation in the layer's bit range
+  Clock::time_point deadline = kNoDeadline;  ///< drop if not started by then
+};
+
+struct InferResponse {
+  u64 id = 0;
+  Status status;         ///< kDeadlineExceeded / kInternal / conv errors
+  Tensor<i32> output;    ///< batch-1 NCHW accumulators; set iff status.ok()
+  double queue_wait_s = 0;    ///< admission -> micro-batch formation
+  double latency_s = 0;       ///< admission -> response completion
+  double model_seconds = 0;   ///< modeled device time of the batch it rode in
+  int batch_size = 0;         ///< size of that micro-batch
+  std::string executed_algo;  ///< kernel rung that produced the batch
+};
+
+}  // namespace lbc::serve

@@ -1,0 +1,242 @@
+#include "serve/scheduler.h"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace lbc::serve {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::string shape4_str(const Shape4& sh) {
+  return std::to_string(sh.n) + "x" + std::to_string(sh.c) + "x" +
+         std::to_string(sh.h) + "x" + std::to_string(sh.w);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<BatchScheduler>> BatchScheduler::create(
+    const ConvShape& shape, Tensor<i8> weight, const SchedulerOptions& opt,
+    ThreadPool* pool) {
+  LBC_VALIDATE(shape.valid(), kInvalidArgument,
+               "invalid conv shape: " << describe(shape));
+  LBC_VALIDATE(shape.batch == 1, kInvalidArgument,
+               "the scheduler serves batch-1 requests; the layer shape must "
+               "have batch 1, got "
+                   << shape.batch);
+  LBC_VALIDATE(opt.bits >= 2 && opt.bits <= 8, kInvalidArgument,
+               "bits must be in [2, 8], got " << opt.bits);
+  const Shape4 want_w{shape.out_c, shape.in_c, shape.kernel, shape.kernel};
+  LBC_VALIDATE(weight.shape() == want_w, kInvalidArgument,
+               "weight tensor is " << shape4_str(weight.shape())
+                                   << " but the layer needs "
+                                   << shape4_str(want_w));
+  LBC_VALIDATE(opt.max_batch >= 1 && opt.max_batch <= 64, kInvalidArgument,
+               "max_batch must be in [1, 64], got " << opt.max_batch);
+  LBC_VALIDATE(opt.max_wait_us >= 0, kInvalidArgument,
+               "max_wait_us must be >= 0, got " << opt.max_wait_us);
+  LBC_VALIDATE(opt.queue_capacity >= 1, kInvalidArgument,
+               "queue_capacity must be >= 1");
+  LBC_VALIDATE(opt.max_inflight_batches >= 1, kInvalidArgument,
+               "max_inflight_batches must be >= 1, got "
+                   << opt.max_inflight_batches);
+  LBC_VALIDATE(opt.conv_threads >= 1 && opt.conv_threads <= 64,
+               kInvalidArgument,
+               "conv_threads must be in [1, 64], got " << opt.conv_threads);
+  return std::unique_ptr<BatchScheduler>(
+      new BatchScheduler(shape, std::move(weight), opt,
+                         pool != nullptr ? pool : &ThreadPool::global()));
+}
+
+BatchScheduler::BatchScheduler(const ConvShape& shape, Tensor<i8> weight,
+                               const SchedulerOptions& opt, ThreadPool* pool)
+    : shape_(shape), weight_(std::move(weight)), opt_(opt), pool_(pool) {
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+BatchScheduler::~BatchScheduler() { shutdown(); }
+
+StatusOr<std::future<InferResponse>> BatchScheduler::submit(
+    Tensor<i8> input, Clock::time_point deadline) {
+  const Shape4 want{1, shape_.in_c, shape_.in_h, shape_.in_w};
+  LBC_VALIDATE(input.shape() == want, kInvalidArgument,
+               "request tensor is " << shape4_str(input.shape())
+                                    << " but the served layer needs "
+                                    << shape4_str(want));
+  std::unique_lock<std::mutex> lock(mu_);
+  LBC_VALIDATE(!stopping_, kFailedPrecondition,
+               "submit() after shutdown()");
+  if (queue_.size() >= opt_.queue_capacity) {
+    lock.unlock();
+    metrics_.record_rejected();
+    return Status::overloaded(
+        "serving queue is full (" + std::to_string(opt_.queue_capacity) +
+        " waiting requests); apply backpressure and retry");
+  }
+  Pending p;
+  p.req.id = next_id_++;
+  p.req.input = std::move(input);
+  p.req.deadline = deadline;
+  p.admitted = Clock::now();
+  std::future<InferResponse> fut = p.promise.get_future();
+  metrics_.record_admitted(p.admitted);
+  queue_.push_back(std::move(p));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return fut;
+}
+
+void BatchScheduler::dispatcher_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) break;
+      continue;
+    }
+
+    // Execution backpressure: past max_inflight_batches the dispatcher
+    // stalls, overload backs up into the bounded admission queue, and
+    // submit() starts rejecting — latency stays bounded end to end.
+    drain_cv_.wait(lock, [this] {
+      return inflight_batches_ < static_cast<i64>(opt_.max_inflight_batches);
+    });
+
+    // Coalescing window: hold the head request at most max_wait_us while
+    // peers arrive; a full batch (or shutdown drain) leaves immediately.
+    if (static_cast<int>(queue_.size()) < opt_.max_batch && !stopping_) {
+      Clock::time_point wait_until =
+          queue_.front().admitted +
+          std::chrono::microseconds(opt_.max_wait_us);
+      // No point holding the window open past the head's own deadline.
+      if (queue_.front().req.deadline < wait_until)
+        wait_until = queue_.front().req.deadline;
+      queue_cv_.wait_until(lock, wait_until, [this] {
+        return stopping_ ||
+               static_cast<int>(queue_.size()) >= opt_.max_batch;
+      });
+    }
+
+    // Batch formation: expired requests are dropped (and answered) here,
+    // before any device time is spent on them.
+    const Clock::time_point formed = Clock::now();
+    std::vector<Pending> batch;
+    std::vector<Pending> expired;
+    while (!queue_.empty() &&
+           static_cast<int>(batch.size()) < opt_.max_batch) {
+      Pending p = std::move(queue_.front());
+      queue_.pop_front();
+      if (p.req.deadline != kNoDeadline && formed > p.req.deadline)
+        expired.push_back(std::move(p));
+      else
+        batch.push_back(std::move(p));
+    }
+    if (!batch.empty()) ++inflight_batches_;
+    lock.unlock();
+
+    for (Pending& p : expired) {
+      metrics_.record_expired();
+      InferResponse resp;
+      resp.id = p.req.id;
+      resp.status = Status::deadline_exceeded(
+          "request expired after " +
+          std::to_string(seconds_between(p.admitted, formed) * 1e3) +
+          " ms in queue");
+      resp.queue_wait_s = seconds_between(p.admitted, formed);
+      resp.latency_s = resp.queue_wait_s;
+      p.promise.set_value(std::move(resp));
+    }
+
+    if (!batch.empty()) {
+      metrics_.record_batch(static_cast<int>(batch.size()));
+      // shared_ptr because std::function requires a copyable callable and
+      // Pending (promise) is move-only.
+      auto shared = std::make_shared<std::vector<Pending>>(std::move(batch));
+      pool_->submit([this, shared, formed] {
+        run_batch(std::move(*shared), formed);
+      });
+    }
+    lock.lock();
+  }
+}
+
+void BatchScheduler::run_batch(std::vector<Pending> batch,
+                               Clock::time_point formed) {
+  const int bs = static_cast<int>(batch.size());
+  std::vector<Tensor<i8>> inputs;
+  inputs.reserve(batch.size());
+  for (Pending& p : batch) inputs.push_back(std::move(p.req.input));
+
+  Status batch_status;
+  core::BatchedArmResult result;
+  try {
+    // serve.worker_throw: a batch worker dying mid-execution (OOM kill of a
+    // buffer, a bug in a kernel rung) must cost this batch only.
+    if (FaultInjector::instance().should_fire(FaultSite::kServeWorkerThrow))
+      throw std::runtime_error("batch worker fault (injected)");
+    StatusOr<core::BatchedArmResult> r = core::run_arm_conv_batched(
+        shape_, inputs, weight_, opt_.bits, opt_.impl, opt_.algo,
+        opt_.conv_threads);
+    if (r.ok())
+      result = std::move(r).value();
+    else
+      batch_status = Status(r.status())
+                         .with_context("micro-batch of " + std::to_string(bs));
+  } catch (const std::exception& e) {
+    batch_status =
+        Status::internal(std::string("serve worker threw: ") + e.what());
+  } catch (...) {
+    batch_status = Status::internal("serve worker threw a non-exception");
+  }
+
+  const Clock::time_point done = Clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    InferResponse resp;
+    resp.id = p.req.id;
+    resp.status = batch_status;
+    resp.queue_wait_s = seconds_between(p.admitted, formed);
+    resp.latency_s = seconds_between(p.admitted, done);
+    resp.batch_size = bs;
+    if (batch_status.ok()) {
+      resp.output = std::move(result.outputs[i]);
+      resp.model_seconds = result.seconds;
+      resp.executed_algo = result.executed_algo;
+    }
+    metrics_.record_completion(resp.queue_wait_s, resp.latency_s,
+                               batch_status.ok(), done);
+    p.promise.set_value(std::move(resp));
+  }
+
+  // Every decrement is a wakeup: the dispatcher may be stalled on the
+  // in-flight bound, and shutdown() waits for zero.
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_batches_;
+  drain_cv_.notify_all();
+}
+
+void BatchScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  {
+    // Serialize the join: shutdown() may be called again (destructor after
+    // an explicit shutdown, or from another thread).
+    std::lock_guard<std::mutex> lock(join_mu_);
+    if (dispatcher_.joinable()) dispatcher_.join();
+  }
+  // The dispatcher drained the queue before exiting; now wait for the
+  // batches it handed to the pool.
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
+}
+
+}  // namespace lbc::serve

@@ -1,0 +1,115 @@
+// Dynamic micro-batching scheduler: the request path of the serving
+// runtime. One scheduler instance serves one quantized conv layer (shape +
+// weights fixed at creation, the "model instance"); callers submit batch-1
+// activations and receive futures.
+//
+// Policy (all configurable):
+//  * Admission — a bounded queue. submit() on a full queue returns
+//    kOverloaded immediately (backpressure surfaces to the caller; nothing
+//    queues unboundedly and latency stays bounded under overload).
+//  * Coalescing — the dispatcher takes the oldest waiting request and
+//    collects peers until the batch reaches max_batch OR the head request
+//    has waited max_wait_us. A full batch leaves immediately; a lone
+//    request leaves after at most max_wait_us. max_batch = 1 disables
+//    batching (the serial baseline the bench compares against).
+//  * Deadlines — a request whose deadline passed while queued is dropped at
+//    batch formation with kDeadlineExceeded and counted (metrics.expired);
+//    it never wastes device time.
+//  * Execution — each micro-batch is submitted to the shared ThreadPool and
+//    runs through core::run_arm_conv_batched (one conv with batch = K);
+//    inside the batch, the GEMM panel loop parallelizes on the same pool.
+//    Multiple batches may be in flight concurrently.
+//
+// Fault handling: the batch worker consults the serve.worker_throw
+// injection site; an exception thrown mid-batch is caught, every request of
+// that batch is answered kInternal, and the pool/dispatcher keep serving —
+// a poisoned batch costs its own requests, never the runtime.
+#pragma once
+
+#include <deque>
+#include <future>
+#include <memory>
+
+#include "common/conv_shape.h"
+#include "core/engine.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "serve/thread_pool.h"
+
+namespace lbc::serve {
+
+struct SchedulerOptions {
+  int max_batch = 8;           ///< coalescing cap; 1 = no batching
+  i64 max_wait_us = 200;       ///< max head-of-line wait for peers
+  size_t queue_capacity = 64;  ///< admission bound (backpressure past it)
+  int max_inflight_batches = 4;  ///< batches executing/queued on the pool;
+                                 ///< the dispatcher stalls past this, so
+                                 ///< overload backs up into the bounded
+                                 ///< queue instead of the pool
+  int bits = 8;
+  core::ArmImpl impl = core::ArmImpl::kOurs;
+  armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm;
+  int conv_threads = 1;  ///< modeled ARM worker count inside a batch conv
+};
+
+class BatchScheduler {
+ public:
+  /// Validates options/shape/weights. `pool` defaults to the process-wide
+  /// ThreadPool::global(); pass a dedicated pool in tests.
+  static StatusOr<std::unique_ptr<BatchScheduler>> create(
+      const ConvShape& shape, Tensor<i8> weight, const SchedulerOptions& opt,
+      ThreadPool* pool = nullptr);
+
+  /// Drains the queue, waits for in-flight batches, stops the dispatcher.
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Admit one request. Returns the response future, or kOverloaded when
+  /// the queue is at capacity, or kFailedPrecondition after shutdown().
+  /// The input must be a batch-1 tensor matching the served layer shape
+  /// (kInvalidArgument otherwise).
+  StatusOr<std::future<InferResponse>> submit(
+      Tensor<i8> input, Clock::time_point deadline = kNoDeadline);
+
+  /// Stop admitting, execute everything already queued, wait for all
+  /// in-flight batches. Idempotent; also run by the destructor.
+  void shutdown();
+
+  const ServeMetrics& metrics() const { return metrics_; }
+  const ConvShape& shape() const { return shape_; }
+  const SchedulerOptions& options() const { return opt_; }
+
+ private:
+  BatchScheduler(const ConvShape& shape, Tensor<i8> weight,
+                 const SchedulerOptions& opt, ThreadPool* pool);
+
+  struct Pending {
+    InferRequest req;
+    std::promise<InferResponse> promise;
+    Clock::time_point admitted;
+  };
+
+  void dispatcher_main();
+  void run_batch(std::vector<Pending> batch, Clock::time_point formed);
+
+  ConvShape shape_;
+  Tensor<i8> weight_;
+  SchedulerOptions opt_;
+  ThreadPool* pool_;
+  ServeMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;   ///< dispatcher: work arrived / stop
+  std::condition_variable drain_cv_;   ///< shutdown: in-flight reached zero
+  std::deque<Pending> queue_;
+  i64 inflight_batches_ = 0;
+  bool stopping_ = false;   ///< no new admissions; dispatcher drains and exits
+  u64 next_id_ = 1;
+
+  std::mutex join_mu_;  ///< serializes shutdown()'s dispatcher join
+  std::thread dispatcher_;
+};
+
+}  // namespace lbc::serve

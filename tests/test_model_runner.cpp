@@ -49,6 +49,33 @@ TEST(ModelRunner, LowerBitsNoSlowerEndToEndOnArm) {
   EXPECT_LT(t2, t8);
 }
 
+TEST(ModelRunner, BatchScalesWorkAndStaysBitExact) {
+  const auto layers = nets::shrink_for_tests(nets::resnet50_layers(), 8, 16);
+  ModelRunOptions o1, o4;
+  o1.bits = 4;
+  o1.verify = true;
+  o4 = o1;
+  o4.batch = 4;
+  const ModelRunReport r1 = run_model(layers, o1).value();
+  const ModelRunReport r4 = run_model(layers, o4).value();
+  // MAC count scales exactly with the micro-batch...
+  EXPECT_EQ(r4.total_macs, 4 * r1.total_macs);
+  EXPECT_GT(r4.total_seconds, r1.total_seconds);
+  // ...and every batched layer still matches the int32 reference.
+  for (const auto& l : r4.layers) EXPECT_TRUE(l.verified) << l.name;
+}
+
+TEST(ModelRunner, RejectsBadBatch) {
+  const auto layers = nets::shrink_for_tests(nets::resnet50_layers(), 8, 16);
+  ModelRunOptions opt;
+  opt.batch = 0;
+  EXPECT_EQ(run_model(layers, opt).status().code(),
+            StatusCode::kInvalidArgument);
+  opt.batch = 65;
+  EXPECT_EQ(run_model(layers, opt).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(ModelRunner, DeterministicAcrossRuns) {
   const auto layers = nets::shrink_for_tests(nets::resnet50_layers(), 6, 8);
   ModelRunOptions opt;

@@ -31,6 +31,9 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::data_loss("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(Status::unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::overloaded("x").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::deadline_exceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
 }
 
 TEST(Status, CodeNamesAreStable) {
@@ -38,6 +41,9 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
                "InvalidArgument");
   EXPECT_STREQ(status_code_name(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(status_code_name(StatusCode::kOverloaded), "Overloaded");
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(Status, ContextChainPrependsFrames) {

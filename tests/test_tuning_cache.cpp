@@ -3,6 +3,7 @@
 // corruption recovery, thread safety.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "common/fault_injection.h"
@@ -176,6 +177,44 @@ TEST(TuningCache, ConcurrentAccessIsSafeAndConsistent) {
   EXPECT_EQ(cache.size(), 4u);
   // Every thread converged to the same (deterministic) tiling for layer 3.
   for (const Tiling& t : results) EXPECT_EQ(t, results[0]);
+}
+
+TEST(TuningCache, StatGettersAreSafeAlongsideWriters) {
+  // hits()/misses()/corrupt_evictions() take the cache lock; readers polling
+  // them while other threads insert must see consistent, monotone values
+  // (and run clean under tsan — this is the regression test for the
+  // formerly unlocked getters).
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  TuningCache cache;
+  const auto layers = nets::resnet50_layers();
+  std::atomic<bool> stop{false};
+  i64 last_hits = 0, last_misses = 0;
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const i64 h = cache.hits();
+      const i64 m = cache.misses();
+      EXPECT_GE(h, last_hits);
+      EXPECT_GE(m, last_misses);
+      EXPECT_EQ(cache.corrupt_evictions(), 0);
+      last_hits = h;
+      last_misses = m;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&] {
+      for (int i = 0; i < 16; ++i)
+        cache.get_or_search(dev, layers[static_cast<size_t>(i % 8)], 8, true);
+    });
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+  // Every call counts exactly one hit or miss; concurrent first-misses on
+  // the same key may each count a miss (the search runs unlocked), so the
+  // miss count is only bounded below by the distinct-shape count.
+  EXPECT_EQ(cache.hits() + cache.misses(), 4 * 16);
+  EXPECT_GE(cache.misses(), static_cast<i64>(cache.size()));
+  EXPECT_LE(cache.size(), 8u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/align.h"
+#include "common/workspace.h"
 
 #include "armsim/neon.h"
 
@@ -15,7 +16,8 @@ namespace {
 
 // Pack the length-k vector `src` (stride `stride` between elements) into
 // `bits` bit planes of `chunk_bytes` bytes each (zero-padded past k).
-// Bit kk of plane p is bit p of the two's-complement value.
+// Bit kk of plane p is bit p of the two's-complement value. Every plane
+// byte is written (zeroed first), so arena-backed destinations are safe.
 void pack_planes(const i8* src, i64 k, i64 stride, int bits, i64 chunk_bytes,
                  u8* planes /* [bits][chunk_bytes] */) {
   for (int p = 0; p < bits; ++p) {
@@ -40,31 +42,49 @@ void tally_pack_online(Ctx& ctx, i64 elems, int bits) {
 
 }  // namespace
 
-BitserialStats bitserial_gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m,
-                                    i64 n, i64 k, int bits) {
+BitserialWeights bitserial_plan_weights(const i8* a, i64 m, i64 k, int bits,
+                                        armsim::Ctx* pack_ctx) {
   LBC_CHECK_MSG(bits == 1 || bits == 2, "bitserial gemm only supports 1-2 bit");
   // UADALP headroom: each 128-bit chunk adds at most 16 to a u16 lane.
   LBC_CHECK_MSG(ceil_div(k, 128) * 16 < 65535, "K too large for one u16 chain");
+  BitserialWeights aw;
+  aw.m = m;
+  aw.k = k;
+  aw.bits = bits;
+  aw.chunk_bytes = round_up(k, 128) / 8;  // whole 16B vectors
+  aw.planes.resize(static_cast<size_t>(m * bits * aw.chunk_bytes));
+  for (i64 i = 0; i < m; ++i)
+    pack_planes(a + i * k, k, 1, bits, aw.chunk_bytes,
+                aw.planes.data() + i * bits * aw.chunk_bytes);
+  if (pack_ctx) tally_pack_online(*pack_ctx, m * k, bits);
+  return aw;
+}
+
+BitserialStats bitserial_gemm_prepacked(const BitserialWeights& aw,
+                                        const i8* b, i32* c, i64 n,
+                                        Workspace* ws) {
+  const i64 m = aw.m, k = aw.k;
+  const int bits = aw.bits;
+  const i64 chunk_bytes = aw.chunk_bytes;
+  const i64 chunks = chunk_bytes / 16;
 
   BitserialStats stats;
   Ctx ctx;
 
-  const i64 chunk_bytes = round_up(k, 128) / 8;  // whole 16B vectors
-  const i64 chunks = chunk_bytes / 16;
-
-  // Offline weight planes (A rows), not tallied.
-  AlignedVector<u8> ap(static_cast<size_t>(m * bits * chunk_bytes));
-  for (i64 i = 0; i < m; ++i)
-    pack_planes(a + i * k, k, 1, bits, chunk_bytes,
-                ap.data() + i * bits * chunk_bytes);
-
-  // Online activation planes (B columns).
-  AlignedVector<u8> bp(static_cast<size_t>(n * bits * chunk_bytes));
+  // Online activation planes (B columns), arena-backed when possible.
+  AlignedVector<u8> own_bp;
+  u8* bp;
+  const i64 bp_bytes = n * bits * chunk_bytes;
+  if (ws != nullptr) {
+    bp = ws->alloc_n<u8>(bp_bytes);
+  } else {
+    own_bp.resize(static_cast<size_t>(bp_bytes));
+    bp = own_bp.data();
+  }
   for (i64 j = 0; j < n; ++j)
-    pack_planes(b + j, k, n, bits, chunk_bytes,
-                bp.data() + j * bits * chunk_bytes);
+    pack_planes(b + j, k, n, bits, chunk_bytes, bp + j * bits * chunk_bytes);
   tally_pack_online(ctx, k * n, bits);
-  stats.plane_buf_elems = static_cast<i64>(ap.size() + bp.size());
+  stats.plane_buf_elems = static_cast<i64>(aw.planes.size()) + bp_bytes;
 
   // Plane coefficients under two's complement.
   i32 coef[2] = {1, 0};
@@ -72,9 +92,9 @@ BitserialStats bitserial_gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m,
   if (bits == 1) coef[0] = -1;  // 1-bit two's complement: {0, -1}
 
   for (i64 i = 0; i < m; ++i) {
-    const u8* arow = ap.data() + i * bits * chunk_bytes;
+    const u8* arow = aw.planes.data() + i * bits * chunk_bytes;
     for (i64 j = 0; j < n; ++j) {
-      const u8* bcol = bp.data() + j * bits * chunk_bytes;
+      const u8* bcol = bp + j * bits * chunk_bytes;
       i32 acc = 0;
       for (int p = 0; p < bits; ++p) {
         for (int q = 0; q < bits; ++q) {
@@ -115,6 +135,12 @@ BitserialStats bitserial_gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m,
 
   stats.counts = ctx.counts;
   return stats;
+}
+
+BitserialStats bitserial_gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m,
+                                    i64 n, i64 k, int bits) {
+  const BitserialWeights aw = bitserial_plan_weights(a, m, k, bits);
+  return bitserial_gemm_prepacked(aw, b, c, n, nullptr);
 }
 
 }  // namespace lbc::armkern

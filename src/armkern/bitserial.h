@@ -8,10 +8,19 @@
 // The NEON kernel is AND + CNT + UADALP per 128-bit chunk, with SADALP /
 // ADDV reductions — the popcount pipeline that the paper's MLA scheme is
 // compared against for 2-bit convolution (A2W2).
+//
+// Weight (A) planes are pure weight work: bitserial_plan_weights packs them
+// once at plan compile; bitserial_gemm_prepacked packs only the activation
+// (B) planes per call, into a Workspace when one is provided.
 #pragma once
 
 #include "armsim/counters.h"
+#include "common/align.h"
 #include "common/types.h"
+
+namespace lbc {
+class Workspace;
+}  // namespace lbc
 
 namespace lbc::armkern {
 
@@ -19,6 +28,30 @@ struct BitserialStats {
   armsim::Counters counts;
   i64 plane_buf_elems = 0;  ///< bytes of packed bit planes (space accounting)
 };
+
+/// Compiled weight bit planes: [m rows][bits planes][chunk_bytes].
+/// Immutable after construction — safe to share across threads.
+struct BitserialWeights {
+  AlignedVector<u8> planes;
+  i64 m = 0, k = 0;
+  int bits = 0;
+  i64 chunk_bytes = 0;  ///< round_up(k, 128) / 8 — whole 16B vectors
+
+  i64 packed_bytes() const { return static_cast<i64>(planes.size()); }
+};
+
+/// Pack the weight matrix A[M x K] into bit planes (offline; execute-time
+/// counts never include it). Requires bits in {1, 2} and K within the u16
+/// popcount-chain headroom. `pack_ctx` is for plan-time cost accounting
+/// only — what the pack would cost per call.
+BitserialWeights bitserial_plan_weights(const i8* a, i64 m, i64 k, int bits,
+                                        armsim::Ctx* pack_ctx = nullptr);
+
+/// C[M x N] = A * B against compiled weight planes; B planes are packed
+/// online (tallied), into `ws` when non-null.
+BitserialStats bitserial_gemm_prepacked(const BitserialWeights& aw,
+                                        const i8* b, i32* c, i64 n,
+                                        Workspace* ws);
 
 /// C[M x N] (i32, row-major) = A[M x K] (i8) * B[K x N] (i8), operands in
 /// the adjusted range of `bits` (1 or 2). Bit-exact with ref::gemm_s8s32.

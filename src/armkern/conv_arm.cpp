@@ -5,10 +5,9 @@
 
 #include "common/align.h"
 #include "common/fault_injection.h"
+#include "common/workspace.h"
 
-#include "armkern/bitserial.h"
 #include "armkern/direct_conv.h"
-#include "armkern/winograd23.h"
 #include "armsim/neon.h"
 #include "refconv/conv_ref.h"
 #include "refconv/im2col.h"
@@ -21,7 +20,7 @@ namespace {
 
 // im2col is a bulk copy on NEON, with per-row index math.
 void tally_im2col(Ctx& ctx, const ConvShape& s, const Tensor<i8>& input,
-                  const Tensor<i8>& bmat) {
+                  const i8* bmat, i64 bmat_elems) {
   // Strided gather: the 3x3/strided cases copy short row segments, so the
   // effective move width is ~8 bytes per load/store pair.
   const u64 groups = static_cast<u64>(ceil_div(s.im2col_elems(), 8));
@@ -33,7 +32,7 @@ void tally_im2col(Ctx& ctx, const ConvShape& s, const Tensor<i8>& input,
   // im2col matrix is written once.
   for (i64 tap = 0; tap < s.kernel * s.kernel; ++tap)
     ctx.mem_range(input.data(), static_cast<u64>(input.elems()));
-  ctx.mem_range(bmat.data(), static_cast<u64>(bmat.elems()));
+  ctx.mem_range(bmat, static_cast<u64>(bmat_elems));
 }
 
 // The reference rung is a plain scalar loop nest: per MAC, two scalar
@@ -79,9 +78,37 @@ bool bitserial_eligible_for(int bits) { return bits <= 2; }
 
 bool sdot_eligible_for(int bits) { return bits >= 4; }
 
-StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
-                                   const Tensor<i8>& weight,
-                                   const ArmConvOptions& opt) {
+i64 ArmConvPlan::workspace_bytes(i64 batch) const {
+  const ConvShape sb = shape.with_batch(batch);
+  if (algo == ConvAlgo::kReference || algo == ConvAlgo::kDirect) return 0;
+  if (algo == ConvAlgo::kWinograd) {
+    const i64 tiles =
+        sb.batch * ceil_div(sb.out_h(), 2) * ceil_div(sb.out_w(), 2);
+    i64 total = 0;
+    total += 16 * workspace_rounded(sb.in_c * tiles);  // V_e, i8
+    total += 16 * workspace_rounded(sb.out_c * tiles *
+                                    static_cast<i64>(sizeof(i32)));  // M_e
+    // Each of the 16 GEMMs packs its B (= V_e) into the arena.
+    total += 16 * workspace_rounded(packed_b_bytes(sb.in_c, tiles));
+    return total;
+  }
+  // GEMM-family path: im2col + concat C buffer (batch > 1) + B-side pack.
+  const i64 m = sb.gemm_m(), n = sb.gemm_n(), k = sb.gemm_k();
+  i64 total = workspace_rounded(k * n);  // im2col matrix
+  if (sb.batch > 1)
+    total += workspace_rounded(m * n * static_cast<i64>(sizeof(i32)));
+  if (algo == ConvAlgo::kBitserial)
+    total += workspace_rounded(n * bitplanes.bits * bitplanes.chunk_bytes);
+  else if (kernel == ArmKernel::kSdotExt)
+    total += workspace_rounded(packed_sdot_b_bytes(k, n));
+  else if (kernel == ArmKernel::kOursGemm || kernel == ArmKernel::kNcnn)
+    total += workspace_rounded(packed_b_bytes(k, n));
+  // kTraditional keeps its column-major B copy on its own heap block.
+  return total;
+}
+
+StatusOr<ArmConvPlan> plan_conv(const ConvShape& s, const Tensor<i8>& weight,
+                                const ArmConvOptions& opt) {
   // Boundary validation: survives release builds, rejects instead of UB.
   LBC_VALIDATE(s.valid(), kInvalidArgument,
                "invalid conv shape: " << describe(s));
@@ -89,19 +116,16 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
                "bits must be in [2, 8], got " << opt.bits);
   LBC_VALIDATE(opt.threads >= 1 && opt.threads <= 64, kInvalidArgument,
                "threads must be in [1, 64], got " << opt.threads);
-  const Shape4 want_in{s.batch, s.in_c, s.in_h, s.in_w};
   const Shape4 want_w{s.out_c, s.in_c, s.kernel, s.kernel};
-  LBC_VALIDATE(input.shape() == want_in, kInvalidArgument,
-               "input tensor is " << shape4_str(input.shape())
-                                  << " but the shape needs "
-                                  << shape4_str(want_in));
   LBC_VALIDATE(weight.shape() == want_w, kInvalidArgument,
                "weight tensor is " << shape4_str(weight.shape())
                                    << " but the shape needs "
                                    << shape4_str(want_w));
 
-  ArmConvResult res;
-  res.space.baseline_elems = s.activation_elems() + s.weight_elems();
+  ArmConvPlan plan;
+  plan.shape = s;
+  plan.requested = opt;
+  plan.weight = weight;
 
   ConvAlgo algo = opt.algo;
   ArmKernel kernel = opt.kernel;
@@ -110,7 +134,8 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
                                               : ConvAlgo::kGemm;
 
   // Dispatch fallback chain, rung 1: an ineligible specialized algo
-  // degrades to the low-bit GEMM instead of asserting.
+  // degrades to the low-bit GEMM instead of asserting. Resolved once here;
+  // every execute inherits the record.
   if (algo == ConvAlgo::kWinograd && !winograd_eligible_for(s, opt.bits)) {
     std::ostringstream why;
     if (!s.winograd_eligible())
@@ -118,11 +143,11 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
           << s.stride;
     else
       why << "winograd runs at 4-6 bit, got " << opt.bits;
-    res.fallback.record("winograd", "gemm", why.str());
+    plan.planned_fallback.record("winograd", "gemm", why.str());
     algo = ConvAlgo::kGemm;
   }
   if (algo == ConvAlgo::kBitserial && !bitserial_eligible_for(opt.bits)) {
-    res.fallback.record(
+    plan.planned_fallback.record(
         "bitserial", "gemm",
         "bit-serial popcount kernel supports <= 2 bit, got " +
             std::to_string(opt.bits));
@@ -130,11 +155,70 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
   }
   if (algo == ConvAlgo::kGemm && kernel == ArmKernel::kSdotExt &&
       !sdot_eligible_for(opt.bits)) {
-    res.fallback.record("gemm[sdot]", "gemm[ours]",
-                        "SDOT packing pays off only at >= 4 bit, got " +
-                            std::to_string(opt.bits));
+    plan.planned_fallback.record("gemm[sdot]", "gemm[ours]",
+                                 "SDOT packing pays off only at >= 4 bit, got " +
+                                     std::to_string(opt.bits));
     kernel = ArmKernel::kOursGemm;
   }
+  plan.algo = algo;
+  plan.kernel = kernel;
+
+  LBC_VALIDATE(
+      !FaultInjector::instance().should_fire(FaultSite::kPlanCompileFail),
+      kResourceExhausted,
+      "conv plan compilation failed: weight prepack resources exhausted "
+      "(injected fault)");
+
+  // Weight prepack in the executing kernel's layout. pctx records what the
+  // pack would cost per call — the cycles a compiled plan amortizes away.
+  // It is never merged into execute-time counts (both APIs exclude weight
+  // packing: weights are packed offline in deployment).
+  Ctx pctx;
+  const i64 m = s.gemm_m(), k = s.gemm_k();
+  if (algo == ConvAlgo::kWinograd) {
+    plan.winograd = winograd_plan_weights(weight, s.out_c, s.in_c, &pctx);
+    plan.packed_weight_bytes = plan.winograd.packed_bytes();
+  } else if (algo == ConvAlgo::kBitserial) {
+    plan.bitplanes = bitserial_plan_weights(weight.data(), m, k, opt.bits,
+                                            &pctx);
+    plan.packed_weight_bytes = plan.bitplanes.packed_bytes();
+  } else if (algo == ConvAlgo::kGemm) {
+    if (kernel == ArmKernel::kSdotExt) {
+      plan.sdot_a = pack_sdot_a(weight.data(), m, k, &pctx);
+      plan.packed_weight_bytes = static_cast<i64>(plan.sdot_a.data.size());
+    } else if (kernel == ArmKernel::kOursGemm ||
+               kernel == ArmKernel::kNcnn) {
+      plan.gemm_a = pack_a(&pctx, weight.data(), m, k);
+      plan.packed_weight_bytes = static_cast<i64>(plan.gemm_a.data.size());
+    }
+    // kTraditional consumes the raw weight matrix — nothing to prepack.
+  }
+  // kDirect / kReference consume the raw weight tensor.
+  plan.pack_cycles =
+      CostModel::cortex_a53().cycles_for(pctx.counts, /*interleaved=*/true);
+  return plan;
+}
+
+StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
+                                     const Tensor<i8>& input, Workspace& ws) {
+  const ConvShape sb = plan.shape.with_batch(input.shape().n);
+  const Shape4 want_in{sb.batch, sb.in_c, sb.in_h, sb.in_w};
+  LBC_VALIDATE(input.shape() == want_in, kInvalidArgument,
+               "input tensor is " << shape4_str(input.shape())
+                                  << " but the shape needs "
+                                  << shape4_str(want_in));
+  LBC_VALIDATE(sb.valid(), kInvalidArgument,
+               "invalid conv shape: " << describe(sb));
+  ws.reset();
+
+  ArmConvResult res;
+  res.space.baseline_elems = sb.activation_elems() + sb.weight_elems();
+  res.fallback = plan.planned_fallback;
+
+  const ConvAlgo algo = plan.algo;
+  const ArmKernel kernel = plan.kernel;
+  const int bits = plan.requested.bits;
+  const Tensor<i8>& weight = plan.weight;
 
   const CostModel cm = CostModel::cortex_a53();
   bool interleaved = true;
@@ -148,10 +232,10 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
   // the optimized pipeline. Cost of any wasted optimized attempt stays
   // charged — degradation is not free.
   const auto run_reference = [&] {
-    res.out = ref::conv2d_s32(s, input, weight);
+    res.out = ref::conv2d_s32(sb, input, weight);
     Ctx ref_ctx;
     ref_ctx.model_cache = false;  // scalar loop, charged per-op below
-    tally_reference(ref_ctx, s);
+    tally_reference(ref_ctx, sb);
     serial_ctx.counts.merge(ref_ctx.counts);
     res.executed_algo = "reference";
   };
@@ -167,17 +251,17 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
     run_reference();
     interleaved = false;
   } else if (algo == ConvAlgo::kDirect) {
-    const DirectConvStats ds = direct_conv_s32(s, input, weight, res.out);
+    const DirectConvStats ds = direct_conv_s32(sb, input, weight, res.out);
     res.counts.merge(ds.counts);
     parallel_cycles = cm.cycles_for(ds.counts, interleaved);
     // No im2col and no packing: zero space overhead (the algorithm's one
     // advantage; Sec. 2.2).
   } else if (algo == ConvAlgo::kWinograd) {
-    const WinogradStats ws =
-        winograd_conv_s32(s, input, weight, opt.bits, res.out);
-    res.counts.merge(ws.counts);
-    parallel_cycles = cm.cycles_for(ws.counts, interleaved);
-    res.space.im2col_elems = ws.transform_buf_elems;  // transform scratch
+    const WinogradStats wstats =
+        winograd_conv_prepacked(sb, input, plan.winograd, bits, res.out, &ws);
+    res.counts.merge(wstats.counts);
+    parallel_cycles = cm.cycles_for(wstats.counts, interleaved);
+    res.space.im2col_elems = wstats.transform_buf_elems;  // transform scratch
   } else if (fi.should_fire(FaultSite::kAllocFail)) {
     // Injected allocation failure of the im2col matrix: the GEMM path
     // cannot run, but the reference rung needs no scratch buffer at all.
@@ -187,24 +271,21 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
   } else {
     // Explicit GEMM path: materialize im2col (the paper materializes it for
     // every layer, including 1x1 — Fig. 13's conv18 ratio pins this down).
-    const Tensor<i8> bmat = ref::im2col(s, input);
-    tally_im2col(serial_ctx, s, input, bmat);
-    res.space.im2col_elems = s.im2col_elems();
+    const i64 m = sb.gemm_m(), n = sb.gemm_n(), k = sb.gemm_k();
+    i8* bmat = ws.alloc_n<i8>(k * n);
+    ref::im2col_into(sb, input, bmat);
+    tally_im2col(serial_ctx, sb, input, bmat, k * n);
+    res.space.im2col_elems = sb.im2col_elems();
 
-    const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
-    res.out = Tensor<i32>(Shape4{s.batch, s.out_c, s.out_h(), s.out_w()});
+    res.out = Tensor<i32>(Shape4{sb.batch, sb.out_c, sb.out_h(), sb.out_w()});
     // weight tensor [oc][ic][kh][kw] is already the row-major M x K matrix
     // with K ordered (ic, kh, kw), matching im2col's row order. The GEMM
     // writes C[M x N] = C[out_c][b*oh*ow]; for batch 1 that is exactly the
     // NCHW output layout, and for batch > 1 the rows are re-scattered into
     // NCHW below. (The paper's ARM evaluation uses batch 1, Sec. 5.2.)
 
-    AlignedVector<i32> cbuf;
     i32* cptr = res.out.data();
-    if (s.batch > 1) {
-      cbuf.resize(static_cast<size_t>(m * n));
-      cptr = cbuf.data();
-    }
+    if (sb.batch > 1) cptr = ws.alloc_n<i32>(m * n);
     if (fi.should_fire(FaultSite::kPackMisalign)) {
       // Injected packing misalignment: the panel layout the micro kernels
       // assume does not hold, so running them would read out of lane.
@@ -213,17 +294,25 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
                            "(injected fault)");
       degraded = true;
     } else if (algo == ConvAlgo::kBitserial) {
-      const BitserialStats bs = bitserial_gemm_s8s32(
-          weight.data(), bmat.data(), cptr, m, n, k, opt.bits);
+      const BitserialStats bs =
+          bitserial_gemm_prepacked(plan.bitplanes, bmat, cptr, n, &ws);
       res.counts.merge(bs.counts);
       parallel_cycles = cm.cycles_for(bs.counts, interleaved);
     } else {
       GemmOptions gopt;
-      gopt.bits = opt.bits;
+      gopt.bits = bits;
       gopt.kernel = kernel;
-      gopt.threads = opt.threads;
-      const GemmStats gs =
-          gemm_s8s32(weight.data(), bmat.data(), cptr, m, n, k, gopt);
+      gopt.threads = plan.requested.threads;
+      gopt.workspace = &ws;
+      GemmStats gs;
+      if (kernel == ArmKernel::kTraditional)
+        gs = gemm_s8s32(weight.data(), bmat, cptr, m, n, k, gopt);
+      else if (kernel == ArmKernel::kSdotExt)
+        gs = gemm_s8s32_sdot_prepacked(plan.sdot_a.view(), bmat, cptr, m, n,
+                                       k, gopt);
+      else
+        gs = gemm_s8s32_prepacked(plan.gemm_a.view(), bmat, cptr, m, n, k,
+                                  gopt);
       res.counts.merge(gs.counts);
       res.space.pack_extra_elems = gs.pack_extra_elems;
       interleaved = gs.interleaved;
@@ -235,15 +324,15 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
       serial_ctx.counts.merge(gs.serial_counts);
       threaded = gs.thread_counts.size() > 1;
     }
-    if (!degraded && s.batch > 1) {
+    if (!degraded && sb.batch > 1) {
       // Re-scatter C[oc][b*oh*ow] into NCHW (bookkeeping copy; its cost is
       // charged as a streaming pass).
-      const i64 ohw = s.out_h() * s.out_w();
+      const i64 ohw = sb.out_h() * sb.out_w();
       for (i64 oc = 0; oc < m; ++oc)
-        for (i64 b = 0; b < s.batch; ++b)
+        for (i64 b = 0; b < sb.batch; ++b)
           for (i64 i = 0; i < ohw; ++i)
             res.out.data()[((b * m + oc) * ohw) + i] =
-                cbuf[static_cast<size_t>(oc * n + b * ohw + i)];
+                cptr[oc * n + b * ohw + i];
       serial_ctx.tally(Op::kLd1, static_cast<u64>(m * n / 4 + 1));
       serial_ctx.tally(Op::kSt1, static_cast<u64>(m * n / 4 + 1));
       serial_ctx.mem_range(res.out.data(), static_cast<u64>(m * n) * 4);
@@ -265,6 +354,38 @@ StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
                (threaded ? kThreadSyncCycles : 0.0);
   res.seconds = res.cycles / cm.freq_hz;
   return res;
+}
+
+StatusOr<ArmConvResult> conv2d_s32(const ConvShape& s, const Tensor<i8>& input,
+                                   const Tensor<i8>& weight,
+                                   const ArmConvOptions& opt) {
+  auto plan_or = plan_conv(s, weight, opt);
+  if (!plan_or.ok()) {
+    if (plan_or.status().code() != StatusCode::kResourceExhausted)
+      return plan_or.status();
+    // Plan compilation failed: the ladder's floor needs no compiled state.
+    const Shape4 want_in{s.batch, s.in_c, s.in_h, s.in_w};
+    LBC_VALIDATE(input.shape() == want_in, kInvalidArgument,
+                 "input tensor is " << shape4_str(input.shape())
+                                    << " but the shape needs "
+                                    << shape4_str(want_in));
+    ArmConvResult res;
+    res.space.baseline_elems = s.activation_elems() + s.weight_elems();
+    res.fallback.record(algo_name(opt.algo), "reference",
+                        plan_or.status().message());
+    res.out = ref::conv2d_s32(s, input, weight);
+    Ctx ref_ctx;
+    ref_ctx.model_cache = false;
+    tally_reference(ref_ctx, s);
+    res.counts.merge(ref_ctx.counts);
+    const CostModel cm = CostModel::cortex_a53();
+    res.cycles = cm.cycles_for(ref_ctx.counts, /*interleaved=*/true);
+    res.seconds = res.cycles / cm.freq_hz;
+    res.executed_algo = "reference";
+    return res;
+  }
+  Workspace ws;
+  return execute_conv(*plan_or, input, ws);
 }
 
 }  // namespace lbc::armkern

@@ -6,14 +6,30 @@
 // returns a Status error instead of asserting; an ineligible algo request
 // degrades along the ladder specialized -> GEMM -> reference conv, with
 // the degradation recorded in ArmConvResult::fallback.
+//
+// Execution is split into plan and execute (the cuDNN descriptor /
+// TVM build-then-run shape): plan_conv resolves the algo/kernel fallback
+// ladder once and prepacks the weights in the chosen micro-kernel's
+// layout; execute_conv runs any number of inputs against the immutable
+// plan, drawing all activation scratch from a caller-owned Workspace.
+// conv2d_s32 remains as the one-shot wrapper (plan + execute) and is
+// bit-exact with the split API — including modeled cycle counts, because
+// weight packing was already excluded from execute-time cost accounting
+// (weights are packed offline in deployment).
 #pragma once
 
+#include "armkern/bitserial.h"
 #include "armkern/gemm_lowbit.h"
+#include "armkern/winograd23.h"
 #include "armsim/cost_model.h"
 #include "common/conv_shape.h"
 #include "common/fallback.h"
 #include "common/status.h"
 #include "common/tensor.h"
+
+namespace lbc {
+class Workspace;
+}  // namespace lbc
 
 namespace lbc::armkern {
 
@@ -71,9 +87,63 @@ struct ArmConvResult {
   FallbackRecord fallback;    ///< set when the request was degraded
 };
 
+/// Compiled convolution plan: the algo/kernel ladder resolved once, the
+/// weights prepacked in the executing kernel's layout, and the exact
+/// per-execute workspace requirement recorded.
+///
+/// Immutable after plan_conv returns — safe to share across threads; each
+/// executing thread brings its own Workspace.
+struct ArmConvPlan {
+  ConvShape shape;           ///< geometry as planned (batch may differ at execute)
+  ArmConvOptions requested;  ///< the original request
+  ConvAlgo algo = ConvAlgo::kGemm;     ///< resolved rung
+  ArmKernel kernel = ArmKernel::kOursGemm;  ///< resolved kernel
+  FallbackRecord planned_fallback;     ///< eligibility degradations
+
+  /// Original weights — kept for the rungs that consume them unpacked
+  /// (reference recovery, direct, traditional GEMM).
+  Tensor<i8> weight;
+
+  /// Prepacked weights; exactly one is populated, per (algo, kernel).
+  PackedA gemm_a;             ///< kGemm with kOursGemm / kNcnn
+  PackedSdotA sdot_a;         ///< kGemm with kSdotExt
+  BitserialWeights bitplanes; ///< kBitserial
+  WinogradWeights winograd;   ///< kWinograd
+
+  i64 packed_weight_bytes = 0;
+  /// Modeled cycles the weight pack would cost if run per call — what the
+  /// plan amortizes away (reported by the serving bench; never merged into
+  /// execute-time counts, which exclude weight packing in both APIs).
+  double pack_cycles = 0;
+
+  /// Exact Workspace bytes one execute_conv at batch `batch` consumes
+  /// (cache-line-rounded, matching Workspace accounting).
+  i64 workspace_bytes(i64 batch) const;
+};
+
+/// Resolve the ladder and prepack the weights. Errors:
+///  * kInvalidArgument — invalid shape, bits outside [2, 8], weight dims
+///    that do not match the shape, or threads outside [1, 64];
+///  * kResourceExhausted — plan compilation failed (injected via the
+///    plan.compile_fail fault site). Callers degrade to the unplanned
+///    path or surface the error.
+StatusOr<ArmConvPlan> plan_conv(const ConvShape& s, const Tensor<i8>& weight,
+                                const ArmConvOptions& opt);
+
+/// Execute the plan against `input`, whose batch may differ from the
+/// planned batch (weights pack identically for any batch; only the GEMM N
+/// dimension changes). All scratch comes from `ws`, which is reset on
+/// entry; pointers previously handed out by `ws` are invalidated.
+/// Runtime faults degrade along the same ladder as conv2d_s32, appending
+/// to the plan's fallback record.
+StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
+                                     const Tensor<i8>& input, Workspace& ws);
+
 /// Quantized convolution to 32-bit accumulators. Bit-exact with
 /// ref::conv2d_s32 for GEMM/bitserial algos and with
 /// ref::winograd_conv_s32(kRoundedInt8) for the winograd algo.
+/// One-shot wrapper over plan_conv + execute_conv; a plan-compile fault
+/// degrades to the reference rung (the ladder's floor) and records it.
 ///
 /// Errors (never asserts, also in release builds):
 ///  * kInvalidArgument — invalid shape, bits outside [2, 8], tensor dims

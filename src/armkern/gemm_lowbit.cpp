@@ -6,6 +6,7 @@
 
 #include "armkern/micro.h"
 #include "armkern/pack.h"
+#include "common/workspace.h"
 #include "serve/thread_pool.h"
 
 namespace lbc::armkern {
@@ -14,12 +15,20 @@ using namespace armsim;
 
 namespace {
 
+// Per-call scratch: from the caller's arena when one is plumbed through,
+// otherwise a fresh aligned heap block (the one-shot path).
+i8* scratch_i8(const GemmOptions& opt, AlignedVector<i8>& own, i64 bytes) {
+  if (opt.workspace != nullptr) return opt.workspace->alloc_n<i8>(bytes);
+  own.resize(static_cast<size_t>(bytes));
+  return own.data();
+}
+
 // Process the m-panel range [p0, p1) against every n-panel, tallying into
 // `ctx`. Each 16x4 micro tile lands in a column-major scratch tile and is
 // then scattered into row-major C with edge clipping (the micro kernel's
 // ST1s already account for the store cost; the scatter is an emulation
 // artifact of keeping C row-major for the tests).
-void run_panels(Ctx& ctx, const PackedA& pa, const PackedB& pb, i32* c, i64 m,
+void run_panels(Ctx& ctx, const APanels& pa, const BPanels& pb, i32* c, i64 m,
                 i64 n, i64 k, const GemmOptions& opt, i64 p0, i64 p1) {
   const int bits = opt.bits;
   const ArmKernel kernel = opt.kernel;
@@ -59,50 +68,16 @@ void run_panels(Ctx& ctx, const PackedA& pa, const PackedB& pb, i32* c, i64 m,
   }
 }
 
-}  // namespace
-
-GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
-                     const GemmOptions& opt) {
-  LBC_CHECK_MSG(opt.bits >= 2 && opt.bits <= 8, "gemm_lowbit: bits outside [2, 8]");
+// Shared tail of the packed-panel path: pack B (into the arena when one is
+// provided), run the panel loop serially or across the pool, assemble stats.
+// `pack_ctx` may already hold A-pack tallies (count_a_pack one-shot runs).
+GemmStats run_gemm_packed(Ctx& pack_ctx, const APanels& pa, const i8* b,
+                          i32* c, i64 m, i64 n, i64 k,
+                          const GemmOptions& opt) {
   GemmStats stats;
-
-  if (opt.kernel == ArmKernel::kTraditional) {
-    Ctx ctx;
-    gemm_traditional(ctx, opt.bits, a, b, c, m, n, k);
-    stats.counts = ctx.counts;
-    stats.thread_counts = {ctx.counts};
-    stats.interleaved = false;  // the naive loop does not software-pipeline
-    return stats;
-  }
-
-  if (opt.kernel == ArmKernel::kSdotExt) {
-    Ctx pack_ctx;
-    Ctx ctx;
-    const PackedSdot ps = pack_sdot(&pack_ctx, a, b, m, n, k);
-    stats.pack_extra_elems = static_cast<i64>(ps.a.size() + ps.b.size()) -
-                             m * k - k * n;
-    alignas(64) i32 tile[kMr * kNr];
-    for (i64 p = 0; p < ps.a_panels(); ++p)
-      for (i64 q = 0; q < ps.b_panels(); ++q) {
-        micro_sdot_16x4(ctx, ps.a_panel(p), ps.b_panel(q), ps.k_pad, tile);
-        const i64 rows = std::min<i64>(kMr, m - p * kMr);
-        const i64 cols = std::min<i64>(kNr, n - q * kNr);
-        for (i64 ii = 0; ii < rows; ++ii) {
-          ctx.mem(&c[(p * kMr + ii) * n + q * kNr], static_cast<u64>(cols) * 4);
-          for (i64 jj = 0; jj < cols; ++jj)
-            c[(p * kMr + ii) * n + q * kNr + jj] = tile[jj * kMr + ii];
-        }
-      }
-    stats.thread_counts = {ctx.counts};
-    stats.serial_counts = pack_ctx.counts;
-    stats.counts = ctx.counts;
-    stats.counts.merge(pack_ctx.counts);
-    return stats;
-  }
-
-  Ctx pack_ctx;
-  const PackedA pa = pack_a(opt.count_a_pack ? &pack_ctx : nullptr, a, m, k);
-  const PackedB pb = pack_b(&pack_ctx, b, k, n);
+  AlignedVector<i8> own_b;
+  i8* bbuf = scratch_i8(opt, own_b, packed_b_bytes(k, n));
+  const BPanels pb = pack_b_into(&pack_ctx, b, k, n, bbuf);
   stats.pack_extra_elems = pa.extra_elems() + pb.extra_elems();
 
   const int threads =
@@ -137,6 +112,84 @@ GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
   stats.serial_counts = pack_ctx.counts;
   stats.counts.merge(pack_ctx.counts);
   return stats;
+}
+
+// Shared tail of the SDOT path with A already in SDOT layout.
+GemmStats run_sdot_panels(const SdotAPanels& pa, const i8* b, i32* c, i64 m,
+                          i64 n, i64 k, const GemmOptions& opt) {
+  GemmStats stats;
+  Ctx pack_ctx;
+  Ctx ctx;
+  AlignedVector<i8> own_b;
+  i8* bbuf = scratch_i8(opt, own_b, packed_sdot_b_bytes(k, n));
+  const SdotBPanels pb = pack_sdot_b_into(&pack_ctx, b, k, n, bbuf);
+  stats.pack_extra_elems =
+      (pa.m_pad * pa.k_pad + pb.n_pad * pb.k_pad) - m * k - k * n;
+  alignas(64) i32 tile[kMr * kNr];
+  for (i64 p = 0; p < pa.panels(); ++p)
+    for (i64 q = 0; q < pb.panels(); ++q) {
+      micro_sdot_16x4(ctx, pa.panel(p), pb.panel(q), pa.k_pad, tile);
+      const i64 rows = std::min<i64>(kMr, m - p * kMr);
+      const i64 cols = std::min<i64>(kNr, n - q * kNr);
+      for (i64 ii = 0; ii < rows; ++ii) {
+        ctx.mem(&c[(p * kMr + ii) * n + q * kNr], static_cast<u64>(cols) * 4);
+        for (i64 jj = 0; jj < cols; ++jj)
+          c[(p * kMr + ii) * n + q * kNr + jj] = tile[jj * kMr + ii];
+      }
+    }
+  stats.thread_counts = {ctx.counts};
+  stats.serial_counts = pack_ctx.counts;
+  stats.counts = ctx.counts;
+  stats.counts.merge(pack_ctx.counts);
+  return stats;
+}
+
+}  // namespace
+
+GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
+                     const GemmOptions& opt) {
+  LBC_CHECK_MSG(opt.bits >= 2 && opt.bits <= 8, "gemm_lowbit: bits outside [2, 8]");
+
+  if (opt.kernel == ArmKernel::kTraditional) {
+    GemmStats stats;
+    Ctx ctx;
+    gemm_traditional(ctx, opt.bits, a, b, c, m, n, k);
+    stats.counts = ctx.counts;
+    stats.thread_counts = {ctx.counts};
+    stats.interleaved = false;  // the naive loop does not software-pipeline
+    return stats;
+  }
+
+  if (opt.kernel == ArmKernel::kSdotExt) {
+    // A pack is offline (weights) — untallied here exactly as at plan time.
+    const PackedSdotA pa = pack_sdot_a(a, m, k);
+    return run_sdot_panels(pa.view(), b, c, m, n, k, opt);
+  }
+
+  Ctx pack_ctx;
+  const PackedA pa = pack_a(opt.count_a_pack ? &pack_ctx : nullptr, a, m, k);
+  return run_gemm_packed(pack_ctx, pa.view(), b, c, m, n, k, opt);
+}
+
+GemmStats gemm_s8s32_prepacked(const APanels& pa, const i8* b, i32* c, i64 m,
+                               i64 n, i64 k, const GemmOptions& opt) {
+  LBC_CHECK_MSG(opt.bits >= 2 && opt.bits <= 8, "gemm_lowbit: bits outside [2, 8]");
+  LBC_CHECK_MSG(opt.kernel == ArmKernel::kOursGemm ||
+                    opt.kernel == ArmKernel::kNcnn,
+                "gemm_s8s32_prepacked: kernel does not use packed A panels");
+  LBC_CHECK_MSG(pa.m == m && pa.k == k,
+                "gemm_s8s32_prepacked: packed A geometry mismatch");
+  Ctx pack_ctx;
+  return run_gemm_packed(pack_ctx, pa, b, c, m, n, k, opt);
+}
+
+GemmStats gemm_s8s32_sdot_prepacked(const SdotAPanels& pa, const i8* b,
+                                    i32* c, i64 m, i64 n, i64 k,
+                                    const GemmOptions& opt) {
+  LBC_CHECK_MSG(opt.bits >= 2 && opt.bits <= 8, "gemm_lowbit: bits outside [2, 8]");
+  LBC_CHECK_MSG(pa.m == m && pa.k == k,
+                "gemm_s8s32_sdot_prepacked: packed A geometry mismatch");
+  return run_sdot_panels(pa, b, c, m, n, k, opt);
 }
 
 }  // namespace lbc::armkern

@@ -5,13 +5,27 @@
 // by bit width — MLA scheme for 2-3 bit, SMLAL scheme for 4-8 bit — with
 // the ncnn-style 8-bit baseline and the traditional (Fig. 1a) GEMM
 // available for comparison.
+//
+// Two entry points:
+//  * gemm_s8s32 — one-shot: packs both operands and multiplies.
+//  * gemm_s8s32_prepacked / gemm_s8s32_sdot_prepacked — A (weights) was
+//    packed once at plan-compile time; only B (activations) is packed here,
+//    into opt.workspace when one is provided. Bit-exact with the one-shot
+//    entry: the A pack is untallied by default (count_a_pack=false — weights
+//    are packed offline in deployment), so moving it to plan time changes
+//    neither the results nor the modeled cycle counts.
 #pragma once
 
 #include <vector>
 
 #include "armsim/cost_model.h"
 #include "armsim/counters.h"
+#include "armkern/pack.h"
 #include "common/types.h"
+
+namespace lbc {
+class Workspace;
+}  // namespace lbc
 
 namespace lbc::armkern {
 
@@ -33,6 +47,10 @@ struct GemmOptions {
   /// Used by the winograd path, whose operand ranges (4x activations,
   /// 9/4 weights) shrink the safe ratio below the raw-bit-width table.
   int flush_override = 0;
+  /// When set, per-call scratch (the packed-B panels) comes from this arena
+  /// instead of fresh heap allocations. The arena must outlive the call;
+  /// the caller resets it between executions.
+  Workspace* workspace = nullptr;
 };
 
 struct GemmStats {
@@ -52,6 +70,16 @@ struct GemmStats {
 /// adjusted range of `bits`.
 GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
                      const GemmOptions& opt);
+
+/// Same computation with A already packed (kOursGemm / kNcnn kernels).
+/// `pa` must have been packed from an M x K matrix matching (m, k).
+GemmStats gemm_s8s32_prepacked(const APanels& pa, const i8* b, i32* c, i64 m,
+                               i64 n, i64 k, const GemmOptions& opt);
+
+/// SDOT variant with A already packed (kSdotExt kernel).
+GemmStats gemm_s8s32_sdot_prepacked(const SdotAPanels& pa, const i8* b,
+                                    i32* c, i64 m, i64 n, i64 k,
+                                    const GemmOptions& opt);
 
 /// Traditional GEMM used by the ablation bench (declared here, defined in
 /// gemm_traditional.cpp); B is consumed column-major-packed internally.

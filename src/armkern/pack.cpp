@@ -25,25 +25,52 @@ void tally_pack_b(armsim::Ctx* ctx, i64 elems) {
 
 }  // namespace
 
+i64 packed_a_bytes(i64 m, i64 k) { return round_up(m, kMr) * k; }
+i64 packed_b_bytes(i64 k, i64 n) { return round_up(n, kNr) * k; }
+
+APanels pack_a_into(armsim::Ctx* ctx, const i8* a, i64 m, i64 k, i8* dst) {
+  const i64 m_pad = round_up(m, kMr);
+  for (i64 p = 0; p < m_pad / kMr; ++p) {
+    i8* panel = dst + p * k * kMr;
+    for (i64 kk = 0; kk < k; ++kk)
+      for (i64 r = 0; r < kMr; ++r) {
+        const i64 row = p * kMr + r;
+        panel[kk * kMr + r] = (row < m) ? a[row * k + kk] : i8{0};
+      }
+  }
+  tally_pack_a(ctx, m_pad * k);
+  if (ctx) {
+    ctx->mem_range(a, static_cast<u64>(m * k));
+    ctx->mem_range(dst, static_cast<u64>(m_pad * k));
+  }
+  return APanels{dst, m, k, m_pad};
+}
+
+BPanels pack_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i8* dst) {
+  const i64 n_pad = round_up(n, kNr);
+  for (i64 q = 0; q < n_pad / kNr; ++q) {
+    i8* panel = dst + q * k * kNr;
+    for (i64 kk = 0; kk < k; ++kk)
+      for (i64 c = 0; c < kNr; ++c) {
+        const i64 col = q * kNr + c;
+        panel[kk * kNr + c] = (col < n) ? b[kk * n + col] : i8{0};
+      }
+  }
+  tally_pack_b(ctx, n_pad * k);
+  if (ctx) {
+    ctx->mem_range(b, static_cast<u64>(k * n));
+    ctx->mem_range(dst, static_cast<u64>(n_pad * k));
+  }
+  return BPanels{dst, k, n, n_pad};
+}
+
 PackedA pack_a(armsim::Ctx* ctx, const i8* a, i64 m, i64 k) {
   PackedA pa;
   pa.m = m;
   pa.k = k;
   pa.m_pad = round_up(m, kMr);
-  pa.data.assign(static_cast<size_t>(pa.m_pad * k), 0);
-  for (i64 p = 0; p < pa.panels(); ++p) {
-    i8* dst = pa.data.data() + p * k * kMr;
-    for (i64 kk = 0; kk < k; ++kk)
-      for (i64 r = 0; r < kMr; ++r) {
-        const i64 row = p * kMr + r;
-        dst[kk * kMr + r] = (row < m) ? a[row * k + kk] : i8{0};
-      }
-  }
-  tally_pack_a(ctx, pa.m_pad * k);
-  if (ctx) {
-    ctx->mem_range(a, static_cast<u64>(m * k));
-    ctx->mem_range(pa.data.data(), pa.data.size());
-  }
+  pa.data.resize(static_cast<size_t>(pa.m_pad * k));
+  pack_a_into(ctx, a, m, k, pa.data.data());
   return pa;
 }
 
@@ -52,21 +79,68 @@ PackedB pack_b(armsim::Ctx* ctx, const i8* b, i64 k, i64 n) {
   pb.k = k;
   pb.n = n;
   pb.n_pad = round_up(n, kNr);
-  pb.data.assign(static_cast<size_t>(pb.n_pad * k), 0);
-  for (i64 q = 0; q < pb.panels(); ++q) {
-    i8* dst = pb.data.data() + q * k * kNr;
-    for (i64 kk = 0; kk < k; ++kk)
-      for (i64 c = 0; c < kNr; ++c) {
-        const i64 col = q * kNr + c;
-        dst[kk * kNr + c] = (col < n) ? b[kk * n + col] : i8{0};
-      }
+  pb.data.resize(static_cast<size_t>(pb.n_pad * k));
+  pack_b_into(ctx, b, k, n, pb.data.data());
+  return pb;
+}
+
+i64 packed_sdot_a_bytes(i64 m, i64 k) {
+  return round_up(m, kMr) * round_up(k, 4);
+}
+i64 packed_sdot_b_bytes(i64 k, i64 n) {
+  return round_up(n, kNr) * round_up(k, 4);
+}
+
+PackedSdotA pack_sdot_a(const i8* a, i64 m, i64 k, armsim::Ctx* ctx) {
+  PackedSdotA pa;
+  pa.m = m;
+  pa.k = k;
+  pa.m_pad = round_up(m, kMr);
+  pa.k_pad = round_up(k, 4);
+  pa.data.resize(static_cast<size_t>(pa.m_pad * pa.k_pad));
+  const i64 ksteps = pa.k_pad / 4;
+  for (i64 p = 0; p < pa.panels(); ++p) {
+    i8* dst = pa.data.data() + p * pa.k_pad * kMr;
+    for (i64 ks = 0; ks < ksteps; ++ks)
+      for (i64 r = 0; r < kMr; ++r)
+        for (i64 d = 0; d < 4; ++d) {
+          const i64 row = p * kMr + r;
+          const i64 kk = ks * 4 + d;
+          dst[(ks * kMr + r) * 4 + d] =
+              (row < m && kk < k) ? a[row * k + kk] : i8{0};
+        }
   }
-  tally_pack_b(ctx, pb.n_pad * k);
+  tally_pack_a(ctx, pa.m_pad * pa.k_pad);
+  if (ctx) {
+    ctx->mem_range(a, static_cast<u64>(m * k));
+    ctx->mem_range(pa.data.data(), pa.data.size());
+  }
+  return pa;
+}
+
+SdotBPanels pack_sdot_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n,
+                             i8* dst) {
+  const i64 n_pad = round_up(n, kNr);
+  const i64 k_pad = round_up(k, 4);
+  const i64 ksteps = k_pad / 4;
+  for (i64 q = 0; q < n_pad / kNr; ++q) {
+    i8* panel = dst + q * k_pad * kNr;
+    for (i64 ks = 0; ks < ksteps; ++ks)
+      for (i64 c = 0; c < kNr; ++c)
+        for (i64 d = 0; d < 4; ++d) {
+          const i64 col = q * kNr + c;
+          const i64 kk = ks * 4 + d;
+          panel[(ks * kNr + c) * 4 + d] =
+              (col < n && kk < k) ? b[kk * n + col] : i8{0};
+        }
+  }
+  // The B interleave is a strided gather — same cost class as an A pack.
+  tally_pack_a(ctx, n_pad * k_pad);
   if (ctx) {
     ctx->mem_range(b, static_cast<u64>(k * n));
-    ctx->mem_range(pb.data.data(), pb.data.size());
+    ctx->mem_range(dst, static_cast<u64>(n_pad * k_pad));
   }
-  return pb;
+  return SdotBPanels{dst, n, k, n_pad, k_pad};
 }
 
 PackedSdot pack_sdot(armsim::Ctx* ctx, const i8* a, const i8* b, i64 m, i64 n,
@@ -78,37 +152,10 @@ PackedSdot pack_sdot(armsim::Ctx* ctx, const i8* a, const i8* b, i64 m, i64 n,
   ps.m_pad = round_up(m, kMr);
   ps.n_pad = round_up(n, kNr);
   ps.k_pad = round_up(k, 4);
-  ps.a.assign(static_cast<size_t>(ps.m_pad * ps.k_pad), 0);
-  ps.b.assign(static_cast<size_t>(ps.n_pad * ps.k_pad), 0);
-  const i64 ksteps = ps.k_pad / 4;
-  for (i64 p = 0; p < ps.a_panels(); ++p) {
-    i8* dst = ps.a.data() + p * ps.k_pad * kMr;
-    for (i64 ks = 0; ks < ksteps; ++ks)
-      for (i64 r = 0; r < kMr; ++r)
-        for (i64 d = 0; d < 4; ++d) {
-          const i64 row = p * kMr + r;
-          const i64 kk = ks * 4 + d;
-          dst[(ks * kMr + r) * 4 + d] =
-              (row < m && kk < k) ? a[row * k + kk] : i8{0};
-        }
-  }
-  for (i64 q = 0; q < ps.b_panels(); ++q) {
-    i8* dst = ps.b.data() + q * ps.k_pad * kNr;
-    for (i64 ks = 0; ks < ksteps; ++ks)
-      for (i64 c = 0; c < kNr; ++c)
-        for (i64 d = 0; d < 4; ++d) {
-          const i64 col = q * kNr + c;
-          const i64 kk = ks * 4 + d;
-          dst[(ks * kNr + c) * 4 + d] =
-              (col < n && kk < k) ? b[kk * n + col] : i8{0};
-        }
-  }
-  // A pack is offline (weights); B pack is a strided interleave.
-  tally_pack_a(ctx, ps.n_pad * ps.k_pad);
-  if (ctx) {
-    ctx->mem_range(b, static_cast<u64>(k * n));
-    ctx->mem_range(ps.b.data(), ps.b.size());
-  }
+  // A pack is offline (weights); B pack is tallied by pack_sdot_b_into.
+  ps.a = std::move(pack_sdot_a(a, m, k).data);
+  ps.b.resize(static_cast<size_t>(ps.n_pad * ps.k_pad));
+  pack_sdot_b_into(ctx, b, k, n, ps.b.data());
   return ps;
 }
 

@@ -8,6 +8,13 @@
 // LD4R. Rows beyond M / columns beyond N are zero-padded ("zero padding"
 // in the paper), which is value-safe: padded lanes only ever add zero
 // products.
+//
+// Two layers of API:
+//  * Owning PackedA/PackedB/PackedSdot* — allocate and pack in one call.
+//    Plans prepack weights through these once per layer.
+//  * Non-owning APanels/BPanels/Sdot*Panels views + pack_*_into functions
+//    that fill caller-provided memory — the per-execute activation packs
+//    write into a Workspace arena instead of fresh heap blocks.
 #pragma once
 
 #include <vector>
@@ -20,6 +27,28 @@
 
 namespace lbc::armkern {
 
+/// Non-owning view of packed A panels ([panels][K][kMr]).
+struct APanels {
+  const i8* data = nullptr;
+  i64 m = 0, k = 0;
+  i64 m_pad = 0;  ///< m rounded up to kMr
+
+  i64 panels() const { return m_pad / kMr; }
+  const i8* panel(i64 p) const { return data + p * k * kMr; }
+  i64 extra_elems() const { return m_pad * k - m * k; }
+};
+
+/// Non-owning view of packed B panels ([panels][K][kNr]).
+struct BPanels {
+  const i8* data = nullptr;
+  i64 k = 0, n = 0;
+  i64 n_pad = 0;  ///< n rounded up to kNr
+
+  i64 panels() const { return n_pad / kNr; }
+  const i8* panel(i64 q) const { return data + q * k * kNr; }
+  i64 extra_elems() const { return n_pad * k - k * n; }
+};
+
 struct PackedA {
   AlignedVector<i8> data;  ///< [panels][K][kMr]
   i64 m = 0, k = 0;
@@ -29,6 +58,7 @@ struct PackedA {
   const i8* panel(i64 p) const { return data.data() + p * k * kMr; }
   /// Extra elements introduced by padding+packing (Fig. 13 accounting).
   i64 extra_elems() const { return static_cast<i64>(data.size()) - m * k; }
+  APanels view() const { return APanels{data.data(), m, k, m_pad}; }
 };
 
 struct PackedB {
@@ -39,13 +69,24 @@ struct PackedB {
   i64 panels() const { return n_pad / kNr; }
   const i8* panel(i64 q) const { return data.data() + q * k * kNr; }
   i64 extra_elems() const { return static_cast<i64>(data.size()) - k * n; }
+  BPanels view() const { return BPanels{data.data(), k, n, n_pad}; }
 };
 
+/// Packed buffer sizes in bytes (i8 elements), for workspace sizing.
+i64 packed_a_bytes(i64 m, i64 k);
+i64 packed_b_bytes(i64 k, i64 n);
+
 /// Pack A with cost tallying (the packing itself runs per GEMM call for
-/// activations; for weights it can be done offline — callers choose whether
-/// to pass a tallying ctx).
+/// activations; for weights it is done once at plan compile — callers
+/// choose whether to pass a tallying ctx).
 PackedA pack_a(armsim::Ctx* ctx, const i8* a, i64 m, i64 k);
 PackedB pack_b(armsim::Ctx* ctx, const i8* b, i64 k, i64 n);
+
+/// Pack into caller memory (packed_a_bytes/packed_b_bytes big, cache-line
+/// aligned). Every destination byte is written, padding included, so stale
+/// workspace contents cannot leak into the panels.
+APanels pack_a_into(armsim::Ctx* ctx, const i8* a, i64 m, i64 k, i8* dst);
+BPanels pack_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i8* dst);
 
 /// Column-major copy of B (N x K panels of contiguous columns), used by the
 /// traditional-GEMM ablation where each output needs a contiguous B column.
@@ -56,6 +97,48 @@ AlignedVector<i8> pack_b_colmajor(armsim::Ctx* ctx, const i8* b, i64 k, i64 n);
 ///   A: [K4/4][kMr rows][4 depths]  (4 x LD1 per 4-depth step)
 ///   B: [K4/4][kNr cols][4 depths]  (1 x LD1 per 4-depth step)
 /// Rows/cols beyond M/N and depths beyond K are zero-padded.
+struct SdotAPanels {
+  const i8* data = nullptr;
+  i64 m = 0, k = 0;
+  i64 m_pad = 0, k_pad = 0;
+
+  i64 panels() const { return m_pad / kMr; }
+  const i8* panel(i64 p) const { return data + p * k_pad * kMr; }
+};
+
+struct SdotBPanels {
+  const i8* data = nullptr;
+  i64 n = 0, k = 0;
+  i64 n_pad = 0, k_pad = 0;
+
+  i64 panels() const { return n_pad / kNr; }
+  const i8* panel(i64 q) const { return data + q * k_pad * kNr; }
+};
+
+struct PackedSdotA {
+  AlignedVector<i8> data;
+  i64 m = 0, k = 0;
+  i64 m_pad = 0, k_pad = 0;
+
+  i64 panels() const { return m_pad / kMr; }
+  const i8* panel(i64 p) const { return data.data() + p * k_pad * kMr; }
+  SdotAPanels view() const { return SdotAPanels{data.data(), m, k, m_pad, k_pad}; }
+};
+
+i64 packed_sdot_a_bytes(i64 m, i64 k);
+i64 packed_sdot_b_bytes(i64 k, i64 n);
+
+/// A-side SDOT pack (weights — runs once at plan compile; execute-time
+/// counts never include it). `ctx` is for plan-time cost accounting only:
+/// it lets a ConvPlan report what the pack *would* cost per call.
+PackedSdotA pack_sdot_a(const i8* a, i64 m, i64 k,
+                        armsim::Ctx* ctx = nullptr);
+/// B-side SDOT pack into caller memory (activations — per execute; the
+/// strided interleave is tallied like an A pack).
+SdotBPanels pack_sdot_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n,
+                             i8* dst);
+
+/// Legacy one-shot packing of both operands (ablation benches and tests).
 struct PackedSdot {
   AlignedVector<i8> a, b;
   i64 m = 0, n = 0, k = 0;

@@ -6,6 +6,7 @@
 
 #include "armkern/gemm_lowbit.h"
 #include "common/align.h"
+#include "common/workspace.h"
 #include "armsim/neon.h"
 #include "refconv/winograd_ref.h"
 
@@ -21,11 +22,35 @@ int winograd_flush_interval(int bits) {
   return std::clamp(safe, 1, 32);
 }
 
-WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
-                                const Tensor<i8>& weight, int bits,
-                                Tensor<i32>& out) {
+WinogradWeights winograd_plan_weights(const Tensor<i8>& weight, i64 out_c,
+                                      i64 in_c, armsim::Ctx* pack_ctx) {
+  // Transformed weights, re-laid out as 16 contiguous [out_c x in_c]
+  // matrices and packed into A panels (offline; not tallied).
+  WinogradWeights ww;
+  ww.out_c = out_c;
+  ww.in_c = in_c;
+  const Tensor<i8> u8 = ref::winograd_weight_rounded(weight, out_c, in_c);
+  ww.u_packed.reserve(16);
+  AlignedVector<i8> u_mat(static_cast<size_t>(out_c * in_c));
+  for (int e = 0; e < 16; ++e) {
+    for (i64 oc = 0; oc < out_c; ++oc)
+      for (i64 ic = 0; ic < in_c; ++ic)
+        u_mat[static_cast<size_t>(oc * in_c + ic)] =
+            u8.at(oc, ic, e / 4, e % 4);
+    ww.u_packed.push_back(pack_a(pack_ctx, u_mat.data(), out_c, in_c));
+  }
+  return ww;
+}
+
+WinogradStats winograd_conv_prepacked(const ConvShape& s,
+                                      const Tensor<i8>& input,
+                                      const WinogradWeights& ww, int bits,
+                                      Tensor<i32>& out, Workspace* ws) {
   LBC_CHECK_MSG(s.winograd_eligible(), "winograd23: shape is not 3x3/stride-1");
   LBC_CHECK_MSG(bits >= 4 && bits <= 6, "winograd23: bits outside [4, 6]");
+  LBC_CHECK_MSG(ww.out_c == s.out_c && ww.in_c == s.in_c &&
+                    ww.u_packed.size() == 16,
+                "winograd23: compiled weights do not match conv shape");
   WinogradStats stats;
   Ctx ctx;
 
@@ -34,21 +59,32 @@ WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
   const i64 tiles = s.batch * nth * ntw;
   out = Tensor<i32>(Shape4{s.batch, s.out_c, oh, ow}, 0);
 
-  // ---- offline: transformed weights, re-laid out as 16 contiguous
-  // [out_c x in_c] matrices (weights transform offline; not tallied).
-  const Tensor<i8> u8 = ref::winograd_weight_rounded(weight, s.out_c, s.in_c);
-  std::vector<AlignedVector<i8>> u_mats(16);
-  for (int e = 0; e < 16; ++e) {
-    u_mats[static_cast<size_t>(e)].resize(static_cast<size_t>(s.out_c * s.in_c));
-    for (i64 oc = 0; oc < s.out_c; ++oc)
-      for (i64 ic = 0; ic < s.in_c; ++ic)
-        u_mats[static_cast<size_t>(e)][static_cast<size_t>(oc * s.in_c + ic)] =
-            u8.at(oc, ic, e / 4, e % 4);
+  // ---- scratch: V_e [in_c x tiles] i8 and M_e [out_c x tiles] i32, from
+  // the arena when one is provided. Every element of every V/M matrix is
+  // written below (the tile loops cover all (ic, t) and the GEMM scatters
+  // every C element), so arena reuse cannot leak stale values.
+  std::vector<AlignedVector<i8>> own_v;
+  std::vector<AlignedVector<i32>> own_m;
+  i8* v_mats[16];
+  i32* m_mats[16];
+  if (ws != nullptr) {
+    for (int e = 0; e < 16; ++e)
+      v_mats[e] = ws->alloc_n<i8>(s.in_c * tiles);
+    for (int e = 0; e < 16; ++e)
+      m_mats[e] = ws->alloc_n<i32>(s.out_c * tiles);
+  } else {
+    own_v.resize(16);
+    own_m.resize(16);
+    for (int e = 0; e < 16; ++e) {
+      own_v[static_cast<size_t>(e)].resize(static_cast<size_t>(s.in_c * tiles));
+      own_m[static_cast<size_t>(e)].resize(
+          static_cast<size_t>(s.out_c * tiles));
+      v_mats[e] = own_v[static_cast<size_t>(e)].data();
+      m_mats[e] = own_m[static_cast<size_t>(e)].data();
+    }
   }
 
   // ---- input transform: V_e [in_c x tiles], int8.
-  std::vector<AlignedVector<i8>> v_mats(16);
-  for (auto& v : v_mats) v.resize(static_cast<size_t>(s.in_c * tiles));
   for (i64 b = 0; b < s.batch; ++b)
     for (i64 ic = 0; ic < s.in_c; ++ic)
       for (i64 th = 0; th < nth; ++th)
@@ -69,8 +105,7 @@ WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
           for (int e = 0; e < 16; ++e) {
             LBC_CHECK_MSG(v[e] >= -128 && v[e] <= 127,
                           "winograd23: transformed activation overflows i8");
-            i8* dst = &v_mats[static_cast<size_t>(e)]
-                             [static_cast<size_t>(ic * tiles + t)];
+            i8* dst = &v_mats[e][ic * tiles + t];
             *dst = static_cast<i8>(v[e]);
             ctx.mem(dst, 1);  // scatter store: 16 matrices, 16 cache lines
           }
@@ -85,20 +120,17 @@ WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
           ctx.tally(Op::kLoop, 1);
         }
 
-  // ---- 16 batched GEMMs on the SMLAL scheme.
+  // ---- 16 batched GEMMs on the SMLAL scheme, A panels prepacked.
   const int flush = winograd_flush_interval(bits);
-  std::vector<AlignedVector<i32>> m_mats(16);
   for (int e = 0; e < 16; ++e) {
-    auto& m_e = m_mats[static_cast<size_t>(e)];
-    m_e.resize(static_cast<size_t>(s.out_c * tiles));
     GemmOptions opt;
     opt.bits = 8;  // operands are transformed values; range handled by flush
     opt.kernel = ArmKernel::kOursGemm;
     opt.flush_override = flush;
-    const GemmStats gs =
-        gemm_s8s32(u_mats[static_cast<size_t>(e)].data(),
-                   v_mats[static_cast<size_t>(e)].data(), m_e.data(), s.out_c,
-                   tiles, s.in_c, opt);
+    opt.workspace = ws;
+    const GemmStats gs = gemm_s8s32_prepacked(
+        ww.u_packed[static_cast<size_t>(e)].view(), v_mats[e], m_mats[e],
+        s.out_c, tiles, s.in_c, opt);
     ctx.counts.merge(gs.counts);
   }
   stats.transform_buf_elems =
@@ -112,8 +144,7 @@ WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
           const i64 t = (b * nth + th) * ntw + tw;
           i32 m[16];
           for (int e = 0; e < 16; ++e) {
-            const i32* src = &m_mats[static_cast<size_t>(e)]
-                                    [static_cast<size_t>(oc * tiles + t)];
+            const i32* src = &m_mats[e][oc * tiles + t];
             m[e] = *src;
             ctx.mem(src, 4);  // gather load: 16 matrices, 16 cache lines
           }
@@ -136,6 +167,15 @@ WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
 
   stats.counts = ctx.counts;
   return stats;
+}
+
+WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
+                                const Tensor<i8>& weight, int bits,
+                                Tensor<i32>& out) {
+  LBC_CHECK_MSG(s.winograd_eligible(), "winograd23: shape is not 3x3/stride-1");
+  LBC_CHECK_MSG(bits >= 4 && bits <= 6, "winograd23: bits outside [4, 6]");
+  const WinogradWeights ww = winograd_plan_weights(weight, s.out_c, s.in_c);
+  return winograd_conv_prepacked(s, input, ww, bits, out, nullptr);
 }
 
 }  // namespace lbc::armkern

@@ -13,12 +13,24 @@
 //     also explains why it only pays off at 4-6 bit;
 //  4. inverse transform Y = A^T M A per tile.
 //
+// Step 1 is pure weight work: winograd_plan_weights runs it once at plan
+// compile (transform + GEMM A-panel packing, both offline/untallied), and
+// winograd_conv_prepacked executes steps 2-4 against the compiled weights
+// with all scratch (V/M matrices, packed-B panels) drawn from a Workspace.
+//
 // Bit-exact against ref::winograd_conv_s32(kRoundedInt8).
 #pragma once
 
+#include <vector>
+
+#include "armkern/pack.h"
 #include "armsim/counters.h"
 #include "common/conv_shape.h"
 #include "common/tensor.h"
+
+namespace lbc {
+class Workspace;
+}  // namespace lbc
 
 namespace lbc::armkern {
 
@@ -31,7 +43,35 @@ struct WinogradStats {
   i64 transform_buf_elems = 0;  ///< V + M scratch (space accounting)
 };
 
-/// Requires s.winograd_eligible() and 4 <= bits <= 6.
+/// Compiled winograd weights: the 16 U_e matrices, already packed into GEMM
+/// A panels. Immutable after construction — safe to share across threads.
+struct WinogradWeights {
+  std::vector<PackedA> u_packed;  ///< 16 entries, each out_c x in_c
+  i64 out_c = 0, in_c = 0;
+
+  i64 packed_bytes() const {
+    i64 total = 0;
+    for (const PackedA& u : u_packed) total += static_cast<i64>(u.data.size());
+    return total;
+  }
+};
+
+/// Offline weight transform + A-panel packing (execute-time counts never
+/// include it: weights are prepared once in deployment). `pack_ctx` is for
+/// plan-time cost accounting only — what the pack would cost per call.
+WinogradWeights winograd_plan_weights(const Tensor<i8>& weight, i64 out_c,
+                                      i64 in_c,
+                                      armsim::Ctx* pack_ctx = nullptr);
+
+/// Steps 2-4 against compiled weights. Requires s.winograd_eligible(),
+/// 4 <= bits <= 6, and ww compiled for (s.out_c, s.in_c). When `ws` is
+/// non-null all scratch comes from it (caller resets between executes).
+WinogradStats winograd_conv_prepacked(const ConvShape& s,
+                                      const Tensor<i8>& input,
+                                      const WinogradWeights& ww, int bits,
+                                      Tensor<i32>& out, Workspace* ws);
+
+/// One-shot wrapper: compiles the weights, then executes.
 WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,
                                 const Tensor<i8>& weight, int bits,
                                 Tensor<i32>& out);

@@ -56,6 +56,7 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kPackMisalign: return "pack_misalign";
     case FaultSite::kAutotuneInvalid: return "autotune_invalid";
     case FaultSite::kServeWorkerThrow: return "serve_worker_throw";
+    case FaultSite::kPlanCompileFail: return "plan.compile_fail";
     case FaultSite::kSiteCount: break;
   }
   return "unknown";

@@ -26,6 +26,7 @@ enum class FaultSite : int {
   kPackMisalign,         ///< packed panels fail the alignment check
   kAutotuneInvalid,      ///< every autotune candidate reports illegal
   kServeWorkerThrow,     ///< a serving batch worker throws mid-execution
+  kPlanCompileFail,      ///< ConvPlan compilation (weight prepack) fails
   kSiteCount,
 };
 

@@ -1,8 +1,9 @@
 #include "core/engine.h"
 
 #include <cmath>
-#include <cstring>
 #include <sstream>
+
+#include "core/conv_plan.h"
 
 namespace lbc::core {
 
@@ -12,6 +13,30 @@ std::string shape4_str(const Shape4& sh) {
   std::ostringstream os;
   os << sh.n << 'x' << sh.c << 'x' << sh.h << 'x' << sh.w;
   return os.str();
+}
+
+// Unplanned one-shot fallback: the driver re-plans internally (a one-shot
+// injected compile fault recovers here; a persistent one lands on the
+// reference rung with the degradation recorded).
+StatusOr<ArmLayerResult> run_arm_conv_unplanned(const ConvShape& s,
+                                                const Tensor<i8>& input,
+                                                const Tensor<i8>& weight,
+                                                int bits, ArmImpl impl,
+                                                armkern::ConvAlgo algo,
+                                                int threads) {
+  LBC_ASSIGN_OR_RETURN(
+      armkern::ArmConvResult r,
+      armkern::conv2d_s32(s, input, weight,
+                          arm_conv_options(bits, impl, algo, threads)));
+  ArmLayerResult res;
+  res.out = std::move(r.out);
+  res.seconds = r.seconds;
+  res.cycles = r.cycles;
+  res.counts = r.counts;
+  res.space = r.space;
+  res.executed_algo = std::move(r.executed_algo);
+  res.fallback = std::move(r.fallback);
+  return res;
 }
 
 }  // namespace
@@ -42,45 +67,15 @@ StatusOr<ArmLayerResult> run_arm_conv(const ConvShape& s,
                                       const Tensor<i8>& weight, int bits,
                                       ArmImpl impl, armkern::ConvAlgo algo,
                                       int threads) {
-  armkern::ArmConvOptions opt;
-  opt.bits = bits;
-  opt.threads = threads;
-  switch (impl) {
-    case ArmImpl::kOurs:
-      opt.kernel = armkern::ArmKernel::kOursGemm;
-      opt.algo = algo;
-      break;
-    case ArmImpl::kNcnn8bit:
-      // ncnn's baseline runs everything through its 8-bit path.
-      opt.kernel = armkern::ArmKernel::kNcnn;
-      opt.bits = 8;
-      opt.algo = armkern::ConvAlgo::kGemm;
-      break;
-    case ArmImpl::kTvmBitserial:
-      // > 2 bit degrades inside the driver (bitserial -> gemm), recorded
-      // in the fallback chain rather than asserted here.
-      opt.algo = armkern::ConvAlgo::kBitserial;
-      break;
-    case ArmImpl::kTraditionalGemm:
-      opt.kernel = armkern::ArmKernel::kTraditional;
-      opt.algo = armkern::ConvAlgo::kGemm;
-      break;
-    case ArmImpl::kSdotExt:
-      opt.kernel = armkern::ArmKernel::kSdotExt;
-      opt.algo = armkern::ConvAlgo::kGemm;
-      break;
+  StatusOr<ConvPlan> plan = plan_arm_conv(s, weight, bits, impl, algo,
+                                          threads);
+  if (plan.ok()) {
+    Workspace ws;
+    return execute_arm_conv(*plan, input, ws);
   }
-  LBC_ASSIGN_OR_RETURN(armkern::ArmConvResult r,
-                       armkern::conv2d_s32(s, input, weight, opt));
-  ArmLayerResult res;
-  res.out = std::move(r.out);
-  res.seconds = r.seconds;
-  res.cycles = r.cycles;
-  res.counts = r.counts;
-  res.space = r.space;
-  res.executed_algo = std::move(r.executed_algo);
-  res.fallback = std::move(r.fallback);
-  return res;
+  if (plan.status().code() != StatusCode::kResourceExhausted)
+    return plan.status();
+  return run_arm_conv_unplanned(s, input, weight, bits, impl, algo, threads);
 }
 
 StatusOr<BatchedArmResult> run_arm_conv_batched(
@@ -98,85 +93,39 @@ StatusOr<BatchedArmResult> run_arm_conv_batched(
                  "batched input " << i << " does not match the layer shape "
                                   << describe(s));
 
-  // One contiguous NCHW batch: images are concatenated along N, which is
-  // exactly how the im2col GEMM view columns-blocks them.
-  const i64 k = static_cast<i64>(inputs.size());
-  Tensor<i8> batched(Shape4{k, s.in_c, s.in_h, s.in_w});
-  const i64 per_image = want_in.elems();
-  for (i64 i = 0; i < k; ++i)
-    std::memcpy(batched.data() + i * per_image,
-                inputs[static_cast<size_t>(i)].data(),
-                static_cast<size_t>(per_image) * sizeof(i8));
+  StatusOr<ConvPlan> plan = plan_arm_conv(s, weight, bits, impl, algo,
+                                          threads);
+  if (plan.ok()) {
+    Workspace ws;
+    return execute_arm_conv_batched(*plan, inputs, ws);
+  }
+  if (plan.status().code() != StatusCode::kResourceExhausted)
+    return plan.status();
 
+  // Unplanned fallback: same concat / one batched conv / split flow,
+  // through the one-shot driver.
+  const i64 k = static_cast<i64>(inputs.size());
+  const Tensor<i8> batched = concat_batch(s, inputs);
   LBC_ASSIGN_OR_RETURN(
       ArmLayerResult r,
-      run_arm_conv(s.with_batch(k), batched, weight, bits, impl, algo,
-                   threads));
+      run_arm_conv_unplanned(s.with_batch(k), batched, weight, bits, impl,
+                             algo, threads));
 
   BatchedArmResult res;
   res.seconds = r.seconds;
   res.cycles = r.cycles;
   res.executed_algo = std::move(r.executed_algo);
   res.fallback = std::move(r.fallback);
-  const Shape4 out_one{1, s.out_c, s.out_h(), s.out_w()};
-  const i64 per_out = out_one.elems();
-  res.outputs.reserve(inputs.size());
-  for (i64 i = 0; i < k; ++i) {
-    Tensor<i32> out(out_one);
-    std::memcpy(out.data(), r.out.data() + i * per_out,
-                static_cast<size_t>(per_out) * sizeof(i32));
-    res.outputs.push_back(std::move(out));
-  }
+  res.outputs = split_batch(s, k, r.out);
   return res;
 }
 
 StatusOr<GpuLayerResult> time_gpu_conv(const gpusim::DeviceSpec& dev,
                                        const ConvShape& s, int bits,
                                        GpuImpl impl) {
-  LBC_VALIDATE(s.valid(), kInvalidArgument,
-               "invalid conv shape: " << describe(s));
-  LBC_VALIDATE(bits == 4 || bits == 8, kInvalidArgument,
-               "GPU backend supports 4- or 8-bit, got " << bits);
-  gpukern::GpuConvOptions opt;
-  FallbackRecord fallback;
-  switch (impl) {
-    case GpuImpl::kOurs: {
-      const gpukern::AutotuneResult r =
-          gpukern::autotune_tiling(dev, s, bits, /*use_tc=*/true);
-      opt = gpukern::ours_options(dev, s, bits, /*profile_runs=*/false);
-      opt.tiling = r.best;
-      fallback = r.fallback;
-      break;
-    }
-    case GpuImpl::kOursDefaultTiling:
-      opt = gpukern::ours_options(dev, s, bits, /*profile_runs=*/false);
-      break;
-    case GpuImpl::kCudnnDp4a:
-      opt = gpukern::cudnn_dp4a_options();
-      break;
-    case GpuImpl::kTensorRT:
-      opt = gpukern::tensorrt_options();
-      break;
-  }
-  const gpusim::KernelShape ks = [&] {
-    gpusim::KernelShape k = gpukern::make_kernel_shape(s, opt.bits, opt.tiling);
-    k.use_tc = opt.use_tc;
-    k.reorder_smem = opt.reorder_smem;
-    k.double_buffer = opt.double_buffer;
-    k.coalesce_eff = opt.coalesce_eff;
-    k.compute_eff = opt.compute_eff;
-    k.launch_overhead_s = opt.launch_overhead_s;
-    return k;
-  }();
-  GpuLayerResult res;
-  res.cost = gpusim::estimate_kernel(dev, ks);
-  LBC_VALIDATE(res.cost.valid, kUnimplemented,
-               "no legal kernel configuration for "
-                   << describe(s) << ": " << res.cost.why_invalid);
-  res.seconds = res.cost.seconds;
-  res.tiling = opt.tiling;
-  res.fallback = std::move(fallback);
-  return res;
+  LBC_ASSIGN_OR_RETURN(const GpuConvPlan plan,
+                       plan_gpu_conv(dev, s, bits, impl));
+  return execute_gpu_conv(plan);
 }
 
 QuantizedConv2d::QuantizedConv2d(ConvShape shape, int bits, Backend backend)
@@ -216,6 +165,29 @@ Status QuantizedConv2d::set_weights(const Tensor<float>& w,
     bias_f_.assign(bias.begin(), bias.end());
   }
   has_weights_ = true;
+
+  // Compile the conv plan now: the fallback ladder resolves and the
+  // weights prepack (ARM) / the tiling autotune and offset precomp (GPU)
+  // happen once here instead of on every forward(). A compile fault
+  // (kResourceExhausted) leaves the layer on the unplanned path.
+  plan_.reset();
+  gpu_plan_.reset();
+  if (backend_ == Backend::kArmCortexA53) {
+    StatusOr<ConvPlan> p = plan_arm_conv(shape_, w_q_, bits_);
+    if (p.ok()) {
+      plan_ = std::make_shared<const ConvPlan>(std::move(p).value());
+    } else if (p.status().code() != StatusCode::kResourceExhausted) {
+      return p.status();
+    }
+  } else {
+    StatusOr<GpuConvPlan> p = plan_gpu_conv(gpusim::DeviceSpec::rtx2080ti(),
+                                            shape_, bits_, GpuImpl::kOurs);
+    if (p.ok()) {
+      gpu_plan_ = std::make_shared<const GpuConvPlan>(std::move(p).value());
+    } else if (p.status().code() != StatusCode::kResourceExhausted) {
+      return p.status();
+    }
+  }
   return Status();
 }
 
@@ -240,8 +212,12 @@ StatusOr<Tensor<float>> QuantizedConv2d::forward(const Tensor<float>& x) {
     bias_q[i] = static_cast<i32>(std::lround(bias_f_[i] / acc_scale));
 
   if (backend_ == Backend::kArmCortexA53) {
-    LBC_ASSIGN_OR_RETURN(const ArmLayerResult r,
-                         run_arm_conv(shape_, x_q, w_q_, bits_));
+    StatusOr<ArmLayerResult> r_or =
+        plan_ != nullptr
+            ? execute_arm_conv(*plan_, x_q, ws_)
+            : run_arm_conv(shape_, x_q, w_q_, bits_);
+    LBC_RETURN_IF_ERROR(r_or.status());
+    const ArmLayerResult& r = *r_or;
     last_seconds_ = r.seconds;
     last_fallback_ = r.fallback;
     Tensor<float> out(r.out.shape());
@@ -256,9 +232,12 @@ StatusOr<Tensor<float>> QuantizedConv2d::forward(const Tensor<float>& x) {
     return out;
   }
 
-  // GPU backend: fused conv + dequantization epilogue.
+  // GPU backend: fused conv + dequantization epilogue, against the tiling
+  // the plan resolved at set_weights() (or a fresh search when unplanned).
   const gpusim::DeviceSpec dev = gpusim::DeviceSpec::rtx2080ti();
-  gpukern::GpuConvOptions opt = gpukern::ours_options(dev, shape_, bits_);
+  gpukern::GpuConvOptions opt =
+      gpu_plan_ != nullptr ? gpu_plan_->options
+                           : gpukern::ours_options(dev, shape_, bits_);
   opt.epilogue = gpukern::Epilogue::kDequantF32;
   LBC_ASSIGN_OR_RETURN(
       gpukern::GpuConvResult r,

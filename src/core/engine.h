@@ -12,6 +12,7 @@
 // degradation is recorded in the result's FallbackRecord.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -19,12 +20,16 @@
 #include "armkern/conv_arm.h"
 #include "common/fallback.h"
 #include "common/status.h"
+#include "common/workspace.h"
 #include "gpukern/baselines.h"
 #include "gpukern/fusion.h"
 #include "nets/nets.h"
 #include "quant/quantize.h"
 
 namespace lbc::core {
+
+class ConvPlan;      // core/conv_plan.h
+struct GpuConvPlan;  // core/conv_plan.h
 
 enum class Backend { kArmCortexA53, kGpuTU102 };
 
@@ -59,6 +64,12 @@ struct ArmLayerResult {
 /// impl/algo requests degrade (specialized -> GEMM -> reference) and the
 /// executed rung + reason land in the result; invalid shapes/bits/dims
 /// return kInvalidArgument.
+///
+/// One-shot convenience over the plan/execute split (core/conv_plan.h):
+/// compiles a ConvPlan, executes it once against a throwaway Workspace,
+/// and — if plan compilation itself fails (plan.compile_fail fault) —
+/// retries through the unplanned driver, which degrades to the reference
+/// rung. Callers running the same layer repeatedly should hold a ConvPlan.
 StatusOr<ArmLayerResult> run_arm_conv(
     const ConvShape& s, const Tensor<i8>& input, const Tensor<i8>& weight,
     int bits, ArmImpl impl = ArmImpl::kOurs,
@@ -109,9 +120,15 @@ class QuantizedConv2d {
 
   const Status& init_status() const { return init_status_; }
 
-  /// Quantize and store weights (+ optional bias). Must be called once
-  /// before forward(). Rejects mismatched weight/bias dims.
+  /// Quantize and store weights (+ optional bias), then compile the conv
+  /// plan for the backend (weight prepack / tiling resolution happens here,
+  /// once — forward() only executes). If plan compilation fails with
+  /// kResourceExhausted the layer stays usable on the unplanned path.
+  /// Must be called once before forward(). Rejects mismatched dims.
   Status set_weights(const Tensor<float>& w, std::span<const float> bias = {});
+
+  /// True when forward() runs against a compiled plan.
+  bool planned() const { return plan_ != nullptr || gpu_plan_ != nullptr; }
 
   /// Full forward pass. Records the modeled execution time of the conv.
   /// kFailedPrecondition before set_weights(); kInvalidArgument on an
@@ -135,6 +152,11 @@ class QuantizedConv2d {
   bool has_weights_ = false;
   double last_seconds_ = 0;
   FallbackRecord last_fallback_;
+  // Compiled at set_weights(); shared_ptr so the header only needs the
+  // forward declarations above. At most one is non-null (per backend_).
+  std::shared_ptr<const ConvPlan> plan_;
+  std::shared_ptr<const GpuConvPlan> gpu_plan_;
+  Workspace ws_;  ///< activation scratch reused across forward() calls
 };
 
 }  // namespace lbc::core

@@ -1,5 +1,7 @@
 #include "refconv/im2col.h"
 
+#include <cstring>
+
 #include "common/status.h"
 
 namespace lbc::ref {
@@ -26,18 +28,23 @@ std::vector<i64> im2col_offsets(const ConvShape& s) {
   return off;
 }
 
-Tensor<i8> im2col(const ConvShape& s, const Tensor<i8>& input) {
+void im2col_into(const ConvShape& s, const Tensor<i8>& input, i8* out) {
   LBC_CHECK_MSG(input.shape() == (Shape4{s.batch, s.in_c, s.in_h, s.in_w}),
                 "im2col: input tensor does not match conv shape");
   const i64 K = s.gemm_k(), N = s.gemm_n();
-  Tensor<i8> mat(Shape4{1, 1, K, N}, 0);
+  std::memset(out, 0, static_cast<size_t>(K * N));
   const auto off = im2col_offsets(s);
   const i8* in = input.data();
-  i8* out = mat.data();
   for (i64 i = 0; i < K * N; ++i) {
     const i64 o = off[static_cast<size_t>(i)];
     if (o >= 0) out[i] = in[o];
   }
+}
+
+Tensor<i8> im2col(const ConvShape& s, const Tensor<i8>& input) {
+  const i64 K = s.gemm_k(), N = s.gemm_n();
+  Tensor<i8> mat(Shape4{1, 1, K, N}, 0);
+  im2col_into(s, input, mat.data());
   return mat;
 }
 

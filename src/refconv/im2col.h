@@ -14,6 +14,12 @@ namespace lbc::ref {
 /// zero-filled where the receptive field falls into padding.
 Tensor<i8> im2col(const ConvShape& s, const Tensor<i8>& input);
 
+/// Same transform into caller memory (gemm_k() * gemm_n() bytes — e.g. a
+/// Workspace suballocation). Zero-fills the whole destination first: unlike
+/// the pack loops, im2col writes only the non-padding slots, so reused
+/// arena memory must be scrubbed.
+void im2col_into(const ConvShape& s, const Tensor<i8>& input, i8* out);
+
 /// For each (kRow, nCol) of the im2col matrix, the flat offset into the
 /// input tensor, or -1 for padding. This is exactly what the GPU backend
 /// precomputes once per shape ("we store the offsets of elements instead of

@@ -34,6 +34,14 @@ void ServeMetrics::record_batch(int batch_size) {
   ++batch_hist_[static_cast<size_t>(batch_size - 1)];
 }
 
+void ServeMetrics::record_batch_plan(bool planned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (planned)
+    ++planned_batches_;
+  else
+    ++unplanned_batches_;
+}
+
 void ServeMetrics::record_completion(double queue_wait_s, double latency_s,
                                      bool ok, Clock::time_point now) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -60,6 +68,12 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.mean_batch = batches_ == 0 ? 0
                                : static_cast<double>(batched_requests_) /
                                      static_cast<double>(batches_);
+  s.planned_batches = planned_batches_;
+  s.unplanned_batches = unplanned_batches_;
+  const i64 resolved = planned_batches_ + unplanned_batches_;
+  s.plan_hit_rate = resolved == 0 ? 0
+                                  : static_cast<double>(planned_batches_) /
+                                        static_cast<double>(resolved);
   s.queue_wait_p50_s = core::percentile(queue_wait_s_, 50);
   s.queue_wait_p95_s = core::percentile(queue_wait_s_, 95);
   s.queue_wait_p99_s = core::percentile(queue_wait_s_, 99);
@@ -89,6 +103,8 @@ void ServeMetrics::print(const std::string& title) const {
       {"expired (deadline)", static_cast<double>(s.expired), "req"},
       {"batches", static_cast<double>(s.batches), ""},
       {"mean batch size", s.mean_batch, ""},
+      {"planned batches", static_cast<double>(s.planned_batches), ""},
+      {"plan hit rate", s.plan_hit_rate * 100.0, "%"},
       {"queue wait p50", s.queue_wait_p50_s * 1e3, "ms"},
       {"queue wait p95", s.queue_wait_p95_s * 1e3, "ms"},
       {"queue wait p99", s.queue_wait_p99_s * 1e3, "ms"},

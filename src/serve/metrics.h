@@ -28,6 +28,11 @@ struct MetricsSnapshot {
   double mean_batch = 0;
   std::vector<i64> batch_hist;  ///< batch_hist[b-1] = batches of size b
 
+  i64 planned_batches = 0;    ///< executed against a compiled ConvPlan
+  i64 unplanned_batches = 0;  ///< fell back to the one-shot conv path
+  /// planned / (planned + unplanned); 1.0 when every batch reused a plan.
+  double plan_hit_rate = 0;
+
   double queue_wait_p50_s = 0, queue_wait_p95_s = 0, queue_wait_p99_s = 0;
   double latency_p50_s = 0, latency_p95_s = 0, latency_p99_s = 0;
   double mean_latency_s = 0;
@@ -46,6 +51,9 @@ class ServeMetrics {
   void record_rejected();
   void record_expired();
   void record_batch(int batch_size);
+  /// Whether a batch executed against a compiled plan (recorded by the
+  /// batch worker once the plan lookup resolves).
+  void record_batch_plan(bool planned);
   /// One response delivered (OK or failed), with its measured times.
   void record_completion(double queue_wait_s, double latency_s, bool ok,
                          Clock::time_point now);
@@ -59,6 +67,7 @@ class ServeMetrics {
   mutable std::mutex mu_;
   i64 completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0;
   i64 batches_ = 0, batched_requests_ = 0;
+  i64 planned_batches_ = 0, unplanned_batches_ = 0;
   std::vector<i64> batch_hist_;
   std::vector<double> queue_wait_s_;
   std::vector<double> latency_s_;

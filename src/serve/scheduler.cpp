@@ -57,6 +57,14 @@ StatusOr<std::unique_ptr<BatchScheduler>> BatchScheduler::create(
 BatchScheduler::BatchScheduler(const ConvShape& shape, Tensor<i8> weight,
                                const SchedulerOptions& opt, ThreadPool* pool)
     : shape_(shape), weight_(std::move(weight)), opt_(opt), pool_(pool) {
+  // Compile the layer's plan once, before any request arrives: the fallback
+  // ladder resolves and the weights prepack here, so per-batch work is pure
+  // execution. A compile fault (kResourceExhausted) leaves plan_ null; each
+  // batch then retries through the cache and, failing that, runs unplanned.
+  StatusOr<std::shared_ptr<const core::ConvPlan>> p =
+      plan_cache_.get_or_compile(shape_, weight_, opt_.bits, opt_.impl,
+                                 opt_.algo, opt_.conv_threads);
+  if (p.ok()) plan_ = std::move(p).value();
   dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
@@ -180,9 +188,24 @@ void BatchScheduler::run_batch(std::vector<Pending> batch,
     // buffer, a bug in a kernel rung) must cost this batch only.
     if (FaultInjector::instance().should_fire(FaultSite::kServeWorkerThrow))
       throw std::runtime_error("batch worker fault (injected)");
-    StatusOr<core::BatchedArmResult> r = core::run_arm_conv_batched(
-        shape_, inputs, weight_, opt_.bits, opt_.impl, opt_.algo,
-        opt_.conv_threads);
+    // Plan lookup: warmed at create(), so this is a cache hit on the hot
+    // path (and the retry path after a transient compile fault). Each pool
+    // worker thread owns one Workspace arena, reused across every batch it
+    // executes — steady-state serving does zero conv allocations.
+    StatusOr<std::shared_ptr<const core::ConvPlan>> plan =
+        plan_cache_.get_or_compile(shape_, weight_, opt_.bits, opt_.impl,
+                                   opt_.algo, opt_.conv_threads);
+    StatusOr<core::BatchedArmResult> r = [&] {
+      if (plan.ok()) {
+        metrics_.record_batch_plan(/*planned=*/true);
+        static thread_local Workspace worker_ws;
+        return core::execute_arm_conv_batched(**plan, inputs, worker_ws);
+      }
+      metrics_.record_batch_plan(/*planned=*/false);
+      return core::run_arm_conv_batched(shape_, inputs, weight_, opt_.bits,
+                                        opt_.impl, opt_.algo,
+                                        opt_.conv_threads);
+    }();
     if (r.ok())
       result = std::move(r).value();
     else

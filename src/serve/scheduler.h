@@ -16,9 +16,15 @@
 //    batch formation with kDeadlineExceeded and counted (metrics.expired);
 //    it never wastes device time.
 //  * Execution — each micro-batch is submitted to the shared ThreadPool and
-//    runs through core::run_arm_conv_batched (one conv with batch = K);
-//    inside the batch, the GEMM panel loop parallelizes on the same pool.
-//    Multiple batches may be in flight concurrently.
+//    runs against the layer's compiled ConvPlan (weights prepacked once at
+//    create(); the plan is immutable and shared by every in-flight batch)
+//    via core::execute_arm_conv_batched — one conv with batch = K, with all
+//    activation scratch drawn from a per-worker-thread Workspace arena.
+//    Inside the batch, the GEMM panel loop parallelizes on the same pool.
+//    Multiple batches may be in flight concurrently. If plan compilation
+//    fails (plan.compile_fail fault), batches fall back to the unplanned
+//    one-shot path and the plan is retried per batch; metrics record the
+//    planned/unplanned split.
 //
 // Fault handling: the batch worker consults the serve.worker_throw
 // injection site; an exception thrown mid-batch is caught, every request of
@@ -31,6 +37,7 @@
 #include <memory>
 
 #include "common/conv_shape.h"
+#include "core/conv_plan.h"
 #include "core/engine.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
@@ -81,6 +88,12 @@ class BatchScheduler {
   const ConvShape& shape() const { return shape_; }
   const SchedulerOptions& options() const { return opt_; }
 
+  /// The compiled plan every batch executes against (null when plan
+  /// compilation failed at create() and batches run unplanned).
+  std::shared_ptr<const core::ConvPlan> plan() const { return plan_; }
+  /// The scheduler's plan cache (hit/miss counters for the bench).
+  const core::PlanCache& plan_cache() const { return plan_cache_; }
+
  private:
   BatchScheduler(const ConvShape& shape, Tensor<i8> weight,
                  const SchedulerOptions& opt, ThreadPool* pool);
@@ -99,6 +112,8 @@ class BatchScheduler {
   SchedulerOptions opt_;
   ThreadPool* pool_;
   ServeMetrics metrics_;
+  core::PlanCache plan_cache_;  ///< per-layer plan cache; warmed at create()
+  std::shared_ptr<const core::ConvPlan> plan_;  ///< immutable, batch-shared
 
   std::mutex mu_;
   std::condition_variable queue_cv_;   ///< dispatcher: work arrived / stop

@@ -6,6 +6,8 @@
 
 #include "common/fault_injection.h"
 #include "common/rng.h"
+#include "common/workspace.h"
+#include "core/conv_plan.h"
 #include "core/engine.h"
 #include "core/model_runner.h"
 #include "gpukern/autotune.h"
@@ -186,6 +188,98 @@ TEST(FaultRecovery, AutotuneInvalidFallsBackToDefaultTiling) {
   const auto timed =
       core::time_gpu_conv(dev, s, 8, core::GpuImpl::kOurs).value();
   EXPECT_TRUE(timed.cost.valid);
+}
+
+// --- Site: kPlanCompileFail — ConvPlan compilation (weight prepack) runs
+// out of resources. The one-shot driver degrades to the reference rung,
+// bit-exact, with the failure recorded in the fallback chain.
+TEST(FaultRecovery, PlanCompileFailDegradesOneShotToReference) {
+  const ConvShape s = small_shape();
+  const ConvData d(s, 8, 404);
+  ArmConvOptions opt;
+  opt.bits = 8;
+  opt.algo = ConvAlgo::kGemm;
+
+  ScopedFault fault(FaultSite::kPlanCompileFail);  // persistent
+  const auto r = armkern::conv2d_s32(s, d.in, d.w, opt);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(count_mismatches(d.ref, r.value().out), 0);
+  EXPECT_EQ(r.value().executed_algo, "reference");
+  EXPECT_TRUE(r.value().fallback.fell_back);
+  EXPECT_EQ(r.value().fallback.requested, "gemm");
+  EXPECT_EQ(r.value().fallback.executed, "reference");
+  EXPECT_NE(r.value().fallback.reason.find("plan compilation"),
+            std::string::npos);
+}
+
+// plan_arm_conv surfaces the typed error to callers that want to handle it
+// themselves (the documented alternative to the fallback).
+TEST(FaultRecovery, PlanCompileFailSurfacesAsResourceExhausted) {
+  const ConvShape s = small_shape();
+  const ConvData d(s, 8, 405);
+  ScopedFault fault(FaultSite::kPlanCompileFail, /*fire_count=*/1);
+  const auto plan = core::plan_arm_conv(s, d.w, 8);
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(plan.status().message().find("injected"), std::string::npos);
+}
+
+// A one-shot compile fault costs run_arm_conv nothing but the retry: the
+// engine falls back to the unplanned driver, whose internal re-plan
+// succeeds, so the request still executes the requested GEMM rung.
+TEST(FaultRecovery, PlanCompileFailRunArmConvRecoversOnRetry) {
+  const ConvShape s = small_shape();
+  const ConvData d(s, 8, 406);
+
+  ScopedFault fault(FaultSite::kPlanCompileFail, /*fire_count=*/1);
+  const auto r = core::run_arm_conv(s, d.in, d.w, 8);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(count_mismatches(d.ref, r.value().out), 0);
+  EXPECT_EQ(r.value().executed_algo, "gemm");
+  EXPECT_FALSE(r.value().fallback.fell_back);
+}
+
+// Persistent compile failure: run_arm_conv still answers, from the
+// reference floor, with the degradation recorded.
+TEST(FaultRecovery, PlanCompileFailPersistentStillAnswersBitExact) {
+  const ConvShape s = small_shape();
+  const ConvData d(s, 4, 407);
+
+  ScopedFault fault(FaultSite::kPlanCompileFail);  // persistent
+  const auto r = core::run_arm_conv(s, d.in, d.w, 4);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(count_mismatches(d.ref, r.value().out), 0);
+  EXPECT_EQ(r.value().executed_algo, "reference");
+  EXPECT_TRUE(r.value().fallback.fell_back);
+}
+
+// GPU plans consult the same site and surface the typed error.
+TEST(FaultRecovery, PlanCompileFailGpuSurfacesTypedError) {
+  const auto dev = gpusim::DeviceSpec::rtx2080ti();
+  const ConvShape s = nets::resnet50_layers()[2];
+  ScopedFault fault(FaultSite::kPlanCompileFail, /*fire_count=*/1);
+  const auto plan = core::plan_gpu_conv(dev, s, 8, core::GpuImpl::kOurs);
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+  // Exhausted fault: the next plan compiles fine.
+  EXPECT_TRUE(core::plan_gpu_conv(dev, s, 8, core::GpuImpl::kOurs).ok());
+}
+
+// The PlanCache does not cache failures: a transient compile fault costs
+// one miss, then the retry compiles and every later lookup hits.
+TEST(FaultRecovery, PlanCacheRetriesAfterTransientCompileFault) {
+  const ConvShape s = small_shape();
+  const ConvData d(s, 8, 408);
+  core::PlanCache cache;
+  {
+    ScopedFault fault(FaultSite::kPlanCompileFail, /*fire_count=*/1);
+    EXPECT_EQ(cache.get_or_compile(s, d.w, 8).status().code(),
+              StatusCode::kResourceExhausted);
+  }
+  const auto plan = cache.get_or_compile(s, d.w, 8);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(cache.get_or_compile(s, d.w, 8).ok());
+  EXPECT_EQ(cache.hits(), 1);
+  Workspace ws;
+  EXPECT_TRUE(core::execute_arm_conv(*plan.value(), d.in, ws).ok());
 }
 
 // --- Model-runner site: an injected allocation failure costs exactly the

@@ -329,5 +329,76 @@ TEST(Scheduler, ManyConcurrentClientsAllServed) {
   EXPECT_GE(m.mean_batch, 1.0);
 }
 
+// The scheduler compiles its layer's plan once at create(); every batch is
+// a plan-cache hit and metrics report a 100% plan hit rate.
+TEST(Scheduler, CompilesPlanAtCreateAndEveryBatchHits) {
+  SchedulerOptions opt;
+  opt.max_batch = 4;
+  opt.max_wait_us = 100;
+  auto sched = make_scheduler(opt);
+  ASSERT_NE(sched->plan(), nullptr);
+  EXPECT_GT(sched->plan()->packed_weight_bytes(), 0);
+  EXPECT_EQ(sched->plan_cache().misses(), 1);
+
+  const ConvShape s = test_shape();
+  std::vector<std::future<InferResponse>> futs;
+  for (u64 i = 0; i < 8; ++i) {
+    auto r = sched->submit(
+        random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 8, 700 + i));
+    ASSERT_TRUE(r.ok());
+    futs.push_back(std::move(r).value());
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().status.ok());
+  sched->shutdown();
+
+  const MetricsSnapshot m = sched->metrics().snapshot();
+  EXPECT_EQ(m.completed, 8);
+  EXPECT_GT(m.planned_batches, 0);
+  EXPECT_EQ(m.unplanned_batches, 0);
+  EXPECT_DOUBLE_EQ(m.plan_hit_rate, 1.0);
+  EXPECT_EQ(sched->plan_cache().misses(), 1) << "no per-batch recompiles";
+  EXPECT_GE(sched->plan_cache().hits(), m.batches);
+}
+
+// plan.compile_fail at create(): the scheduler still serves. A transient
+// fault is healed by the first batch's cache retry; a persistent one keeps
+// every batch on the unplanned path — requests stay bit-exact either way.
+TEST(Scheduler, PlanCompileFaultFallsBackAndStaysBitExact) {
+  const ConvShape s = test_shape();
+  const Tensor<i8> w = test_weight(s);
+  SchedulerOptions opt;
+  opt.max_batch = 2;
+  opt.max_wait_us = 100;
+
+  ScopedFault fault(FaultSite::kPlanCompileFail);  // persistent
+  auto r = BatchScheduler::create(s, w, opt);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  auto sched = std::move(r).value();
+  EXPECT_EQ(sched->plan(), nullptr);
+
+  std::vector<Tensor<i8>> inputs;
+  std::vector<std::future<InferResponse>> futs;
+  for (u64 i = 0; i < 4; ++i) {
+    inputs.push_back(
+        random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 8, 800 + i));
+    auto sub = sched->submit(inputs.back());
+    ASSERT_TRUE(sub.ok());
+    futs.push_back(std::move(sub).value());
+  }
+  for (size_t i = 0; i < futs.size(); ++i) {
+    InferResponse resp = futs[i].get();
+    ASSERT_TRUE(resp.status.ok()) << resp.status.to_string();
+    const core::ArmLayerResult serial =
+        core::run_arm_conv(s, inputs[i], w, 8).value();
+    EXPECT_EQ(count_mismatches(serial.out, resp.output), 0) << i;
+  }
+  sched->shutdown();
+  const MetricsSnapshot m = sched->metrics().snapshot();
+  EXPECT_EQ(m.completed, 4);
+  EXPECT_EQ(m.planned_batches, 0);
+  EXPECT_GT(m.unplanned_batches, 0);
+  EXPECT_DOUBLE_EQ(m.plan_hit_rate, 0.0);
+}
+
 }  // namespace
 }  // namespace lbc::serve

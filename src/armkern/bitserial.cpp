@@ -24,7 +24,8 @@ void pack_planes(const i8* src, i64 k, i64 stride, int bits, i64 chunk_bytes,
     u8* pl = planes + p * chunk_bytes;
     for (i64 i = 0; i < chunk_bytes; ++i) pl[i] = 0;
     for (i64 kk = 0; kk < k; ++kk) {
-      const u8 v = static_cast<u8>(src[kk * stride]) & ((1u << bits) - 1);
+      const u8 v =
+          static_cast<u8>(static_cast<u8>(src[kk * stride]) & ((1u << bits) - 1u));
       if ((v >> p) & 1) pl[kk / 8] |= static_cast<u8>(1u << (kk % 8));
     }
   }
@@ -62,7 +63,8 @@ BitserialWeights bitserial_plan_weights(const i8* a, i64 m, i64 k, int bits,
 
 BitserialStats bitserial_gemm_prepacked(const BitserialWeights& aw,
                                         const i8* b, i32* c, i64 n,
-                                        Workspace* ws) {
+                                        Workspace* ws,
+                                        armsim::Verifier* verifier) {
   const i64 m = aw.m, k = aw.k;
   const int bits = aw.bits;
   const i64 chunk_bytes = aw.chunk_bytes;
@@ -70,6 +72,7 @@ BitserialStats bitserial_gemm_prepacked(const BitserialWeights& aw,
 
   BitserialStats stats;
   Ctx ctx;
+  ctx.verifier = verifier;
 
   // Online activation planes (B columns), arena-backed when possible.
   AlignedVector<u8> own_bp;
@@ -86,6 +89,17 @@ BitserialStats bitserial_gemm_prepacked(const BitserialWeights& aw,
   tally_pack_online(ctx, k * n, bits);
   stats.plane_buf_elems = static_cast<i64>(aw.planes.size()) + bp_bytes;
 
+  // Checked-execution contract: one scope over the whole popcount GEMM (no
+  // flush interval or CAL/LD band to declare — accumulation is widening at
+  // every level). The plane buffers are the only vector-load sources.
+  if (verifier != nullptr) {
+    verifier->add_region(aw.planes.data(),
+                         static_cast<i64>(aw.planes.size()),
+                         "bitserial A planes");
+    verifier->add_region(bp, bp_bytes, "bitserial B planes");
+  }
+  const VerifyScope vs(ctx, KernelSpec{.name = "bitserial_gemm"});
+
   // Plane coefficients under two's complement.
   i32 coef[2] = {1, 0};
   if (bits == 2) coef[1] = -2;
@@ -99,17 +113,18 @@ BitserialStats bitserial_gemm_prepacked(const BitserialWeights& aw,
       for (int p = 0; p < bits; ++p) {
         for (int q = 0; q < bits; ++q) {
           uint16x8 acc16;
-          acc16.v.fill(0);
-          ctx.tally(Op::kMovi);
+          movi_zero(ctx, acc16);
           for (i64 ch = 0; ch < chunks; ++ch) {
-            const uint8x16 av = ld1_u8(ctx, arow + p * chunk_bytes + ch * 16);
-            const uint8x16 bv = ld1_u8(ctx, bcol + q * chunk_bytes + ch * 16);
-            const uint8x16 anded = and_u8(ctx, av, bv);
-            const uint8x16 counts = cnt_u8(ctx, anded);
+            uint8x16 av, bv, anded, counts;
+            ld1_u8(ctx, arow + p * chunk_bytes + ch * 16, av);
+            ld1_u8(ctx, bcol + q * chunk_bytes + ch * 16, bv);
+            and_u8(ctx, anded, av, bv);
+            cnt_u8(ctx, counts, anded);
             uadalp_u8(ctx, acc16, counts);
             ctx.tally(Op::kLoop);
           }
           int32x4 acc32;
+          def_reg(ctx, acc32, 0, 0);  // zero-initialized by construction
           sadalp_u16(ctx, acc32, acc16);  // semantics only; cost tallied below
           acc += coef[p] * coef[q] * addv_s32(ctx, acc32);
           // Back out the per-pair reduction tallies charged just above:

@@ -20,6 +20,9 @@
 
 namespace lbc {
 class Workspace;
+namespace armsim {
+class Verifier;
+}  // namespace armsim
 }  // namespace lbc
 
 namespace lbc::armkern {
@@ -48,10 +51,12 @@ BitserialWeights bitserial_plan_weights(const i8* a, i64 m, i64 k, int bits,
                                         armsim::Ctx* pack_ctx = nullptr);
 
 /// C[M x N] = A * B against compiled weight planes; B planes are packed
-/// online (tallied), into `ws` when non-null.
+/// online (tallied), into `ws` when non-null. A non-null `verifier`
+/// enables checked execution over the popcount pipeline.
 BitserialStats bitserial_gemm_prepacked(const BitserialWeights& aw,
                                         const i8* b, i32* c, i64 n,
-                                        Workspace* ws);
+                                        Workspace* ws,
+                                        armsim::Verifier* verifier = nullptr);
 
 /// C[M x N] (i32, row-major) = A[M x K] (i8) * B[K x N] (i8), operands in
 /// the adjusted range of `bits` (1 or 2). Bit-exact with ref::gemm_s8s32.

@@ -1,8 +1,10 @@
 #include "armkern/conv_arm.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 
+#include "armsim/verifier.h"
 #include "common/align.h"
 #include "common/fault_injection.h"
 #include "common/workspace.h"
@@ -227,6 +229,19 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
   bool threaded = false;
   FaultInjector& fi = FaultInjector::instance();
 
+  // Checked execution: one verifier spans the whole execute — pre-passes,
+  // packs, and kernels — so every ctx.mem access is bounds-checked against
+  // the regions registered here and below.
+  std::unique_ptr<Verifier> verifier;
+  if (plan.requested.verify) {
+    verifier = std::make_unique<Verifier>();
+    serial_ctx.verifier = verifier.get();
+    const i32 q = qmax_for_bits(bits);
+    verifier->add_region(input.data(), input.elems(), "conv input", -q, q,
+                         /*overread_slack=*/16);
+    verifier->add_region(weight.data(), weight.elems(), "conv weight", -q, q);
+  }
+
   // Rung 2 (the ladder's floor): scalar reference conv. Used when
   // explicitly requested, and as the recovery path when a fault fires in
   // the optimized pipeline. Cost of any wasted optimized attempt stays
@@ -251,14 +266,15 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
     run_reference();
     interleaved = false;
   } else if (algo == ConvAlgo::kDirect) {
-    const DirectConvStats ds = direct_conv_s32(sb, input, weight, res.out);
+    const DirectConvStats ds =
+        direct_conv_s32(sb, input, weight, res.out, verifier.get());
     res.counts.merge(ds.counts);
     parallel_cycles = cm.cycles_for(ds.counts, interleaved);
     // No im2col and no packing: zero space overhead (the algorithm's one
     // advantage; Sec. 2.2).
   } else if (algo == ConvAlgo::kWinograd) {
-    const WinogradStats wstats =
-        winograd_conv_prepacked(sb, input, plan.winograd, bits, res.out, &ws);
+    const WinogradStats wstats = winograd_conv_prepacked(
+        sb, input, plan.winograd, bits, res.out, &ws, verifier.get());
     res.counts.merge(wstats.counts);
     parallel_cycles = cm.cycles_for(wstats.counts, interleaved);
     res.space.im2col_elems = wstats.transform_buf_elems;  // transform scratch
@@ -273,6 +289,10 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
     // every layer, including 1x1 — Fig. 13's conv18 ratio pins this down).
     const i64 m = sb.gemm_m(), n = sb.gemm_n(), k = sb.gemm_k();
     i8* bmat = ws.alloc_n<i8>(k * n);
+    if (verifier != nullptr) {
+      const i32 q = qmax_for_bits(bits);
+      verifier->add_region(bmat, k * n, "im2col matrix", -q, q);
+    }
     ref::im2col_into(sb, input, bmat);
     tally_im2col(serial_ctx, sb, input, bmat, k * n);
     res.space.im2col_elems = sb.im2col_elems();
@@ -286,6 +306,14 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
 
     i32* cptr = res.out.data();
     if (sb.batch > 1) cptr = ws.alloc_n<i32>(m * n);
+    if (verifier != nullptr) {
+      verifier->add_region(res.out.data(),
+                           res.out.elems() * static_cast<i64>(sizeof(i32)),
+                           "conv output");
+      if (sb.batch > 1)
+        verifier->add_region(cptr, m * n * static_cast<i64>(sizeof(i32)),
+                             "conv C staging");
+    }
     if (fi.should_fire(FaultSite::kPackMisalign)) {
       // Injected packing misalignment: the panel layout the micro kernels
       // assume does not hold, so running them would read out of lane.
@@ -294,8 +322,8 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
                            "(injected fault)");
       degraded = true;
     } else if (algo == ConvAlgo::kBitserial) {
-      const BitserialStats bs =
-          bitserial_gemm_prepacked(plan.bitplanes, bmat, cptr, n, &ws);
+      const BitserialStats bs = bitserial_gemm_prepacked(
+          plan.bitplanes, bmat, cptr, n, &ws, verifier.get());
       res.counts.merge(bs.counts);
       parallel_cycles = cm.cycles_for(bs.counts, interleaved);
     } else {
@@ -304,6 +332,7 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
       gopt.kernel = kernel;
       gopt.threads = plan.requested.threads;
       gopt.workspace = &ws;
+      gopt.verifier = verifier.get();  // forces threads = 1 when set
       GemmStats gs;
       if (kernel == ArmKernel::kTraditional)
         gs = gemm_s8s32(weight.data(), bmat, cptr, m, n, k, gopt);
@@ -353,6 +382,15 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
   res.cycles = parallel_cycles + cm.cycles_for(serial_ctx.counts, interleaved) +
                (threaded ? kThreadSyncCycles : 0.0);
   res.seconds = res.cycles / cm.freq_hz;
+
+  if (verifier != nullptr) {
+    Status vstatus = verifier->to_status();
+    if (!vstatus.ok()) {
+      return vstatus.with_context(std::string("checked execution of ") +
+                                  res.executed_algo + " conv, bits=" +
+                                  std::to_string(bits));
+    }
+  }
   return res;
 }
 

@@ -57,6 +57,12 @@ struct ArmConvOptions {
   ConvAlgo algo = ConvAlgo::kGemm;
   ArmKernel kernel = ArmKernel::kOursGemm;
   int threads = 1;
+  /// Checked execution (armsim/verifier.h): run every emulated kernel under
+  /// the invariant verifier — overflow intervals, register budget, memory
+  /// bounds, scheme conformance. A caught violation turns the execute into
+  /// a kInvariantViolation Status. Debug option: forces single-threaded
+  /// kernels and is off by default (off-mode cycles are bit-identical).
+  bool verify = false;
 };
 
 /// Fig. 13 space accounting. The paper's ratios are

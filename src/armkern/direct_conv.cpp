@@ -10,12 +10,23 @@ namespace lbc::armkern {
 using namespace armsim;
 
 DirectConvStats direct_conv_s32(const ConvShape& s, const Tensor<i8>& input,
-                                const Tensor<i8>& weight, Tensor<i32>& out) {
+                                const Tensor<i8>& weight, Tensor<i32>& out,
+                                armsim::Verifier* verifier) {
   LBC_CHECK_MSG(s.valid(), "direct_conv: invalid conv shape");
   DirectConvStats stats;
   Ctx ctx;
+  ctx.verifier = verifier;
   const i64 oh = s.out_h(), ow = s.out_w();
   out = Tensor<i32>(Shape4{s.batch, s.out_c, oh, ow}, 0);
+  if (verifier != nullptr) {
+    // The modeled gather span (vec * stride from a clamped start) can run
+    // past the tensor end by up to 15 bytes — slack, not a real overread.
+    verifier->add_region(input.data(), input.elems(), "direct conv input",
+                         -128, 127, /*overread_slack=*/16);
+    verifier->add_region(out.data(), out.elems() * static_cast<i64>(sizeof(i32)),
+                         "direct conv output");
+  }
+  const VerifyScope vs(ctx, KernelSpec{.name = "direct_conv"});
 
   for (i64 b = 0; b < s.batch; ++b)
     for (i64 oc = 0; oc < s.out_c; ++oc)
@@ -40,6 +51,7 @@ DirectConvStats direct_conv_s32(const ConvShape& s, const Tensor<i8>& input,
                   any = true;
                 }
                 if (!any) continue;
+                def_reg(ctx, pix, -128, 127);  // C++ gather, not an instr
                 // Load cost: contiguous for stride 1 (one 8-byte load),
                 // strided gather for stride 2 (two 8-byte loads).
                 ctx.tally(Op::kLd1_64, s.stride == 1 ? 1 : 2);
@@ -49,10 +61,10 @@ DirectConvStats direct_conv_s32(const ConvShape& s, const Tensor<i8>& input,
                 ctx.mem(&input.at(b, ic, ih, iw_clamped),
                         static_cast<u64>(vec) * static_cast<u64>(s.stride));
                 // Widen pixels, broadcast the weight, SMLAL into 32-bit.
-                const int16x8 p16 = sshll_s8(ctx, pix);
+                int16x8 p16;
+                sshll_s8(ctx, p16, pix);
                 int16x8 w16;
-                w16.v.fill(static_cast<i16>(weight.at(oc, ic, kh, kw)));
-                ctx.tally(Op::kDup);
+                dup_s16(ctx, w16, static_cast<i16>(weight.at(oc, ic, kh, kw)));
                 smlal_s16(ctx, acc_lo, p16, w16);
                 smlal2_s16(ctx, acc_hi, p16, w16);
               }

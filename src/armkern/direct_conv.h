@@ -14,6 +14,12 @@
 #include "common/conv_shape.h"
 #include "common/tensor.h"
 
+namespace lbc {
+namespace armsim {
+class Verifier;
+}  // namespace armsim
+}  // namespace lbc
+
 namespace lbc::armkern {
 
 struct DirectConvStats {
@@ -22,7 +28,11 @@ struct DirectConvStats {
 
 /// Bit-exact with ref::conv2d_s32 for inputs within the adjusted range of
 /// any bit width (the 16-bit multiply path cannot overflow on int8 data).
+/// A non-null `verifier` enables checked execution; the modeled row gather
+/// may overrun the input tensor by up to 15 bytes at the very end, which
+/// the input region's overread slack absorbs.
 DirectConvStats direct_conv_s32(const ConvShape& s, const Tensor<i8>& input,
-                                const Tensor<i8>& weight, Tensor<i32>& out);
+                                const Tensor<i8>& weight, Tensor<i32>& out,
+                                armsim::Verifier* verifier = nullptr);
 
 }  // namespace lbc::armkern

@@ -32,7 +32,9 @@ void run_panels(Ctx& ctx, const APanels& pa, const BPanels& pb, i32* c, i64 m,
                 i64 n, i64 k, const GemmOptions& opt, i64 p0, i64 p1) {
   const int bits = opt.bits;
   const ArmKernel kernel = opt.kernel;
-  alignas(64) i32 tile[kMr * kNr];
+  alignas(64) i32 tile[kMr * kNr] = {};
+  if (ctx.verifier != nullptr)
+    ctx.verifier->add_region(tile, sizeof(tile), "gemm C tile");
   for (i64 p = p0; p < p1; ++p) {
     for (i64 q = 0; q < pb.panels(); ++q) {
       switch (kernel) {
@@ -77,13 +79,32 @@ GemmStats run_gemm_packed(Ctx& pack_ctx, const APanels& pa, const i8* b,
   GemmStats stats;
   AlignedVector<i8> own_b;
   i8* bbuf = scratch_i8(opt, own_b, packed_b_bytes(k, n));
+  if (opt.verifier != nullptr) {
+    // Ranged registrations go in BEFORE the pack touches the buffers so the
+    // pack's rangeless ensure_region calls are no-ops and the interval
+    // analysis sees real operand bounds.
+    pack_ctx.verifier = opt.verifier;
+    const i32 qa = opt.a_max_abs > 0 ? opt.a_max_abs : qmax_for_bits(opt.bits);
+    const i32 qb = opt.b_max_abs > 0 ? opt.b_max_abs : qmax_for_bits(opt.bits);
+    opt.verifier->add_region(pa.data, pa.m_pad * pa.k, "packed A panels", -qa,
+                             qa);
+    opt.verifier->add_region(b, k * n, "gemm B", -qb, qb);
+    opt.verifier->add_region(bbuf, packed_b_bytes(k, n), "packed B panels",
+                             -qb, qb);
+    opt.verifier->add_region(c, m * n * static_cast<i64>(sizeof(i32)),
+                             "gemm C");
+  }
   const BPanels pb = pack_b_into(&pack_ctx, b, k, n, bbuf);
   stats.pack_extra_elems = pa.extra_elems() + pb.extra_elems();
 
   const int threads =
-      std::max(1, std::min<int>(opt.threads, static_cast<int>(pa.panels())));
+      opt.verifier != nullptr
+          ? 1
+          : std::max(1,
+                     std::min<int>(opt.threads, static_cast<int>(pa.panels())));
   if (threads == 1) {
     Ctx ctx;
+    ctx.verifier = opt.verifier;
     run_panels(ctx, pa, pb, c, m, n, k, opt, 0, pa.panels());
     stats.counts = ctx.counts;
     stats.thread_counts = {ctx.counts};
@@ -122,10 +143,24 @@ GemmStats run_sdot_panels(const SdotAPanels& pa, const i8* b, i32* c, i64 m,
   Ctx ctx;
   AlignedVector<i8> own_b;
   i8* bbuf = scratch_i8(opt, own_b, packed_sdot_b_bytes(k, n));
+  alignas(64) i32 tile[kMr * kNr] = {};
+  if (opt.verifier != nullptr) {
+    pack_ctx.verifier = opt.verifier;
+    ctx.verifier = opt.verifier;
+    const i32 qa = opt.a_max_abs > 0 ? opt.a_max_abs : qmax_for_bits(opt.bits);
+    const i32 qb = opt.b_max_abs > 0 ? opt.b_max_abs : qmax_for_bits(opt.bits);
+    opt.verifier->add_region(pa.data, pa.m_pad * pa.k_pad, "packed SDOT A",
+                             -qa, qa);
+    opt.verifier->add_region(b, k * n, "gemm B", -qb, qb);
+    opt.verifier->add_region(bbuf, packed_sdot_b_bytes(k, n), "packed SDOT B",
+                             -qb, qb);
+    opt.verifier->add_region(c, m * n * static_cast<i64>(sizeof(i32)),
+                             "gemm C");
+    opt.verifier->add_region(tile, sizeof(tile), "gemm C tile");
+  }
   const SdotBPanels pb = pack_sdot_b_into(&pack_ctx, b, k, n, bbuf);
   stats.pack_extra_elems =
       (pa.m_pad * pa.k_pad + pb.n_pad * pb.k_pad) - m * k - k * n;
-  alignas(64) i32 tile[kMr * kNr];
   for (i64 p = 0; p < pa.panels(); ++p)
     for (i64 q = 0; q < pb.panels(); ++q) {
       micro_sdot_16x4(ctx, pa.panel(p), pb.panel(q), pa.k_pad, tile);
@@ -153,6 +188,7 @@ GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
   if (opt.kernel == ArmKernel::kTraditional) {
     GemmStats stats;
     Ctx ctx;
+    ctx.verifier = opt.verifier;
     gemm_traditional(ctx, opt.bits, a, b, c, m, n, k);
     stats.counts = ctx.counts;
     stats.thread_counts = {ctx.counts};
@@ -167,6 +203,14 @@ GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
   }
 
   Ctx pack_ctx;
+  if (opt.verifier != nullptr && opt.count_a_pack) {
+    // The tallied A pack reads `a` through ctx.mem before run_gemm_packed
+    // registers anything; its own pa.data ensure_region is rangeless and is
+    // replaced by the ranged registration downstream.
+    pack_ctx.verifier = opt.verifier;
+    const i32 qa = opt.a_max_abs > 0 ? opt.a_max_abs : qmax_for_bits(opt.bits);
+    opt.verifier->add_region(a, m * k, "gemm A", -qa, qa);
+  }
   const PackedA pa = pack_a(opt.count_a_pack ? &pack_ctx : nullptr, a, m, k);
   return run_gemm_packed(pack_ctx, pa.view(), b, c, m, n, k, opt);
 }

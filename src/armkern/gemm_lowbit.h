@@ -51,6 +51,17 @@ struct GemmOptions {
   /// instead of fresh heap allocations. The arena must outlive the call;
   /// the caller resets it between executions.
   Workspace* workspace = nullptr;
+  /// Checked execution (armsim/verifier.h): every Ctx this call creates
+  /// carries the verifier, operand regions are registered with the value
+  /// ranges below, and the panel loop is forced to threads = 1 so reported
+  /// instruction indices are deterministic.
+  armsim::Verifier* verifier = nullptr;
+  /// Max |value| the A / B operands can hold, seeding the overflow interval
+  /// analysis. 0 derives the bound from `bits` (qmax_for_bits); the
+  /// winograd path passes its transformed-operand ranges here, since it
+  /// runs the GEMM with bits = 8 + flush_override.
+  i32 a_max_abs = 0;
+  i32 b_max_abs = 0;
 };
 
 struct GemmStats {

@@ -10,19 +10,27 @@ using namespace armsim;
 // but every operand is widened (SSHLL) and each SMLAL covers only 4 lanes.
 void micro_ncnn_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
                      i32* c) {
+  // Checked-execution contract: accumulation goes straight into 32-bit
+  // lanes (no flush interval); 2 loads feed 16 SMLAL16s -> CAL/LD 8.0.
+  const VerifyScope vs(ctx, KernelSpec{.name = "micro_ncnn_16x4",
+                                       .cal_ld_min = 7.0,
+                                       .cal_ld_max = 9.0});
   int32x4 acc32[kNr][4];
   for (int j = 0; j < kNr; ++j)
     for (int g = 0; g < 4; ++g) movi_zero(ctx, acc32[j][g]);
 
   constexpr i64 kUnroll = 4;  // ncnn's typical inner unrolling
   for (i64 k = 0; k < kc; ++k) {
-    const int8x16 a = ld1_s8(ctx, a_panel + k * kMr);
-    const int16x8 a_lo = sshll_s8(ctx, a);   // rows 0-7 widened
-    const int16x8 a_hi = sshll2_s8(ctx, a);  // rows 8-15 widened
+    int8x16 a;
+    ld1_s8(ctx, a_panel + k * kMr, a);
+    int16x8 a_lo, a_hi;
+    sshll_s8(ctx, a_lo, a);   // rows 0-7 widened
+    sshll2_s8(ctx, a_hi, a);  // rows 8-15 widened
     int8x16 b[4];
     ld4r_s8(ctx, b_panel + k * kNr, b);
     for (int j = 0; j < kNr; ++j) {
-      const int16x8 b16 = sshll_s8(ctx, b[j]);  // replicated, widened
+      int16x8 b16;
+      sshll_s8(ctx, b16, b[j]);  // replicated, widened
       smlal_s16(ctx, acc32[j][0], a_lo, b16);
       smlal2_s16(ctx, acc32[j][1], a_lo, b16);
       smlal_s16(ctx, acc32[j][2], a_hi, b16);

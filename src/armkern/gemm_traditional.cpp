@@ -29,6 +29,19 @@ void gemm_traditional(Ctx& ctx, int bits, const i8* a, const i8* b, i32* c,
 
   const int flush = (bits <= 3) ? mla_flush_interval(bits) * 4
                                 : smlal_flush_interval(bits);
+  // Checked-execution contract covers the whole kernel: its packed copies
+  // are internal, so their regions and value ranges are declared here.
+  const VerifyScope vs(ctx, KernelSpec{.name = "gemm_traditional",
+                                       .acc16_flush = flush,
+                                       .cal_ld_min = 0.9,
+                                       .cal_ld_max = 1.1});
+  if (ctx.verifier != nullptr) {
+    const i32 q = qmax_for_bits(bits);
+    ctx.verifier->add_region(a_pad.data(), static_cast<i64>(a_pad.size()),
+                             "gemm_traditional a_pad", -q, q);
+    ctx.verifier->add_region(b_cm.data(), static_cast<i64>(b_cm.size()),
+                             "gemm_traditional b_cm", -q, q);
+  }
   for (i64 i = 0; i < m; ++i) {
     for (i64 j = 0; j < n; ++j) {
       int16x8 acc16;
@@ -38,8 +51,9 @@ void gemm_traditional(Ctx& ctx, int bits, const i8* a, const i8* b, i32* c,
       i32 result = 0;
       int since_flush = 0;
       for (i64 kk = 0; kk < k16; kk += 16) {
-        const int8x16 av = ld1_s8(ctx, a_pad.data() + i * k16 + kk);
-        const int8x16 bv = ld1_s8(ctx, b_cm.data() + j * k16 + kk);
+        int8x16 av, bv;
+        ld1_s8(ctx, a_pad.data() + i * k16 + kk, av);
+        ld1_s8(ctx, b_cm.data() + j * k16 + kk, bv);
         smlal_s8(ctx, acc16, av, bv);
         smlal2_s8(ctx, acc16, av, bv);
         ctx.tally(Op::kLoop);

@@ -6,6 +6,13 @@ using namespace armsim;
 
 void micro_mla_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
                     int flush8, i32* c) {
+  // Checked-execution contract: the MLA scheme's 8-bit flush interval, the
+  // eight x0~x7 spill slots, and the Sec. 3.4 CAL/LD ratio (2.0).
+  const VerifyScope vs(ctx, KernelSpec{.name = "micro_mla_16x4",
+                                       .acc8_flush = flush8,
+                                       .spill_slots = 8,
+                                       .cal_ld_min = 1.5,
+                                       .cal_ld_max = 2.5});
   // Register plan (Sec. 3.3): v0~v3 read A, v4~v7 read B, v8~v11 hold
   // 8-bit partials, v12~v19 hold 16-bit partials, v20~v31 + x0~x7 hold
   // the 32-bit results.
@@ -36,7 +43,8 @@ void micro_mla_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
   while (k < kc) {
     const i64 steps = std::min<i64>(flush8, kc - k);
     for (i64 s = 0; s < steps; ++s) {
-      const int8x16 a = ld1_s8(ctx, a_panel + (k + s) * kMr);
+      int8x16 a;
+      ld1_s8(ctx, a_panel + (k + s) * kMr, a);
       int8x16 b[4];
       ld4r_s8(ctx, b_panel + (k + s) * kNr, b);
       for (int j = 0; j < kNr; ++j) mla_s8(ctx, acc8[j], a, b[j]);

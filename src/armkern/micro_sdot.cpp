@@ -12,6 +12,11 @@ using namespace armsim;
 // specific schemes on v8.2 cores.
 void micro_sdot_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 k_pad,
                      i32* c) {
+  // Checked-execution contract: SDOT accumulates straight into 32-bit lanes
+  // (no flush interval to declare); 5 loads + 16 SDOTs per step -> 3.2.
+  const VerifyScope vs(ctx, KernelSpec{.name = "micro_sdot_16x4",
+                                       .cal_ld_min = 3.0,
+                                       .cal_ld_max = 3.4});
   int32x4 acc[kNr][4];  // [col][row group of 4]
   for (int j = 0; j < kNr; ++j)
     for (int g = 0; g < 4; ++g) movi_zero(ctx, acc[j][g]);
@@ -20,14 +25,16 @@ void micro_sdot_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 k_pad,
   for (i64 ks = 0; ks < ksteps; ++ks) {
     int8x16 a[4];
     for (int g = 0; g < 4; ++g)
-      a[g] = ld1_s8(ctx, a_panel + (ks * kMr + g * 4) * 4);
-    const int8x16 b = ld1_s8(ctx, b_panel + ks * kNr * 4);
+      ld1_s8(ctx, a_panel + (ks * kMr + g * 4) * 4, a[g]);
+    int8x16 b;
+    ld1_s8(ctx, b_panel + ks * kNr * 4, b);
     for (int j = 0; j < kNr; ++j) {
       // Indexed form: broadcast b's 4-byte group j across the register
       // (free in hardware; no extra instruction tallied).
       int8x16 bj;
       for (int g = 0; g < 4; ++g)
         for (int d = 0; d < 4; ++d) bj.v[4 * g + d] = b.v[4 * j + d];
+      def_like(ctx, bj, b);
       for (int g = 0; g < 4; ++g) sdot_s8(ctx, acc[j][g], a[g], bj);
     }
     if (ks % 4 == 3) ctx.tally(Op::kLoop);

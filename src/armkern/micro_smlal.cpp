@@ -6,6 +6,13 @@ using namespace armsim;
 
 void micro_smlal_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
                       int flush, i32* c) {
+  // Checked-execution contract: the SMLAL scheme's flush interval, the four
+  // x-register spill slots of Alg. 1, and the Fig. 1b CAL/LD ratio (4.0).
+  const VerifyScope vs(ctx, KernelSpec{.name = "micro_smlal_16x4",
+                                       .acc16_flush = flush,
+                                       .spill_slots = 4,
+                                       .cal_ld_min = 3.5,
+                                       .cal_ld_max = 4.5});
   // Register plan mirrors Alg. 1: v0~v1 read A, v2~v9 read B (two LD4R
   // groups interleaved with the SMLALs for prefetching), v10~v17 hold the
   // 16-bit partials, v18~v31 plus four x-register spills hold the 32-bit
@@ -25,7 +32,8 @@ void micro_smlal_16x4(Ctx& ctx, const i8* a_panel, const i8* b_panel, i64 kc,
     // Two interleaved {LD1, LD4R} + SMLAL(2) groups per iteration (Alg. 1
     // lines 3-8); the odd tail falls out naturally.
     for (i64 s = 0; s < steps; ++s) {
-      const int8x16 a = ld1_s8(ctx, a_panel + (k + s) * kMr);
+      int8x16 a;
+      ld1_s8(ctx, a_panel + (k + s) * kMr, a);
       int8x16 b[4];
       ld4r_s8(ctx, b_panel + (k + s) * kNr, b);
       for (int j = 0; j < kNr; ++j) {

@@ -1,5 +1,7 @@
 #include "armkern/pack.h"
 
+#include "armsim/verifier.h"
+
 namespace lbc::armkern {
 namespace {
 
@@ -23,6 +25,17 @@ void tally_pack_b(armsim::Ctx* ctx, i64 elems) {
   ctx->tally(armsim::Op::kLoop, groups / 4 + 1);
 }
 
+// Under checked execution the pack's bulk cache traffic must land inside
+// registered regions. ensure_region is a no-op when the driver already
+// registered a (ranged) region covering the span, so driver bounds win.
+void ensure_pack_regions(armsim::Ctx* ctx, const void* src, i64 src_bytes,
+                         const char* src_name, const void* dst, i64 dst_bytes,
+                         const char* dst_name) {
+  if (ctx == nullptr || ctx->verifier == nullptr) return;
+  ctx->verifier->ensure_region(src, src_bytes, src_name);
+  ctx->verifier->ensure_region(dst, dst_bytes, dst_name);
+}
+
 }  // namespace
 
 i64 packed_a_bytes(i64 m, i64 k) { return round_up(m, kMr) * k; }
@@ -40,6 +53,8 @@ APanels pack_a_into(armsim::Ctx* ctx, const i8* a, i64 m, i64 k, i8* dst) {
   }
   tally_pack_a(ctx, m_pad * k);
   if (ctx) {
+    ensure_pack_regions(ctx, a, m * k, "pack A source", dst, m_pad * k,
+                        "packed A panels");
     ctx->mem_range(a, static_cast<u64>(m * k));
     ctx->mem_range(dst, static_cast<u64>(m_pad * k));
   }
@@ -58,6 +73,8 @@ BPanels pack_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i8* dst) {
   }
   tally_pack_b(ctx, n_pad * k);
   if (ctx) {
+    ensure_pack_regions(ctx, b, k * n, "pack B source", dst, n_pad * k,
+                        "packed B panels");
     ctx->mem_range(b, static_cast<u64>(k * n));
     ctx->mem_range(dst, static_cast<u64>(n_pad * k));
   }
@@ -112,6 +129,8 @@ PackedSdotA pack_sdot_a(const i8* a, i64 m, i64 k, armsim::Ctx* ctx) {
   }
   tally_pack_a(ctx, pa.m_pad * pa.k_pad);
   if (ctx) {
+    ensure_pack_regions(ctx, a, m * k, "pack SDOT A source", pa.data.data(),
+                        static_cast<i64>(pa.data.size()), "packed SDOT A");
     ctx->mem_range(a, static_cast<u64>(m * k));
     ctx->mem_range(pa.data.data(), pa.data.size());
   }
@@ -137,6 +156,8 @@ SdotBPanels pack_sdot_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n,
   // The B interleave is a strided gather — same cost class as an A pack.
   tally_pack_a(ctx, n_pad * k_pad);
   if (ctx) {
+    ensure_pack_regions(ctx, b, k * n, "pack SDOT B source", dst,
+                        n_pad * k_pad, "packed SDOT B");
     ctx->mem_range(b, static_cast<u64>(k * n));
     ctx->mem_range(dst, static_cast<u64>(n_pad * k_pad));
   }
@@ -165,6 +186,8 @@ AlignedVector<i8> pack_b_colmajor(armsim::Ctx* ctx, const i8* b, i64 k, i64 n) {
     for (i64 kk = 0; kk < k; ++kk) out[j * k + kk] = b[kk * n + j];
   tally_pack_a(ctx, k * n);  // strided gather, same cost class as A pack
   if (ctx) {
+    ensure_pack_regions(ctx, b, k * n, "pack B source", out.data(),
+                        static_cast<i64>(out.size()), "B column-major copy");
     ctx->mem_range(b, static_cast<u64>(k * n));
     ctx->mem_range(out.data(), out.size());
   }

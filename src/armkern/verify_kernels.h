@@ -1,0 +1,46 @@
+// Self-check sweep: run every shipped kernel/algo/bit-width combination
+// under the invariant verifier (armsim/verifier.h) and report per-combo
+// pass/fail. This is the repo's "prove the schemes safe" entry point — it
+// executes each configuration on adversarial (extreme-valued) inputs so
+// the interval analysis exercises the worst-case accumulator growth the
+// paper's flush intervals (Table: Sec. 3.3) were derived for.
+//
+// Used by the tier-1 test suite and the verify_invariants bench; also a
+// convenient one-call API for users who modify a kernel and want the
+// whole contract re-checked.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "armkern/conv_arm.h"
+#include "common/status.h"
+
+namespace lbc::armkern {
+
+/// One swept configuration and its checked-execution outcome.
+struct KernelVerifyEntry {
+  int bits = 8;
+  ArmKernel kernel = ArmKernel::kOursGemm;
+  ConvAlgo algo = ConvAlgo::kGemm;
+  std::string shape;          ///< human-readable geometry
+  std::string executed_algo;  ///< rung that actually ran (after fallback)
+  Status status;              ///< OK, or the kInvariantViolation detail
+};
+
+/// Aggregate result of the sweep.
+struct KernelVerifyReport {
+  std::vector<KernelVerifyEntry> entries;
+  int failures = 0;
+  bool ok() const { return failures == 0; }
+  /// Multi-line summary, one line per failing entry (empty when ok()).
+  std::string failure_summary() const;
+};
+
+/// Sweep bits 2..8 across every kernel (ours / ncnn / traditional / sdot)
+/// and algo (gemm / winograd / bitserial / direct / reference) that is
+/// eligible at that width, over a small set of representative conv shapes,
+/// executing each under the verifier on extreme-valued inputs.
+KernelVerifyReport verify_all_kernels();
+
+}  // namespace lbc::armkern

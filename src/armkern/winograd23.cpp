@@ -45,7 +45,8 @@ WinogradWeights winograd_plan_weights(const Tensor<i8>& weight, i64 out_c,
 WinogradStats winograd_conv_prepacked(const ConvShape& s,
                                       const Tensor<i8>& input,
                                       const WinogradWeights& ww, int bits,
-                                      Tensor<i32>& out, Workspace* ws) {
+                                      Tensor<i32>& out, Workspace* ws,
+                                      armsim::Verifier* verifier) {
   LBC_CHECK_MSG(s.winograd_eligible(), "winograd23: shape is not 3x3/stride-1");
   LBC_CHECK_MSG(bits >= 4 && bits <= 6, "winograd23: bits outside [4, 6]");
   LBC_CHECK_MSG(ww.out_c == s.out_c && ww.in_c == s.in_c &&
@@ -53,6 +54,7 @@ WinogradStats winograd_conv_prepacked(const ConvShape& s,
                 "winograd23: compiled weights do not match conv shape");
   WinogradStats stats;
   Ctx ctx;
+  ctx.verifier = verifier;
 
   const i64 oh = s.out_h(), ow = s.out_w();
   const i64 nth = ceil_div(oh, 2), ntw = ceil_div(ow, 2);
@@ -81,6 +83,19 @@ WinogradStats winograd_conv_prepacked(const ConvShape& s,
           static_cast<size_t>(s.out_c * tiles));
       v_mats[e] = own_v[static_cast<size_t>(e)].data();
       m_mats[e] = own_m[static_cast<size_t>(e)].data();
+    }
+  }
+
+  const i32 q = qmax_for_bits(bits);
+  const i32 umax = (9 * q + 2) / 4 + 1;  // transformed-weight bound
+  const i32 vmax = 4 * q;                // transformed-activation bound
+  if (verifier != nullptr) {
+    for (int e = 0; e < 16; ++e) {
+      verifier->add_region(v_mats[e], s.in_c * tiles, "winograd V matrix",
+                           -vmax, vmax);
+      verifier->add_region(m_mats[e],
+                           s.out_c * tiles * static_cast<i64>(sizeof(i32)),
+                           "winograd M matrix");
     }
   }
 
@@ -128,6 +143,9 @@ WinogradStats winograd_conv_prepacked(const ConvShape& s,
     opt.kernel = ArmKernel::kOursGemm;
     opt.flush_override = flush;
     opt.workspace = ws;
+    opt.verifier = verifier;
+    opt.a_max_abs = umax;  // true transformed ranges, not the bits-8 default
+    opt.b_max_abs = vmax;
     const GemmStats gs = gemm_s8s32_prepacked(
         ww.u_packed[static_cast<size_t>(e)].view(), v_mats[e], m_mats[e],
         s.out_c, tiles, s.in_c, opt);

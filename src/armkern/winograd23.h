@@ -30,6 +30,9 @@
 
 namespace lbc {
 class Workspace;
+namespace armsim {
+class Verifier;
+}  // namespace armsim
 }  // namespace lbc
 
 namespace lbc::armkern {
@@ -66,10 +69,13 @@ WinogradWeights winograd_plan_weights(const Tensor<i8>& weight, i64 out_c,
 /// Steps 2-4 against compiled weights. Requires s.winograd_eligible(),
 /// 4 <= bits <= 6, and ww compiled for (s.out_c, s.in_c). When `ws` is
 /// non-null all scratch comes from it (caller resets between executes).
+/// A non-null `verifier` enables checked execution with the transformed
+/// operand ranges (|U| <= (9q+2)/4 + 1, |V| <= 4q) seeding the analysis.
 WinogradStats winograd_conv_prepacked(const ConvShape& s,
                                       const Tensor<i8>& input,
                                       const WinogradWeights& ww, int bits,
-                                      Tensor<i32>& out, Workspace* ws);
+                                      Tensor<i32>& out, Workspace* ws,
+                                      armsim::Verifier* verifier = nullptr);
 
 /// One-shot wrapper: compiles the weights, then executes.
 WinogradStats winograd_conv_s32(const ConvShape& s, const Tensor<i8>& input,

@@ -15,6 +15,14 @@
 
 namespace lbc::armsim {
 
+class Verifier;
+
+namespace verifier_detail {
+/// Out-of-line bridge so counters.h does not need verifier.h (which
+/// includes this header back). Defined in verifier.cpp.
+void check_mem(Verifier& v, const void* p, u64 bytes);
+}  // namespace verifier_detail
+
 /// Instruction classes. One entry per distinct (mnemonic, element width)
 /// pair that the kernels use; widths matter because e.g. SMLAL on 8-bit
 /// lanes retires 8 MACs while SMLAL on 16-bit lanes retires only 4.
@@ -91,6 +99,7 @@ class Ctx {
   /// Route a memory access through the cache model (called by every
   /// emulated load/store with the real buffer address).
   void mem(const void* p, u64 bytes) {
+    if (verifier != nullptr) verifier_detail::check_mem(*verifier, p, bytes);
     if (!model_cache) return;
     switch (cache.access(p, bytes)) {
       case MemLevel::kL1: break;
@@ -113,6 +122,10 @@ class Ctx {
 
   bool model_cache = true;
   CacheSim cache;
+
+  /// Checked-execution hook (verifier.h). Null by default: plain runs pay
+  /// one untaken branch per memory access and no counter changes.
+  Verifier* verifier = nullptr;
 };
 
 }  // namespace lbc::armsim

@@ -10,11 +10,19 @@
 // Every instruction takes a Ctx& and tallies itself; the emulation cost is
 // one counter increment plus a fixed-size lane loop that the host compiler
 // vectorizes, so full layers run in milliseconds.
+//
+// Checked execution: when ctx.verifier is set (verifier.h), each instruction
+// additionally reports itself to the verifier. The hook runs BEFORE the
+// ctx.mem() cache access so an out-of-bounds access is blamed on the
+// instruction being emulated; tally/cache increments are order-insensitive
+// within one instruction, so counters stay bit-identical either way. With a
+// null verifier every hook is one untaken branch.
 #pragma once
 
 #include <array>
 
 #include "armsim/counters.h"
+#include "armsim/verifier.h"
 #include "common/types.h"
 
 namespace lbc::armsim {
@@ -39,30 +47,36 @@ struct uint16x8 {
 // Loads / stores
 // ---------------------------------------------------------------------------
 
-/// LD1 {Vt.16B}, [Xn] — contiguous 16-byte load.
-inline int8x16 ld1_s8(Ctx& ctx, const i8* p) {
+/// LD1 {Vt.16B}, [Xn] — contiguous 16-byte load into a caller-provided
+/// register. Destination-out-parameter style (like movi_zero/dup_s16)
+/// throughout: the verifier identifies registers by host object address, and
+/// a value-returning form would track the callee's local — these 16-byte
+/// structs come back in machine registers on common ABIs, so the address
+/// never survives the return.
+inline void ld1_s8(Ctx& ctx, const i8* p, int8x16& r) {
   ctx.tally(Op::kLd1);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_load(Op::kLd1, &r, VType::kS8, p, /*half=*/false);
   ctx.mem(p, 16);
-  int8x16 r;
   for (int i = 0; i < 16; ++i) r.v[i] = p[i];
-  return r;
 }
 
 /// LD1 {Vt.8B}, [Xn] — 8-byte load into the low half (high half zero).
-inline int8x16 ld1_s8_64(Ctx& ctx, const i8* p) {
+inline void ld1_s8_64(Ctx& ctx, const i8* p, int8x16& r) {
   ctx.tally(Op::kLd1_64);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_load(Op::kLd1_64, &r, VType::kS8, p, /*half=*/true);
   ctx.mem(p, 8);
-  int8x16 r;
+  r.v.fill(0);
   for (int i = 0; i < 8; ++i) r.v[i] = p[i];
-  return r;
 }
 
-inline uint8x16 ld1_u8(Ctx& ctx, const u8* p) {
+inline void ld1_u8(Ctx& ctx, const u8* p, uint8x16& r) {
   ctx.tally(Op::kLd1);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_load(Op::kLd1, &r, VType::kU8, p, /*half=*/false);
   ctx.mem(p, 16);
-  uint8x16 r;
   for (int i = 0; i < 16; ++i) r.v[i] = p[i];
-  return r;
 }
 
 /// LD4R {V0.16B..V3.16B}, [Xn] — load 4 bytes, replicate each across one
@@ -70,6 +84,8 @@ inline uint8x16 ld1_u8(Ctx& ctx, const u8* p) {
 /// re-designed GEMM (Fig. 1b, theta_2 = 4).
 inline void ld4r_s8(Ctx& ctx, const i8* p, int8x16 out[4]) {
   ctx.tally(Op::kLd4r);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_ld4r(&out[0], &out[1], &out[2], &out[3], p);
   ctx.mem(p, 4);
   for (int r = 0; r < 4; ++r)
     for (int i = 0; i < 16; ++i) out[r].v[i] = p[r];
@@ -78,12 +94,14 @@ inline void ld4r_s8(Ctx& ctx, const i8* p, int8x16 out[4]) {
 /// ST1 {Vt.4S}, [Xn].
 inline void st1_s32(Ctx& ctx, const int32x4& v, i32* p) {
   ctx.tally(Op::kSt1);
+  if (ctx.verifier != nullptr) ctx.verifier->on_store(Op::kSt1, &v);
   ctx.mem(p, 16);
   for (int i = 0; i < 4; ++i) p[i] = v.v[i];
 }
 
 inline void st1_s8(Ctx& ctx, const int8x16& v, i8* p) {
   ctx.tally(Op::kSt1);
+  if (ctx.verifier != nullptr) ctx.verifier->on_store(Op::kSt1, &v);
   ctx.mem(p, 16);
   for (int i = 0; i < 16; ++i) p[i] = v.v[i];
 }
@@ -97,6 +115,8 @@ inline void st1_s8(Ctx& ctx, const int8x16& v, i8* p) {
 /// SMLAL:SADDW ratio were violated).
 inline void smlal_s8(Ctx& ctx, int16x8& acc, const int8x16& a, const int8x16& b) {
   ctx.tally(Op::kSmlal8);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_mac(MacKind::kSmlal8Lo, Op::kSmlal8, &acc, &a, &b);
   for (int i = 0; i < 8; ++i) {
     const i32 prod = static_cast<i32>(a.v[i]) * static_cast<i32>(b.v[i]);
     acc.v[i] = static_cast<i16>(static_cast<u16>(acc.v[i]) + static_cast<u16>(prod));
@@ -106,6 +126,8 @@ inline void smlal_s8(Ctx& ctx, int16x8& acc, const int8x16& a, const int8x16& b)
 /// SMLAL2 Vd.8H, Vn.16B, Vm.16B — same, HIGH 8 byte lanes.
 inline void smlal2_s8(Ctx& ctx, int16x8& acc, const int8x16& a, const int8x16& b) {
   ctx.tally(Op::kSmlal8);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_mac(MacKind::kSmlal8Hi, Op::kSmlal8, &acc, &a, &b);
   for (int i = 0; i < 8; ++i) {
     const i32 prod =
         static_cast<i32>(a.v[8 + i]) * static_cast<i32>(b.v[8 + i]);
@@ -117,6 +139,8 @@ inline void smlal2_s8(Ctx& ctx, int16x8& acc, const int8x16& a, const int8x16& b
 /// instruction ncnn's 8-bit scheme is built on).
 inline void smlal_s16(Ctx& ctx, int32x4& acc, const int16x8& a, const int16x8& b) {
   ctx.tally(Op::kSmlal16);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_mac(MacKind::kSmlal16Lo, Op::kSmlal16, &acc, &a, &b);
   for (int i = 0; i < 4; ++i)
     acc.v[i] += static_cast<i32>(a.v[i]) * static_cast<i32>(b.v[i]);
 }
@@ -124,6 +148,8 @@ inline void smlal_s16(Ctx& ctx, int32x4& acc, const int16x8& a, const int16x8& b
 /// SMLAL2 Vd.4S, Vn.8H, Vm.8H — high 4 halfword lanes.
 inline void smlal2_s16(Ctx& ctx, int32x4& acc, const int16x8& a, const int16x8& b) {
   ctx.tally(Op::kSmlal16);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_mac(MacKind::kSmlal16Hi, Op::kSmlal16, &acc, &a, &b);
   for (int i = 0; i < 4; ++i)
     acc.v[i] += static_cast<i32>(a.v[4 + i]) * static_cast<i32>(b.v[4 + i]);
 }
@@ -132,6 +158,8 @@ inline void smlal2_s16(Ctx& ctx, int32x4& acc, const int16x8& a, const int16x8& 
 /// Twice the per-instruction MAC width of SMLAL on byte lanes (Sec. 3.4).
 inline void mla_s8(Ctx& ctx, int8x16& acc, const int8x16& a, const int8x16& b) {
   ctx.tally(Op::kMla8);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_mac(MacKind::kMla8, Op::kMla8, &acc, &a, &b);
   for (int i = 0; i < 16; ++i) {
     const u8 prod = static_cast<u8>(static_cast<u8>(a.v[i]) * static_cast<u8>(b.v[i]));
     acc.v[i] = static_cast<i8>(static_cast<u8>(static_cast<u8>(acc.v[i]) + prod));
@@ -145,6 +173,8 @@ inline void mla_s8(Ctx& ctx, int8x16& acc, const int8x16& a, const int8x16& b) {
 /// paper's 2-8-bit schemes are competing against on newer cores.
 inline void sdot_s8(Ctx& ctx, int32x4& acc, const int8x16& a, const int8x16& b) {
   ctx.tally(Op::kSdot);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_mac(MacKind::kSdot, Op::kSdot, &acc, &a, &b);
   for (int i = 0; i < 4; ++i) {
     i32 dot = 0;
     for (int j = 0; j < 4; ++j)
@@ -160,6 +190,8 @@ inline void sdot_s8(Ctx& ctx, int32x4& acc, const int8x16& a, const int8x16& b) 
 /// SADDW Vd.8H, Vn.8H, Vm.8B — accumulate sign-extended LOW byte lanes.
 inline void saddw_s8(Ctx& ctx, int16x8& acc, const int8x16& v) {
   ctx.tally(Op::kSaddw8);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_widen(WidenKind::kSaddw8Lo, Op::kSaddw8, &acc, &v);
   for (int i = 0; i < 8; ++i)
     acc.v[i] = static_cast<i16>(acc.v[i] + static_cast<i16>(v.v[i]));
 }
@@ -167,6 +199,8 @@ inline void saddw_s8(Ctx& ctx, int16x8& acc, const int8x16& v) {
 /// SADDW2 Vd.8H, Vn.8H, Vm.16B — HIGH byte lanes.
 inline void saddw2_s8(Ctx& ctx, int16x8& acc, const int8x16& v) {
   ctx.tally(Op::kSaddw8);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_widen(WidenKind::kSaddw8Hi, Op::kSaddw8, &acc, &v);
   for (int i = 0; i < 8; ++i)
     acc.v[i] = static_cast<i16>(acc.v[i] + static_cast<i16>(v.v[8 + i]));
 }
@@ -174,12 +208,16 @@ inline void saddw2_s8(Ctx& ctx, int16x8& acc, const int8x16& v) {
 /// SADDW Vd.4S, Vn.4S, Vm.4H — accumulate sign-extended LOW halfword lanes.
 inline void saddw_s16(Ctx& ctx, int32x4& acc, const int16x8& v) {
   ctx.tally(Op::kSaddw16);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_widen(WidenKind::kSaddw16Lo, Op::kSaddw16, &acc, &v);
   for (int i = 0; i < 4; ++i) acc.v[i] += static_cast<i32>(v.v[i]);
 }
 
 /// SADDW2 Vd.4S, Vn.4S, Vm.8H — HIGH halfword lanes.
 inline void saddw2_s16(Ctx& ctx, int32x4& acc, const int16x8& v) {
   ctx.tally(Op::kSaddw16);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_widen(WidenKind::kSaddw16Hi, Op::kSaddw16, &acc, &v);
   for (int i = 0; i < 4; ++i) acc.v[i] += static_cast<i32>(v.v[4 + i]);
 }
 
@@ -188,62 +226,99 @@ inline void saddw2_s16(Ctx& ctx, int32x4& acc, const int16x8& v) {
 // ---------------------------------------------------------------------------
 
 /// SSHLL Vd.8H, Vn.8B, #0 — sign-extend the low 8 bytes.
-inline int16x8 sshll_s8(Ctx& ctx, const int8x16& v) {
+inline void sshll_s8(Ctx& ctx, int16x8& r, const int8x16& v) {
   ctx.tally(Op::kSshll);
-  int16x8 r;
+  if (ctx.verifier != nullptr) ctx.verifier->on_sshll(&r, &v, /*high=*/false);
   for (int i = 0; i < 8; ++i) r.v[i] = static_cast<i16>(v.v[i]);
-  return r;
 }
 
 /// SSHLL2 Vd.8H, Vn.16B, #0 — sign-extend the high 8 bytes.
-inline int16x8 sshll2_s8(Ctx& ctx, const int8x16& v) {
+inline void sshll2_s8(Ctx& ctx, int16x8& r, const int8x16& v) {
   ctx.tally(Op::kSshll);
-  int16x8 r;
+  if (ctx.verifier != nullptr) ctx.verifier->on_sshll(&r, &v, /*high=*/true);
   for (int i = 0; i < 8; ++i) r.v[i] = static_cast<i16>(v.v[8 + i]);
-  return r;
 }
 
 inline void movi_zero(Ctx& ctx, int8x16& v) {
   ctx.tally(Op::kMovi);
+  if (ctx.verifier != nullptr) ctx.verifier->on_zero(&v, VType::kS8);
   v.v.fill(0);
 }
 inline void movi_zero(Ctx& ctx, int16x8& v) {
   ctx.tally(Op::kMovi);
+  if (ctx.verifier != nullptr) ctx.verifier->on_zero(&v, VType::kS16);
   v.v.fill(0);
 }
 inline void movi_zero(Ctx& ctx, int32x4& v) {
   ctx.tally(Op::kMovi);
+  if (ctx.verifier != nullptr) ctx.verifier->on_zero(&v, VType::kS32);
   v.v.fill(0);
+}
+inline void movi_zero(Ctx& ctx, uint16x8& v) {
+  ctx.tally(Op::kMovi);
+  if (ctx.verifier != nullptr) ctx.verifier->on_zero(&v, VType::kU16);
+  v.v.fill(0);
+}
+
+/// DUP Vd.8H, Wn — broadcast one halfword.
+inline void dup_s16(Ctx& ctx, int16x8& r, i16 value) {
+  ctx.tally(Op::kDup);
+  if (ctx.verifier != nullptr) ctx.verifier->on_dup(&r, VType::kS16, value);
+  r.v.fill(value);
 }
 
 /// Cost-only marker for the v-register <-> x-register spills of Alg. 1
 /// (lines 10 and 13): the emulator has unlimited registers, so the data
 /// movement is a no-op, but its cycle cost must be charged.
-inline void mov_vx(Ctx& ctx, u64 count = 1) { ctx.tally(Op::kMovVX, count); }
+inline void mov_vx(Ctx& ctx, u64 count = 1) {
+  ctx.tally(Op::kMovVX, count);
+  if (ctx.verifier != nullptr) ctx.verifier->on_mov_vx(count);
+}
+
+// ---------------------------------------------------------------------------
+// Checked-execution definition markers (no cost, no tally)
+// ---------------------------------------------------------------------------
+
+/// Declare to the verifier that `r` holds values in [lo, hi] — used where a
+/// kernel synthesizes a register with plain C++ (a gather loop) instead of a
+/// modeled instruction. No-ops without a verifier; never affects counters.
+inline void def_reg(Ctx& ctx, const int8x16& r, i64 lo, i64 hi) {
+  if (ctx.verifier != nullptr) ctx.verifier->def_value(&r, VType::kS8, lo, hi);
+}
+inline void def_reg(Ctx& ctx, const int32x4& r, i64 lo, i64 hi) {
+  if (ctx.verifier != nullptr) ctx.verifier->def_value(&r, VType::kS32, lo, hi);
+}
+
+/// Declare `dst` as holding the same lane intervals as `src` (a lane
+/// permutation or broadcast done in plain C++).
+inline void def_like(Ctx& ctx, const int8x16& dst, const int8x16& src) {
+  if (ctx.verifier != nullptr) ctx.verifier->def_like(&dst, &src);
+}
 
 // ---------------------------------------------------------------------------
 // Bit-serial support (the TVM popcount baseline, Sec. 6 / Fig. 9)
 // ---------------------------------------------------------------------------
 
-inline uint8x16 and_u8(Ctx& ctx, const uint8x16& a, const uint8x16& b) {
+inline void and_u8(Ctx& ctx, uint8x16& r, const uint8x16& a,
+                   const uint8x16& b) {
   ctx.tally(Op::kAnd);
-  uint8x16 r;
+  if (ctx.verifier != nullptr) ctx.verifier->on_and(&r, &a, &b);
   for (int i = 0; i < 16; ++i) r.v[i] = static_cast<u8>(a.v[i] & b.v[i]);
-  return r;
 }
 
 /// CNT Vd.16B, Vn.16B — per-byte population count.
-inline uint8x16 cnt_u8(Ctx& ctx, const uint8x16& a) {
+inline void cnt_u8(Ctx& ctx, uint8x16& r, const uint8x16& a) {
   ctx.tally(Op::kCnt);
-  uint8x16 r;
+  if (ctx.verifier != nullptr) ctx.verifier->on_cnt(&r, &a);
   for (int i = 0; i < 16; ++i)
     r.v[i] = static_cast<u8>(__builtin_popcount(a.v[i]));
-  return r;
 }
 
 /// UADALP Vd.8H, Vn.16B — pairwise widening add-accumulate.
 inline void uadalp_u8(Ctx& ctx, uint16x8& acc, const uint8x16& v) {
   ctx.tally(Op::kUadalp);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_widen(WidenKind::kUadalp, Op::kUadalp, &acc, &v);
   for (int i = 0; i < 8; ++i)
     acc.v[i] = static_cast<u16>(acc.v[i] + v.v[2 * i] + v.v[2 * i + 1]);
 }
@@ -251,6 +326,8 @@ inline void uadalp_u8(Ctx& ctx, uint16x8& acc, const uint8x16& v) {
 /// SADALP Vd.4S, Vn.8H (on unsigned counts the sign never matters here).
 inline void sadalp_u16(Ctx& ctx, int32x4& acc, const uint16x8& v) {
   ctx.tally(Op::kSadalp);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_widen(WidenKind::kSadalp, Op::kSadalp, &acc, &v);
   for (int i = 0; i < 4; ++i)
     acc.v[i] += static_cast<i32>(v.v[2 * i]) + static_cast<i32>(v.v[2 * i + 1]);
 }
@@ -258,11 +335,13 @@ inline void sadalp_u16(Ctx& ctx, int32x4& acc, const uint16x8& v) {
 /// ADDV Sd, Vn.4S — across-vector sum.
 inline i32 addv_s32(Ctx& ctx, const int32x4& v) {
   ctx.tally(Op::kAddv);
+  if (ctx.verifier != nullptr) ctx.verifier->on_addv(&v);
   return v.v[0] + v.v[1] + v.v[2] + v.v[3];
 }
 
 inline void add_s32(Ctx& ctx, int32x4& acc, const int32x4& v) {
   ctx.tally(Op::kAdd);
+  if (ctx.verifier != nullptr) ctx.verifier->on_add(&acc, &v);
   for (int i = 0; i < 4; ++i) acc.v[i] += v.v[i];
 }
 

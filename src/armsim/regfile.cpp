@@ -1,0 +1,16 @@
+#include "armsim/regfile.h"
+
+namespace lbc::armsim {
+
+const char* vtype_name(VType t) {
+  switch (t) {
+    case VType::kS8: return "s8";
+    case VType::kS16: return "s16";
+    case VType::kS32: return "s32";
+    case VType::kU8: return "u8";
+    case VType::kU16: return "u16";
+  }
+  return "?";
+}
+
+}  // namespace lbc::armsim

@@ -1,0 +1,123 @@
+// Model of the 32-entry NEON vector register file for checked execution.
+//
+// The emulator itself has unlimited "registers" (they are host stack
+// objects), which is exactly what lets a kernel silently exceed the real
+// Cortex-A53 register budget or read a register it never wrote. The
+// verifier keys each live vector register by the address of its host
+// object — stable for the lifetime of one micro-kernel invocation — and
+// tracks per-lane value intervals plus the accumulation count the
+// instruction-scheme flush analysis (paper Sec. 3.3) is stated in.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace lbc::armsim {
+
+/// Lane element type of a tracked vector register.
+enum class VType : int { kS8, kS16, kS32, kU8, kU16 };
+
+constexpr int vtype_lanes(VType t) {
+  switch (t) {
+    case VType::kS8:
+    case VType::kU8:
+      return 16;
+    case VType::kS16:
+    case VType::kU16:
+      return 8;
+    case VType::kS32:
+      return 4;
+  }
+  return 0;
+}
+
+constexpr i64 vtype_min(VType t) {
+  switch (t) {
+    case VType::kS8: return -128;
+    case VType::kS16: return -32768;
+    case VType::kS32: return -2147483648LL;
+    case VType::kU8:
+    case VType::kU16:
+      return 0;
+  }
+  return 0;
+}
+
+/// Short stable name ("s8", "u16", ...) for violation messages.
+const char* vtype_name(VType t);
+
+constexpr i64 vtype_max(VType t) {
+  switch (t) {
+    case VType::kS8: return 127;
+    case VType::kS16: return 32767;
+    case VType::kS32: return 2147483647LL;
+    case VType::kU8: return 255;
+    case VType::kU16: return 65535;
+  }
+  return 0;
+}
+
+/// Closed interval [lo, hi] of the values one lane may hold. Interval
+/// arithmetic over the emulated trace proves overflow-safety without
+/// depending on the particular input data of the run.
+struct LaneInterval {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+/// State of one live vector register.
+struct VRegState {
+  VType type = VType::kS8;
+  bool initialized = false;
+  /// MAC accumulations into this register since it was last zeroed — the
+  /// quantity the SMLAL:SADDW / MLA:SADDW flush ratios bound.
+  int accum = 0;
+  /// Suppresses repeated overflow reports on the same register until it is
+  /// re-zeroed (the first report already names the offending instruction).
+  bool poisoned = false;
+  u64 def_instr = 0;  ///< instruction index of the defining write
+  std::array<LaneInterval, 16> lane{};
+
+  int lanes() const { return vtype_lanes(type); }
+};
+
+/// The live-register set of one kernel scope. `live_count` counts distinct
+/// vector registers defined in the scope; the real hardware has kArchRegs
+/// of them, and Alg. 1 grants a few x-register spill slots beyond that.
+class RegFile {
+ public:
+  static constexpr int kArchRegs = 32;
+
+  /// (Re)define the register at `addr`. New addresses grow the live set.
+  VRegState& def(const void* addr, VType t, u64 instr) {
+    VRegState& st = regs_[addr];
+    st.type = t;
+    st.initialized = true;
+    st.accum = 0;
+    st.poisoned = false;
+    st.def_instr = instr;
+    if (live_count() > max_live_) max_live_ = live_count();
+    return st;
+  }
+
+  VRegState* find(const void* addr) {
+    auto it = regs_.find(addr);
+    return it == regs_.end() ? nullptr : &it->second;
+  }
+
+  i64 live_count() const { return static_cast<i64>(regs_.size()); }
+  i64 max_live() const { return max_live_; }
+
+  void clear() {
+    regs_.clear();
+    max_live_ = 0;
+  }
+
+ private:
+  std::unordered_map<const void*, VRegState> regs_;
+  i64 max_live_ = 0;
+};
+
+}  // namespace lbc::armsim

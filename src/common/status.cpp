@@ -18,6 +18,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kOverloaded: return "Overloaded";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kInvariantViolation: return "InvariantViolation";
   }
   return "Unknown";
 }

@@ -32,6 +32,7 @@ enum class StatusCode : int {
   kInternal,            ///< invariant violation surfaced as an error
   kOverloaded,          ///< admission control rejected the request (queue full)
   kDeadlineExceeded,    ///< request expired before it could be served
+  kInvariantViolation,  ///< checked execution caught a broken kernel invariant
 };
 
 /// Short stable name ("InvalidArgument", ...) for messages and logs.
@@ -72,6 +73,9 @@ class Status {
   }
   static Status deadline_exceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status invariant_violation(std::string msg) {
+    return Status(StatusCode::kInvariantViolation, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,10 +7,12 @@
 namespace lbc::core {
 
 armkern::ArmConvOptions arm_conv_options(int bits, ArmImpl impl,
-                                         armkern::ConvAlgo algo, int threads) {
+                                         armkern::ConvAlgo algo, int threads,
+                                         bool verify) {
   armkern::ArmConvOptions opt;
   opt.bits = bits;
   opt.threads = threads;
+  opt.verify = verify;
   switch (impl) {
     case ArmImpl::kOurs:
       opt.kernel = armkern::ArmKernel::kOursGemm;
@@ -41,11 +43,12 @@ armkern::ArmConvOptions arm_conv_options(int bits, ArmImpl impl,
 
 StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
                                  int bits, ArmImpl impl,
-                                 armkern::ConvAlgo algo, int threads) {
+                                 armkern::ConvAlgo algo, int threads,
+                                 bool verify) {
   LBC_ASSIGN_OR_RETURN(
       armkern::ArmConvPlan plan,
       armkern::plan_conv(s, weight,
-                         arm_conv_options(bits, impl, algo, threads)));
+                         arm_conv_options(bits, impl, algo, threads, verify)));
   return ConvPlan(impl, std::move(plan));
 }
 

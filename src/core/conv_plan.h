@@ -33,8 +33,11 @@ namespace lbc::core {
 
 /// Translate the engine-level (bits, impl, algo, threads) selection into
 /// the ARM driver's options — the one place the ArmImpl dispatch lives.
+/// `verify` enables checked execution (armsim/verifier.h) on every execute
+/// against the resulting plan.
 armkern::ArmConvOptions arm_conv_options(int bits, ArmImpl impl,
-                                         armkern::ConvAlgo algo, int threads);
+                                         armkern::ConvAlgo algo, int threads,
+                                         bool verify = false);
 
 /// Immutable compiled plan for one ARM conv layer.
 class ConvPlan {
@@ -43,6 +46,8 @@ class ConvPlan {
   int bits() const { return plan_.requested.bits; }
   ArmImpl impl() const { return impl_; }
   int threads() const { return plan_.requested.threads; }
+  /// Checked execution requested at plan time (kernel invariant verifier).
+  bool verify() const { return plan_.requested.verify; }
   armkern::ConvAlgo planned_algo() const { return plan_.algo; }
   armkern::ArmKernel planned_kernel() const { return plan_.kernel; }
   const FallbackRecord& planned_fallback() const {
@@ -63,7 +68,7 @@ class ConvPlan {
  private:
   friend StatusOr<ConvPlan> plan_arm_conv(const ConvShape&, const Tensor<i8>&,
                                           int, ArmImpl, armkern::ConvAlgo,
-                                          int);
+                                          int, bool);
   ConvPlan(ArmImpl impl, armkern::ArmConvPlan plan)
       : impl_(impl), plan_(std::move(plan)) {}
 
@@ -79,7 +84,7 @@ StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
                                  int bits, ArmImpl impl = ArmImpl::kOurs,
                                  armkern::ConvAlgo algo =
                                      armkern::ConvAlgo::kGemm,
-                                 int threads = 1);
+                                 int threads = 1, bool verify = false);
 
 /// Execute a plan against one input (batch may differ from the planned
 /// batch). Bit-exact — including modeled cycles — with the one-shot

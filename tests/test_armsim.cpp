@@ -4,6 +4,9 @@
 // non-saturating wrap of MLA, LD4R replication, CNT popcounts.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "armkern/micro.h"
 #include "armsim/cost_model.h"
 #include "armsim/neon.h"
 
@@ -14,9 +17,39 @@ TEST(Neon, Ld1LoadsSixteenBytes) {
   Ctx ctx;
   i8 buf[16] = {};
   for (int i = 0; i < 16; ++i) buf[i] = static_cast<i8>(i - 8);
-  const int8x16 v = ld1_s8(ctx, buf);
+  int8x16 v;
+  ld1_s8(ctx, buf, v);
   for (int i = 0; i < 16; ++i) EXPECT_EQ(v.v[i], i - 8);
   EXPECT_EQ(ctx.counts[Op::kLd1], 1u);
+}
+
+TEST(Neon, Ld1_64LoadsLowHalfAndZeroesHigh) {
+  Ctx ctx;
+  i8 buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = static_cast<i8>(i + 1);
+  int8x16 v;
+  ld1_s8(ctx, buf, v);  // prefill every lane so stale highs would show
+  ld1_s8_64(ctx, buf + 8, v);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(v.v[i], 9 + i);
+  for (int i = 8; i < 16; ++i) EXPECT_EQ(v.v[i], 0) << "high half not zeroed";
+  EXPECT_EQ(ctx.counts[Op::kLd1_64], 1u);
+  EXPECT_EQ(ctx.counts[Op::kLd1], 1u);
+}
+
+TEST(Neon, MovVxTalliesCountsOnSpillPaths) {
+  Ctx ctx;
+  mov_vx(ctx);
+  mov_vx(ctx, 7);
+  EXPECT_EQ(ctx.counts[Op::kMovVX], 8u);
+  // The SMLAL micro kernel charges the Alg. 1 x-register round trip (4 out
+  // + 4 back) on every flush round — 2 rounds for kc=8, flush=4.
+  Ctx kctx;
+  const i64 kc = 8;
+  std::vector<i8> a(static_cast<size_t>(kc * armkern::kMr), 1);
+  std::vector<i8> b(static_cast<size_t>(kc * armkern::kNr), 1);
+  alignas(64) i32 c[armkern::kMr * armkern::kNr] = {};
+  armkern::micro_smlal_16x4(kctx, a.data(), b.data(), kc, /*flush=*/4, c);
+  EXPECT_EQ(kctx.counts[Op::kMovVX], 16u);
 }
 
 TEST(Neon, Ld4rReplicatesEachByte) {
@@ -126,8 +159,9 @@ TEST(Neon, SshllSignExtends) {
   Ctx ctx;
   int8x16 v;
   for (int i = 0; i < 16; ++i) v.v[i] = static_cast<i8>(-i);
-  const int16x8 lo = sshll_s8(ctx, v);
-  const int16x8 hi = sshll2_s8(ctx, v);
+  int16x8 lo, hi;
+  sshll_s8(ctx, lo, v);
+  sshll2_s8(ctx, hi, v);
   for (int i = 0; i < 8; ++i) {
     EXPECT_EQ(lo.v[i], -i);
     EXPECT_EQ(hi.v[i], -(i + 8));
@@ -141,7 +175,8 @@ TEST(Neon, CntCountsBitsPerByte) {
   v.v[1] = 0x0F;
   v.v[2] = 0x00;
   v.v[3] = 0xA5;
-  const uint8x16 c = cnt_u8(ctx, v);
+  uint8x16 c;
+  cnt_u8(ctx, c, v);
   EXPECT_EQ(c.v[0], 8);
   EXPECT_EQ(c.v[1], 4);
   EXPECT_EQ(c.v[2], 0);
@@ -154,9 +189,10 @@ TEST(Neon, AndUadalpSadalpAddvChain) {
   uint8x16 a{}, b{};
   a.v.fill(0b10101010);
   b.v.fill(0b11001100);
-  const uint8x16 anded = and_u8(ctx, a, b);
+  uint8x16 anded, c;
+  and_u8(ctx, anded, a, b);
   EXPECT_EQ(anded.v[0], 0b10001000);
-  const uint8x16 c = cnt_u8(ctx, anded);
+  cnt_u8(ctx, c, anded);
   EXPECT_EQ(c.v[0], 2);
   uint16x8 acc16{};
   uadalp_u8(ctx, acc16, c);
@@ -198,6 +234,28 @@ TEST(Counters, PipeClassification) {
   EXPECT_FALSE(is_mem_op(Op::kSmlal8));
   EXPECT_TRUE(is_scalar_op(Op::kLoop));
   EXPECT_FALSE(is_scalar_op(Op::kMla8));
+}
+
+TEST(Counters, ClassificationCompleteOverAllOps) {
+  // Every Op belongs to at most one issue class, has a real name, and the
+  // mem/scalar/stall sets are exactly the documented ones — the verifier's
+  // CAL/LD accounting and the cost model both lean on this partition.
+  for (size_t i = 0; i < kNumOps; ++i) {
+    const Op op = static_cast<Op>(i);
+    const int classes = static_cast<int>(is_mem_op(op)) +
+                        static_cast<int>(is_scalar_op(op)) +
+                        static_cast<int>(is_stall_op(op));
+    EXPECT_LE(classes, 1) << op_name(op);
+    EXPECT_NE(op_name(op), "?") << "Op " << i << " missing from op_name";
+    const bool mem = op == Op::kLd1 || op == Op::kLd1_64 ||
+                     op == Op::kLd4r || op == Op::kSt1;
+    const bool scalar = op == Op::kScalar || op == Op::kLoop;
+    const bool stall = op == Op::kL1Miss || op == Op::kL2Miss;
+    EXPECT_EQ(is_mem_op(op), mem) << op_name(op);
+    EXPECT_EQ(is_scalar_op(op), scalar) << op_name(op);
+    EXPECT_EQ(is_stall_op(op), stall) << op_name(op);
+  }
+  EXPECT_EQ(op_name(Op::kCount_), "?");  // the one sentinel, never tallied
 }
 
 TEST(CostModel, BreakdownSeparatesPipes) {

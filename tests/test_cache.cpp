@@ -93,8 +93,9 @@ TEST(CacheSim, StreamingLoadsHitAfterLineFill) {
 TEST(CtxMem, TallysMissOps) {
   Ctx ctx;
   AlignedVector<i8> buf(4096, 1);
-  (void)ld1_s8(ctx, buf.data());        // cold: L1+L2 miss
-  (void)ld1_s8(ctx, buf.data() + 16);   // same line: hit
+  int8x16 r;
+  ld1_s8(ctx, buf.data(), r);        // cold: L1+L2 miss
+  ld1_s8(ctx, buf.data() + 16, r);   // same line: hit
   EXPECT_EQ(ctx.counts[Op::kL1Miss], 1u);
   EXPECT_EQ(ctx.counts[Op::kL2Miss], 1u);
 }
@@ -103,7 +104,8 @@ TEST(CtxMem, DisabledCacheCountsNothing) {
   Ctx ctx;
   ctx.model_cache = false;
   AlignedVector<i8> buf(4096, 1);
-  (void)ld1_s8(ctx, buf.data());
+  int8x16 r;
+  ld1_s8(ctx, buf.data(), r);
   EXPECT_EQ(ctx.counts[Op::kL1Miss], 0u);
   EXPECT_EQ(ctx.counts[Op::kL2Miss], 0u);
 }

@@ -256,8 +256,8 @@ TEST(Multicore, InstructionCountsConserved) {
   const GemmStats s4 = gemm_s8s32(a.data(), b.data(), c.data(), m, n, k, o4);
   // Executed instructions are identical; cache misses are NOT (each worker
   // core has its own L1/L2 model), so compare totals without the stalls.
-  auto instr_total = [](const armsim::Counters& c) {
-    return c.total() - c[armsim::Op::kL1Miss] - c[armsim::Op::kL2Miss];
+  auto instr_total = [](const armsim::Counters& cn) {
+    return cn.total() - cn[armsim::Op::kL1Miss] - cn[armsim::Op::kL2Miss];
   };
   EXPECT_EQ(instr_total(s1.counts), instr_total(s4.counts));
   EXPECT_EQ(s4.thread_counts.size(), 4u);

@@ -30,7 +30,8 @@ ConvShape random_conv_shape(Rng& rng) {
   s.pad = (s.kernel > 1 && rng.uniform(0, 1)) ? s.kernel / 2 : 0;
   s.in_c = rng.uniform(1, 24);
   s.out_c = rng.uniform(1, 40);
-  s.in_h = s.in_w = rng.uniform(s.kernel + (s.pad ? 0 : 1), 14);
+  s.in_h = s.in_w =
+      rng.uniform(static_cast<i32>(s.kernel + (s.pad ? 0 : 1)), 14);
   return s;
 }
 

@@ -94,9 +94,11 @@ TEST(PerChannel, RequantMatchesScalarPerChannelMath) {
   // Channel 1's multiplier is 7x channel 0's.
   const double m0 = in.scale * 0.1 / out.scale;
   const double m1 = in.scale * 0.7 / out.scale;
-  EXPECT_NEAR(q.at(0, 0, 0, 0), std::lround(10000 * m0), 1);
+  EXPECT_NEAR(q.at(0, 0, 0, 0), static_cast<double>(std::lround(10000 * m0)),
+              1);
   EXPECT_NEAR(q.at(0, 1, 0, 0),
-              std::min<long>(127, std::lround(10000 * m1)), 1);
+              static_cast<double>(std::min<long>(127, std::lround(10000 * m1))),
+              1);
 }
 
 TEST(PerChannel, ReluFoldingAppliesToAllChannels) {

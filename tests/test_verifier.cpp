@@ -1,0 +1,431 @@
+// Kernel invariant verifier (armsim/verifier.h) tests.
+//
+// Three layers:
+//  * Verifier unit tests — each invariant class (overflow intervals,
+//    flush-interval conformance, register budget, uninitialized reads,
+//    memory bounds, CAL/LD ratio) caught in isolation on hand-built
+//    instruction streams with deterministic instruction indices.
+//  * VerifierMutation.* — the acceptance mutations: a broken flush
+//    interval, a register over-budget kernel, and an out-of-bounds pack
+//    read, each run through the REAL kernels/pack helpers and caught with
+//    the offending instruction identified. These carry the `sanitizer`
+//    ctest label (relabel file in tests/CMakeLists.txt).
+//  * VerifierSweep / VerifierOffMode / VerifierPlan — the full
+//    verify_all_kernels sweep over bits 2-8 passes clean, off-mode runs
+//    are bit-identical (values AND modeled cycles), and the ConvPlan
+//    debug option threads the checked mode end to end.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "armkern/conv_arm.h"
+#include "armkern/micro.h"
+#include "armkern/pack.h"
+#include "armkern/verify_kernels.h"
+#include "armsim/neon.h"
+#include "common/align.h"
+#include "common/rng.h"
+#include "common/workspace.h"
+#include "core/conv_plan.h"
+
+namespace lbc {
+namespace {
+
+using namespace armsim;
+using namespace armkern;
+
+bool has_kind(const Verifier& v, const char* kind) {
+  for (const Violation& viol : v.violations())
+    if (viol.kind == kind) return true;
+  return false;
+}
+
+Violation first_of_kind(const Verifier& v, const char* kind) {
+  for (const Violation& viol : v.violations())
+    if (viol.kind == kind) return viol;
+  return Violation{};
+}
+
+// ---------------------------------------------------------------------------
+// Unit: invariant classes in isolation
+// ---------------------------------------------------------------------------
+
+TEST(Verifier, CleanStreamHasNoViolations) {
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  alignas(16) i8 buf[32] = {};
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<i8>((i % 2) ? 1 : -1);
+  v.add_region(buf, 32, "operands", -1, 1);
+  v.begin_scope(KernelSpec{.name = "clean", .acc16_flush = 8});
+  int16x8 acc;
+  movi_zero(ctx, acc);
+  int8x16 a, b;
+  ld1_s8(ctx, buf, a);
+  ld1_s8(ctx, buf + 16, b);
+  for (int i = 0; i < 8; ++i) smlal_s8(ctx, acc, a, b);
+  v.end_scope();
+  EXPECT_TRUE(v.ok()) << v.to_status().to_string();
+  EXPECT_TRUE(v.to_status().ok());
+}
+
+TEST(Verifier, OverflowIntervalCatchesOverdueFlush) {
+  // 8-bit operands (+-127): the 3rd SMLAL accumulation can reach
+  // 3 * 127 * 127 = 48387 > 32767 — exactly the silent mod-2^16 wrap the
+  // paper's SMLAL:SADDW ratio rules out (safe ratio for 8-bit is 2).
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  alignas(16) i8 buf[32] = {};
+  v.add_region(buf, 32, "operands", -127, 127);
+  v.begin_scope(KernelSpec{.name = "wrap"});
+  int16x8 acc;
+  movi_zero(ctx, acc);  // #1
+  int8x16 a, b;
+  ld1_s8(ctx, buf, a);       // #2
+  ld1_s8(ctx, buf + 16, b);  // #3
+  smlal_s8(ctx, acc, a, b);  // #4: |acc| <= 16129
+  smlal_s8(ctx, acc, a, b);  // #5: |acc| <= 32258
+  smlal_s8(ctx, acc, a, b);  // #6: |acc| <= 48387 — overflow
+  v.end_scope();
+  ASSERT_TRUE(has_kind(v, "overflow"));
+  const Violation viol = first_of_kind(v, "overflow");
+  EXPECT_EQ(viol.instr, 6u);
+  EXPECT_EQ(viol.op, Op::kSmlal8);
+  EXPECT_NE(viol.detail.find("flush"), std::string::npos);
+}
+
+TEST(Verifier, SaddwFlushResetsAccumulationHeadroom) {
+  // Same stream as above but flushed after every 2 accumulations: clean.
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  alignas(16) i8 buf[32] = {};
+  v.add_region(buf, 32, "operands", -127, 127);
+  v.begin_scope(KernelSpec{.name = "flushed", .acc16_flush = 2});
+  int32x4 acc32lo, acc32hi;
+  movi_zero(ctx, acc32lo);
+  movi_zero(ctx, acc32hi);
+  int16x8 acc;
+  int8x16 a, b;
+  ld1_s8(ctx, buf, a);
+  ld1_s8(ctx, buf + 16, b);
+  for (int round = 0; round < 4; ++round) {
+    movi_zero(ctx, acc);
+    smlal_s8(ctx, acc, a, b);
+    smlal_s8(ctx, acc, a, b);
+    saddw_s16(ctx, acc32lo, acc);
+    saddw2_s16(ctx, acc32hi, acc);
+  }
+  v.end_scope();
+  EXPECT_TRUE(v.ok()) << v.to_status().to_string();
+}
+
+TEST(Verifier, UninitializedReadFlagged) {
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  v.begin_scope(KernelSpec{.name = "uninit"});
+  int16x8 acc;
+  movi_zero(ctx, acc);  // #1
+  int8x16 a, b;         // never loaded
+  smlal_s8(ctx, acc, a, b);  // #2
+  v.end_scope();
+  ASSERT_TRUE(has_kind(v, "uninit-read"));
+  const Violation viol = first_of_kind(v, "uninit-read");
+  EXPECT_EQ(viol.instr, 2u);
+  EXPECT_EQ(viol.op, Op::kSmlal8);
+}
+
+TEST(Verifier, OutOfBoundsLoadFlaggedWithInstructionIndex) {
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  // Host buffer is larger than the registered region so the emulated
+  // 16-byte load stays on valid host memory (asan-clean) while still
+  // overrunning the *simulated* bounds the verifier enforces.
+  AlignedVector<i8> buf(128, 0);
+  v.add_region(buf.data(), 64, "panel");
+  int8x16 r;
+  ld1_s8(ctx, buf.data() + 56, r);  // #1: 16-byte load, 8 bytes past the end
+  ASSERT_TRUE(has_kind(v, "oob"));
+  const Violation viol = first_of_kind(v, "oob");
+  EXPECT_EQ(viol.instr, 1u);
+  EXPECT_NE(viol.detail.find("overruns region 'panel'"), std::string::npos);
+  const Status s = v.to_status();
+  EXPECT_EQ(s.code(), StatusCode::kInvariantViolation);
+  EXPECT_NE(s.to_string().find("instruction #1"), std::string::npos);
+}
+
+TEST(Verifier, AccessOutsideEveryRegionFlagged) {
+  Verifier v;
+  AlignedVector<i8> buf(64, 0);
+  AlignedVector<i8> other(64, 0);
+  v.add_region(buf.data(), 64, "panel");
+  v.check_mem(other.data(), 16);  // never registered
+  ASSERT_TRUE(has_kind(v, "oob"));
+  EXPECT_NE(first_of_kind(v, "oob").detail.find("unregistered"),
+            std::string::npos);
+}
+
+TEST(Verifier, EnsureRegionDoesNotWidenDriverBounds) {
+  // A pack claiming a larger span at the same base must NOT replace the
+  // driver's exact bounds — otherwise the claimed excess becomes
+  // "in bounds" and the overread it represents is hidden.
+  Verifier v;
+  AlignedVector<i8> buf(128, 0);
+  v.add_region(buf.data(), 64, "driver tensor");
+  v.ensure_region(buf.data(), 128, "pack source claim");
+  v.check_mem(buf.data() + 100, 1);
+  EXPECT_TRUE(has_kind(v, "oob"));
+}
+
+TEST(Verifier, OverreadSlackAllowsDeclaredGatherSpans) {
+  Verifier v;
+  AlignedVector<i8> buf(64, 0);
+  v.add_region(buf.data(), 48, "row", -1, 1, /*overread_slack=*/16);
+  v.check_mem(buf.data() + 40, 16);  // 8 bytes past, inside slack
+  EXPECT_TRUE(v.ok());
+  v.check_mem(buf.data() + 56, 16);  // 8 bytes past even the slack
+  EXPECT_TRUE(has_kind(v, "oob"));
+}
+
+TEST(Verifier, CalLdRatioOutsideSchemeBandFlagged) {
+  // 4 loads, 4 MACs -> ratio 1.0, against a declared band of [3.5, 4.5].
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  alignas(16) i8 buf[64] = {};
+  v.add_region(buf, 64, "operands", -1, 1);
+  v.begin_scope(KernelSpec{
+      .name = "low-ratio", .cal_ld_min = 3.5, .cal_ld_max = 4.5});
+  int16x8 acc;
+  movi_zero(ctx, acc);
+  int8x16 r[4];
+  for (int i = 0; i < 4; ++i) ld1_s8(ctx, buf + 16 * i, r[i]);
+  for (int i = 0; i < 4; ++i) smlal_s8(ctx, acc, r[i], r[(i + 1) % 4]);
+  v.end_scope();
+  ASSERT_TRUE(has_kind(v, "cal-ld-ratio"));
+  EXPECT_NE(first_of_kind(v, "cal-ld-ratio").detail.find("[3.5, 4.5]"),
+            std::string::npos);
+}
+
+TEST(Verifier, RegionValueRangeSeedsTighterIntervals) {
+  // With 4-bit operand ranges (+-7) declared on the region, 300 SMLALs
+  // stay inside 16-bit headroom (300 * 49 = 14700 < 32767) even though the
+  // same stream on full 8-bit ranges overflows at accumulation #3.
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  alignas(16) i8 buf[32] = {};
+  v.add_region(buf, 32, "operands", -7, 7);
+  v.begin_scope(KernelSpec{.name = "4bit"});
+  int16x8 acc;
+  movi_zero(ctx, acc);
+  int8x16 a, b;
+  ld1_s8(ctx, buf, a);
+  ld1_s8(ctx, buf + 16, b);
+  for (int i = 0; i < 300; ++i) smlal_s8(ctx, acc, a, b);
+  v.end_scope();
+  EXPECT_TRUE(v.ok()) << v.to_status().to_string();
+}
+
+TEST(Verifier, MaxLiveRegsTracksDistinctRegisters) {
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  v.begin_scope(KernelSpec{.name = "live"});
+  std::vector<int32x4> regs(12);
+  for (int32x4& r : regs) movi_zero(ctx, r);
+  v.end_scope();
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.max_live_regs(), 12);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation tests (ctest label: sanitizer) — the acceptance mutations, each
+// caught with the offending instruction identified.
+// ---------------------------------------------------------------------------
+
+TEST(VerifierMutation, BrokenFlushIntervalCaught) {
+  // Mutation: run the real SMLAL micro kernel with the 4-bit scheme's
+  // flush interval (31) on 8-bit operand ranges, where only 2 accumulations
+  // are safe. The declared KernelSpec matches the (wrong) parameter, so
+  // only the interval analysis can catch the wrap — and must.
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  const i64 kc = 8;
+  AlignedVector<i8> a_panel(kc * kMr);
+  AlignedVector<i8> b_panel(kc * kNr);
+  for (i64 i = 0; i < kc * kMr; ++i)
+    a_panel[i] = static_cast<i8>((i % 2) ? 127 : -127);
+  for (i64 i = 0; i < kc * kNr; ++i)
+    b_panel[i] = static_cast<i8>((i % 2) ? -127 : 127);
+  alignas(64) i32 c[kMr * kNr] = {};
+  v.add_region(a_panel.data(), kc * kMr, "packed A panels", -127, 127);
+  v.add_region(b_panel.data(), kc * kNr, "packed B panels", -127, 127);
+  v.add_region(c, sizeof(c), "gemm C tile");
+
+  micro_smlal_16x4(ctx, a_panel.data(), b_panel.data(), kc,
+                   /*flush=*/smlal_flush_interval(4), c);
+
+  ASSERT_TRUE(has_kind(v, "overflow")) << v.to_status().to_string();
+  const Violation viol = first_of_kind(v, "overflow");
+  EXPECT_EQ(viol.op, Op::kSmlal8);
+  // Exact offending instruction: 24 MOVI zeroes (16 x acc32 + 8 x acc16),
+  // then per depth step {LD1, LD4R, 8 SMLALs}; the 3rd accumulation into
+  // acc16[0][0] is the first SMLAL of step 2 -> 24 + 2*10 + 2 + 1 = 47.
+  EXPECT_EQ(viol.instr, 47u);
+  EXPECT_EQ(v.to_status().code(), StatusCode::kInvariantViolation);
+}
+
+TEST(VerifierMutation, DeclaredFlushIntervalExceededCaught) {
+  // Mutation: a kernel whose stream accumulates 3 times against a declared
+  // flush interval of 2 — scheme non-conformance even when the values
+  // happen to be too small to overflow.
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  alignas(16) i8 buf[32] = {};
+  v.add_region(buf, 32, "operands", -1, 1);
+  v.begin_scope(KernelSpec{.name = "mutant", .acc16_flush = 2});
+  int16x8 acc;
+  movi_zero(ctx, acc);  // #1
+  int8x16 a, b;
+  ld1_s8(ctx, buf, a);       // #2
+  ld1_s8(ctx, buf + 16, b);  // #3
+  smlal_s8(ctx, acc, a, b);  // #4
+  smlal_s8(ctx, acc, a, b);  // #5
+  smlal_s8(ctx, acc, a, b);  // #6 — accumulation 3 > declared interval 2
+  v.end_scope();
+  ASSERT_TRUE(has_kind(v, "flush-interval"));
+  const Violation viol = first_of_kind(v, "flush-interval");
+  EXPECT_EQ(viol.instr, 6u);
+  EXPECT_EQ(viol.op, Op::kSmlal8);
+  EXPECT_NE(viol.detail.find("declared flush interval 2"), std::string::npos);
+}
+
+TEST(VerifierMutation, RegisterOverBudgetCaught) {
+  // Mutation: a register plan holding 33 simultaneously-live vector
+  // registers with no Alg. 1 spill slots declared.
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  v.begin_scope(KernelSpec{.name = "mutant-regs"});
+  std::vector<int32x4> regs(33);
+  for (int32x4& r : regs) movi_zero(ctx, r);
+  v.end_scope();
+  ASSERT_TRUE(has_kind(v, "reg-budget"));
+  const Violation viol = first_of_kind(v, "reg-budget");
+  EXPECT_EQ(viol.instr, 33u);  // the 33rd register definition
+  EXPECT_EQ(v.max_live_regs(), 33);
+}
+
+TEST(VerifierMutation, SpillSlotsPermitControlledOverBudget) {
+  // Control: the same 33-live plan is legal when the spec grants Alg. 1
+  // spill slots and the kernel charges the spill traffic.
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  v.begin_scope(KernelSpec{.name = "spilled-regs", .spill_slots = 4});
+  std::vector<int32x4> regs(33);
+  for (int32x4& r : regs) movi_zero(ctx, r);
+  mov_vx(ctx, 4);
+  v.end_scope();
+  EXPECT_TRUE(v.ok()) << v.to_status().to_string();
+}
+
+TEST(VerifierMutation, OutOfBoundsPackReadCaught) {
+  // Mutation: pack_a_into told K is 4 columns wider than the tensor the
+  // driver registered — the classic packing overread that zero-padding
+  // normally hides. The host buffer is big enough (no real UB); only the
+  // registered region reflects the true tensor, so the excess trips the
+  // bounds sanitizer.
+  Verifier v;
+  Ctx ctx;
+  ctx.verifier = &v;
+  const i64 m = 16, k = 64;
+  AlignedVector<i8> a(m * (k + 4), 1);
+  v.add_region(a.data(), m * k, "gemm A", -1, 1);  // the true tensor span
+  AlignedVector<i8> dst(packed_a_bytes(m, k + 4));
+  v.add_region(dst.data(), packed_a_bytes(m, k + 4), "packed A panels");
+
+  pack_a_into(&ctx, a.data(), m, k + 4, dst.data());
+
+  ASSERT_TRUE(has_kind(v, "oob")) << "pack overread not caught";
+  const Violation viol = first_of_kind(v, "oob");
+  EXPECT_NE(viol.detail.find("unregistered"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep + off-mode identity + plan integration
+// ---------------------------------------------------------------------------
+
+TEST(VerifierSweep, AllShippedKernelsPassClean) {
+  const KernelVerifyReport report = verify_all_kernels();
+  EXPECT_TRUE(report.ok()) << report.failure_summary();
+  EXPECT_GT(report.entries.size(), 50u);
+  // The sweep must exercise every rung, not collapse onto one algo.
+  std::set<std::string> algos;
+  for (const KernelVerifyEntry& e : report.entries)
+    algos.insert(e.executed_algo);
+  EXPECT_GE(algos.size(), 4u) << "sweep collapsed onto too few algos";
+  int bits_seen = 0;
+  for (int bits = 2; bits <= 8; ++bits)
+    for (const KernelVerifyEntry& e : report.entries)
+      if (e.bits == bits) {
+        ++bits_seen;
+        break;
+      }
+  EXPECT_EQ(bits_seen, 7);
+}
+
+TEST(VerifierOffMode, CyclesAndValuesBitIdenticalToCheckedRun) {
+  ConvShape s;
+  s.name = "offmode";
+  s.in_c = 8, s.in_h = 10, s.in_w = 10;
+  s.out_c = 12;
+  s.kernel = 3, s.stride = 1, s.pad = 1;
+  for (int bits : {2, 4, 8}) {
+    const Tensor<i8> in =
+        extreme_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, bits, 21);
+    const Tensor<i8> w =
+        extreme_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, 22);
+    ArmConvOptions opt;
+    opt.bits = bits;
+    const ArmConvResult off = conv2d_s32(s, in, w, opt).value();
+    opt.verify = true;
+    const ArmConvResult on = conv2d_s32(s, in, w, opt).value();
+    EXPECT_EQ(off.cycles, on.cycles) << "bits=" << bits;
+    EXPECT_EQ(std::memcmp(off.out.data(), on.out.data(),
+                          static_cast<size_t>(off.out.elems()) * sizeof(i32)),
+              0)
+        << "bits=" << bits;
+  }
+}
+
+TEST(VerifierPlan, ConvPlanThreadsCheckedExecution) {
+  ConvShape s;
+  s.name = "planned";
+  s.in_c = 6, s.in_h = 8, s.in_w = 8;
+  s.out_c = 10;
+  s.kernel = 3, s.stride = 1, s.pad = 1;
+  const Tensor<i8> w =
+      extreme_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, 4, 31);
+  const Tensor<i8> in =
+      extreme_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 4, 32);
+  auto plan = core::plan_arm_conv(s, w, 4, core::ArmImpl::kOurs,
+                                  ConvAlgo::kGemm, /*threads=*/4,
+                                  /*verify=*/true);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+  EXPECT_TRUE(plan.value().verify());
+  Workspace ws;
+  auto r = core::execute_arm_conv(plan.value(), in, ws);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+}
+
+}  // namespace
+}  // namespace lbc

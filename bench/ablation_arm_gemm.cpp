@@ -2,13 +2,21 @@
 //  1. re-designed GEMM vs traditional GEMM — the Eq. 1-4 CAL/LD claim,
 //     measured from real dynamic instruction counts;
 //  2. SADDW flush-interval sweep — why 8-bit gains little and 4-bit a lot;
-//  3. interleaved {LD1,LD4R}/SMLAL issue (the Alg. 1 prefetching) on/off.
+//  3. interleaved {LD1,LD4R}/SMLAL issue (the Alg. 1 prefetching) on/off;
+//  4. per-bit flush operating points;
+//  5. convolution algorithms;
+//  6. Mc/Kc/Nc cache blocking + fused im2col packing vs the legacy
+//     materialized unblocked sweep (DESIGN.md Sec. 11) — also emitted as
+//     BENCH_arm_gemm_ablation.json (env LBC_BENCH_ABLATION_JSON overrides
+//     the path).
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "armkern/gemm_lowbit.h"
 #include "armkern/micro.h"
 #include "armkern/pack.h"
+#include "armkern/tile_search.h"
 #include "bench_common.h"
 
 using namespace lbc;
@@ -135,6 +143,53 @@ void ablate_algorithms() {
       "eligible.\n");
 }
 
+void ablate_blocking(std::vector<bench::ArmGemmRecord>* records) {
+  std::printf(
+      "\n-- ablation 6: Mc/Kc/Nc blocking + fused im2col pack vs "
+      "materialized unblocked sweep --\n");
+  std::printf("%-9s %-6s %12s %14s %12s %12s %10s\n", "layer", "bits",
+              "cycles", "stall cycles", "L2 misses", "scratch KB", "speedup");
+  // The L2-bound shapes the blocking exists for, plus a small layer where
+  // the working set already fits (blocking must not regress it).
+  std::vector<ConvShape> shapes;
+  for (const ConvShape& s : nets::resnet50_layers())
+    if (s.name == "conv2" || s.name == "conv5" || s.name == "conv18")
+      shapes.push_back(s);
+  const armsim::CostModel cm = armsim::CostModel::cortex_a53();
+  for (const ConvShape& s : shapes) {
+    for (int bits : {2, 4, 8}) {
+      const Tensor<i8> in =
+          random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, bits, 1);
+      const Tensor<i8> w = random_qtensor(
+          Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, 2);
+      armkern::ArmConvOptions opt;
+      opt.bits = bits;
+      opt.blocking = armkern::BlockingPolicy::kOff;
+      const armkern::ArmConvResult off =
+          armkern::conv2d_s32(s, in, w, opt).value();
+      opt.blocking = armkern::BlockingPolicy::kAuto;
+      const armkern::ArmConvResult on =
+          armkern::conv2d_s32(s, in, w, opt).value();
+      for (const auto* r : {&off, &on}) {
+        const bool blocked = r == &on;
+        std::printf("%-9s %-6d %12.0f %14.0f %12llu %12.1f %9s\n",
+                    s.name.c_str(), bits, r->cycles,
+                    cm.breakdown(r->counts, true).stall_cycles,
+                    static_cast<unsigned long long>(
+                        r->counts[armsim::Op::kL2Miss]),
+                    static_cast<double>(r->space.im2col_elems) / 1024.0,
+                    blocked ? "" : "-");
+        if (blocked)
+          std::printf("%62s %.2fx blocked/unblocked\n", "",
+                      off.cycles / on.cycles);
+        if (records != nullptr)
+          records->push_back(bench::make_arm_gemm_record(
+              s.name, bits, blocked ? "ours" : "ours-unblocked", *r));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -145,5 +200,12 @@ int main() {
   ablate_interleaving();
   ablate_unrolling();
   ablate_algorithms();
+  std::vector<bench::ArmGemmRecord> records;
+  ablate_blocking(&records);
+  const char* json_path = std::getenv("LBC_BENCH_ABLATION_JSON");
+  bench::write_arm_gemm_json(json_path != nullptr && json_path[0] != '\0'
+                                 ? json_path
+                                 : "BENCH_arm_gemm_ablation.json",
+                             "ablation_arm_gemm", records);
   return 0;
 }

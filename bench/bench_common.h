@@ -3,6 +3,7 @@
 // baselines, same series (see DESIGN.md Sec. 4 for the experiment index).
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <span>
 #include <string>
@@ -11,27 +12,38 @@
 #include "common/rng.h"
 #include "core/engine.h"
 #include "core/report.h"
+#include "json_out.h"
 #include "nets/nets.h"
 
 namespace lbc::bench {
 
-/// ARM per-layer timing with fresh synthetic data in the bit width's
-/// adjusted range (kernel time is data-independent; the data only needs to
-/// be range-legal).
-inline double arm_layer_seconds(const ConvShape& s, int bits,
-                                core::ArmImpl impl,
-                                armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
-                                u64 seed = 42) {
+/// ARM per-layer run with fresh synthetic data in the bit width's adjusted
+/// range (kernel time is data-independent; the data only needs to be
+/// range-legal).
+inline core::ArmLayerResult arm_layer_run(
+    const ConvShape& s, int bits, core::ArmImpl impl,
+    armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm, u64 seed = 42) {
   const Tensor<i8> in =
       random_qtensor(Shape4{s.batch, s.in_c, s.in_h, s.in_w}, bits, seed);
   const Tensor<i8> w = random_qtensor(
       Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, seed + 1);
-  return core::run_arm_conv(s, in, w, bits, impl, algo).value().seconds;
+  return core::run_arm_conv(s, in, w, bits, impl, algo).value();
+}
+
+inline double arm_layer_seconds(const ConvShape& s, int bits,
+                                core::ArmImpl impl,
+                                armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
+                                u64 seed = 42) {
+  return arm_layer_run(s, bits, impl, algo, seed).seconds;
 }
 
 /// Fig. 7/14/15 body: our 2-8-bit kernels vs the ncnn 8-bit baseline.
+/// When `records` is non-null, every (layer, bits, impl) measurement is
+/// appended for BENCH_arm_gemm.json (modeled cycles, stall breakdown,
+/// miss rates).
 inline void run_arm_bits_figure(const std::string& title,
-                                std::span<const ConvShape> layers) {
+                                std::span<const ConvShape> layers,
+                                std::vector<ArmGemmRecord>* records = nullptr) {
   core::print_environment_banner();
   core::SpeedupTable tab;
   tab.title = title;
@@ -40,16 +52,39 @@ inline void run_arm_bits_figure(const std::string& title,
   for (int bits = 2; bits <= 8; ++bits)
     tab.add_series(std::to_string(bits) + "-bit");
 
+  // Space accounting for the fused-pack GEMM (the default path): the
+  // im2col matrix is never materialized, so activation scratch is the
+  // per-worker (Kc x Nc) block buffer instead of the full K x N matrix.
+  i64 fused_scratch_elems = 0, materialized_elems = 0;
+
   for (const ConvShape& s : layers) {
     std::fprintf(stderr, "  %s ...\n", describe(s).c_str());
     tab.layer_names.push_back(s.name);
-    tab.baseline_seconds.push_back(
-        arm_layer_seconds(s, 8, core::ArmImpl::kNcnn8bit));
-    for (int bits = 2; bits <= 8; ++bits)
-      tab.series[static_cast<size_t>(bits - 2)].seconds.push_back(
-          arm_layer_seconds(s, bits, core::ArmImpl::kOurs));
+    const core::ArmLayerResult base =
+        arm_layer_run(s, 8, core::ArmImpl::kNcnn8bit);
+    tab.baseline_seconds.push_back(base.seconds);
+    if (records != nullptr)
+      records->push_back(make_arm_gemm_record(s.name, 8, "ncnn-8bit", base));
+    for (int bits = 2; bits <= 8; ++bits) {
+      const core::ArmLayerResult r = arm_layer_run(s, bits, core::ArmImpl::kOurs);
+      tab.series[static_cast<size_t>(bits - 2)].seconds.push_back(r.seconds);
+      if (records != nullptr)
+        records->push_back(make_arm_gemm_record(s.name, bits, "ours", r));
+      if (bits == 8) {
+        fused_scratch_elems += r.space.im2col_elems;
+        materialized_elems += s.gemm_k() * s.gemm_n();
+      }
+    }
   }
   tab.print();
+  if (materialized_elems > 0)
+    std::printf(
+        "-- activation scratch (fused block pack): %.1f KB vs %.1f KB "
+        "materialized im2col (%.1fx smaller) --\n",
+        static_cast<double>(fused_scratch_elems) / 1024.0,
+        static_cast<double>(materialized_elems) / 1024.0,
+        static_cast<double>(materialized_elems) /
+            static_cast<double>(std::max<i64>(fused_scratch_elems, 1)));
 }
 
 /// Fig. 10/16/17 body: our 4/8-bit tensor-core kernels vs cuDNN-dp4a and

@@ -1,10 +1,15 @@
 // Fig. 13: space overhead of im2col and of data padding+packing for every
 // ResNet-50 layer, relative to the activation+weight footprint.
 //
-// Paper reference points (reproduced EXACTLY by this bench, which is what
-// pins down the layer table): im2col overhead min 1.0218x (conv18), max
-// 8.6034x (conv2), average 1.9445x; padding+packing overhead 1.0x for
-// conv1~14, max 1.0058x (conv2), average 1.0010x.
+// Paper reference points (reproduced EXACTLY by the materialized columns,
+// which is what pins down the layer table): im2col overhead min 1.0218x
+// (conv18), max 8.6034x (conv2), average 1.9445x; padding+packing overhead
+// 1.0x for conv1~14, max 1.0058x (conv2), average 1.0010x.
+//
+// The materialized matrix is the paper's accounting. Since the blocked
+// GEMM (DESIGN.md Sec. 11) gathers im2col rows per (Kc x Nc) block on the
+// fly, the default path never allocates it — the fused columns report the
+// actual activation scratch of that path (one block buffer per worker).
 #include <cstdio>
 
 #include "bench_common.h"
@@ -15,10 +20,12 @@ int main() {
   std::printf(
       "\n== Fig. 13 - ARM space overhead of im2col + padding/packing, "
       "ResNet-50 ==\n");
-  std::printf("%-9s %14s %14s %14s %14s\n", "layer", "act+w (KB)",
-              "im2col_ovh", "pack_ovh", "total_ovh");
+  std::printf("%-9s %12s | %12s %10s %10s | %12s %10s\n", "layer",
+              "act+w (KB)", "im2col_ovh", "pack_ovh", "total_ovh",
+              "fused_ovh", "fused KB");
 
   double sum_im2col = 0, sum_pack = 0, min_im = 1e9, max_im = 0;
+  double sum_fused = 0, max_fused = 0;
   std::string min_l, max_l;
   const auto layers = nets::resnet50_layers();
   for (const ConvShape& s : layers) {
@@ -27,15 +34,24 @@ int main() {
         random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 8, 1);
     const Tensor<i8> w =
         random_qtensor(Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, 8, 2);
+    armkern::ArmConvOptions mat_opt;
+    mat_opt.blocking = armkern::BlockingPolicy::kOff;  // paper accounting
     const armkern::ArmConvResult r =
+        armkern::conv2d_s32(s, in, w, mat_opt).value();
+    const armkern::ArmConvResult f =
         armkern::conv2d_s32(s, in, w, armkern::ArmConvOptions{}).value();
     const double im = r.space.im2col_overhead();
     const double pk = r.space.pack_overhead();
-    std::printf("%-9s %14.1f %13.4fx %13.4fx %13.4fx\n", s.name.c_str(),
+    const double fim = f.space.im2col_overhead();
+    std::printf("%-9s %12.1f | %11.4fx %9.4fx %9.4fx | %11.4fx %10.1f\n",
+                s.name.c_str(),
                 static_cast<double>(r.space.baseline_elems) / 1024.0, im, pk,
-                r.space.total_overhead());
+                r.space.total_overhead(), fim,
+                static_cast<double>(f.space.im2col_elems) / 1024.0);
     sum_im2col += im;
     sum_pack += pk;
+    sum_fused += fim;
+    max_fused = std::max(max_fused, fim);
     if (im < min_im) {
       min_im = im;
       min_l = s.name;
@@ -47,12 +63,16 @@ int main() {
   }
   const double n = static_cast<double>(layers.size());
   std::printf(
-      "-- summary: im2col overhead min %.4fx (%s), max %.4fx (%s), avg %.4fx"
-      " | pack overhead avg %.4fx --\n",
+      "-- materialized: im2col overhead min %.4fx (%s), max %.4fx (%s), avg "
+      "%.4fx | pack overhead avg %.4fx --\n",
       min_im, min_l.c_str(), max_im, max_l.c_str(), sum_im2col / n,
       sum_pack / n);
   std::printf(
-      "paper:      im2col overhead min 1.0218x (conv18), max 8.6034x (conv2),"
-      " avg 1.9445x | pack overhead avg 1.0010x\n");
+      "paper:           im2col overhead min 1.0218x (conv18), max 8.6034x "
+      "(conv2), avg 1.9445x | pack overhead avg 1.0010x\n");
+  std::printf(
+      "-- fused block pack (default path): activation-scratch overhead max "
+      "%.4fx, avg %.4fx — the full matrix is never written --\n",
+      max_fused, sum_fused / n);
   return 0;
 }

@@ -1,5 +1,7 @@
 // Fig. 15: our optimized 2-8-bit kernels vs ncnn 8-bit on SCR-ResNet-50
 // (paper: wins on all layers; averages 3.17/3.00/2.65/2.54/2.54/2.27/1.52x).
+// The summary line reports the fused-pack activation scratch (the blocked
+// GEMM never materializes the im2col matrix — DESIGN.md Sec. 11).
 #include "bench_common.h"
 
 int main() {

@@ -10,6 +10,7 @@
 #include "common/workspace.h"
 
 #include "armkern/direct_conv.h"
+#include "armkern/tile_search.h"
 #include "armsim/neon.h"
 #include "refconv/conv_ref.h"
 #include "refconv/im2col.h"
@@ -96,6 +97,20 @@ i64 ArmConvPlan::workspace_bytes(i64 batch) const {
   }
   // GEMM-family path: im2col + concat C buffer (batch > 1) + B-side pack.
   const i64 m = sb.gemm_m(), n = sb.gemm_n(), k = sb.gemm_k();
+  if (blocking.enabled() && algo == ConvAlgo::kGemm &&
+      kernel != ArmKernel::kTraditional) {
+    // Fused blocked path: no materialized im2col and no full packed-B
+    // copy — only one live (Kc x Nc) block buffer per modeled worker,
+    // plus the batch > 1 C staging.
+    const BlockedLayout lay =
+        blocked_layout(m, n, k, blocking, kernel == ArmKernel::kSdotExt);
+    const int workers =
+        blocked_threads(lay, requested.threads, requested.verify);
+    i64 total = workers * workspace_rounded(lay.block_bytes());
+    if (sb.batch > 1)
+      total += workspace_rounded(m * n * static_cast<i64>(sizeof(i32)));
+    return total;
+  }
   i64 total = workspace_rounded(k * n);  // im2col matrix
   if (sb.batch > 1)
     total += workspace_rounded(m * n * static_cast<i64>(sizeof(i32)));
@@ -164,6 +179,37 @@ StatusOr<ArmConvPlan> plan_conv(const ConvShape& s, const Tensor<i8>& weight,
   }
   plan.algo = algo;
   plan.kernel = kernel;
+
+  // Resolve the blocked-GEMM {Mc, Kc, Nc} once per plan. Only the
+  // packed-panel GEMM rungs block; bitserial, winograd, direct, reference
+  // and the traditional GEMM keep their own schedules.
+  if (algo == ConvAlgo::kGemm && kernel != ArmKernel::kTraditional) {
+    const bool sdot = kernel == ArmKernel::kSdotExt;
+    switch (opt.blocking) {
+      case BlockingPolicy::kOff:
+        break;
+      case BlockingPolicy::kExplicit:
+        plan.blocking = clamp_blocking(opt.explicit_blocking, s.gemm_m(),
+                                       s.gemm_n(), s.gemm_k(), sdot);
+        break;
+      case BlockingPolicy::kAuto:
+        plan.blocking = search_blocking(s, opt.bits, kernel);
+        break;
+    }
+    // Multicore extension: the jc column bands are the threading
+    // dimension, so refine Nc until every requested worker gets at least
+    // one band (the search optimizes the single-core schedule; the
+    // paper's ARM evaluation is single-threaded).
+    if (plan.blocking.enabled() && opt.threads > 1) {
+      const i64 n_pad = round_up(s.gemm_n(), kNr);
+      const i64 per = round_up(ceil_div(n_pad, static_cast<i64>(opt.threads)),
+                               kNr);
+      if (plan.blocking.nc > per)
+        plan.blocking = clamp_blocking(
+            GemmBlocking{plan.blocking.mc, plan.blocking.kc, per}, s.gemm_m(),
+            s.gemm_n(), s.gemm_k(), sdot);
+    }
+  }
 
   LBC_VALIDATE(
       !FaultInjector::instance().should_fire(FaultSite::kPlanCompileFail),
@@ -258,6 +304,19 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
     res.fallback.record(from, "reference", std::move(why));
     run_reference();
   };
+  // Re-scatter C[oc][b*oh*ow] into NCHW for batch > 1 (bookkeeping copy;
+  // its cost is charged as a streaming pass). Shared by the materialized
+  // and fused GEMM paths.
+  const auto scatter_batched = [&](const i32* cp, i64 m, i64 n) {
+    const i64 ohw = sb.out_h() * sb.out_w();
+    for (i64 oc = 0; oc < m; ++oc)
+      for (i64 b = 0; b < sb.batch; ++b)
+        for (i64 i = 0; i < ohw; ++i)
+          res.out.data()[((b * m + oc) * ohw) + i] = cp[oc * n + b * ohw + i];
+    serial_ctx.tally(Op::kLd1, static_cast<u64>(m * n / 4 + 1));
+    serial_ctx.tally(Op::kSt1, static_cast<u64>(m * n / 4 + 1));
+    serial_ctx.mem_range(res.out.data(), static_cast<u64>(m * n) * 4);
+  };
 
   res.executed_algo = algo_name(algo);
   bool degraded = false;
@@ -279,11 +338,68 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
     parallel_cycles = cm.cycles_for(wstats.counts, interleaved);
     res.space.im2col_elems = wstats.transform_buf_elems;  // transform scratch
   } else if (fi.should_fire(FaultSite::kAllocFail)) {
-    // Injected allocation failure of the im2col matrix: the GEMM path
-    // cannot run, but the reference rung needs no scratch buffer at all.
-    degrade_to_reference(algo_name(algo),
-                         "im2col buffer allocation failed (injected fault)");
+    // Injected allocation failure of the GEMM scratch (the im2col matrix,
+    // or the fused path's pack-block buffers): the GEMM path cannot run,
+    // but the reference rung needs no scratch buffer at all.
+    degrade_to_reference(
+        algo_name(algo),
+        plan.blocking.enabled()
+            ? "pack-block scratch allocation failed (injected fault)"
+            : "im2col buffer allocation failed (injected fault)");
     degraded = true;
+  } else if (plan.blocking.enabled()) {
+    // Cache-blocked GEMM with fused im2col packing: the im2col matrix is
+    // never materialized — each (Kc x Nc) B block is gathered straight
+    // from the input tensor inside the blocked loop nest, so the live
+    // activation scratch is one block buffer per modeled worker.
+    const i64 m = sb.gemm_m(), n = sb.gemm_n(), k = sb.gemm_k();
+    res.out = Tensor<i32>(Shape4{sb.batch, sb.out_c, sb.out_h(), sb.out_w()});
+    i32* cptr = res.out.data();
+    if (sb.batch > 1) cptr = ws.alloc_n<i32>(m * n);
+    if (verifier != nullptr) {
+      verifier->add_region(res.out.data(),
+                           res.out.elems() * static_cast<i64>(sizeof(i32)),
+                           "conv output");
+      if (sb.batch > 1)
+        verifier->add_region(cptr, m * n * static_cast<i64>(sizeof(i32)),
+                             "conv C staging");
+    }
+    const BlockedLayout lay = blocked_layout(m, n, k, plan.blocking,
+                                             kernel == ArmKernel::kSdotExt);
+    // Fig. 13 / 15 accounting: what the fused path holds instead of the
+    // k x n im2col matrix.
+    res.space.im2col_elems =
+        blocked_threads(lay, plan.requested.threads, plan.requested.verify) *
+        lay.block_elems();
+    if (fi.should_fire(FaultSite::kPackMisalign)) {
+      degrade_to_reference("gemm",
+                           "packed panel alignment check failed "
+                           "(injected fault)");
+      degraded = true;
+    } else {
+      GemmOptions gopt;
+      gopt.bits = bits;
+      gopt.kernel = kernel;
+      gopt.threads = plan.requested.threads;
+      gopt.workspace = &ws;
+      gopt.verifier = verifier.get();  // forces threads = 1 when set
+      gopt.blocking = plan.blocking;
+      GemmStats gs;
+      if (kernel == ArmKernel::kSdotExt)
+        gs = gemm_s8s32_sdot_conv_fused(plan.sdot_a.view(), sb, input, cptr,
+                                        gopt);
+      else
+        gs = gemm_s8s32_conv_fused(plan.gemm_a.view(), sb, input, cptr, gopt);
+      res.counts.merge(gs.counts);
+      res.space.pack_extra_elems = gs.pack_extra_elems;
+      interleaved = gs.interleaved;
+      for (const auto& tc : gs.thread_counts)
+        parallel_cycles =
+            std::max(parallel_cycles, cm.cycles_for(tc, interleaved));
+      serial_ctx.counts.merge(gs.serial_counts);
+      threaded = gs.thread_counts.size() > 1;
+    }
+    if (!degraded && sb.batch > 1) scatter_batched(cptr, m, n);
   } else {
     // Explicit GEMM path: materialize im2col (the paper materializes it for
     // every layer, including 1x1 — Fig. 13's conv18 ratio pins this down).
@@ -353,19 +469,7 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
       serial_ctx.counts.merge(gs.serial_counts);
       threaded = gs.thread_counts.size() > 1;
     }
-    if (!degraded && sb.batch > 1) {
-      // Re-scatter C[oc][b*oh*ow] into NCHW (bookkeeping copy; its cost is
-      // charged as a streaming pass).
-      const i64 ohw = sb.out_h() * sb.out_w();
-      for (i64 oc = 0; oc < m; ++oc)
-        for (i64 b = 0; b < sb.batch; ++b)
-          for (i64 i = 0; i < ohw; ++i)
-            res.out.data()[((b * m + oc) * ohw) + i] =
-                cptr[oc * n + b * ohw + i];
-      serial_ctx.tally(Op::kLd1, static_cast<u64>(m * n / 4 + 1));
-      serial_ctx.tally(Op::kSt1, static_cast<u64>(m * n / 4 + 1));
-      serial_ctx.mem_range(res.out.data(), static_cast<u64>(m * n) * 4);
-    }
+    if (!degraded && sb.batch > 1) scatter_batched(cptr, m, n);
   }
 
   // Post-run overflow self-check: a kernel that reports accumulator

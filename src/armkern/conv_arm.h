@@ -52,11 +52,26 @@ bool winograd_eligible_for(const ConvShape& s, int bits);
 bool bitserial_eligible_for(int bits);
 bool sdot_eligible_for(int bits);
 
+/// How plan_conv picks the blocked-GEMM {Mc, Kc, Nc} (GEMM-family algos
+/// only; other rungs ignore it).
+enum class BlockingPolicy {
+  kAuto,      ///< tile auto-search per (shape, bits, scheme) — the default
+  kExplicit,  ///< use ArmConvOptions::explicit_blocking (clamped to shape)
+  kOff,       ///< legacy unblocked sweep with materialized im2col
+};
+
 struct ArmConvOptions {
   int bits = 8;
   ConvAlgo algo = ConvAlgo::kGemm;
   ArmKernel kernel = ArmKernel::kOursGemm;
   int threads = 1;
+  /// Cache blocking of the low-bit GEMM (paper Sec. 3.2 discipline applied
+  /// to the ARM path): Mc/Kc/Nc loop nest with the im2col rows gathered
+  /// on the fly per (Kc x Nc) block instead of materialized up front.
+  BlockingPolicy blocking = BlockingPolicy::kAuto;
+  /// Consulted only under BlockingPolicy::kExplicit; clamped to the
+  /// shape's GEMM view by plan_conv.
+  GemmBlocking explicit_blocking{128, 64, 256};
   /// Checked execution (armsim/verifier.h): run every emulated kernel under
   /// the invariant verifier — overflow intervals, register budget, memory
   /// bounds, scheme conformance. A caught violation turns the execute into
@@ -104,6 +119,9 @@ struct ArmConvPlan {
   ArmConvOptions requested;  ///< the original request
   ConvAlgo algo = ConvAlgo::kGemm;     ///< resolved rung
   ArmKernel kernel = ArmKernel::kOursGemm;  ///< resolved kernel
+  /// Resolved {Mc, Kc, Nc} for the GEMM-family rungs (disabled under
+  /// BlockingPolicy::kOff, for non-GEMM rungs, and for kTraditional).
+  GemmBlocking blocking;
   FallbackRecord planned_fallback;     ///< eligibility degradations
 
   /// Original weights — kept for the rungs that consume them unpacked

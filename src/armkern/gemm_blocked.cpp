@@ -1,0 +1,265 @@
+// Mc/Kc/Nc cache-blocked GEMM driver (blocking.h) for the low-bit micro
+// kernels, with fused im2col packing on the conv path.
+//
+// Loop nest (BLIS order, QNNPACK-style for low-bit):
+//   jc  — Nc column blocks; the threading dimension (disjoint C bands)
+//   kcb — Kc depth blocks; ONE Kc x Nc B block is packed per (jc, kcb)
+//         into a small reusable scratch buffer that stays L1-resident
+//   icb — Mc row blocks; the A panel slices for this Kc block re-stream
+//         from L2 instead of DRAM
+//   p,q — 16 x 4 micro tiles
+//
+// The micro kernels are unchanged: they zero their accumulators and
+// overwrite the column-major scratch tile, so the driver scatter assigns
+// on the first K block and accumulates (plain i32 adds) afterwards —
+// bit-exact with the unblocked full-K sweep in any block order. The
+// accumulate's extra C re-load/add per tile row is tallied; the first
+// block's stores ride on the micro kernel's ST1s exactly like the
+// unblocked scatter.
+//
+// Under checked execution the per-(jc, kcb) B block is re-registered with
+// the verifier before each pack (same-start registration replaces), so
+// bounds always describe the live block extent.
+#include <cstring>
+#include <vector>
+
+#include "armkern/gemm_blocked.h"
+
+#include "armkern/micro.h"
+#include "armsim/verifier.h"
+#include "common/status.h"
+#include "common/workspace.h"
+#include "serve/thread_pool.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+namespace {
+
+// Per-call scratch: from the caller's arena when one is plumbed through,
+// otherwise a fresh aligned heap block (mirrors gemm_lowbit.cpp).
+i8* block_scratch(const GemmOptions& opt, AlignedVector<i8>& own, i64 bytes) {
+  if (opt.workspace != nullptr) return opt.workspace->alloc_n<i8>(bytes);
+  own.resize(static_cast<size_t>(bytes));
+  return own.data();
+}
+
+// Where packed-B blocks come from: a row-major K x N matrix, or (fused
+// path) the conv input tensor through the im2col mapping.
+struct BSource {
+  const i8* b = nullptr;
+  const ConvShape* shape = nullptr;
+  const Tensor<i8>* input = nullptr;
+};
+
+// One worker's share of jc blocks: pack each (jc, kcb) B block, sweep all
+// A panels against it, scatter/accumulate into C.
+void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
+                     const BSource& src, i32* c, const BlockedLayout& lay,
+                     const GemmOptions& opt, i8* buf, i64 jc0, i64 jc1) {
+  const int bits = opt.bits;
+  alignas(64) i32 tile[kMr * kNr] = {};
+  if (ctx.verifier != nullptr)
+    ctx.verifier->add_region(tile, sizeof(tile), "gemm C tile");
+  const i32 qb = opt.b_max_abs > 0 ? opt.b_max_abs : qmax_for_bits(bits);
+  const i64 panels_per_mc = lay.blk.mc / kMr;
+  for (i64 jc = jc0; jc < jc1; ++jc) {
+    const i64 n0 = jc * lay.blk.nc;
+    const i64 nc = lay.nc_eff(jc);
+    const i64 nc_pad = round_up(nc, kNr);
+    for (i64 kcb = 0; kcb < lay.k_blocks; ++kcb) {
+      const i64 k0 = kcb * lay.blk.kc;
+      const i64 kc = lay.kc_eff(kcb);
+      const i64 kstride = lay.k_stride(kcb);
+      if (ctx.verifier != nullptr)
+        ctx.verifier->add_region(buf, nc_pad * kstride, "packed B block", -qb,
+                                 qb);
+      if (lay.sdot) {
+        if (src.b != nullptr)
+          pack_sdot_b_block_into(&ctx, src.b, lay.k, lay.n, k0, kc, n0, nc,
+                                 buf);
+        else
+          pack_sdot_b_panels_from_conv(&ctx, *src.shape, *src.input, k0, kc,
+                                       n0, nc, buf);
+      } else {
+        if (src.b != nullptr)
+          pack_b_block_into(&ctx, src.b, lay.k, lay.n, k0, kc, n0, nc, buf);
+        else
+          pack_b_panels_from_conv(&ctx, *src.shape, *src.input, k0, kc, n0,
+                                  nc, buf);
+      }
+      for (i64 icb = 0; icb < lay.m_blocks; ++icb) {
+        const i64 p0 = icb * panels_per_mc;
+        const i64 p1 = std::min<i64>(lay.m_panels(), p0 + panels_per_mc);
+        for (i64 p = p0; p < p1; ++p) {
+          // The packed-A K slice at depth k0 needs no repack: panel layout
+          // is [K][kMr] (and [K4/4][kMr][4] for SDOT with k0 % 4 == 0), so
+          // the slice is a plain pointer offset.
+          const i8* a_slice = lay.sdot ? sa->panel(p) + k0 * kMr
+                                       : pa->panel(p) + k0 * kMr;
+          for (i64 q = 0; q < nc_pad / kNr; ++q) {
+            const i8* b_panel = buf + q * kstride * kNr;
+            switch (opt.kernel) {
+              case ArmKernel::kOursGemm:
+                if (opt.flush_override > 0)
+                  micro_smlal_16x4(ctx, a_slice, b_panel, kc,
+                                   opt.flush_override, tile);
+                else if (bits <= 3)
+                  micro_mla_16x4(ctx, a_slice, b_panel, kc,
+                                 mla_flush_interval(bits), tile);
+                else
+                  micro_smlal_16x4(ctx, a_slice, b_panel, kc,
+                                   smlal_flush_interval(bits), tile);
+                break;
+              case ArmKernel::kNcnn:
+                micro_ncnn_16x4(ctx, a_slice, b_panel, kc, tile);
+                break;
+              case ArmKernel::kSdotExt:
+                micro_sdot_16x4(ctx, a_slice, b_panel, kstride, tile);
+                break;
+              case ArmKernel::kTraditional:
+                LBC_CHECK_MSG(false, "kernel has its own entry point");
+                break;
+            }
+            const i64 row0 = p * kMr;
+            const i64 col0 = n0 + q * kNr;
+            const i64 rows = std::min<i64>(kMr, lay.m - row0);
+            const i64 cols = std::min<i64>(kNr, lay.n - col0);
+            for (i64 ii = 0; ii < rows; ++ii) {
+              i32* crow = &c[(row0 + ii) * lay.n + col0];
+              ctx.mem(crow, static_cast<u64>(cols) * 4);
+              if (kcb == 0)
+                for (i64 jj = 0; jj < cols; ++jj) crow[jj] = tile[jj * kMr + ii];
+              else
+                for (i64 jj = 0; jj < cols; ++jj)
+                  crow[jj] += tile[jj * kMr + ii];
+            }
+            if (kcb > 0 && rows > 0) {
+              // Accumulating a partial-K tile re-loads the C rows and adds
+              // them in (the first K block's stores come free with the
+              // micro kernel's ST1s, same as the unblocked scatter).
+              ctx.tally(Op::kLd1, static_cast<u64>(rows));
+              ctx.tally(Op::kAdd, static_cast<u64>(rows));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+GemmStats run_blocked(const APanels* pa, const SdotAPanels* sa,
+                      const BSource& src, i32* c, i64 m, i64 n, i64 k,
+                      const GemmOptions& opt) {
+  LBC_CHECK_MSG(opt.blocking.enabled(),
+                "blocked GEMM driver called with blocking disabled");
+  const bool sdot = sa != nullptr;
+  const BlockedLayout lay = blocked_layout(m, n, k, opt.blocking, sdot);
+  LBC_CHECK_MSG(!sdot || lay.k_blocks == 1 || lay.blk.kc % 4 == 0,
+                "SDOT blocked Kc must be a multiple of 4");
+
+  GemmStats stats;
+  // Padding accounting matches the unblocked drivers: block partitioning
+  // moves the padding around but adds none.
+  if (sdot)
+    stats.pack_extra_elems =
+        (sa->m_pad * sa->k_pad + lay.n_pad * round_up(k, 4)) - m * k - k * n;
+  else
+    stats.pack_extra_elems = pa->extra_elems() + (lay.n_pad * k - k * n);
+
+  if (opt.verifier != nullptr) {
+    const i32 qa = opt.a_max_abs > 0 ? opt.a_max_abs : qmax_for_bits(opt.bits);
+    const i32 qb = opt.b_max_abs > 0 ? opt.b_max_abs : qmax_for_bits(opt.bits);
+    if (sdot)
+      opt.verifier->add_region(sa->data, sa->m_pad * sa->k_pad,
+                               "packed SDOT A", -qa, qa);
+    else
+      opt.verifier->add_region(pa->data, pa->m_pad * pa->k, "packed A panels",
+                               -qa, qa);
+    if (src.b != nullptr)
+      opt.verifier->add_region(src.b, k * n, "gemm B", -qb, qb);
+    opt.verifier->add_region(c, m * n * static_cast<i64>(sizeof(i32)),
+                             "gemm C");
+  }
+
+  const int threads =
+      blocked_threads(lay, opt.threads, opt.verifier != nullptr);
+  // Per-thread B-block scratch, drawn from the arena up front (a Workspace
+  // is single-owner, so all draws happen before the workers start).
+  std::vector<AlignedVector<i8>> own(static_cast<size_t>(threads));
+  std::vector<i8*> bufs(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    bufs[static_cast<size_t>(t)] =
+        block_scratch(opt, own[static_cast<size_t>(t)], lay.block_bytes());
+
+  if (threads == 1) {
+    Ctx ctx;
+    ctx.verifier = opt.verifier;
+    run_block_range(ctx, pa, sa, src, c, lay, opt, bufs[0], 0, lay.n_blocks);
+    stats.counts = ctx.counts;
+    stats.thread_counts = {ctx.counts};
+  } else {
+    // Column-band parallelism: each modeled worker owns a contiguous range
+    // of jc blocks (a disjoint band of C columns) and its own Ctx + block
+    // buffer. Packing is fused into the worker, so nothing stays serial.
+    std::vector<Ctx> ctxs(static_cast<size_t>(threads));
+    const i64 per = ceil_div(lay.n_blocks, threads);
+    serve::ThreadPool::global().parallel_for(
+        0, threads, 1, [&](i64 t0, i64 t1) {
+          for (i64 t = t0; t < t1; ++t) {
+            const i64 jc0 = t * per;
+            const i64 jc1 = std::min<i64>(lay.n_blocks, jc0 + per);
+            if (jc0 < jc1)
+              run_block_range(ctxs[static_cast<size_t>(t)], pa, sa, src, c,
+                              lay, opt, bufs[static_cast<size_t>(t)], jc0,
+                              jc1);
+          }
+        });
+    for (const auto& cx : ctxs) {
+      stats.counts.merge(cx.counts);
+      stats.thread_counts.push_back(cx.counts);
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+GemmStats gemm_blocked_prepacked(const APanels& pa, const i8* b, i32* c,
+                                 i64 m, i64 n, i64 k, const GemmOptions& opt) {
+  return run_blocked(&pa, nullptr, BSource{b, nullptr, nullptr}, c, m, n, k,
+                     opt);
+}
+
+GemmStats gemm_blocked_sdot_prepacked(const SdotAPanels& pa, const i8* b,
+                                      i32* c, i64 m, i64 n, i64 k,
+                                      const GemmOptions& opt) {
+  return run_blocked(nullptr, &pa, BSource{b, nullptr, nullptr}, c, m, n, k,
+                     opt);
+}
+
+GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
+                                const Tensor<i8>& input, i32* c,
+                                const GemmOptions& opt) {
+  LBC_CHECK_MSG(opt.kernel == ArmKernel::kOursGemm ||
+                    opt.kernel == ArmKernel::kNcnn,
+                "gemm_s8s32_conv_fused: kernel does not use packed A panels");
+  const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
+  LBC_CHECK_MSG(pa.m == m && pa.k == k,
+                "gemm_s8s32_conv_fused: packed A geometry mismatch");
+  return run_blocked(&pa, nullptr, BSource{nullptr, &s, &input}, c, m, n, k,
+                     opt);
+}
+
+GemmStats gemm_s8s32_sdot_conv_fused(const SdotAPanels& pa, const ConvShape& s,
+                                     const Tensor<i8>& input, i32* c,
+                                     const GemmOptions& opt) {
+  const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
+  LBC_CHECK_MSG(pa.m == m && pa.k == k,
+                "gemm_s8s32_sdot_conv_fused: packed A geometry mismatch");
+  return run_blocked(nullptr, &pa, BSource{nullptr, &s, &input}, c, m, n, k,
+                     opt);
+}
+
+}  // namespace lbc::armkern

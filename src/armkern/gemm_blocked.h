@@ -1,0 +1,18 @@
+// Internal entries of the Mc/Kc/Nc blocked GEMM driver (gemm_blocked.cpp),
+// used by the gemm_lowbit.cpp dispatch when GemmOptions::blocking is
+// enabled. The public fused-conv entries live in gemm_lowbit.h.
+#pragma once
+
+#include "armkern/gemm_lowbit.h"
+
+namespace lbc::armkern {
+
+/// Blocked sweep over a row-major K x N B matrix (packs one Kc x Nc block
+/// at a time via pack_b_block_into). Requires opt.blocking.enabled().
+GemmStats gemm_blocked_prepacked(const APanels& pa, const i8* b, i32* c,
+                                 i64 m, i64 n, i64 k, const GemmOptions& opt);
+GemmStats gemm_blocked_sdot_prepacked(const SdotAPanels& pa, const i8* b,
+                                      i32* c, i64 m, i64 n, i64 k,
+                                      const GemmOptions& opt);
+
+}  // namespace lbc::armkern

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "armkern/gemm_blocked.h"
 #include "armkern/micro.h"
 #include "armkern/pack.h"
 #include "common/workspace.h"
@@ -199,6 +200,8 @@ GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
   if (opt.kernel == ArmKernel::kSdotExt) {
     // A pack is offline (weights) — untallied here exactly as at plan time.
     const PackedSdotA pa = pack_sdot_a(a, m, k);
+    if (opt.blocking.enabled())
+      return gemm_blocked_sdot_prepacked(pa.view(), b, c, m, n, k, opt);
     return run_sdot_panels(pa.view(), b, c, m, n, k, opt);
   }
 
@@ -212,6 +215,13 @@ GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
     opt.verifier->add_region(a, m * k, "gemm A", -qa, qa);
   }
   const PackedA pa = pack_a(opt.count_a_pack ? &pack_ctx : nullptr, a, m, k);
+  if (opt.blocking.enabled()) {
+    GemmStats stats = gemm_blocked_prepacked(pa.view(), b, c, m, n, k, opt);
+    // A-pack tallies (count_a_pack one-shot runs) stay a serial pre-pass.
+    stats.serial_counts.merge(pack_ctx.counts);
+    stats.counts.merge(pack_ctx.counts);
+    return stats;
+  }
   return run_gemm_packed(pack_ctx, pa.view(), b, c, m, n, k, opt);
 }
 
@@ -223,6 +233,8 @@ GemmStats gemm_s8s32_prepacked(const APanels& pa, const i8* b, i32* c, i64 m,
                 "gemm_s8s32_prepacked: kernel does not use packed A panels");
   LBC_CHECK_MSG(pa.m == m && pa.k == k,
                 "gemm_s8s32_prepacked: packed A geometry mismatch");
+  if (opt.blocking.enabled())
+    return gemm_blocked_prepacked(pa, b, c, m, n, k, opt);
   Ctx pack_ctx;
   return run_gemm_packed(pack_ctx, pa, b, c, m, n, k, opt);
 }
@@ -233,6 +245,8 @@ GemmStats gemm_s8s32_sdot_prepacked(const SdotAPanels& pa, const i8* b,
   LBC_CHECK_MSG(opt.bits >= 2 && opt.bits <= 8, "gemm_lowbit: bits outside [2, 8]");
   LBC_CHECK_MSG(pa.m == m && pa.k == k,
                 "gemm_s8s32_sdot_prepacked: packed A geometry mismatch");
+  if (opt.blocking.enabled())
+    return gemm_blocked_sdot_prepacked(pa, b, c, m, n, k, opt);
   return run_sdot_panels(pa, b, c, m, n, k, opt);
 }
 

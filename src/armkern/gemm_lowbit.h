@@ -20,6 +20,7 @@
 
 #include "armsim/cost_model.h"
 #include "armsim/counters.h"
+#include "armkern/blocking.h"
 #include "armkern/pack.h"
 #include "common/types.h"
 
@@ -62,6 +63,12 @@ struct GemmOptions {
   /// runs the GEMM with bits = 8 + flush_override.
   i32 a_max_abs = 0;
   i32 b_max_abs = 0;
+  /// Mc/Kc/Nc cache blocking (blocking.h). Disabled (the default) keeps
+  /// the legacy unblocked full-K sweep; enabled routes kOursGemm / kNcnn /
+  /// kSdotExt through the blocked driver (gemm_blocked.cpp), which packs
+  /// one Kc x Nc B block at a time and accumulates partial-K products into
+  /// C — bit-exact with the unblocked sweep. Ignored by kTraditional.
+  GemmBlocking blocking;
 };
 
 struct GemmStats {
@@ -91,6 +98,21 @@ GemmStats gemm_s8s32_prepacked(const APanels& pa, const i8* b, i32* c, i64 m,
 GemmStats gemm_s8s32_sdot_prepacked(const SdotAPanels& pa, const i8* b,
                                     i32* c, i64 m, i64 n, i64 k,
                                     const GemmOptions& opt);
+
+/// Fused-pack blocked conv GEMM: C[M x N] = A * im2col(input), where the
+/// im2col matrix is never materialized — each Kc x Nc B block is gathered
+/// straight from `input` (pack_b_panels_from_conv) into an L1-resident
+/// scratch block. Requires opt.blocking.enabled(); geometry (m, n, k) is
+/// the GEMM view of `s`, whose batch must match `input`. Bit-exact with
+/// running gemm_s8s32_prepacked over a materialized im2col matrix.
+GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
+                                const Tensor<i8>& input, i32* c,
+                                const GemmOptions& opt);
+
+/// SDOT variant of the fused-pack blocked conv GEMM.
+GemmStats gemm_s8s32_sdot_conv_fused(const SdotAPanels& pa, const ConvShape& s,
+                                     const Tensor<i8>& input, i32* c,
+                                     const GemmOptions& opt);
 
 /// Traditional GEMM used by the ablation bench (declared here, defined in
 /// gemm_traditional.cpp); B is consumed column-major-packed internally.

@@ -1,14 +1,17 @@
 #include "armkern/pack.h"
 
+#include <algorithm>
+
 #include "armsim/verifier.h"
 
 namespace lbc::armkern {
-namespace {
 
 // Cost accounting for pack loops. Real NEON packing moves 16 bytes per
 // vector op; the A pack additionally pays a strided-gather (transpose)
-// overhead we charge as scalar ops per element group.
-void tally_pack_a(armsim::Ctx* ctx, i64 elems) {
+// overhead we charge as scalar ops per element group, and the fused
+// im2col gather pays the index math (tap decomposition, bounds tests) on
+// top of that.
+void tally_pack_gather(armsim::Ctx* ctx, i64 elems) {
   if (!ctx) return;
   const u64 groups = static_cast<u64>(ceil_div(elems, 16));
   ctx->tally(armsim::Op::kLd1, groups);     // gather source rows
@@ -17,13 +20,25 @@ void tally_pack_a(armsim::Ctx* ctx, i64 elems) {
   ctx->tally(armsim::Op::kLoop, groups / 4 + 1);
 }
 
-void tally_pack_b(armsim::Ctx* ctx, i64 elems) {
+void tally_pack_stream(armsim::Ctx* ctx, i64 elems) {
   if (!ctx) return;
   const u64 groups = static_cast<u64>(ceil_div(elems, 16));
   ctx->tally(armsim::Op::kLd1, groups);
   ctx->tally(armsim::Op::kSt1, groups);
   ctx->tally(armsim::Op::kLoop, groups / 4 + 1);
 }
+
+void tally_pack_im2col_gather(armsim::Ctx* ctx, i64 elems) {
+  if (!ctx) return;
+  tally_pack_gather(ctx, elems);
+  ctx->tally(armsim::Op::kScalar, static_cast<u64>(ceil_div(elems, 8)));
+}
+
+namespace {
+
+// Legacy internal names (the full-operand packs keep their cost classes).
+void tally_pack_a(armsim::Ctx* ctx, i64 elems) { tally_pack_gather(ctx, elems); }
+void tally_pack_b(armsim::Ctx* ctx, i64 elems) { tally_pack_stream(ctx, elems); }
 
 // Under checked execution the pack's bulk cache traffic must land inside
 // registered regions. ensure_region is a no-op when the driver already
@@ -178,6 +193,172 @@ PackedSdot pack_sdot(armsim::Ctx* ctx, const i8* a, const i8* b, i64 m, i64 n,
   ps.b.resize(static_cast<size_t>(ps.n_pad * ps.k_pad));
   pack_sdot_b_into(ctx, b, k, n, ps.b.data());
   return ps;
+}
+
+namespace {
+
+// One im2col element for GEMM row kg (= ic*kernel^2 + kh*kernel + kw) and
+// column col (= b*out_h*out_w + oh*out_w + ow): the input value under the
+// tap, or 0 when the tap falls outside the image. Mirrors
+// refconv/im2col.cpp exactly — byte-identical panels are what make the
+// fused path bit-exact against the materialized matrix.
+inline i8 im2col_at(const ConvShape& s, const i8* in, i64 kg, i64 col) {
+  const i64 ksq = s.kernel * s.kernel;
+  const i64 ic = kg / ksq;
+  const i64 kh = (kg / s.kernel) % s.kernel;
+  const i64 kw = kg % s.kernel;
+  const i64 ohw = s.out_h() * s.out_w();
+  const i64 b = col / ohw;
+  const i64 oh = (col % ohw) / s.out_w();
+  const i64 ow = col % s.out_w();
+  const i64 ih = oh * s.stride + kh - s.pad;
+  const i64 iw = ow * s.stride + kw - s.pad;
+  if (ih < 0 || ih >= s.in_h || iw < 0 || iw >= s.in_w) return 0;
+  return in[((b * s.in_c + ic) * s.in_h + ih) * s.in_w + iw];
+}
+
+// Cache traffic of the fused gather: for each im2col row in the block, the
+// touched input bytes form one contiguous span per output row (clamped to
+// the image). Feeding the real spans through ctx->mem keeps the gather's
+// L1/L2 behaviour — the whole point of the blocked schedule — measured,
+// not asserted.
+void touch_conv_gather(armsim::Ctx* ctx, const ConvShape& s, const i8* in,
+                       i64 k0, i64 kc, i64 n0, i64 nc) {
+  const i64 ohw = s.out_h() * s.out_w();
+  for (i64 kk = 0; kk < kc; ++kk) {
+    const i64 kg = k0 + kk;
+    const i64 ksq = s.kernel * s.kernel;
+    const i64 ic = kg / ksq;
+    const i64 kh = (kg / s.kernel) % s.kernel;
+    const i64 kw = kg % s.kernel;
+    i64 col = n0;
+    while (col < n0 + nc) {
+      const i64 b = col / ohw;
+      const i64 rem = col % ohw;
+      const i64 oh = rem / s.out_w();
+      const i64 ow0 = rem % s.out_w();
+      const i64 ow1 =
+          std::min<i64>(s.out_w() - 1, ow0 + (n0 + nc - 1 - col));
+      const i64 ih = oh * s.stride + kh - s.pad;
+      if (ih >= 0 && ih < s.in_h) {
+        const i64 iw_lo = std::max<i64>(ow0 * s.stride + kw - s.pad, 0);
+        const i64 iw_hi =
+            std::min<i64>(ow1 * s.stride + kw - s.pad, s.in_w - 1);
+        if (iw_lo <= iw_hi)
+          ctx->mem_range(in + ((b * s.in_c + ic) * s.in_h + ih) * s.in_w +
+                             iw_lo,
+                         static_cast<u64>(iw_hi - iw_lo + 1));
+      }
+      col += ow1 - ow0 + 1;
+    }
+  }
+}
+
+}  // namespace
+
+BPanels pack_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i64 k0,
+                          i64 kc, i64 n0, i64 nc, i8* dst) {
+  const i64 nc_pad = round_up(nc, kNr);
+  for (i64 q = 0; q < nc_pad / kNr; ++q) {
+    i8* panel = dst + q * kc * kNr;
+    for (i64 kk = 0; kk < kc; ++kk)
+      for (i64 c = 0; c < kNr; ++c) {
+        const i64 col = n0 + q * kNr + c;
+        panel[kk * kNr + c] =
+            (q * kNr + c < nc && col < n) ? b[(k0 + kk) * n + col] : i8{0};
+      }
+  }
+  tally_pack_stream(ctx, nc_pad * kc);
+  if (ctx) {
+    ensure_pack_regions(ctx, b, k * n, "pack B source", dst, nc_pad * kc,
+                        "packed B block");
+    for (i64 kk = 0; kk < kc; ++kk)
+      ctx->mem_range(b + (k0 + kk) * n + n0,
+                     static_cast<u64>(std::min(nc, n - n0)));
+    ctx->mem_range(dst, static_cast<u64>(nc_pad * kc));
+  }
+  return BPanels{dst, kc, nc, nc_pad};
+}
+
+BPanels pack_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
+                                const Tensor<i8>& input, i64 k0, i64 kc,
+                                i64 n0, i64 nc, i8* dst) {
+  const i64 nc_pad = round_up(nc, kNr);
+  const i8* in = input.data();
+  for (i64 q = 0; q < nc_pad / kNr; ++q) {
+    i8* panel = dst + q * kc * kNr;
+    for (i64 kk = 0; kk < kc; ++kk)
+      for (i64 c = 0; c < kNr; ++c) {
+        const i64 j = q * kNr + c;
+        panel[kk * kNr + c] =
+            (j < nc) ? im2col_at(s, in, k0 + kk, n0 + j) : i8{0};
+      }
+  }
+  tally_pack_im2col_gather(ctx, nc_pad * kc);
+  if (ctx) {
+    ensure_pack_regions(ctx, in, input.elems(), "conv input", dst,
+                        nc_pad * kc, "packed B block");
+    touch_conv_gather(ctx, s, in, k0, kc, n0, nc);
+    ctx->mem_range(dst, static_cast<u64>(nc_pad * kc));
+  }
+  return BPanels{dst, kc, nc, nc_pad};
+}
+
+SdotBPanels pack_sdot_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k,
+                                   i64 n, i64 k0, i64 kc, i64 n0, i64 nc,
+                                   i8* dst) {
+  const i64 nc_pad = round_up(nc, kNr);
+  const i64 kc_pad = round_up(kc, 4);
+  for (i64 q = 0; q < nc_pad / kNr; ++q) {
+    i8* panel = dst + q * kc_pad * kNr;
+    for (i64 ks = 0; ks < kc_pad / 4; ++ks)
+      for (i64 c = 0; c < kNr; ++c)
+        for (i64 d = 0; d < 4; ++d) {
+          const i64 j = q * kNr + c;
+          const i64 kk = ks * 4 + d;
+          panel[(ks * kNr + c) * 4 + d] =
+              (j < nc && kk < kc && n0 + j < n)
+                  ? b[(k0 + kk) * n + n0 + j]
+                  : i8{0};
+        }
+  }
+  tally_pack_gather(ctx, nc_pad * kc_pad);
+  if (ctx) {
+    ensure_pack_regions(ctx, b, k * n, "pack SDOT B source", dst,
+                        nc_pad * kc_pad, "packed B block");
+    for (i64 kk = 0; kk < kc; ++kk)
+      ctx->mem_range(b + (k0 + kk) * n + n0,
+                     static_cast<u64>(std::min(nc, n - n0)));
+    ctx->mem_range(dst, static_cast<u64>(nc_pad * kc_pad));
+  }
+  return SdotBPanels{dst, nc, kc, nc_pad, kc_pad};
+}
+
+SdotBPanels pack_sdot_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
+                                         const Tensor<i8>& input, i64 k0,
+                                         i64 kc, i64 n0, i64 nc, i8* dst) {
+  const i64 nc_pad = round_up(nc, kNr);
+  const i64 kc_pad = round_up(kc, 4);
+  const i8* in = input.data();
+  for (i64 q = 0; q < nc_pad / kNr; ++q) {
+    i8* panel = dst + q * kc_pad * kNr;
+    for (i64 ks = 0; ks < kc_pad / 4; ++ks)
+      for (i64 c = 0; c < kNr; ++c)
+        for (i64 d = 0; d < 4; ++d) {
+          const i64 j = q * kNr + c;
+          const i64 kk = ks * 4 + d;
+          panel[(ks * kNr + c) * 4 + d] =
+              (j < nc && kk < kc) ? im2col_at(s, in, k0 + kk, n0 + j) : i8{0};
+        }
+  }
+  tally_pack_im2col_gather(ctx, nc_pad * kc_pad);
+  if (ctx) {
+    ensure_pack_regions(ctx, in, input.elems(), "conv input", dst,
+                        nc_pad * kc_pad, "packed B block");
+    touch_conv_gather(ctx, s, in, k0, kc, n0, nc);
+    ctx->mem_range(dst, static_cast<u64>(nc_pad * kc_pad));
+  }
+  return SdotBPanels{dst, nc, kc, nc_pad, kc_pad};
 }
 
 AlignedVector<i8> pack_b_colmajor(armsim::Ctx* ctx, const i8* b, i64 k, i64 n) {

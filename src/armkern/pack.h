@@ -23,6 +23,8 @@
 
 #include "armsim/counters.h"
 #include "armkern/schemes.h"
+#include "common/conv_shape.h"
+#include "common/tensor.h"
 #include "common/types.h"
 
 namespace lbc::armkern {
@@ -92,6 +94,40 @@ BPanels pack_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i8* dst);
 /// traditional-GEMM ablation where each output needs a contiguous B column.
 AlignedVector<i8> pack_b_colmajor(armsim::Ctx* ctx, const i8* b, i64 k, i64 n);
 
+// ---- cache-blocked packing (blocking.h) ------------------------------
+//
+// The blocked GEMM packs ONE (Kc x Nc) block of B at a time into a small
+// reusable scratch buffer. Two sources: a row-major K x N matrix (the
+// gemm-level API), or — the fused path — the conv input tensor itself,
+// gathered through the im2col index mapping so the full K x N im2col
+// matrix is never materialized. `dst` must hold kc (rounded to 4 for the
+// SDOT layout) x round_up(nc, kNr) bytes; every byte is written.
+
+/// Pack the [k0, k0+kc) x [n0, n0+nc) block of row-major B (K x N) into
+/// B-panel layout ([local panel][kc][kNr]) at dst.
+BPanels pack_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i64 k0,
+                          i64 kc, i64 n0, i64 nc, i8* dst);
+
+/// Fused im2col packing (paper Sec. 3.2 + cache blocking): gather the
+/// im2col rows [k0, k0+kc) for output columns [n0, n0+nc) straight from
+/// the input tensor into packed-B panel layout. Out-of-image taps and
+/// columns beyond nc are zero-filled, so the result is byte-identical to
+/// pack_b_block_into over a materialized im2col matrix.
+BPanels pack_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
+                                const Tensor<i8>& input, i64 k0, i64 kc,
+                                i64 n0, i64 nc, i8* dst);
+
+// SDOT-layout blocked variants are declared below SdotBPanels.
+
+/// Issue-cost tallies of the pack loops, exported so the tile search can
+/// price a candidate block partition without executing it. `stream` is the
+/// contiguous B pack (16-byte moves), `gather` the strided A-style pack
+/// (adds transpose/index scalar math), `im2col_gather` the fused conv
+/// gather (adds the per-element im2col index math on top of `gather`).
+void tally_pack_stream(armsim::Ctx* ctx, i64 elems);
+void tally_pack_gather(armsim::Ctx* ctx, i64 elems);
+void tally_pack_im2col_gather(armsim::Ctx* ctx, i64 elems);
+
 /// SDOT packing (ARMv8.2 extension kernel): K grouped by 4 so that each
 /// 32-bit SDOT lane sees four consecutive depth values.
 ///   A: [K4/4][kMr rows][4 depths]  (4 x LD1 per 4-depth step)
@@ -137,6 +173,15 @@ PackedSdotA pack_sdot_a(const i8* a, i64 m, i64 k,
 /// strided interleave is tallied like an A pack).
 SdotBPanels pack_sdot_b_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n,
                              i8* dst);
+
+/// SDOT-layout blocked packs ([local panel][kc4/4][kNr][4], depth padded
+/// to 4) — see the cache-blocked packing section above for semantics.
+SdotBPanels pack_sdot_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k,
+                                   i64 n, i64 k0, i64 kc, i64 n0, i64 nc,
+                                   i8* dst);
+SdotBPanels pack_sdot_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
+                                         const Tensor<i8>& input, i64 k0,
+                                         i64 kc, i64 n0, i64 nc, i8* dst);
 
 /// Legacy one-shot packing of both operands (ablation benches and tests).
 struct PackedSdot {

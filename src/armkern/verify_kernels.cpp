@@ -48,11 +48,16 @@ std::vector<ConvShape> sweep_shapes() {
 struct Combo {
   ArmKernel kernel;
   ConvAlgo algo;
+  BlockingPolicy blocking = BlockingPolicy::kAuto;
 };
 
 std::vector<Combo> combos_for_bits(int bits) {
   std::vector<Combo> cs;
+  // The GEMM combos run cache-blocked with fused im2col packing (kAuto,
+  // the default) AND as the legacy unblocked sweep (kOff) — both schedules
+  // must hold every kernel invariant.
   cs.push_back({ArmKernel::kOursGemm, ConvAlgo::kGemm});
+  cs.push_back({ArmKernel::kOursGemm, ConvAlgo::kGemm, BlockingPolicy::kOff});
   cs.push_back({ArmKernel::kOursGemm, ConvAlgo::kDirect});
   cs.push_back({ArmKernel::kOursGemm, ConvAlgo::kReference});
   if (bits >= 4 && bits <= 6)  // winograd bit-range rung of the ladder
@@ -60,9 +65,13 @@ std::vector<Combo> combos_for_bits(int bits) {
   if (bitserial_eligible_for(bits))
     cs.push_back({ArmKernel::kOursGemm, ConvAlgo::kBitserial});
   cs.push_back({ArmKernel::kNcnn, ConvAlgo::kGemm});
+  cs.push_back({ArmKernel::kNcnn, ConvAlgo::kGemm, BlockingPolicy::kOff});
   cs.push_back({ArmKernel::kTraditional, ConvAlgo::kGemm});
-  if (sdot_eligible_for(bits))
+  if (sdot_eligible_for(bits)) {
     cs.push_back({ArmKernel::kSdotExt, ConvAlgo::kGemm});
+    cs.push_back(
+        {ArmKernel::kSdotExt, ConvAlgo::kGemm, BlockingPolicy::kOff});
+  }
   return cs;
 }
 
@@ -102,6 +111,7 @@ KernelVerifyReport verify_all_kernels() {
         opt.bits = bits;
         opt.algo = combo.algo;
         opt.kernel = combo.kernel;
+        opt.blocking = combo.blocking;
         opt.verify = true;
 
         KernelVerifyEntry entry;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "armkern/tile_search.h"
 #include "common/fault_injection.h"
 
 namespace lbc::core {
@@ -44,11 +45,34 @@ armkern::ArmConvOptions arm_conv_options(int bits, ArmImpl impl,
 StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
                                  int bits, ArmImpl impl,
                                  armkern::ConvAlgo algo, int threads,
-                                 bool verify) {
-  LBC_ASSIGN_OR_RETURN(
-      armkern::ArmConvPlan plan,
-      armkern::plan_conv(s, weight,
-                         arm_conv_options(bits, impl, algo, threads, verify)));
+                                 bool verify, gpukern::TuningCache* tuning) {
+  armkern::ArmConvOptions opt =
+      arm_conv_options(bits, impl, algo, threads, verify);
+  if (tuning != nullptr && opt.blocking == armkern::BlockingPolicy::kAuto &&
+      opt.algo == armkern::ConvAlgo::kGemm &&
+      opt.kernel != armkern::ArmKernel::kTraditional) {
+    // Persist the ARM tile search through the shared tuning cache. The key
+    // mirrors the planner's SDOT eligibility degrade so a cache entry maps
+    // to the kernel that will actually execute. (Rungs that only *degrade*
+    // into GEMM — bitserial > 2 bit, auto — still search in-process; their
+    // winners just aren't persisted.)
+    armkern::ArmKernel kern = opt.kernel;
+    if (kern == armkern::ArmKernel::kSdotExt &&
+        !armkern::sdot_eligible_for(opt.bits))
+      kern = armkern::ArmKernel::kOursGemm;
+    const gpukern::ArmTuningKey key{
+        s.gemm_m(), s.gemm_n(), s.gemm_k(), opt.bits,
+        armkern::blocking_scheme_id(kern, opt.bits)};
+    const gpukern::ArmBlocking b = tuning->get_or_search_arm(key, [&] {
+      const armkern::GemmBlocking w =
+          armkern::search_blocking(s, opt.bits, kern);
+      return gpukern::ArmBlocking{w.mc, w.kc, w.nc};
+    });
+    opt.blocking = armkern::BlockingPolicy::kExplicit;
+    opt.explicit_blocking = armkern::GemmBlocking{b.mc, b.kc, b.nc};
+  }
+  LBC_ASSIGN_OR_RETURN(armkern::ArmConvPlan plan,
+                       armkern::plan_conv(s, weight, opt));
   return ConvPlan(impl, std::move(plan));
 }
 

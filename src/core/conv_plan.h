@@ -68,7 +68,7 @@ class ConvPlan {
  private:
   friend StatusOr<ConvPlan> plan_arm_conv(const ConvShape&, const Tensor<i8>&,
                                           int, ArmImpl, armkern::ConvAlgo,
-                                          int, bool);
+                                          int, bool, gpukern::TuningCache*);
   ConvPlan(ArmImpl impl, armkern::ArmConvPlan plan)
       : impl_(impl), plan_(std::move(plan)) {}
 
@@ -77,6 +77,10 @@ class ConvPlan {
 };
 
 /// Compile a plan: resolve the ladder, prepack weights, size the workspace.
+/// With a `tuning` cache, the blocked-GEMM {Mc, Kc, Nc} auto-search result
+/// is persisted per (GEMM view, bits, scheme) through
+/// TuningCache::get_or_search_arm — "determined once per convolution
+/// shape" (Sec. 5.1) across process runs, same as the GPU tilings.
 /// Errors: kInvalidArgument (bad shape/bits/dims/threads) or
 /// kResourceExhausted (plan compilation failed — the plan.compile_fail
 /// fault site; callers fall back to the unplanned one-shot path).
@@ -84,7 +88,8 @@ StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
                                  int bits, ArmImpl impl = ArmImpl::kOurs,
                                  armkern::ConvAlgo algo =
                                      armkern::ConvAlgo::kGemm,
-                                 int threads = 1, bool verify = false);
+                                 int threads = 1, bool verify = false,
+                                 gpukern::TuningCache* tuning = nullptr);
 
 /// Execute a plan against one input (batch may differ from the planned
 /// batch). Bit-exact — including modeled cycles — with the one-shot

@@ -23,6 +23,18 @@ Status validate_tiling(const Tiling& t) {
   return Status();
 }
 
+Status validate_arm_blocking(const ArmBlocking& b) {
+  LBC_VALIDATE(b.mc > 0 && b.kc > 0 && b.nc > 0, kOutOfRange,
+               "non-positive ARM block dimension");
+  LBC_VALIDATE(b.mc <= 4096 && b.kc <= 4096 && b.nc <= 4096, kOutOfRange,
+               "ARM block dimension exceeds 4096");
+  LBC_VALIDATE(b.mc % 16 == 0, kOutOfRange,
+               "Mc (" << b.mc << ") must be a multiple of the 16-row panel");
+  LBC_VALIDATE(b.nc % 4 == 0, kOutOfRange,
+               "Nc (" << b.nc << ") must be a multiple of the 4-column panel");
+  return Status();
+}
+
 std::optional<Tiling> TuningCache::lookup(const TuningKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
@@ -66,9 +78,55 @@ void TuningCache::put(const TuningKey& key, const Tiling& t) {
   entries_[key] = t;
 }
 
+std::optional<ArmBlocking> TuningCache::lookup_arm(
+    const ArmTuningKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = arm_entries_.find(key);
+  if (it == arm_entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+ArmBlocking TuningCache::get_or_search_arm(
+    const ArmTuningKey& key, const std::function<ArmBlocking()>& search) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = arm_entries_.find(key);
+    if (it != arm_entries_.end()) {
+      ArmBlocking hit = it->second;
+      // kTuningCacheCorrupt: a poisoned ARM entry surfaces at lookup time,
+      // same recovery as the GPU side.
+      if (FaultInjector::instance().should_fire(
+              FaultSite::kTuningCacheCorrupt))
+        hit.mc = -7;
+      if (validate_arm_blocking(hit).ok()) {
+        ++hits_;
+        return hit;
+      }
+      arm_entries_.erase(it);
+      ++corrupt_evictions_;
+      ++misses_;
+    } else {
+      ++misses_;
+    }
+  }
+  const ArmBlocking b = search();
+  put_arm(key, b);
+  return b;
+}
+
+void TuningCache::put_arm(const ArmTuningKey& key, const ArmBlocking& b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  arm_entries_[key] = b;
+}
+
 size_t TuningCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  return entries_.size() + arm_entries_.size();
+}
+
+size_t TuningCache::arm_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arm_entries_.size();
 }
 
 i64 TuningCache::hits() const {
@@ -90,11 +148,16 @@ std::string TuningCache::serialize() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   out << kTuningCacheHeader << '\n';
+  // GPU entries keep the bare v1 line body, so a v2 file of GPU entries
+  // differs from its v1 form only in the header.
   for (const auto& [k, t] : entries_)
     out << k.m << ' ' << k.n << ' ' << k.k << ' ' << k.bits << ' '
         << (k.use_tc ? 1 : 0) << ' ' << t.mtile << ' ' << t.ntile << ' '
         << t.ktile << ' ' << t.kstep << ' ' << t.warp_rows << ' '
         << t.warp_cols << '\n';
+  for (const auto& [k, b] : arm_entries_)
+    out << "arm " << k.m << ' ' << k.n << ' ' << k.k << ' ' << k.bits << ' '
+        << k.scheme << ' ' << b.mc << ' ' << b.kc << ' ' << b.nc << '\n';
   return out.str();
 }
 
@@ -103,18 +166,54 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
   std::string line;
   LBC_VALIDATE(std::getline(in, line), kDataLoss,
                "empty input: expected header \"" << kTuningCacheHeader << "\"");
-  LBC_VALIDATE(line == kTuningCacheHeader, kDataLoss,
+  const bool v1 = (line == kTuningCacheHeaderV1);
+  LBC_VALIDATE(v1 || line == kTuningCacheHeader, kDataLoss,
                "unsupported cache format: expected header \""
-                   << kTuningCacheHeader << "\", got \"" << line << "\"");
+                   << kTuningCacheHeader << "\" (or v1), got \"" << line
+                   << "\"");
 
   // Parse everything before merging anything: a corrupt line must not
   // leave the cache half-updated.
   std::vector<std::pair<TuningKey, Tiling>> parsed;
+  std::vector<std::pair<ArmTuningKey, ArmBlocking>> parsed_arm;
   int lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
+    std::string tag;
+    if (line[0] == 'a' || line[0] == 'g') {
+      ls >> tag;
+      LBC_VALIDATE(tag == "arm" || tag == "gpu", kDataLoss,
+                   "line " << lineno << ": unknown entry tag \"" << tag
+                           << "\"");
+      LBC_VALIDATE(!v1 || tag != "arm", kDataLoss,
+                   "line " << lineno
+                           << ": ARM entry in a v1-headed cache file");
+    }
+    if (tag == "arm") {
+      ArmTuningKey k;
+      ArmBlocking b;
+      LBC_VALIDATE(
+          static_cast<bool>(ls >> k.m >> k.n >> k.k >> k.bits >> k.scheme >>
+                            b.mc >> b.kc >> b.nc),
+          kDataLoss, "line " << lineno << ": truncated or garbage entry");
+      std::string trailing;
+      LBC_VALIDATE(!(ls >> trailing), kDataLoss,
+                   "line " << lineno << ": trailing fields after entry");
+      LBC_VALIDATE(k.m > 0 && k.n > 0 && k.k > 0, kDataLoss,
+                   "line " << lineno << ": non-positive GEMM dimension");
+      LBC_VALIDATE(k.bits >= 2 && k.bits <= 8, kDataLoss,
+                   "line " << lineno << ": bits " << k.bits
+                           << " outside [2, 8]");
+      LBC_VALIDATE(k.scheme >= 0 && k.scheme <= 3, kDataLoss,
+                   "line " << lineno << ": scheme " << k.scheme
+                           << " outside [0, 3]");
+      if (Status bs = validate_arm_blocking(b); !bs.ok())
+        return bs.with_context("line " + std::to_string(lineno));
+      parsed_arm.emplace_back(k, b);
+      continue;
+    }
     TuningKey k;
     Tiling t;
     int tc = 1;
@@ -138,7 +237,8 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
     parsed.emplace_back(k, t);
   }
   for (const auto& [k, t] : parsed) put(k, t);
-  return static_cast<int>(parsed.size());
+  for (const auto& [k, b] : parsed_arm) put_arm(k, b);
+  return static_cast<int>(parsed.size() + parsed_arm.size());
 }
 
 }  // namespace lbc::gpukern

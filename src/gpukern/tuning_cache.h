@@ -9,8 +9,14 @@
 // truncated or corrupted file must surface as a Status error, never as a
 // bogus Tiling driving the kernel. Cache *hits* are sanity-checked too
 // (and re-searched on corruption) so a poisoned entry cannot escape.
+//
+// Format v2 makes the cache backend-keyed: GPU tilings and ARM blocked-GEMM
+// {Mc, Kc, Nc} winners (armkern/tile_search.h) share one file. v1 files
+// (GPU-only) still load; a v2 file is rejected by old v1 readers via the
+// header bump.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -23,7 +29,9 @@ namespace lbc::gpukern {
 
 /// First line of every serialized cache. Bump the version when fields
 /// change so old readers reject new files instead of misparsing them.
-inline constexpr const char* kTuningCacheHeader = "lbc-tuning-cache v1";
+inline constexpr const char* kTuningCacheHeader = "lbc-tuning-cache v2";
+/// Previous format (GPU entries only, every line bare) — still readable.
+inline constexpr const char* kTuningCacheHeaderV1 = "lbc-tuning-cache v1";
 
 struct TuningKey {
   i64 m = 0, n = 0, k = 0;
@@ -33,9 +41,32 @@ struct TuningKey {
   auto operator<=>(const TuningKey&) const = default;
 };
 
+/// Key of an ARM blocked-GEMM entry. `scheme` is the micro-kernel scheme
+/// id (armkern: 0 = SMLAL, 1 = MLA, 2 = ncnn, 3 = SDOT) — the winner
+/// depends on the kernel's load pattern, not just the GEMM view.
+struct ArmTuningKey {
+  i64 m = 0, n = 0, k = 0;
+  int bits = 8;
+  int scheme = 0;
+
+  auto operator<=>(const ArmTuningKey&) const = default;
+};
+
+/// ARM {Mc, Kc, Nc} cache blocking (mirrors armkern::GemmBlocking without
+/// the dependency; gpukern stays ARM-free).
+struct ArmBlocking {
+  i64 mc = 0, kc = 0, nc = 0;
+
+  auto operator<=>(const ArmBlocking&) const = default;
+};
+
 /// Static sanity of a tiling (positive, bounded, divisible): the check a
 /// deserialized or cached entry must pass before it may drive a kernel.
 Status validate_tiling(const Tiling& t);
+
+/// Same gate for an ARM blocking: positive, bounded, Mc a multiple of the
+/// 16-row panel and Nc of the 4-column panel (armkern micro-tile shape).
+Status validate_arm_blocking(const ArmBlocking& b);
 
 class TuningCache {
  public:
@@ -51,7 +82,22 @@ class TuningCache {
 
   void put(const TuningKey& key, const Tiling& t);
 
-  size_t size() const;
+  // --- ARM blocked-GEMM entries (format v2) ---------------------------
+
+  std::optional<ArmBlocking> lookup_arm(const ArmTuningKey& key) const;
+
+  /// Cached ARM blocking, invoking `search` (armkern::search_blocking
+  /// behind a thunk — this layer stays ARM-free) and storing the result
+  /// on a miss. Hits pass through validate_arm_blocking with the same
+  /// corrupt-evict-re-search recovery as the GPU side (also the
+  /// kTuningCacheCorrupt fault-injection site).
+  ArmBlocking get_or_search_arm(const ArmTuningKey& key,
+                                const std::function<ArmBlocking()>& search);
+
+  void put_arm(const ArmTuningKey& key, const ArmBlocking& b);
+
+  size_t size() const;      ///< GPU + ARM entries
+  size_t arm_size() const;  ///< ARM entries only
   // Stat reads take the mutex too: concurrent scheduler workers share one
   // cache, and an unlocked i64 read against a writer is a data race (TSan
   // flags it) even when the torn value would be harmless.
@@ -59,11 +105,15 @@ class TuningCache {
   i64 misses() const;
   i64 corrupt_evictions() const;
 
-  /// Text round trip. Format: the version header line, then one entry per
-  /// line, "m n k bits use_tc mtile ntile ktile kstep wr wc".
+  /// Text round trip. Format v2: the version header line, then one entry
+  /// per line — GPU entries bare ("m n k bits use_tc mtile ntile ktile
+  /// kstep wr wc", v1-compatible body) or with an explicit "gpu " prefix,
+  /// ARM entries "arm m n k bits scheme mc kc nc".
   std::string serialize() const;
 
   /// Merge entries from serialized text; returns entries accepted.
+  /// Accepts the v2 header, and v1-headed files for read compatibility
+  /// (GPU bare lines only — v1 never carried ARM entries).
   /// Strict: a missing/unknown header, a truncated or garbage line, or
   /// out-of-range tiling values yield a kDataLoss error naming the line,
   /// and NO entries are merged (all-or-nothing).
@@ -72,6 +122,7 @@ class TuningCache {
  private:
   mutable std::mutex mu_;
   std::map<TuningKey, Tiling> entries_;
+  std::map<ArmTuningKey, ArmBlocking> arm_entries_;
   i64 hits_ = 0, misses_ = 0, corrupt_evictions_ = 0;
 };
 

@@ -119,11 +119,14 @@ TEST(ConvArm, AutoFallsBackToGemmOutsideWinogradRange) {
 
 TEST(ConvArm, SpaceReportReproducesPaperFig13Extremes) {
   // conv2: im2col overhead 8.6034x; conv18: 1.0218x (paper Sec. 5.4).
+  // The paper materializes the full im2col matrix — that is the unblocked
+  // path, so pin blocking off for the reference numbers.
   ConvShape conv2 = shape(64, 56, 64, 3, 1, 1);
   ConvShape conv18 = shape(1024, 14, 2048, 1, 2, 0);
   const Tensor<i8> in2 = random_qtensor(Shape4{1, 64, 56, 56}, 8, 13);
   const Tensor<i8> w2 = random_qtensor(Shape4{64, 64, 3, 3}, 8, 14);
   ArmConvOptions o;
+  o.blocking = BlockingPolicy::kOff;
   const ArmConvResult r2 = conv2d_s32(conv2, in2, w2, o).value();
   EXPECT_NEAR(r2.space.im2col_overhead(), 8.6034, 1e-3);
 
@@ -131,6 +134,24 @@ TEST(ConvArm, SpaceReportReproducesPaperFig13Extremes) {
   const Tensor<i8> w18 = random_qtensor(Shape4{2048, 1024, 1, 1}, 8, 16);
   const ArmConvResult r18 = conv2d_s32(conv18, in18, w18, o).value();
   EXPECT_NEAR(r18.space.im2col_overhead(), 1.0218, 1e-3);
+}
+
+TEST(ConvArm, FusedPackingCollapsesIm2colFootprint) {
+  // With blocking on (the default), the im2col matrix is never
+  // materialized: the reported activation scratch is one (Kc x Nc) block
+  // buffer per worker, far below the paper's 8.6x worst case.
+  ConvShape conv2 = shape(64, 56, 64, 3, 1, 1);
+  const Tensor<i8> in2 = random_qtensor(Shape4{1, 64, 56, 56}, 8, 13);
+  const Tensor<i8> w2 = random_qtensor(Shape4{64, 64, 3, 3}, 8, 14);
+  const ArmConvResult fused = conv2d_s32(conv2, in2, w2, {}).value();
+  ArmConvOptions off;
+  off.blocking = BlockingPolicy::kOff;
+  const ArmConvResult mat = conv2d_s32(conv2, in2, w2, off).value();
+  EXPECT_GT(fused.space.im2col_elems, 0);
+  EXPECT_LT(fused.space.im2col_elems, mat.space.im2col_elems / 8);
+  EXPECT_LT(fused.space.im2col_overhead(), 1.2);
+  // Same math either way.
+  EXPECT_EQ(count_mismatches(mat.out, fused.out), 0);
 }
 
 TEST(ConvArm, PackOverheadIsOneWhenAligned) {

@@ -217,5 +217,103 @@ TEST(TuningCache, StatGettersAreSafeAlongsideWriters) {
   EXPECT_LE(cache.size(), 8u);
 }
 
+// ---------------------------------------------------------------------------
+// Format v2: backend-keyed entries (GPU tilings + ARM blockings)
+// ---------------------------------------------------------------------------
+
+TEST(TuningCacheV2, ArmEntriesRoundTripAlongsideGpu) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  TuningCache a;
+  a.get_or_search(dev, nets::resnet50_layers()[0], 8, true);
+  const ArmTuningKey ak{64, 3136, 576, 4, 0};
+  const ArmBlocking ab{128, 64, 256};
+  a.put_arm(ak, ab);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.arm_size(), 1u);
+
+  const std::string text = a.serialize();
+  EXPECT_EQ(text.rfind(kTuningCacheHeader, 0), 0u);
+  EXPECT_NE(text.find("\narm 64 3136 576 4 0 128 64 256\n"),
+            std::string::npos);
+
+  TuningCache b;
+  const StatusOr<int> n = b.deserialize(text);
+  ASSERT_TRUE(n.ok()) << n.status().to_string();
+  EXPECT_EQ(n.value(), 2);
+  ASSERT_TRUE(b.lookup_arm(ak).has_value());
+  EXPECT_EQ(*b.lookup_arm(ak), ab);
+}
+
+TEST(TuningCacheV2, ReadsV1HeadedFiles) {
+  // A v1 cache file (GPU entries, bare lines) still loads under the v2
+  // reader — deployments ship cache files across library versions.
+  TuningCache c;
+  const StatusOr<int> r = c.deserialize(
+      std::string(kTuningCacheHeaderV1) +
+      "\n64 196 1024 8 1 32 16 64 32 2 1\n");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), 1);
+  EXPECT_TRUE(c.lookup({64, 196, 1024, 8, true}).has_value());
+}
+
+TEST(TuningCacheV2, RejectsArmEntriesUnderV1Header) {
+  // v1 never carried ARM entries; an "arm" line under a v1 header is a
+  // manually doctored or corrupted file.
+  TuningCache c;
+  const StatusOr<int> r = c.deserialize(
+      std::string(kTuningCacheHeaderV1) + "\narm 64 3136 576 4 0 128 64 256\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(TuningCacheV2, RejectsCorruptArmLines) {
+  const char* bad_bodies[] = {
+      "arm 64 3136 576 4 0 128 64\n",          // truncated
+      "arm 64 3136 576 4 0 128 64 256 9\n",    // trailing field
+      "arm 64 3136 576 4 5 128 64 256\n",      // scheme out of range
+      "arm 64 3136 576 4 0 100 64 256\n",      // Mc not multiple of 16
+      "arm 64 3136 576 4 0 128 64 30\n",       // Nc not multiple of 4
+      "arm 64 3136 576 4 0 -16 64 256\n",      // negative Mc
+      "arm 64 3136 576 4 0 8192 64 256\n",     // Mc > 4096
+      "arm 0 3136 576 4 0 128 64 256\n",       // non-positive M
+  };
+  for (const char* body : bad_bodies) {
+    TuningCache c;
+    const StatusOr<int> r = c.deserialize(with_header(body));
+    ASSERT_FALSE(r.ok()) << "accepted corrupt body: " << body;
+    EXPECT_TRUE(r.status().code() == StatusCode::kDataLoss ||
+                r.status().code() == StatusCode::kOutOfRange)
+        << body << " -> " << r.status().to_string();
+    EXPECT_EQ(c.size(), 0u) << body;
+  }
+}
+
+TEST(TuningCacheV2, ArmCorruptHitIsEvictedAndResearched) {
+  TuningCache cache;
+  const ArmTuningKey key{64, 3136, 576, 8, 0};
+  const ArmBlocking want{128, 128, 64};
+  int searches = 0;
+  const auto search = [&] {
+    ++searches;
+    return want;
+  };
+  EXPECT_EQ(cache.get_or_search_arm(key, search), want);
+  EXPECT_EQ(searches, 1);
+  EXPECT_EQ(cache.misses(), 1);
+
+  // Poison exactly the next hit: the cache must evict the bogus entry and
+  // recover through the search callback, never hand out mc = -7.
+  ScopedFault fault(FaultSite::kTuningCacheCorrupt, /*fire_count=*/1);
+  EXPECT_EQ(cache.get_or_search_arm(key, search), want);
+  EXPECT_EQ(searches, 2);
+  EXPECT_EQ(cache.corrupt_evictions(), 1);
+
+  // Healed entry serves clean hits afterwards.
+  EXPECT_EQ(cache.get_or_search_arm(key, search), want);
+  EXPECT_EQ(searches, 2);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
 }  // namespace
 }  // namespace lbc::gpukern

@@ -57,6 +57,8 @@ const char* fault_site_name(FaultSite site) {
     case FaultSite::kAutotuneInvalid: return "autotune_invalid";
     case FaultSite::kServeWorkerThrow: return "serve_worker_throw";
     case FaultSite::kPlanCompileFail: return "plan.compile_fail";
+    case FaultSite::kServeExecDelay: return "serve.exec_delay";
+    case FaultSite::kServeProbeFail: return "serve.probe_fail";
     case FaultSite::kSiteCount: break;
   }
   return "unknown";

@@ -27,6 +27,10 @@ enum class FaultSite : int {
   kAutotuneInvalid,      ///< every autotune candidate reports illegal
   kServeWorkerThrow,     ///< a serving batch worker throws mid-execution
   kPlanCompileFail,      ///< ConvPlan compilation (weight prepack) fails
+  kServeExecDelay,       ///< a batch worker stalls (slow device / page fault
+                         ///< storm); queued peers miss their deadlines
+  kServeProbeFail,       ///< a half-open circuit-breaker probe is forced to
+                         ///< fail before it executes (recovery flapping)
   kSiteCount,
 };
 

@@ -19,6 +19,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kOverloaded: return "Overloaded";
     case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kInvariantViolation: return "InvariantViolation";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kShuttingDown: return "ShuttingDown";
   }
   return "Unknown";
 }

@@ -33,6 +33,8 @@ enum class StatusCode : int {
   kOverloaded,          ///< admission control rejected the request (queue full)
   kDeadlineExceeded,    ///< request expired before it could be served
   kInvariantViolation,  ///< checked execution caught a broken kernel invariant
+  kUnavailable,         ///< circuit breaker open — model temporarily fast-fails
+  kShuttingDown,        ///< request drained unexecuted by a shutdown
 };
 
 /// Short stable name ("InvalidArgument", ...) for messages and logs.
@@ -76,6 +78,12 @@ class Status {
   }
   static Status invariant_violation(std::string msg) {
     return Status(StatusCode::kInvariantViolation, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status shutting_down(std::string msg) {
+    return Status(StatusCode::kShuttingDown, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

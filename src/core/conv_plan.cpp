@@ -265,22 +265,28 @@ size_t PlanCache::KeyHash::operator()(const Key& k) const {
   return static_cast<size_t>(h);
 }
 
+PlanCache::Key PlanCache::make_key(const ConvShape& s, const Tensor<i8>& weight,
+                                   int bits, ArmImpl impl,
+                                   armkern::ConvAlgo algo, int threads) {
+  return Key{s.batch,
+             s.in_c,
+             s.in_h,
+             s.in_w,
+             s.out_c,
+             s.kernel,
+             s.stride,
+             s.pad,
+             bits,
+             static_cast<int>(impl),
+             static_cast<int>(algo),
+             threads,
+             fnv1a64(weight.data(), static_cast<size_t>(weight.elems()))};
+}
+
 StatusOr<std::shared_ptr<const ConvPlan>> PlanCache::get_or_compile(
     const ConvShape& s, const Tensor<i8>& weight, int bits, ArmImpl impl,
     armkern::ConvAlgo algo, int threads) {
-  const Key key{s.batch,
-                s.in_c,
-                s.in_h,
-                s.in_w,
-                s.out_c,
-                s.kernel,
-                s.stride,
-                s.pad,
-                bits,
-                static_cast<int>(impl),
-                static_cast<int>(algo),
-                threads,
-                fnv1a64(weight.data(), static_cast<size_t>(weight.elems()))};
+  const Key key = make_key(s, weight, bits, impl, algo, threads);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
@@ -302,6 +308,25 @@ StatusOr<std::shared_ptr<const ConvPlan>> PlanCache::get_or_compile(
   return shared;
 }
 
+bool PlanCache::evict(const ConvShape& s, const Tensor<i8>& weight, int bits,
+                      ArmImpl impl, armkern::ConvAlgo algo, int threads) {
+  const Key key = make_key(s, weight, bits, impl, algo, threads);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  map_.erase(it);
+  ++evictions_;
+  return true;
+}
+
+bool PlanCache::resident(const ConvShape& s, const Tensor<i8>& weight,
+                         int bits, ArmImpl impl, armkern::ConvAlgo algo,
+                         int threads) const {
+  const Key key = make_key(s, weight, bits, impl, algo, threads);
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
 i64 PlanCache::hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;
@@ -315,6 +340,18 @@ i64 PlanCache::misses() const {
 i64 PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<i64>(map_.size());
+}
+
+i64 PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+i64 PlanCache::resident_packed_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  i64 total = 0;
+  for (const auto& [key, plan] : map_) total += plan->packed_weight_bytes();
+  return total;
 }
 
 void PlanCache::clear() {

@@ -142,8 +142,10 @@ StatusOr<GpuLayerResult> execute_gpu_conv(const GpuConvPlan& plan);
 
 /// Thread-safe cache of compiled ARM plans, keyed by geometry, bits, impl,
 /// algo, threads, AND a hash of the weight bytes — two layers with the
-/// same shape but different weights must not share a plan. The serving
-/// scheduler compiles each layer once and every batch reuses the plan.
+/// same shape but different weights must not share a plan (and two models
+/// with identical weights DO share one immutable entry — the registry's
+/// memory-budget accounting counts the plan once). The serving scheduler
+/// compiles each layer once and every batch reuses the plan.
 class PlanCache {
  public:
   /// Cached plan for the request, compiling on a miss. Returns the cache's
@@ -153,9 +155,31 @@ class PlanCache {
       ArmImpl impl = ArmImpl::kOurs,
       armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm, int threads = 1);
 
+  /// Eviction hook for memory-budgeted owners (serve::ModelRegistry): drop
+  /// the cache's reference to the entry matching the request. Returns true
+  /// when an entry was resident. In-flight executions are never raced: the
+  /// cache hands out shared_ptr<const ConvPlan>, so an executing batch
+  /// keeps its plan alive until it finishes; eviction only drops the
+  /// cache's own reference.
+  bool evict(const ConvShape& s, const Tensor<i8>& weight, int bits,
+             ArmImpl impl = ArmImpl::kOurs,
+             armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
+             int threads = 1);
+
+  /// Whether an entry for the request is resident (a read-only probe; never
+  /// compiles, never counts as a hit or miss).
+  bool resident(const ConvShape& s, const Tensor<i8>& weight, int bits,
+                ArmImpl impl = ArmImpl::kOurs,
+                armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
+                int threads = 1) const;
+
   i64 hits() const;
   i64 misses() const;
   i64 size() const;
+  i64 evictions() const;
+  /// Sum of packed_weight_bytes over resident entries — what a memory
+  /// budget charges for the cache's prepacked working set.
+  i64 resident_packed_bytes() const;
   void clear();
 
  private:
@@ -172,9 +196,12 @@ class PlanCache {
     size_t operator()(const Key& k) const;
   };
 
+  static Key make_key(const ConvShape& s, const Tensor<i8>& weight, int bits,
+                      ArmImpl impl, armkern::ConvAlgo algo, int threads);
+
   mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const ConvPlan>, KeyHash> map_;
-  i64 hits_ = 0, misses_ = 0;
+  i64 hits_ = 0, misses_ = 0, evictions_ = 0;
 };
 
 }  // namespace lbc::core

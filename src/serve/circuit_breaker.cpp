@@ -1,0 +1,145 @@
+#include "serve/circuit_breaker.h"
+
+#include <sstream>
+
+namespace lbc::serve {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerOptions& opt) : opt_(opt) {
+  if (opt_.consecutive_failures < 1) opt_.consecutive_failures = 1;
+  if (opt_.window < 1) opt_.window = 1;
+  if (opt_.min_window_samples < 1) opt_.min_window_samples = 1;
+  if (opt_.min_window_samples > opt_.window)
+    opt_.min_window_samples = opt_.window;
+  if (opt_.probe_successes < 1) opt_.probe_successes = 1;
+  if (opt_.probe_quota < 1) opt_.probe_quota = 1;
+  window_miss_.assign(static_cast<size_t>(opt_.window), false);
+}
+
+CircuitBreaker::Decision CircuitBreaker::admit(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen && now - opened_at_ >= opt_.cooldown) {
+    state_ = BreakerState::kHalfOpen;
+    probes_inflight_ = 0;
+    probe_successes_ = 0;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Decision::kAllow;
+    case BreakerState::kOpen:
+      return Decision::kReject;
+    case BreakerState::kHalfOpen:
+      if (probes_inflight_ >= opt_.probe_quota) return Decision::kReject;
+      ++probes_inflight_;
+      ++probes_;
+      return Decision::kProbe;
+  }
+  return Decision::kReject;
+}
+
+void CircuitBreaker::record(Outcome outcome, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  push_window_locked(outcome != Outcome::kSuccess);
+  // Late results from batches formed before a trip must not re-trip an
+  // already-open breaker or flip a half-open one; only kClosed reacts.
+  if (state_ != BreakerState::kClosed) return;
+  if (outcome == Outcome::kFailure) {
+    if (++consecutive_failures_ >= opt_.consecutive_failures) {
+      trip_locked(now);
+      return;
+    }
+  } else if (outcome == Outcome::kSuccess) {
+    consecutive_failures_ = 0;
+  }
+  if (window_filled_ >= static_cast<size_t>(opt_.min_window_samples) &&
+      window_miss_rate_locked() >= opt_.deadline_miss_rate) {
+    trip_locked(now);
+  }
+}
+
+void CircuitBreaker::record_probe(Outcome outcome, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (probes_inflight_ > 0) --probes_inflight_;
+  push_window_locked(outcome != Outcome::kSuccess);
+  if (state_ != BreakerState::kHalfOpen) return;
+  if (outcome == Outcome::kSuccess) {
+    if (++probe_successes_ >= opt_.probe_successes) {
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+      probe_successes_ = 0;
+      // Start the recovered breaker with a clean window: the misses that
+      // tripped it describe the fault era, not the recovered model.
+      window_filled_ = 0;
+      window_next_ = 0;
+    }
+  } else {
+    trip_locked(now);  // any failed probe re-opens; cooldown restarts
+  }
+}
+
+void CircuitBreaker::cancel_probe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (probes_inflight_ > 0) --probes_inflight_;
+}
+
+void CircuitBreaker::trip_locked(Clock::time_point now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  ++trips_;
+}
+
+void CircuitBreaker::push_window_locked(bool miss) {
+  window_miss_[window_next_] = miss;
+  window_next_ = (window_next_ + 1) % window_miss_.size();
+  if (window_filled_ < window_miss_.size()) ++window_filled_;
+}
+
+double CircuitBreaker::window_miss_rate_locked() const {
+  if (window_filled_ == 0) return 0;
+  size_t misses = 0;
+  for (size_t i = 0; i < window_filled_; ++i)
+    if (window_miss_[i]) ++misses;
+  return static_cast<double>(misses) / static_cast<double>(window_filled_);
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+i64 CircuitBreaker::trips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trips_;
+}
+
+i64 CircuitBreaker::probes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return probes_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+std::string CircuitBreaker::describe() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << breaker_state_name(state_);
+  if (trips_ > 0) os << " (" << trips_ << (trips_ == 1 ? " trip" : " trips");
+  if (trips_ > 0 && probes_ > 0) os << ", " << probes_ << " probes";
+  if (trips_ > 0) os << ")";
+  return os.str();
+}
+
+}  // namespace lbc::serve

@@ -1,0 +1,135 @@
+// Per-model circuit breaker: the serving tier's fuse between a failing
+// model and the clients hammering it.
+//
+// State machine (classic three-state breaker, deterministic and fully
+// clock-injectable for tests):
+//
+//   kClosed ──(N consecutive execution failures, OR deadline-miss rate over
+//              the sliding outcome window >= threshold)──> kOpen
+//   kOpen ──(cooldown elapsed)──> kHalfOpen
+//   kHalfOpen ──(probe_successes successful probes)──> kClosed
+//   kHalfOpen ──(any probe failure)──> kOpen (cooldown restarts)
+//
+// While open, admit() rejects every request (the server fast-fails them
+// kUnavailable or routes them down the PR-1 reference fallback chain —
+// BreakerMode is the server's policy, not the breaker's). While half-open,
+// admit() lets through at most `probe_quota` concurrent probes and rejects
+// the rest, so a recovering model sees a trickle, not the full storm.
+//
+// Outcome vocabulary: kSuccess (OK response), kFailure (non-OK execution
+// Status — worker throw, kernel error, resource exhaustion), kDeadlineMiss
+// (kDeadlineExceeded; counts toward the miss-rate window but not the
+// consecutive-failure run, because expiry under burst is an overload
+// signal, not a model-health signal on its own). Admission-control outcomes
+// (kOverloaded / kShuttingDown / kUnavailable) must NOT be recorded — they
+// never touched the model.
+//
+// Thread-safety: every method takes the internal mutex; admit() and
+// record() may race freely from any number of scheduler/server threads.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "serve/request.h"
+
+namespace lbc::serve {
+
+enum class BreakerState : int { kClosed = 0, kOpen, kHalfOpen };
+
+/// Stable name ("closed", "open", "half-open") for reports.
+const char* breaker_state_name(BreakerState s);
+
+/// What a tripped breaker does with non-probe requests — applied by the
+/// ModelServer, carried here so the policy lives with the model.
+enum class BreakerMode {
+  kFastFail,           ///< answer kUnavailable immediately
+  kReferenceFallback,  ///< serve through the reference fallback chain
+};
+
+struct BreakerOptions {
+  /// Consecutive execution failures that trip kClosed -> kOpen.
+  int consecutive_failures = 5;
+  /// Sliding outcome window (successes + failures + deadline misses).
+  int window = 32;
+  /// Trip when window_misses / window_size >= this, once the window holds
+  /// at least min_window_samples outcomes. Deadline misses AND failures
+  /// count as misses here.
+  double deadline_miss_rate = 0.5;
+  int min_window_samples = 16;
+  /// kOpen -> kHalfOpen after this much wall clock.
+  std::chrono::microseconds cooldown = std::chrono::milliseconds(50);
+  /// Successful probes needed to close from half-open.
+  int probe_successes = 3;
+  /// Max concurrently in-flight half-open probes.
+  int probe_quota = 1;
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() : CircuitBreaker(BreakerOptions{}) {}
+  explicit CircuitBreaker(const BreakerOptions& opt);
+
+  enum class Decision {
+    kAllow,   ///< closed — serve normally
+    kProbe,   ///< half-open — serve, and record the outcome as a probe
+    kReject,  ///< open (or half-open past the probe quota) — do not serve
+  };
+
+  /// Admission decision for one request. Transitions kOpen -> kHalfOpen
+  /// when the cooldown has elapsed at `now`. A kProbe decision reserves a
+  /// probe slot: the caller MUST eventually record_probe() its outcome (or
+  /// cancel_probe() if the probe was never dispatched).
+  Decision admit(Clock::time_point now = Clock::now());
+
+  enum class Outcome { kSuccess, kFailure, kDeadlineMiss };
+
+  /// Record a normal (non-probe) outcome. In kClosed this drives the
+  /// consecutive-failure and miss-rate trips; in other states it only
+  /// updates the window (late results from batches formed before the trip
+  /// must not double-trip or half-close anything).
+  void record(Outcome outcome, Clock::time_point now = Clock::now());
+
+  /// Record the outcome of a probe admitted with Decision::kProbe.
+  void record_probe(Outcome outcome, Clock::time_point now = Clock::now());
+
+  /// Release a reserved probe slot without an outcome (the probe was never
+  /// actually dispatched — e.g. its submit was rejected upstream).
+  void cancel_probe();
+
+  BreakerState state() const;
+  /// Times the breaker transitioned * -> kOpen.
+  i64 trips() const;
+  /// Probes admitted while half-open.
+  i64 probes() const;
+  /// Consecutive execution failures observed in kClosed.
+  int consecutive_failures() const;
+  const BreakerOptions& options() const { return opt_; }
+
+  /// "closed" / "open (2 trips)" — one-line status for reports.
+  std::string describe() const;
+
+ private:
+  void trip_locked(Clock::time_point now);
+  void push_window_locked(bool miss);
+  double window_miss_rate_locked() const;
+
+  BreakerOptions opt_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  Clock::time_point opened_at_{};
+  int consecutive_failures_ = 0;
+  int probes_inflight_ = 0;
+  int probe_successes_ = 0;
+  i64 trips_ = 0;
+  i64 probes_ = 0;
+  // Sliding outcome window as a ring buffer of miss bits.
+  std::vector<bool> window_miss_;
+  size_t window_next_ = 0;
+  size_t window_filled_ = 0;
+};
+
+}  // namespace lbc::serve

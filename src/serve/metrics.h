@@ -1,15 +1,22 @@
 // Per-request serving metrics: queue wait, end-to-end latency, batch-size
 // histogram, and outcome counters, aggregated thread-safely across the
-// scheduler's dispatcher and the pool workers that complete batches.
+// scheduler's dispatcher, the pool workers that complete batches, and the
+// server front end (breaker fast-fails, fallback executions).
 //
-// The snapshot computes p50/p95/p99 from retained samples (bounded; see
-// kMaxSamples) and throughput over the window from the first admission to
-// the last completion — the number an operator compares against offered
-// load to size queue_capacity and max_batch. Printing goes through
-// core::report's metric-table machinery so serving reports look like the
-// figure benches.
+// Outcomes are additionally bucketed per priority class, because the whole
+// point of graceful load shedding is that the classes behave differently
+// under overload: interactive p99 must hold while batch work is shed. The
+// snapshot computes per-class and aggregate p50/p95/p99 from retained
+// samples (bounded; see kMaxSamples) and throughput over the window from
+// the first admission to the last completion.
+//
+// Concurrency contract: every recorder, snapshot(), and reset() take the
+// one internal mutex — a snapshot or reset racing any number of recorders
+// observes/clears a consistent state and never tears a sample vector
+// (regression-tested under tsan in test_serve_metrics).
 #pragma once
 
+#include <array>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -19,10 +26,35 @@
 
 namespace lbc::serve {
 
+/// Why a request was refused or abandoned without executing. Reported per
+/// event through ServeMetrics so an operator can tell *which* degradation
+/// mode is active, not just that requests are failing.
+enum class ShedReason : int {
+  kQueueFull = 0,   ///< admission queue at capacity, nothing lower to shed
+  kDisplaced,       ///< evicted from the queue by a higher-priority arrival
+  kDeadline,        ///< expired before batch formation
+  kShutdown,        ///< drained with kShuttingDown by a fail-pending shutdown
+  kBreakerOpen,     ///< fast-failed kUnavailable by an open circuit breaker
+  kReasonCount,
+};
+
+/// Stable name ("queue_full", "displaced", ...) for reports.
+const char* shed_reason_name(ShedReason r);
+
+/// Per-priority-class outcome bucket.
+struct PriorityLane {
+  i64 completed = 0;    ///< responded OK
+  i64 failed = 0;       ///< responded with a non-OK execution Status
+  i64 expired = 0;      ///< kDeadlineExceeded at batch formation
+  i64 shed = 0;         ///< kOverloaded/kShuttingDown/kUnavailable (all
+                        ///< ShedReason events except kDeadline)
+  double latency_p50_s = 0, latency_p99_s = 0;
+};
+
 struct MetricsSnapshot {
   i64 completed = 0;  ///< responded OK
   i64 failed = 0;     ///< responded with a non-OK Status (worker fault, ...)
-  i64 rejected = 0;   ///< refused at admission (queue full -> kOverloaded)
+  i64 rejected = 0;   ///< refused at admission, queue full -> kOverloaded
   i64 expired = 0;    ///< dropped at batch formation (kDeadlineExceeded)
   i64 batches = 0;    ///< micro-batches executed
   double mean_batch = 0;
@@ -32,6 +64,21 @@ struct MetricsSnapshot {
   i64 unplanned_batches = 0;  ///< fell back to the one-shot conv path
   /// planned / (planned + unplanned); 1.0 when every batch reused a plan.
   double plan_hit_rate = 0;
+
+  /// Shed accounting: sheds[r] counts ShedReason r events. `displaced`,
+  /// `drained_shutdown`, `unavailable`, and `fallback_served` break out the
+  /// overload-specific flows the soak harness gates on.
+  std::array<i64, static_cast<size_t>(ShedReason::kReasonCount)> sheds{};
+  i64 displaced = 0;         ///< queued work evicted for higher priority
+  i64 drained_shutdown = 0;  ///< answered kShuttingDown at shutdown
+  i64 unavailable = 0;       ///< fast-failed by an open breaker
+  i64 fallback_served = 0;   ///< served via the reference fallback chain
+                             ///< while the breaker was open
+  /// (rejected + displaced + drained + unavailable) / submissions — the
+  /// operator-facing "what fraction of offered load did we shed".
+  double shed_rate = 0;
+
+  std::array<PriorityLane, kNumPriorities> lanes{};
 
   double queue_wait_p50_s = 0, queue_wait_p95_s = 0, queue_wait_p99_s = 0;
   double latency_p50_s = 0, latency_p95_s = 0, latency_p99_s = 0;
@@ -48,26 +95,50 @@ class ServeMetrics {
   static constexpr size_t kMaxSamples = 1 << 16;
 
   void record_admitted(Clock::time_point now);
-  void record_rejected();
-  void record_expired();
+  /// Queue-full rejection at admission (reason kQueueFull), or the
+  /// displacement of queued lower-priority work (reason kDisplaced), or a
+  /// breaker fast-fail (kBreakerOpen), or a shutdown drain (kShutdown).
+  void record_shed(ShedReason reason, Priority priority);
+  void record_expired(Priority priority);
+  /// A tripped-breaker request served through the reference fallback chain.
+  void record_fallback_served();
   void record_batch(int batch_size);
   /// Whether a batch executed against a compiled plan (recorded by the
   /// batch worker once the plan lookup resolves).
   void record_batch_plan(bool planned);
   /// One response delivered (OK or failed), with its measured times.
   void record_completion(double queue_wait_s, double latency_s, bool ok,
-                         Clock::time_point now);
+                         Clock::time_point now,
+                         Priority priority = Priority::kStandard);
 
   MetricsSnapshot snapshot() const;
+
+  /// Zero every counter and drop every retained sample, atomically with
+  /// respect to concurrent recorders: a record racing the reset lands
+  /// either entirely before (cleared) or entirely after (counted) it.
+  void reset();
 
   /// Render a snapshot through core::report::print_metric_table.
   void print(const std::string& title) const;
 
  private:
+  static size_t lane_index(Priority p) {
+    const int i = static_cast<int>(p);
+    return static_cast<size_t>(i < 0 ? 0 : (i >= kNumPriorities ? kNumPriorities - 1 : i));
+  }
+
+  struct LaneState {
+    i64 completed = 0, failed = 0, expired = 0, shed = 0;
+    std::vector<double> latency_s;
+  };
+
   mutable std::mutex mu_;
   i64 completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0;
   i64 batches_ = 0, batched_requests_ = 0;
   i64 planned_batches_ = 0, unplanned_batches_ = 0;
+  i64 fallback_served_ = 0;
+  std::array<i64, static_cast<size_t>(ShedReason::kReasonCount)> sheds_{};
+  std::array<LaneState, kNumPriorities> lanes_;
   std::vector<i64> batch_hist_;
   std::vector<double> queue_wait_s_;
   std::vector<double> latency_s_;

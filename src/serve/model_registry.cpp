@@ -1,0 +1,150 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lbc::serve {
+
+ModelRegistry::ModelRegistry(const RegistryOptions& opt) : opt_(opt) {
+  if (opt_.plan_budget_bytes < 0) opt_.plan_budget_bytes = 0;
+}
+
+Status ModelRegistry::register_model(const std::string& name, ModelSpec spec) {
+  LBC_VALIDATE(!name.empty(), kInvalidArgument,
+               "model name must be non-empty");
+  LBC_VALIDATE(spec.shape.valid(), kInvalidArgument,
+               "model '" << name
+                         << "' has an invalid conv shape: "
+                         << describe(spec.shape));
+  LBC_VALIDATE(spec.shape.batch == 1, kInvalidArgument,
+               "model '" << name << "' must have a batch-1 layer shape, got "
+                         << spec.shape.batch);
+  LBC_VALIDATE(spec.bits >= 2 && spec.bits <= 8, kInvalidArgument,
+               "model '" << name << "' bits must be in [2, 8], got "
+                         << spec.bits);
+  const Shape4 want_w{spec.shape.out_c, spec.shape.in_c, spec.shape.kernel,
+                      spec.shape.kernel};
+  LBC_VALIDATE(spec.weight.shape() == want_w, kInvalidArgument,
+               "model '" << name << "' weight tensor does not match its "
+                         << "layer shape " << describe(spec.shape));
+  LBC_VALIDATE(spec.threads >= 1 && spec.threads <= 64, kInvalidArgument,
+               "model '" << name << "' threads must be in [1, 64], got "
+                         << spec.threads);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  LBC_VALIDATE(models_.find(name) == models_.end(), kInvalidArgument,
+               "model '" << name << "' is already registered");
+  auto entry = std::make_unique<Entry>();
+  entry->spec = std::move(spec);
+  entry->order = next_order_++;
+  models_.emplace(name, std::move(entry));
+  return Status();
+}
+
+Status ModelRegistry::unregister_model(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  LBC_VALIDATE(it != models_.end(), kNotFound,
+               "model '" << name << "' is not registered");
+  const ModelSpec& s = it->second->spec;
+  cache_.evict(s.shape, s.weight, s.bits, s.impl, s.algo, s.threads);
+  models_.erase(it);
+  return Status();
+}
+
+StatusOr<std::shared_ptr<const core::ConvPlan>> ModelRegistry::acquire_plan(
+    const std::string& name) {
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(name);
+    LBC_VALIDATE(it != models_.end(), kNotFound,
+                 "model '" << name << "' is not registered");
+    entry = it->second.get();
+  }
+  // Compile (or hit) outside mu_ — a slow compile of one model must not
+  // block lookups of another. `entry` stays valid: unregister_model is the
+  // only eraser and callers must not race it with acquires of the same name.
+  const ModelSpec& s = entry->spec;
+  LBC_ASSIGN_OR_RETURN(
+      std::shared_ptr<const core::ConvPlan> plan,
+      cache_.get_or_compile(s.shape, s.weight, s.bits, s.impl, s.algo,
+                            s.threads));
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->last_used = ++tick_;
+  ++acquires_;
+  enforce_budget_locked(entry);
+  return plan;
+}
+
+void ModelRegistry::enforce_budget_locked(const Entry* keep) {
+  if (opt_.plan_budget_bytes <= 0) return;
+  while (cache_.resident_packed_bytes() > opt_.plan_budget_bytes) {
+    // Least-recently-used model other than `keep` whose plan is still
+    // resident. Never-acquired entries (last_used == 0) evict first.
+    Entry* victim = nullptr;
+    for (auto& [vname, ventry] : models_) {
+      if (ventry.get() == keep) continue;
+      const ModelSpec& vs = ventry->spec;
+      if (!cache_.resident(vs.shape, vs.weight, vs.bits, vs.impl, vs.algo,
+                           vs.threads))
+        continue;
+      if (victim == nullptr || ventry->last_used < victim->last_used)
+        victim = ventry.get();
+    }
+    // Nothing evictable: only `keep`'s plan (or entries of unregistered
+    // models, which unregister_model already dropped) remains — a single
+    // over-budget plan is allowed to stand.
+    if (victim == nullptr) return;
+    const ModelSpec& vs = victim->spec;
+    cache_.evict(vs.shape, vs.weight, vs.bits, vs.impl, vs.algo, vs.threads);
+  }
+}
+
+StatusOr<const ModelSpec*> ModelRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  LBC_VALIDATE(it != models_.end(), kNotFound,
+               "model '" << name << "' is not registered");
+  const ModelSpec* spec = &it->second->spec;
+  return spec;
+}
+
+bool ModelRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.find(name) != models_.end();
+}
+
+std::vector<std::string> ModelRegistry::model_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<u64, std::string>> ordered;
+  ordered.reserve(models_.size());
+  for (const auto& [name, entry] : models_)
+    ordered.emplace_back(entry->order, name);
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::string> names;
+  names.reserve(ordered.size());
+  for (auto& [order, name] : ordered) names.push_back(std::move(name));
+  return names;
+}
+
+bool ModelRegistry::plan_resident(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return false;
+  const ModelSpec& s = it->second->spec;
+  return cache_.resident(s.shape, s.weight, s.bits, s.impl, s.algo, s.threads);
+}
+
+RegistryStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistryStats s;
+  s.models = static_cast<int>(models_.size());
+  s.acquires = acquires_;
+  s.plan_evictions = cache_.evictions();
+  s.resident_plan_bytes = cache_.resident_packed_bytes();
+  s.budget_bytes = opt_.plan_budget_bytes;
+  return s;
+}
+
+}  // namespace lbc::serve

@@ -1,0 +1,126 @@
+// Multi-model registry: the serving tier's catalog of quantized nets, all
+// compiling into ONE shared core::PlanCache under a memory budget.
+//
+// Each registered model is a (shape, weights, bits, impl, algo, threads)
+// spec. acquire_plan(name) returns the model's compiled ConvPlan — a cache
+// hit when resident, a compile on a miss — and bumps the model in the
+// registry's LRU order. When the cache's resident prepacked bytes exceed
+// plan_budget_bytes after an acquire, the registry evicts plans of the
+// least-recently-used *other* models until back under budget (the plan just
+// acquired is never evicted by its own acquire). A plan bigger than the
+// whole budget is allowed to stand alone over budget — refusing to serve
+// would be worse than exceeding a soft cap.
+//
+// Safety properties (the reasons this layer exists):
+//  * Eviction never races an in-flight execution. The cache hands out
+//    shared_ptr<const ConvPlan>; eviction drops only the cache's own
+//    reference, so a batch mid-execute keeps its plan alive until done.
+//  * Model weights stay pinned in the registry regardless of plan
+//    eviction — an evicted model recompiles on its next acquire, and the
+//    reference fallback chain (breaker degradation) always has the raw
+//    weights to run against.
+//  * Two models with byte-identical specs share one immutable cache entry
+//    (PlanCache keys include a weight hash); the budget charges the entry
+//    once, and evicting either model's plan evicts the shared entry — the
+//    other model simply recompiles into it on next use.
+//
+// Thread-safety: all methods are safe to call concurrently; the registry
+// mutex is NOT held across plan compilation (a slow compile of one model
+// never blocks lookups of another).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/conv_shape.h"
+#include "common/status.h"
+#include "common/tensor.h"
+#include "core/conv_plan.h"
+#include "core/engine.h"
+
+namespace lbc::serve {
+
+/// Immutable description of one registered model (a single quantized conv
+/// layer, same granularity as a BatchScheduler instance).
+struct ModelSpec {
+  ConvShape shape;
+  Tensor<i8> weight;
+  int bits = 8;
+  core::ArmImpl impl = core::ArmImpl::kOurs;
+  armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm;
+  int threads = 1;
+};
+
+struct RegistryOptions {
+  /// Budget over the shared cache's resident prepacked plan bytes;
+  /// 0 = unlimited (no eviction).
+  i64 plan_budget_bytes = 0;
+};
+
+struct RegistryStats {
+  int models = 0;
+  i64 acquires = 0;        ///< acquire_plan calls that returned a plan
+  i64 plan_evictions = 0;  ///< cache entries dropped by budget enforcement
+  i64 resident_plan_bytes = 0;
+  i64 budget_bytes = 0;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(const RegistryOptions& opt = RegistryOptions{});
+
+  /// Register a model under a unique name. kInvalidArgument on a bad spec
+  /// or empty name; kAlreadyExists on a name collision.
+  Status register_model(const std::string& name, ModelSpec spec);
+
+  /// Drop a model and evict its plan from the shared cache. kNotFound when
+  /// the name is unknown. In-flight executions against the plan finish
+  /// normally (they hold their own shared_ptr).
+  Status unregister_model(const std::string& name);
+
+  /// The model's compiled plan: cache hit or compile, then LRU bump and
+  /// budget enforcement. Errors: kNotFound (unknown model) or the plan
+  /// compile error (kResourceExhausted under plan.compile_fail — callers
+  /// run the unplanned path).
+  StatusOr<std::shared_ptr<const core::ConvPlan>> acquire_plan(
+      const std::string& name);
+
+  /// The registered spec (weights pinned; valid until unregister_model).
+  /// kNotFound when the name is unknown.
+  StatusOr<const ModelSpec*> find(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  /// Registered names in registration order.
+  std::vector<std::string> model_names() const;
+
+  /// Whether the model's plan is currently resident in the shared cache
+  /// (false after a budget eviction, before the next acquire).
+  bool plan_resident(const std::string& name) const;
+
+  RegistryStats stats() const;
+  core::PlanCache& plan_cache() { return cache_; }
+  const core::PlanCache& plan_cache() const { return cache_; }
+
+ private:
+  struct Entry {
+    ModelSpec spec;
+    u64 last_used = 0;  ///< LRU tick of the latest acquire (0 = never)
+    u64 order = 0;      ///< registration order
+  };
+
+  /// Evict LRU plans (excluding `keep`) until resident bytes fit the
+  /// budget. Caller holds mu_.
+  void enforce_budget_locked(const Entry* keep);
+
+  RegistryOptions opt_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> models_;
+  u64 tick_ = 0;
+  u64 next_order_ = 0;
+  i64 acquires_ = 0;
+  core::PlanCache cache_;  ///< shared across all models; own internal mutex
+};
+
+}  // namespace lbc::serve

@@ -1,8 +1,12 @@
 #include "serve/scheduler.h"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <stdexcept>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/fault_injection.h"
 
@@ -49,6 +53,10 @@ StatusOr<std::unique_ptr<BatchScheduler>> BatchScheduler::create(
   LBC_VALIDATE(opt.conv_threads >= 1 && opt.conv_threads <= 64,
                kInvalidArgument,
                "conv_threads must be in [1, 64], got " << opt.conv_threads);
+  for (const auto& [tenant, weight_v] : opt.tenant_weights)
+    LBC_VALIDATE(weight_v > 0, kInvalidArgument,
+                 "tenant " << tenant << " weight must be > 0, got "
+                           << weight_v);
   return std::unique_ptr<BatchScheduler>(
       new BatchScheduler(shape, std::move(weight), opt,
                          pool != nullptr ? pool : &ThreadPool::global()));
@@ -61,41 +69,174 @@ BatchScheduler::BatchScheduler(const ConvShape& shape, Tensor<i8> weight,
   // ladder resolves and the weights prepack here, so per-batch work is pure
   // execution. A compile fault (kResourceExhausted) leaves plan_ null; each
   // batch then retries through the cache and, failing that, runs unplanned.
-  StatusOr<std::shared_ptr<const core::ConvPlan>> p =
-      plan_cache_.get_or_compile(shape_, weight_, opt_.bits, opt_.impl,
-                                 opt_.algo, opt_.conv_threads);
+  StatusOr<std::shared_ptr<const core::ConvPlan>> p = lookup_plan();
   if (p.ok()) plan_ = std::move(p).value();
   dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
 BatchScheduler::~BatchScheduler() { shutdown(); }
 
+StatusOr<std::shared_ptr<const core::ConvPlan>> BatchScheduler::lookup_plan() {
+  if (opt_.plan_source) return opt_.plan_source();
+  return plan_cache_.get_or_compile(shape_, weight_, opt_.bits, opt_.impl,
+                                    opt_.algo, opt_.conv_threads);
+}
+
+double BatchScheduler::tenant_weight(int tenant) const {
+  const auto it = opt_.tenant_weights.find(tenant);
+  return it == opt_.tenant_weights.end() ? 1.0 : it->second;
+}
+
+BatchScheduler::Pending BatchScheduler::pop_next_locked() {
+  for (ClassQueue& cq : classes_) {
+    if (cq.size == 0) continue;
+    // Start-time fair queueing: serve the non-empty lane with the smallest
+    // virtual finish time. Tie-break on tenant id so the order is
+    // deterministic (unordered_map iteration is not).
+    TenantLane* best = nullptr;
+    int best_tenant = 0;
+    for (auto& [tenant, lane] : cq.tenants) {
+      if (lane.q.empty()) continue;
+      if (best == nullptr || lane.vfinish < best->vfinish ||
+          (lane.vfinish == best->vfinish && tenant < best_tenant)) {
+        best = &lane;
+        best_tenant = tenant;
+      }
+    }
+    LBC_CHECK(best != nullptr);
+    Pending p = std::move(best->q.front());
+    best->q.pop_front();
+    --cq.size;
+    --queued_;
+    cq.vclock = best->vfinish;
+    best->vfinish += 1.0 / tenant_weight(best_tenant);
+    return p;
+  }
+  LBC_CHECK_MSG(false, "pop_next_locked on an empty queue");
+  return Pending{};  // unreachable
+}
+
+void BatchScheduler::head_info_locked(Clock::time_point* admitted,
+                                      Clock::time_point* deadline) const {
+  const Pending* oldest = nullptr;
+  for (const ClassQueue& cq : classes_) {
+    for (const auto& [tenant, lane] : cq.tenants) {
+      if (lane.q.empty()) continue;
+      const Pending& head = lane.q.front();
+      if (oldest == nullptr || head.admitted < oldest->admitted) oldest = &head;
+    }
+  }
+  LBC_CHECK(oldest != nullptr);
+  *admitted = oldest->admitted;
+  *deadline = oldest->req.deadline;
+}
+
+bool BatchScheduler::displace_lowest_locked(Priority arriving,
+                                            Pending* victim) {
+  for (int c = kNumPriorities - 1; c > static_cast<int>(arriving); --c) {
+    ClassQueue& cq = classes_[static_cast<size_t>(c)];
+    if (cq.size == 0) continue;
+    // Shed the most recently admitted request of the class: it has waited
+    // least, so displacing it wastes the least queueing investment.
+    TenantLane* newest = nullptr;
+    for (auto& [tenant, lane] : cq.tenants) {
+      if (lane.q.empty()) continue;
+      if (newest == nullptr || lane.q.back().admitted > newest->q.back().admitted)
+        newest = &lane;
+    }
+    LBC_CHECK(newest != nullptr);
+    *victim = std::move(newest->q.back());
+    newest->q.pop_back();
+    --cq.size;
+    --queued_;
+    return true;
+  }
+  return false;
+}
+
+void BatchScheduler::resolve(Pending& p, InferResponse resp) {
+  resp.id = p.req.id;
+  resp.tenant = p.req.tenant;
+  resp.priority = p.req.priority;
+  resp.probe = p.req.probe;
+  // Hook first, future second: when a client wakes from future.get(), the
+  // server-side observers (circuit breaker, server metrics) have already
+  // seen the outcome.
+  if (opt_.on_complete) opt_.on_complete(resp);
+  p.promise.set_value(std::move(resp));
+  // Count under mu_ and wake shutdown(): its no-request-left-unresolved
+  // wait needs the admitted == resolved transition to be cv-visible.
+  std::lock_guard<std::mutex> lock(mu_);
+  ++resolved_count_;
+  drain_cv_.notify_all();
+}
+
 StatusOr<std::future<InferResponse>> BatchScheduler::submit(
     Tensor<i8> input, Clock::time_point deadline) {
+  SubmitOptions sub;
+  sub.deadline = deadline;
+  return submit(std::move(input), sub);
+}
+
+StatusOr<std::future<InferResponse>> BatchScheduler::submit(
+    Tensor<i8> input, const SubmitOptions& sub) {
   const Shape4 want{1, shape_.in_c, shape_.in_h, shape_.in_w};
   LBC_VALIDATE(input.shape() == want, kInvalidArgument,
                "request tensor is " << shape4_str(input.shape())
                                     << " but the served layer needs "
                                     << shape4_str(want));
+  const int pri = static_cast<int>(sub.priority);
+  LBC_VALIDATE(pri >= 0 && pri < kNumPriorities, kInvalidArgument,
+               "priority out of range: " << pri);
+
   std::unique_lock<std::mutex> lock(mu_);
   LBC_VALIDATE(!stopping_, kFailedPrecondition,
                "submit() after shutdown()");
-  if (queue_.size() >= opt_.queue_capacity) {
-    lock.unlock();
-    metrics_.record_rejected();
-    return Status::overloaded(
-        "serving queue is full (" + std::to_string(opt_.queue_capacity) +
-        " waiting requests); apply backpressure and retry");
+  Pending displaced;
+  bool have_victim = false;
+  if (queued_ >= opt_.queue_capacity) {
+    // Graceful shedding: make room by evicting strictly-lower-priority
+    // queued work; only reject the arrival when there is none.
+    have_victim = displace_lowest_locked(sub.priority, &displaced);
+    if (!have_victim) {
+      lock.unlock();
+      metrics_.record_shed(ShedReason::kQueueFull, sub.priority);
+      return Status::overloaded(
+          "serving queue is full (" + std::to_string(opt_.queue_capacity) +
+          " waiting requests) and no lower-priority work to shed; apply "
+          "backpressure and retry");
+    }
   }
   Pending p;
   p.req.id = next_id_++;
   p.req.input = std::move(input);
-  p.req.deadline = deadline;
+  p.req.deadline = sub.deadline;
+  p.req.tenant = sub.tenant;
+  p.req.priority = sub.priority;
+  p.req.probe = sub.probe;
   p.admitted = Clock::now();
   std::future<InferResponse> fut = p.promise.get_future();
   metrics_.record_admitted(p.admitted);
-  queue_.push_back(std::move(p));
+  ++admitted_count_;
+  ClassQueue& cq = classes_[static_cast<size_t>(pri)];
+  TenantLane& lane = cq.tenants[sub.tenant];
+  // Re-activating an idle lane: advance its clock to the class clock so a
+  // lane that sat out a busy period cannot claim the backlog it skipped.
+  if (lane.q.empty() && lane.vfinish < cq.vclock) lane.vfinish = cq.vclock;
+  lane.q.push_back(std::move(p));
+  ++cq.size;
+  ++queued_;
   lock.unlock();
+
+  if (have_victim) {
+    metrics_.record_shed(ShedReason::kDisplaced, displaced.req.priority);
+    InferResponse resp;
+    resp.status = Status::overloaded(
+        "shed: displaced by a higher-priority arrival while queued");
+    resp.queue_wait_s = seconds_between(displaced.admitted, Clock::now());
+    resp.latency_s = resp.queue_wait_s;
+    resolve(displaced, std::move(resp));
+  }
   queue_cv_.notify_one();
   return fut;
 }
@@ -103,43 +244,49 @@ StatusOr<std::future<InferResponse>> BatchScheduler::submit(
 void BatchScheduler::dispatcher_main() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    queue_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (queued_ == 0) {
       if (stopping_) break;
       continue;
     }
 
     // Execution backpressure: past max_inflight_batches the dispatcher
     // stalls, overload backs up into the bounded admission queue, and
-    // submit() starts rejecting — latency stays bounded end to end.
+    // submit() starts shedding — latency stays bounded end to end.
     drain_cv_.wait(lock, [this] {
       return inflight_batches_ < static_cast<i64>(opt_.max_inflight_batches);
     });
+    if (queued_ == 0) {
+      if (stopping_) break;
+      continue;  // a fail-pending shutdown drained the queue while we waited
+    }
 
     // Coalescing window: hold the head request at most max_wait_us while
     // peers arrive; a full batch (or shutdown drain) leaves immediately.
-    if (static_cast<int>(queue_.size()) < opt_.max_batch && !stopping_) {
+    if (queued_ < static_cast<size_t>(opt_.max_batch) && !stopping_) {
+      Clock::time_point head_admitted, head_deadline;
+      head_info_locked(&head_admitted, &head_deadline);
       Clock::time_point wait_until =
-          queue_.front().admitted +
-          std::chrono::microseconds(opt_.max_wait_us);
+          head_admitted + std::chrono::microseconds(opt_.max_wait_us);
       // No point holding the window open past the head's own deadline.
-      if (queue_.front().req.deadline < wait_until)
-        wait_until = queue_.front().req.deadline;
+      if (head_deadline < wait_until) wait_until = head_deadline;
       queue_cv_.wait_until(lock, wait_until, [this] {
-        return stopping_ ||
-               static_cast<int>(queue_.size()) >= opt_.max_batch;
+        return stopping_ || queued_ >= static_cast<size_t>(opt_.max_batch);
       });
     }
+    if (queued_ == 0) {
+      if (stopping_) break;
+      continue;
+    }
 
-    // Batch formation: expired requests are dropped (and answered) here,
-    // before any device time is spent on them.
+    // Batch formation: WFQ order across tenants, strict priority across
+    // classes; expired requests are dropped (and answered) here, before any
+    // device time is spent on them.
     const Clock::time_point formed = Clock::now();
     std::vector<Pending> batch;
     std::vector<Pending> expired;
-    while (!queue_.empty() &&
-           static_cast<int>(batch.size()) < opt_.max_batch) {
-      Pending p = std::move(queue_.front());
-      queue_.pop_front();
+    while (queued_ > 0 && static_cast<int>(batch.size()) < opt_.max_batch) {
+      Pending p = pop_next_locked();
       if (p.req.deadline != kNoDeadline && formed > p.req.deadline)
         expired.push_back(std::move(p));
       else
@@ -149,16 +296,15 @@ void BatchScheduler::dispatcher_main() {
     lock.unlock();
 
     for (Pending& p : expired) {
-      metrics_.record_expired();
+      metrics_.record_expired(p.req.priority);
       InferResponse resp;
-      resp.id = p.req.id;
       resp.status = Status::deadline_exceeded(
           "request expired after " +
           std::to_string(seconds_between(p.admitted, formed) * 1e3) +
           " ms in queue");
       resp.queue_wait_s = seconds_between(p.admitted, formed);
       resp.latency_s = resp.queue_wait_s;
-      p.promise.set_value(std::move(resp));
+      resolve(p, std::move(resp));
     }
 
     if (!batch.empty()) {
@@ -184,17 +330,22 @@ void BatchScheduler::run_batch(std::vector<Pending> batch,
   Status batch_status;
   core::BatchedArmResult result;
   try {
+    // serve.exec_delay: a stalled device / page-fault storm. The batch
+    // still succeeds, but it holds an in-flight slot long enough that
+    // queued peers blow their deadlines — the overload signal the
+    // deadline-miss breaker watches for.
+    if (FaultInjector::instance().should_fire(FaultSite::kServeExecDelay))
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
     // serve.worker_throw: a batch worker dying mid-execution (OOM kill of a
     // buffer, a bug in a kernel rung) must cost this batch only.
     if (FaultInjector::instance().should_fire(FaultSite::kServeWorkerThrow))
       throw std::runtime_error("batch worker fault (injected)");
     // Plan lookup: warmed at create(), so this is a cache hit on the hot
-    // path (and the retry path after a transient compile fault). Each pool
-    // worker thread owns one Workspace arena, reused across every batch it
-    // executes — steady-state serving does zero conv allocations.
-    StatusOr<std::shared_ptr<const core::ConvPlan>> plan =
-        plan_cache_.get_or_compile(shape_, weight_, opt_.bits, opt_.impl,
-                                   opt_.algo, opt_.conv_threads);
+    // path (and the retry path after a transient compile fault or a
+    // registry eviction). Each pool worker thread owns one Workspace arena,
+    // reused across every batch it executes — steady-state serving does
+    // zero conv allocations.
+    StatusOr<std::shared_ptr<const core::ConvPlan>> plan = lookup_plan();
     StatusOr<core::BatchedArmResult> r = [&] {
       if (plan.ok()) {
         metrics_.record_batch_plan(/*planned=*/true);
@@ -222,7 +373,6 @@ void BatchScheduler::run_batch(std::vector<Pending> batch,
   for (size_t i = 0; i < batch.size(); ++i) {
     Pending& p = batch[i];
     InferResponse resp;
-    resp.id = p.req.id;
     resp.status = batch_status;
     resp.queue_wait_s = seconds_between(p.admitted, formed);
     resp.latency_s = seconds_between(p.admitted, done);
@@ -233,8 +383,8 @@ void BatchScheduler::run_batch(std::vector<Pending> batch,
       resp.executed_algo = result.executed_algo;
     }
     metrics_.record_completion(resp.queue_wait_s, resp.latency_s,
-                               batch_status.ok(), done);
-    p.promise.set_value(std::move(resp));
+                               batch_status.ok(), done, p.req.priority);
+    resolve(p, std::move(resp));
   }
 
   // Every decrement is a wakeup: the dispatcher may be stalled on the
@@ -245,9 +395,28 @@ void BatchScheduler::run_batch(std::vector<Pending> batch,
 }
 
 void BatchScheduler::shutdown() {
+  std::vector<Pending> drained;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
+    if (opt_.shutdown_policy == ShutdownPolicy::kFailPending &&
+        queued_ > 0) {
+      // Drain by answering, not executing: every queued request gets an
+      // explicit kShuttingDown instead of device time (or — the bug this
+      // policy exists to make impossible — a silently dropped promise).
+      drained.reserve(queued_);
+      while (queued_ > 0) drained.push_back(pop_next_locked());
+    }
+  }
+  const Clock::time_point now = Clock::now();
+  for (Pending& p : drained) {
+    metrics_.record_shed(ShedReason::kShutdown, p.req.priority);
+    InferResponse resp;
+    resp.status = Status::shutting_down(
+        "scheduler shut down before the request reached a batch");
+    resp.queue_wait_s = seconds_between(p.admitted, now);
+    resp.latency_s = resp.queue_wait_s;
+    resolve(p, std::move(resp));
   }
   queue_cv_.notify_all();
   {
@@ -257,9 +426,17 @@ void BatchScheduler::shutdown() {
     if (dispatcher_.joinable()) dispatcher_.join();
   }
   // The dispatcher drained the queue before exiting; now wait for the
-  // batches it handed to the pool.
+  // batches it handed to the pool — and for every admitted request to be
+  // answered (executed, expired, displaced, or drained). No request is
+  // EVER left unresolved; a dropped promise would hang a client, so a
+  // resolution count that cannot catch up is a library bug.
   std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return inflight_batches_ == 0; });
+  drain_cv_.wait(lock, [this] {
+    return inflight_batches_ == 0 && admitted_count_ == resolved_count_;
+  });
+  LBC_CHECK(queued_ == 0);
+  LBC_CHECK_MSG(admitted_count_ == resolved_count_,
+                "scheduler shutdown left admitted requests unresolved");
 }
 
 }  // namespace lbc::serve

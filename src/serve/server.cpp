@@ -1,0 +1,249 @@
+#include "serve/server.h"
+
+#include <optional>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace lbc::serve {
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ModelServer::ModelServer(const ServerOptions& opt)
+    : opt_(opt),
+      pool_(opt.pool != nullptr ? opt.pool : &ThreadPool::global()),
+      registry_(opt.registry) {}
+
+ModelServer::~ModelServer() { shutdown(); }
+
+Status ModelServer::add_model(const std::string& name, const ConvShape& shape,
+                              Tensor<i8> weight, const ModelOptions& opt) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LBC_VALIDATE(!stopping_, kFailedPrecondition,
+                 "cannot add model '" << name << "' to a shut-down server");
+    LBC_VALIDATE(models_.find(name) == models_.end(), kInvalidArgument,
+                 "model '" << name << "' is already served");
+  }
+
+  ModelSpec spec;
+  spec.shape = shape;
+  spec.weight = weight;  // registry pins a copy for fallback + recompiles
+  spec.bits = opt.sched.bits;
+  spec.impl = opt.sched.impl;
+  spec.algo = opt.sched.algo;
+  spec.threads = opt.sched.conv_threads;
+  LBC_RETURN_IF_ERROR(registry_.register_model(name, std::move(spec)));
+
+  auto model = std::make_unique<Model>();
+  model->name = name;
+  model->mode = opt.breaker_mode;
+  model->breaker = std::make_unique<CircuitBreaker>(opt.breaker);
+  LBC_ASSIGN_OR_RETURN(const ModelSpec* pinned, registry_.find(name));
+  model->spec = pinned;
+
+  SchedulerOptions sched_opt = opt.sched;
+  sched_opt.plan_source = [this, name] { return registry_.acquire_plan(name); };
+  CircuitBreaker* breaker = model->breaker.get();
+  std::function<void(const InferResponse&)> user_hook = opt.sched.on_complete;
+  sched_opt.on_complete = [breaker,
+                           user_hook = std::move(user_hook)](
+                              const InferResponse& resp) {
+    feed_breaker(*breaker, resp);
+    if (user_hook) user_hook(resp);
+  };
+
+  StatusOr<std::unique_ptr<BatchScheduler>> sched =
+      BatchScheduler::create(shape, std::move(weight), sched_opt, pool_);
+  if (!sched.ok()) {
+    (void)registry_.unregister_model(name);
+    return sched.status();
+  }
+  model->sched = std::move(sched).value();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  LBC_VALIDATE(!stopping_, kFailedPrecondition,
+               "server shut down while adding model '" << name << "'");
+  models_.emplace(name, std::move(model));
+  return Status();
+}
+
+void ModelServer::feed_breaker(CircuitBreaker& breaker,
+                               const InferResponse& resp) {
+  std::optional<CircuitBreaker::Outcome> outcome;
+  switch (resp.status.code()) {
+    case StatusCode::kOk:
+      outcome = CircuitBreaker::Outcome::kSuccess;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      outcome = CircuitBreaker::Outcome::kDeadlineMiss;
+      break;
+    case StatusCode::kOverloaded:
+    case StatusCode::kShuttingDown:
+    case StatusCode::kUnavailable:
+    case StatusCode::kFailedPrecondition:
+      // Admission-control outcomes: the request never touched the model.
+      break;
+    default:
+      outcome = CircuitBreaker::Outcome::kFailure;
+      break;
+  }
+  if (resp.probe) {
+    if (outcome.has_value())
+      breaker.record_probe(*outcome);
+    else
+      breaker.cancel_probe();  // probe shed before executing; free the slot
+  } else if (outcome.has_value()) {
+    breaker.record(*outcome);
+  }
+}
+
+ModelServer::Model* ModelServer::find_model(const std::string& name) {
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<std::future<InferResponse>> ModelServer::submit(
+    const std::string& name, Tensor<i8> input, const SubmitOptions& sub) {
+  Model* m = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LBC_VALIDATE(!stopping_, kFailedPrecondition,
+                 "server is shut down; no new submissions");
+    m = find_model(name);
+    LBC_VALIDATE(m != nullptr, kNotFound,
+                 "model '" << name << "' is not served");
+  }
+
+  switch (m->breaker->admit(Clock::now())) {
+    case CircuitBreaker::Decision::kAllow: {
+      SubmitOptions s = sub;
+      s.probe = false;  // probe marking is the server's, not the caller's
+      return m->sched->submit(std::move(input), s);
+    }
+    case CircuitBreaker::Decision::kProbe: {
+      if (FaultInjector::instance().should_fire(FaultSite::kServeProbeFail)) {
+        // Recovery-flapping fault: the probe dies before reaching the
+        // scheduler, which re-opens the breaker (cooldown restarts).
+        m->breaker->record_probe(CircuitBreaker::Outcome::kFailure);
+        m->sched->metrics().record_shed(ShedReason::kBreakerOpen,
+                                        sub.priority);
+        return Status::unavailable("model '" + name +
+                                   "' half-open probe failed "
+                                   "(serve.probe_fail)");
+      }
+      SubmitOptions s = sub;
+      s.probe = true;
+      StatusOr<std::future<InferResponse>> r =
+          m->sched->submit(std::move(input), s);
+      // A probe rejected at admission never executed: release its slot so
+      // the next arrival can probe instead of waiting on a lost outcome.
+      if (!r.ok()) m->breaker->cancel_probe();
+      return r;
+    }
+    case CircuitBreaker::Decision::kReject:
+      if (m->mode == BreakerMode::kFastFail) {
+        m->sched->metrics().record_shed(ShedReason::kBreakerOpen,
+                                        sub.priority);
+        return Status::unavailable("model '" + name + "' is unavailable (" +
+                                   m->breaker->describe() + ")");
+      }
+      return submit_fallback(*m, std::move(input), sub);
+  }
+  return Status::internal("unreachable breaker decision");
+}
+
+StatusOr<std::future<InferResponse>> ModelServer::submit_fallback(
+    Model& m, Tensor<i8> input, const SubmitOptions& sub) {
+  auto promise = std::make_shared<std::promise<InferResponse>>();
+  std::future<InferResponse> fut = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    ++fallback_inflight_;
+  }
+  const Clock::time_point admitted = Clock::now();
+  const ModelSpec* spec = m.spec;
+  ServeMetrics* metrics = &m.sched->metrics();
+  pool_->submit([this, promise, spec, metrics, sub, admitted,
+                 input = std::move(input)]() mutable {
+    InferResponse resp;
+    resp.tenant = sub.tenant;
+    resp.priority = sub.priority;
+    const Clock::time_point start = Clock::now();
+    if (sub.deadline != kNoDeadline && start >= sub.deadline) {
+      resp.status =
+          Status::deadline_exceeded("expired before fallback execution");
+      metrics->record_expired(sub.priority);
+    } else {
+      // The always-works rung: no prepacked plan, no specialized kernel —
+      // the reference path the PR-1 fallback ladder bottoms out on.
+      StatusOr<core::ArmLayerResult> r = core::run_arm_conv(
+          spec->shape, input, spec->weight, spec->bits, spec->impl,
+          armkern::ConvAlgo::kReference, spec->threads);
+      const Clock::time_point done = Clock::now();
+      if (r.ok()) {
+        core::ArmLayerResult res = std::move(r).value();
+        resp.output = std::move(res.out);
+        resp.model_seconds = res.seconds;
+        resp.batch_size = 1;
+        resp.executed_algo = res.executed_algo;
+        metrics->record_fallback_served();
+      } else {
+        resp.status = r.status();
+      }
+      resp.latency_s = seconds_between(admitted, done);
+      metrics->record_completion(0.0, resp.latency_s, resp.status.ok(), done,
+                                 sub.priority);
+    }
+    if (resp.latency_s == 0)
+      resp.latency_s = seconds_between(admitted, Clock::now());
+    promise->set_value(std::move(resp));
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    --fallback_inflight_;
+    fallback_cv_.notify_all();
+  });
+  return fut;
+}
+
+void ModelServer::shutdown() {
+  std::vector<Model*> models;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    models.reserve(models_.size());
+    for (auto& [name, model] : models_) models.push_back(model.get());
+  }
+  // Scheduler shutdown is idempotent and asserts its own liveness contract
+  // (no admitted request left unresolved).
+  for (Model* m : models) m->sched->shutdown();
+  std::unique_lock<std::mutex> lock(fallback_mu_);
+  fallback_cv_.wait(lock, [this] { return fallback_inflight_ == 0; });
+}
+
+std::vector<std::string> ModelServer::model_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+CircuitBreaker* ModelServer::breaker(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Model* m = find_model(name);
+  return m == nullptr ? nullptr : m->breaker.get();
+}
+
+BatchScheduler* ModelServer::scheduler(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Model* m = find_model(name);
+  return m == nullptr ? nullptr : m->sched.get();
+}
+
+}  // namespace lbc::serve

@@ -1,0 +1,130 @@
+// ModelServer: the overload-hardened front end of the serving tier. One
+// server owns a memory-budgeted ModelRegistry (all models compile into one
+// shared PlanCache), and per model a micro-batching BatchScheduler plus a
+// CircuitBreaker.
+//
+// The submit path per request:
+//
+//   breaker.admit() ──kAllow──> scheduler (WFQ admission, micro-batching)
+//                 └──kProbe──> scheduler, marked probe; its outcome drives
+//                              half-open recovery (a probe the scheduler
+//                              sheds releases the probe slot instead)
+//                 └──kReject─> BreakerMode::kFastFail: kUnavailable now,
+//                              counted shed (breaker_open);
+//                              BreakerMode::kReferenceFallback: execute on
+//                              the pool via the reference kernel rung
+//                              against the registry-pinned weights —
+//                              degraded but correct service
+//
+// Breakers learn exclusively from requests that reached the model: the
+// scheduler's on_complete hook maps each response Status to a breaker
+// outcome (OK -> success, kDeadlineExceeded -> deadline miss, execution
+// errors -> failure) and ignores admission-control statuses (kOverloaded /
+// kShuttingDown / kUnavailable never touched the model). Fallback
+// executions do not feed the breaker either — recovery is earned by probes
+// through the primary path only.
+//
+// Liveness contract (the soak harness gates on this): every submission
+// either returns an error Status from submit() (kNotFound, kOverloaded,
+// kUnavailable, kFailedPrecondition) or yields a future that IS resolved —
+// by the scheduler (which asserts admitted == resolved at shutdown) or by
+// the fallback task (shutdown() waits for in-flight fallbacks).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/circuit_breaker.h"
+#include "serve/model_registry.h"
+#include "serve/scheduler.h"
+
+namespace lbc::serve {
+
+struct ModelOptions {
+  /// Scheduler knobs, including the model's bits/impl/algo/conv_threads
+  /// (the registry spec is derived from these).
+  SchedulerOptions sched;
+  BreakerOptions breaker;
+  BreakerMode breaker_mode = BreakerMode::kFastFail;
+};
+
+struct ServerOptions {
+  RegistryOptions registry;
+  /// Pool for batch execution and fallback serving; defaults to
+  /// ThreadPool::global().
+  ThreadPool* pool = nullptr;
+};
+
+class ModelServer {
+ public:
+  explicit ModelServer(const ServerOptions& opt = ServerOptions{});
+  ~ModelServer();  ///< runs shutdown()
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// Register a model and spin up its scheduler + breaker. Errors:
+  /// kInvalidArgument (bad spec/options or duplicate name),
+  /// kFailedPrecondition after shutdown().
+  Status add_model(const std::string& name, const ConvShape& shape,
+                   Tensor<i8> weight,
+                   const ModelOptions& opt = ModelOptions{});
+
+  /// Route one request through the model's breaker and scheduler (or the
+  /// fallback path). Errors: kNotFound (unknown model), kUnavailable
+  /// (breaker open, fast-fail mode — also when a half-open probe is forced
+  /// down by the serve.probe_fail fault), kOverloaded (scheduler admission),
+  /// kFailedPrecondition (after shutdown), kInvalidArgument (bad input).
+  StatusOr<std::future<InferResponse>> submit(
+      const std::string& name, Tensor<i8> input,
+      const SubmitOptions& sub = SubmitOptions{});
+
+  /// Stop all schedulers (draining per their shutdown_policy) and wait for
+  /// in-flight fallback executions. Idempotent.
+  void shutdown();
+
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+  std::vector<std::string> model_names() const;
+
+  /// Per-model components, for tests and the bench report. nullptr when the
+  /// name is unknown. Pointers stay valid until the server is destroyed
+  /// (models cannot be removed while serving).
+  CircuitBreaker* breaker(const std::string& name);
+  BatchScheduler* scheduler(const std::string& name);
+
+ private:
+  struct Model {
+    std::string name;
+    const ModelSpec* spec = nullptr;  ///< registry-pinned (weights for
+                                      ///< fallback + recompiles)
+    std::unique_ptr<CircuitBreaker> breaker;
+    std::unique_ptr<BatchScheduler> sched;
+    BreakerMode mode = BreakerMode::kFastFail;
+  };
+
+  Model* find_model(const std::string& name);
+  /// Degraded service for a tripped kReferenceFallback model: execute the
+  /// reference rung on the pool against the pinned weights.
+  StatusOr<std::future<InferResponse>> submit_fallback(Model& m,
+                                                       Tensor<i8> input,
+                                                       const SubmitOptions& sub);
+  /// on_complete hook body: map the response Status to a breaker outcome.
+  static void feed_breaker(CircuitBreaker& breaker, const InferResponse& resp);
+
+  ServerOptions opt_;
+  ThreadPool* pool_;
+  ModelRegistry registry_;
+
+  mutable std::mutex mu_;          ///< guards models_ and stopping_
+  std::map<std::string, std::unique_ptr<Model>> models_;
+  bool stopping_ = false;
+
+  std::mutex fallback_mu_;
+  std::condition_variable fallback_cv_;
+  i64 fallback_inflight_ = 0;  ///< under fallback_mu_
+};
+
+}  // namespace lbc::serve

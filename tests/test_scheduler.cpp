@@ -3,8 +3,11 @@
 // deadline expiry, worker-fault recovery, shutdown semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -398,6 +401,197 @@ TEST(Scheduler, PlanCompileFaultFallsBackAndStaysBitExact) {
   EXPECT_EQ(m.planned_batches, 0);
   EXPECT_GT(m.unplanned_batches, 0);
   EXPECT_DOUBLE_EQ(m.plan_hit_rate, 0.0);
+}
+
+Tensor<i8> test_input(const ConvShape& s, u64 seed) {
+  return random_qtensor(Shape4{1, s.in_c, s.in_h, s.in_w}, 8, seed);
+}
+
+// A full queue sheds the most recently admitted strictly-lower-priority
+// request to admit an interactive arrival; when only equal-or-higher
+// priority work is queued, the arrival itself is rejected.
+TEST(SchedulerOverload, HigherPriorityDisplacesQueuedLowerPriority) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.submit([gate] { gate.wait(); });
+
+  SchedulerOptions opt;
+  opt.max_batch = 1;
+  opt.max_wait_us = 0;
+  opt.queue_capacity = 2;
+  opt.max_inflight_batches = 1;
+  auto sched = make_scheduler(opt, &pool);
+  const ConvShape s = test_shape();
+
+  SubmitOptions batch_sub;
+  batch_sub.priority = Priority::kBatch;
+  SubmitOptions inter_sub;
+  inter_sub.priority = Priority::kInteractive;
+
+  auto head = sched->submit(test_input(s, 1), batch_sub).value();
+  std::this_thread::sleep_for(100ms);  // head enters the stalled batch
+  auto b2 = sched->submit(test_input(s, 2), batch_sub).value();
+  auto b3 = sched->submit(test_input(s, 3), batch_sub).value();
+
+  // Queue full. An interactive arrival displaces b3 (newest batch-class).
+  auto i1 = sched->submit(test_input(s, 4), inter_sub).value();
+  ASSERT_EQ(b3.wait_for(0s), std::future_status::ready)
+      << "displacement must resolve the victim immediately";
+  InferResponse shed = b3.get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(shed.priority, Priority::kBatch);
+
+  // Again: b2 is the remaining lower-priority work; it goes next.
+  auto i2 = sched->submit(test_input(s, 5), inter_sub).value();
+  EXPECT_EQ(b2.get().status.code(), StatusCode::kOverloaded);
+
+  // Nothing strictly below interactive remains: the arrival is rejected.
+  const auto rejected = sched->submit(test_input(s, 6), inter_sub);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+
+  release.set_value();
+  EXPECT_TRUE(head.get().status.ok());
+  EXPECT_TRUE(i1.get().status.ok());
+  EXPECT_TRUE(i2.get().status.ok());
+  sched->shutdown();
+
+  const MetricsSnapshot m = sched->metrics().snapshot();
+  EXPECT_EQ(m.displaced, 2);
+  EXPECT_EQ(m.rejected, 1);
+  EXPECT_EQ(m.completed, 3);
+  EXPECT_EQ(m.lanes[static_cast<size_t>(Priority::kBatch)].shed, 2);
+  EXPECT_EQ(m.lanes[static_cast<size_t>(Priority::kInteractive)].shed, 1);
+}
+
+// Start-time fair queueing: with a 2:1 weight ratio and both tenants
+// backlogged, the weight-2 tenant is served twice as often. The pool is
+// stalled while the backlog builds so the dequeue order is decided purely
+// by the WFQ clocks, then observed through on_complete.
+TEST(SchedulerOverload, WeightedFairQueueingServesTenantsByWeight) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.submit([gate] { gate.wait(); });
+
+  std::mutex order_mu;
+  std::vector<int> completion_order;
+
+  SchedulerOptions opt;
+  opt.max_batch = 1;  // one request per batch: dequeue order == service order
+  opt.max_wait_us = 0;
+  opt.queue_capacity = 64;
+  opt.max_inflight_batches = 1;
+  opt.tenant_weights = {{1, 2.0}, {2, 1.0}};
+  opt.on_complete = [&](const InferResponse& resp) {
+    if (resp.status.ok()) {
+      std::lock_guard<std::mutex> lock(order_mu);
+      completion_order.push_back(resp.tenant);
+    }
+  };
+  auto sched = make_scheduler(opt, &pool);
+  const ConvShape s = test_shape();
+
+  // Head request occupies the stalled pool so the rest stay queued.
+  SubmitOptions head_sub;
+  head_sub.tenant = 3;
+  auto head = sched->submit(test_input(s, 0), head_sub).value();
+  std::this_thread::sleep_for(100ms);
+
+  std::vector<std::future<InferResponse>> futs;
+  for (u64 i = 0; i < 3; ++i) {
+    SubmitOptions sub;
+    sub.tenant = 1;
+    futs.push_back(sched->submit(test_input(s, 10 + i), sub).value());
+    sub.tenant = 2;
+    futs.push_back(sched->submit(test_input(s, 20 + i), sub).value());
+  }
+
+  release.set_value();
+  EXPECT_TRUE(head.get().status.ok());
+  for (auto& f : futs) EXPECT_TRUE(f.get().status.ok());
+  sched->shutdown();
+
+  std::lock_guard<std::mutex> lock(order_mu);
+  ASSERT_EQ(completion_order.size(), 7u);
+  // Drop the head (tenant 3); among the first three backlogged dequeues the
+  // weight-2 tenant must appear at least twice (exact SFQ order:
+  // 1, 2, 1, 1, 2, 2).
+  std::vector<int> backlog(completion_order.begin() + 1,
+                           completion_order.end());
+  const int t1_early = static_cast<int>(
+      std::count(backlog.begin(), backlog.begin() + 3, 1));
+  EXPECT_GE(t1_early, 2) << "weight-2 tenant under-served";
+  EXPECT_EQ(std::count(backlog.begin(), backlog.end(), 1), 3);
+  EXPECT_EQ(std::count(backlog.begin(), backlog.end(), 2), 3);
+}
+
+// kFailPending shutdown answers every queued request with an explicit
+// kShuttingDown — even while an in-flight batch is still stalled on the
+// device — and the no-unresolved-request assert holds.
+TEST(SchedulerOverload, FailPendingShutdownAnswersQueuedWithShuttingDown) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.submit([gate] { gate.wait(); });
+
+  SchedulerOptions opt;
+  opt.max_batch = 1;
+  opt.max_wait_us = 0;
+  opt.queue_capacity = 8;
+  opt.max_inflight_batches = 1;
+  opt.shutdown_policy = ShutdownPolicy::kFailPending;
+  auto sched = make_scheduler(opt, &pool);
+  const ConvShape s = test_shape();
+
+  auto head = sched->submit(test_input(s, 1)).value();
+  std::this_thread::sleep_for(100ms);  // head enters the stalled batch
+  auto q1 = sched->submit(test_input(s, 2)).value();
+  auto q2 = sched->submit(test_input(s, 3)).value();
+
+  std::thread shutter([&] { sched->shutdown(); });
+  // The queued requests resolve kShuttingDown promptly — before the stalled
+  // in-flight batch finishes (shutdown is still blocked on it).
+  EXPECT_EQ(q1.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(q1.get().status.code(), StatusCode::kShuttingDown);
+  EXPECT_EQ(q2.get().status.code(), StatusCode::kShuttingDown);
+
+  release.set_value();
+  EXPECT_TRUE(head.get().status.ok()) << "in-flight work still completes";
+  shutter.join();
+
+  const MetricsSnapshot m = sched->metrics().snapshot();
+  EXPECT_EQ(m.drained_shutdown, 2);
+  EXPECT_EQ(m.completed, 1);
+}
+
+// The on_complete hook fires exactly once per admitted request, whatever
+// the resolution path (completion, expiry, shutdown drain).
+TEST(SchedulerOverload, OnCompleteFiresOncePerResolution) {
+  std::atomic<int> hook_calls{0};
+  std::atomic<int> hook_ok{0};
+  SchedulerOptions opt;
+  opt.max_batch = 4;
+  opt.max_wait_us = 100'000;
+  opt.on_complete = [&](const InferResponse& resp) {
+    hook_calls.fetch_add(1);
+    if (resp.status.ok()) hook_ok.fetch_add(1);
+  };
+  auto sched = make_scheduler(opt);
+  const ConvShape s = test_shape();
+
+  std::vector<std::future<InferResponse>> futs;
+  futs.push_back(sched->submit(test_input(s, 1), SubmitOptions{}).value());
+  SubmitOptions doomed;
+  doomed.deadline = Clock::now() - 1ms;  // already expired
+  futs.push_back(sched->submit(test_input(s, 2), doomed).value());
+  futs.push_back(sched->submit(test_input(s, 3), SubmitOptions{}).value());
+  for (auto& f : futs) f.get();
+  sched->shutdown();
+
+  EXPECT_EQ(hook_calls.load(), 3);
+  EXPECT_EQ(hook_ok.load(), 2);
 }
 
 }  // namespace

@@ -4,8 +4,15 @@
 
 #include "armkern/tile_search.h"
 #include "common/fault_injection.h"
+#include "core/hal_backends.h"
+#include "hal/native_conv.h"
 
 namespace lbc::core {
+
+i64 ConvPlan::workspace_bytes(i64 batch) const {
+  return native_ != nullptr ? native_->workspace_bytes(batch)
+                            : plan_.workspace_bytes(batch);
+}
 
 armkern::ArmConvOptions arm_conv_options(int bits, ArmImpl impl,
                                          armkern::ConvAlgo algo, int threads,
@@ -76,9 +83,68 @@ StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
   return ConvPlan(impl, std::move(plan));
 }
 
+StatusOr<ConvPlan> plan_native_conv(const ConvShape& s,
+                                    const Tensor<i8>& weight, int bits,
+                                    int threads,
+                                    gpukern::TuningCache* tuning) {
+  ensure_hal_backends_registered();
+  LBC_VALIDATE(threads >= 1 && threads <= 64, kInvalidArgument,
+               "threads must be in [1, 64], got " << threads);
+  LBC_VALIDATE(
+      !FaultInjector::instance().should_fire(FaultSite::kPlanCompileFail),
+      kResourceExhausted,
+      "conv plan compilation failed: native prepack resources exhausted "
+      "(injected fault)");
+
+  // Resolve the {rb, cb} blocking through the shared tuning cache when one
+  // is given — the measured-ns search runs once per (GEMM view, bits,
+  // scheme) across process runs, same discipline as the ARM tile search.
+  hal::NativeBlocking blk;
+  bool have_blocking = false;
+  if (tuning != nullptr) {
+    const gpukern::X86TuningKey key{s.gemm_m(), s.gemm_n(), s.gemm_k(), bits,
+                                    hal::native_scheme_id(bits)};
+    const gpukern::X86Blocking b = tuning->get_or_search_x86(key, [&] {
+      const hal::NativeBlocking w = hal::search_native_blocking(
+          s.gemm_m(), s.gemm_n(), s.gemm_k(), bits);
+      return gpukern::X86Blocking{w.rb, w.cb};
+    });
+    blk = hal::NativeBlocking{b.rb, b.cb};
+    have_blocking = true;
+  }
+  LBC_ASSIGN_OR_RETURN(
+      hal::NativeConvPlan np,
+      hal::plan_native_conv(s, weight, bits,
+                            have_blocking ? &blk : nullptr));
+
+  // Mirror the plan metadata into the ArmConvPlan shell so the shared
+  // ConvPlan accessors (shape, bits, threads, algo) read one place.
+  armkern::ArmConvPlan meta;
+  meta.shape = s;
+  meta.requested.bits = bits;
+  meta.requested.threads = threads;
+  meta.requested.algo = armkern::ConvAlgo::kGemm;
+  meta.algo = armkern::ConvAlgo::kGemm;
+  meta.kernel = armkern::ArmKernel::kOursGemm;
+  meta.packed_weight_bytes = np.packed_weight_bytes();
+  return ConvPlan(Backend::kNativeHost, ArmImpl::kOurs, std::move(meta),
+                  std::make_shared<const hal::NativeConvPlan>(std::move(np)));
+}
+
 StatusOr<ArmLayerResult> execute_arm_conv(const ConvPlan& plan,
                                           const Tensor<i8>& input,
                                           Workspace& ws) {
+  if (plan.backend() == Backend::kNativeHost) {
+    LBC_ASSIGN_OR_RETURN(
+        hal::NativeConvResult r,
+        hal::execute_native_conv(*plan.native_plan(), input, ws));
+    ArmLayerResult res;
+    res.out = std::move(r.out);
+    res.measured_ns = r.ns;
+    res.seconds = r.ns * 1e-9;  // measured, not modeled
+    res.executed_algo = r.kernel;
+    return res;
+  }
   LBC_ASSIGN_OR_RETURN(armkern::ArmConvResult r,
                        armkern::execute_conv(plan.impl_plan(), input, ws));
   ArmLayerResult res;
@@ -146,6 +212,7 @@ StatusOr<BatchedArmResult> execute_arm_conv_batched(
   BatchedArmResult res;
   res.seconds = r.seconds;
   res.cycles = r.cycles;
+  res.measured_ns = r.measured_ns;
   res.executed_algo = std::move(r.executed_algo);
   res.fallback = std::move(r.fallback);
   res.outputs = split_batch(s, k, r.out);
@@ -261,13 +328,15 @@ size_t PlanCache::KeyHash::operator()(const Key& k) const {
   mix(static_cast<u64>(k.impl));
   mix(static_cast<u64>(k.algo));
   mix(static_cast<u64>(k.threads));
+  mix(static_cast<u64>(k.backend));
   mix(k.weight_hash);
   return static_cast<size_t>(h);
 }
 
 PlanCache::Key PlanCache::make_key(const ConvShape& s, const Tensor<i8>& weight,
                                    int bits, ArmImpl impl,
-                                   armkern::ConvAlgo algo, int threads) {
+                                   armkern::ConvAlgo algo, int threads,
+                                   Backend backend) {
   return Key{s.batch,
              s.in_c,
              s.in_h,
@@ -280,13 +349,14 @@ PlanCache::Key PlanCache::make_key(const ConvShape& s, const Tensor<i8>& weight,
              static_cast<int>(impl),
              static_cast<int>(algo),
              threads,
+             static_cast<int>(backend),
              fnv1a64(weight.data(), static_cast<size_t>(weight.elems()))};
 }
 
 StatusOr<std::shared_ptr<const ConvPlan>> PlanCache::get_or_compile(
     const ConvShape& s, const Tensor<i8>& weight, int bits, ArmImpl impl,
-    armkern::ConvAlgo algo, int threads) {
-  const Key key = make_key(s, weight, bits, impl, algo, threads);
+    armkern::ConvAlgo algo, int threads, Backend backend) {
+  const Key key = make_key(s, weight, bits, impl, algo, threads, backend);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
@@ -299,8 +369,13 @@ StatusOr<std::shared_ptr<const ConvPlan>> PlanCache::get_or_compile(
   // concurrent misses for different layers should not serialize. A racing
   // duplicate compile of the same key is benign — last writer wins and
   // both plans are valid.
-  LBC_ASSIGN_OR_RETURN(ConvPlan plan,
-                       plan_arm_conv(s, weight, bits, impl, algo, threads));
+  LBC_VALIDATE(backend != Backend::kGpuTU102, kInvalidArgument,
+               "PlanCache caches CPU plans; GPU plans live in GpuConvPlan");
+  StatusOr<ConvPlan> plan_or =
+      backend == Backend::kNativeHost
+          ? plan_native_conv(s, weight, bits, threads)
+          : plan_arm_conv(s, weight, bits, impl, algo, threads);
+  LBC_ASSIGN_OR_RETURN(ConvPlan plan, std::move(plan_or));
   auto shared = std::make_shared<const ConvPlan>(std::move(plan));
   std::lock_guard<std::mutex> lock(mu_);
   ++misses_;
@@ -309,8 +384,9 @@ StatusOr<std::shared_ptr<const ConvPlan>> PlanCache::get_or_compile(
 }
 
 bool PlanCache::evict(const ConvShape& s, const Tensor<i8>& weight, int bits,
-                      ArmImpl impl, armkern::ConvAlgo algo, int threads) {
-  const Key key = make_key(s, weight, bits, impl, algo, threads);
+                      ArmImpl impl, armkern::ConvAlgo algo, int threads,
+                      Backend backend) {
+  const Key key = make_key(s, weight, bits, impl, algo, threads, backend);
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) return false;
@@ -321,8 +397,8 @@ bool PlanCache::evict(const ConvShape& s, const Tensor<i8>& weight, int bits,
 
 bool PlanCache::resident(const ConvShape& s, const Tensor<i8>& weight,
                          int bits, ArmImpl impl, armkern::ConvAlgo algo,
-                         int threads) const {
-  const Key key = make_key(s, weight, bits, impl, algo, threads);
+                         int threads, Backend backend) const {
+  const Key key = make_key(s, weight, bits, impl, algo, threads, backend);
   std::lock_guard<std::mutex> lock(mu_);
   return map_.find(key) != map_.end();
 }

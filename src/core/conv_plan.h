@@ -29,6 +29,10 @@
 #include "gpukern/precomp.h"
 #include "gpukern/tuning_cache.h"
 
+namespace lbc::hal {
+struct NativeConvPlan;  // hal/native_conv.h
+}  // namespace lbc::hal
+
 namespace lbc::core {
 
 /// Translate the engine-level (bits, impl, algo, threads) selection into
@@ -39,11 +43,19 @@ armkern::ArmConvOptions arm_conv_options(int bits, ArmImpl impl,
                                          armkern::ConvAlgo algo, int threads,
                                          bool verify = false);
 
-/// Immutable compiled plan for one ARM conv layer.
+/// Immutable compiled plan for one CPU conv layer — emulated ARM
+/// (kArmCortexA53) or native host (kNativeHost). The native variant keeps
+/// the ArmConvPlan populated with shape/options metadata so the shared
+/// accessors read one place; its kernels and packed weights live in the
+/// attached hal::NativeConvPlan.
 class ConvPlan {
  public:
   const ConvShape& shape() const { return plan_.shape; }
   int bits() const { return plan_.requested.bits; }
+  /// Which backend executes this plan (registry-driven at plan time).
+  Backend backend() const { return backend_; }
+  /// The native plan when backend() == kNativeHost, else nullptr.
+  const hal::NativeConvPlan* native_plan() const { return native_.get(); }
   ArmImpl impl() const { return impl_; }
   int threads() const { return plan_.requested.threads; }
   /// Checked execution requested at plan time (kernel invariant verifier).
@@ -59,9 +71,7 @@ class ConvPlan {
   /// compiled plan amortizes away across executes.
   double pack_cycles() const { return plan_.pack_cycles; }
   /// Exact Workspace bytes one execute at batch `batch` consumes.
-  i64 workspace_bytes(i64 batch) const {
-    return plan_.workspace_bytes(batch);
-  }
+  i64 workspace_bytes(i64 batch) const;
 
   const armkern::ArmConvPlan& impl_plan() const { return plan_; }
 
@@ -69,11 +79,22 @@ class ConvPlan {
   friend StatusOr<ConvPlan> plan_arm_conv(const ConvShape&, const Tensor<i8>&,
                                           int, ArmImpl, armkern::ConvAlgo,
                                           int, bool, gpukern::TuningCache*);
+  friend StatusOr<ConvPlan> plan_native_conv(const ConvShape&,
+                                             const Tensor<i8>&, int, int,
+                                             gpukern::TuningCache*);
   ConvPlan(ArmImpl impl, armkern::ArmConvPlan plan)
       : impl_(impl), plan_(std::move(plan)) {}
+  ConvPlan(Backend backend, ArmImpl impl, armkern::ArmConvPlan meta,
+           std::shared_ptr<const hal::NativeConvPlan> native)
+      : backend_(backend),
+        impl_(impl),
+        plan_(std::move(meta)),
+        native_(std::move(native)) {}
 
+  Backend backend_ = Backend::kArmCortexA53;
   ArmImpl impl_;
   armkern::ArmConvPlan plan_;
+  std::shared_ptr<const hal::NativeConvPlan> native_;  ///< kNativeHost only
 };
 
 /// Compile a plan: resolve the ladder, prepack weights, size the workspace.
@@ -90,6 +111,19 @@ StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
                                      armkern::ConvAlgo::kGemm,
                                  int threads = 1, bool verify = false,
                                  gpukern::TuningCache* tuning = nullptr);
+
+/// Compile a native-host plan (hal/): registry-selected backend (AVX2 or
+/// scalar), weights prepacked in the scheme's layout, {rb, cb} blocking
+/// from the measured-ns search — persisted per (GEMM view, bits, scheme)
+/// through TuningCache::get_or_search_x86 when a `tuning` cache is given.
+/// Executes through the same execute_arm_conv/execute_arm_conv_batched
+/// entry points, which dispatch on ConvPlan::backend(). Errors:
+/// kInvalidArgument, kUnavailable (LBC_HAL_DISABLE=native), or
+/// kResourceExhausted (plan.compile_fail fault site).
+StatusOr<ConvPlan> plan_native_conv(const ConvShape& s,
+                                    const Tensor<i8>& weight, int bits,
+                                    int threads = 1,
+                                    gpukern::TuningCache* tuning = nullptr);
 
 /// Execute a plan against one input (batch may differ from the planned
 /// batch). Bit-exact — including modeled cycles — with the one-shot
@@ -140,8 +174,9 @@ StatusOr<GpuConvPlan> plan_gpu_conv(const gpusim::DeviceSpec& dev,
 /// Price one kernel launch against the compiled plan.
 StatusOr<GpuLayerResult> execute_gpu_conv(const GpuConvPlan& plan);
 
-/// Thread-safe cache of compiled ARM plans, keyed by geometry, bits, impl,
-/// algo, threads, AND a hash of the weight bytes — two layers with the
+/// Thread-safe cache of compiled CPU plans (emulated ARM or native host),
+/// keyed by backend, geometry, bits, impl, algo, threads, AND a hash of
+/// the weight bytes — two layers with the
 /// same shape but different weights must not share a plan (and two models
 /// with identical weights DO share one immutable entry — the registry's
 /// memory-budget accounting counts the plan once). The serving scheduler
@@ -153,7 +188,8 @@ class PlanCache {
   StatusOr<std::shared_ptr<const ConvPlan>> get_or_compile(
       const ConvShape& s, const Tensor<i8>& weight, int bits,
       ArmImpl impl = ArmImpl::kOurs,
-      armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm, int threads = 1);
+      armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm, int threads = 1,
+      Backend backend = Backend::kArmCortexA53);
 
   /// Eviction hook for memory-budgeted owners (serve::ModelRegistry): drop
   /// the cache's reference to the entry matching the request. Returns true
@@ -164,14 +200,15 @@ class PlanCache {
   bool evict(const ConvShape& s, const Tensor<i8>& weight, int bits,
              ArmImpl impl = ArmImpl::kOurs,
              armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
-             int threads = 1);
+             int threads = 1, Backend backend = Backend::kArmCortexA53);
 
   /// Whether an entry for the request is resident (a read-only probe; never
   /// compiles, never counts as a hit or miss).
   bool resident(const ConvShape& s, const Tensor<i8>& weight, int bits,
                 ArmImpl impl = ArmImpl::kOurs,
                 armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm,
-                int threads = 1) const;
+                int threads = 1,
+                Backend backend = Backend::kArmCortexA53) const;
 
   i64 hits() const;
   i64 misses() const;
@@ -189,6 +226,7 @@ class PlanCache {
     int impl;
     int algo;
     int threads;
+    int backend;
     u64 weight_hash;
     bool operator==(const Key&) const = default;
   };
@@ -197,7 +235,8 @@ class PlanCache {
   };
 
   static Key make_key(const ConvShape& s, const Tensor<i8>& weight, int bits,
-                      ArmImpl impl, armkern::ConvAlgo algo, int threads);
+                      ArmImpl impl, armkern::ConvAlgo algo, int threads,
+                      Backend backend);
 
   mutable std::mutex mu_;
   std::unordered_map<Key, std::shared_ptr<const ConvPlan>, KeyHash> map_;

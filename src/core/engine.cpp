@@ -41,6 +41,15 @@ StatusOr<ArmLayerResult> run_arm_conv_unplanned(const ConvShape& s,
 
 }  // namespace
 
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kArmCortexA53: return "arm-a53";
+    case Backend::kGpuTU102: return "gpu-tu102";
+    case Backend::kNativeHost: return "native-host";
+  }
+  return "unknown";
+}
+
 const char* arm_impl_name(ArmImpl impl) {
   switch (impl) {
     case ArmImpl::kOurs: return "ours";
@@ -172,11 +181,17 @@ Status QuantizedConv2d::set_weights(const Tensor<float>& w,
   // (kResourceExhausted) leaves the layer on the unplanned path.
   plan_.reset();
   gpu_plan_.reset();
-  if (backend_ == Backend::kArmCortexA53) {
-    StatusOr<ConvPlan> p = plan_arm_conv(shape_, w_q_, bits_);
+  if (backend_ == Backend::kArmCortexA53 || backend_ == Backend::kNativeHost) {
+    // A native host with no usable native backend (LBC_HAL_DISABLE=native)
+    // degrades to the emulated path at plan time — kUnavailable is treated
+    // like a compile fault: the layer stays usable unplanned.
+    StatusOr<ConvPlan> p = backend_ == Backend::kNativeHost
+                               ? plan_native_conv(shape_, w_q_, bits_)
+                               : plan_arm_conv(shape_, w_q_, bits_);
     if (p.ok()) {
       plan_ = std::make_shared<const ConvPlan>(std::move(p).value());
-    } else if (p.status().code() != StatusCode::kResourceExhausted) {
+    } else if (p.status().code() != StatusCode::kResourceExhausted &&
+               p.status().code() != StatusCode::kUnavailable) {
       return p.status();
     }
   } else {
@@ -211,7 +226,9 @@ StatusOr<Tensor<float>> QuantizedConv2d::forward(const Tensor<float>& x) {
   for (size_t i = 0; i < bias_f_.size(); ++i)
     bias_q[i] = static_cast<i32>(std::lround(bias_f_[i] / acc_scale));
 
-  if (backend_ == Backend::kArmCortexA53) {
+  if (backend_ == Backend::kArmCortexA53 || backend_ == Backend::kNativeHost) {
+    // An unplanned native layer falls back to the emulated reference path:
+    // bit-exact output, modeled timing.
     StatusOr<ArmLayerResult> r_or =
         plan_ != nullptr
             ? execute_arm_conv(*plan_, x_q, ws_)

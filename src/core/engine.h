@@ -31,7 +31,15 @@ namespace lbc::core {
 class ConvPlan;      // core/conv_plan.h
 struct GpuConvPlan;  // core/conv_plan.h
 
-enum class Backend { kArmCortexA53, kGpuTU102 };
+/// Execution backend of a layer. kArmCortexA53 and kGpuTU102 report
+/// modeled cycles/seconds; kNativeHost executes real instructions on this
+/// machine (hal/, AVX2 or scalar) and reports measured wall-clock time.
+/// The hal::BackendRegistry carries one identity per backend
+/// (core/hal_backends.h registers the adapters).
+enum class Backend { kArmCortexA53, kGpuTU102, kNativeHost };
+
+/// Stable name for run reports ("arm-a53", "gpu-tu102", "native-host").
+const char* backend_name(Backend b);
 
 /// Which ARM implementation executes a layer.
 enum class ArmImpl {
@@ -53,6 +61,9 @@ struct ArmLayerResult {
   Tensor<i32> out;
   double seconds = 0;
   double cycles = 0;
+  /// Measured wall-clock nanoseconds of the conv (native backend only;
+  /// 0 on the modeled paths, whose `cycles` column is the timing source).
+  double measured_ns = 0;
   armsim::Counters counts;
   armkern::SpaceReport space;
   std::string executed_algo;  ///< kernel rung that produced `out`
@@ -79,6 +90,7 @@ struct BatchedArmResult {
   std::vector<Tensor<i32>> outputs;  ///< one batch-1 NCHW tensor per input
   double seconds = 0;   ///< modeled time of the single batched conv
   double cycles = 0;
+  double measured_ns = 0;  ///< wall-clock ns (native backend only)
   std::string executed_algo;
   FallbackRecord fallback;
 };

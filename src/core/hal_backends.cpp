@@ -1,0 +1,64 @@
+#include "core/hal_backends.h"
+
+namespace lbc::core {
+
+namespace {
+
+/// Modeled-cycle adapter: always available (the emulators are portable
+/// C++), never the wall-clock source.
+class ModeledBackend final : public hal::Backend {
+ public:
+  explicit ModeledBackend(hal::BackendInfo info) : info_(std::move(info)) {}
+  const hal::BackendInfo& info() const override { return info_; }
+  bool available() const override { return true; }
+
+ private:
+  hal::BackendInfo info_;
+};
+
+}  // namespace
+
+void ensure_hal_backends_registered() {
+  hal::ensure_native_backends_registered();
+  static const bool once = [] {
+    auto& reg = hal::BackendRegistry::instance();
+    hal::BackendInfo arm;
+    arm.name = "arm-a53-emulated";
+    arm.kind = hal::BackendKind::kEmulatedArm;
+    arm.measured = false;
+    arm.priority = 10;
+    arm.description =
+        "emulated NEON low-bit kernels priced by the Cortex-A53 cycle model";
+    (void)reg.register_backend(
+        std::make_shared<ModeledBackend>(std::move(arm)));
+
+    hal::BackendInfo gpu;
+    gpu.name = "gpu-tu102-simulated";
+    gpu.kind = hal::BackendKind::kSimulatedGpu;
+    gpu.measured = false;
+    gpu.priority = 10;
+    gpu.description =
+        "simulated TU102 kernels priced by the roofline cost model";
+    (void)reg.register_backend(
+        std::make_shared<ModeledBackend>(std::move(gpu)));
+    return true;
+  }();
+  (void)once;
+}
+
+std::shared_ptr<hal::Backend> registry_backend_for(Backend b) {
+  ensure_hal_backends_registered();
+  switch (b) {
+    case Backend::kNativeHost:
+      return hal::select_native_backend();
+    case Backend::kArmCortexA53:
+      return hal::BackendRegistry::instance().select(
+          hal::BackendKind::kEmulatedArm);
+    case Backend::kGpuTU102:
+      return hal::BackendRegistry::instance().select(
+          hal::BackendKind::kSimulatedGpu);
+  }
+  return nullptr;
+}
+
+}  // namespace lbc::core

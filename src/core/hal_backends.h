@@ -1,0 +1,27 @@
+// Registers the engine's modeled execution paths — the emulated ARM
+// Cortex-A53 and the simulated TU102 GPU — into the hal::BackendRegistry,
+// next to the native x86 backends hal registers itself. The adapters live
+// in core (not hal) because core is the layer that links armkern/gpukern;
+// hal depends only on common.
+#pragma once
+
+#include <memory>
+
+#include "core/engine.h"
+#include "hal/backend.h"
+
+namespace lbc::core {
+
+/// Register all of this process's backends into hal::BackendRegistry:
+/// "arm-a53-emulated", "gpu-tu102-simulated" (modeled-cycle adapters
+/// defined here) and the native x86 entries (hal's own). Idempotent;
+/// called lazily by plan_native_conv and safe to call from anywhere.
+void ensure_hal_backends_registered();
+
+/// The registry identity a core::Backend executes under right now —
+/// for kNativeHost this is the registry's pick ("x86-avx2" or
+/// "x86-scalar"), nullptr when LBC_HAL_DISABLE=native opted out; the
+/// modeled backends always resolve.
+std::shared_ptr<hal::Backend> registry_backend_for(Backend b);
+
+}  // namespace lbc::core

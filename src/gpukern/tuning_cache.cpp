@@ -35,6 +35,14 @@ Status validate_arm_blocking(const ArmBlocking& b) {
   return Status();
 }
 
+Status validate_x86_blocking(const X86Blocking& b) {
+  LBC_VALIDATE(b.rb > 0 && b.cb > 0, kOutOfRange,
+               "non-positive native block dimension");
+  LBC_VALIDATE(b.rb <= 4096 && b.cb <= 8192, kOutOfRange,
+               "native block dimension exceeds the search grid's bounds");
+  return Status();
+}
+
 std::optional<Tiling> TuningCache::lookup(const TuningKey& key) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
@@ -119,14 +127,60 @@ void TuningCache::put_arm(const ArmTuningKey& key, const ArmBlocking& b) {
   arm_entries_[key] = b;
 }
 
+std::optional<X86Blocking> TuningCache::lookup_x86(
+    const X86TuningKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = x86_entries_.find(key);
+  if (it == x86_entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+X86Blocking TuningCache::get_or_search_x86(
+    const X86TuningKey& key, const std::function<X86Blocking()>& search) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = x86_entries_.find(key);
+    if (it != x86_entries_.end()) {
+      X86Blocking hit = it->second;
+      // kTuningCacheCorrupt: a poisoned native entry surfaces at lookup
+      // time, same recovery as the other backends.
+      if (FaultInjector::instance().should_fire(
+              FaultSite::kTuningCacheCorrupt))
+        hit.rb = -7;
+      if (validate_x86_blocking(hit).ok()) {
+        ++hits_;
+        return hit;
+      }
+      x86_entries_.erase(it);
+      ++corrupt_evictions_;
+      ++misses_;
+    } else {
+      ++misses_;
+    }
+  }
+  const X86Blocking b = search();
+  put_x86(key, b);
+  return b;
+}
+
+void TuningCache::put_x86(const X86TuningKey& key, const X86Blocking& b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  x86_entries_[key] = b;
+}
+
 size_t TuningCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size() + arm_entries_.size();
+  return entries_.size() + arm_entries_.size() + x86_entries_.size();
 }
 
 size_t TuningCache::arm_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return arm_entries_.size();
+}
+
+size_t TuningCache::x86_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return x86_entries_.size();
 }
 
 i64 TuningCache::hits() const {
@@ -158,6 +212,9 @@ std::string TuningCache::serialize() const {
   for (const auto& [k, b] : arm_entries_)
     out << "arm " << k.m << ' ' << k.n << ' ' << k.k << ' ' << k.bits << ' '
         << k.scheme << ' ' << b.mc << ' ' << b.kc << ' ' << b.nc << '\n';
+  for (const auto& [k, b] : x86_entries_)
+    out << "x86 " << k.m << ' ' << k.n << ' ' << k.k << ' ' << k.bits << ' '
+        << k.scheme << ' ' << b.rb << ' ' << b.cb << '\n';
   return out.str();
 }
 
@@ -167,29 +224,57 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
   LBC_VALIDATE(std::getline(in, line), kDataLoss,
                "empty input: expected header \"" << kTuningCacheHeader << "\"");
   const bool v1 = (line == kTuningCacheHeaderV1);
-  LBC_VALIDATE(v1 || line == kTuningCacheHeader, kDataLoss,
+  const bool v2 = (line == kTuningCacheHeaderV2);
+  LBC_VALIDATE(v1 || v2 || line == kTuningCacheHeader, kDataLoss,
                "unsupported cache format: expected header \""
-                   << kTuningCacheHeader << "\" (or v1), got \"" << line
+                   << kTuningCacheHeader << "\" (or v2/v1), got \"" << line
                    << "\"");
 
   // Parse everything before merging anything: a corrupt line must not
   // leave the cache half-updated.
   std::vector<std::pair<TuningKey, Tiling>> parsed;
   std::vector<std::pair<ArmTuningKey, ArmBlocking>> parsed_arm;
+  std::vector<std::pair<X86TuningKey, X86Blocking>> parsed_x86;
   int lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string tag;
-    if (line[0] == 'a' || line[0] == 'g') {
+    if (line[0] == 'a' || line[0] == 'g' || line[0] == 'x') {
       ls >> tag;
-      LBC_VALIDATE(tag == "arm" || tag == "gpu", kDataLoss,
+      LBC_VALIDATE(tag == "arm" || tag == "gpu" || tag == "x86", kDataLoss,
                    "line " << lineno << ": unknown entry tag \"" << tag
                            << "\"");
-      LBC_VALIDATE(!v1 || tag != "arm", kDataLoss,
+      LBC_VALIDATE(!v1 || tag == "gpu", kDataLoss,
+                   "line " << lineno << ": " << tag
+                           << " entry in a v1-headed cache file");
+      LBC_VALIDATE(!v2 || tag != "x86", kDataLoss,
                    "line " << lineno
-                           << ": ARM entry in a v1-headed cache file");
+                           << ": x86 entry in a v2-headed cache file");
+    }
+    if (tag == "x86") {
+      X86TuningKey k;
+      X86Blocking b;
+      LBC_VALIDATE(static_cast<bool>(ls >> k.m >> k.n >> k.k >> k.bits >>
+                                     k.scheme >> b.rb >> b.cb),
+                   kDataLoss,
+                   "line " << lineno << ": truncated or garbage entry");
+      std::string trailing;
+      LBC_VALIDATE(!(ls >> trailing), kDataLoss,
+                   "line " << lineno << ": trailing fields after entry");
+      LBC_VALIDATE(k.m > 0 && k.n > 0 && k.k > 0, kDataLoss,
+                   "line " << lineno << ": non-positive GEMM dimension");
+      LBC_VALIDATE(k.bits >= 2 && k.bits <= 8, kDataLoss,
+                   "line " << lineno << ": bits " << k.bits
+                           << " outside [2, 8]");
+      LBC_VALIDATE(k.scheme == 0 || k.scheme == 1, kDataLoss,
+                   "line " << lineno << ": native scheme " << k.scheme
+                           << " outside [0, 1]");
+      if (Status bs = validate_x86_blocking(b); !bs.ok())
+        return bs.with_context("line " + std::to_string(lineno));
+      parsed_x86.emplace_back(k, b);
+      continue;
     }
     if (tag == "arm") {
       ArmTuningKey k;
@@ -238,7 +323,9 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
   }
   for (const auto& [k, t] : parsed) put(k, t);
   for (const auto& [k, b] : parsed_arm) put_arm(k, b);
-  return static_cast<int>(parsed.size() + parsed_arm.size());
+  for (const auto& [k, b] : parsed_x86) put_x86(k, b);
+  return static_cast<int>(parsed.size() + parsed_arm.size() +
+                          parsed_x86.size());
 }
 
 }  // namespace lbc::gpukern

@@ -14,6 +14,11 @@
 // {Mc, Kc, Nc} winners (armkern/tile_search.h) share one file. v1 files
 // (GPU-only) still load; a v2 file is rejected by old v1 readers via the
 // header bump.
+//
+// Format v3 adds the native x86 backend's {row_block, col_block} winners
+// (hal/native_gemm.h) under the "x86" tag — the measured-nanosecond
+// search amortized across process runs the same way. v2 and v1 files
+// still load.
 #pragma once
 
 #include <functional>
@@ -29,8 +34,10 @@ namespace lbc::gpukern {
 
 /// First line of every serialized cache. Bump the version when fields
 /// change so old readers reject new files instead of misparsing them.
-inline constexpr const char* kTuningCacheHeader = "lbc-tuning-cache v2";
-/// Previous format (GPU entries only, every line bare) — still readable.
+inline constexpr const char* kTuningCacheHeader = "lbc-tuning-cache v3";
+/// Previous formats — still readable. v1 carried GPU entries only (bare
+/// lines); v2 added "arm" entries; v3 adds "x86" entries.
+inline constexpr const char* kTuningCacheHeaderV2 = "lbc-tuning-cache v2";
 inline constexpr const char* kTuningCacheHeaderV1 = "lbc-tuning-cache v1";
 
 struct TuningKey {
@@ -60,6 +67,25 @@ struct ArmBlocking {
   auto operator<=>(const ArmBlocking&) const = default;
 };
 
+/// Key of a native x86 entry. `scheme` is the native kernel scheme id
+/// (hal: 0 = LUT, 1 = DOT) — the winner depends on which packed layout
+/// the kernel streams, not just the GEMM view.
+struct X86TuningKey {
+  i64 m = 0, n = 0, k = 0;
+  int bits = 8;
+  int scheme = 0;
+
+  auto operator<=>(const X86TuningKey&) const = default;
+};
+
+/// Native x86 {row_block, col_block} loop tiling (mirrors
+/// hal::NativeBlocking without the dependency; gpukern stays hal-free).
+struct X86Blocking {
+  i64 rb = 0, cb = 0;
+
+  auto operator<=>(const X86Blocking&) const = default;
+};
+
 /// Static sanity of a tiling (positive, bounded, divisible): the check a
 /// deserialized or cached entry must pass before it may drive a kernel.
 Status validate_tiling(const Tiling& t);
@@ -67,6 +93,10 @@ Status validate_tiling(const Tiling& t);
 /// Same gate for an ARM blocking: positive, bounded, Mc a multiple of the
 /// 16-row panel and Nc of the 4-column panel (armkern micro-tile shape).
 Status validate_arm_blocking(const ArmBlocking& b);
+
+/// Same gate for a native x86 blocking: positive row/col blocks within the
+/// search grid's bounds.
+Status validate_x86_blocking(const X86Blocking& b);
 
 class TuningCache {
  public:
@@ -96,8 +126,23 @@ class TuningCache {
 
   void put_arm(const ArmTuningKey& key, const ArmBlocking& b);
 
-  size_t size() const;      ///< GPU + ARM entries
+  // --- native x86 entries (format v3) ---------------------------------
+
+  std::optional<X86Blocking> lookup_x86(const X86TuningKey& key) const;
+
+  /// Cached native blocking, invoking `search`
+  /// (hal::search_native_blocking behind a thunk — this layer stays
+  /// hal-free) and storing the result on a miss. Hits pass through
+  /// validate_x86_blocking with the same corrupt-evict-re-search recovery
+  /// as the other backends (also the kTuningCacheCorrupt fault site).
+  X86Blocking get_or_search_x86(const X86TuningKey& key,
+                                const std::function<X86Blocking()>& search);
+
+  void put_x86(const X86TuningKey& key, const X86Blocking& b);
+
+  size_t size() const;      ///< GPU + ARM + x86 entries
   size_t arm_size() const;  ///< ARM entries only
+  size_t x86_size() const;  ///< native x86 entries only
   // Stat reads take the mutex too: concurrent scheduler workers share one
   // cache, and an unlocked i64 read against a writer is a data race (TSan
   // flags it) even when the torn value would be harmless.
@@ -105,15 +150,17 @@ class TuningCache {
   i64 misses() const;
   i64 corrupt_evictions() const;
 
-  /// Text round trip. Format v2: the version header line, then one entry
+  /// Text round trip. Format v3: the version header line, then one entry
   /// per line — GPU entries bare ("m n k bits use_tc mtile ntile ktile
   /// kstep wr wc", v1-compatible body) or with an explicit "gpu " prefix,
-  /// ARM entries "arm m n k bits scheme mc kc nc".
+  /// ARM entries "arm m n k bits scheme mc kc nc", native entries
+  /// "x86 m n k bits scheme rb cb".
   std::string serialize() const;
 
   /// Merge entries from serialized text; returns entries accepted.
-  /// Accepts the v2 header, and v1-headed files for read compatibility
-  /// (GPU bare lines only — v1 never carried ARM entries).
+  /// Accepts the v3 header, and v2/v1-headed files for read compatibility
+  /// (an "x86" entry in a v2 or v1 file, or an "arm" entry in a v1 file,
+  /// is a kDataLoss error — those formats never carried them).
   /// Strict: a missing/unknown header, a truncated or garbage line, or
   /// out-of-range tiling values yield a kDataLoss error naming the line,
   /// and NO entries are merged (all-or-nothing).
@@ -123,6 +170,7 @@ class TuningCache {
   mutable std::mutex mu_;
   std::map<TuningKey, Tiling> entries_;
   std::map<ArmTuningKey, ArmBlocking> arm_entries_;
+  std::map<X86TuningKey, X86Blocking> x86_entries_;
   i64 hits_ = 0, misses_ = 0, corrupt_evictions_ = 0;
 };
 

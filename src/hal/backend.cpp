@@ -1,0 +1,149 @@
+#include "hal/backend.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "hal/cpu_features.h"
+
+namespace lbc::hal {
+
+namespace {
+
+struct RegistryState {
+  mutable std::mutex mu;
+  std::vector<std::shared_ptr<Backend>> entries;  // registration order
+};
+
+RegistryState& state() {
+  static RegistryState s;
+  return s;
+}
+
+/// The two native x86 identities. Availability is re-probed per query so
+/// LBC_HAL_DISABLE and test feature overrides take effect without
+/// re-registration.
+class NativeX86Backend final : public Backend {
+ public:
+  NativeX86Backend(bool wants_avx2, BackendInfo info)
+      : wants_avx2_(wants_avx2), info_(std::move(info)) {}
+
+  const BackendInfo& info() const override { return info_; }
+
+  bool available() const override {
+    const CpuFeatures f = cpu_features();
+    if (f.native_disabled) return false;
+    return wants_avx2_ ? f.avx2 : true;
+  }
+
+ private:
+  bool wants_avx2_;
+  BackendInfo info_;
+};
+
+}  // namespace
+
+const char* backend_kind_name(BackendKind k) {
+  switch (k) {
+    case BackendKind::kNativeHost: return "native-host";
+    case BackendKind::kEmulatedArm: return "emulated-arm";
+    case BackendKind::kSimulatedGpu: return "simulated-gpu";
+  }
+  return "unknown";
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry r;
+  return r;
+}
+
+Status BackendRegistry::register_backend(std::shared_ptr<Backend> b) {
+  LBC_VALIDATE(b != nullptr, kInvalidArgument,
+               "register_backend: null backend");
+  LBC_VALIDATE(!b->info().name.empty(), kInvalidArgument,
+               "register_backend: backend needs a name");
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& e : s.entries) {
+    if (e->info().name == b->info().name) {
+      LBC_VALIDATE(e->info().kind == b->info().kind, kInvalidArgument,
+                   "register_backend: name '"
+                       << b->info().name << "' already registered as "
+                       << backend_kind_name(e->info().kind));
+      return Status();  // idempotent re-registration
+    }
+  }
+  s.entries.push_back(std::move(b));
+  return Status();
+}
+
+std::shared_ptr<Backend> BackendRegistry::find(const std::string& name) const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& e : s.entries)
+    if (e->info().name == name) return e;
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Backend>> BackendRegistry::list() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.entries;
+}
+
+std::shared_ptr<Backend> BackendRegistry::select(BackendKind kind) const {
+  RegistryState& s = state();
+  std::vector<std::shared_ptr<Backend>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    snapshot = s.entries;
+  }
+  // available() may probe CPU features / env; call it outside the lock.
+  std::shared_ptr<Backend> best;
+  for (const auto& e : snapshot) {
+    if (e->info().kind != kind || !e->available()) continue;
+    if (best == nullptr || e->info().priority > best->info().priority)
+      best = e;
+  }
+  return best;
+}
+
+i64 BackendRegistry::size() const {
+  RegistryState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return static_cast<i64>(s.entries.size());
+}
+
+void ensure_native_backends_registered() {
+  static const bool once = [] {
+    auto& reg = BackendRegistry::instance();
+    BackendInfo avx2;
+    avx2.name = "x86-avx2";
+    avx2.kind = BackendKind::kNativeHost;
+    avx2.measured = true;
+    avx2.priority = 10;
+    avx2.description =
+        "native AVX2 low-bit GEMM: pshufb product LUT (2-4 bit), "
+        "maddubs dot accumulation (5-8 bit)";
+    (void)reg.register_backend(
+        std::make_shared<NativeX86Backend>(true, std::move(avx2)));
+
+    BackendInfo scalar;
+    scalar.name = "x86-scalar";
+    scalar.kind = BackendKind::kNativeHost;
+    scalar.measured = true;
+    scalar.priority = 1;
+    scalar.description =
+        "portable scalar fallback over the native packed layouts";
+    (void)reg.register_backend(
+        std::make_shared<NativeX86Backend>(false, std::move(scalar)));
+    return true;
+  }();
+  (void)once;
+}
+
+std::shared_ptr<Backend> select_native_backend() {
+  ensure_native_backends_registered();
+  return BackendRegistry::instance().select(BackendKind::kNativeHost);
+}
+
+}  // namespace lbc::hal

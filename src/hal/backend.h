@@ -1,0 +1,88 @@
+// HAL backend registry — the one place that knows which execution
+// backends exist in this process and which of them the host can actually
+// run.
+//
+// A Backend here is an *identity*, not a kernel vtable: the hot paths keep
+// their statically-typed entry points (armkern::execute_conv,
+// hal::execute_native_conv, gpukern::conv2d_cycles) and the registry
+// answers the questions that precede them — "is there a native backend on
+// this machine?", "which one wins?", "what should the report call it?".
+// Registration happens at startup (ensure_native_backends_registered for
+// the x86 backends here; core::ensure_hal_backends_registered adds the
+// emulated-ARM and simulated-GPU adapters, since core is the layer that
+// links them) and the registry is immutable-after-insert: entries are
+// never removed, availability is re-evaluated per query so LBC_HAL_DISABLE
+// and test overrides behave dynamically.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace lbc::hal {
+
+/// What a backend runs on. kNativeHost executes real instructions and
+/// reports wall-clock nanoseconds; the other two report modeled cycles.
+enum class BackendKind { kNativeHost, kEmulatedArm, kSimulatedGpu };
+
+const char* backend_kind_name(BackendKind k);  ///< "native-host", ...
+
+struct BackendInfo {
+  std::string name;  ///< stable id: "x86-avx2", "x86-scalar", "arm-a53", ...
+  BackendKind kind = BackendKind::kNativeHost;
+  /// True when the backend's timing column is measured wall-clock ns
+  /// (native); false when it is modeled cycles (emulated / simulated).
+  bool measured = false;
+  /// Selection rank within a kind; highest available priority wins.
+  int priority = 0;
+  std::string description;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual const BackendInfo& info() const = 0;
+  /// Capability probe, evaluated per query (CPU features + LBC_HAL_DISABLE
+  /// + test overrides) — an entry can be registered but unavailable.
+  virtual bool available() const = 0;
+};
+
+/// Process-wide backend table. Thread-safe; lazily constructed.
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  /// Register a backend. Names are unique: re-registering an existing name
+  /// is idempotent when the kind matches (startup paths may race) and
+  /// kInvalidArgument when it does not.
+  Status register_backend(std::shared_ptr<Backend> b);
+
+  /// Lookup by stable name; nullptr when absent.
+  std::shared_ptr<Backend> find(const std::string& name) const;
+
+  /// All registered backends, in registration order.
+  std::vector<std::shared_ptr<Backend>> list() const;
+
+  /// Highest-priority *available* backend of `kind`; nullptr when none.
+  std::shared_ptr<Backend> select(BackendKind kind) const;
+
+  i64 size() const;
+
+ private:
+  BackendRegistry() = default;
+};
+
+/// Register the native x86 backends ("x86-avx2" over "x86-scalar") into
+/// the registry. Idempotent; called lazily by select_native_backend and at
+/// the top of every native plan.
+void ensure_native_backends_registered();
+
+/// The native backend this process should execute with right now:
+/// "x86-avx2" when AVX2 is up, else "x86-scalar"; nullptr when
+/// LBC_HAL_DISABLE=native opted the host out entirely.
+std::shared_ptr<Backend> select_native_backend();
+
+}  // namespace lbc::hal

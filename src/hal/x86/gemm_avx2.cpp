@@ -1,0 +1,198 @@
+// AVX2 kernels of the native backend — the only translation unit compiled
+// with -mavx2 (runtime dispatch in native_gemm.cpp keeps these off machines
+// without AVX2). Layout contracts and overflow arguments in native_gemm.h.
+
+#include "hal/native_gemm.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace lbc::hal {
+
+namespace {
+
+/// 16-bit lanes can absorb this many LUT products before a 32-bit flush:
+/// 256 * qmax(4)^2 = 12544 < 32767, so one interval fits every LUT width.
+constexpr i64 kLutFlushInterval = 256;
+
+i32 hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+}  // namespace
+
+void native_gemm_avx2_lut(const NativePackedA& pa, const i8* b, i32* c,
+                          i64 n, const NativeBlocking& blocking) {
+  const i64 m = pa.m, k = pa.k;
+  const i8* lut = native_product_lut(pa.bits);
+  const i32 q = qmax_for_bits(pa.bits);
+  const __m256i qvec = _mm256_set1_epi8(static_cast<char>(q));
+  const i64 rb = std::max<i64>(blocking.rb, 1);
+  const i64 cb = std::max<i64>(blocking.cb, 1);
+  for (i64 j0 = 0; j0 < n; j0 += cb) {
+    const i64 jend = std::min(n, j0 + cb);
+    const i64 jvec_end = j0 + ((jend - j0) / 32) * 32;
+    for (i64 i0 = 0; i0 < m; i0 += rb) {
+      const i64 iend = std::min(m, i0 + rb);
+      for (i64 i = i0; i < iend; ++i) {
+        const i8* arow = pa.row(i);  // table-row indices
+        i32* crow = c + i * n;
+        for (i64 jg = j0; jg < jvec_end; jg += 32) {
+          __m256i acc0 = _mm256_setzero_si256();
+          __m256i acc1 = _mm256_setzero_si256();
+          __m256i acc2 = _mm256_setzero_si256();
+          __m256i acc3 = _mm256_setzero_si256();
+          __m256i s16lo = _mm256_setzero_si256();
+          __m256i s16hi = _mm256_setzero_si256();
+          const auto flush = [&]() {
+            acc0 = _mm256_add_epi32(
+                acc0, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s16lo)));
+            acc1 = _mm256_add_epi32(
+                acc1,
+                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s16lo, 1)));
+            acc2 = _mm256_add_epi32(
+                acc2, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s16hi)));
+            acc3 = _mm256_add_epi32(
+                acc3,
+                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s16hi, 1)));
+            s16lo = _mm256_setzero_si256();
+            s16hi = _mm256_setzero_si256();
+          };
+          i64 pending = 0;
+          for (i64 kk = 0; kk < k; ++kk) {
+            // One pshufb = 32 products: the weight's table row against 32
+            // activation indices (value + qmax, low nibble in range).
+            const __m256i tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(
+                    lut + static_cast<u8>(arow[kk]) * 16)));
+            const __m256i bv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(b + kk * n + jg));
+            const __m256i prod =
+                _mm256_shuffle_epi8(tbl, _mm256_add_epi8(bv, qvec));
+            s16lo = _mm256_add_epi16(
+                s16lo, _mm256_cvtepi8_epi16(_mm256_castsi256_si128(prod)));
+            s16hi = _mm256_add_epi16(
+                s16hi,
+                _mm256_cvtepi8_epi16(_mm256_extracti128_si256(prod, 1)));
+            if (++pending == kLutFlushInterval) {
+              flush();
+              pending = 0;
+            }
+          }
+          if (pending != 0) flush();
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg), acc0);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg + 8),
+                              acc1);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg + 16),
+                              acc2);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg + 24),
+                              acc3);
+        }
+        // Tail columns: same pshufb semantics, scalar.
+        for (i64 j = jvec_end; j < jend; ++j) {
+          i32 acc = 0;
+          for (i64 kk = 0; kk < k; ++kk) {
+            const u8 idx = static_cast<u8>(
+                static_cast<i8>(b[kk * n + j] + static_cast<i8>(q)));
+            if ((idx & 0x80u) == 0)
+              acc += lut[static_cast<u8>(arow[kk]) * 16 + (idx & 0x0Fu)];
+          }
+          crow[j] = acc;
+        }
+      }
+    }
+  }
+}
+
+void native_gemm_avx2_dot(const NativePackedA& pa, const i8* pb, i32* c,
+                          i64 n, const NativeBlocking& blocking) {
+  const i64 m = pa.m, kp = pa.k_pad;
+  const __m256i ones = _mm256_set1_epi16(1);
+  const i64 rb = std::max<i64>(blocking.rb, 1);
+  const i64 cb = std::max<i64>(blocking.cb, 1);
+  for (i64 i0 = 0; i0 < m; i0 += rb) {
+    const i64 iend = std::min(m, i0 + rb);
+    for (i64 j0 = 0; j0 < n; j0 += cb) {
+      const i64 jend = std::min(n, j0 + cb);
+      for (i64 i = i0; i < iend; ++i) {
+        const i8* arow = pa.row(i);
+        i32* crow = c + i * n;
+        i64 j = j0;
+        for (; j + 4 <= jend; j += 4) {
+          __m256i acc0 = _mm256_setzero_si256();
+          __m256i acc1 = _mm256_setzero_si256();
+          __m256i acc2 = _mm256_setzero_si256();
+          __m256i acc3 = _mm256_setzero_si256();
+          for (i64 kk = 0; kk < kp; kk += 32) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(arow + kk));
+            // Sign trick: |a| as the unsigned maddubs operand, sign(a)
+            // folded into b. Pair sums stay <= 2*127*127 < 2^15 because
+            // packing rejects -128 (adjusted range), so no i16 saturation.
+            const __m256i ax = _mm256_sign_epi8(va, va);
+            const auto dot = [&](const i8* patch, __m256i acc) {
+              const __m256i vb = _mm256_loadu_si256(
+                  reinterpret_cast<const __m256i*>(patch + kk));
+              const __m256i p16 =
+                  _mm256_maddubs_epi16(ax, _mm256_sign_epi8(vb, va));
+              return _mm256_add_epi32(acc, _mm256_madd_epi16(p16, ones));
+            };
+            acc0 = dot(pb + (j + 0) * kp, acc0);
+            acc1 = dot(pb + (j + 1) * kp, acc1);
+            acc2 = dot(pb + (j + 2) * kp, acc2);
+            acc3 = dot(pb + (j + 3) * kp, acc3);
+          }
+          crow[j + 0] = hsum_epi32(acc0);
+          crow[j + 1] = hsum_epi32(acc1);
+          crow[j + 2] = hsum_epi32(acc2);
+          crow[j + 3] = hsum_epi32(acc3);
+        }
+        for (; j < jend; ++j) {
+          __m256i acc = _mm256_setzero_si256();
+          const i8* patch = pb + j * kp;
+          for (i64 kk = 0; kk < kp; kk += 32) {
+            const __m256i va = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(arow + kk));
+            const __m256i ax = _mm256_sign_epi8(va, va);
+            const __m256i vb = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(patch + kk));
+            const __m256i p16 =
+                _mm256_maddubs_epi16(ax, _mm256_sign_epi8(vb, va));
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(p16, ones));
+          }
+          crow[j] = hsum_epi32(acc);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lbc::hal
+
+#else  // !__AVX2__
+
+#include <cstdlib>
+
+namespace lbc::hal {
+
+// This TU was built without AVX2 codegen (non-x86 target); the dispatch
+// layer never routes here because avx2_enabled() is false.
+void native_gemm_avx2_lut(const NativePackedA&, const i8*, i32*, i64,
+                          const NativeBlocking&) {
+  std::abort();
+}
+void native_gemm_avx2_dot(const NativePackedA&, const i8*, i32*, i64,
+                          const NativeBlocking&) {
+  std::abort();
+}
+
+}  // namespace lbc::hal
+
+#endif

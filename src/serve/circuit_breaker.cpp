@@ -28,6 +28,7 @@ CircuitBreaker::Decision CircuitBreaker::admit(Clock::time_point now) {
   std::lock_guard<std::mutex> lock(mu_);
   if (state_ == BreakerState::kOpen && now - opened_at_ >= opt_.cooldown) {
     state_ = BreakerState::kHalfOpen;
+    last_transition_ = now;
     probes_inflight_ = 0;
     probe_successes_ = 0;
   }
@@ -73,6 +74,7 @@ void CircuitBreaker::record_probe(Outcome outcome, Clock::time_point now) {
   if (outcome == Outcome::kSuccess) {
     if (++probe_successes_ >= opt_.probe_successes) {
       state_ = BreakerState::kClosed;
+      last_transition_ = now;
       consecutive_failures_ = 0;
       probe_successes_ = 0;
       // Start the recovered breaker with a clean window: the misses that
@@ -93,6 +95,7 @@ void CircuitBreaker::cancel_probe() {
 void CircuitBreaker::trip_locked(Clock::time_point now) {
   state_ = BreakerState::kOpen;
   opened_at_ = now;
+  last_transition_ = now;
   consecutive_failures_ = 0;
   probe_successes_ = 0;
   ++trips_;
@@ -115,6 +118,11 @@ double CircuitBreaker::window_miss_rate_locked() const {
 BreakerState CircuitBreaker::state() const {
   std::lock_guard<std::mutex> lock(mu_);
   return state_;
+}
+
+Clock::time_point CircuitBreaker::last_transition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_transition_;
 }
 
 i64 CircuitBreaker::trips() const {

@@ -101,6 +101,10 @@ class CircuitBreaker {
   void cancel_probe();
 
   BreakerState state() const;
+  /// When the breaker last changed state (trip, half-open, or close).
+  /// Default-constructed (epoch) while still in its initial kClosed state —
+  /// health dashboards render that as "never transitioned".
+  Clock::time_point last_transition() const;
   /// Times the breaker transitioned * -> kOpen.
   i64 trips() const;
   /// Probes admitted while half-open.
@@ -121,6 +125,7 @@ class CircuitBreaker {
   mutable std::mutex mu_;
   BreakerState state_ = BreakerState::kClosed;
   Clock::time_point opened_at_{};
+  Clock::time_point last_transition_{};
   int consecutive_failures_ = 0;
   int probes_inflight_ = 0;
   int probe_successes_ = 0;

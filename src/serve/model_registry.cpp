@@ -47,7 +47,8 @@ Status ModelRegistry::unregister_model(const std::string& name) {
   LBC_VALIDATE(it != models_.end(), kNotFound,
                "model '" << name << "' is not registered");
   const ModelSpec& s = it->second->spec;
-  cache_.evict(s.shape, s.weight, s.bits, s.impl, s.algo, s.threads);
+  cache_.evict(s.shape, s.weight, s.bits, s.impl, s.algo, s.threads,
+               s.backend);
   models_.erase(it);
   return Status();
 }
@@ -69,7 +70,7 @@ StatusOr<std::shared_ptr<const core::ConvPlan>> ModelRegistry::acquire_plan(
   LBC_ASSIGN_OR_RETURN(
       std::shared_ptr<const core::ConvPlan> plan,
       cache_.get_or_compile(s.shape, s.weight, s.bits, s.impl, s.algo,
-                            s.threads));
+                            s.threads, s.backend));
   std::lock_guard<std::mutex> lock(mu_);
   entry->last_used = ++tick_;
   ++acquires_;
@@ -87,7 +88,7 @@ void ModelRegistry::enforce_budget_locked(const Entry* keep) {
       if (ventry.get() == keep) continue;
       const ModelSpec& vs = ventry->spec;
       if (!cache_.resident(vs.shape, vs.weight, vs.bits, vs.impl, vs.algo,
-                           vs.threads))
+                           vs.threads, vs.backend))
         continue;
       if (victim == nullptr || ventry->last_used < victim->last_used)
         victim = ventry.get();
@@ -97,7 +98,8 @@ void ModelRegistry::enforce_budget_locked(const Entry* keep) {
     // over-budget plan is allowed to stand.
     if (victim == nullptr) return;
     const ModelSpec& vs = victim->spec;
-    cache_.evict(vs.shape, vs.weight, vs.bits, vs.impl, vs.algo, vs.threads);
+    cache_.evict(vs.shape, vs.weight, vs.bits, vs.impl, vs.algo, vs.threads,
+                 vs.backend);
   }
 }
 
@@ -133,7 +135,8 @@ bool ModelRegistry::plan_resident(const std::string& name) const {
   auto it = models_.find(name);
   if (it == models_.end()) return false;
   const ModelSpec& s = it->second->spec;
-  return cache_.resident(s.shape, s.weight, s.bits, s.impl, s.algo, s.threads);
+  return cache_.resident(s.shape, s.weight, s.bits, s.impl, s.algo, s.threads,
+                         s.backend);
 }
 
 RegistryStats ModelRegistry::stats() const {

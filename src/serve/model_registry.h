@@ -48,6 +48,10 @@ struct ModelSpec {
   ConvShape shape;
   Tensor<i8> weight;
   int bits = 8;
+  /// Backend the model compiles and serves on (part of the plan-cache key:
+  /// an emulated and a native model with identical weights do NOT share an
+  /// entry — their prepack layouts differ).
+  core::Backend backend = core::Backend::kArmCortexA53;
   core::ArmImpl impl = core::ArmImpl::kOurs;
   armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm;
   int threads = 1;

@@ -79,7 +79,8 @@ BatchScheduler::~BatchScheduler() { shutdown(); }
 StatusOr<std::shared_ptr<const core::ConvPlan>> BatchScheduler::lookup_plan() {
   if (opt_.plan_source) return opt_.plan_source();
   return plan_cache_.get_or_compile(shape_, weight_, opt_.bits, opt_.impl,
-                                    opt_.algo, opt_.conv_threads);
+                                    opt_.algo, opt_.conv_threads,
+                                    opt_.backend);
 }
 
 double BatchScheduler::tenant_weight(int tenant) const {

@@ -81,6 +81,10 @@ struct SchedulerOptions {
                                  ///< overload backs up into the bounded
                                  ///< queue instead of the pool
   int bits = 8;
+  /// Execution backend for every batch: the default emulated Cortex-A53
+  /// (modeled cycles), or kNativeHost to run the HAL's x86 kernels on this
+  /// machine (wall-clock seconds; impl/algo are ignored by the native path).
+  core::Backend backend = core::Backend::kArmCortexA53;
   core::ArmImpl impl = core::ArmImpl::kOurs;
   armkern::ConvAlgo algo = armkern::ConvAlgo::kGemm;
   int conv_threads = 1;  ///< modeled ARM worker count inside a batch conv

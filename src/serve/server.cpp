@@ -36,6 +36,7 @@ Status ModelServer::add_model(const std::string& name, const ConvShape& shape,
   spec.shape = shape;
   spec.weight = weight;  // registry pins a copy for fallback + recompiles
   spec.bits = opt.sched.bits;
+  spec.backend = opt.sched.backend;
   spec.impl = opt.sched.impl;
   spec.algo = opt.sched.algo;
   spec.threads = opt.sched.conv_threads;
@@ -244,6 +245,32 @@ BatchScheduler* ModelServer::scheduler(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   Model* m = find_model(name);
   return m == nullptr ? nullptr : m->sched.get();
+}
+
+std::vector<ModelHealth> ModelServer::health_snapshot() const {
+  // Collect the component pointers under mu_, then snapshot each component
+  // outside it: breaker and metrics take their own locks, and holding mu_
+  // across them would order it against every per-request lock for no gain.
+  // Pointers stay valid — models are never removed while the server lives.
+  std::vector<const Model*> models;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    models.reserve(models_.size());
+    for (const auto& [name, model] : models_) models.push_back(model.get());
+  }
+  std::vector<ModelHealth> out;
+  out.reserve(models.size());
+  for (const Model* m : models) {
+    ModelHealth h;
+    h.name = m->name;
+    h.backend = m->spec->backend;
+    h.breaker_state = m->breaker->state();
+    h.breaker_trips = m->breaker->trips();
+    h.last_transition = m->breaker->last_transition();
+    h.metrics = m->sched->metrics().snapshot();
+    out.push_back(std::move(h));
+  }
+  return out;
 }
 
 }  // namespace lbc::serve

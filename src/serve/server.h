@@ -57,6 +57,19 @@ struct ServerOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// One model's health as seen by an operator: which backend it serves on,
+/// where its breaker stands (and when it last moved), and the scheduler's
+/// full metrics snapshot. Produced by ModelServer::health_snapshot().
+struct ModelHealth {
+  std::string name;
+  core::Backend backend = core::Backend::kArmCortexA53;
+  BreakerState breaker_state = BreakerState::kClosed;
+  i64 breaker_trips = 0;
+  /// Last breaker state change; default (epoch) = never transitioned.
+  Clock::time_point last_transition{};
+  MetricsSnapshot metrics;
+};
+
 class ModelServer {
  public:
   explicit ModelServer(const ServerOptions& opt = ServerOptions{});
@@ -94,6 +107,12 @@ class ModelServer {
   /// (models cannot be removed while serving).
   CircuitBreaker* breaker(const std::string& name);
   BatchScheduler* scheduler(const std::string& name);
+
+  /// Health of every served model, sorted by name: breaker state +
+  /// last-transition tick and the scheduler's metrics snapshot. Safe to call
+  /// concurrently with serving (each component snapshots under its own
+  /// lock); usable after shutdown() for a final report.
+  std::vector<ModelHealth> health_snapshot() const;
 
  private:
   struct Model {

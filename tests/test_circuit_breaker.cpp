@@ -40,6 +40,36 @@ TEST(CircuitBreaker, StartsClosedAndAllows) {
   EXPECT_EQ(b.state(), BreakerState::kClosed);
   EXPECT_EQ(b.admit(at_ms(0)), Decision::kAllow);
   EXPECT_EQ(b.trips(), 0);
+  // Never transitioned: the tick stays default-constructed (epoch).
+  EXPECT_EQ(b.last_transition(), Clock::time_point{});
+}
+
+TEST(CircuitBreaker, LastTransitionTracksEveryStateChange) {
+  BreakerOptions opt = small_opts();
+  opt.deadline_miss_rate = 1.1;
+  opt.probe_successes = 1;
+  CircuitBreaker b(opt);
+
+  // Trip at t=5: last_transition stamps the trip time.
+  b.record(Outcome::kFailure, at_ms(3));
+  b.record(Outcome::kFailure, at_ms(4));
+  b.record(Outcome::kFailure, at_ms(5));
+  EXPECT_EQ(b.state(), BreakerState::kOpen);
+  EXPECT_EQ(b.last_transition(), at_ms(5));
+
+  // Cooldown elapsed at t=20: admit() moves to half-open and restamps.
+  EXPECT_EQ(b.admit(at_ms(20)), Decision::kProbe);
+  EXPECT_EQ(b.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(b.last_transition(), at_ms(20));
+
+  // Successful probe at t=25 closes and restamps again.
+  b.record_probe(Outcome::kSuccess, at_ms(25));
+  EXPECT_EQ(b.state(), BreakerState::kClosed);
+  EXPECT_EQ(b.last_transition(), at_ms(25));
+
+  // Non-transition events leave the tick untouched.
+  b.record(Outcome::kSuccess, at_ms(30));
+  EXPECT_EQ(b.last_transition(), at_ms(25));
 }
 
 TEST(CircuitBreaker, ConsecutiveFailuresTrip) {

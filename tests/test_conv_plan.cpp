@@ -253,6 +253,40 @@ TEST(PlanCache, HitsMissesAndWeightHashDiscrimination) {
   EXPECT_EQ(cache.hits(), 0);
 }
 
+// The backend is part of the cache key: an emulated and a native plan for
+// identical (shape, weights, bits) are distinct entries with distinct
+// prepack layouts, and evict() only drops the entry of its backend.
+TEST(PlanCache, BackendIsPartOfTheKey) {
+  const ConvShape s = plan_shape();
+  const Tensor<i8> w = rand_weight(s, 8, 51);
+  PlanCache cache;
+  const auto arm = cache.get_or_compile(s, w, 8);
+  ASSERT_TRUE(arm.ok());
+  const auto native = cache.get_or_compile(s, w, 8, ArmImpl::kOurs,
+                                           armkern::ConvAlgo::kGemm, 1,
+                                           Backend::kNativeHost);
+  ASSERT_TRUE(native.ok()) << native.status().to_string();
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_NE(arm.value().get(), native.value().get());
+  EXPECT_EQ((*native.value()).backend(), Backend::kNativeHost);
+
+  // Hits stay per-backend.
+  ASSERT_TRUE(cache.get_or_compile(s, w, 8, ArmImpl::kOurs,
+                                   armkern::ConvAlgo::kGemm, 1,
+                                   Backend::kNativeHost)
+                  .ok());
+  EXPECT_EQ(cache.hits(), 1);
+
+  // Eviction is backend-scoped: dropping the native entry leaves the
+  // emulated one resident.
+  EXPECT_TRUE(cache.evict(s, w, 8, ArmImpl::kOurs, armkern::ConvAlgo::kGemm,
+                          1, Backend::kNativeHost));
+  EXPECT_TRUE(cache.resident(s, w, 8));
+  EXPECT_FALSE(cache.resident(s, w, 8, ArmImpl::kOurs,
+                              armkern::ConvAlgo::kGemm, 1,
+                              Backend::kNativeHost));
+}
+
 // The cached plan outlives the cache (shared ownership), so an eviction or
 // clear() can never invalidate a plan an executor still holds.
 TEST(PlanCache, CachedPlanSurvivesClear) {

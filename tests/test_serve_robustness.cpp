@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
 #include "common/rng.h"
+#include "refconv/conv_ref.h"
 #include "serve/server.h"
 
 namespace lbc::serve {
@@ -308,6 +310,75 @@ TEST(ServeRobustness, FaultStormNeverLeavesARequestUnresolved) {
   EXPECT_EQ(server.submit("alpha", robust_input(999)).status().code(),
             StatusCode::kFailedPrecondition);
   (void)immediate_rejects;
+}
+
+// health_snapshot(): per-model breaker state + last-transition tick + the
+// scheduler's metrics, sorted by name, consistent with the component
+// accessors — the operator's one-call view of a degrading server.
+TEST(ServeRobustness, HealthSnapshotReportsBreakerStateAndTransitions) {
+  ModelServer server;
+  ModelOptions mo = serial_model_options();
+  mo.breaker_mode = BreakerMode::kFastFail;
+  ASSERT_TRUE(
+      server.add_model("sick", robust_shape(), robust_weight(1), mo).ok());
+  ASSERT_TRUE(
+      server.add_model("healthy", robust_shape(), robust_weight(2), mo).ok());
+
+  ASSERT_TRUE(roundtrip(server, "healthy", 1).ok());
+  {
+    ScopedFault fault(FaultSite::kServeWorkerThrow);
+    for (u64 i = 0; i < 3; ++i)
+      EXPECT_EQ(roundtrip(server, "sick", i).code(), StatusCode::kInternal);
+  }
+
+  const std::vector<ModelHealth> health = server.health_snapshot();
+  ASSERT_EQ(health.size(), 2u);
+  // models_ is name-sorted: "healthy" < "sick".
+  EXPECT_EQ(health[0].name, "healthy");
+  EXPECT_EQ(health[1].name, "sick");
+
+  EXPECT_EQ(health[0].breaker_state, BreakerState::kClosed);
+  EXPECT_EQ(health[0].breaker_trips, 0);
+  EXPECT_EQ(health[0].last_transition, Clock::time_point{});
+  EXPECT_EQ(health[0].metrics.completed, 1);
+  EXPECT_EQ(health[0].backend, core::Backend::kArmCortexA53);
+
+  EXPECT_EQ(health[1].breaker_state, BreakerState::kOpen);
+  EXPECT_EQ(health[1].breaker_trips, 1);
+  EXPECT_NE(health[1].last_transition, Clock::time_point{});
+  EXPECT_EQ(health[1].metrics.failed, 3);
+  EXPECT_EQ(health[1].breaker_state,
+            server.breaker("sick")->state());  // consistent with accessors
+}
+
+// A model registered on the native backend serves bit-exact accumulators
+// (vs the reference conv) and reports the native kernel as its executed
+// rung; health_snapshot records the backend.
+TEST(ServeRobustness, NativeBackendModelServesBitExact) {
+  ModelServer server;
+  ModelOptions mo = serial_model_options();
+  mo.sched.backend = core::Backend::kNativeHost;
+  const Tensor<i8> w = robust_weight(11);
+  ASSERT_TRUE(server.add_model("native", robust_shape(), w, mo).ok());
+
+  const Tensor<i8> in = robust_input(12);
+  auto r = server.submit("native", in, SubmitOptions{});
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  const InferResponse resp = std::move(r).value().get();
+  ASSERT_TRUE(resp.status.ok()) << resp.status.to_string();
+  EXPECT_NE(resp.executed_algo.find("dot"), std::string::npos)
+      << "8-bit rides the dot scheme; got " << resp.executed_algo;
+
+  const Tensor<i32> ref = ref::conv2d_s32(robust_shape(), in, w);
+  ASSERT_EQ(resp.output.shape(), ref.shape());
+  EXPECT_EQ(std::memcmp(resp.output.data(), ref.data(),
+                        static_cast<size_t>(ref.shape().elems()) * 4),
+            0);
+
+  const std::vector<ModelHealth> health = server.health_snapshot();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].backend, core::Backend::kNativeHost);
+  EXPECT_EQ(health[0].metrics.completed, 1);
 }
 
 }  // namespace

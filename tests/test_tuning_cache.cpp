@@ -315,5 +315,102 @@ TEST(TuningCacheV2, ArmCorruptHitIsEvictedAndResearched) {
   EXPECT_EQ(cache.hits(), 1);
 }
 
+TEST(TuningCacheV3, X86EntriesRoundTripAlongsideGpuAndArm) {
+  const DeviceSpec dev = DeviceSpec::rtx2080ti();
+  TuningCache a;
+  a.get_or_search(dev, nets::resnet50_layers()[0], 8, true);
+  a.put_arm({64, 3136, 576, 4, 0}, {128, 64, 256});
+  const X86TuningKey xk{64, 3136, 576, 4, 0};
+  const X86Blocking xb{8, 256};
+  a.put_x86(xk, xb);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.x86_size(), 1u);
+
+  const std::string text = a.serialize();
+  EXPECT_EQ(text.rfind(kTuningCacheHeader, 0), 0u);
+  EXPECT_NE(text.find("\nx86 64 3136 576 4 0 8 256\n"), std::string::npos);
+
+  TuningCache b;
+  const StatusOr<int> n = b.deserialize(text);
+  ASSERT_TRUE(n.ok()) << n.status().to_string();
+  EXPECT_EQ(n.value(), 3);
+  ASSERT_TRUE(b.lookup_x86(xk).has_value());
+  EXPECT_EQ(*b.lookup_x86(xk), xb);
+}
+
+TEST(TuningCacheV3, ReadsV2HeadedFiles) {
+  // A v2 file (GPU + ARM entries) still loads under the v3 reader.
+  TuningCache c;
+  const StatusOr<int> r = c.deserialize(
+      std::string(kTuningCacheHeaderV2) +
+      "\ngpu 64 196 1024 8 1 32 16 64 32 2 1\narm 64 3136 576 4 0 128 64 "
+      "256\n");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_TRUE(c.lookup({64, 196, 1024, 8, true}).has_value());
+  EXPECT_TRUE(c.lookup_arm({64, 3136, 576, 4, 0}).has_value());
+}
+
+TEST(TuningCacheV3, RejectsX86EntriesUnderOldHeaders) {
+  // Neither v1 nor v2 ever carried x86 entries; such a line under an old
+  // header is a doctored or corrupted file.
+  for (const char* header : {kTuningCacheHeaderV1, kTuningCacheHeaderV2}) {
+    TuningCache c;
+    const StatusOr<int> r = c.deserialize(
+        std::string(header) + "\nx86 64 3136 576 4 0 8 256\n");
+    ASSERT_FALSE(r.ok()) << header;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << header;
+    EXPECT_EQ(c.size(), 0u) << header;
+  }
+}
+
+TEST(TuningCacheV3, RejectsCorruptX86Lines) {
+  const char* bad_bodies[] = {
+      "x86 64 3136 576 4 0 8\n",         // truncated
+      "x86 64 3136 576 4 0 8 256 9\n",   // trailing field
+      "x86 64 3136 576 4 5 8 256\n",     // scheme out of range
+      "x86 64 3136 576 4 0 -8 256\n",    // negative row block
+      "x86 64 3136 576 4 0 8 0\n",       // zero col block
+      "x86 64 3136 576 4 0 8192 256\n",  // row block > 4096
+      "x86 64 3136 576 4 0 8 16384\n",   // col block > 8192
+      "x86 0 3136 576 4 0 8 256\n",      // non-positive M
+  };
+  for (const char* body : bad_bodies) {
+    TuningCache c;
+    const StatusOr<int> r = c.deserialize(with_header(body));
+    ASSERT_FALSE(r.ok()) << "accepted corrupt body: " << body;
+    EXPECT_TRUE(r.status().code() == StatusCode::kDataLoss ||
+                r.status().code() == StatusCode::kOutOfRange)
+        << body << " -> " << r.status().to_string();
+    EXPECT_EQ(c.size(), 0u) << body;
+  }
+}
+
+TEST(TuningCacheV3, X86CorruptHitIsEvictedAndResearched) {
+  TuningCache cache;
+  const X86TuningKey key{512, 49, 4608, 8, 1};
+  const X86Blocking want{32, 64};
+  int searches = 0;
+  const auto search = [&] {
+    ++searches;
+    return want;
+  };
+  EXPECT_EQ(cache.get_or_search_x86(key, search), want);
+  EXPECT_EQ(searches, 1);
+  EXPECT_EQ(cache.misses(), 1);
+
+  // Poison exactly the next hit: the cache must evict the bogus entry and
+  // recover through the search callback, never hand out rb = -7.
+  ScopedFault fault(FaultSite::kTuningCacheCorrupt, /*fire_count=*/1);
+  EXPECT_EQ(cache.get_or_search_x86(key, search), want);
+  EXPECT_EQ(searches, 2);
+  EXPECT_EQ(cache.corrupt_evictions(), 1);
+
+  // Healed entry serves clean hits afterwards.
+  EXPECT_EQ(cache.get_or_search_x86(key, search), want);
+  EXPECT_EQ(searches, 2);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
 }  // namespace
 }  // namespace lbc::gpukern

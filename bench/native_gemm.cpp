@@ -98,6 +98,71 @@ bool write_native_json(const std::string& path,
   return true;
 }
 
+ConvShape make_square_3x3(const std::string& name, i64 channels, i64 hw) {
+  ConvShape s;
+  s.name = name;
+  s.batch = 1;
+  s.in_c = channels;
+  s.in_h = hw;
+  s.in_w = hw;
+  s.out_c = channels;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  return s;
+}
+
+/// Best-of-3 avx2-over-scalar speedup of the native plan on one layer.
+double native_speedup(const ConvShape& s, int bits) {
+  const Tensor<i8> w = random_qtensor(
+      Shape4{s.out_c, s.in_c, s.kernel, s.kernel}, bits, 17);
+  const Tensor<i8> in = random_qtensor(
+      Shape4{s.batch, s.in_c, s.in_h, s.in_w}, bits, 19);
+  const core::ConvPlan plan = core::plan_native_conv(s, w, bits).value();
+  Workspace ws;
+  const double avx2_ns = run_native_best(plan, in, ws).value().measured_ns;
+  hal::CpuFeatures scalar_only = hal::cpu_features();
+  scalar_only.avx2 = false;
+  hal::force_cpu_features(scalar_only);
+  const double scalar_ns = run_native_best(plan, in, ws).value().measured_ns;
+  hal::clear_cpu_feature_override();
+  return avx2_ns > 0 ? scalar_ns / avx2_ns : 0;
+}
+
+/// Column-tail coverage: layers whose GEMM N is not a multiple of the
+/// 32-wide vector groups (conv18's 7x7 output gives N = 49) must not fall
+/// off the vector path. Gate: the tail shape's avx2-over-scalar speedup
+/// recovers at least 55% of an aligned shape's (N = 64) — before the
+/// staged tail path, 17 of 49 columns ran scalar and this ratio sat far
+/// below the bar for the LUT scheme.
+int run_tail_section() {
+  std::printf("\n== column-tail vectorization (N %% 32 != 0) ==\n");
+  std::printf("%-6s %10s %12s %14s %10s\n", "bits", "scheme", "tail(N=49)",
+              "aligned(N=64)", "tail eff");
+  const ConvShape tail = make_square_3x3("tail7x7", 256, 7);     // N = 49
+  const ConvShape aligned = make_square_3x3("align8x8", 256, 8); // N = 64
+  int rc = 0;
+  for (const int bits : {2, 8}) {  // one LUT row, one dot row
+    const double sp_tail = native_speedup(tail, bits);
+    const double sp_aligned = native_speedup(aligned, bits);
+    const double eff = sp_aligned > 0 ? sp_tail / sp_aligned : 0;
+    const char* scheme =
+        hal::native_scheme_for(bits) == hal::NativeScheme::kLut ? "lut"
+                                                                : "dot";
+    std::printf("%-6d %10s %11.2fx %13.2fx %10.3f\n", bits, scheme, sp_tail,
+                sp_aligned, eff);
+    if (eff < 0.55) {
+      std::fprintf(stderr,
+                   "tail vectorization FAIL: %d-bit %s tail speedup %.2fx "
+                   "is %.3f of the aligned shape's %.2fx (< 0.55) — the "
+                   "N %% 32 tail likely fell back to scalar\n",
+                   bits, scheme, sp_tail, eff, sp_aligned);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int run_norm_gate(double norm_total, bool have_avx2) {
   const char* baseline_path = std::getenv("LBC_BENCH_BASELINE");
   if (baseline_path == nullptr || baseline_path[0] == '\0') return 0;
@@ -212,5 +277,8 @@ int main() {
   if (json_path != nullptr && json_path[0] != '\0' &&
       !write_native_json(json_path, records, norm_total))
     return 1;
-  return run_norm_gate(norm_total, have_avx2);
+  int rc = 0;
+  if (have_avx2) rc = run_tail_section();
+  const int gate_rc = run_norm_gate(norm_total, have_avx2);
+  return rc != 0 ? rc : gate_rc;
 }

@@ -386,10 +386,11 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
       gopt.blocking = plan.blocking;
       GemmStats gs;
       if (kernel == ArmKernel::kSdotExt)
-        gs = gemm_s8s32_sdot_conv_fused(plan.sdot_a.view(), sb, input, cptr,
-                                        gopt);
+        gs = gemm_s8s32_sdot_conv_fused(plan.sdot_a.view(), sb, input.data(),
+                                        cptr, gopt);
       else
-        gs = gemm_s8s32_conv_fused(plan.gemm_a.view(), sb, input, cptr, gopt);
+        gs = gemm_s8s32_conv_fused(plan.gemm_a.view(), sb, input.data(), cptr,
+                                   gopt);
       res.counts.merge(gs.counts);
       res.space.pack_extra_elems = gs.pack_extra_elems;
       interleaved = gs.interleaved;
@@ -495,6 +496,59 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
                                   std::to_string(bits));
     }
   }
+  return res;
+}
+
+StatusOr<FusedConvResult> execute_conv_fused(const ArmConvPlan& plan,
+                                             const i8* input, i32* c,
+                                             const TileEpilogue& epi,
+                                             Workspace& ws) {
+  LBC_VALIDATE(input != nullptr && c != nullptr && epi.fn != nullptr,
+               kInvalidArgument, "execute_conv_fused: null operand");
+  LBC_VALIDATE(plan.shape.batch == 1, kFailedPrecondition,
+               "graph-fused execute is batch-1 (planned batch "
+                   << plan.shape.batch << ")");
+  LBC_VALIDATE(plan.algo == ConvAlgo::kGemm && plan.blocking.enabled() &&
+                   plan.kernel != ArmKernel::kTraditional,
+               kFailedPrecondition,
+               "plan's resolved rung (" << algo_name(plan.algo) << "/"
+                   << (plan.blocking.enabled() ? "blocked" : "unblocked")
+                   << ") is not the blocked fused-pack GEMM");
+
+  const ConvShape& sb = plan.shape;
+  const CostModel cm = CostModel::cortex_a53();
+  FusedConvResult res;
+  res.space.baseline_elems = sb.activation_elems() + sb.weight_elems();
+
+  GemmOptions gopt;
+  gopt.bits = plan.requested.bits;
+  gopt.kernel = plan.kernel;
+  gopt.threads = plan.requested.threads;
+  gopt.workspace = &ws;
+  gopt.blocking = plan.blocking;
+  gopt.epilogue = &epi;
+  GemmStats gs;
+  if (plan.kernel == ArmKernel::kSdotExt)
+    gs = gemm_s8s32_sdot_conv_fused(plan.sdot_a.view(), sb, input, c, gopt);
+  else
+    gs = gemm_s8s32_conv_fused(plan.gemm_a.view(), sb, input, c, gopt);
+
+  const BlockedLayout lay =
+      blocked_layout(sb.gemm_m(), sb.gemm_n(), sb.gemm_k(), plan.blocking,
+                     plan.kernel == ArmKernel::kSdotExt);
+  res.space.im2col_elems =
+      blocked_threads(lay, plan.requested.threads, /*verify=*/false) *
+      lay.block_elems();
+  res.space.pack_extra_elems = gs.pack_extra_elems;
+  res.counts.merge(gs.counts);
+  double parallel_cycles = 0;
+  for (const auto& tc : gs.thread_counts)
+    parallel_cycles =
+        std::max(parallel_cycles, cm.cycles_for(tc, gs.interleaved));
+  res.cycles = parallel_cycles +
+               cm.cycles_for(gs.serial_counts, gs.interleaved) +
+               (gs.thread_counts.size() > 1 ? kThreadSyncCycles : 0.0);
+  res.seconds = res.cycles / cm.freq_hz;
   return res;
 }
 

@@ -163,6 +163,33 @@ StatusOr<ArmConvPlan> plan_conv(const ConvShape& s, const Tensor<i8>& weight,
 StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
                                      const Tensor<i8>& input, Workspace& ws);
 
+/// Result of a graph-fused execute: no i32 output tensor — the epilogue
+/// consumed the accumulators in-cache and wrote the requantized i8
+/// activations itself.
+struct FusedConvResult {
+  armsim::Counters counts;
+  double cycles = 0;
+  double seconds = 0;
+  SpaceReport space;
+};
+
+/// Graph-fusion execute: run a blocked-GEMM plan against a raw NCHW i8
+/// activation buffer with `epi` applied to every C row segment right after
+/// its final Kc accumulation (requantize/ReLU/residual-add while the rows
+/// are cache-resident). `c` is caller-provided i32 scratch of gemm_m *
+/// gemm_n elements — after the call it holds the raw accumulators but is
+/// free to recycle. Unlike execute_conv, the Workspace is NOT reset: the
+/// graph runner owns the arena layout (liveness-planned activation slots
+/// below, per-node scratch above — released by Workspace::rewind).
+/// Errors: kFailedPrecondition when the plan's resolved rung is not the
+/// blocked fused-pack GEMM (winograd/bitserial/direct/reference/unblocked
+/// plans execute unfused via execute_conv), or when the planned batch != 1
+/// (graph forward is batch-1).
+StatusOr<FusedConvResult> execute_conv_fused(const ArmConvPlan& plan,
+                                             const i8* input, i32* c,
+                                             const TileEpilogue& epi,
+                                             Workspace& ws);
+
 /// Quantized convolution to 32-bit accumulators. Bit-exact with
 /// ref::conv2d_s32 for GEMM/bitserial algos and with
 /// ref::winograd_conv_s32(kRoundedInt8) for the winograd algo.

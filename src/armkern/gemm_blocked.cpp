@@ -46,11 +46,11 @@ i8* block_scratch(const GemmOptions& opt, AlignedVector<i8>& own, i64 bytes) {
 }
 
 // Where packed-B blocks come from: a row-major K x N matrix, or (fused
-// path) the conv input tensor through the im2col mapping.
+// path) the raw conv input buffer through the im2col mapping.
 struct BSource {
   const i8* b = nullptr;
   const ConvShape* shape = nullptr;
-  const Tensor<i8>* input = nullptr;
+  const i8* input = nullptr;
 };
 
 // One worker's share of jc blocks: pack each (jc, kcb) B block, sweep all
@@ -80,13 +80,13 @@ void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
           pack_sdot_b_block_into(&ctx, src.b, lay.k, lay.n, k0, kc, n0, nc,
                                  buf);
         else
-          pack_sdot_b_panels_from_conv(&ctx, *src.shape, *src.input, k0, kc,
+          pack_sdot_b_panels_from_conv(&ctx, *src.shape, src.input, k0, kc,
                                        n0, nc, buf);
       } else {
         if (src.b != nullptr)
           pack_b_block_into(&ctx, src.b, lay.k, lay.n, k0, kc, n0, nc, buf);
         else
-          pack_b_panels_from_conv(&ctx, *src.shape, *src.input, k0, kc, n0,
+          pack_b_panels_from_conv(&ctx, *src.shape, src.input, k0, kc, n0,
                                   nc, buf);
       }
       for (i64 icb = 0; icb < lay.m_blocks; ++icb) {
@@ -142,6 +142,23 @@ void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
               ctx.tally(Op::kLd1, static_cast<u64>(rows));
               ctx.tally(Op::kAdd, static_cast<u64>(rows));
             }
+            if (kcb == lay.k_blocks - 1 && opt.epilogue != nullptr) {
+              // Fused epilogue: this segment just received its final Kc
+              // accumulation and is still cache-resident — requantize /
+              // ReLU / residual-add here instead of round-tripping the i32
+              // tensor through memory. Cost: the fixed-point multiply +
+              // clamp per element and the narrow i8 store per row.
+              const TileEpilogue& epi = *opt.epilogue;
+              for (i64 ii = 0; ii < rows; ++ii) {
+                const i64 row = row0 + ii;
+                epi.fn(row, col0, cols, &c[row * lay.n + col0]);
+                if (epi.out_base != nullptr)
+                  ctx.mem(epi.out_base + row * epi.row_stride + col0,
+                          static_cast<u64>(cols));
+              }
+              ctx.tally(Op::kScalar, static_cast<u64>(rows * cols) * 2);
+              ctx.tally(Op::kSt1, static_cast<u64>(rows));
+            }
           }
         }
       }
@@ -181,6 +198,12 @@ GemmStats run_blocked(const APanels* pa, const SdotAPanels* sa,
       opt.verifier->add_region(src.b, k * n, "gemm B", -qb, qb);
     opt.verifier->add_region(c, m * n * static_cast<i64>(sizeof(i32)),
                              "gemm C");
+    if (opt.epilogue != nullptr && opt.epilogue->out_base != nullptr)
+      opt.verifier->add_region(
+          opt.epilogue->out_base,
+          (opt.epilogue->out_rows > 0 ? opt.epilogue->out_rows : m) *
+              opt.epilogue->row_stride,
+          "fused epilogue out");
   }
 
   const int threads =
@@ -240,7 +263,7 @@ GemmStats gemm_blocked_sdot_prepacked(const SdotAPanels& pa, const i8* b,
 }
 
 GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
-                                const Tensor<i8>& input, i32* c,
+                                const i8* input, i32* c,
                                 const GemmOptions& opt) {
   LBC_CHECK_MSG(opt.kernel == ArmKernel::kOursGemm ||
                     opt.kernel == ArmKernel::kNcnn,
@@ -248,17 +271,17 @@ GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
   const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
   LBC_CHECK_MSG(pa.m == m && pa.k == k,
                 "gemm_s8s32_conv_fused: packed A geometry mismatch");
-  return run_blocked(&pa, nullptr, BSource{nullptr, &s, &input}, c, m, n, k,
+  return run_blocked(&pa, nullptr, BSource{nullptr, &s, input}, c, m, n, k,
                      opt);
 }
 
 GemmStats gemm_s8s32_sdot_conv_fused(const SdotAPanels& pa, const ConvShape& s,
-                                     const Tensor<i8>& input, i32* c,
+                                     const i8* input, i32* c,
                                      const GemmOptions& opt) {
   const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
   LBC_CHECK_MSG(pa.m == m && pa.k == k,
                 "gemm_s8s32_sdot_conv_fused: packed A geometry mismatch");
-  return run_blocked(nullptr, &pa, BSource{nullptr, &s, &input}, c, m, n, k,
+  return run_blocked(nullptr, &pa, BSource{nullptr, &s, input}, c, m, n, k,
                      opt);
 }
 

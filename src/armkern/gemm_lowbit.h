@@ -16,6 +16,7 @@
 //    neither the results nor the modeled cycle counts.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "armsim/cost_model.h"
@@ -35,6 +36,30 @@ enum class ArmKernel {
   kNcnn,         ///< ncnn-style 8-bit baseline (widen + 16-bit SMLAL)
   kTraditional,  ///< Fig. 1a inner-product GEMM (ablation)
   kSdotExt,      ///< ARMv8.2 SDOT kernel (extension; not on the v8.1 target)
+};
+
+/// Epilogue hook of the blocked driver (the ARM twin of gpukern/fusion):
+/// after a C row segment receives its final Kc accumulation, the driver
+/// hands the still-cache-resident i32 accumulators to `fn` so requantize /
+/// ReLU / residual-add can run before the rows are ever evicted — the
+/// intermediate i32 tensor never round-trips through memory. `fn(row,
+/// col0, cols, acc)` sees the final values C[row][col0 .. col0+cols);
+/// it must not touch C outside that segment. Under multi-threaded runs
+/// segments from disjoint jc column bands are delivered concurrently, so
+/// `fn` must only write per-(row, col) outputs. The driver tallies the
+/// epilogue's fixed-point math and i8 stores into the calling worker's
+/// counters; the bytes written to `out_base` (when set) go through the
+/// cache model so the fused traffic is measured, not asserted.
+struct TileEpilogue {
+  std::function<void(i64 row, i64 col0, i64 cols, const i32* acc)> fn;
+  /// i8 output buffer the epilogue writes, laid out out[row * row_stride +
+  /// col] (row_stride in elements, normally the GEMM n). Optional, but when
+  /// set the driver feeds the written bytes through the cache model and
+  /// registers the region with an active verifier, so the fused path's
+  /// store traffic is measured, not asserted.
+  i8* out_base = nullptr;
+  i64 row_stride = 0;
+  i64 out_rows = 0;  ///< rows the epilogue covers (region registration)
 };
 
 struct GemmOptions {
@@ -69,6 +94,9 @@ struct GemmOptions {
   /// one Kc x Nc B block at a time and accumulates partial-K products into
   /// C — bit-exact with the unblocked sweep. Ignored by kTraditional.
   GemmBlocking blocking;
+  /// Fused epilogue (blocked driver only): invoked on each C row segment
+  /// right after its final Kc accumulation. nullptr = no epilogue.
+  const TileEpilogue* epilogue = nullptr;
 };
 
 struct GemmStats {
@@ -102,16 +130,18 @@ GemmStats gemm_s8s32_sdot_prepacked(const SdotAPanels& pa, const i8* b,
 /// Fused-pack blocked conv GEMM: C[M x N] = A * im2col(input), where the
 /// im2col matrix is never materialized — each Kc x Nc B block is gathered
 /// straight from `input` (pack_b_panels_from_conv) into an L1-resident
-/// scratch block. Requires opt.blocking.enabled(); geometry (m, n, k) is
-/// the GEMM view of `s`, whose batch must match `input`. Bit-exact with
-/// running gemm_s8s32_prepacked over a materialized im2col matrix.
+/// scratch block. `input` is the raw NCHW i8 activation buffer of
+/// s.batch * s.in_c * s.in_h * s.in_w elements (a Tensor's data() or a
+/// graph arena slot). Requires opt.blocking.enabled(); geometry (m, n, k)
+/// is the GEMM view of `s`. Bit-exact with running gemm_s8s32_prepacked
+/// over a materialized im2col matrix.
 GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
-                                const Tensor<i8>& input, i32* c,
+                                const i8* input, i32* c,
                                 const GemmOptions& opt);
 
 /// SDOT variant of the fused-pack blocked conv GEMM.
 GemmStats gemm_s8s32_sdot_conv_fused(const SdotAPanels& pa, const ConvShape& s,
-                                     const Tensor<i8>& input, i32* c,
+                                     const i8* input, i32* c,
                                      const GemmOptions& opt);
 
 /// Traditional GEMM used by the ablation bench (declared here, defined in

@@ -281,10 +281,10 @@ BPanels pack_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i64 k0,
 }
 
 BPanels pack_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
-                                const Tensor<i8>& input, i64 k0, i64 kc,
+                                const i8* input, i64 k0, i64 kc,
                                 i64 n0, i64 nc, i8* dst) {
   const i64 nc_pad = round_up(nc, kNr);
-  const i8* in = input.data();
+  const i8* in = input;
   for (i64 q = 0; q < nc_pad / kNr; ++q) {
     i8* panel = dst + q * kc * kNr;
     for (i64 kk = 0; kk < kc; ++kk)
@@ -296,8 +296,8 @@ BPanels pack_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
   }
   tally_pack_im2col_gather(ctx, nc_pad * kc);
   if (ctx) {
-    ensure_pack_regions(ctx, in, input.elems(), "conv input", dst,
-                        nc_pad * kc, "packed B block");
+    ensure_pack_regions(ctx, in, s.batch * s.in_c * s.in_h * s.in_w,
+                        "conv input", dst, nc_pad * kc, "packed B block");
     touch_conv_gather(ctx, s, in, k0, kc, n0, nc);
     ctx->mem_range(dst, static_cast<u64>(nc_pad * kc));
   }
@@ -335,11 +335,11 @@ SdotBPanels pack_sdot_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k,
 }
 
 SdotBPanels pack_sdot_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
-                                         const Tensor<i8>& input, i64 k0,
+                                         const i8* input, i64 k0,
                                          i64 kc, i64 n0, i64 nc, i8* dst) {
   const i64 nc_pad = round_up(nc, kNr);
   const i64 kc_pad = round_up(kc, 4);
-  const i8* in = input.data();
+  const i8* in = input;
   for (i64 q = 0; q < nc_pad / kNr; ++q) {
     i8* panel = dst + q * kc_pad * kNr;
     for (i64 ks = 0; ks < kc_pad / 4; ++ks)
@@ -353,8 +353,8 @@ SdotBPanels pack_sdot_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
   }
   tally_pack_im2col_gather(ctx, nc_pad * kc_pad);
   if (ctx) {
-    ensure_pack_regions(ctx, in, input.elems(), "conv input", dst,
-                        nc_pad * kc_pad, "packed B block");
+    ensure_pack_regions(ctx, in, s.batch * s.in_c * s.in_h * s.in_w,
+                        "conv input", dst, nc_pad * kc_pad, "packed B block");
     touch_conv_gather(ctx, s, in, k0, kc, n0, nc);
     ctx->mem_range(dst, static_cast<u64>(nc_pad * kc_pad));
   }

@@ -110,11 +110,13 @@ BPanels pack_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k, i64 n, i64 k0,
 
 /// Fused im2col packing (paper Sec. 3.2 + cache blocking): gather the
 /// im2col rows [k0, k0+kc) for output columns [n0, n0+nc) straight from
-/// the input tensor into packed-B panel layout. Out-of-image taps and
-/// columns beyond nc are zero-filled, so the result is byte-identical to
-/// pack_b_block_into over a materialized im2col matrix.
+/// the input activations (raw NCHW i8 buffer of s.batch * s.in_c * s.in_h
+/// * s.in_w elements — a Tensor's data() or a graph arena slot) into
+/// packed-B panel layout. Out-of-image taps and columns beyond nc are
+/// zero-filled, so the result is byte-identical to pack_b_block_into over
+/// a materialized im2col matrix.
 BPanels pack_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
-                                const Tensor<i8>& input, i64 k0, i64 kc,
+                                const i8* input, i64 k0, i64 kc,
                                 i64 n0, i64 nc, i8* dst);
 
 // SDOT-layout blocked variants are declared below SdotBPanels.
@@ -180,7 +182,7 @@ SdotBPanels pack_sdot_b_block_into(armsim::Ctx* ctx, const i8* b, i64 k,
                                    i64 n, i64 k0, i64 kc, i64 n0, i64 nc,
                                    i8* dst);
 SdotBPanels pack_sdot_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
-                                         const Tensor<i8>& input, i64 k0,
+                                         const i8* input, i64 k0,
                                          i64 kc, i64 n0, i64 nc, i8* dst);
 
 /// Legacy one-shot packing of both operands (ablation benches and tests).

@@ -1,0 +1,408 @@
+#include "core/graph_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "armsim/cost_model.h"
+#include "common/status.h"
+
+namespace lbc::core {
+namespace {
+
+// Analytic cost of the separate requantize pass an UNFUSED conv pays: the
+// i32 accumulator tensor is stored by the GEMM writeback, streamed back in,
+// requantized, and the int8 result stored. The fused epilogue pays only
+// the in-cache requant math + int8 store (tallied by the blocked driver),
+// so this charge is exactly the round trip fusion elides.
+double unfused_epilogue_seconds(i64 m, i64 n) {
+  armsim::Counters c;
+  const u64 elems = static_cast<u64>(m * n);
+  c[armsim::Op::kLd1] += (elems + 3) / 4;    // reload i32 accumulators
+  c[armsim::Op::kSt1] += (elems + 15) / 16;  // store int8 activations
+  c[armsim::Op::kScalar] += 2 * elems;       // requant math (same as fused)
+  // The accumulator tensor left L1 between writeback and requant for all
+  // but the smallest layers; charge its line traffic once.
+  c[armsim::Op::kL1Miss] += (elems * 4 + 63) / 64;
+  return armsim::CostModel::cortex_a53().seconds_for(c,
+                                                     /*interleaved=*/false);
+}
+
+// Mirror of execute_conv_fused's precondition: only the blocked fused-pack
+// GEMM rung has the TileEpilogue hook.
+bool fuse_eligible(const armkern::ArmConvPlan& p) {
+  return p.algo == armkern::ConvAlgo::kGemm && p.blocking.enabled() &&
+         p.kernel != armkern::ArmKernel::kTraditional && p.shape.batch == 1;
+}
+
+bool same_blocking(const armkern::GemmBlocking& a,
+                   const armkern::GemmBlocking& b) {
+  return a.mc == b.mc && a.kc == b.kc && a.nc == b.nc;
+}
+
+}  // namespace
+
+StatusOr<GraphPlan> GraphPlan::compile(const QnnGraph& g,
+                                       const GraphPlanOptions& opt) {
+  LBC_VALIDATE(!g.nodes_.empty(), kInvalidArgument, "compile: empty graph");
+  LBC_VALIDATE(g.calibrated_, kFailedPrecondition,
+               "compile: call calibrate() first");
+  LBC_VALIDATE(opt.threads >= 1 && opt.threads <= 64, kInvalidArgument,
+               "compile: threads " << opt.threads << " outside [1, 64]");
+
+  GraphPlan plan;
+  const size_t n_nodes = g.nodes_.size();
+  plan.nodes_.resize(n_nodes);
+
+  std::vector<std::vector<int>> consumers(n_nodes);
+  for (size_t i = 0; i < n_nodes; ++i) {
+    const QnnGraph::Node& n = g.nodes_[i];
+    if (n.src0 >= 0) consumers[static_cast<size_t>(n.src0)].push_back(
+        static_cast<int>(i));
+    if (n.src1 >= 0) consumers[static_cast<size_t>(n.src1)].push_back(
+        static_cast<int>(i));
+  }
+
+  // ---- per-node plans (convs planned with the memoized per-layer search
+  // first; the joint pass below replans the layers it moves) --------------
+  for (size_t i = 0; i < n_nodes; ++i) {
+    const QnnGraph::Node& n = g.nodes_[i];
+    NodePlan& p = plan.nodes_[i];
+    p.src0 = n.src0;
+    p.src1 = n.src1;
+    p.out_shape = n.out_shape;
+    p.bits = n.bits;
+    p.act_bits = n.act_bits;
+    p.relu = n.relu;
+    p.scheme = n.scheme;
+    switch (n.kind) {
+      case QnnGraph::Kind::kInput:
+        p.kind = NodeKind::kInput;
+        break;
+      case QnnGraph::Kind::kConv: {
+        p.kind = NodeKind::kConv;
+        ++plan.conv_nodes_;
+        armkern::ArmConvOptions copt;
+        copt.bits = n.bits;
+        copt.algo = opt.algo;
+        copt.threads = opt.threads;
+        LBC_ASSIGN_OR_RETURN(armkern::ArmConvPlan cp,
+                             armkern::plan_conv(n.conv, n.weight_q, copt));
+        p.conv = std::make_shared<const armkern::ArmConvPlan>(std::move(cp));
+        p.gemm_m = n.conv.gemm_m();
+        p.gemm_n = n.conv.gemm_n();
+        const QnnGraph::Node& src = g.nodes_[static_cast<size_t>(n.src0)];
+        const float acc_scale = src.scheme.scale * n.weight_scheme.scale;
+        p.bias_q.assign(static_cast<size_t>(n.conv.out_c), 0);
+        for (size_t c = 0; c < n.bias_f.size(); ++c)
+          p.bias_q[c] =
+              static_cast<i32>(std::lround(n.bias_f[c] / acc_scale));
+        p.rq = quant::make_requant(src.scheme, n.weight_scheme, n.scheme,
+                                   n.relu);
+        break;
+      }
+      case QnnGraph::Kind::kAdd: {
+        p.kind = NodeKind::kAdd;
+        const QnnGraph::Node& a = g.nodes_[static_cast<size_t>(n.src0)];
+        const QnnGraph::Node& b = g.nodes_[static_cast<size_t>(n.src1)];
+        p.ma = quant::make_multiplier(static_cast<double>(a.scheme.scale) /
+                                      n.scheme.scale);
+        p.mb = quant::make_multiplier(static_cast<double>(b.scheme.scale) /
+                                      n.scheme.scale);
+        p.clamp = quant::clamp_for(n.act_bits, n.relu);
+        break;
+      }
+      case QnnGraph::Kind::kMaxPool2:
+        p.kind = NodeKind::kMaxPool2;
+        break;
+      case QnnGraph::Kind::kGlobalAvgPool: {
+        p.kind = NodeKind::kGlobalAvgPool;
+        const QnnGraph::Node& src = g.nodes_[static_cast<size_t>(n.src0)];
+        const i64 hw = src.out_shape.h * src.out_shape.w;
+        p.gap_m = quant::make_multiplier(
+            static_cast<double>(src.scheme.scale) /
+            (static_cast<double>(hw) * n.scheme.scale));
+        break;
+      }
+    }
+  }
+
+  // ---- joint whole-net blocking over the fused conv chain ---------------
+  std::vector<int> chain;
+  std::vector<armkern::GraphSearchLayer> layers;
+  for (size_t i = 0; i < n_nodes; ++i) {
+    const NodePlan& p = plan.nodes_[i];
+    if (p.kind == NodeKind::kConv && fuse_eligible(*p.conv)) {
+      chain.push_back(static_cast<int>(i));
+      layers.push_back(
+          armkern::GraphSearchLayer{p.conv->shape, p.bits, p.conv->kernel});
+    }
+  }
+  plan.graph_hash_ =
+      layers.empty() ? 0 : armkern::graph_blocking_hash(layers);
+
+  if (opt.joint_search && opt.fusion == FusionMode::kOn && !layers.empty()) {
+    std::vector<gpukern::ArmBlocking> rows;
+    const auto run_search = [&layers] {
+      const armkern::GraphSearchResult r =
+          armkern::search_graph_blocking(layers);
+      std::vector<gpukern::ArmBlocking> out;
+      out.reserve(r.blocking.size());
+      for (const armkern::GemmBlocking& b : r.blocking)
+        out.push_back(gpukern::ArmBlocking{b.mc, b.kc, b.nc});
+      return out;
+    };
+    if (opt.tuning != nullptr)
+      rows = opt.tuning->get_or_search_graph(
+          plan.graph_hash_, static_cast<int>(layers.size()), run_search);
+    else
+      rows = run_search();
+    LBC_VALIDATE(rows.size() == layers.size(), kInternal,
+                 "joint search returned " << rows.size() << " layers, want "
+                                          << layers.size());
+
+    std::vector<armkern::GemmBlocking> joint, greedy;
+    for (size_t j = 0; j < layers.size(); ++j) {
+      joint.push_back(
+          armkern::GemmBlocking{rows[j].mc, rows[j].kc, rows[j].nc});
+      greedy.push_back(armkern::search_blocking(
+          layers[j].shape, layers[j].bits, layers[j].kernel));
+    }
+    // Both assignments priced under the SAME chained objective, so
+    // greedy - joint is exactly the margin graph-level planning buys.
+    plan.joint_cycles_ = armkern::score_graph_blocking(layers, joint);
+    plan.greedy_cycles_ = armkern::score_graph_blocking(layers, greedy);
+
+    for (size_t j = 0; j < chain.size(); ++j) {
+      NodePlan& p = plan.nodes_[static_cast<size_t>(chain[j])];
+      if (same_blocking(p.conv->blocking, joint[j])) continue;
+      armkern::ArmConvOptions copt = p.conv->requested;
+      copt.blocking = armkern::BlockingPolicy::kExplicit;
+      copt.explicit_blocking = joint[j];
+      const QnnGraph::Node& n = g.nodes_[static_cast<size_t>(chain[j])];
+      LBC_ASSIGN_OR_RETURN(armkern::ArmConvPlan cp,
+                           armkern::plan_conv(n.conv, n.weight_q, copt));
+      p.conv = std::make_shared<const armkern::ArmConvPlan>(std::move(cp));
+    }
+  }
+
+  // ---- epilogue fusion pairing ------------------------------------------
+  if (opt.fusion == FusionMode::kOn) {
+    for (NodePlan& p : plan.nodes_)
+      if (p.kind == NodeKind::kConv && fuse_eligible(*p.conv)) {
+        p.fused = true;
+        ++plan.fused_convs_;
+      }
+    // A residual add folds into its LATER conv operand: at that conv's
+    // execution the other operand's activation is already resident, so the
+    // epilogue can rescale both into the add's scheme and write the add
+    // node's slot directly. Requires the conv to feed only this add.
+    for (size_t i = 0; i < n_nodes; ++i) {
+      NodePlan& a = plan.nodes_[i];
+      if (a.kind != NodeKind::kAdd || a.src0 == a.src1) continue;
+      const int c = std::max(a.src0, a.src1);
+      NodePlan& pc = plan.nodes_[static_cast<size_t>(c)];
+      if (!(pc.kind == NodeKind::kConv && pc.fused && pc.fused_add < 0))
+        continue;
+      const auto& cons = consumers[static_cast<size_t>(c)];
+      if (cons.size() != 1 || cons[0] != static_cast<int>(i)) continue;
+      pc.fused_add = static_cast<int>(i);
+      a.fused_into = c;
+      ++plan.fused_adds_;
+    }
+  }
+
+  // ---- liveness analysis + first-fit slot assignment --------------------
+  // def[i] = when the slot is first written (the producing conv for a
+  // fused add); last[i] = the last node that reads it. First-fit packs
+  // slots whose lifetimes overlap into disjoint offsets.
+  std::vector<int> def(n_nodes), last(n_nodes);
+  for (size_t i = 0; i < n_nodes; ++i) {
+    const NodePlan& p = plan.nodes_[i];
+    def[i] = p.fused_into >= 0 ? p.fused_into : static_cast<int>(i);
+    last[i] = static_cast<int>(i);
+    for (int c : consumers[i]) last[i] = std::max(last[i], c);
+  }
+  struct Placed {
+    i64 off, bytes;
+    int def, last;
+  };
+  std::vector<Placed> placed;
+  for (size_t i = 0; i < n_nodes; ++i) {
+    NodePlan& p = plan.nodes_[i];
+    if (p.kind == NodeKind::kConv && p.fused_add >= 0) continue;  // no slot
+    const i64 bytes = workspace_rounded(p.out_shape.elems());
+    std::vector<const Placed*> live;
+    for (const Placed& q : placed)
+      if (def[i] <= q.last && q.def <= last[i]) live.push_back(&q);
+    std::sort(live.begin(), live.end(),
+              [](const Placed* a, const Placed* b) { return a->off < b->off; });
+    i64 off = 0;
+    for (const Placed* q : live) {
+      if (off + bytes <= q->off) break;
+      off = std::max(off, q->off + q->bytes);
+    }
+    p.out_offset = off;
+    p.out_bytes = bytes;
+    placed.push_back(Placed{off, bytes, def[i], last[i]});
+    plan.activation_bytes_ =
+        std::max(plan.activation_bytes_, off + bytes);
+  }
+
+  i64 peak_scratch = 0;
+  for (const NodePlan& p : plan.nodes_)
+    if (p.kind == NodeKind::kConv && p.fused)
+      peak_scratch = std::max(
+          peak_scratch, p.conv->workspace_bytes(1) +
+                            workspace_rounded(p.gemm_m * p.gemm_n * 4));
+  plan.arena_reserve_bytes_ = plan.activation_bytes_ + peak_scratch;
+  for (const NodePlan& p : plan.nodes_)
+    if (p.kind == NodeKind::kConv)
+      plan.packed_weight_bytes_ += p.conv->packed_weight_bytes;
+  return plan;
+}
+
+StatusOr<QnnGraph::RunResult> GraphPlan::forward(const Tensor<float>& x,
+                                                 Workspace& arena,
+                                                 Workspace& scratch) const {
+  QnnGraph::RunResult res;
+  res.node_seconds.resize(nodes_.size(), 0.0);
+  arena.reset();
+  arena.reserve(arena_reserve_bytes_);
+  i8* base = static_cast<i8*>(arena.alloc(activation_bytes_));
+
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const NodePlan& n = nodes_[i];
+    i8* out = n.out_offset >= 0 ? base + n.out_offset : nullptr;
+    switch (n.kind) {
+      case NodeKind::kInput: {
+        LBC_VALIDATE(x.shape() == n.out_shape, kInvalidArgument,
+                     "forward: input shape does not match input node");
+        const Tensor<i8> q = quant::quantize(x, n.scheme);
+        std::memcpy(out, q.data(), static_cast<size_t>(q.elems()));
+        break;
+      }
+      case NodeKind::kConv: {
+        const NodePlan& src = nodes_[static_cast<size_t>(n.src0)];
+        const i8* in = base + src.out_offset;
+        if (n.fused) {
+          const Workspace::Mark m = arena.mark();
+          i32* c = arena.alloc_n<i32>(n.gemm_m * n.gemm_n);
+          i8* dst = out;
+          const i8* other = nullptr;
+          quant::FixedPointMultiplier m_self{}, m_other{};
+          quant::ClampRange aclamp{};
+          if (n.fused_add >= 0) {
+            const NodePlan& a = nodes_[static_cast<size_t>(n.fused_add)];
+            const bool self_is_a = a.src0 == static_cast<int>(i);
+            const int o = self_is_a ? a.src1 : a.src0;
+            dst = base + a.out_offset;
+            other = base + nodes_[static_cast<size_t>(o)].out_offset;
+            m_self = self_is_a ? a.ma : a.mb;
+            m_other = self_is_a ? a.mb : a.ma;
+            aclamp = a.clamp;
+          }
+          armkern::TileEpilogue epi;
+          epi.out_base = dst;
+          epi.row_stride = n.gemm_n;
+          epi.out_rows = n.gemm_m;
+          const i32* bias = n.bias_q.data();
+          const quant::RequantParams rq = n.rq;
+          const i64 nn = n.gemm_n;
+          if (n.fused_add < 0) {
+            epi.fn = [dst, bias, rq, nn](i64 row, i64 col0, i64 cols,
+                                         const i32* acc) {
+              i8* d = dst + row * nn + col0;
+              const i32 b = bias[row];
+              for (i64 j = 0; j < cols; ++j)
+                d[j] = quant::requantize_one(acc[j] + b, rq);
+            };
+          } else {
+            epi.fn = [dst, other, bias, rq, nn, m_self, m_other, aclamp](
+                         i64 row, i64 col0, i64 cols, const i32* acc) {
+              i8* d = dst + row * nn + col0;
+              const i8* oth = other + row * nn + col0;
+              const i32 b = bias[row];
+              for (i64 j = 0; j < cols; ++j) {
+                const i8 qs = quant::requantize_one(acc[j] + b, rq);
+                const i32 v = quant::apply_multiplier(qs, m_self) +
+                              quant::apply_multiplier(oth[j], m_other);
+                d[j] = clamp_to<i8>(v, aclamp.lo, aclamp.hi);
+              }
+            };
+          }
+          LBC_ASSIGN_OR_RETURN(
+              const armkern::FusedConvResult r,
+              armkern::execute_conv_fused(*n.conv, in, c, epi, arena));
+          res.node_seconds[i] = r.seconds;
+          res.seconds += r.seconds;
+          arena.rewind(m);
+        } else {
+          // Non-fuseable rung (winograd / bitserial / unblocked / fusion
+          // off): per-layer execute against the separate scratch arena
+          // (execute_conv resets it), then the standalone requant pass —
+          // charged its analytic epilogue cost for a fair comparison.
+          Tensor<i8> tin(src.out_shape);
+          std::memcpy(tin.data(), in, static_cast<size_t>(tin.elems()));
+          LBC_ASSIGN_OR_RETURN(const armkern::ArmConvResult r,
+                               armkern::execute_conv(*n.conv, tin, scratch));
+          const Tensor<i8> q = quant::requantize(r.out, n.bias_q, n.rq);
+          std::memcpy(out, q.data(), static_cast<size_t>(q.elems()));
+          const double s =
+              r.seconds + unfused_epilogue_seconds(n.gemm_m, n.gemm_n);
+          res.node_seconds[i] = s;
+          res.seconds += s;
+        }
+        break;
+      }
+      case NodeKind::kAdd: {
+        if (n.fused_into >= 0) break;  // producer conv wrote this slot
+        const i8* a = base + nodes_[static_cast<size_t>(n.src0)].out_offset;
+        const i8* b = base + nodes_[static_cast<size_t>(n.src1)].out_offset;
+        const i64 elems = n.out_shape.elems();
+        for (i64 j = 0; j < elems; ++j) {
+          const i32 v = quant::apply_multiplier(a[j], n.ma) +
+                        quant::apply_multiplier(b[j], n.mb);
+          out[j] = clamp_to<i8>(v, n.clamp.lo, n.clamp.hi);
+        }
+        break;
+      }
+      case NodeKind::kMaxPool2: {
+        const NodePlan& src = nodes_[static_cast<size_t>(n.src0)];
+        const i8* a = base + src.out_offset;
+        const i64 ih = src.out_shape.h, iw = src.out_shape.w;
+        const i64 oh = n.out_shape.h, ow = n.out_shape.w;
+        for (i64 ch = 0; ch < n.out_shape.c; ++ch)
+          for (i64 h = 0; h < oh; ++h)
+            for (i64 w = 0; w < ow; ++w) {
+              const i8* r0 = a + (ch * ih + 2 * h) * iw + 2 * w;
+              const i8* r1 = r0 + iw;
+              out[(ch * oh + h) * ow + w] =
+                  std::max(std::max(r0[0], r0[1]), std::max(r1[0], r1[1]));
+            }
+        break;
+      }
+      case NodeKind::kGlobalAvgPool: {
+        const NodePlan& src = nodes_[static_cast<size_t>(n.src0)];
+        const i8* a = base + src.out_offset;
+        const i64 hw = src.out_shape.h * src.out_shape.w;
+        for (i64 ch = 0; ch < n.out_shape.c; ++ch) {
+          i32 sum = 0;
+          for (i64 j = 0; j < hw; ++j) sum += a[ch * hw + j];
+          out[ch] = clamp_to<i8>(quant::apply_multiplier(sum, n.gap_m),
+                                 n.scheme.qmin(), n.scheme.qmax());
+        }
+        break;
+      }
+    }
+  }
+
+  const NodePlan& last = nodes_.back();
+  Tensor<i8> qout(last.out_shape);
+  std::memcpy(qout.data(), base + last.out_offset,
+              static_cast<size_t>(qout.elems()));
+  res.out = quant::dequantize(qout, last.scheme);
+  return res;
+}
+
+}  // namespace lbc::core

@@ -22,6 +22,9 @@ namespace lbc::core {
 struct LayerRun {
   std::string name;
   double seconds = 0;
+  /// Measured wall-clock nanoseconds of the conv (Backend::kNativeHost
+  /// only; 0 on the modeled backends, whose `seconds` is the cost model).
+  double measured_ns = 0;
   bool verified = false;  ///< bit-exact vs reference conv (if checked)
   std::string requested_impl;  ///< impl the caller asked for
   std::string executed_algo;   ///< kernel rung that actually ran (ARM)
@@ -32,6 +35,9 @@ struct LayerRun {
 struct ModelRunReport {
   std::vector<LayerRun> layers;
   double total_seconds = 0;
+  /// Sum of LayerRun::measured_ns — the wall-clock story of a native-host
+  /// run (0 on modeled backends).
+  double total_measured_ns = 0;
   i64 total_macs = 0;
   int fallback_layers = 0;  ///< layers that ran, but on a degraded kernel
   int error_layers = 0;     ///< layers that could not run at all
@@ -46,6 +52,10 @@ struct ModelRunOptions {
   int threads = 1;      ///< ARM row-panel workers (Pi 3B has 4 cores)
   int batch = 1;        ///< micro-batch: every layer runs with this batch
   bool verify = false;  ///< run the reference conv per layer (slow)
+  /// ARM backend: pick every blocked-GEMM layer's {Mc, Kc, Nc} with the
+  /// whole-net joint search (armkern::search_graph_blocking) instead of
+  /// per-layer winners — the layer table is treated as a chain.
+  bool joint_blocking = true;
   u64 seed = 1;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "core/graph_plan.h"
 #include "refconv/conv_ref.h"
 
 namespace lbc::core {
@@ -27,6 +28,7 @@ Tensor<float> relu_f(const Tensor<float>& x) {
 QnnGraph::NodeId QnnGraph::push(Node n) {
   nodes_.push_back(std::move(n));
   calibrated_ = false;
+  plans_.clear();
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -174,7 +176,18 @@ Tensor<float> QnnGraph::forward_fp32(const Tensor<float>& x) const {
   return acts.back();
 }
 
-void QnnGraph::calibrate(const Tensor<float>& x) {
+Status QnnGraph::calibrate(const Tensor<float>& x) {
+  LBC_VALIDATE(!nodes_.empty(), kInvalidArgument,
+               "calibrate: graph has no nodes");
+  LBC_VALIDATE(nodes_.front().kind == Kind::kInput, kInvalidArgument,
+               "calibrate: graph must start with an input node");
+  LBC_VALIDATE(x.shape() == nodes_.front().out_shape, kInvalidArgument,
+               "calibrate: input tensor does not match the input node");
+  for (float v : x.span())
+    LBC_VALIDATE(std::isfinite(v), kInvalidArgument,
+                 "calibrate: non-finite calibration value");
+  plans_.clear();
+
   // A node feeding a lower-bit consumer must already emit activations in
   // that consumer's range (the paper's QNNs quantize both operands of a
   // b-bit conv to b bits), so propagate consumer bit widths backwards.
@@ -204,8 +217,9 @@ void QnnGraph::calibrate(const Tensor<float>& x) {
               for (i64 w = 0; w < y.shape().w; ++w)
                 y.at(0, c, h, w) += n.bias_f[static_cast<size_t>(c)];
         acts[i] = n.relu ? relu_f(y) : y;
-        n.weight_scheme =
-            quant::choose_scheme(tensor_absmax(n.weight_f), n.bits).value();
+        LBC_ASSIGN_OR_RETURN(
+            n.weight_scheme,
+            quant::choose_scheme(tensor_absmax(n.weight_f), n.bits));
         n.weight_q = quant::quantize(n.weight_f, n.weight_scheme);
         break;
       }
@@ -249,10 +263,12 @@ void QnnGraph::calibrate(const Tensor<float>& x) {
         break;
       }
     }
-    n.scheme = quant::choose_scheme(tensor_absmax(acts[i]), n.act_bits).value();
+    LBC_ASSIGN_OR_RETURN(
+        n.scheme, quant::choose_scheme(tensor_absmax(acts[i]), n.act_bits));
     n.calibrated = true;
   }
   calibrated_ = true;
+  return Status();
 }
 
 // ---------------------------------------------------------------------------
@@ -262,98 +278,19 @@ void QnnGraph::calibrate(const Tensor<float>& x) {
 QnnGraph::RunResult QnnGraph::forward(const Tensor<float>& x,
                                       armkern::ConvAlgo algo) const {
   LBC_CHECK_MSG(calibrated_, "forward: call calibrate() first");
-  RunResult res;
-  res.node_seconds.resize(nodes_.size(), 0.0);
-  std::vector<Tensor<i8>> acts(nodes_.size());
-
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    switch (n.kind) {
-      case Kind::kInput:
-        acts[i] = quant::quantize(x, n.scheme);
-        break;
-      case Kind::kConv: {
-        const Node& src = at(n.src0);
-        armkern::ArmConvOptions opt;
-        opt.bits = n.bits;
-        opt.algo = algo;
-        // Graph construction already validated the conv; a failure here is
-        // a programming error, so .value() (fatal, defined) is correct.
-        const armkern::ArmConvResult r =
-            armkern::conv2d_s32(n.conv, acts[static_cast<size_t>(n.src0)],
-                                n.weight_q, opt)
-                .value();
-        res.node_seconds[i] = r.seconds;
-        res.seconds += r.seconds;
-        // Fold bias into the int32 domain, then re-quantize (+fused ReLU).
-        const float acc_scale = src.scheme.scale * n.weight_scheme.scale;
-        std::vector<i32> bias_q(static_cast<size_t>(n.conv.out_c), 0);
-        for (size_t c = 0; c < n.bias_f.size(); ++c)
-          bias_q[c] = static_cast<i32>(std::lround(n.bias_f[c] / acc_scale));
-        const quant::RequantParams rq =
-            quant::make_requant(src.scheme, n.weight_scheme, n.scheme, n.relu);
-        acts[i] = quant::requantize(r.out, bias_q, rq);
-        break;
-      }
-      case Kind::kAdd: {
-        const Node& a = at(n.src0);
-        const Node& b = at(n.src1);
-        const quant::FixedPointMultiplier ma = quant::make_multiplier(
-            static_cast<double>(a.scheme.scale) / n.scheme.scale);
-        const quant::FixedPointMultiplier mb = quant::make_multiplier(
-            static_cast<double>(b.scheme.scale) / n.scheme.scale);
-        const quant::ClampRange clamp = quant::clamp_for(n.act_bits, n.relu);
-        const Tensor<i8>& qa = acts[static_cast<size_t>(n.src0)];
-        const Tensor<i8>& qb = acts[static_cast<size_t>(n.src1)];
-        Tensor<i8> y(n.out_shape);
-        for (i64 j = 0; j < y.elems(); ++j) {
-          const i32 v = quant::apply_multiplier(qa.data()[j], ma) +
-                        quant::apply_multiplier(qb.data()[j], mb);
-          y.data()[j] = clamp_to<i8>(v, clamp.lo, clamp.hi);
-        }
-        acts[i] = y;
-        break;
-      }
-      case Kind::kMaxPool2: {
-        // Max pooling commutes with the monotone dequantization, so it runs
-        // directly on the int8 values and keeps the source scheme...
-        // except calibration assigned this node its own scheme; since
-        // max(x) <= absmax(x), the source scheme is reused exactly.
-        const Tensor<i8>& a = acts[static_cast<size_t>(n.src0)];
-        Tensor<i8> y(n.out_shape);
-        for (i64 c = 0; c < y.shape().c; ++c)
-          for (i64 h = 0; h < y.shape().h; ++h)
-            for (i64 w = 0; w < y.shape().w; ++w)
-              y.at(0, c, h, w) = std::max(
-                  std::max(a.at(0, c, 2 * h, 2 * w), a.at(0, c, 2 * h, 2 * w + 1)),
-                  std::max(a.at(0, c, 2 * h + 1, 2 * w),
-                           a.at(0, c, 2 * h + 1, 2 * w + 1)));
-        acts[i] = y;
-        break;
-      }
-      case Kind::kGlobalAvgPool: {
-        const Node& src = at(n.src0);
-        const Tensor<i8>& a = acts[static_cast<size_t>(n.src0)];
-        const i64 hw = a.shape().h * a.shape().w;
-        // sum_q * s_src / hw = out_q * s_out  =>  multiplier per element.
-        const quant::FixedPointMultiplier m = quant::make_multiplier(
-            static_cast<double>(src.scheme.scale) /
-            (static_cast<double>(hw) * n.scheme.scale));
-        Tensor<i8> y(n.out_shape);
-        for (i64 c = 0; c < a.shape().c; ++c) {
-          i32 sum = 0;
-          for (i64 h = 0; h < a.shape().h; ++h)
-            for (i64 w = 0; w < a.shape().w; ++w) sum += a.at(0, c, h, w);
-          y.at(0, c, 0, 0) = clamp_to<i8>(quant::apply_multiplier(sum, m),
-                                          n.scheme.qmin(), n.scheme.qmax());
-        }
-        acts[i] = y;
-        break;
-      }
-    }
+  // Compile-once, execute-many: the whole net is compiled into a GraphPlan
+  // (fused epilogues + joint blocking + liveness-packed arena) the first
+  // time each algo is requested. Graph construction already validated the
+  // convs; a compile failure here is a programming error, so .value()
+  // (fatal, defined) is correct.
+  std::shared_ptr<const GraphPlan>& plan = plans_[static_cast<int>(algo)];
+  if (plan == nullptr) {
+    GraphPlanOptions opt;
+    opt.algo = algo;
+    plan = std::make_shared<const GraphPlan>(
+        GraphPlan::compile(*this, opt).value());
   }
-  res.out = quant::dequantize(acts.back(), nodes_.back().scheme);
-  return res;
+  return plan->forward(x, arena_, scratch_).value();
 }
 
 // ---------------------------------------------------------------------------

@@ -18,6 +18,8 @@
 //  * modeled latency aggregation per node.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,9 +27,12 @@
 #include "armkern/conv_arm.h"
 #include "common/conv_shape.h"
 #include "common/tensor.h"
+#include "common/workspace.h"
 #include "quant/quantize.h"
 
 namespace lbc::core {
+
+class GraphPlan;  // core/graph_plan.h
 
 class QnnGraph {
  public:
@@ -55,7 +60,11 @@ class QnnGraph {
 
   /// Record activation schemes from a fp32 forward pass. Must run once
   /// before forward(); uses the node bit widths given at construction.
-  void calibrate(const Tensor<float>& x);
+  /// Errors (clean Status, never UB): kInvalidArgument on an empty graph,
+  /// an input tensor that does not match the input node, or non-finite
+  /// calibration values. An all-zero calibration input is NOT an error:
+  /// choose_scheme maps the degenerate absmax to the identity scale.
+  Status calibrate(const Tensor<float>& x);
 
   struct RunResult {
     Tensor<float> out;        ///< dequantized final activation
@@ -63,7 +72,11 @@ class QnnGraph {
     std::vector<double> node_seconds;
   };
 
-  /// Integer-only forward pass (requires calibrate()).
+  /// Integer-only forward pass (requires calibrate()). Executes through a
+  /// compiled, cached GraphPlan (core/graph_plan.h) with fused epilogues
+  /// on — the per-layer loop this method used to run is GraphPlan with
+  /// FusionMode::kOff. NOT thread-safe: the cached plan and its arenas are
+  /// single-owner (one QnnGraph per worker).
   RunResult forward(const Tensor<float>& x,
                     armkern::ConvAlgo algo = armkern::ConvAlgo::kAuto) const;
 
@@ -71,9 +84,12 @@ class QnnGraph {
   Tensor<float> forward_fp32(const Tensor<float>& x) const;
 
   i64 node_count() const { return static_cast<i64>(nodes_.size()); }
+  bool calibrated() const { return calibrated_; }
   Shape4 output_shape() const;
 
  private:
+  friend class GraphPlan;  // compiles the node list (core/graph_plan.h)
+
   enum class Kind { kInput, kConv, kAdd, kMaxPool2, kGlobalAvgPool };
 
   struct Node {
@@ -101,6 +117,13 @@ class QnnGraph {
 
   std::vector<Node> nodes_;
   bool calibrated_ = false;
+
+  // forward() caches one compiled GraphPlan per requested algo and reuses
+  // the arenas across calls (zero steady-state allocations on the fused
+  // path). Invalidated by push() and calibrate().
+  mutable std::map<int, std::shared_ptr<const GraphPlan>> plans_;
+  mutable Workspace arena_;
+  mutable Workspace scratch_;
 };
 
 /// A quantized ResNet bottleneck block (1x1 reduce -> 3x3 -> 1x1 expand,

@@ -168,9 +168,76 @@ void TuningCache::put_x86(const X86TuningKey& key, const X86Blocking& b) {
   x86_entries_[key] = b;
 }
 
+std::optional<std::vector<ArmBlocking>> TuningCache::lookup_graph(
+    u64 graph_hash, int n_layers) const {
+  if (n_layers <= 0) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ArmBlocking> plan;
+  plan.reserve(static_cast<size_t>(n_layers));
+  for (int layer = 0; layer < n_layers; ++layer) {
+    const auto it = graph_entries_.find(GraphTuningKey{graph_hash, layer});
+    if (it == graph_entries_.end()) return std::nullopt;
+    plan.push_back(it->second);
+  }
+  return plan;
+}
+
+std::vector<ArmBlocking> TuningCache::get_or_search_graph(
+    u64 graph_hash, int n_layers,
+    const std::function<std::vector<ArmBlocking>()>& search) {
+  if (n_layers > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ArmBlocking> plan;
+    plan.reserve(static_cast<size_t>(n_layers));
+    bool complete = true;
+    bool corrupt = false;
+    for (int layer = 0; layer < n_layers && complete && !corrupt; ++layer) {
+      const auto it = graph_entries_.find(GraphTuningKey{graph_hash, layer});
+      if (it == graph_entries_.end()) {
+        complete = false;
+        break;
+      }
+      ArmBlocking hit = it->second;
+      // kTuningCacheCorrupt: a poisoned graph row surfaces at lookup
+      // time, same recovery as the per-shape backends — but a joint plan
+      // is all-or-nothing, so one bad row re-searches the whole graph.
+      if (layer == 0 && FaultInjector::instance().should_fire(
+                            FaultSite::kTuningCacheCorrupt))
+        hit.mc = -7;
+      if (!validate_arm_blocking(hit).ok()) {
+        corrupt = true;
+        break;
+      }
+      plan.push_back(hit);
+    }
+    if (complete && !corrupt) {
+      ++hits_;
+      return plan;
+    }
+    if (corrupt) {
+      for (int layer = 0; layer < n_layers; ++layer)
+        graph_entries_.erase(GraphTuningKey{graph_hash, layer});
+      ++corrupt_evictions_;
+    }
+    ++misses_;
+  }
+  const std::vector<ArmBlocking> plan = search();
+  put_graph(graph_hash, plan);
+  return plan;
+}
+
+void TuningCache::put_graph(u64 graph_hash,
+                            const std::vector<ArmBlocking>& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t layer = 0; layer < plan.size(); ++layer)
+    graph_entries_[GraphTuningKey{graph_hash, static_cast<int>(layer)}] =
+        plan[layer];
+}
+
 size_t TuningCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size() + arm_entries_.size() + x86_entries_.size();
+  return entries_.size() + arm_entries_.size() + x86_entries_.size() +
+         graph_entries_.size();
 }
 
 size_t TuningCache::arm_size() const {
@@ -181,6 +248,11 @@ size_t TuningCache::arm_size() const {
 size_t TuningCache::x86_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return x86_entries_.size();
+}
+
+size_t TuningCache::graph_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_entries_.size();
 }
 
 i64 TuningCache::hits() const {
@@ -215,6 +287,9 @@ std::string TuningCache::serialize() const {
   for (const auto& [k, b] : x86_entries_)
     out << "x86 " << k.m << ' ' << k.n << ' ' << k.k << ' ' << k.bits << ' '
         << k.scheme << ' ' << b.rb << ' ' << b.cb << '\n';
+  for (const auto& [k, b] : graph_entries_)
+    out << "graph " << k.graph_hash << ' ' << k.layer << ' ' << b.mc << ' '
+        << b.kc << ' ' << b.nc << '\n';
   return out.str();
 }
 
@@ -225,9 +300,10 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
                "empty input: expected header \"" << kTuningCacheHeader << "\"");
   const bool v1 = (line == kTuningCacheHeaderV1);
   const bool v2 = (line == kTuningCacheHeaderV2);
-  LBC_VALIDATE(v1 || v2 || line == kTuningCacheHeader, kDataLoss,
+  const bool v3 = (line == kTuningCacheHeaderV3);
+  LBC_VALIDATE(v1 || v2 || v3 || line == kTuningCacheHeader, kDataLoss,
                "unsupported cache format: expected header \""
-                   << kTuningCacheHeader << "\" (or v2/v1), got \"" << line
+                   << kTuningCacheHeader << "\" (or v3/v2/v1), got \"" << line
                    << "\"");
 
   // Parse everything before merging anything: a corrupt line must not
@@ -235,6 +311,7 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
   std::vector<std::pair<TuningKey, Tiling>> parsed;
   std::vector<std::pair<ArmTuningKey, ArmBlocking>> parsed_arm;
   std::vector<std::pair<X86TuningKey, X86Blocking>> parsed_x86;
+  std::vector<std::pair<GraphTuningKey, ArmBlocking>> parsed_graph;
   int lineno = 1;
   while (std::getline(in, line)) {
     ++lineno;
@@ -243,15 +320,37 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
     std::string tag;
     if (line[0] == 'a' || line[0] == 'g' || line[0] == 'x') {
       ls >> tag;
-      LBC_VALIDATE(tag == "arm" || tag == "gpu" || tag == "x86", kDataLoss,
-                   "line " << lineno << ": unknown entry tag \"" << tag
-                           << "\"");
+      LBC_VALIDATE(
+          tag == "arm" || tag == "gpu" || tag == "x86" || tag == "graph",
+          kDataLoss,
+          "line " << lineno << ": unknown entry tag \"" << tag << "\"");
       LBC_VALIDATE(!v1 || tag == "gpu", kDataLoss,
                    "line " << lineno << ": " << tag
                            << " entry in a v1-headed cache file");
-      LBC_VALIDATE(!v2 || tag != "x86", kDataLoss,
+      LBC_VALIDATE(!v2 || (tag != "x86" && tag != "graph"), kDataLoss,
+                   "line " << lineno << ": " << tag
+                           << " entry in a v2-headed cache file");
+      LBC_VALIDATE(!v3 || tag != "graph", kDataLoss,
                    "line " << lineno
-                           << ": x86 entry in a v2-headed cache file");
+                           << ": graph entry in a v3-headed cache file");
+    }
+    if (tag == "graph") {
+      GraphTuningKey k;
+      ArmBlocking b;
+      LBC_VALIDATE(
+          static_cast<bool>(ls >> k.graph_hash >> k.layer >> b.mc >> b.kc >>
+                            b.nc),
+          kDataLoss, "line " << lineno << ": truncated or garbage entry");
+      std::string trailing;
+      LBC_VALIDATE(!(ls >> trailing), kDataLoss,
+                   "line " << lineno << ": trailing fields after entry");
+      LBC_VALIDATE(k.layer >= 0 && k.layer < 4096, kDataLoss,
+                   "line " << lineno << ": layer index " << k.layer
+                           << " outside [0, 4096)");
+      if (Status bs = validate_arm_blocking(b); !bs.ok())
+        return bs.with_context("line " + std::to_string(lineno));
+      parsed_graph.emplace_back(k, b);
+      continue;
     }
     if (tag == "x86") {
       X86TuningKey k;
@@ -324,8 +423,12 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
   for (const auto& [k, t] : parsed) put(k, t);
   for (const auto& [k, b] : parsed_arm) put_arm(k, b);
   for (const auto& [k, b] : parsed_x86) put_x86(k, b);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [k, b] : parsed_graph) graph_entries_[k] = b;
+  }
   return static_cast<int>(parsed.size() + parsed_arm.size() +
-                          parsed_x86.size());
+                          parsed_x86.size() + parsed_graph.size());
 }
 
 }  // namespace lbc::gpukern

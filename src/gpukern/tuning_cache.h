@@ -19,6 +19,13 @@
 // (hal/native_gemm.h) under the "x86" tag — the measured-nanosecond
 // search amortized across process runs the same way. v2 and v1 files
 // still load.
+//
+// Format v4 adds whole-graph joint ARM blockings under the "graph" tag:
+// one row per layer, keyed by armkern::graph_blocking_hash over the net's
+// (geometry, bits, scheme) sequence. The joint search prices layers
+// against a chained cache replay, so its winners are a property of the
+// whole net, not any single shape — hence the separate key space. v3 and
+// older files still load.
 #pragma once
 
 #include <functional>
@@ -26,6 +33,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "gpukern/autotune.h"
@@ -34,9 +42,11 @@ namespace lbc::gpukern {
 
 /// First line of every serialized cache. Bump the version when fields
 /// change so old readers reject new files instead of misparsing them.
-inline constexpr const char* kTuningCacheHeader = "lbc-tuning-cache v3";
+inline constexpr const char* kTuningCacheHeader = "lbc-tuning-cache v4";
 /// Previous formats — still readable. v1 carried GPU entries only (bare
-/// lines); v2 added "arm" entries; v3 adds "x86" entries.
+/// lines); v2 added "arm" entries; v3 added "x86" entries; v4 adds
+/// whole-graph "graph" entries.
+inline constexpr const char* kTuningCacheHeaderV3 = "lbc-tuning-cache v3";
 inline constexpr const char* kTuningCacheHeaderV2 = "lbc-tuning-cache v2";
 inline constexpr const char* kTuningCacheHeaderV1 = "lbc-tuning-cache v1";
 
@@ -84,6 +94,18 @@ struct X86Blocking {
   i64 rb = 0, cb = 0;
 
   auto operator<=>(const X86Blocking&) const = default;
+};
+
+/// Key of one layer of a whole-graph joint ARM plan. `graph_hash` is
+/// armkern::graph_blocking_hash over the net's (geometry, bits, scheme)
+/// sequence; `layer` is the layer's position in execution order. A joint
+/// plan is usable only when every layer row is present — lookup_graph
+/// treats a partial set as a miss.
+struct GraphTuningKey {
+  u64 graph_hash = 0;
+  int layer = 0;
+
+  auto operator<=>(const GraphTuningKey&) const = default;
 };
 
 /// Static sanity of a tiling (positive, bounded, divisible): the check a
@@ -140,9 +162,28 @@ class TuningCache {
 
   void put_x86(const X86TuningKey& key, const X86Blocking& b);
 
-  size_t size() const;      ///< GPU + ARM + x86 entries
+  // --- whole-graph joint ARM entries (format v4) ----------------------
+
+  /// The complete joint plan for a graph hash, if every one of its
+  /// `n_layers` layer rows is cached and valid. A partial or corrupt set
+  /// is a miss (corrupt rows are evicted; corrupt_evictions() counts).
+  std::optional<std::vector<ArmBlocking>> lookup_graph(u64 graph_hash,
+                                                       int n_layers) const;
+
+  /// Cached joint plan, invoking `search` (armkern::search_graph_blocking
+  /// behind a thunk — this layer stays ARM-free) and storing all layer
+  /// rows on a miss. All-or-nothing: a hit requires every layer row
+  /// present and valid, else the whole plan is re-searched.
+  std::vector<ArmBlocking> get_or_search_graph(
+      u64 graph_hash, int n_layers,
+      const std::function<std::vector<ArmBlocking>()>& search);
+
+  void put_graph(u64 graph_hash, const std::vector<ArmBlocking>& plan);
+
+  size_t size() const;      ///< GPU + ARM + x86 + graph entries
   size_t arm_size() const;  ///< ARM entries only
   size_t x86_size() const;  ///< native x86 entries only
+  size_t graph_size() const;  ///< whole-graph layer rows only
   // Stat reads take the mutex too: concurrent scheduler workers share one
   // cache, and an unlocked i64 read against a writer is a data race (TSan
   // flags it) even when the torn value would be harmless.
@@ -150,17 +191,18 @@ class TuningCache {
   i64 misses() const;
   i64 corrupt_evictions() const;
 
-  /// Text round trip. Format v3: the version header line, then one entry
+  /// Text round trip. Format v4: the version header line, then one entry
   /// per line — GPU entries bare ("m n k bits use_tc mtile ntile ktile
   /// kstep wr wc", v1-compatible body) or with an explicit "gpu " prefix,
   /// ARM entries "arm m n k bits scheme mc kc nc", native entries
-  /// "x86 m n k bits scheme rb cb".
+  /// "x86 m n k bits scheme rb cb", whole-graph joint entries
+  /// "graph hash layer mc kc nc".
   std::string serialize() const;
 
   /// Merge entries from serialized text; returns entries accepted.
-  /// Accepts the v3 header, and v2/v1-headed files for read compatibility
-  /// (an "x86" entry in a v2 or v1 file, or an "arm" entry in a v1 file,
-  /// is a kDataLoss error — those formats never carried them).
+  /// Accepts the v4 header, and v3/v2/v1-headed files for read
+  /// compatibility (a tag an older format never carried — "graph" in
+  /// v3/v2/v1, "x86" in v2/v1, "arm" in v1 — is a kDataLoss error).
   /// Strict: a missing/unknown header, a truncated or garbage line, or
   /// out-of-range tiling values yield a kDataLoss error naming the line,
   /// and NO entries are merged (all-or-nothing).
@@ -171,6 +213,7 @@ class TuningCache {
   std::map<TuningKey, Tiling> entries_;
   std::map<ArmTuningKey, ArmBlocking> arm_entries_;
   std::map<X86TuningKey, X86Blocking> x86_entries_;
+  std::map<GraphTuningKey, ArmBlocking> graph_entries_;
   i64 hits_ = 0, misses_ = 0, corrupt_evictions_ = 0;
 };
 

@@ -9,6 +9,8 @@
 #include <immintrin.h>
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 namespace lbc::hal {
 
@@ -36,75 +38,83 @@ void native_gemm_avx2_lut(const NativePackedA& pa, const i8* b, i32* c,
   const __m256i qvec = _mm256_set1_epi8(static_cast<char>(q));
   const i64 rb = std::max<i64>(blocking.rb, 1);
   const i64 cb = std::max<i64>(blocking.cb, 1);
+  // Staging for tail columns (N % 32 != 0): the tail's activation bytes
+  // are copied into a zero-padded k x 32 block once per column block and
+  // the full-width kernel runs over it. Padding with zero is value-safe:
+  // index 0 + q hits the LUT's w * 0 entry, so pad lanes accumulate 0.
+  std::vector<i8> stage;
   for (i64 j0 = 0; j0 < n; j0 += cb) {
     const i64 jend = std::min(n, j0 + cb);
     const i64 jvec_end = j0 + ((jend - j0) / 32) * 32;
+    const i64 tail_w = jend - jvec_end;
+    if (tail_w > 0) {
+      stage.assign(static_cast<size_t>(k) * 32, 0);
+      for (i64 kk = 0; kk < k; ++kk)
+        std::memcpy(stage.data() + kk * 32, b + kk * n + jvec_end,
+                    static_cast<size_t>(tail_w));
+    }
+    // One 32-column group: k pshufb rounds of `arow` against the activation
+    // block at `bcol` (row stride `bstride`), i32 results to out[0..31].
+    const auto lut_group32 = [&](const i8* arow, const i8* bcol, i64 bstride,
+                                 i32* out) {
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      __m256i s16lo = _mm256_setzero_si256();
+      __m256i s16hi = _mm256_setzero_si256();
+      const auto flush = [&]() {
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s16lo)));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s16lo, 1)));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s16hi)));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s16hi, 1)));
+        s16lo = _mm256_setzero_si256();
+        s16hi = _mm256_setzero_si256();
+      };
+      i64 pending = 0;
+      for (i64 kk = 0; kk < k; ++kk) {
+        // One pshufb = 32 products: the weight's table row against 32
+        // activation indices (value + qmax, low nibble in range).
+        const __m256i tbl = _mm256_broadcastsi128_si256(
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                lut + static_cast<u8>(arow[kk]) * 16)));
+        const __m256i bv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(bcol + kk * bstride));
+        const __m256i prod =
+            _mm256_shuffle_epi8(tbl, _mm256_add_epi8(bv, qvec));
+        s16lo = _mm256_add_epi16(
+            s16lo, _mm256_cvtepi8_epi16(_mm256_castsi256_si128(prod)));
+        s16hi = _mm256_add_epi16(
+            s16hi, _mm256_cvtepi8_epi16(_mm256_extracti128_si256(prod, 1)));
+        if (++pending == kLutFlushInterval) {
+          flush();
+          pending = 0;
+        }
+      }
+      if (pending != 0) flush();
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), acc0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8), acc1);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 16), acc2);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 24), acc3);
+    };
     for (i64 i0 = 0; i0 < m; i0 += rb) {
       const i64 iend = std::min(m, i0 + rb);
       for (i64 i = i0; i < iend; ++i) {
         const i8* arow = pa.row(i);  // table-row indices
         i32* crow = c + i * n;
-        for (i64 jg = j0; jg < jvec_end; jg += 32) {
-          __m256i acc0 = _mm256_setzero_si256();
-          __m256i acc1 = _mm256_setzero_si256();
-          __m256i acc2 = _mm256_setzero_si256();
-          __m256i acc3 = _mm256_setzero_si256();
-          __m256i s16lo = _mm256_setzero_si256();
-          __m256i s16hi = _mm256_setzero_si256();
-          const auto flush = [&]() {
-            acc0 = _mm256_add_epi32(
-                acc0, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s16lo)));
-            acc1 = _mm256_add_epi32(
-                acc1,
-                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s16lo, 1)));
-            acc2 = _mm256_add_epi32(
-                acc2, _mm256_cvtepi16_epi32(_mm256_castsi256_si128(s16hi)));
-            acc3 = _mm256_add_epi32(
-                acc3,
-                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(s16hi, 1)));
-            s16lo = _mm256_setzero_si256();
-            s16hi = _mm256_setzero_si256();
-          };
-          i64 pending = 0;
-          for (i64 kk = 0; kk < k; ++kk) {
-            // One pshufb = 32 products: the weight's table row against 32
-            // activation indices (value + qmax, low nibble in range).
-            const __m256i tbl = _mm256_broadcastsi128_si256(_mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(
-                    lut + static_cast<u8>(arow[kk]) * 16)));
-            const __m256i bv = _mm256_loadu_si256(
-                reinterpret_cast<const __m256i*>(b + kk * n + jg));
-            const __m256i prod =
-                _mm256_shuffle_epi8(tbl, _mm256_add_epi8(bv, qvec));
-            s16lo = _mm256_add_epi16(
-                s16lo, _mm256_cvtepi8_epi16(_mm256_castsi256_si128(prod)));
-            s16hi = _mm256_add_epi16(
-                s16hi,
-                _mm256_cvtepi8_epi16(_mm256_extracti128_si256(prod, 1)));
-            if (++pending == kLutFlushInterval) {
-              flush();
-              pending = 0;
-            }
-          }
-          if (pending != 0) flush();
-          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg), acc0);
-          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg + 8),
-                              acc1);
-          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg + 16),
-                              acc2);
-          _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + jg + 24),
-                              acc3);
-        }
-        // Tail columns: same pshufb semantics, scalar.
-        for (i64 j = jvec_end; j < jend; ++j) {
-          i32 acc = 0;
-          for (i64 kk = 0; kk < k; ++kk) {
-            const u8 idx = static_cast<u8>(
-                static_cast<i8>(b[kk * n + j] + static_cast<i8>(q)));
-            if ((idx & 0x80u) == 0)
-              acc += lut[static_cast<u8>(arow[kk]) * 16 + (idx & 0x0Fu)];
-          }
-          crow[j] = acc;
+        for (i64 jg = j0; jg < jvec_end; jg += 32)
+          lut_group32(arow, b + jg, n, crow + jg);
+        if (tail_w > 0) {
+          // Tail columns run the same vector kernel over the staged block;
+          // only the live lanes are written back.
+          alignas(32) i32 tail_c[32];
+          lut_group32(arow, stage.data(), 32, tail_c);
+          std::memcpy(crow + jvec_end, tail_c,
+                      static_cast<size_t>(tail_w) * sizeof(i32));
         }
       }
     }

@@ -5,6 +5,26 @@
 
 namespace lbc::serve {
 
+namespace {
+
+/// Fold the compile options into a nonzero graph hash: two models over the
+/// same fused chain share a compiled plan only when they would compile the
+/// SAME plan (fusion mode, algo, threads, joint search all agree).
+u64 graph_plan_key(u64 graph_hash, const core::GraphPlanOptions& o) {
+  u64 h = graph_hash;
+  const auto step = [&h](u64 v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV-1a prime, matching graph_blocking_hash
+  };
+  step(static_cast<u64>(o.fusion));
+  step(static_cast<u64>(o.algo));
+  step(static_cast<u64>(o.threads));
+  step(o.joint_search ? 1 : 0);
+  return h;
+}
+
+}  // namespace
+
 ModelRegistry::ModelRegistry(const RegistryOptions& opt) : opt_(opt) {
   if (opt_.plan_budget_bytes < 0) opt_.plan_budget_bytes = 0;
 }
@@ -74,16 +94,103 @@ StatusOr<std::shared_ptr<const core::ConvPlan>> ModelRegistry::acquire_plan(
   std::lock_guard<std::mutex> lock(mu_);
   entry->last_used = ++tick_;
   ++acquires_;
-  enforce_budget_locked(entry);
+  enforce_budget_locked(entry, nullptr);
   return plan;
 }
 
-void ModelRegistry::enforce_budget_locked(const Entry* keep) {
+Status ModelRegistry::register_graph_model(const std::string& name,
+                                           GraphModelSpec spec) {
+  LBC_VALIDATE(!name.empty(), kInvalidArgument,
+               "graph model name must be non-empty");
+  LBC_VALIDATE(spec.graph != nullptr, kInvalidArgument,
+               "graph model '" << name << "' has a null graph");
+  LBC_VALIDATE(spec.graph->node_count() > 0, kInvalidArgument,
+               "graph model '" << name << "' has an empty graph");
+  LBC_VALIDATE(spec.graph->calibrated(), kInvalidArgument,
+               "graph model '" << name
+                               << "' must be calibrated before registration");
+  LBC_VALIDATE(spec.options.threads >= 1 && spec.options.threads <= 64,
+               kInvalidArgument, "graph model '"
+                                     << name << "' threads must be in "
+                                     << "[1, 64], got "
+                                     << spec.options.threads);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  LBC_VALIDATE(graph_models_.find(name) == graph_models_.end(),
+               kInvalidArgument,
+               "graph model '" << name << "' is already registered");
+  auto entry = std::make_unique<GraphEntry>();
+  entry->spec = std::move(spec);
+  entry->order = next_order_++;
+  graph_models_.emplace(name, std::move(entry));
+  return Status();
+}
+
+Status ModelRegistry::unregister_graph_model(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graph_models_.find(name);
+  LBC_VALIDATE(it != graph_models_.end(), kNotFound,
+               "graph model '" << name << "' is not registered");
+  if (it->second->plan_key != 0 &&
+      graph_plans_.erase(it->second->plan_key) > 0)
+    ++graph_evictions_;
+  graph_models_.erase(it);
+  return Status();
+}
+
+StatusOr<std::shared_ptr<const core::GraphPlan>>
+ModelRegistry::acquire_graph_plan(const std::string& name) {
+  GraphEntry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = graph_models_.find(name);
+    LBC_VALIDATE(it != graph_models_.end(), kNotFound,
+                 "graph model '" << name << "' is not registered");
+    entry = it->second.get();
+    if (entry->plan_key != 0) {
+      auto hit = graph_plans_.find(entry->plan_key);
+      if (hit != graph_plans_.end()) {
+        entry->last_used = ++tick_;
+        ++graph_acquires_;
+        enforce_budget_locked(nullptr, entry);
+        return hit->second;
+      }
+    }
+  }
+  // Compile outside mu_ — the whole-net compile (joint search + weight
+  // prepack across every layer) is the slowest thing the registry does and
+  // must not block lookups. Same validity contract as acquire_plan: callers
+  // must not race unregister_graph_model of the same name.
+  const GraphModelSpec& s = entry->spec;
+  LBC_ASSIGN_OR_RETURN(core::GraphPlan compiled,
+                       core::GraphPlan::compile(*s.graph, s.options));
+  auto plan = std::make_shared<const core::GraphPlan>(std::move(compiled));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 key = plan->graph_hash() != 0
+                ? graph_plan_key(plan->graph_hash(), s.options)
+                : 0x9e3779b97f4a7c15ull + entry->order;  // no fused chain:
+                                                         // never shared
+  entry->plan_key = key;
+  auto [it, inserted] = graph_plans_.try_emplace(key, plan);
+  if (!inserted) plan = it->second;  // lost a compile race / shared hash:
+                                     // serve the resident plan
+  entry->last_used = ++tick_;
+  ++graph_acquires_;
+  enforce_budget_locked(nullptr, entry);
+  return plan;
+}
+
+void ModelRegistry::enforce_budget_locked(const Entry* keep,
+                                          const GraphEntry* keep_graph) {
   if (opt_.plan_budget_bytes <= 0) return;
-  while (cache_.resident_packed_bytes() > opt_.plan_budget_bytes) {
-    // Least-recently-used model other than `keep` whose plan is still
-    // resident. Never-acquired entries (last_used == 0) evict first.
+  while (cache_.resident_packed_bytes() + resident_graph_bytes_locked() >
+         opt_.plan_budget_bytes) {
+    // Least-recently-used model — conv or graph — other than the keeps,
+    // whose plan is still resident. Never-acquired entries (last_used == 0)
+    // evict first.
     Entry* victim = nullptr;
+    GraphEntry* graph_victim = nullptr;
     for (auto& [vname, ventry] : models_) {
       if (ventry.get() == keep) continue;
       const ModelSpec& vs = ventry->spec;
@@ -93,14 +200,37 @@ void ModelRegistry::enforce_budget_locked(const Entry* keep) {
       if (victim == nullptr || ventry->last_used < victim->last_used)
         victim = ventry.get();
     }
-    // Nothing evictable: only `keep`'s plan (or entries of unregistered
-    // models, which unregister_model already dropped) remains — a single
+    for (auto& [vname, ventry] : graph_models_) {
+      if (ventry.get() == keep_graph) continue;
+      if (ventry->plan_key == 0 ||
+          graph_plans_.find(ventry->plan_key) == graph_plans_.end())
+        continue;
+      if (graph_victim == nullptr ||
+          ventry->last_used < graph_victim->last_used)
+        graph_victim = ventry.get();
+    }
+    // Nothing evictable: only the keeps' plans remain — a single
     // over-budget plan is allowed to stand.
-    if (victim == nullptr) return;
-    const ModelSpec& vs = victim->spec;
-    cache_.evict(vs.shape, vs.weight, vs.bits, vs.impl, vs.algo, vs.threads,
-                 vs.backend);
+    if (victim == nullptr && graph_victim == nullptr) return;
+    const bool evict_graph =
+        victim == nullptr ||
+        (graph_victim != nullptr && graph_victim->last_used < victim->last_used);
+    if (evict_graph) {
+      graph_plans_.erase(graph_victim->plan_key);
+      ++graph_evictions_;
+    } else {
+      const ModelSpec& vs = victim->spec;
+      cache_.evict(vs.shape, vs.weight, vs.bits, vs.impl, vs.algo, vs.threads,
+                   vs.backend);
+    }
   }
+}
+
+i64 ModelRegistry::resident_graph_bytes_locked() const {
+  i64 bytes = 0;
+  for (const auto& [key, plan] : graph_plans_)
+    bytes += plan->packed_weight_bytes();
+  return bytes;
 }
 
 StatusOr<const ModelSpec*> ModelRegistry::find(const std::string& name) const {
@@ -139,13 +269,53 @@ bool ModelRegistry::plan_resident(const std::string& name) const {
                          s.backend);
 }
 
+StatusOr<const GraphModelSpec*> ModelRegistry::find_graph(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graph_models_.find(name);
+  LBC_VALIDATE(it != graph_models_.end(), kNotFound,
+               "graph model '" << name << "' is not registered");
+  const GraphModelSpec* spec = &it->second->spec;
+  return spec;
+}
+
+bool ModelRegistry::contains_graph(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_models_.find(name) != graph_models_.end();
+}
+
+std::vector<std::string> ModelRegistry::graph_model_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<u64, std::string>> ordered;
+  ordered.reserve(graph_models_.size());
+  for (const auto& [name, entry] : graph_models_)
+    ordered.emplace_back(entry->order, name);
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<std::string> names;
+  names.reserve(ordered.size());
+  for (auto& [order, name] : ordered) names.push_back(std::move(name));
+  return names;
+}
+
+bool ModelRegistry::graph_plan_resident(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = graph_models_.find(name);
+  if (it == graph_models_.end()) return false;
+  return it->second->plan_key != 0 &&
+         graph_plans_.find(it->second->plan_key) != graph_plans_.end();
+}
+
 RegistryStats ModelRegistry::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   RegistryStats s;
   s.models = static_cast<int>(models_.size());
+  s.graph_models = static_cast<int>(graph_models_.size());
   s.acquires = acquires_;
+  s.graph_acquires = graph_acquires_;
   s.plan_evictions = cache_.evictions();
+  s.graph_evictions = graph_evictions_;
   s.resident_plan_bytes = cache_.resident_packed_bytes();
+  s.resident_graph_bytes = resident_graph_bytes_locked();
   s.budget_bytes = opt_.plan_budget_bytes;
   return s;
 }

@@ -39,6 +39,7 @@
 #include "common/tensor.h"
 #include "core/conv_plan.h"
 #include "core/engine.h"
+#include "core/graph_plan.h"
 
 namespace lbc::serve {
 
@@ -57,17 +58,31 @@ struct ModelSpec {
   int threads = 1;
 };
 
+/// A registered whole-net model: a calibrated QnnGraph plus the
+/// GraphPlanOptions its plan compiles with. The graph is pinned by
+/// shared_ptr (weights survive plan eviction — an evicted graph plan
+/// recompiles on the next acquire, exactly like the conv plans).
+struct GraphModelSpec {
+  std::shared_ptr<const core::QnnGraph> graph;
+  core::GraphPlanOptions options;
+};
+
 struct RegistryOptions {
-  /// Budget over the shared cache's resident prepacked plan bytes;
-  /// 0 = unlimited (no eviction).
+  /// Budget over the resident prepacked plan bytes — conv plans in the
+  /// shared cache PLUS compiled whole-net graph plans; 0 = unlimited (no
+  /// eviction).
   i64 plan_budget_bytes = 0;
 };
 
 struct RegistryStats {
   int models = 0;
+  int graph_models = 0;
   i64 acquires = 0;        ///< acquire_plan calls that returned a plan
+  i64 graph_acquires = 0;  ///< acquire_graph_plan calls that returned a plan
   i64 plan_evictions = 0;  ///< cache entries dropped by budget enforcement
-  i64 resident_plan_bytes = 0;
+  i64 graph_evictions = 0; ///< graph plans dropped by budget enforcement
+  i64 resident_plan_bytes = 0;   ///< conv-plan prepacked bytes
+  i64 resident_graph_bytes = 0;  ///< graph-plan prepacked bytes
   i64 budget_bytes = 0;
 };
 
@@ -103,6 +118,39 @@ class ModelRegistry {
   /// (false after a budget eviction, before the next acquire).
   bool plan_resident(const std::string& name) const;
 
+  // ---- whole-net graph models (core::GraphPlan) -------------------------
+  // Graph models live in their own namespace beside the conv models but
+  // share the registry's plan-bytes budget: eviction picks the LRU resident
+  // plan across BOTH kinds. Compiled graph plans are cached keyed by
+  // GraphPlan::graph_hash() — two models registered over graphs with the
+  // same fused-chain hash share one immutable compiled plan (charged once).
+
+  /// Register a whole-net model. kInvalidArgument on an empty name, a null
+  /// or empty graph, an uncalibrated graph, or a name collision with
+  /// another graph model.
+  Status register_graph_model(const std::string& name, GraphModelSpec spec);
+
+  /// Drop a graph model and evict its compiled plan (a plan shared with
+  /// another model via the graph hash is evicted too — the survivor
+  /// recompiles on its next acquire). kNotFound when the name is unknown.
+  Status unregister_graph_model(const std::string& name);
+
+  /// The model's compiled whole-net plan: cache hit or GraphPlan::compile
+  /// on a miss, then LRU bump and budget enforcement across both plan
+  /// kinds. Errors: kNotFound (unknown model) or the compile error.
+  StatusOr<std::shared_ptr<const core::GraphPlan>> acquire_graph_plan(
+      const std::string& name);
+
+  /// The registered graph spec (graph pinned until unregister_graph_model).
+  StatusOr<const GraphModelSpec*> find_graph(const std::string& name) const;
+
+  bool contains_graph(const std::string& name) const;
+  /// Registered graph-model names in registration order.
+  std::vector<std::string> graph_model_names() const;
+
+  /// Whether the model's compiled graph plan is currently resident.
+  bool graph_plan_resident(const std::string& name) const;
+
   RegistryStats stats() const;
   core::PlanCache& plan_cache() { return cache_; }
   const core::PlanCache& plan_cache() const { return cache_; }
@@ -114,16 +162,34 @@ class ModelRegistry {
     u64 order = 0;      ///< registration order
   };
 
-  /// Evict LRU plans (excluding `keep`) until resident bytes fit the
-  /// budget. Caller holds mu_.
-  void enforce_budget_locked(const Entry* keep);
+  struct GraphEntry {
+    GraphModelSpec spec;
+    /// Cache key of the compiled plan: GraphPlan::graph_hash() when the
+    /// fused chain is non-empty, else a synthetic per-model key (graphs
+    /// with no fuseable chain never share an entry). 0 = never compiled.
+    u64 plan_key = 0;
+    u64 last_used = 0;
+    u64 order = 0;
+  };
+
+  /// Evict LRU resident plans — conv or graph, whichever model is
+  /// least-recently used — excluding `keep`/`keep_graph`, until resident
+  /// bytes fit the budget. Caller holds mu_.
+  void enforce_budget_locked(const Entry* keep, const GraphEntry* keep_graph);
+
+  i64 resident_graph_bytes_locked() const;
 
   RegistryOptions opt_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Entry>> models_;
+  std::map<std::string, std::unique_ptr<GraphEntry>> graph_models_;
+  /// Compiled whole-net plans keyed by GraphEntry::plan_key.
+  std::map<u64, std::shared_ptr<const core::GraphPlan>> graph_plans_;
   u64 tick_ = 0;
   u64 next_order_ = 0;
   i64 acquires_ = 0;
+  i64 graph_acquires_ = 0;
+  i64 graph_evictions_ = 0;
   core::PlanCache cache_;  ///< shared across all models; own internal mutex
 };
 

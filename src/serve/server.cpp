@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -75,6 +76,67 @@ Status ModelServer::add_model(const std::string& name, const ConvShape& shape,
   return Status();
 }
 
+Status ModelServer::add_graph_model(const std::string& name,
+                                    std::shared_ptr<const core::QnnGraph> graph,
+                                    const GraphModelOptions& opt) {
+  LBC_VALIDATE(opt.max_inflight >= 1 && opt.max_inflight <= 1024,
+               kInvalidArgument, "graph model '"
+                                     << name
+                                     << "' max_inflight must be in [1, 1024]"
+                                     << ", got " << opt.max_inflight);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LBC_VALIDATE(!stopping_, kFailedPrecondition,
+                 "cannot add graph model '" << name
+                                            << "' to a shut-down server");
+    LBC_VALIDATE(graph_models_.find(name) == graph_models_.end(),
+                 kInvalidArgument,
+                 "graph model '" << name << "' is already served");
+  }
+
+  GraphModelSpec spec;
+  spec.graph = graph;  // registry validates null/empty/uncalibrated
+  spec.options = opt.plan;
+  LBC_RETURN_IF_ERROR(registry_.register_graph_model(name, std::move(spec)));
+
+  auto model = std::make_unique<GraphModel>();
+  model->name = name;
+  model->mode = opt.breaker_mode;
+  model->max_inflight = opt.max_inflight;
+  model->breaker = std::make_unique<CircuitBreaker>(opt.breaker);
+
+  // Eager compile: registration surfaces plan errors and the first request
+  // never pays the whole-net compile (joint search + weight prepack).
+  StatusOr<std::shared_ptr<const core::GraphPlan>> warm =
+      registry_.acquire_graph_plan(name);
+  if (!warm.ok()) {
+    (void)registry_.unregister_graph_model(name);
+    return warm.status();
+  }
+
+  if (opt.breaker_mode == BreakerMode::kReferenceFallback) {
+    // The degraded path must survive budget eviction: pin an unfused plan
+    // in the model itself (same arithmetic, per-layer execution).
+    core::GraphPlanOptions fb = opt.plan;
+    fb.fusion = core::FusionMode::kOff;
+    fb.joint_search = false;
+    fb.tuning = nullptr;
+    StatusOr<core::GraphPlan> p = core::GraphPlan::compile(*graph, fb);
+    if (!p.ok()) {
+      (void)registry_.unregister_graph_model(name);
+      return p.status();
+    }
+    model->fallback_plan =
+        std::make_shared<const core::GraphPlan>(std::move(p).value());
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  LBC_VALIDATE(!stopping_, kFailedPrecondition,
+               "server shut down while adding graph model '" << name << "'");
+  graph_models_.emplace(name, std::move(model));
+  return Status();
+}
+
 void ModelServer::feed_breaker(CircuitBreaker& breaker,
                                const InferResponse& resp) {
   std::optional<CircuitBreaker::Outcome> outcome;
@@ -108,6 +170,166 @@ void ModelServer::feed_breaker(CircuitBreaker& breaker,
 ModelServer::Model* ModelServer::find_model(const std::string& name) {
   auto it = models_.find(name);
   return it == models_.end() ? nullptr : it->second.get();
+}
+
+ModelServer::GraphModel* ModelServer::find_graph_model(
+    const std::string& name) {
+  auto it = graph_models_.find(name);
+  return it == graph_models_.end() ? nullptr : it->second.get();
+}
+
+StatusOr<std::future<GraphInferResponse>> ModelServer::submit_graph(
+    const std::string& name, Tensor<float> input, const SubmitOptions& sub) {
+  GraphModel* m = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LBC_VALIDATE(!stopping_, kFailedPrecondition,
+                 "server is shut down; no new submissions");
+    m = find_graph_model(name);
+    LBC_VALIDATE(m != nullptr, kNotFound,
+                 "graph model '" << name << "' is not served");
+  }
+
+  // The graph path's admission bound: there is no coalescing queue, so the
+  // in-flight cap is where overload backs up (arrivals past it shed).
+  const auto try_admit = [this, m] {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (m->inflight >= m->max_inflight) return false;
+    ++m->inflight;
+    return true;
+  };
+  const auto shed_overloaded = [m, &name, &sub] {
+    m->metrics.record_shed(ShedReason::kQueueFull, sub.priority);
+    return Status::overloaded("graph model '" + name + "' is at its " +
+                              "in-flight cap");
+  };
+
+  switch (m->breaker->admit(Clock::now())) {
+    case CircuitBreaker::Decision::kAllow: {
+      if (!try_admit()) return shed_overloaded();
+      SubmitOptions s = sub;
+      s.probe = false;  // probe marking is the server's, not the caller's
+      m->metrics.record_admitted(Clock::now());
+      return run_graph(*m, std::move(input), s, /*fallback=*/false);
+    }
+    case CircuitBreaker::Decision::kProbe: {
+      if (FaultInjector::instance().should_fire(FaultSite::kServeProbeFail)) {
+        m->breaker->record_probe(CircuitBreaker::Outcome::kFailure);
+        m->metrics.record_shed(ShedReason::kBreakerOpen, sub.priority);
+        return Status::unavailable("graph model '" + name +
+                                   "' half-open probe failed "
+                                   "(serve.probe_fail)");
+      }
+      if (!try_admit()) {
+        // The probe never executed: free its slot so the next arrival can
+        // probe instead of waiting on a lost outcome.
+        m->breaker->cancel_probe();
+        return shed_overloaded();
+      }
+      SubmitOptions s = sub;
+      s.probe = true;
+      m->metrics.record_admitted(Clock::now());
+      return run_graph(*m, std::move(input), s, /*fallback=*/false);
+    }
+    case CircuitBreaker::Decision::kReject:
+      if (m->mode == BreakerMode::kFastFail) {
+        m->metrics.record_shed(ShedReason::kBreakerOpen, sub.priority);
+        return Status::unavailable("graph model '" + name +
+                                   "' is unavailable (" +
+                                   m->breaker->describe() + ")");
+      }
+      if (!try_admit()) return shed_overloaded();
+      {
+        SubmitOptions s = sub;
+        s.probe = false;
+        m->metrics.record_admitted(Clock::now());
+        return run_graph(*m, std::move(input), s, /*fallback=*/true);
+      }
+  }
+  return Status::internal("unreachable breaker decision");
+}
+
+std::future<GraphInferResponse> ModelServer::run_graph(GraphModel& m,
+                                                       Tensor<float> input,
+                                                       SubmitOptions sub,
+                                                       bool fallback) {
+  auto promise = std::make_shared<std::promise<GraphInferResponse>>();
+  std::future<GraphInferResponse> fut = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    ++fallback_inflight_;
+  }
+  const Clock::time_point admitted = Clock::now();
+  GraphModel* gm = &m;
+  pool_->submit([this, promise, gm, sub, admitted, fallback,
+                 input = std::move(input)]() mutable {
+    GraphInferResponse resp;
+    resp.tenant = sub.tenant;
+    resp.priority = sub.priority;
+    resp.probe = sub.probe;
+    const Clock::time_point start = Clock::now();
+    if (sub.deadline != kNoDeadline && start >= sub.deadline) {
+      resp.status =
+          Status::deadline_exceeded("expired before graph execution");
+      gm->metrics.record_expired(sub.priority);
+    } else {
+      std::shared_ptr<const core::GraphPlan> plan;
+      if (fallback) {
+        plan = gm->fallback_plan;
+      } else {
+        // Acquire here, not at submit: a budget-evicted plan recompiles on
+        // the pool worker instead of stalling the submitting thread.
+        StatusOr<std::shared_ptr<const core::GraphPlan>> p =
+            registry_.acquire_graph_plan(gm->name);
+        if (p.ok())
+          plan = std::move(p).value();
+        else
+          resp.status = p.status();
+      }
+      if (plan != nullptr && resp.status.ok()) {
+        // One arena pair per pool worker: the pool runs one task at a time
+        // per thread, so thread_local reuse keeps the single-owner
+        // contract with zero steady-state allocations.
+        thread_local Workspace arena;
+        thread_local Workspace scratch;
+        StatusOr<core::QnnGraph::RunResult> r =
+            plan->forward(input, arena, scratch);
+        if (r.ok()) {
+          resp.output = std::move(r->out);
+          resp.model_seconds = r->seconds;
+          resp.batch_size = 1;
+          resp.fused_convs = plan->fused_convs();
+          if (fallback) gm->metrics.record_fallback_served();
+        } else {
+          resp.status = r.status();
+        }
+      }
+      const Clock::time_point done = Clock::now();
+      resp.latency_s = seconds_between(admitted, done);
+      gm->metrics.record_completion(0.0, resp.latency_s, resp.status.ok(),
+                                    done, sub.priority);
+    }
+    if (resp.latency_s == 0)
+      resp.latency_s = seconds_between(admitted, Clock::now());
+    if (!fallback) {
+      // Reuse the conv path's Status -> breaker-outcome mapping; fallback
+      // executions never feed the breaker (recovery is earned by the
+      // primary path only).
+      InferResponse outcome;
+      outcome.status = resp.status;
+      outcome.probe = sub.probe;
+      feed_breaker(*gm->breaker, outcome);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --gm->inflight;
+    }
+    promise->set_value(std::move(resp));
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    --fallback_inflight_;
+    fallback_cv_.notify_all();
+  });
+  return fut;
 }
 
 StatusOr<std::future<InferResponse>> ModelServer::submit(
@@ -235,10 +457,26 @@ std::vector<std::string> ModelServer::model_names() const {
   return names;
 }
 
+std::vector<std::string> ModelServer::graph_model_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(graph_models_.size());
+  for (const auto& [name, model] : graph_models_) names.push_back(name);
+  return names;
+}
+
 CircuitBreaker* ModelServer::breaker(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   Model* m = find_model(name);
-  return m == nullptr ? nullptr : m->breaker.get();
+  if (m != nullptr) return m->breaker.get();
+  GraphModel* g = find_graph_model(name);
+  return g == nullptr ? nullptr : g->breaker.get();
+}
+
+ServeMetrics* ModelServer::graph_metrics(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GraphModel* g = find_graph_model(name);
+  return g == nullptr ? nullptr : &g->metrics;
 }
 
 BatchScheduler* ModelServer::scheduler(const std::string& name) {
@@ -253,13 +491,17 @@ std::vector<ModelHealth> ModelServer::health_snapshot() const {
   // across them would order it against every per-request lock for no gain.
   // Pointers stay valid — models are never removed while the server lives.
   std::vector<const Model*> models;
+  std::vector<const GraphModel*> gmodels;
   {
     std::lock_guard<std::mutex> lock(mu_);
     models.reserve(models_.size());
     for (const auto& [name, model] : models_) models.push_back(model.get());
+    gmodels.reserve(graph_models_.size());
+    for (const auto& [name, model] : graph_models_)
+      gmodels.push_back(model.get());
   }
   std::vector<ModelHealth> out;
-  out.reserve(models.size());
+  out.reserve(models.size() + gmodels.size());
   for (const Model* m : models) {
     ModelHealth h;
     h.name = m->name;
@@ -270,6 +512,20 @@ std::vector<ModelHealth> ModelServer::health_snapshot() const {
     h.metrics = m->sched->metrics().snapshot();
     out.push_back(std::move(h));
   }
+  for (const GraphModel* m : gmodels) {
+    ModelHealth h;
+    h.name = m->name;
+    h.backend = core::Backend::kArmCortexA53;  // graph runtime = emulated ARM
+    h.breaker_state = m->breaker->state();
+    h.breaker_trips = m->breaker->trips();
+    h.last_transition = m->breaker->last_transition();
+    h.metrics = m->metrics.snapshot();
+    out.push_back(std::move(h));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ModelHealth& a, const ModelHealth& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 

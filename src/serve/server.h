@@ -50,6 +50,36 @@ struct ModelOptions {
   BreakerMode breaker_mode = BreakerMode::kFastFail;
 };
 
+/// Options for a whole-net graph model (served through a compiled
+/// core::GraphPlan instead of a per-layer BatchScheduler).
+struct GraphModelOptions {
+  /// Compile options for the registry's cached plan (fusion, algo, threads,
+  /// joint search, tuning cache).
+  core::GraphPlanOptions plan;
+  BreakerOptions breaker;
+  /// kReferenceFallback serves tripped-breaker requests through a pinned
+  /// UNFUSED plan (FusionMode::kOff, no joint search) — degraded but
+  /// bit-exact service, the graph twin of the conv reference rung.
+  BreakerMode breaker_mode = BreakerMode::kFastFail;
+  /// Concurrent graph executions; arrivals past the cap shed kOverloaded
+  /// (the graph path's admission bound — there is no coalescing queue).
+  int max_inflight = 4;
+};
+
+/// Response to a whole-net submission (submit_graph). The output is the
+/// dequantized final activation of the graph.
+struct GraphInferResponse {
+  Status status;
+  Tensor<float> output;      ///< set iff status.ok()
+  double model_seconds = 0;  ///< modeled device time of the forward pass
+  double latency_s = 0;      ///< admission -> response completion
+  int batch_size = 0;        ///< 1 on success (no graph-level coalescing)
+  int fused_convs = 0;       ///< convs that ran the fused epilogue path
+  int tenant = 0;
+  Priority priority = Priority::kStandard;
+  bool probe = false;
+};
+
 struct ServerOptions {
   RegistryOptions registry;
   /// Pool for batch execution and fallback serving; defaults to
@@ -94,19 +124,42 @@ class ModelServer {
       const std::string& name, Tensor<i8> input,
       const SubmitOptions& sub = SubmitOptions{});
 
+  /// Register a whole-net graph model: the registry caches its compiled
+  /// GraphPlan (keyed by graph hash, charged against the plan budget) and
+  /// the server fronts it with a breaker + in-flight cap. The plan compiles
+  /// eagerly here so registration surfaces compile errors. Errors:
+  /// kInvalidArgument (bad spec, duplicate name), the compile error, or
+  /// kFailedPrecondition after shutdown().
+  Status add_graph_model(const std::string& name,
+                         std::shared_ptr<const core::QnnGraph> graph,
+                         const GraphModelOptions& opt = GraphModelOptions{});
+
+  /// Route one whole-net request through the model's breaker and in-flight
+  /// cap, then execute the fused GraphPlan on the pool. Same overload
+  /// contract as submit(): kNotFound (unknown model), kUnavailable
+  /// (breaker open, fast-fail mode), kOverloaded (in-flight cap),
+  /// kFailedPrecondition (after shutdown). Every returned future IS
+  /// resolved.
+  StatusOr<std::future<GraphInferResponse>> submit_graph(
+      const std::string& name, Tensor<float> input,
+      const SubmitOptions& sub = SubmitOptions{});
+
   /// Stop all schedulers (draining per their shutdown_policy) and wait for
-  /// in-flight fallback executions. Idempotent.
+  /// in-flight fallback and graph executions. Idempotent.
   void shutdown();
 
   ModelRegistry& registry() { return registry_; }
   const ModelRegistry& registry() const { return registry_; }
   std::vector<std::string> model_names() const;
+  std::vector<std::string> graph_model_names() const;
 
   /// Per-model components, for tests and the bench report. nullptr when the
   /// name is unknown. Pointers stay valid until the server is destroyed
-  /// (models cannot be removed while serving).
+  /// (models cannot be removed while serving). breaker() resolves conv AND
+  /// graph models; scheduler() is conv-only, graph_metrics() graph-only.
   CircuitBreaker* breaker(const std::string& name);
   BatchScheduler* scheduler(const std::string& name);
+  ServeMetrics* graph_metrics(const std::string& name);
 
   /// Health of every served model, sorted by name: breaker state +
   /// last-transition tick and the scheduler's metrics snapshot. Safe to call
@@ -124,7 +177,27 @@ class ModelServer {
     BreakerMode mode = BreakerMode::kFastFail;
   };
 
+  struct GraphModel {
+    std::string name;
+    std::unique_ptr<CircuitBreaker> breaker;
+    ServeMetrics metrics;
+    BreakerMode mode = BreakerMode::kFastFail;
+    int max_inflight = 4;
+    i64 inflight = 0;  ///< under mu_; admission bound of the graph path
+    /// Pinned unfused plan for kReferenceFallback mode (compiled at add
+    /// time, never evicted — the degraded path must not depend on the
+    /// budgeted cache).
+    std::shared_ptr<const core::GraphPlan> fallback_plan;
+  };
+
   Model* find_model(const std::string& name);
+  GraphModel* find_graph_model(const std::string& name);
+  /// Execute the graph on the pool: the registry's cached plan (primary
+  /// path, feeds the breaker) or the pinned unfused plan (`fallback`,
+  /// which does not). sub.probe is already stamped by the caller.
+  std::future<GraphInferResponse> run_graph(GraphModel& m,
+                                            Tensor<float> input,
+                                            SubmitOptions sub, bool fallback);
   /// Degraded service for a tripped kReferenceFallback model: execute the
   /// reference rung on the pool against the pinned weights.
   StatusOr<std::future<InferResponse>> submit_fallback(Model& m,
@@ -137,13 +210,16 @@ class ModelServer {
   ThreadPool* pool_;
   ModelRegistry registry_;
 
-  mutable std::mutex mu_;          ///< guards models_ and stopping_
+  mutable std::mutex mu_;  ///< guards models_, graph_models_, stopping_,
+                           ///< and GraphModel::inflight
   std::map<std::string, std::unique_ptr<Model>> models_;
+  std::map<std::string, std::unique_ptr<GraphModel>> graph_models_;
   bool stopping_ = false;
 
   std::mutex fallback_mu_;
   std::condition_variable fallback_cv_;
-  i64 fallback_inflight_ = 0;  ///< under fallback_mu_
+  i64 fallback_inflight_ = 0;  ///< under fallback_mu_; counts breaker
+                               ///< fallbacks AND graph executions
 };
 
 }  // namespace lbc::serve

@@ -87,5 +87,42 @@ TEST(ModelRunner, DeterministicAcrossRuns) {
     EXPECT_DOUBLE_EQ(a.layers[i].seconds, b.layers[i].seconds);
 }
 
+TEST(ModelRunner, NativeHostReportsMeasuredNanoseconds) {
+  const auto layers = nets::shrink_for_tests(nets::resnet50_layers(), 6, 8);
+  ModelRunOptions opt;
+  opt.backend = Backend::kNativeHost;
+  opt.bits = 4;
+  const ModelRunReport rep = run_model(layers, opt).value();
+  double sum = 0;
+  for (const auto& l : rep.layers) {
+    EXPECT_GT(l.measured_ns, 0) << l.name << ": native layer lost its "
+                                   "wall-clock measurement";
+    EXPECT_NEAR(l.seconds, l.measured_ns * 1e-9, 1e-12) << l.name;
+    sum += l.measured_ns;
+  }
+  EXPECT_DOUBLE_EQ(rep.total_measured_ns, sum);
+}
+
+TEST(ModelRunner, ModeledBackendHasNoMeasuredNanoseconds) {
+  const auto layers = nets::shrink_for_tests(nets::resnet50_layers(), 6, 8);
+  ModelRunOptions opt;
+  opt.bits = 4;  // default modeled ARM backend
+  const ModelRunReport rep = run_model(layers, opt).value();
+  for (const auto& l : rep.layers) EXPECT_EQ(l.measured_ns, 0) << l.name;
+  EXPECT_EQ(rep.total_measured_ns, 0);
+}
+
+TEST(ModelRunner, JointBlockingNeverWorseThanPerLayer) {
+  const auto layers = nets::shrink_for_tests(nets::resnet50_layers(), 6, 8);
+  ModelRunOptions joint;
+  joint.bits = 4;
+  joint.joint_blocking = true;
+  ModelRunOptions greedy = joint;
+  greedy.joint_blocking = false;
+  const ModelRunReport rj = run_model(layers, joint).value();
+  const ModelRunReport rg = run_model(layers, greedy).value();
+  EXPECT_LE(rj.total_seconds, rg.total_seconds * (1 + 1e-9));
+}
+
 }  // namespace
 }  // namespace lbc::core

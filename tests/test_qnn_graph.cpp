@@ -177,5 +177,85 @@ TEST(QnnGraph, WinogradAutoDispatchInsideGraph) {
   EXPECT_DOUBLE_EQ(r_auto.seconds, r_wino.seconds);
 }
 
+TEST(QnnGraphCalibration, AllZeroInputIsCleanNotUB) {
+  // Degenerate calibration: every recorded absmax is 0. choose_scheme maps
+  // that to the identity scale, so calibrate succeeds and the forward pass
+  // produces finite values (the conv output is just the bias, here zero).
+  QnnGraph g;
+  const auto in = g.add_input(4, 6);
+  const Tensor<float> w = random_ftensor(Shape4{4, 4, 3, 3}, -0.4f, 0.4f, 20);
+  g.add_conv(in, 4, 3, 1, 1, 4, w, {}, /*relu=*/true);
+  const Tensor<float> zeros(Shape4{1, 4, 6, 6}, 0.0f);
+  const Status cal = g.calibrate(zeros);
+  ASSERT_TRUE(cal.ok()) << cal.to_string();
+  const auto r = g.forward(zeros);
+  for (float v : r.out.span()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(QnnGraphCalibration, SingleConvGraphAtTwoBits) {
+  // The smallest graph at the paper's most extreme width: one 2-bit conv.
+  QnnGraph g;
+  const auto in = g.add_input(6, 8);
+  const Tensor<float> w = random_ftensor(Shape4{8, 6, 3, 3}, -0.3f, 0.3f, 21);
+  g.add_conv(in, 8, 3, 1, 1, 2, w);
+  const Tensor<float> x = random_ftensor(Shape4{1, 6, 8, 8}, -1.0f, 1.0f, 22);
+  ASSERT_TRUE(g.calibrate(x).ok());
+  const auto r = g.forward(x);
+  EXPECT_EQ(r.out.shape(), (Shape4{1, 8, 8, 8}));
+  // 2-bit weights and activations carry no accuracy contract (the rel
+  // error vs fp32 exceeds 1); the assertion is clean execution: finite
+  // outputs, nonzero signal, a positive modeled latency.
+  double mag = 0;
+  for (float v : r.out.span()) {
+    ASSERT_TRUE(std::isfinite(v));
+    mag = std::max(mag, static_cast<double>(std::fabs(v)));
+  }
+  EXPECT_GT(mag, 0);
+  EXPECT_GT(r.seconds, 0);
+}
+
+TEST(QnnGraphCalibration, AddWithDifferentBitWidthsIsClean) {
+  // A residual add whose operands quantize at different widths (2-bit and
+  // 8-bit branches): calibration must pick one output scheme and rescale
+  // both operands into it with a clean Status, never UB.
+  QnnGraph g;
+  const auto in = g.add_input(4, 6);
+  const Tensor<float> w2 = random_ftensor(Shape4{4, 4, 1, 1}, -0.5f, 0.5f, 23);
+  const Tensor<float> w8 = random_ftensor(Shape4{4, 4, 1, 1}, -0.5f, 0.5f, 24);
+  const auto coarse = g.add_conv(in, 4, 1, 1, 0, 2, w2);
+  const auto fine = g.add_conv(in, 4, 1, 1, 0, 8, w8);
+  g.add_add(coarse, fine, /*relu=*/true);
+  const Tensor<float> x = random_ftensor(Shape4{1, 4, 6, 6}, -1.0f, 1.0f, 25);
+  const Status cal = g.calibrate(x);
+  ASSERT_TRUE(cal.ok()) << cal.to_string();
+  const auto r = g.forward(x);
+  for (float v : r.out.span()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);  // fused ReLU on the add
+  }
+}
+
+TEST(QnnGraphCalibration, RejectsBadInputsWithCleanStatus) {
+  QnnGraph empty;
+  EXPECT_EQ(empty.calibrate(Tensor<float>(Shape4{1, 1, 1, 1})).code(),
+            StatusCode::kInvalidArgument);
+
+  QnnGraph g;
+  const auto in = g.add_input(4, 6);
+  const Tensor<float> w = random_ftensor(Shape4{4, 4, 3, 3}, -0.4f, 0.4f, 26);
+  g.add_conv(in, 4, 3, 1, 1, 8, w);
+  // Shape mismatch against the input node.
+  EXPECT_EQ(g.calibrate(Tensor<float>(Shape4{1, 4, 5, 5})).code(),
+            StatusCode::kInvalidArgument);
+  // Non-finite calibration values must not poison the schemes.
+  Tensor<float> nan_x(Shape4{1, 4, 6, 6}, 0.5f);
+  nan_x.data()[3] = std::nanf("");
+  EXPECT_EQ(g.calibrate(nan_x).code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(g.calibrated());
+}
+
 }  // namespace
 }  // namespace lbc::core

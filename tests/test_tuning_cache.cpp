@@ -412,5 +412,127 @@ TEST(TuningCacheV3, X86CorruptHitIsEvictedAndResearched) {
   EXPECT_EQ(cache.hits(), 1);
 }
 
+TEST(TuningCacheV4, GraphEntriesRoundTripAndPartialSetIsAMiss) {
+  TuningCache a;
+  const u64 hash = 0x1234deadbeefull;
+  const std::vector<ArmBlocking> plan = {{128, 64, 256}, {64, 128, 512}};
+  a.put_graph(hash, plan);
+  EXPECT_EQ(a.graph_size(), 2u);
+
+  const std::string text = a.serialize();
+  EXPECT_EQ(text.rfind(kTuningCacheHeader, 0), 0u);
+  EXPECT_NE(text.find("graph 20018283527919 0 128 64 256\n"),
+            std::string::npos);
+
+  TuningCache b;
+  const StatusOr<int> n = b.deserialize(text);
+  ASSERT_TRUE(n.ok()) << n.status().to_string();
+  EXPECT_EQ(n.value(), 2);
+  const auto hit = b.lookup_graph(hash, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, plan);
+  // All-or-nothing: asking for more layers than are stored is a miss, and
+  // a different hash never sees these rows.
+  EXPECT_FALSE(b.lookup_graph(hash, 3).has_value());
+  EXPECT_FALSE(b.lookup_graph(hash + 1, 2).has_value());
+}
+
+TEST(TuningCacheV4, GetOrSearchGraphSearchesOnceThenHits) {
+  TuningCache cache;
+  const std::vector<ArmBlocking> want = {{64, 64, 128}, {128, 32, 256}};
+  int searches = 0;
+  const auto search = [&] {
+    ++searches;
+    return want;
+  };
+  EXPECT_EQ(cache.get_or_search_graph(9, 2, search), want);
+  EXPECT_EQ(searches, 1);
+  EXPECT_EQ(cache.get_or_search_graph(9, 2, search), want);
+  EXPECT_EQ(searches, 1);
+  EXPECT_EQ(cache.hits(), 1);
+  // A wider net under the same hash is a partial set: re-search.
+  const std::vector<ArmBlocking> want3 = {{64, 64, 128}, {128, 32, 256},
+                                          {64, 128, 128}};
+  int searches3 = 0;
+  EXPECT_EQ(cache.get_or_search_graph(9, 3,
+                                      [&] {
+                                        ++searches3;
+                                        return want3;
+                                      }),
+            want3);
+  EXPECT_EQ(searches3, 1);
+}
+
+TEST(TuningCacheV4, ReadsV3HeadedFiles) {
+  // A v3 file (GPU + ARM + x86 entries, no graph rows) still loads.
+  TuningCache c;
+  const StatusOr<int> r = c.deserialize(
+      std::string(kTuningCacheHeaderV3) +
+      "\ngpu 64 196 1024 8 1 32 16 64 32 2 1\narm 64 3136 576 4 0 128 64 "
+      "256\nx86 64 3136 576 4 0 8 256\n");
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), 3);
+  EXPECT_TRUE(c.lookup_x86({64, 3136, 576, 4, 0}).has_value());
+}
+
+TEST(TuningCacheV4, RejectsGraphEntriesUnderOldHeaders) {
+  // No pre-v4 format ever carried graph rows; such a line under an old
+  // header is a doctored or corrupted file.
+  for (const char* header :
+       {kTuningCacheHeaderV1, kTuningCacheHeaderV2, kTuningCacheHeaderV3}) {
+    TuningCache c;
+    const StatusOr<int> r =
+        c.deserialize(std::string(header) + "\ngraph 42 0 128 64 256\n");
+    ASSERT_FALSE(r.ok()) << header;
+    EXPECT_EQ(r.status().code(), StatusCode::kDataLoss) << header;
+    EXPECT_EQ(c.size(), 0u) << header;
+  }
+}
+
+TEST(TuningCacheV4, RejectsCorruptGraphLines) {
+  const char* bad_bodies[] = {
+      "graph 42 0 128 64\n",          // truncated
+      "graph 42 0 128 64 256 9\n",    // trailing field
+      "graph 42 -1 128 64 256\n",     // negative layer index
+      "graph 42 4096 128 64 256\n",   // layer index past the bound
+      "graph 42 0 -16 64 256\n",      // negative Mc
+      "graph 42 0 100 64 256\n",      // Mc not a multiple of the 16 panel
+      "graph 42 0 128 64 255\n",      // Nc not a multiple of the 4 panel
+      "graph 42 0 128 8192 256\n",    // Kc > 4096
+  };
+  for (const char* body : bad_bodies) {
+    TuningCache c;
+    const StatusOr<int> r = c.deserialize(with_header(body));
+    ASSERT_FALSE(r.ok()) << "accepted corrupt body: " << body;
+    EXPECT_TRUE(r.status().code() == StatusCode::kDataLoss ||
+                r.status().code() == StatusCode::kOutOfRange)
+        << body << " -> " << r.status().to_string();
+    EXPECT_EQ(c.size(), 0u) << body;
+  }
+}
+
+TEST(TuningCacheV4, CorruptGraphRowEvictsTheWholePlan) {
+  TuningCache cache;
+  const std::vector<ArmBlocking> want = {{128, 64, 256}, {64, 64, 128}};
+  int searches = 0;
+  const auto search = [&] {
+    ++searches;
+    return want;
+  };
+  EXPECT_EQ(cache.get_or_search_graph(7, 2, search), want);
+  EXPECT_EQ(searches, 1);
+
+  // Poison the next hit: one bad row must evict and re-search the WHOLE
+  // plan (a joint plan is only usable complete).
+  ScopedFault fault(FaultSite::kTuningCacheCorrupt, /*fire_count=*/1);
+  EXPECT_EQ(cache.get_or_search_graph(7, 2, search), want);
+  EXPECT_EQ(searches, 2);
+  EXPECT_GE(cache.corrupt_evictions(), 1);
+
+  // Healed rows serve clean hits afterwards.
+  EXPECT_EQ(cache.get_or_search_graph(7, 2, search), want);
+  EXPECT_EQ(searches, 2);
+}
+
 }  // namespace
 }  // namespace lbc::gpukern

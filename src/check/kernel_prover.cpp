@@ -1,0 +1,389 @@
+#include "check/kernel_prover.h"
+
+#include <limits>
+#include <sstream>
+
+#include "armkern/blocking.h"
+#include "armkern/schemes.h"
+#include "hal/native_gemm.h"
+
+namespace lbc::check {
+namespace {
+
+constexpr i64 kI16Max = 32767;
+constexpr i64 kI8Max = 127;
+constexpr i64 kI32Max = std::numeric_limits<i32>::max();
+
+/// Largest single-product magnitude under the declared operand ranges —
+/// the interval-arithmetic step bound every headroom obligation scales.
+i64 product_bound(const SchemeModel& m) {
+  return static_cast<i64>(m.a_max_abs) * static_cast<i64>(m.b_max_abs);
+}
+
+void add(ProofResult& r, const char* name, bool holds,
+         const std::string& statement) {
+  r.obligations.push_back(Obligation{name, statement, holds});
+}
+
+std::string ineq(i64 lhs, i64 rhs, const char* lhs_expr, const char* bound) {
+  std::ostringstream os;
+  os << lhs_expr << " = " << lhs << " <= " << rhs << " (" << bound << ")";
+  return os.str();
+}
+
+/// Obligation: the declared operand range is inside the adjusted range
+/// [-qmax, qmax] of the bit width — the paper's exclusion of -2^(b-1),
+/// which every headroom bound below presumes.
+void prove_operand_range(ProofResult& r, const SchemeModel& m,
+                         const char* name) {
+  const i32 q = qmax_for_bits(m.bits);
+  std::ostringstream os;
+  os << "|a| <= " << m.a_max_abs << ", |w| <= " << m.b_max_abs
+     << " within adjusted range +-" << q;
+  add(r, name, m.a_max_abs <= q && m.b_max_abs <= q && m.a_max_abs >= 0 &&
+                   m.b_max_abs >= 0,
+      os.str());
+}
+
+/// Obligation: `depth` products of magnitude <= P accumulate into one
+/// 32-bit lane without overflow — the final accumulator is always i32, so
+/// every scheme carries this bound.
+void prove_i32_depth(ProofResult& r, const SchemeModel& m, const char* name) {
+  const i64 p = product_bound(m);
+  add(r, name, m.depth >= 0 && m.depth * p <= kI32Max,
+      ineq(m.depth * p, kI32Max, "K * amax * wmax", "i32 headroom"));
+}
+
+void prove_smlal(ProofResult& r, const SchemeModel& m) {
+  const i64 p = product_bound(m);
+  const int unroll = armkern::smlal_flush_interval(m.bits);
+  // The headroom bound below only covers accumulation runs of length
+  // <= acc16_flush; the declaration must therefore cover the kernel's
+  // actual unroll factor or the proof says nothing about the kernel.
+  add(r, "smlal.flush-covers-unroll", m.acc16_flush >= unroll,
+      ineq(unroll, m.acc16_flush, "kernel unroll", "declared flush"));
+  add(r, "smlal.i16-lane-headroom",
+      m.acc16_flush > 0 && m.acc16_flush * p <= kI16Max,
+      ineq(m.acc16_flush * p, kI16Max, "flush * amax * wmax",
+           "i16 headroom"));
+  prove_operand_range(r, m, "smlal.operand-range-adjusted");
+  prove_i32_depth(r, m, "smlal.i32-depth-headroom");
+}
+
+void prove_mla(ProofResult& r, const SchemeModel& m) {
+  const i64 p = product_bound(m);
+  const int unroll = armkern::mla_flush_interval(m.bits);
+  add(r, "mla.flush-covers-unroll", m.acc8_flush >= unroll,
+      ineq(unroll, m.acc8_flush, "kernel unroll", "declared flush"));
+  add(r, "mla.i8-lane-headroom",
+      m.acc8_flush > 0 && m.acc8_flush * p <= kI8Max,
+      ineq(m.acc8_flush * p, kI8Max, "flush8 * amax * wmax", "i8 headroom"));
+  // Second level: each 8->16 flush deposits at most flush8 * P into a
+  // 16-bit lane; the 16->32 flush must come before those deposits overflow.
+  add(r, "mla.rounds-cover-kernel",
+      m.second_level_rounds >= armkern::kSecondLevelRounds,
+      ineq(armkern::kSecondLevelRounds, m.second_level_rounds,
+           "kernel 16->32 cadence", "declared rounds"));
+  add(r, "mla.i16-second-level-headroom",
+      m.second_level_rounds > 0 &&
+          static_cast<i64>(m.second_level_rounds) * m.acc8_flush * p <=
+              kI16Max,
+      ineq(static_cast<i64>(m.second_level_rounds) * m.acc8_flush * p,
+           kI16Max, "rounds * flush8 * amax * wmax", "i16 headroom"));
+  prove_operand_range(r, m, "mla.operand-range-adjusted");
+  prove_i32_depth(r, m, "mla.i32-depth-headroom");
+}
+
+void prove_sdot(ProofResult& r, const SchemeModel& m) {
+  // SDOT accumulates four products per step straight into i32 lanes — no
+  // intermediate narrow lane, so depth headroom is the whole argument.
+  prove_operand_range(r, m, "sdot.operand-range-adjusted");
+  prove_i32_depth(r, m, "sdot.i32-depth-headroom");
+}
+
+void prove_ncnn(ProofResult& r, const SchemeModel& m) {
+  // ncnn scheme widens both operands (SSHLL) and SMLALs into 32-bit lanes
+  // directly; like SDOT, only the depth bound is at stake.
+  prove_operand_range(r, m, "ncnn.operand-range-adjusted");
+  prove_i32_depth(r, m, "ncnn.i32-depth-headroom");
+}
+
+void prove_traditional(ProofResult& r, const SchemeModel& m) {
+  // gemm_traditional accumulates in 16-bit lanes at a single-level flush:
+  // mla_flush * 4 for 2-3 bit, the SMLAL interval otherwise.
+  const i64 p = product_bound(m);
+  const int unroll = m.bits <= 3 ? armkern::mla_flush_interval(m.bits) * 4
+                                 : armkern::smlal_flush_interval(m.bits);
+  add(r, "traditional.flush-covers-unroll", m.acc16_flush >= unroll,
+      ineq(unroll, m.acc16_flush, "kernel unroll", "declared flush"));
+  add(r, "traditional.i16-lane-headroom",
+      m.acc16_flush > 0 && m.acc16_flush * p <= kI16Max,
+      ineq(m.acc16_flush * p, kI16Max, "flush * amax * wmax",
+           "i16 headroom"));
+  prove_operand_range(r, m, "traditional.operand-range-adjusted");
+  prove_i32_depth(r, m, "traditional.i32-depth-headroom");
+}
+
+void prove_lut(ProofResult& r, const SchemeModel& m) {
+  const i32 q = qmax_for_bits(m.bits);
+  const i64 p = product_bound(m);
+  // Every (w, a) product must fit the signed-byte pshufb table entry.
+  add(r, "lut.entry-fits-i8", p <= kI8Max,
+      ineq(p, kI8Max, "amax * wmax", "i8 table entry"));
+  // Table index = value + qmax must stay inside the 16-entry pshufb row
+  // for both operands (a indexes within a row, w selects the row).
+  add(r, "lut.index-in-table", 2 * q <= 15,
+      ineq(2 * q, 15, "qmax + qmax", "16-entry table"));
+  add(r, "lut.i16-lane-headroom",
+      m.acc16_flush > 0 && m.acc16_flush * p <= kI16Max,
+      ineq(m.acc16_flush * p, kI16Max, "flush * amax * wmax",
+           "i16 headroom"));
+  add(r, "lut.flush-covers-kernel", m.acc16_flush >= hal::kLutFlushInterval,
+      ineq(hal::kLutFlushInterval, m.acc16_flush, "kernel flush cadence",
+           "declared flush"));
+  // The N%32 tail stages zero activation bytes through the full-width
+  // kernel; a zero byte indexes column 0 + qmax — the w*0 entry — which
+  // must be 0 in EVERY weight row of the real shipping table.
+  if (m.pad_zero_tail) {
+    const i8* lut = hal::native_product_lut(m.bits);
+    bool zero_ok = m.a_max_abs <= q;  // pad index q only valid in-range
+    for (i32 w = -q; w <= q && zero_ok; ++w)
+      zero_ok = lut[static_cast<size_t>(w + q) * 16 + static_cast<size_t>(q)] == 0;
+    std::ostringstream os;
+    os << "table[w + " << q << "][0 + " << q << "] == w * 0 == 0 for all w in +-"
+       << q;
+    add(r, "lut.pad-zero-entry", zero_ok, os.str());
+  }
+  prove_operand_range(r, m, "lut.operand-range-adjusted");
+  prove_i32_depth(r, m, "lut.i32-depth-headroom");
+}
+
+void prove_dot(ProofResult& r, const SchemeModel& m) {
+  const i64 p = product_bound(m);
+  // maddubs forms |a|*sign-adjusted-b pair sums in i16 WITH SATURATION;
+  // the proof must rule saturation out, not merely wraparound. Two
+  // adjacent products bound the pair sum — 2 * 127 * 127 = 32258 < 2^15
+  // for the adjusted range, and exactly why -128 must stay excluded
+  // (2 * 128 * 128 = 32768 saturates).
+  add(r, "dot.pair-sum-no-saturate", 2 * p <= kI16Max,
+      ineq(2 * p, kI16Max, "2 * amax * wmax", "i16 pair sum, no saturate"));
+  // K zero-pads to 32 for the dot layout; pad lanes carry a = 0, so
+  // |a| * anything contributes 0 regardless of the b byte.
+  add(r, "dot.zero-pad-neutral", true,
+      "pad lanes multiply |a| = 0: contribution is exactly 0");
+  prove_operand_range(r, m, "dot.operand-range-adjusted");
+  prove_i32_depth(r, m, "dot.i32-depth-headroom");
+}
+
+void prove_scalar(ProofResult& r, const SchemeModel& m) {
+  // Both portable fallbacks accumulate each product straight into an i32;
+  // the only bound is depth headroom (plus the shared range premise).
+  prove_operand_range(r, m, "scalar.operand-range-adjusted");
+  prove_i32_depth(r, m, "scalar.i32-depth-headroom");
+}
+
+}  // namespace
+
+const char* proof_scheme_name(ProofScheme s) {
+  switch (s) {
+    case ProofScheme::kArmSmlal: return "smlal";
+    case ProofScheme::kArmMla: return "mla";
+    case ProofScheme::kArmSdot: return "sdot";
+    case ProofScheme::kArmNcnn: return "ncnn";
+    case ProofScheme::kArmTraditional: return "traditional";
+    case ProofScheme::kNativeLut: return "lut";
+    case ProofScheme::kNativeDot: return "dot";
+    case ProofScheme::kNativeScalar: return "scalar";
+  }
+  return "?";
+}
+
+bool ProofResult::proved() const {
+  for (const Obligation& o : obligations)
+    if (!o.proved) return false;
+  return !obligations.empty();
+}
+
+const Obligation* ProofResult::first_failed() const {
+  for (const Obligation& o : obligations)
+    if (!o.proved) return &o;
+  return nullptr;
+}
+
+Status ProofResult::to_status() const {
+  const Obligation* f = first_failed();
+  if (f == nullptr && !obligations.empty()) return Status();
+  std::ostringstream os;
+  os << "proof failed for " << proof_scheme_name(scheme) << " at " << bits
+     << "-bit: obligation '" << (f ? f->name : "<empty proof>") << "'";
+  if (f) os << " — " << f->statement;
+  return Status::invariant_violation(os.str());
+}
+
+SchemeModel shipping_model(ProofScheme scheme, int bits, i64 depth) {
+  SchemeModel m;
+  m.scheme = scheme;
+  m.bits = bits;
+  m.depth = depth;
+  m.a_max_abs = qmax_for_bits(bits);
+  m.b_max_abs = qmax_for_bits(bits);
+  switch (scheme) {
+    case ProofScheme::kArmSmlal:
+      m.acc16_flush = armkern::smlal_flush_interval(bits);
+      break;
+    case ProofScheme::kArmMla:
+      m.acc8_flush = armkern::mla_flush_interval(bits);
+      m.second_level_rounds = armkern::kSecondLevelRounds;
+      break;
+    case ProofScheme::kArmTraditional:
+      m.acc16_flush = bits <= 3 ? armkern::mla_flush_interval(bits) * 4
+                                : armkern::smlal_flush_interval(bits);
+      break;
+    case ProofScheme::kNativeLut:
+      m.acc16_flush = static_cast<int>(hal::kLutFlushInterval);
+      m.pad_zero_tail = true;
+      break;
+    case ProofScheme::kArmSdot:
+    case ProofScheme::kArmNcnn:
+    case ProofScheme::kNativeDot:
+    case ProofScheme::kNativeScalar:
+      break;  // direct-i32 (or saturation-only) schemes: no flush declared
+  }
+  return m;
+}
+
+ProofResult prove(const SchemeModel& m) {
+  ProofResult r;
+  r.scheme = m.scheme;
+  r.bits = m.bits;
+  switch (m.scheme) {
+    case ProofScheme::kArmSmlal: prove_smlal(r, m); break;
+    case ProofScheme::kArmMla: prove_mla(r, m); break;
+    case ProofScheme::kArmSdot: prove_sdot(r, m); break;
+    case ProofScheme::kArmNcnn: prove_ncnn(r, m); break;
+    case ProofScheme::kArmTraditional: prove_traditional(r, m); break;
+    case ProofScheme::kNativeLut: prove_lut(r, m); break;
+    case ProofScheme::kNativeDot: prove_dot(r, m); break;
+    case ProofScheme::kNativeScalar: prove_scalar(r, m); break;
+  }
+  return r;
+}
+
+Status prove_arm_kernel(armkern::ArmKernel kernel, int bits, i64 depth) {
+  ProofScheme scheme;
+  switch (kernel) {
+    case armkern::ArmKernel::kOursGemm:
+      scheme = bits <= 3 ? ProofScheme::kArmMla : ProofScheme::kArmSmlal;
+      break;
+    case armkern::ArmKernel::kNcnn:
+      scheme = ProofScheme::kArmNcnn;
+      break;
+    case armkern::ArmKernel::kTraditional:
+      scheme = ProofScheme::kArmTraditional;
+      break;
+    case armkern::ArmKernel::kSdotExt:
+      scheme = ProofScheme::kArmSdot;
+      break;
+    default:
+      return Status();
+  }
+  return prove(shipping_model(scheme, bits, depth))
+      .to_status()
+      .with_context("plan-time kernel proof");
+}
+
+Status prove_native_scheme(int bits, i64 depth) {
+  const ProofScheme vec = hal::native_scheme_for(bits) == hal::NativeScheme::kLut
+                              ? ProofScheme::kNativeLut
+                              : ProofScheme::kNativeDot;
+  // The dispatch layer may route to either the vector kernel or the
+  // portable scalar fallback at execute time; both must hold.
+  LBC_RETURN_IF_ERROR(prove(shipping_model(vec, bits, depth))
+                          .to_status()
+                          .with_context("plan-time native proof"));
+  return prove(shipping_model(ProofScheme::kNativeScalar, bits, depth))
+      .to_status()
+      .with_context("plan-time native proof");
+}
+
+std::string ProofSweepReport::failure_summary() const {
+  std::ostringstream os;
+  os << failures << " of " << entries.size() << " proofs failed";
+  for (const ProofSweepEntry& e : entries)
+    if (!e.proved) os << "\n  " << e.config << ": " << e.detail;
+  return os.str();
+}
+
+ProofSweepReport prove_all_schemes() {
+  ProofSweepReport rep;
+  // Representative GEMM reduction depths: a 1x1 conv over few channels, the
+  // fig09 workhorse (3x3 over 64 ch), a deep 3x3 (512 ch), and the deepest
+  // view the e2e net compiles. Each ARM entry records the blocking the
+  // shape would actually run under (clamp_blocking of the default tile).
+  struct Shape {
+    i64 m, n, k;
+  };
+  const Shape shapes[] = {
+      {16, 196, 9}, {64, 3136, 576}, {512, 49, 4608}, {512, 196, 8192}};
+
+  const auto run = [&rep](const SchemeModel& m, const std::string& config) {
+    const ProofResult r = prove(m);
+    rep.obligations += static_cast<int>(r.obligations.size());
+    ProofSweepEntry e;
+    e.config = config;
+    e.proved = r.proved();
+    if (const Obligation* f = r.first_failed())
+      e.detail = f->name + ": " + f->statement;
+    if (!e.proved) ++rep.failures;
+    rep.entries.push_back(std::move(e));
+  };
+
+  const auto arm_config = [](ProofScheme s, int bits, const Shape& sh,
+                             bool sdot) {
+    const armkern::GemmBlocking b =
+        armkern::default_blocking(sh.m, sh.n, sh.k, sdot);
+    std::ostringstream os;
+    os << proof_scheme_name(s) << " b" << bits << " k=" << sh.k << " mc=" << b.mc
+       << " kc=" << b.kc << " nc=" << b.nc;
+    return os.str();
+  };
+
+  for (const Shape& sh : shapes) {
+    // ARM schemes at their shipping bit widths.
+    for (int bits = 4; bits <= 8; ++bits)
+      run(shipping_model(ProofScheme::kArmSmlal, bits, sh.k),
+          arm_config(ProofScheme::kArmSmlal, bits, sh, false));
+    for (int bits = 2; bits <= 3; ++bits)
+      run(shipping_model(ProofScheme::kArmMla, bits, sh.k),
+          arm_config(ProofScheme::kArmMla, bits, sh, false));
+    for (int bits = 2; bits <= 8; ++bits) {
+      run(shipping_model(ProofScheme::kArmSdot, bits, sh.k),
+          arm_config(ProofScheme::kArmSdot, bits, sh, true));
+      run(shipping_model(ProofScheme::kArmNcnn, bits, sh.k),
+          arm_config(ProofScheme::kArmNcnn, bits, sh, false));
+      run(shipping_model(ProofScheme::kArmTraditional, bits, sh.k),
+          arm_config(ProofScheme::kArmTraditional, bits, sh, false));
+    }
+    // Native schemes under their default {rb, cb} tiling (the tiling is
+    // pure loop order — recorded for the grid, no proof term depends on it).
+    for (int bits = 2; bits <= 8; ++bits) {
+      const hal::NativeBlocking nb =
+          hal::default_native_blocking(sh.m, sh.n, sh.k, bits);
+      const ProofScheme vec = hal::native_scheme_for(bits) ==
+                                      hal::NativeScheme::kLut
+                                  ? ProofScheme::kNativeLut
+                                  : ProofScheme::kNativeDot;
+      std::ostringstream os;
+      os << proof_scheme_name(vec) << " b" << bits << " k=" << sh.k
+         << " rb=" << nb.rb << " cb=" << nb.cb;
+      run(shipping_model(vec, bits, sh.k), os.str());
+      std::ostringstream oss;
+      oss << "scalar b" << bits << " k=" << sh.k << " rb=" << nb.rb
+          << " cb=" << nb.cb;
+      run(shipping_model(ProofScheme::kNativeScalar, bits, sh.k), oss.str());
+    }
+  }
+  return rep;
+}
+
+}  // namespace lbc::check

@@ -1,0 +1,141 @@
+// Clang thread-safety annotations + an annotated mutex vocabulary.
+//
+// libstdc++'s std::mutex carries no capability attributes, so Clang's
+// -Wthread-safety analysis cannot see through it. This header provides the
+// attribute macros (expanding to nothing on compilers without the
+// analysis, i.e. the gcc builds in this repo stay byte-identical) and
+// thin annotated wrappers — lbc::Mutex / lbc::MutexLock / lbc::CondVar —
+// that the serving tier and the shared plan/tuning caches use so every
+// `LBC_GUARDED_BY(mu_)` member access is statically checked under
+// `clang++ -Wthread-safety -Werror` (the lint/CI configuration; see
+// tools/lint.sh --thread-safety and the `static-proofs` CI job).
+//
+// The wrappers are deliberately minimal: Mutex wraps std::mutex 1:1,
+// MutexLock is a scoped capability with explicit unlock()/lock() for the
+// dispatcher-style "drop the lock across the batch, re-take it after"
+// pattern, and CondVar wraps std::condition_variable_any, which accepts
+// any BasicLockable — so waits happen on the annotated Mutex directly and
+// the REQUIRES(mu) contract stays visible to the analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LBC_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef LBC_THREAD_ANNOTATION_
+#define LBC_THREAD_ANNOTATION_(x)  // no-op: gcc and pre-capability clang
+#endif
+
+#define LBC_CAPABILITY(x) LBC_THREAD_ANNOTATION_(capability(x))
+#define LBC_SCOPED_CAPABILITY LBC_THREAD_ANNOTATION_(scoped_lockable)
+#define LBC_GUARDED_BY(x) LBC_THREAD_ANNOTATION_(guarded_by(x))
+#define LBC_PT_GUARDED_BY(x) LBC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define LBC_ACQUIRE(...) \
+  LBC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LBC_RELEASE(...) \
+  LBC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define LBC_TRY_ACQUIRE(...) \
+  LBC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define LBC_REQUIRES(...) \
+  LBC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define LBC_EXCLUDES(...) LBC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define LBC_RETURN_CAPABILITY(x) LBC_THREAD_ANNOTATION_(lock_returned(x))
+#define LBC_ACQUIRED_BEFORE(...) \
+  LBC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define LBC_ACQUIRED_AFTER(...) \
+  LBC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define LBC_NO_THREAD_SAFETY_ANALYSIS \
+  LBC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace lbc {
+
+/// std::mutex with the `capability` attribute so -Wthread-safety tracks
+/// acquisitions. Satisfies BasicLockable, so std::condition_variable_any
+/// (via CondVar below) and std::scoped_lock-style helpers work unchanged.
+class LBC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LBC_ACQUIRE() { mu_.lock(); }
+  void unlock() LBC_RELEASE() { mu_.unlock(); }
+  bool try_lock() LBC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped capability over Mutex. unlock()/lock() support the
+/// scheduler's "release across the blocking section, re-take after"
+/// pattern while keeping the analysis sound: calling unlock() twice or
+/// destructing while unlocked is flagged by clang (and guarded by the
+/// owned_ flag at run time).
+class LBC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LBC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() LBC_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() LBC_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+  void lock() LBC_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_ = true;
+};
+
+/// Condition variable that waits on the annotated Mutex directly.
+/// std::condition_variable_any accepts any BasicLockable, so no
+/// unique_lock shim is needed and the REQUIRES(mu) contract on each wait
+/// documents (and, under clang, enforces) that the caller holds the lock.
+class CondVar {
+ public:
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) LBC_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) LBC_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d,
+                Pred pred) LBC_REQUIRES(mu) {
+    return cv_.wait_for(mu, d, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& tp)
+      LBC_REQUIRES(mu) {
+    return cv_.wait_until(mu, tp);
+  }
+
+  template <typename Clock, typename Duration, typename Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<Clock, Duration>& tp,
+                  Pred pred) LBC_REQUIRES(mu) {
+    return cv_.wait_until(mu, tp, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace lbc

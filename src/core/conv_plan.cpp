@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "armkern/tile_search.h"
+#include "check/kernel_prover.h"
 #include "common/fault_injection.h"
 #include "core/hal_backends.h"
 #include "hal/native_conv.h"
@@ -90,6 +91,16 @@ StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
   }
   LBC_ASSIGN_OR_RETURN(armkern::ArmConvPlan plan,
                        armkern::plan_conv(s, weight, opt));
+  // Static proof gate: the instruction scheme the RESOLVED kernel
+  // dispatches to (the planner may have degraded the request) must
+  // discharge its overflow obligations for this GEMM's reduction depth —
+  // a failed proof rejects the configuration before anything executes.
+  // Non-GEMM rungs (winograd/bitserial/direct) stay under the PR-4
+  // dynamic verifier.
+  if (plan.algo == armkern::ConvAlgo::kGemm)
+    LBC_RETURN_IF_ERROR(
+        check::prove_arm_kernel(plan.kernel, plan.requested.bits,
+                                s.gemm_k()));
   return ConvPlan(impl, std::move(plan));
 }
 
@@ -126,6 +137,10 @@ StatusOr<ConvPlan> plan_native_conv(const ConvShape& s,
       hal::NativeConvPlan np,
       hal::plan_native_conv(s, weight, bits,
                             have_blocking ? &blk : nullptr));
+  // Static proof gate for the native scheme (and its scalar fallback — the
+  // dispatch layer can route to either at execute time) at the packed
+  // reduction depth, k_pad: pad lanes count as accumulation steps.
+  LBC_RETURN_IF_ERROR(check::prove_native_scheme(bits, np.packed_a.k_pad));
 
   // Mirror the plan metadata into the ArmConvPlan shell so the shared
   // ConvPlan accessors (shape, bits, threads, algo) read one place.
@@ -368,7 +383,7 @@ StatusOr<std::shared_ptr<const ConvPlan>> PlanCache::get_or_compile(
     armkern::ConvAlgo algo, int threads, Backend backend) {
   const Key key = make_key(s, weight, bits, impl, algo, threads, backend);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++hits_;
@@ -387,7 +402,7 @@ StatusOr<std::shared_ptr<const ConvPlan>> PlanCache::get_or_compile(
           : plan_arm_conv(s, weight, bits, impl, algo, threads);
   LBC_ASSIGN_OR_RETURN(ConvPlan plan, std::move(plan_or));
   auto shared = std::make_shared<const ConvPlan>(std::move(plan));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++misses_;
   map_[key] = shared;
   return shared;
@@ -397,7 +412,7 @@ bool PlanCache::evict(const ConvShape& s, const Tensor<i8>& weight, int bits,
                       ArmImpl impl, armkern::ConvAlgo algo, int threads,
                       Backend backend) {
   const Key key = make_key(s, weight, bits, impl, algo, threads, backend);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) return false;
   map_.erase(it);
@@ -409,39 +424,39 @@ bool PlanCache::resident(const ConvShape& s, const Tensor<i8>& weight,
                          int bits, ArmImpl impl, armkern::ConvAlgo algo,
                          int threads, Backend backend) const {
   const Key key = make_key(s, weight, bits, impl, algo, threads, backend);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.find(key) != map_.end();
 }
 
 i64 PlanCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 i64 PlanCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 i64 PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<i64>(map_.size());
 }
 
 i64 PlanCache::evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return evictions_;
 }
 
 i64 PlanCache::resident_packed_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   i64 total = 0;
   for (const auto& [key, plan] : map_) total += plan->packed_weight_bytes();
   return total;
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
   hits_ = 0;
   misses_ = 0;

@@ -19,11 +19,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include <mutex>
-
 #include "armkern/conv_arm.h"
 #include "common/status.h"
 #include "common/tensor.h"
+#include "common/thread_annotations.h"
 #include "common/workspace.h"
 #include "core/engine.h"
 #include "gpukern/precomp.h"
@@ -245,9 +244,12 @@ class PlanCache {
                       ArmImpl impl, armkern::ConvAlgo algo, int threads,
                       Backend backend);
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const ConvPlan>, KeyHash> map_;
-  i64 hits_ = 0, misses_ = 0, evictions_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const ConvPlan>, KeyHash> map_
+      LBC_GUARDED_BY(mu_);
+  i64 hits_ LBC_GUARDED_BY(mu_) = 0;
+  i64 misses_ LBC_GUARDED_BY(mu_) = 0;
+  i64 evictions_ LBC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lbc::core

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "armsim/cost_model.h"
+#include "check/plan_audit.h"
 #include "common/status.h"
 
 namespace lbc::core {
@@ -38,6 +39,24 @@ bool fuse_eligible(const armkern::ArmConvPlan& p) {
 bool same_blocking(const armkern::GemmBlocking& a,
                    const armkern::GemmBlocking& b) {
   return a.mc == b.mc && a.kc == b.kc && a.nc == b.nc;
+}
+
+// Actual bytes backing a plan's prepacked weights (exactly one container
+// is populated, per the resolved rung) — what the auditor checks the
+// declared packed_weight_bytes accounting against.
+i64 packed_backing_bytes(const armkern::ArmConvPlan& p) {
+  switch (p.algo) {
+    case armkern::ConvAlgo::kWinograd:
+      return p.winograd.packed_bytes();
+    case armkern::ConvAlgo::kBitserial:
+      return p.bitplanes.packed_bytes();
+    default:
+      // GEMM family; kTraditional (and direct/reference) consume the raw
+      // weight tensor, so both containers are empty and this returns 0 —
+      // matching the plan's packed_weight_bytes accounting.
+      return static_cast<i64>(p.sdot_a.data.size()) +
+             static_cast<i64>(p.gemm_a.data.size());
+  }
 }
 
 }  // namespace
@@ -226,6 +245,7 @@ StatusOr<GraphPlan> GraphPlan::compile(const QnnGraph& g,
   struct Placed {
     i64 off, bytes;
     int def, last;
+    int node;
   };
   std::vector<Placed> placed;
   for (size_t i = 0; i < n_nodes; ++i) {
@@ -244,7 +264,8 @@ StatusOr<GraphPlan> GraphPlan::compile(const QnnGraph& g,
     }
     p.out_offset = off;
     p.out_bytes = bytes;
-    placed.push_back(Placed{off, bytes, def[i], last[i]});
+    placed.push_back(Placed{off, bytes, def[i], last[i],
+                            static_cast<int>(i)});
     plan.activation_bytes_ =
         std::max(plan.activation_bytes_, off + bytes);
   }
@@ -259,6 +280,43 @@ StatusOr<GraphPlan> GraphPlan::compile(const QnnGraph& g,
   for (const NodePlan& p : plan.nodes_)
     if (p.kind == NodeKind::kConv)
       plan.packed_weight_bytes_ += p.conv->packed_weight_bytes;
+
+  // ---- opt-in post-compile audit ----------------------------------------
+  // Re-derive what the planner just decided — slot placement, epilogue
+  // write extents, packed-weight accounting, resolved blockings — as plain
+  // data and hand it to the auditor. A finding fails the compile with the
+  // invariant named rather than corrupting activations at execute time.
+  if (opt.audit) {
+    check::PlanAuditInput audit;
+    audit.activation_bytes = plan.activation_bytes_;
+    for (const Placed& q : placed)
+      audit.slots.push_back(
+          check::SlotInterval{q.node, q.off, q.bytes, q.def, q.last});
+    for (size_t i = 0; i < n_nodes; ++i) {
+      const NodePlan& p = plan.nodes_[i];
+      if (p.kind != NodeKind::kConv) continue;
+      if (p.fused) {
+        // The epilogue streams gemm_m x gemm_n int8 rows to its
+        // destination slot: the conv's own, or the fused add's.
+        const NodePlan& dst =
+            p.fused_add >= 0 ? plan.nodes_[static_cast<size_t>(p.fused_add)]
+                             : p;
+        audit.epilogues.push_back(check::EpilogueWrite{
+            static_cast<int>(i), dst.out_offset, dst.out_bytes,
+            dst.out_offset, p.gemm_m * p.gemm_n});
+      }
+      audit.packed.push_back(check::PackedRegion{
+          static_cast<int>(i), p.conv->packed_weight_bytes,
+          packed_backing_bytes(*p.conv)});
+      if (p.conv->blocking.enabled())
+        audit.blockings.push_back(check::BlockingRecord{
+            static_cast<int>(i), p.conv->blocking, p.conv->shape.gemm_m(),
+            p.conv->shape.gemm_n(), p.conv->shape.gemm_k(),
+            p.conv->kernel == armkern::ArmKernel::kSdotExt});
+    }
+    LBC_RETURN_IF_ERROR(check::audit_plan(audit).to_status().with_context(
+        "GraphPlan::compile audit"));
+  }
   return plan;
 }
 

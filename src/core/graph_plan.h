@@ -58,6 +58,11 @@ struct GraphPlanOptions {
   /// Optional persistent store for the joint search's winners (TuningCache
   /// v4 "graph" rows keyed by graph_blocking_hash).
   gpukern::TuningCache* tuning = nullptr;
+  /// Opt-in post-compile audit (check::audit_plan): re-checks slot
+  /// liveness disjointness, fused-epilogue containment, packed-weight
+  /// accounting, and blocking clamp bounds over the compiled plan;
+  /// compile fails with kInvariantViolation naming the invariant.
+  bool audit = false;
 };
 
 class GraphPlan {

@@ -44,7 +44,7 @@ Status validate_x86_blocking(const X86Blocking& b) {
 }
 
 std::optional<Tiling> TuningCache::lookup(const TuningKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
   return it->second;
@@ -54,7 +54,7 @@ Tiling TuningCache::get_or_search(const gpusim::DeviceSpec& dev,
                                   const ConvShape& s, int bits, bool use_tc) {
   const TuningKey key{s.gemm_m(), s.gemm_n(), s.gemm_k(), bits, use_tc};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       Tiling hit = it->second;
@@ -82,13 +82,13 @@ Tiling TuningCache::get_or_search(const gpusim::DeviceSpec& dev,
 }
 
 void TuningCache::put(const TuningKey& key, const Tiling& t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[key] = t;
 }
 
 std::optional<ArmBlocking> TuningCache::lookup_arm(
     const ArmTuningKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = arm_entries_.find(key);
   if (it == arm_entries_.end()) return std::nullopt;
   return it->second;
@@ -97,7 +97,7 @@ std::optional<ArmBlocking> TuningCache::lookup_arm(
 ArmBlocking TuningCache::get_or_search_arm(
     const ArmTuningKey& key, const std::function<ArmBlocking()>& search) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = arm_entries_.find(key);
     if (it != arm_entries_.end()) {
       ArmBlocking hit = it->second;
@@ -123,13 +123,13 @@ ArmBlocking TuningCache::get_or_search_arm(
 }
 
 void TuningCache::put_arm(const ArmTuningKey& key, const ArmBlocking& b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   arm_entries_[key] = b;
 }
 
 std::optional<X86Blocking> TuningCache::lookup_x86(
     const X86TuningKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = x86_entries_.find(key);
   if (it == x86_entries_.end()) return std::nullopt;
   return it->second;
@@ -138,7 +138,7 @@ std::optional<X86Blocking> TuningCache::lookup_x86(
 X86Blocking TuningCache::get_or_search_x86(
     const X86TuningKey& key, const std::function<X86Blocking()>& search) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = x86_entries_.find(key);
     if (it != x86_entries_.end()) {
       X86Blocking hit = it->second;
@@ -164,14 +164,14 @@ X86Blocking TuningCache::get_or_search_x86(
 }
 
 void TuningCache::put_x86(const X86TuningKey& key, const X86Blocking& b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   x86_entries_[key] = b;
 }
 
 std::optional<std::vector<ArmBlocking>> TuningCache::lookup_graph(
     u64 graph_hash, int n_layers) const {
   if (n_layers <= 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ArmBlocking> plan;
   plan.reserve(static_cast<size_t>(n_layers));
   for (int layer = 0; layer < n_layers; ++layer) {
@@ -186,7 +186,7 @@ std::vector<ArmBlocking> TuningCache::get_or_search_graph(
     u64 graph_hash, int n_layers,
     const std::function<std::vector<ArmBlocking>()>& search) {
   if (n_layers > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::vector<ArmBlocking> plan;
     plan.reserve(static_cast<size_t>(n_layers));
     bool complete = true;
@@ -228,50 +228,50 @@ std::vector<ArmBlocking> TuningCache::get_or_search_graph(
 
 void TuningCache::put_graph(u64 graph_hash,
                             const std::vector<ArmBlocking>& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (size_t layer = 0; layer < plan.size(); ++layer)
     graph_entries_[GraphTuningKey{graph_hash, static_cast<int>(layer)}] =
         plan[layer];
 }
 
 size_t TuningCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size() + arm_entries_.size() + x86_entries_.size() +
          graph_entries_.size();
 }
 
 size_t TuningCache::arm_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return arm_entries_.size();
 }
 
 size_t TuningCache::x86_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return x86_entries_.size();
 }
 
 size_t TuningCache::graph_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return graph_entries_.size();
 }
 
 i64 TuningCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 i64 TuningCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 i64 TuningCache::corrupt_evictions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return corrupt_evictions_;
 }
 
 std::string TuningCache::serialize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream out;
   out << kTuningCacheHeader << '\n';
   // GPU entries keep the bare v1 line body, so a v2 file of GPU entries
@@ -424,7 +424,7 @@ StatusOr<int> TuningCache::deserialize(const std::string& text) {
   for (const auto& [k, b] : parsed_arm) put_arm(k, b);
   for (const auto& [k, b] : parsed_x86) put_x86(k, b);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [k, b] : parsed_graph) graph_entries_[k] = b;
   }
   return static_cast<int>(parsed.size() + parsed_arm.size() +

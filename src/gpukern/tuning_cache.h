@@ -30,12 +30,12 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "gpukern/autotune.h"
 
 namespace lbc::gpukern {
@@ -209,12 +209,14 @@ class TuningCache {
   StatusOr<int> deserialize(const std::string& text);
 
  private:
-  mutable std::mutex mu_;
-  std::map<TuningKey, Tiling> entries_;
-  std::map<ArmTuningKey, ArmBlocking> arm_entries_;
-  std::map<X86TuningKey, X86Blocking> x86_entries_;
-  std::map<GraphTuningKey, ArmBlocking> graph_entries_;
-  i64 hits_ = 0, misses_ = 0, corrupt_evictions_ = 0;
+  mutable Mutex mu_;
+  std::map<TuningKey, Tiling> entries_ LBC_GUARDED_BY(mu_);
+  std::map<ArmTuningKey, ArmBlocking> arm_entries_ LBC_GUARDED_BY(mu_);
+  std::map<X86TuningKey, X86Blocking> x86_entries_ LBC_GUARDED_BY(mu_);
+  std::map<GraphTuningKey, ArmBlocking> graph_entries_ LBC_GUARDED_BY(mu_);
+  i64 hits_ LBC_GUARDED_BY(mu_) = 0;
+  i64 misses_ LBC_GUARDED_BY(mu_) = 0;
+  i64 corrupt_evictions_ LBC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lbc::gpukern

@@ -60,6 +60,12 @@ NativeScheme native_scheme_for(int bits);
 /// 0 = LUT, 1 = DOT.
 int native_scheme_id(int bits);
 
+/// LUT-scheme 16-bit flush cadence: i16 lanes absorb this many products
+/// before the kernel widens to 32-bit. Shared between the AVX2 kernel and
+/// the symbolic prover (check/kernel_prover.h), which proves
+/// kLutFlushInterval * qmax(bits)^2 <= 32767 for every LUT width.
+constexpr i64 kLutFlushInterval = 256;
+
 /// {row_block, col_block} loop tiling of the native GEMM. row_block tiles
 /// the M (weight-row) loop, col_block the N (output-pixel) loop; both in
 /// raw elements, clamped to the problem by the driver.

@@ -16,9 +16,9 @@ namespace lbc::hal {
 
 namespace {
 
-/// 16-bit lanes can absorb this many LUT products before a 32-bit flush:
-/// 256 * qmax(4)^2 = 12544 < 32767, so one interval fits every LUT width.
-constexpr i64 kLutFlushInterval = 256;
+// The 16-bit flush cadence (kLutFlushInterval, native_gemm.h) is safe for
+// every LUT width: 256 * qmax(4)^2 = 12544 < 32767 — proved symbolically
+// per bit width by check::prove_all_schemes().
 
 i32 hsum_epi32(__m256i v) {
   __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),

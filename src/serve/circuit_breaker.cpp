@@ -25,7 +25,7 @@ CircuitBreaker::CircuitBreaker(const BreakerOptions& opt) : opt_(opt) {
 }
 
 CircuitBreaker::Decision CircuitBreaker::admit(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (state_ == BreakerState::kOpen && now - opened_at_ >= opt_.cooldown) {
     state_ = BreakerState::kHalfOpen;
     last_transition_ = now;
@@ -47,7 +47,7 @@ CircuitBreaker::Decision CircuitBreaker::admit(Clock::time_point now) {
 }
 
 void CircuitBreaker::record(Outcome outcome, Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   push_window_locked(outcome != Outcome::kSuccess);
   // Late results from batches formed before a trip must not re-trip an
   // already-open breaker or flip a half-open one; only kClosed reacts.
@@ -67,7 +67,7 @@ void CircuitBreaker::record(Outcome outcome, Clock::time_point now) {
 }
 
 void CircuitBreaker::record_probe(Outcome outcome, Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (probes_inflight_ > 0) --probes_inflight_;
   push_window_locked(outcome != Outcome::kSuccess);
   if (state_ != BreakerState::kHalfOpen) return;
@@ -88,7 +88,7 @@ void CircuitBreaker::record_probe(Outcome outcome, Clock::time_point now) {
 }
 
 void CircuitBreaker::cancel_probe() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (probes_inflight_ > 0) --probes_inflight_;
 }
 
@@ -116,32 +116,32 @@ double CircuitBreaker::window_miss_rate_locked() const {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 Clock::time_point CircuitBreaker::last_transition() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_transition_;
 }
 
 i64 CircuitBreaker::trips() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trips_;
 }
 
 i64 CircuitBreaker::probes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return probes_;
 }
 
 int CircuitBreaker::consecutive_failures() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return consecutive_failures_;
 }
 
 std::string CircuitBreaker::describe() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << breaker_state_name(state_);
   if (trips_ > 0) os << " (" << trips_ << (trips_ == 1 ? " trip" : " trips");

@@ -29,10 +29,10 @@
 #pragma once
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "serve/request.h"
 
@@ -117,24 +117,24 @@ class CircuitBreaker {
   std::string describe() const;
 
  private:
-  void trip_locked(Clock::time_point now);
-  void push_window_locked(bool miss);
-  double window_miss_rate_locked() const;
+  void trip_locked(Clock::time_point now) LBC_REQUIRES(mu_);
+  void push_window_locked(bool miss) LBC_REQUIRES(mu_);
+  double window_miss_rate_locked() const LBC_REQUIRES(mu_);
 
   BreakerOptions opt_;
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  Clock::time_point opened_at_{};
-  Clock::time_point last_transition_{};
-  int consecutive_failures_ = 0;
-  int probes_inflight_ = 0;
-  int probe_successes_ = 0;
-  i64 trips_ = 0;
-  i64 probes_ = 0;
+  mutable Mutex mu_;
+  BreakerState state_ LBC_GUARDED_BY(mu_) = BreakerState::kClosed;
+  Clock::time_point opened_at_ LBC_GUARDED_BY(mu_){};
+  Clock::time_point last_transition_ LBC_GUARDED_BY(mu_){};
+  int consecutive_failures_ LBC_GUARDED_BY(mu_) = 0;
+  int probes_inflight_ LBC_GUARDED_BY(mu_) = 0;
+  int probe_successes_ LBC_GUARDED_BY(mu_) = 0;
+  i64 trips_ LBC_GUARDED_BY(mu_) = 0;
+  i64 probes_ LBC_GUARDED_BY(mu_) = 0;
   // Sliding outcome window as a ring buffer of miss bits.
-  std::vector<bool> window_miss_;
-  size_t window_next_ = 0;
-  size_t window_filled_ = 0;
+  std::vector<bool> window_miss_ LBC_GUARDED_BY(mu_);
+  size_t window_next_ LBC_GUARDED_BY(mu_) = 0;
+  size_t window_filled_ LBC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lbc::serve

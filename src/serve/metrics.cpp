@@ -28,7 +28,7 @@ const char* shed_reason_name(ShedReason r) {
 }
 
 void ServeMetrics::record_admitted(Clock::time_point now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!has_window_) {
     first_admitted_ = now;
     has_window_ = true;
@@ -36,7 +36,7 @@ void ServeMetrics::record_admitted(Clock::time_point now) {
 }
 
 void ServeMetrics::record_shed(ShedReason reason, Priority priority) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++sheds_[static_cast<size_t>(reason)];
   if (reason == ShedReason::kQueueFull) ++rejected_;
   if (reason != ShedReason::kDeadline)
@@ -44,20 +44,20 @@ void ServeMetrics::record_shed(ShedReason reason, Priority priority) {
 }
 
 void ServeMetrics::record_expired(Priority priority) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++expired_;
   ++sheds_[static_cast<size_t>(ShedReason::kDeadline)];
   ++lanes_[lane_index(priority)].expired;
 }
 
 void ServeMetrics::record_fallback_served() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++fallback_served_;
 }
 
 void ServeMetrics::record_batch(int batch_size) {
   if (batch_size <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++batches_;
   batched_requests_ += batch_size;
   if (batch_hist_.size() < static_cast<size_t>(batch_size))
@@ -66,7 +66,7 @@ void ServeMetrics::record_batch(int batch_size) {
 }
 
 void ServeMetrics::record_batch_plan(bool planned) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (planned)
     ++planned_batches_;
   else
@@ -76,7 +76,7 @@ void ServeMetrics::record_batch_plan(bool planned) {
 void ServeMetrics::record_completion(double queue_wait_s, double latency_s,
                                      bool ok, Clock::time_point now,
                                      Priority priority) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LaneState& lane = lanes_[lane_index(priority)];
   if (ok) {
     ++completed_;
@@ -94,7 +94,7 @@ void ServeMetrics::record_completion(double queue_wait_s, double latency_s,
 }
 
 MetricsSnapshot ServeMetrics::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot s;
   s.completed = completed_;
   s.failed = failed_;
@@ -153,7 +153,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
 }
 
 void ServeMetrics::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   completed_ = failed_ = rejected_ = expired_ = 0;
   batches_ = batched_requests_ = 0;
   planned_batches_ = unplanned_batches_ = 0;

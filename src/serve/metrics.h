@@ -17,10 +17,10 @@
 #pragma once
 
 #include <array>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "serve/request.h"
 
@@ -132,19 +132,25 @@ class ServeMetrics {
     std::vector<double> latency_s;
   };
 
-  mutable std::mutex mu_;
-  i64 completed_ = 0, failed_ = 0, rejected_ = 0, expired_ = 0;
-  i64 batches_ = 0, batched_requests_ = 0;
-  i64 planned_batches_ = 0, unplanned_batches_ = 0;
-  i64 fallback_served_ = 0;
-  std::array<i64, static_cast<size_t>(ShedReason::kReasonCount)> sheds_{};
-  std::array<LaneState, kNumPriorities> lanes_;
-  std::vector<i64> batch_hist_;
-  std::vector<double> queue_wait_s_;
-  std::vector<double> latency_s_;
-  bool has_window_ = false;
-  Clock::time_point first_admitted_{};
-  Clock::time_point last_completed_{};
+  mutable Mutex mu_;
+  i64 completed_ LBC_GUARDED_BY(mu_) = 0;
+  i64 failed_ LBC_GUARDED_BY(mu_) = 0;
+  i64 rejected_ LBC_GUARDED_BY(mu_) = 0;
+  i64 expired_ LBC_GUARDED_BY(mu_) = 0;
+  i64 batches_ LBC_GUARDED_BY(mu_) = 0;
+  i64 batched_requests_ LBC_GUARDED_BY(mu_) = 0;
+  i64 planned_batches_ LBC_GUARDED_BY(mu_) = 0;
+  i64 unplanned_batches_ LBC_GUARDED_BY(mu_) = 0;
+  i64 fallback_served_ LBC_GUARDED_BY(mu_) = 0;
+  std::array<i64, static_cast<size_t>(ShedReason::kReasonCount)> sheds_
+      LBC_GUARDED_BY(mu_){};
+  std::array<LaneState, kNumPriorities> lanes_ LBC_GUARDED_BY(mu_);
+  std::vector<i64> batch_hist_ LBC_GUARDED_BY(mu_);
+  std::vector<double> queue_wait_s_ LBC_GUARDED_BY(mu_);
+  std::vector<double> latency_s_ LBC_GUARDED_BY(mu_);
+  bool has_window_ LBC_GUARDED_BY(mu_) = false;
+  Clock::time_point first_admitted_ LBC_GUARDED_BY(mu_){};
+  Clock::time_point last_completed_ LBC_GUARDED_BY(mu_){};
 };
 
 }  // namespace lbc::serve

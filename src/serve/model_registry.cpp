@@ -51,7 +51,7 @@ Status ModelRegistry::register_model(const std::string& name, ModelSpec spec) {
                "model '" << name << "' threads must be in [1, 64], got "
                          << spec.threads);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LBC_VALIDATE(models_.find(name) == models_.end(), kInvalidArgument,
                "model '" << name << "' is already registered");
   auto entry = std::make_unique<Entry>();
@@ -62,7 +62,7 @@ Status ModelRegistry::register_model(const std::string& name, ModelSpec spec) {
 }
 
 Status ModelRegistry::unregister_model(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(name);
   LBC_VALIDATE(it != models_.end(), kNotFound,
                "model '" << name << "' is not registered");
@@ -77,7 +77,7 @@ StatusOr<std::shared_ptr<const core::ConvPlan>> ModelRegistry::acquire_plan(
     const std::string& name) {
   Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = models_.find(name);
     LBC_VALIDATE(it != models_.end(), kNotFound,
                  "model '" << name << "' is not registered");
@@ -91,7 +91,7 @@ StatusOr<std::shared_ptr<const core::ConvPlan>> ModelRegistry::acquire_plan(
       std::shared_ptr<const core::ConvPlan> plan,
       cache_.get_or_compile(s.shape, s.weight, s.bits, s.impl, s.algo,
                             s.threads, s.backend));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entry->last_used = ++tick_;
   ++acquires_;
   enforce_budget_locked(entry, nullptr);
@@ -115,7 +115,7 @@ Status ModelRegistry::register_graph_model(const std::string& name,
                                      << "[1, 64], got "
                                      << spec.options.threads);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LBC_VALIDATE(graph_models_.find(name) == graph_models_.end(),
                kInvalidArgument,
                "graph model '" << name << "' is already registered");
@@ -127,7 +127,7 @@ Status ModelRegistry::register_graph_model(const std::string& name,
 }
 
 Status ModelRegistry::unregister_graph_model(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = graph_models_.find(name);
   LBC_VALIDATE(it != graph_models_.end(), kNotFound,
                "graph model '" << name << "' is not registered");
@@ -142,7 +142,7 @@ StatusOr<std::shared_ptr<const core::GraphPlan>>
 ModelRegistry::acquire_graph_plan(const std::string& name) {
   GraphEntry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = graph_models_.find(name);
     LBC_VALIDATE(it != graph_models_.end(), kNotFound,
                  "graph model '" << name << "' is not registered");
@@ -166,7 +166,7 @@ ModelRegistry::acquire_graph_plan(const std::string& name) {
                        core::GraphPlan::compile(*s.graph, s.options));
   auto plan = std::make_shared<const core::GraphPlan>(std::move(compiled));
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   u64 key = plan->graph_hash() != 0
                 ? graph_plan_key(plan->graph_hash(), s.options)
                 : 0x9e3779b97f4a7c15ull + entry->order;  // no fused chain:
@@ -234,7 +234,7 @@ i64 ModelRegistry::resident_graph_bytes_locked() const {
 }
 
 StatusOr<const ModelSpec*> ModelRegistry::find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(name);
   LBC_VALIDATE(it != models_.end(), kNotFound,
                "model '" << name << "' is not registered");
@@ -243,12 +243,12 @@ StatusOr<const ModelSpec*> ModelRegistry::find(const std::string& name) const {
 }
 
 bool ModelRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return models_.find(name) != models_.end();
 }
 
 std::vector<std::string> ModelRegistry::model_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<u64, std::string>> ordered;
   ordered.reserve(models_.size());
   for (const auto& [name, entry] : models_)
@@ -261,7 +261,7 @@ std::vector<std::string> ModelRegistry::model_names() const {
 }
 
 bool ModelRegistry::plan_resident(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = models_.find(name);
   if (it == models_.end()) return false;
   const ModelSpec& s = it->second->spec;
@@ -271,7 +271,7 @@ bool ModelRegistry::plan_resident(const std::string& name) const {
 
 StatusOr<const GraphModelSpec*> ModelRegistry::find_graph(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = graph_models_.find(name);
   LBC_VALIDATE(it != graph_models_.end(), kNotFound,
                "graph model '" << name << "' is not registered");
@@ -280,12 +280,12 @@ StatusOr<const GraphModelSpec*> ModelRegistry::find_graph(
 }
 
 bool ModelRegistry::contains_graph(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return graph_models_.find(name) != graph_models_.end();
 }
 
 std::vector<std::string> ModelRegistry::graph_model_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<u64, std::string>> ordered;
   ordered.reserve(graph_models_.size());
   for (const auto& [name, entry] : graph_models_)
@@ -298,7 +298,7 @@ std::vector<std::string> ModelRegistry::graph_model_names() const {
 }
 
 bool ModelRegistry::graph_plan_resident(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = graph_models_.find(name);
   if (it == graph_models_.end()) return false;
   return it->second->plan_key != 0 &&
@@ -306,7 +306,7 @@ bool ModelRegistry::graph_plan_resident(const std::string& name) const {
 }
 
 RegistryStats ModelRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RegistryStats s;
   s.models = static_cast<int>(models_.size());
   s.graph_models = static_cast<int>(graph_models_.size());

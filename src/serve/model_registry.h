@@ -37,6 +37,7 @@
 #include "common/conv_shape.h"
 #include "common/status.h"
 #include "common/tensor.h"
+#include "common/thread_annotations.h"
 #include "core/conv_plan.h"
 #include "core/engine.h"
 #include "core/graph_plan.h"
@@ -175,21 +176,24 @@ class ModelRegistry {
   /// Evict LRU resident plans — conv or graph, whichever model is
   /// least-recently used — excluding `keep`/`keep_graph`, until resident
   /// bytes fit the budget. Caller holds mu_.
-  void enforce_budget_locked(const Entry* keep, const GraphEntry* keep_graph);
+  void enforce_budget_locked(const Entry* keep, const GraphEntry* keep_graph)
+      LBC_REQUIRES(mu_);
 
-  i64 resident_graph_bytes_locked() const;
+  i64 resident_graph_bytes_locked() const LBC_REQUIRES(mu_);
 
   RegistryOptions opt_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Entry>> models_;
-  std::map<std::string, std::unique_ptr<GraphEntry>> graph_models_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> models_ LBC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<GraphEntry>> graph_models_
+      LBC_GUARDED_BY(mu_);
   /// Compiled whole-net plans keyed by GraphEntry::plan_key.
-  std::map<u64, std::shared_ptr<const core::GraphPlan>> graph_plans_;
-  u64 tick_ = 0;
-  u64 next_order_ = 0;
-  i64 acquires_ = 0;
-  i64 graph_acquires_ = 0;
-  i64 graph_evictions_ = 0;
+  std::map<u64, std::shared_ptr<const core::GraphPlan>> graph_plans_
+      LBC_GUARDED_BY(mu_);
+  u64 tick_ LBC_GUARDED_BY(mu_) = 0;
+  u64 next_order_ LBC_GUARDED_BY(mu_) = 0;
+  i64 acquires_ LBC_GUARDED_BY(mu_) = 0;
+  i64 graph_acquires_ LBC_GUARDED_BY(mu_) = 0;
+  i64 graph_evictions_ LBC_GUARDED_BY(mu_) = 0;
   core::PlanCache cache_;  ///< shared across all models; own internal mutex
 };
 

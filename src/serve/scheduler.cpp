@@ -167,7 +167,7 @@ void BatchScheduler::resolve(Pending& p, InferResponse resp) {
   p.promise.set_value(std::move(resp));
   // Count under mu_ and wake shutdown(): its no-request-left-unresolved
   // wait needs the admitted == resolved transition to be cv-visible.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++resolved_count_;
   drain_cv_.notify_all();
 }
@@ -190,7 +190,7 @@ StatusOr<std::future<InferResponse>> BatchScheduler::submit(
   LBC_VALIDATE(pri >= 0 && pri < kNumPriorities, kInvalidArgument,
                "priority out of range: " << pri);
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LBC_VALIDATE(!stopping_, kFailedPrecondition,
                "submit() after shutdown()");
   Pending displaced;
@@ -243,9 +243,9 @@ StatusOr<std::future<InferResponse>> BatchScheduler::submit(
 }
 
 void BatchScheduler::dispatcher_main() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    queue_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    while (!stopping_ && queued_ == 0) queue_cv_.wait(mu_);
     if (queued_ == 0) {
       if (stopping_) break;
       continue;
@@ -254,9 +254,8 @@ void BatchScheduler::dispatcher_main() {
     // Execution backpressure: past max_inflight_batches the dispatcher
     // stalls, overload backs up into the bounded admission queue, and
     // submit() starts shedding — latency stays bounded end to end.
-    drain_cv_.wait(lock, [this] {
-      return inflight_batches_ < static_cast<i64>(opt_.max_inflight_batches);
-    });
+    while (inflight_batches_ >= static_cast<i64>(opt_.max_inflight_batches))
+      drain_cv_.wait(mu_);
     if (queued_ == 0) {
       if (stopping_) break;
       continue;  // a fail-pending shutdown drained the queue while we waited
@@ -271,9 +270,11 @@ void BatchScheduler::dispatcher_main() {
           head_admitted + std::chrono::microseconds(opt_.max_wait_us);
       // No point holding the window open past the head's own deadline.
       if (head_deadline < wait_until) wait_until = head_deadline;
-      queue_cv_.wait_until(lock, wait_until, [this] {
-        return stopping_ || queued_ >= static_cast<size_t>(opt_.max_batch);
-      });
+      while (!stopping_ &&
+             queued_ < static_cast<size_t>(opt_.max_batch)) {
+        if (queue_cv_.wait_until(mu_, wait_until) == std::cv_status::timeout)
+          break;
+      }
     }
     if (queued_ == 0) {
       if (stopping_) break;
@@ -390,7 +391,7 @@ void BatchScheduler::run_batch(std::vector<Pending> batch,
 
   // Every decrement is a wakeup: the dispatcher may be stalled on the
   // in-flight bound, and shutdown() waits for zero.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   --inflight_batches_;
   drain_cv_.notify_all();
 }
@@ -398,7 +399,7 @@ void BatchScheduler::run_batch(std::vector<Pending> batch,
 void BatchScheduler::shutdown() {
   std::vector<Pending> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     if (opt_.shutdown_policy == ShutdownPolicy::kFailPending &&
         queued_ > 0) {
@@ -423,7 +424,7 @@ void BatchScheduler::shutdown() {
   {
     // Serialize the join: shutdown() may be called again (destructor after
     // an explicit shutdown, or from another thread).
-    std::lock_guard<std::mutex> lock(join_mu_);
+    MutexLock lock(join_mu_);
     if (dispatcher_.joinable()) dispatcher_.join();
   }
   // The dispatcher drained the queue before exiting; now wait for the
@@ -431,10 +432,9 @@ void BatchScheduler::shutdown() {
   // answered (executed, expired, displaced, or drained). No request is
   // EVER left unresolved; a dropped promise would hang a client, so a
   // resolution count that cannot catch up is a library bug.
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] {
-    return inflight_batches_ == 0 && admitted_count_ == resolved_count_;
-  });
+  MutexLock lock(mu_);
+  while (inflight_batches_ != 0 || admitted_count_ != resolved_count_)
+    drain_cv_.wait(mu_);
   LBC_CHECK(queued_ == 0);
   LBC_CHECK_MSG(admitted_count_ == resolved_count_,
                 "scheduler shutdown left admitted requests unresolved");

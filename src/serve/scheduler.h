@@ -58,6 +58,7 @@
 #include <unordered_map>
 
 #include "common/conv_shape.h"
+#include "common/thread_annotations.h"
 #include "core/conv_plan.h"
 #include "core/engine.h"
 #include "serve/metrics.h"
@@ -123,7 +124,8 @@ class BatchScheduler {
   /// shutdown(). The input must be a batch-1 tensor matching the served
   /// layer shape (kInvalidArgument otherwise).
   StatusOr<std::future<InferResponse>> submit(Tensor<i8> input,
-                                              const SubmitOptions& sub);
+                                              const SubmitOptions& sub)
+      LBC_EXCLUDES(mu_);
 
   /// Tenant-0 standard-priority convenience (the pre-multi-tenant API).
   StatusOr<std::future<InferResponse>> submit(
@@ -132,7 +134,7 @@ class BatchScheduler {
   /// Stop admitting, resolve everything already queued (execute or fail per
   /// shutdown_policy), wait for all in-flight batches. Idempotent; also run
   /// by the destructor. Asserts no admitted request was left unresolved.
-  void shutdown();
+  void shutdown() LBC_EXCLUDES(mu_);
 
   const ServeMetrics& metrics() const { return metrics_; }
   ServeMetrics& metrics() { return metrics_; }
@@ -170,23 +172,25 @@ class BatchScheduler {
   double tenant_weight(int tenant) const;
   /// Dequeue the WFQ-next request (highest non-empty class, min-vfinish
   /// lane). Caller holds mu_ and guarantees queued_ > 0.
-  Pending pop_next_locked();
+  Pending pop_next_locked() LBC_REQUIRES(mu_);
   /// Admitted/deadline of the oldest queued request. Caller holds mu_.
   void head_info_locked(Clock::time_point* admitted,
-                        Clock::time_point* deadline) const;
+                        Clock::time_point* deadline) const LBC_REQUIRES(mu_);
   /// Remove the most recently admitted request from the lowest priority
   /// class strictly below `arriving`. Caller holds mu_.
-  bool displace_lowest_locked(Priority arriving, Pending* victim);
+  bool displace_lowest_locked(Priority arriving, Pending* victim)
+      LBC_REQUIRES(mu_);
 
   /// Set the response (tenant/priority/probe stamped from the request),
   /// fire on_complete, fulfill the promise, count the resolution.
-  void resolve(Pending& p, InferResponse resp);
+  void resolve(Pending& p, InferResponse resp) LBC_EXCLUDES(mu_);
 
   /// The batch's plan: opt_.plan_source when set, else the own PlanCache.
   StatusOr<std::shared_ptr<const core::ConvPlan>> lookup_plan();
 
-  void dispatcher_main();
-  void run_batch(std::vector<Pending> batch, Clock::time_point formed);
+  void dispatcher_main() LBC_EXCLUDES(mu_);
+  void run_batch(std::vector<Pending> batch, Clock::time_point formed)
+      LBC_EXCLUDES(mu_);
 
   ConvShape shape_;
   Tensor<i8> weight_;
@@ -196,19 +200,23 @@ class BatchScheduler {
   core::PlanCache plan_cache_;  ///< per-layer plan cache; warmed at create()
   std::shared_ptr<const core::ConvPlan> plan_;  ///< immutable, batch-shared
 
-  std::mutex mu_;
-  std::condition_variable queue_cv_;   ///< dispatcher: work arrived / stop
-  std::condition_variable drain_cv_;   ///< shutdown: in-flight reached zero
-  std::array<ClassQueue, kNumPriorities> classes_;
-  size_t queued_ = 0;       ///< total requests across classes_
-  i64 inflight_batches_ = 0;
-  bool stopping_ = false;   ///< no new admissions; dispatcher drains and exits
-  u64 next_id_ = 1;
+  Mutex mu_;
+  CondVar queue_cv_;  ///< dispatcher: work arrived / stop
+  CondVar drain_cv_;  ///< shutdown: in-flight reached zero
+  std::array<ClassQueue, kNumPriorities> classes_ LBC_GUARDED_BY(mu_);
+  /// Total requests across classes_.
+  size_t queued_ LBC_GUARDED_BY(mu_) = 0;
+  i64 inflight_batches_ LBC_GUARDED_BY(mu_) = 0;
+  /// No new admissions; dispatcher drains and exits.
+  bool stopping_ LBC_GUARDED_BY(mu_) = false;
+  u64 next_id_ LBC_GUARDED_BY(mu_) = 1;
 
-  i64 admitted_count_ = 0;  ///< futures handed out (under mu_)
-  i64 resolved_count_ = 0;  ///< promises fulfilled (under mu_)
+  /// Futures handed out.
+  i64 admitted_count_ LBC_GUARDED_BY(mu_) = 0;
+  /// Promises fulfilled.
+  i64 resolved_count_ LBC_GUARDED_BY(mu_) = 0;
 
-  std::mutex join_mu_;  ///< serializes shutdown()'s dispatcher join
+  Mutex join_mu_;  ///< serializes shutdown()'s dispatcher join
   std::thread dispatcher_;
 };
 

@@ -26,7 +26,7 @@ ModelServer::~ModelServer() { shutdown(); }
 Status ModelServer::add_model(const std::string& name, const ConvShape& shape,
                               Tensor<i8> weight, const ModelOptions& opt) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LBC_VALIDATE(!stopping_, kFailedPrecondition,
                  "cannot add model '" << name << "' to a shut-down server");
     LBC_VALIDATE(models_.find(name) == models_.end(), kInvalidArgument,
@@ -69,7 +69,7 @@ Status ModelServer::add_model(const std::string& name, const ConvShape& shape,
   }
   model->sched = std::move(sched).value();
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LBC_VALIDATE(!stopping_, kFailedPrecondition,
                "server shut down while adding model '" << name << "'");
   models_.emplace(name, std::move(model));
@@ -85,7 +85,7 @@ Status ModelServer::add_graph_model(const std::string& name,
                                      << "' max_inflight must be in [1, 1024]"
                                      << ", got " << opt.max_inflight);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LBC_VALIDATE(!stopping_, kFailedPrecondition,
                  "cannot add graph model '" << name
                                             << "' to a shut-down server");
@@ -130,7 +130,7 @@ Status ModelServer::add_graph_model(const std::string& name,
         std::make_shared<const core::GraphPlan>(std::move(p).value());
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   LBC_VALIDATE(!stopping_, kFailedPrecondition,
                "server shut down while adding graph model '" << name << "'");
   graph_models_.emplace(name, std::move(model));
@@ -182,7 +182,7 @@ StatusOr<std::future<GraphInferResponse>> ModelServer::submit_graph(
     const std::string& name, Tensor<float> input, const SubmitOptions& sub) {
   GraphModel* m = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LBC_VALIDATE(!stopping_, kFailedPrecondition,
                  "server is shut down; no new submissions");
     m = find_graph_model(name);
@@ -193,7 +193,7 @@ StatusOr<std::future<GraphInferResponse>> ModelServer::submit_graph(
   // The graph path's admission bound: there is no coalescing queue, so the
   // in-flight cap is where overload backs up (arrivals past it shed).
   const auto try_admit = [this, m] {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (m->inflight >= m->max_inflight) return false;
     ++m->inflight;
     return true;
@@ -256,7 +256,7 @@ std::future<GraphInferResponse> ModelServer::run_graph(GraphModel& m,
   auto promise = std::make_shared<std::promise<GraphInferResponse>>();
   std::future<GraphInferResponse> fut = promise->get_future();
   {
-    std::lock_guard<std::mutex> lock(fallback_mu_);
+    MutexLock lock(fallback_mu_);
     ++fallback_inflight_;
   }
   const Clock::time_point admitted = Clock::now();
@@ -321,11 +321,11 @@ std::future<GraphInferResponse> ModelServer::run_graph(GraphModel& m,
       feed_breaker(*gm->breaker, outcome);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --gm->inflight;
     }
     promise->set_value(std::move(resp));
-    std::lock_guard<std::mutex> lock(fallback_mu_);
+    MutexLock lock(fallback_mu_);
     --fallback_inflight_;
     fallback_cv_.notify_all();
   });
@@ -336,7 +336,7 @@ StatusOr<std::future<InferResponse>> ModelServer::submit(
     const std::string& name, Tensor<i8> input, const SubmitOptions& sub) {
   Model* m = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LBC_VALIDATE(!stopping_, kFailedPrecondition,
                  "server is shut down; no new submissions");
     m = find_model(name);
@@ -387,7 +387,7 @@ StatusOr<std::future<InferResponse>> ModelServer::submit_fallback(
   auto promise = std::make_shared<std::promise<InferResponse>>();
   std::future<InferResponse> fut = promise->get_future();
   {
-    std::lock_guard<std::mutex> lock(fallback_mu_);
+    MutexLock lock(fallback_mu_);
     ++fallback_inflight_;
   }
   const Clock::time_point admitted = Clock::now();
@@ -427,7 +427,7 @@ StatusOr<std::future<InferResponse>> ModelServer::submit_fallback(
     if (resp.latency_s == 0)
       resp.latency_s = seconds_between(admitted, Clock::now());
     promise->set_value(std::move(resp));
-    std::lock_guard<std::mutex> lock(fallback_mu_);
+    MutexLock lock(fallback_mu_);
     --fallback_inflight_;
     fallback_cv_.notify_all();
   });
@@ -437,7 +437,7 @@ StatusOr<std::future<InferResponse>> ModelServer::submit_fallback(
 void ModelServer::shutdown() {
   std::vector<Model*> models;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     models.reserve(models_.size());
     for (auto& [name, model] : models_) models.push_back(model.get());
@@ -445,12 +445,12 @@ void ModelServer::shutdown() {
   // Scheduler shutdown is idempotent and asserts its own liveness contract
   // (no admitted request left unresolved).
   for (Model* m : models) m->sched->shutdown();
-  std::unique_lock<std::mutex> lock(fallback_mu_);
-  fallback_cv_.wait(lock, [this] { return fallback_inflight_ == 0; });
+  MutexLock lock(fallback_mu_);
+  while (fallback_inflight_ != 0) fallback_cv_.wait(fallback_mu_);
 }
 
 std::vector<std::string> ModelServer::model_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(models_.size());
   for (const auto& [name, model] : models_) names.push_back(name);
@@ -458,7 +458,7 @@ std::vector<std::string> ModelServer::model_names() const {
 }
 
 std::vector<std::string> ModelServer::graph_model_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(graph_models_.size());
   for (const auto& [name, model] : graph_models_) names.push_back(name);
@@ -466,7 +466,7 @@ std::vector<std::string> ModelServer::graph_model_names() const {
 }
 
 CircuitBreaker* ModelServer::breaker(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Model* m = find_model(name);
   if (m != nullptr) return m->breaker.get();
   GraphModel* g = find_graph_model(name);
@@ -474,13 +474,13 @@ CircuitBreaker* ModelServer::breaker(const std::string& name) {
 }
 
 ServeMetrics* ModelServer::graph_metrics(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   GraphModel* g = find_graph_model(name);
   return g == nullptr ? nullptr : &g->metrics;
 }
 
 BatchScheduler* ModelServer::scheduler(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Model* m = find_model(name);
   return m == nullptr ? nullptr : m->sched.get();
 }
@@ -493,7 +493,7 @@ std::vector<ModelHealth> ModelServer::health_snapshot() const {
   std::vector<const Model*> models;
   std::vector<const GraphModel*> gmodels;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     models.reserve(models_.size());
     for (const auto& [name, model] : models_) models.push_back(model.get());
     gmodels.reserve(graph_models_.size());

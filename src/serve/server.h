@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "serve/circuit_breaker.h"
 #include "serve/model_registry.h"
 #include "serve/scheduler.h"
@@ -183,15 +184,17 @@ class ModelServer {
     ServeMetrics metrics;
     BreakerMode mode = BreakerMode::kFastFail;
     int max_inflight = 4;
-    i64 inflight = 0;  ///< under mu_; admission bound of the graph path
+    /// Admission bound of the graph path. Guarded by the owning server's
+    /// mu_ (a nested struct cannot name the outer member in GUARDED_BY).
+    i64 inflight = 0;
     /// Pinned unfused plan for kReferenceFallback mode (compiled at add
     /// time, never evicted — the degraded path must not depend on the
     /// budgeted cache).
     std::shared_ptr<const core::GraphPlan> fallback_plan;
   };
 
-  Model* find_model(const std::string& name);
-  GraphModel* find_graph_model(const std::string& name);
+  Model* find_model(const std::string& name) LBC_REQUIRES(mu_);
+  GraphModel* find_graph_model(const std::string& name) LBC_REQUIRES(mu_);
   /// Execute the graph on the pool: the registry's cached plan (primary
   /// path, feeds the breaker) or the pinned unfused plan (`fallback`,
   /// which does not). sub.probe is already stamped by the caller.
@@ -210,16 +213,17 @@ class ModelServer {
   ThreadPool* pool_;
   ModelRegistry registry_;
 
-  mutable std::mutex mu_;  ///< guards models_, graph_models_, stopping_,
-                           ///< and GraphModel::inflight
-  std::map<std::string, std::unique_ptr<Model>> models_;
-  std::map<std::string, std::unique_ptr<GraphModel>> graph_models_;
-  bool stopping_ = false;
+  /// Guards models_, graph_models_, stopping_, and GraphModel::inflight.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Model>> models_ LBC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<GraphModel>> graph_models_
+      LBC_GUARDED_BY(mu_);
+  bool stopping_ LBC_GUARDED_BY(mu_) = false;
 
-  std::mutex fallback_mu_;
-  std::condition_variable fallback_cv_;
-  i64 fallback_inflight_ = 0;  ///< under fallback_mu_; counts breaker
-                               ///< fallbacks AND graph executions
+  Mutex fallback_mu_;
+  CondVar fallback_cv_;
+  /// Counts breaker fallbacks AND graph executions.
+  i64 fallback_inflight_ LBC_GUARDED_BY(fallback_mu_) = 0;
 };
 
 }  // namespace lbc::serve

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -40,11 +40,11 @@ void ThreadPool::submit(std::function<void()> fn) {
   const size_t idx =
       rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[idx]->mu);
+    MutexLock lock(queues_[idx]->mu);
     queues_[idx]->q.push_back(std::move(fn));
   }
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     ++queued_;
     ++unfinished_;
   }
@@ -53,7 +53,7 @@ void ThreadPool::submit(std::function<void()> fn) {
 
 bool ThreadPool::try_pop(int idx, std::function<void()>& out) {
   WorkerQueue& wq = *queues_[static_cast<size_t>(idx)];
-  std::lock_guard<std::mutex> lock(wq.mu);
+  MutexLock lock(wq.mu);
   if (wq.q.empty()) return false;
   out = std::move(wq.q.back());  // LIFO on the own deque: cache-warm
   wq.q.pop_back();
@@ -64,7 +64,7 @@ bool ThreadPool::try_steal(int idx, std::function<void()>& out) {
   const int n = static_cast<int>(queues_.size());
   for (int d = 1; d < n; ++d) {
     WorkerQueue& victim = *queues_[static_cast<size_t>((idx + d) % n)];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (victim.q.empty()) continue;
     out = std::move(victim.q.front());  // FIFO steal: oldest, least warm
     victim.q.pop_front();
@@ -79,7 +79,7 @@ void ThreadPool::worker_main(int idx) {
     std::function<void()> task;
     if (try_pop(idx, task) || try_steal(idx, task)) {
       {
-        std::lock_guard<std::mutex> lock(wake_mu_);
+        MutexLock lock(wake_mu_);
         --queued_;
       }
       // A submitted task owns its error reporting; an escaped exception must
@@ -90,22 +90,21 @@ void ThreadPool::worker_main(int idx) {
         task_exceptions_.fetch_add(1, std::memory_order_relaxed);
       }
       executed_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       if (--unfinished_ == 0) idle_cv_.notify_all();
       continue;
     }
     // queued_ is incremented under wake_mu_ *before* the notify, so waiting
     // on `queued_ > 0` cannot miss a task pushed after our deque scan.
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    if (stop_ && queued_ == 0) return;
-    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    MutexLock lock(wake_mu_);
+    while (!stop_ && queued_ == 0) wake_cv_.wait(wake_mu_);
     if (stop_ && queued_ == 0) return;
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(wake_mu_);
+  while (unfinished_ != 0) idle_cv_.wait(wake_mu_);
 }
 
 void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
@@ -125,9 +124,9 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
     std::atomic<i64> done{0};
     i64 begin = 0, end = 0, grain = 1, nchunks = 0;
     const std::function<void(i64, i64)>* body = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr first_error;  // under mu
+    Mutex mu;
+    CondVar cv;
+    std::exception_ptr first_error LBC_GUARDED_BY(mu);
   };
   auto job = std::make_shared<Job>();
   job->begin = begin;
@@ -145,11 +144,11 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
       try {
         (*j->body)(b, e);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(j->mu);
+        MutexLock lock(j->mu);
         if (!j->first_error) j->first_error = std::current_exception();
       }
       if (j->done.fetch_add(1, std::memory_order_acq_rel) + 1 == j->nchunks) {
-        std::lock_guard<std::mutex> lock(j->mu);
+        MutexLock lock(j->mu);
         j->cv.notify_all();
       }
     }
@@ -164,10 +163,9 @@ void ThreadPool::parallel_for(i64 begin, i64 end, i64 grain,
 
   drain(job);  // the caller works too — this is what makes nesting safe
 
-  std::unique_lock<std::mutex> lock(job->mu);
-  job->cv.wait(lock, [&] {
-    return job->done.load(std::memory_order_acquire) == job->nchunks;
-  });
+  MutexLock lock(job->mu);
+  while (job->done.load(std::memory_order_acquire) != job->nchunks)
+    job->cv.wait(job->mu);
   if (job->first_error) std::rethrow_exception(job->first_error);
 }
 

@@ -18,17 +18,20 @@
 // GEMM) always makes progress and can never deadlock waiting for a free
 // worker. A chunk body that throws is caught, the loop is drained, and the
 // first exception is rethrown on the calling thread — workers survive.
+//
+// Lock discipline is compiler-checked: every mutex is an annotated
+// lbc::Mutex and every guarded member carries LBC_GUARDED_BY, so the
+// clang -Wthread-safety lint configuration rejects an unlocked access.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace lbc::serve {
@@ -48,7 +51,7 @@ class ThreadPool {
   /// Enqueue an asynchronous task. A task that throws is swallowed by the
   /// worker loop (counted in task_exceptions()); tasks that must report
   /// failure do so through their own channel (promise/Status).
-  void submit(std::function<void()> fn);
+  void submit(std::function<void()> fn) LBC_EXCLUDES(wake_mu_);
 
   /// Blocking data-parallel loop over [begin, end): the range is split into
   /// chunks of at most `grain` iterations and body(chunk_begin, chunk_end)
@@ -60,7 +63,7 @@ class ThreadPool {
                     const std::function<void(i64, i64)>& body);
 
   /// Blocks until every task submitted so far has finished (tests/shutdown).
-  void wait_idle();
+  void wait_idle() LBC_EXCLUDES(wake_mu_);
 
   i64 steals() const { return steals_.load(std::memory_order_relaxed); }
   i64 tasks_executed() const {
@@ -77,23 +80,25 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> q;
+    Mutex mu;
+    std::deque<std::function<void()>> q LBC_GUARDED_BY(mu);
   };
 
-  void worker_main(int idx);
+  void worker_main(int idx) LBC_EXCLUDES(wake_mu_);
   bool try_pop(int idx, std::function<void()>& out);
   bool try_steal(int idx, std::function<void()>& out);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  std::condition_variable idle_cv_;
-  bool stop_ = false;
-  i64 queued_ = 0;      ///< tasks pushed but not yet popped (under wake_mu_)
-  i64 unfinished_ = 0;  ///< submitted tasks not yet completed (under wake_mu_)
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  CondVar idle_cv_;
+  bool stop_ LBC_GUARDED_BY(wake_mu_) = false;
+  /// Tasks pushed but not yet popped.
+  i64 queued_ LBC_GUARDED_BY(wake_mu_) = 0;
+  /// Submitted tasks not yet completed.
+  i64 unfinished_ LBC_GUARDED_BY(wake_mu_) = 0;
 
   std::atomic<u64> rr_{0};  ///< round-robin push cursor
   std::atomic<i64> steals_{0};

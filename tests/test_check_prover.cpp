@@ -1,0 +1,231 @@
+// Symbolic kernel prover (check/kernel_prover.h) tests.
+//
+// Three layers:
+//  * Shipping proofs — every (scheme, bits) combination the kernels
+//    actually ship proves clean at realistic reduction depths, and the
+//    prove_all_schemes() CI sweep over the scheme x bits x blocking grid
+//    reports zero failures.
+//  * ProverMutation.* — the acceptance mutations: a shrunk declared flush
+//    interval, a widened declared operand range, and the maddubs -128
+//    inclusion, each failing with the EXACT obligation named in the
+//    kInvariantViolation status. These carry the `check` ctest label along
+//    with the rest of the file (tests/CMakeLists.txt).
+//  * Plan-time gates — prove_arm_kernel / prove_native_scheme accept the
+//    shipping configurations and reject models whose declared facts break
+//    an obligation (absurd reduction depth).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "armkern/gemm_lowbit.h"
+#include "armkern/schemes.h"
+#include "check/kernel_prover.h"
+#include "hal/native_gemm.h"
+
+namespace lbc {
+namespace {
+
+using check::Obligation;
+using check::ProofResult;
+using check::ProofScheme;
+using check::SchemeModel;
+
+bool has_failed(const ProofResult& r, const std::string& name) {
+  for (const Obligation& o : r.obligations)
+    if (o.name == name && !o.proved) return true;
+  return false;
+}
+
+bool has_proved(const ProofResult& r, const std::string& name) {
+  for (const Obligation& o : r.obligations)
+    if (o.name == name && o.proved) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Shipping proofs
+// ---------------------------------------------------------------------------
+
+TEST(Prover, ShippingSmlalProvesForBits4To8) {
+  for (int bits = 4; bits <= 8; ++bits) {
+    const ProofResult r =
+        check::prove(check::shipping_model(ProofScheme::kArmSmlal, bits, 4608));
+    EXPECT_TRUE(r.proved()) << "bits=" << bits << ": "
+                            << r.to_status().message();
+    EXPECT_TRUE(r.to_status().ok());
+  }
+}
+
+TEST(Prover, ShippingMlaProvesForBits2To3) {
+  for (int bits = 2; bits <= 3; ++bits) {
+    const ProofResult r =
+        check::prove(check::shipping_model(ProofScheme::kArmMla, bits, 4608));
+    EXPECT_TRUE(r.proved()) << "bits=" << bits << ": "
+                            << r.to_status().message();
+  }
+}
+
+TEST(Prover, ShippingNativeSchemesProve) {
+  for (int bits = 2; bits <= 8; ++bits) {
+    const ProofScheme vec =
+        hal::native_scheme_for(bits) == hal::NativeScheme::kLut
+            ? ProofScheme::kNativeLut
+            : ProofScheme::kNativeDot;
+    const ProofResult r = check::prove(check::shipping_model(vec, bits, 8192));
+    EXPECT_TRUE(r.proved()) << "bits=" << bits << ": "
+                            << r.to_status().message();
+  }
+}
+
+TEST(Prover, LutPadZeroObligationCheckedAgainstRealTable) {
+  // The LUT scheme ships with pad_zero_tail: the obligation must be present
+  // AND discharged against the shipping native_product_lut table.
+  const ProofResult r =
+      check::prove(check::shipping_model(ProofScheme::kNativeLut, 3, 576));
+  EXPECT_TRUE(has_proved(r, "lut.pad-zero-entry"));
+}
+
+TEST(Prover, EmptyProofIsNotProved) {
+  ProofResult r;
+  EXPECT_FALSE(r.proved());
+  EXPECT_EQ(r.to_status().code(), StatusCode::kInvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// CI sweep
+// ---------------------------------------------------------------------------
+
+TEST(ProverSweep, AllShippingSchemesProveClean) {
+  const check::ProofSweepReport rep = check::prove_all_schemes();
+  EXPECT_TRUE(rep.ok()) << rep.failure_summary();
+  EXPECT_EQ(rep.failures, 0);
+  // 4 shapes x (5 smlal + 2 mla + 7 sdot + 7 ncnn + 7 traditional +
+  // 7 native vec + 7 scalar) = 4 x 42 entries.
+  EXPECT_EQ(rep.entries.size(), 168u);
+  EXPECT_GT(rep.obligations, 0);
+}
+
+TEST(ProverSweep, ConfigStringsRecordBlocking) {
+  const check::ProofSweepReport rep = check::prove_all_schemes();
+  bool saw_arm_blocking = false, saw_native_blocking = false;
+  for (const check::ProofSweepEntry& e : rep.entries) {
+    if (e.config.find("mc=") != std::string::npos) saw_arm_blocking = true;
+    if (e.config.find("rb=") != std::string::npos) saw_native_blocking = true;
+  }
+  EXPECT_TRUE(saw_arm_blocking);
+  EXPECT_TRUE(saw_native_blocking);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance mutations: each corrupted declaration fails at the EXACT
+// obligation the module documents for it.
+// ---------------------------------------------------------------------------
+
+TEST(ProverMutation, ShrunkSmlalFlushFailsFlushCoversUnroll) {
+  // Declare a flush interval SMALLER than the kernel's real unroll: the
+  // headroom bound would no longer describe the kernel.
+  SchemeModel m = check::shipping_model(ProofScheme::kArmSmlal, 4, 576);
+  ASSERT_GT(m.acc16_flush, 1);
+  m.acc16_flush = armkern::smlal_flush_interval(4) - 1;
+  const ProofResult r = check::prove(m);
+  EXPECT_FALSE(r.proved());
+  EXPECT_TRUE(has_failed(r, "smlal.flush-covers-unroll"));
+  const Status s = r.to_status();
+  EXPECT_EQ(s.code(), StatusCode::kInvariantViolation);
+  EXPECT_NE(s.message().find("smlal.flush-covers-unroll"), std::string::npos)
+      << s.message();
+}
+
+TEST(ProverMutation, WidenedSmlalRangeFailsI16Headroom) {
+  // Widen the declared operand range past the adjusted qmax: at the
+  // shipping flush interval the 16-bit lanes could wrap.
+  SchemeModel m = check::shipping_model(ProofScheme::kArmSmlal, 8, 4608);
+  m.a_max_abs = 200;  // 2 * 200 * 200 = 80000 > 32767
+  m.b_max_abs = 200;
+  const ProofResult r = check::prove(m);
+  EXPECT_FALSE(r.proved());
+  EXPECT_TRUE(has_failed(r, "smlal.i16-lane-headroom"));
+  EXPECT_TRUE(has_failed(r, "smlal.operand-range-adjusted"));
+  EXPECT_NE(r.to_status().message().find("smlal.i16-lane-headroom"),
+            std::string::npos);
+}
+
+TEST(ProverMutation, MaddubsMinus128FailsPairSumNoSaturate) {
+  // Re-admit -128 (the full int8 range): 2 * 128 * 128 = 32768 saturates
+  // the maddubs i16 pair sum — the exact reason the adjusted range exists.
+  SchemeModel m = check::shipping_model(ProofScheme::kNativeDot, 8, 4608);
+  m.a_max_abs = 128;
+  m.b_max_abs = 128;
+  const ProofResult r = check::prove(m);
+  EXPECT_FALSE(r.proved());
+  EXPECT_TRUE(has_failed(r, "dot.pair-sum-no-saturate"));
+  const Status s = r.to_status();
+  EXPECT_EQ(s.code(), StatusCode::kInvariantViolation);
+  EXPECT_NE(s.message().find("dot.pair-sum-no-saturate"), std::string::npos)
+      << s.message();
+}
+
+TEST(ProverMutation, WidenedMlaFirstLevelFlushFailsI8Headroom) {
+  // Declare MORE accumulation steps per 8-bit flush than the lane can hold.
+  SchemeModel m = check::shipping_model(ProofScheme::kArmMla, 2, 576);
+  m.acc8_flush = 200;  // 200 * 1 * 1 = 200 > 127
+  const ProofResult r = check::prove(m);
+  EXPECT_FALSE(r.proved());
+  EXPECT_TRUE(has_failed(r, "mla.i8-lane-headroom"));
+}
+
+TEST(ProverMutation, ShrunkMlaRoundsFailsRoundsCoverKernel) {
+  SchemeModel m = check::shipping_model(ProofScheme::kArmMla, 3, 576);
+  m.second_level_rounds = armkern::kSecondLevelRounds - 1;
+  const ProofResult r = check::prove(m);
+  EXPECT_FALSE(r.proved());
+  EXPECT_TRUE(has_failed(r, "mla.rounds-cover-kernel"));
+}
+
+TEST(ProverMutation, OversizedLutProductFailsEntryFitsI8) {
+  // A product that cannot fit a signed-byte pshufb entry.
+  SchemeModel m = check::shipping_model(ProofScheme::kNativeLut, 4, 576);
+  m.a_max_abs = 12;  // 12 * 7 = 84 fits, but index 12 + 7 > 15 — and widen w
+  m.b_max_abs = 12;  // 12 * 12 = 144 > 127
+  const ProofResult r = check::prove(m);
+  EXPECT_FALSE(r.proved());
+  EXPECT_TRUE(has_failed(r, "lut.entry-fits-i8"));
+}
+
+TEST(ProverMutation, AbsurdDepthFailsI32Headroom) {
+  SchemeModel m = check::shipping_model(ProofScheme::kArmSdot, 8, i64{1} << 40);
+  const ProofResult r = check::prove(m);
+  EXPECT_FALSE(r.proved());
+  EXPECT_TRUE(has_failed(r, "sdot.i32-depth-headroom"));
+}
+
+// ---------------------------------------------------------------------------
+// Plan-time gates
+// ---------------------------------------------------------------------------
+
+TEST(ProverPlanGate, ShippingArmKernelsPass) {
+  for (int bits = 2; bits <= 8; ++bits) {
+    EXPECT_TRUE(
+        check::prove_arm_kernel(armkern::ArmKernel::kOursGemm, bits, 4608)
+            .ok());
+    EXPECT_TRUE(
+        check::prove_arm_kernel(armkern::ArmKernel::kSdotExt, bits, 4608)
+            .ok());
+  }
+}
+
+TEST(ProverPlanGate, ShippingNativeSchemesPass) {
+  for (int bits = 2; bits <= 8; ++bits)
+    EXPECT_TRUE(check::prove_native_scheme(bits, 8192).ok());
+}
+
+TEST(ProverPlanGate, AbsurdDepthRejectsWithNamedObligation) {
+  const Status s =
+      check::prove_arm_kernel(armkern::ArmKernel::kOursGemm, 8, i64{1} << 40);
+  EXPECT_EQ(s.code(), StatusCode::kInvariantViolation);
+  EXPECT_NE(s.message().find("i32-depth-headroom"), std::string::npos)
+      << s.message();
+}
+
+}  // namespace
+}  // namespace lbc

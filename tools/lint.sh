@@ -2,7 +2,8 @@
 # clang-tidy lint pass over src/ (configuration in .clang-tidy).
 #
 # Usage:
-#   tools/lint.sh [--strict] [build-dir]
+#   tools/lint.sh [--strict] [--checks=<glob>] [--thread-safety] [-j N] \
+#                 [build-dir]
 #
 # Needs a build directory with compile_commands.json — the `lint` CMake
 # preset produces one:
@@ -10,23 +11,84 @@
 #
 # Default mode reports findings and fails only on clang-tidy *errors*;
 # --strict promotes every finding to an error (the CI lint job runs this).
+# --checks=<glob> is passed through to clang-tidy verbatim, overriding the
+# .clang-tidy Checks list — handy for running one check family in
+# isolation (e.g. --checks='-*,concurrency-*').
+# --thread-safety additionally recompiles every source with
+# `clang++ -Wthread-safety -Werror` (fsyntax-only), the compiler-checked
+# lock-discipline gate over the lbc::Mutex/LBC_GUARDED_BY annotations
+# (common/thread_annotations.h). Skipped with a notice when clang++ is not
+# installed.
+# Files are linted in parallel (xargs -P); -j caps the worker count
+# (default: nproc).
 # Exits 0 with a notice when clang-tidy is not installed, so the script is
 # safe to call from environments that only carry the compiler (the CI
 # image installs clang-tidy explicitly).
 set -u
 
 strict=0
+thread_safety=0
+checks=""
+jobs=""
 build_dir=""
+prev=""
 for arg in "$@"; do
+  if [ "$prev" = "-j" ]; then
+    jobs="$arg"
+    prev=""
+    continue
+  fi
   case "$arg" in
     --strict) strict=1 ;;
+    --thread-safety) thread_safety=1 ;;
+    --checks=*) checks="${arg#--checks=}" ;;
+    -j) prev="-j" ;;
+    -j*) jobs="${arg#-j}" ;;
     *) build_dir="$arg" ;;
   esac
 done
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${build_dir:-$repo_root/build-lint}"
+jobs="${jobs:-$(nproc 2>/dev/null || echo 2)}"
 
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "lint: $build_dir/compile_commands.json not found."
+  echo "lint: run 'cmake --preset lint' first (or pass a build dir that was"
+  echo "lint: configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)."
+  exit 2
+fi
+
+# All translation units under src/; headers are covered via
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+
+fail=0
+
+# ---- thread-safety gate (clang only) --------------------------------------
+if [ "$thread_safety" -eq 1 ]; then
+  clangxx=""
+  for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+              clang++-16 clang++-15 clang++-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      clangxx="$cand"
+      break
+    fi
+  done
+  if [ -z "$clangxx" ]; then
+    echo "lint: clang++ not installed — skipping -Wthread-safety gate"
+  else
+    echo "lint: $clangxx -Wthread-safety -Werror over ${#sources[@]} files" \
+         "(-j$jobs)"
+    if ! printf '%s\0' "${sources[@]}" | xargs -0 -n 1 -P "$jobs" \
+        "$clangxx" -fsyntax-only -std=c++20 -Wthread-safety -Werror \
+        -I"$repo_root/src"; then
+      fail=1
+    fi
+  fi
+fi
+
+# ---- clang-tidy pass ------------------------------------------------------
 tidy=""
 for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
             clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
@@ -37,32 +99,25 @@ for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
 done
 if [ -z "$tidy" ]; then
   echo "lint: clang-tidy not installed — skipping (install clang-tidy to run)"
-  exit 0
-fi
-
-if [ ! -f "$build_dir/compile_commands.json" ]; then
-  echo "lint: $build_dir/compile_commands.json not found."
-  echo "lint: run 'cmake --preset lint' first (or pass a build dir that was"
-  echo "lint: configured with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)."
-  exit 2
+  exit "$fail"
 fi
 
 extra=()
 if [ "$strict" -eq 1 ]; then
   extra+=("-warnings-as-errors=*")
 fi
+if [ -n "$checks" ]; then
+  extra+=("--checks=$checks")
+fi
 
-# All translation units under src/; headers are covered via
-# HeaderFilterRegex in .clang-tidy.
-mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
-echo "lint: $tidy over ${#sources[@]} files (strict=$strict)"
+echo "lint: $tidy over ${#sources[@]} files (strict=$strict, -j$jobs)"
 
-fail=0
-for src in "${sources[@]}"; do
-  if ! "$tidy" -p "$build_dir" --quiet "${extra[@]}" "$src"; then
-    fail=1
-  fi
-done
+# xargs -P runs clang-tidy per-file in parallel; any non-zero child exit
+# makes xargs exit non-zero, which is the aggregate failure signal.
+if ! printf '%s\0' "${sources[@]}" | xargs -0 -n 1 -P "$jobs" \
+    "$tidy" -p "$build_dir" --quiet "${extra[@]}"; then
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAIL"

@@ -448,27 +448,48 @@ bool run_soak(const ConvShape& shape) {
     if (!all_closed) std::this_thread::sleep_for(milliseconds(5));
   }
 
-  // Per-model rollup before shutdown.
+  // Per-model rollup before shutdown, read through the operator-facing
+  // health_snapshot(): breaker state with the age of its last transition
+  // plus the full ShedReason accounting, exactly what a health endpoint
+  // would export.
   i64 trips = 0, fallback_served = 0, unplanned_batches = 0;
   i64 low_priority_shed = 0, interactive_shed = 0;
   int models_tripped = 0;
-  for (const std::string& name : names) {
-    const serve::CircuitBreaker* b = server.breaker(name);
-    trips += b->trips();
-    if (b->trips() > 0) ++models_tripped;
-    const serve::MetricsSnapshot m = server.scheduler(name)->metrics().snapshot();
+  const serve::Clock::time_point now = serve::Clock::now();
+  for (const serve::ModelHealth& h : server.health_snapshot()) {
+    trips += h.breaker_trips;
+    if (h.breaker_trips > 0) ++models_tripped;
+    const serve::MetricsSnapshot& m = h.metrics;
     fallback_served += m.fallback_served;
     unplanned_batches += m.unplanned_batches;
     low_priority_shed +=
         m.lanes[static_cast<size_t>(serve::Priority::kBatch)].shed;
     interactive_shed +=
         m.lanes[static_cast<size_t>(serve::Priority::kInteractive)].shed;
-    std::printf("model %-6s breaker=%s trips=%lld fallback=%lld "
-                "unplanned=%lld\n",
-                name.c_str(), b->describe().c_str(),
-                static_cast<long long>(b->trips()),
+    std::string sheds;
+    for (size_t r = 0; r < m.sheds.size(); ++r) {
+      if (m.sheds[r] == 0) continue;
+      if (!sheds.empty()) sheds += " ";
+      sheds += std::string(serve::shed_reason_name(
+                   static_cast<serve::ShedReason>(r))) +
+               "=" + std::to_string(m.sheds[r]);
+    }
+    char age[32];
+    if (h.last_transition == serve::Clock::time_point{}) {
+      std::snprintf(age, sizeof(age), "never");
+    } else {
+      std::snprintf(
+          age, sizeof(age), "%.0fms ago",
+          std::chrono::duration<double, std::milli>(now - h.last_transition)
+              .count());
+    }
+    std::printf("model %-6s breaker=%s trips=%lld last-transition=%s "
+                "fallback=%lld unplanned=%lld sheds{%s}\n",
+                h.name.c_str(), server.breaker(h.name)->describe().c_str(),
+                static_cast<long long>(h.breaker_trips), age,
                 static_cast<long long>(m.fallback_served),
-                static_cast<long long>(m.unplanned_batches));
+                static_cast<long long>(m.unplanned_batches),
+                sheds.empty() ? "none" : sheds.c_str());
   }
   server.shutdown();
 

@@ -43,10 +43,11 @@ struct GemmBlocking {
 /// Clamp a candidate to the problem and the micro-tile grid: mc to
 /// [kMr, m_pad] (multiple of kMr), nc to [kNr, n_pad] (multiple of kNr),
 /// kc to [1, k] — rounded down to a multiple of 4 for the SDOT layout when
-/// K still splits into several blocks (every non-final block must end on a
-/// 4-depth SDOT group).
+/// K still splits into more than one block (every non-final block must end
+/// on a 4-depth SDOT group), and likewise to a multiple of the TBL pair
+/// group so no index pair straddles a depth-block boundary.
 inline GemmBlocking clamp_blocking(GemmBlocking b, i64 m, i64 n, i64 k,
-                                   bool sdot) {
+                                   bool sdot, int tbl_group = 0) {
   if (!b.enabled()) return b;
   const i64 m_pad = round_up(m, kMr);
   const i64 n_pad = round_up(n, kNr);
@@ -54,6 +55,8 @@ inline GemmBlocking clamp_blocking(GemmBlocking b, i64 m, i64 n, i64 k,
   b.nc = round_up(std::clamp<i64>(b.nc, kNr, n_pad), kNr);
   b.kc = std::clamp<i64>(b.kc, 1, k);
   if (sdot && b.kc < k) b.kc = std::max<i64>(4, b.kc - (b.kc % 4));
+  if (tbl_group > 1 && b.kc < k)
+    b.kc = std::max<i64>(tbl_group, b.kc - (b.kc % tbl_group));
   return b;
 }
 
@@ -73,32 +76,54 @@ struct BlockedLayout {
   i64 m_pad = 0, n_pad = 0;
   i64 m_blocks = 0, n_blocks = 0, k_blocks = 0;
   bool sdot = false;
+  /// TBL layout: depth positions per index (> 0 selects TBL; 1 or 2).
+  int tbl_group = 0;
+  TblOrientation tbl_orient = TblOrientation::kActTables;
 
+  bool tbl() const { return tbl_group > 0; }
   i64 m_panels() const { return m_pad / kMr; }
   i64 nc_eff(i64 jc) const { return std::min(blk.nc, n - jc * blk.nc); }
   i64 kc_eff(i64 kcb) const { return std::min(blk.kc, k - kcb * blk.kc); }
-  /// Packed-B depth stride of one block (SDOT pads depth to 4).
+  i64 tbl_groups(i64 kcb) const {
+    return ceil_div(kc_eff(kcb), static_cast<i64>(tbl_group));
+  }
+  /// Packed-B depth stride of one block: bytes per B-panel column (SDOT
+  /// pads depth to 4; TBL kActTables stores a 16-entry table per group
+  /// step, kWeightTables one index byte per group step).
   i64 k_stride(i64 kcb) const {
+    if (tbl())
+      return tbl_orient == TblOrientation::kActTables ? tbl_groups(kcb) * 16
+                                                      : tbl_groups(kcb);
     return sdot ? round_up(kc_eff(kcb), 4) : kc_eff(kcb);
   }
   /// Scratch elements (= bytes, i8) of one thread's B-block buffer, sized
   /// for the largest block.
   i64 block_elems() const {
+    if (tbl()) {
+      const i64 groups = ceil_div(blk.kc, static_cast<i64>(tbl_group));
+      return tbl_orient == TblOrientation::kActTables
+                 ? round_up(blk.nc, kNr) * groups * 16
+                 : round_up(blk.nc, i64{16}) * groups;
+    }
     return round_up(blk.nc, kNr) * (sdot ? round_up(blk.kc, 4) : blk.kc);
   }
   i64 block_bytes() const { return block_elems(); }
 };
 
-inline BlockedLayout blocked_layout(i64 m, i64 n, i64 k,
-                                    const GemmBlocking& blocking, bool sdot) {
+inline BlockedLayout blocked_layout(
+    i64 m, i64 n, i64 k, const GemmBlocking& blocking, bool sdot,
+    int tbl_group = 0,
+    TblOrientation tbl_orient = TblOrientation::kActTables) {
   BlockedLayout l;
-  l.blk = clamp_blocking(blocking, m, n, k, sdot);
+  l.blk = clamp_blocking(blocking, m, n, k, sdot, tbl_group);
   l.m = m;
   l.n = n;
   l.k = k;
   l.m_pad = round_up(m, kMr);
   l.n_pad = round_up(n, kNr);
   l.sdot = sdot;
+  l.tbl_group = tbl_group;
+  l.tbl_orient = tbl_orient;
   l.m_blocks = ceil_div(l.m_pad, l.blk.mc);
   l.n_blocks = ceil_div(n, l.blk.nc);
   l.k_blocks = ceil_div(k, l.blk.kc);

@@ -81,6 +81,8 @@ bool bitserial_eligible_for(int bits) { return bits <= 2; }
 
 bool sdot_eligible_for(int bits) { return bits >= 4; }
 
+bool tbl_eligible_for(int bits) { return bits <= 3; }
+
 i64 ArmConvPlan::workspace_bytes(i64 batch) const {
   const ConvShape sb = shape.with_batch(batch);
   if (algo == ConvAlgo::kReference || algo == ConvAlgo::kDirect) return 0;
@@ -102,8 +104,11 @@ i64 ArmConvPlan::workspace_bytes(i64 batch) const {
     // Fused blocked path: no materialized im2col and no full packed-B
     // copy — only one live (Kc x Nc) block buffer per modeled worker,
     // plus the batch > 1 C staging.
-    const BlockedLayout lay =
-        blocked_layout(m, n, k, blocking, kernel == ArmKernel::kSdotExt);
+    const bool tbl = kernel == ArmKernel::kTblGemm;
+    const BlockedLayout lay = blocked_layout(
+        m, n, k, blocking, kernel == ArmKernel::kSdotExt,
+        tbl ? tbl_a.group : 0,
+        tbl ? tbl_a.orient : TblOrientation::kActTables);
     const int workers =
         blocked_threads(lay, requested.threads, requested.verify);
     i64 total = workers * workspace_rounded(lay.block_bytes());
@@ -177,6 +182,24 @@ StatusOr<ArmConvPlan> plan_conv(const ConvShape& s, const Tensor<i8>& weight,
                                      std::to_string(opt.bits));
     kernel = ArmKernel::kOursGemm;
   }
+  if (algo == ConvAlgo::kGemm && kernel == ArmKernel::kTblGemm &&
+      !tbl_eligible_for(opt.bits)) {
+    plan.planned_fallback.record(
+        "gemm[tbl]", "gemm[ours]",
+        "TBL product tables need 16 indices, so <= 3 bit, got " +
+            std::to_string(opt.bits));
+    kernel = ArmKernel::kOursGemm;
+  }
+  if (algo == ConvAlgo::kGemm && kernel == ArmKernel::kTblGemm &&
+      (opt.blocking == BlockingPolicy::kOff ||
+       (opt.blocking == BlockingPolicy::kExplicit &&
+        !opt.explicit_blocking.enabled()))) {
+    plan.planned_fallback.record("gemm[tbl]", "gemm[ours]",
+                                 "TBL scheme requires the blocked driver "
+                                 "(its B blocks are table/index panels, not "
+                                 "a materialized im2col matrix)");
+    kernel = ArmKernel::kOursGemm;
+  }
   plan.algo = algo;
   plan.kernel = kernel;
 
@@ -234,6 +257,13 @@ StatusOr<ArmConvPlan> plan_conv(const ConvShape& s, const Tensor<i8>& weight,
     if (kernel == ArmKernel::kSdotExt) {
       plan.sdot_a = pack_sdot_a(weight.data(), m, k, &pctx);
       plan.packed_weight_bytes = static_cast<i64>(plan.sdot_a.data.size());
+    } else if (kernel == ArmKernel::kTblGemm) {
+      const TblOrientation orient = choose_tbl_orientation(
+          m, s.gemm_n(), k, opt.bits,
+          tbl_values_ternary(weight.data(), m, k));
+      plan.tbl_a = pack_tbl_a(weight.data(), m, k, opt.bits, orient, &pctx);
+      plan.packed_weight_bytes = static_cast<i64>(plan.tbl_a.idx.size()) +
+                                 static_cast<i64>(plan.tbl_a.tables.size());
     } else if (kernel == ArmKernel::kOursGemm ||
                kernel == ArmKernel::kNcnn) {
       plan.gemm_a = pack_a(&pctx, weight.data(), m, k);
@@ -364,8 +394,11 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
         verifier->add_region(cptr, m * n * static_cast<i64>(sizeof(i32)),
                              "conv C staging");
     }
-    const BlockedLayout lay = blocked_layout(m, n, k, plan.blocking,
-                                             kernel == ArmKernel::kSdotExt);
+    const bool tbl = kernel == ArmKernel::kTblGemm;
+    const BlockedLayout lay = blocked_layout(
+        m, n, k, plan.blocking, kernel == ArmKernel::kSdotExt,
+        tbl ? plan.tbl_a.group : 0,
+        tbl ? plan.tbl_a.orient : TblOrientation::kActTables);
     // Fig. 13 / 15 accounting: what the fused path holds instead of the
     // k x n im2col matrix.
     res.space.im2col_elems =
@@ -388,6 +421,9 @@ StatusOr<ArmConvResult> execute_conv(const ArmConvPlan& plan,
       if (kernel == ArmKernel::kSdotExt)
         gs = gemm_s8s32_sdot_conv_fused(plan.sdot_a.view(), sb, input.data(),
                                         cptr, gopt);
+      else if (kernel == ArmKernel::kTblGemm)
+        gs = gemm_s8s32_tbl_conv_fused(plan.tbl_a.view(), sb, input.data(),
+                                       cptr, gopt);
       else
         gs = gemm_s8s32_conv_fused(plan.gemm_a.view(), sb, input.data(), cptr,
                                    gopt);
@@ -530,12 +566,16 @@ StatusOr<FusedConvResult> execute_conv_fused(const ArmConvPlan& plan,
   GemmStats gs;
   if (plan.kernel == ArmKernel::kSdotExt)
     gs = gemm_s8s32_sdot_conv_fused(plan.sdot_a.view(), sb, input, c, gopt);
+  else if (plan.kernel == ArmKernel::kTblGemm)
+    gs = gemm_s8s32_tbl_conv_fused(plan.tbl_a.view(), sb, input, c, gopt);
   else
     gs = gemm_s8s32_conv_fused(plan.gemm_a.view(), sb, input, c, gopt);
 
-  const BlockedLayout lay =
-      blocked_layout(sb.gemm_m(), sb.gemm_n(), sb.gemm_k(), plan.blocking,
-                     plan.kernel == ArmKernel::kSdotExt);
+  const bool tbl = plan.kernel == ArmKernel::kTblGemm;
+  const BlockedLayout lay = blocked_layout(
+      sb.gemm_m(), sb.gemm_n(), sb.gemm_k(), plan.blocking,
+      plan.kernel == ArmKernel::kSdotExt, tbl ? plan.tbl_a.group : 0,
+      tbl ? plan.tbl_a.orient : TblOrientation::kActTables);
   res.space.im2col_elems =
       blocked_threads(lay, plan.requested.threads, /*verify=*/false) *
       lay.block_elems();

@@ -51,6 +51,7 @@ const char* algo_name(ConvAlgo a);
 bool winograd_eligible_for(const ConvShape& s, int bits);
 bool bitserial_eligible_for(int bits);
 bool sdot_eligible_for(int bits);
+bool tbl_eligible_for(int bits);
 
 /// How plan_conv picks the blocked-GEMM {Mc, Kc, Nc} (GEMM-family algos
 /// only; other rungs ignore it).
@@ -131,6 +132,7 @@ struct ArmConvPlan {
   /// Prepacked weights; exactly one is populated, per (algo, kernel).
   PackedA gemm_a;             ///< kGemm with kOursGemm / kNcnn
   PackedSdotA sdot_a;         ///< kGemm with kSdotExt
+  PackedTblA tbl_a;           ///< kGemm with kTblGemm
   BitserialWeights bitplanes; ///< kBitserial
   WinogradWeights winograd;   ///< kWinograd
 

@@ -53,16 +53,78 @@ struct BSource {
   const i8* input = nullptr;
 };
 
+// kWeightTables inner sweep for one packed (jc, kcb) block: 4 x 16
+// row-major tiles (a slot is a C row, a lane a C column) against the
+// offline weight tables, with the same assign/accumulate + fused-epilogue
+// discipline as the column-major sweep below.
+void run_tbl_wt_block(Ctx& ctx, const TblAPanels& ta, i32* c,
+                      const BlockedLayout& lay, const GemmOptions& opt,
+                      const i8* buf, i32* tile, i64 n0, i64 nc, i64 k0,
+                      i64 kcb) {
+  const i64 groups_c = lay.tbl_groups(kcb);
+  const i64 nc_pad16 = round_up(nc, i64{16});
+  const i64 p4_total = ceil_div(lay.m, i64{4});
+  const i64 panels4_per_mc = lay.blk.mc / 4;
+  for (i64 icb = 0; icb < lay.m_blocks; ++icb) {
+    const i64 p0 = icb * panels4_per_mc;
+    const i64 p1 = std::min<i64>(p4_total, p0 + panels4_per_mc);
+    for (i64 p = p0; p < p1; ++p) {
+      const i8* tbl_slice =
+          ta.table_panel(p) + (k0 / lay.tbl_group) * 4 * 16;
+      for (i64 q = 0; q < nc_pad16 / 16; ++q) {
+        const u8* idx_panel =
+            reinterpret_cast<const u8*>(buf) + q * groups_c * 16;
+        micro_tbl_16x4(
+            ctx, idx_panel, tbl_slice, groups_c,
+            tbl_flush_interval(opt.bits, lay.tbl_group == kTblPairGroup),
+            tile);
+        const i64 row0 = p * 4;
+        const i64 col0 = n0 + q * 16;
+        const i64 rows = std::min<i64>(4, lay.m - row0);
+        const i64 cols = std::min<i64>(16, lay.n - col0);
+        for (i64 ii = 0; ii < rows; ++ii) {
+          i32* crow = &c[(row0 + ii) * lay.n + col0];
+          ctx.mem(crow, static_cast<u64>(cols) * 4);
+          if (kcb == 0)
+            for (i64 jj = 0; jj < cols; ++jj) crow[jj] = tile[ii * 16 + jj];
+          else
+            for (i64 jj = 0; jj < cols; ++jj) crow[jj] += tile[ii * 16 + jj];
+        }
+        if (kcb > 0 && rows > 0) {
+          // Re-load + add of a 16-col i32 row span is four vectors.
+          ctx.tally(Op::kLd1, static_cast<u64>(rows) * 4);
+          ctx.tally(Op::kAdd, static_cast<u64>(rows) * 4);
+        }
+        if (kcb == lay.k_blocks - 1 && opt.epilogue != nullptr) {
+          const TileEpilogue& epi = *opt.epilogue;
+          for (i64 ii = 0; ii < rows; ++ii) {
+            const i64 row = row0 + ii;
+            epi.fn(row, col0, cols, &c[row * lay.n + col0]);
+            if (epi.out_base != nullptr)
+              ctx.mem(epi.out_base + row * epi.row_stride + col0,
+                      static_cast<u64>(cols));
+          }
+          ctx.tally(Op::kScalar, static_cast<u64>(rows * cols) * 2);
+          ctx.tally(Op::kSt1, static_cast<u64>(rows));
+        }
+      }
+    }
+  }
+}
+
 // One worker's share of jc blocks: pack each (jc, kcb) B block, sweep all
 // A panels against it, scatter/accumulate into C.
 void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
-                     const BSource& src, i32* c, const BlockedLayout& lay,
-                     const GemmOptions& opt, i8* buf, i64 jc0, i64 jc1) {
+                     const TblAPanels* ta, const BSource& src, i32* c,
+                     const BlockedLayout& lay, const GemmOptions& opt,
+                     i8* buf, i64 jc0, i64 jc1) {
   const int bits = opt.bits;
   alignas(64) i32 tile[kMr * kNr] = {};
   if (ctx.verifier != nullptr)
     ctx.verifier->add_region(tile, sizeof(tile), "gemm C tile");
   const i32 qb = opt.b_max_abs > 0 ? opt.b_max_abs : qmax_for_bits(bits);
+  const bool tbl_wt =
+      lay.tbl() && lay.tbl_orient == TblOrientation::kWeightTables;
   const i64 panels_per_mc = lay.blk.mc / kMr;
   for (i64 jc = jc0; jc < jc1; ++jc) {
     const i64 n0 = jc * lay.blk.nc;
@@ -72,10 +134,44 @@ void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
       const i64 k0 = kcb * lay.blk.kc;
       const i64 kc = lay.kc_eff(kcb);
       const i64 kstride = lay.k_stride(kcb);
-      if (ctx.verifier != nullptr)
-        ctx.verifier->add_region(buf, nc_pad * kstride, "packed B block", -qb,
-                                 qb);
-      if (lay.sdot) {
+      if (ctx.verifier != nullptr) {
+        // Value bounds of the packed block: operand bytes by default, the
+        // table-entry hull for online TBL tables, [0, 15] for TBL indices.
+        i32 blo = -qb, bhi = qb;
+        i64 bbytes = nc_pad * kstride;
+        if (lay.tbl() && !tbl_wt) {
+          const i32 bound =
+              tbl_entry_bound(bits, lay.tbl_group == kTblPairGroup);
+          blo = -bound;
+          bhi = bound;
+        } else if (tbl_wt) {
+          blo = 0;
+          bhi = 15;
+          bbytes = round_up(nc, i64{16}) * kstride;
+        }
+        ctx.verifier->add_region(buf, bbytes, "packed B block", blo, bhi);
+      }
+      if (lay.tbl()) {
+        if (!tbl_wt) {
+          if (src.b != nullptr)
+            pack_tbl_b_tables_block_into(&ctx, bits, lay.tbl_group, src.b,
+                                         lay.k, lay.n, k0, kc, n0, nc, buf);
+          else
+            pack_tbl_b_tables_from_conv(&ctx, bits, lay.tbl_group, *src.shape,
+                                        src.input, k0, kc, n0, nc, buf);
+        } else {
+          u8* idx_dst = reinterpret_cast<u8*>(buf);
+          if (src.b != nullptr)
+            pack_tbl_b_idx_block_into(&ctx, bits, lay.tbl_group, src.b,
+                                      lay.k, lay.n, k0, kc, n0, nc, idx_dst);
+          else
+            pack_tbl_b_idx_from_conv(&ctx, bits, lay.tbl_group, *src.shape,
+                                     src.input, k0, kc, n0, nc, idx_dst);
+          run_tbl_wt_block(ctx, *ta, c, lay, opt, buf, tile, n0, nc, k0,
+                           kcb);
+          continue;
+        }
+      } else if (lay.sdot) {
         if (src.b != nullptr)
           pack_sdot_b_block_into(&ctx, src.b, lay.k, lay.n, k0, kc, n0, nc,
                                  buf);
@@ -94,10 +190,13 @@ void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
         const i64 p1 = std::min<i64>(lay.m_panels(), p0 + panels_per_mc);
         for (i64 p = p0; p < p1; ++p) {
           // The packed-A K slice at depth k0 needs no repack: panel layout
-          // is [K][kMr] (and [K4/4][kMr][4] for SDOT with k0 % 4 == 0), so
+          // is [K][kMr] (and [K4/4][kMr][4] for SDOT with k0 % 4 == 0, or
+          // [groups][kMr] index bytes for TBL with k0 % group == 0), so
           // the slice is a plain pointer offset.
-          const i8* a_slice = lay.sdot ? sa->panel(p) + k0 * kMr
-                                       : pa->panel(p) + k0 * kMr;
+          const i8* a_slice =
+              lay.tbl() ? nullptr
+                        : (lay.sdot ? sa->panel(p) + k0 * kMr
+                                    : pa->panel(p) + k0 * kMr);
           for (i64 q = 0; q < nc_pad / kNr; ++q) {
             const i8* b_panel = buf + q * kstride * kNr;
             switch (opt.kernel) {
@@ -117,6 +216,16 @@ void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
                 break;
               case ArmKernel::kSdotExt:
                 micro_sdot_16x4(ctx, a_slice, b_panel, kstride, tile);
+                break;
+              case ArmKernel::kTblGemm:
+                // kActTables: weight indices from the offline pack, product
+                // tables from the online block pack; a lane is a C row and
+                // a slot a C column, matching the scatter below.
+                micro_tbl_16x4(
+                    ctx, ta->idx_panel(p) + (k0 / lay.tbl_group) * kMr,
+                    b_panel, lay.tbl_groups(kcb),
+                    tbl_flush_interval(bits, lay.tbl_group == kTblPairGroup),
+                    tile);
                 break;
               case ArmKernel::kTraditional:
                 LBC_CHECK_MSG(false, "kernel has its own entry point");
@@ -167,21 +276,32 @@ void run_block_range(Ctx& ctx, const APanels* pa, const SdotAPanels* sa,
 }
 
 GemmStats run_blocked(const APanels* pa, const SdotAPanels* sa,
-                      const BSource& src, i32* c, i64 m, i64 n, i64 k,
-                      const GemmOptions& opt) {
+                      const TblAPanels* ta, const BSource& src, i32* c,
+                      i64 m, i64 n, i64 k, const GemmOptions& opt) {
   LBC_CHECK_MSG(opt.blocking.enabled(),
                 "blocked GEMM driver called with blocking disabled");
   const bool sdot = sa != nullptr;
-  const BlockedLayout lay = blocked_layout(m, n, k, opt.blocking, sdot);
+  const BlockedLayout lay = blocked_layout(
+      m, n, k, opt.blocking, sdot, ta != nullptr ? ta->group : 0,
+      ta != nullptr ? ta->orient : TblOrientation::kActTables);
   LBC_CHECK_MSG(!sdot || lay.k_blocks == 1 || lay.blk.kc % 4 == 0,
                 "SDOT blocked Kc must be a multiple of 4");
+  LBC_CHECK_MSG(!lay.tbl() || lay.k_blocks == 1 ||
+                    lay.blk.kc % lay.tbl_group == 0,
+                "TBL blocked Kc must be a multiple of the pair group");
 
   GemmStats stats;
   // Padding accounting matches the unblocked drivers: block partitioning
-  // moves the padding around but adds none.
+  // moves the padding around but adds none. The TBL layouts re-encode
+  // rather than copy, so only the index-side padding bytes count.
   if (sdot)
     stats.pack_extra_elems =
         (sa->m_pad * sa->k_pad + lay.n_pad * round_up(k, 4)) - m * k - k * n;
+  else if (ta != nullptr)
+    stats.pack_extra_elems =
+        lay.tbl_orient == TblOrientation::kActTables
+            ? (ta->m_pad - m) * ta->groups()
+            : (round_up(n, i64{16}) - n) * ta->groups();
   else
     stats.pack_extra_elems = pa->extra_elems() + (lay.n_pad * k - k * n);
 
@@ -191,7 +311,17 @@ GemmStats run_blocked(const APanels* pa, const SdotAPanels* sa,
     if (sdot)
       opt.verifier->add_region(sa->data, sa->m_pad * sa->k_pad,
                                "packed SDOT A", -qa, qa);
-    else
+    else if (ta != nullptr) {
+      if (lay.tbl_orient == TblOrientation::kActTables)
+        opt.verifier->add_region(ta->idx, ta->m_pad * ta->groups(),
+                                 "packed TBL A indices", 0, 15);
+      else {
+        const i32 bound = tbl_entry_bound(
+            opt.bits, ta->group == kTblPairGroup);
+        opt.verifier->add_region(ta->tables, ta->m_pad * ta->groups() * 16,
+                                 "packed TBL A tables", -bound, bound);
+      }
+    } else
       opt.verifier->add_region(pa->data, pa->m_pad * pa->k, "packed A panels",
                                -qa, qa);
     if (src.b != nullptr)
@@ -219,7 +349,8 @@ GemmStats run_blocked(const APanels* pa, const SdotAPanels* sa,
   if (threads == 1) {
     Ctx ctx;
     ctx.verifier = opt.verifier;
-    run_block_range(ctx, pa, sa, src, c, lay, opt, bufs[0], 0, lay.n_blocks);
+    run_block_range(ctx, pa, sa, ta, src, c, lay, opt, bufs[0], 0,
+                    lay.n_blocks);
     stats.counts = ctx.counts;
     stats.thread_counts = {ctx.counts};
   } else {
@@ -234,8 +365,8 @@ GemmStats run_blocked(const APanels* pa, const SdotAPanels* sa,
             const i64 jc0 = t * per;
             const i64 jc1 = std::min<i64>(lay.n_blocks, jc0 + per);
             if (jc0 < jc1)
-              run_block_range(ctxs[static_cast<size_t>(t)], pa, sa, src, c,
-                              lay, opt, bufs[static_cast<size_t>(t)], jc0,
+              run_block_range(ctxs[static_cast<size_t>(t)], pa, sa, ta, src,
+                              c, lay, opt, bufs[static_cast<size_t>(t)], jc0,
                               jc1);
           }
         });
@@ -251,15 +382,26 @@ GemmStats run_blocked(const APanels* pa, const SdotAPanels* sa,
 
 GemmStats gemm_blocked_prepacked(const APanels& pa, const i8* b, i32* c,
                                  i64 m, i64 n, i64 k, const GemmOptions& opt) {
-  return run_blocked(&pa, nullptr, BSource{b, nullptr, nullptr}, c, m, n, k,
-                     opt);
+  return run_blocked(&pa, nullptr, nullptr, BSource{b, nullptr, nullptr}, c,
+                     m, n, k, opt);
 }
 
 GemmStats gemm_blocked_sdot_prepacked(const SdotAPanels& pa, const i8* b,
                                       i32* c, i64 m, i64 n, i64 k,
                                       const GemmOptions& opt) {
-  return run_blocked(nullptr, &pa, BSource{b, nullptr, nullptr}, c, m, n, k,
-                     opt);
+  return run_blocked(nullptr, &pa, nullptr, BSource{b, nullptr, nullptr}, c,
+                     m, n, k, opt);
+}
+
+GemmStats gemm_blocked_tbl_prepacked(const TblAPanels& ta, const i8* b,
+                                     i32* c, i64 m, i64 n, i64 k,
+                                     const GemmOptions& opt) {
+  LBC_CHECK_MSG(opt.kernel == ArmKernel::kTblGemm,
+                "gemm_blocked_tbl_prepacked: kernel must be kTblGemm");
+  LBC_CHECK_MSG(ta.m == m && ta.k == k,
+                "gemm_blocked_tbl_prepacked: packed TBL A geometry mismatch");
+  return run_blocked(nullptr, nullptr, &ta, BSource{b, nullptr, nullptr}, c,
+                     m, n, k, opt);
 }
 
 GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
@@ -271,8 +413,8 @@ GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
   const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
   LBC_CHECK_MSG(pa.m == m && pa.k == k,
                 "gemm_s8s32_conv_fused: packed A geometry mismatch");
-  return run_blocked(&pa, nullptr, BSource{nullptr, &s, input}, c, m, n, k,
-                     opt);
+  return run_blocked(&pa, nullptr, nullptr, BSource{nullptr, &s, input}, c,
+                     m, n, k, opt);
 }
 
 GemmStats gemm_s8s32_sdot_conv_fused(const SdotAPanels& pa, const ConvShape& s,
@@ -281,8 +423,20 @@ GemmStats gemm_s8s32_sdot_conv_fused(const SdotAPanels& pa, const ConvShape& s,
   const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
   LBC_CHECK_MSG(pa.m == m && pa.k == k,
                 "gemm_s8s32_sdot_conv_fused: packed A geometry mismatch");
-  return run_blocked(nullptr, &pa, BSource{nullptr, &s, input}, c, m, n, k,
-                     opt);
+  return run_blocked(nullptr, &pa, nullptr, BSource{nullptr, &s, input}, c,
+                     m, n, k, opt);
+}
+
+GemmStats gemm_s8s32_tbl_conv_fused(const TblAPanels& ta, const ConvShape& s,
+                                    const i8* input, i32* c,
+                                    const GemmOptions& opt) {
+  LBC_CHECK_MSG(opt.kernel == ArmKernel::kTblGemm,
+                "gemm_s8s32_tbl_conv_fused: kernel must be kTblGemm");
+  const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
+  LBC_CHECK_MSG(ta.m == m && ta.k == k,
+                "gemm_s8s32_tbl_conv_fused: packed TBL A geometry mismatch");
+  return run_blocked(nullptr, nullptr, &ta, BSource{nullptr, &s, input}, c,
+                     m, n, k, opt);
 }
 
 }  // namespace lbc::armkern

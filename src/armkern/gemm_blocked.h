@@ -14,5 +14,8 @@ GemmStats gemm_blocked_prepacked(const APanels& pa, const i8* b, i32* c,
 GemmStats gemm_blocked_sdot_prepacked(const SdotAPanels& pa, const i8* b,
                                       i32* c, i64 m, i64 n, i64 k,
                                       const GemmOptions& opt);
+GemmStats gemm_blocked_tbl_prepacked(const TblAPanels& ta, const i8* b,
+                                     i32* c, i64 m, i64 n, i64 k,
+                                     const GemmOptions& opt);
 
 }  // namespace lbc::armkern

@@ -7,6 +7,7 @@
 #include "armkern/gemm_blocked.h"
 #include "armkern/micro.h"
 #include "armkern/pack.h"
+#include "armkern/tile_search.h"
 #include "common/workspace.h"
 #include "serve/thread_pool.h"
 
@@ -55,6 +56,7 @@ void run_panels(Ctx& ctx, const APanels& pa, const BPanels& pb, i32* c, i64 m,
           break;
         case ArmKernel::kTraditional:
         case ArmKernel::kSdotExt:
+        case ArmKernel::kTblGemm:
           LBC_CHECK_MSG(false, "kernel has its own entry point");
           break;
       }
@@ -203,6 +205,19 @@ GemmStats gemm_s8s32(const i8* a, const i8* b, i32* c, i64 m, i64 n, i64 k,
     if (opt.blocking.enabled())
       return gemm_blocked_sdot_prepacked(pa.view(), b, c, m, n, k, opt);
     return run_sdot_panels(pa.view(), b, c, m, n, k, opt);
+  }
+
+  if (opt.kernel == ArmKernel::kTblGemm) {
+    LBC_CHECK_MSG(opt.bits <= 3, "TBL scheme ships for 2-3 bit only");
+    // Orientation is priced from geometry + detected weight values; the
+    // offline weight pack is untallied exactly as at plan time. The scheme
+    // only exists blocked — force the default blocking when disabled.
+    const TblOrientation orient = choose_tbl_orientation(
+        m, n, k, opt.bits, tbl_values_ternary(a, m, k));
+    const PackedTblA ta = pack_tbl_a(a, m, k, opt.bits, orient);
+    GemmOptions o = opt;
+    if (!o.blocking.enabled()) o.blocking = default_blocking(m, n, k, false);
+    return gemm_blocked_tbl_prepacked(ta.view(), b, c, m, n, k, o);
   }
 
   Ctx pack_ctx;

@@ -36,6 +36,7 @@ enum class ArmKernel {
   kNcnn,         ///< ncnn-style 8-bit baseline (widen + 16-bit SMLAL)
   kTraditional,  ///< Fig. 1a inner-product GEMM (ablation)
   kSdotExt,      ///< ARMv8.2 SDOT kernel (extension; not on the v8.1 target)
+  kTblGemm,      ///< TBL lookup-table scheme, 2-3 bit (DESIGN.md Sec. 16)
 };
 
 /// Epilogue hook of the blocked driver (the ARM twin of gpukern/fusion):
@@ -143,6 +144,14 @@ GemmStats gemm_s8s32_conv_fused(const APanels& pa, const ConvShape& s,
 GemmStats gemm_s8s32_sdot_conv_fused(const SdotAPanels& pa, const ConvShape& s,
                                      const i8* input, i32* c,
                                      const GemmOptions& opt);
+
+/// TBL variant of the fused-pack blocked conv GEMM (kTblGemm): the per-
+/// block online pack builds product tables (kActTables) or index panels
+/// (kWeightTables) straight from the conv input. Requires
+/// opt.blocking.enabled() and ta packed from the (m, k) weight matrix.
+GemmStats gemm_s8s32_tbl_conv_fused(const TblAPanels& ta, const ConvShape& s,
+                                    const i8* input, i32* c,
+                                    const GemmOptions& opt);
 
 /// Traditional GEMM used by the ablation bench (declared here, defined in
 /// gemm_traditional.cpp); B is consumed column-major-packed internally.

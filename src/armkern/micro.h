@@ -35,4 +35,18 @@ void micro_ncnn_16x4(armsim::Ctx& ctx, const i8* a_panel, const i8* b_panel,
 void micro_sdot_16x4(armsim::Ctx& ctx, const i8* a_panel, const i8* b_panel,
                      i64 k_pad, i32* c);
 
+/// TBL lookup-table scheme (2-3 bit, DESIGN.md Sec. 16). Orientation-
+/// agnostic 4-slot x 16-lane tile:
+///   idx_panel:   [groups][16]    u8 — one index vector per group step
+///   table_panel: [groups][4][16] i8 — four 16-entry product tables per step
+///   c:           c[slot*16 + lane], int32.
+/// With activation-side tables (large-M orientation) a lane is a C row and
+/// a slot a C column (the standard column-major 16x4 tile); with weight-
+/// side tables a slot is a C row and a lane a C column (a 4x16 tile).
+/// `flush` bounds ADD.16B entry accumulations per 8-bit lane between the
+/// sshll/saddw flushes into the i32 tile — pass
+/// tbl_flush_interval(bits, pair) so the byte lanes cannot wrap.
+void micro_tbl_16x4(armsim::Ctx& ctx, const u8* idx_panel,
+                    const i8* table_panel, i64 groups, int flush, i32* c);
+
 }  // namespace lbc::armkern

@@ -1,0 +1,63 @@
+#include "armkern/micro.h"
+
+namespace lbc::armkern {
+
+using namespace armsim;
+
+void micro_tbl_16x4(Ctx& ctx, const u8* idx_panel, const i8* table_panel,
+                    i64 groups, int flush, i32* c) {
+  // Two-level accumulation (the MLA scheme's trick, Sec. 3.4): each group
+  // step is one TBL shuffle plus one ADD.16B into a byte accumulator;
+  // `flush` = tbl_flush_interval(bits, pair) group steps fit the i8 lane
+  // (|entry| <= tbl_entry_bound), then sshll/saddw widen into the 32-bit
+  // tile. Checked-execution contract: the declared acc8 flush interval and
+  // the 4 TBL : 2 load CAL/LD ratio. No spill slots: 1 idx + 4 tables +
+  // 1 product + 4 i8 acc + 1 i16 temp + 16 i32 accumulators = 27 of 32.
+  const VerifyScope vs(ctx, KernelSpec{.name = "micro_tbl_16x4",
+                                       .acc8_flush = flush,
+                                       .cal_ld_min = 1.5,
+                                       .cal_ld_max = 2.5});
+  int8x16 acc8[4];
+  int32x4 acc32[4][4];
+  for (int s = 0; s < 4; ++s) {
+    movi_zero(ctx, acc8[s]);
+    for (int g = 0; g < 4; ++g) movi_zero(ctx, acc32[s][g]);
+  }
+
+  auto flush_8_to_32 = [&] {
+    for (int s = 0; s < 4; ++s) {
+      int16x8 wide;
+      sshll_s8(ctx, wide, acc8[s]);
+      saddw_s16(ctx, acc32[s][0], wide);
+      saddw2_s16(ctx, acc32[s][1], wide);
+      sshll2_s8(ctx, wide, acc8[s]);
+      saddw_s16(ctx, acc32[s][2], wide);
+      saddw2_s16(ctx, acc32[s][3], wide);
+      movi_zero(ctx, acc8[s]);
+    }
+  };
+
+  i64 g = 0;
+  while (g < groups) {
+    const i64 steps = std::min<i64>(flush, groups - g);
+    for (i64 s = 0; s < steps; ++s) {
+      uint8x16 idx;
+      ld1_u8(ctx, idx_panel + (g + s) * 16, idx);
+      int8x16 tables[4];
+      ld1x4_s8(ctx, table_panel + (g + s) * 64, tables);
+      for (int slot = 0; slot < 4; ++slot) {
+        int8x16 prod;
+        tbl_s8(ctx, prod, tables[slot], idx);
+        add_s8(ctx, acc8[slot], prod);
+      }
+    }
+    ctx.tally(Op::kLoop);
+    g += steps;
+    flush_8_to_32();
+  }
+
+  for (int s = 0; s < 4; ++s)
+    for (int q = 0; q < 4; ++q) st1_s32(ctx, acc32[s][q], c + s * 16 + q * 4);
+}
+
+}  // namespace lbc::armkern

@@ -361,6 +361,240 @@ SdotBPanels pack_sdot_b_panels_from_conv(armsim::Ctx* ctx, const ConvShape& s,
   return SdotBPanels{dst, nc, kc, nc_pad, kc_pad};
 }
 
+void tally_pack_tbl_tables(armsim::Ctx* ctx, i64 tables) {
+  if (!ctx) return;
+  const u64 t = static_cast<u64>(tables);
+  ctx->tally(armsim::Op::kDup, t * 2);     // broadcast both table operands
+  ctx->tally(armsim::Op::kAdd, t * 2);     // combine the scaled base tables
+  ctx->tally(armsim::Op::kSt1, t);         // store the 16-entry table
+  ctx->tally(armsim::Op::kScalar, t * 2);  // operand fetch + address math
+  ctx->tally(armsim::Op::kLoop, t / 4 + 1);
+}
+
+bool tbl_values_ternary(const i8* a, i64 m, i64 k) {
+  for (i64 i = 0; i < m * k; ++i)
+    if (a[i] < -1 || a[i] > 1) return false;
+  return true;
+}
+
+i64 packed_tbl_idx_a_bytes(i64 m, i64 k, int group) {
+  return round_up(m, kMr) * ceil_div(k, static_cast<i64>(group));
+}
+
+i64 packed_tbl_tables_a_bytes(i64 m, i64 k, int group) {
+  return round_up(m, i64{4}) * ceil_div(k, static_cast<i64>(group)) * 16;
+}
+
+PackedTblA pack_tbl_a(const i8* a, i64 m, i64 k, int bits,
+                      TblOrientation orient, armsim::Ctx* ctx) {
+  PackedTblA pa;
+  pa.orient = orient;
+  pa.bits = bits;
+  pa.m = m;
+  pa.k = k;
+  pa.ternary = bits == 2 || tbl_values_ternary(a, m, k);
+  pa.group = tbl_group_for(orient, bits, pa.ternary);
+  const bool pair = pa.group == kTblPairGroup;
+  const i64 groups = pa.groups();
+  const auto aval = [&](i64 row, i64 kk) -> i8 {
+    return (row < m && kk < k) ? a[row * k + kk] : i8{0};
+  };
+  if (orient == TblOrientation::kActTables) {
+    pa.m_pad = round_up(m, kMr);
+    pa.idx.resize(static_cast<size_t>(pa.m_pad * groups));
+    const u8 neutral =
+        pair ? kTblNeutralPairIndex : tbl_generic_neutral_index(bits);
+    for (i64 p = 0; p < pa.m_pad / kMr; ++p) {
+      u8* panel = pa.idx.data() + p * groups * kMr;
+      for (i64 gs = 0; gs < groups; ++gs)
+        for (i64 r = 0; r < kMr; ++r) {
+          const i64 row = p * kMr + r;
+          u8 enc = neutral;
+          if (row < m)
+            enc = pair ? tbl_pair_index(aval(row, gs * 2), aval(row, gs * 2 + 1))
+                       : tbl_value_index(aval(row, gs), bits);
+          panel[gs * kMr + r] = enc;
+        }
+    }
+    tally_pack_gather(ctx, pa.m_pad * k);
+    if (ctx) {
+      ensure_pack_regions(ctx, a, m * k, "pack TBL A source", pa.idx.data(),
+                          static_cast<i64>(pa.idx.size()),
+                          "packed TBL A indices");
+      ctx->mem_range(a, static_cast<u64>(m * k));
+      ctx->mem_range(pa.idx.data(), pa.idx.size());
+    }
+  } else {
+    pa.m_pad = round_up(m, i64{4});
+    pa.tables.resize(static_cast<size_t>(pa.m_pad * groups * 16));
+    for (i64 p = 0; p < pa.m_pad / 4; ++p) {
+      i8* panel = pa.tables.data() + p * groups * 4 * 16;
+      for (i64 gs = 0; gs < groups; ++gs)
+        for (i64 r = 0; r < 4; ++r) {
+          const i64 row = p * 4 + r;
+          const i8 w0 = aval(row, gs * pa.group);
+          const i8 w1 = pair ? aval(row, gs * pa.group + 1) : i8{0};
+          tbl_build_table(bits, pair, w0, w1, panel + (gs * 4 + r) * 16);
+        }
+    }
+    tally_pack_tbl_tables(ctx, pa.m_pad * groups);
+    if (ctx) {
+      ensure_pack_regions(ctx, a, m * k, "pack TBL A source",
+                          pa.tables.data(),
+                          static_cast<i64>(pa.tables.size()),
+                          "packed TBL A tables");
+      ctx->mem_range(a, static_cast<u64>(m * k));
+      ctx->mem_range(pa.tables.data(), pa.tables.size());
+    }
+  }
+  return pa;
+}
+
+void pack_tbl_b_tables_block_into(armsim::Ctx* ctx, int bits, int group,
+                                  const i8* b, i64 k, i64 n, i64 k0, i64 kc,
+                                  i64 n0, i64 nc, i8* dst) {
+  const bool pair = group == kTblPairGroup;
+  const i64 nc_pad = round_up(nc, kNr);
+  const i64 groups_c = ceil_div(kc, static_cast<i64>(group));
+  const auto bval = [&](i64 kk, i64 j) -> i8 {
+    return (kk < kc && n0 + j < n) ? b[(k0 + kk) * n + n0 + j] : i8{0};
+  };
+  for (i64 q = 0; q < nc_pad / kNr; ++q) {
+    i8* panel = dst + q * groups_c * kNr * 16;
+    for (i64 gs = 0; gs < groups_c; ++gs)
+      for (i64 c = 0; c < kNr; ++c) {
+        const i64 j = q * kNr + c;
+        i8 b0 = 0, b1 = 0;
+        if (j < nc) {
+          b0 = bval(gs * group, j);
+          if (pair) b1 = bval(gs * group + 1, j);
+        }
+        tbl_build_table(bits, pair, b0, b1, panel + (gs * kNr + c) * 16);
+      }
+  }
+  const i64 bytes = nc_pad * groups_c * 16;
+  tally_pack_tbl_tables(ctx, nc_pad * groups_c);
+  if (ctx) {
+    ensure_pack_regions(ctx, b, k * n, "pack B source", dst, bytes,
+                        "packed B block");
+    for (i64 kk = 0; kk < kc; ++kk)
+      ctx->mem_range(b + (k0 + kk) * n + n0,
+                     static_cast<u64>(std::min(nc, n - n0)));
+    ctx->mem_range(dst, static_cast<u64>(bytes));
+  }
+}
+
+void pack_tbl_b_tables_from_conv(armsim::Ctx* ctx, int bits, int group,
+                                 const ConvShape& s, const i8* input, i64 k0,
+                                 i64 kc, i64 n0, i64 nc, i8* dst) {
+  const bool pair = group == kTblPairGroup;
+  const i64 nc_pad = round_up(nc, kNr);
+  const i64 groups_c = ceil_div(kc, static_cast<i64>(group));
+  const auto bval = [&](i64 kk, i64 j) -> i8 {
+    return kk < kc ? im2col_at(s, input, k0 + kk, n0 + j) : i8{0};
+  };
+  for (i64 q = 0; q < nc_pad / kNr; ++q) {
+    i8* panel = dst + q * groups_c * kNr * 16;
+    for (i64 gs = 0; gs < groups_c; ++gs)
+      for (i64 c = 0; c < kNr; ++c) {
+        const i64 j = q * kNr + c;
+        i8 b0 = 0, b1 = 0;
+        if (j < nc) {
+          b0 = bval(gs * group, j);
+          if (pair) b1 = bval(gs * group + 1, j);
+        }
+        tbl_build_table(bits, pair, b0, b1, panel + (gs * kNr + c) * 16);
+      }
+  }
+  const i64 bytes = nc_pad * groups_c * 16;
+  tally_pack_tbl_tables(ctx, nc_pad * groups_c);
+  tally_pack_im2col_gather(ctx, nc_pad * kc);
+  if (ctx) {
+    ensure_pack_regions(ctx, input, s.batch * s.in_c * s.in_h * s.in_w,
+                        "conv input", dst, bytes, "packed B block");
+    touch_conv_gather(ctx, s, input, k0, kc, n0, nc);
+    ctx->mem_range(dst, static_cast<u64>(bytes));
+  }
+}
+
+void pack_tbl_b_idx_block_into(armsim::Ctx* ctx, int bits, int group,
+                               const i8* b, i64 k, i64 n, i64 k0, i64 kc,
+                               i64 n0, i64 nc, u8* dst) {
+  const bool pair = group == kTblPairGroup;
+  const i64 nc_pad = round_up(nc, i64{16});
+  const i64 groups_c = ceil_div(kc, static_cast<i64>(group));
+  const u8 neutral =
+      pair ? kTblNeutralPairIndex : tbl_generic_neutral_index(bits);
+  for (i64 q = 0; q < nc_pad / 16; ++q) {
+    u8* panel = dst + q * groups_c * 16;
+    for (i64 gs = 0; gs < groups_c; ++gs)
+      for (i64 c = 0; c < 16; ++c) {
+        const i64 j = q * 16 + c;
+        u8 enc = neutral;
+        if (j < nc && n0 + j < n) {
+          const i64 kk = gs * group;
+          const i8 v0 = b[(k0 + kk) * n + n0 + j];
+          if (pair) {
+            const i8 v1 =
+                (kk + 1 < kc) ? b[(k0 + kk + 1) * n + n0 + j] : i8{0};
+            enc = tbl_pair_index(v0, v1);
+          } else {
+            enc = tbl_value_index(v0, bits);
+          }
+        }
+        panel[gs * 16 + c] = enc;
+      }
+  }
+  tally_pack_gather(ctx, nc_pad * groups_c * group);
+  if (ctx) {
+    ensure_pack_regions(ctx, b, k * n, "pack B source", dst,
+                        nc_pad * groups_c, "packed B block");
+    for (i64 kk = 0; kk < kc; ++kk)
+      ctx->mem_range(b + (k0 + kk) * n + n0,
+                     static_cast<u64>(std::min(nc, n - n0)));
+    ctx->mem_range(dst, static_cast<u64>(nc_pad * groups_c));
+  }
+}
+
+void pack_tbl_b_idx_from_conv(armsim::Ctx* ctx, int bits, int group,
+                              const ConvShape& s, const i8* input, i64 k0,
+                              i64 kc, i64 n0, i64 nc, u8* dst) {
+  const bool pair = group == kTblPairGroup;
+  const i64 nc_pad = round_up(nc, i64{16});
+  const i64 groups_c = ceil_div(kc, static_cast<i64>(group));
+  const u8 neutral =
+      pair ? kTblNeutralPairIndex : tbl_generic_neutral_index(bits);
+  for (i64 q = 0; q < nc_pad / 16; ++q) {
+    u8* panel = dst + q * groups_c * 16;
+    for (i64 gs = 0; gs < groups_c; ++gs)
+      for (i64 c = 0; c < 16; ++c) {
+        const i64 j = q * 16 + c;
+        u8 enc = neutral;
+        if (j < nc) {
+          const i64 kk = gs * group;
+          const i8 v0 = im2col_at(s, input, k0 + kk, n0 + j);
+          if (pair) {
+            const i8 v1 =
+                (kk + 1 < kc) ? im2col_at(s, input, k0 + kk + 1, n0 + j)
+                              : i8{0};
+            enc = tbl_pair_index(v0, v1);
+          } else {
+            enc = tbl_value_index(v0, bits);
+          }
+        }
+        panel[gs * 16 + c] = enc;
+      }
+  }
+  tally_pack_im2col_gather(ctx, nc_pad * groups_c * group);
+  if (ctx) {
+    ensure_pack_regions(ctx, input, s.batch * s.in_c * s.in_h * s.in_w,
+                        "conv input", dst, nc_pad * groups_c,
+                        "packed B block");
+    touch_conv_gather(ctx, s, input, k0, kc, n0, nc);
+    ctx->mem_range(dst, static_cast<u64>(nc_pad * groups_c));
+  }
+}
+
 AlignedVector<i8> pack_b_colmajor(armsim::Ctx* ctx, const i8* b, i64 k, i64 n) {
   AlignedVector<i8> out(static_cast<size_t>(k * n));
   for (i64 j = 0; j < n; ++j)

@@ -37,8 +37,12 @@ std::string geometry_key(const ConvShape& s) {
 
 // Instruction mix of ONE micro-kernel call at depth kc, measured by
 // running the emulated kernel on dummy zeroed buffers with the cache
-// model off (issue cost only; stalls come from the replay).
-Counters probe_micro(ArmKernel kernel, int bits, i64 kc, i64 kstride) {
+// model off (issue cost only; stalls come from the replay). For the TBL
+// kernel `tbl_groups` is the per-call group-step count and `tbl_group` the
+// depth positions per group (both orientations issue the identical
+// pattern; the group size sets the byte-lane flush cadence).
+Counters probe_micro(ArmKernel kernel, int bits, i64 kc, i64 kstride,
+                     i64 tbl_groups = 0, int tbl_group = 0) {
   AlignedVector<i8> a(static_cast<size_t>(std::max<i64>(kstride, 1) * kMr));
   AlignedVector<i8> b(static_cast<size_t>(std::max<i64>(kstride, 1) * kNr));
   alignas(64) i32 tile[kMr * kNr];
@@ -59,10 +63,33 @@ Counters probe_micro(ArmKernel kernel, int bits, i64 kc, i64 kstride) {
     case ArmKernel::kSdotExt:
       micro_sdot_16x4(ctx, a.data(), b.data(), kstride, tile);
       break;
+    case ArmKernel::kTblGemm: {
+      const i64 g = std::max<i64>(tbl_groups, 1);
+      AlignedVector<u8> idx(static_cast<size_t>(g * 16));  // index 0: valid
+      AlignedVector<i8> tbl(static_cast<size_t>(g * 64));
+      micro_tbl_16x4(ctx, idx.data(), tbl.data(), g,
+                     tbl_flush_interval(bits, tbl_group == kTblPairGroup),
+                     tile);
+      break;
+    }
     case ArmKernel::kTraditional:
       break;  // never blocked
   }
   return ctx.counts;
+}
+
+// The search prices TBL layouts without seeing weight values, so the pair
+// group assumes non-ternary 3-bit weights (the conservative mode; 2-bit is
+// always paired). Pack-time detection can only improve on the priced plan.
+BlockedLayout layout_for(i64 m, i64 n, i64 k, const GemmBlocking& blocking,
+                         ArmKernel kernel, int bits) {
+  const bool sdot = kernel == ArmKernel::kSdotExt;
+  if (kernel == ArmKernel::kTblGemm) {
+    const TblOrientation o = choose_tbl_orientation(m, n, k, bits, false);
+    return blocked_layout(m, n, k, blocking, sdot,
+                          tbl_group_for(o, bits, false), o);
+  }
+  return blocked_layout(m, n, k, blocking, sdot);
 }
 
 // Line-granular trace replay of the blocked schedule into a fresh
@@ -85,6 +112,12 @@ constexpr u64 kBaseA = u64{1} << 40;
 constexpr u64 kBaseB = u64{2} << 40;
 constexpr u64 kBaseC = u64{3} << 40;
 constexpr u64 kBaseIn = u64{4} << 40;
+// The driver's per-thread 16x4 i32 micro-kernel scratch tile. Only 1 KB,
+// but it is written through ST1 on every micro call, so it permanently
+// holds 16 L1 lines — near the L1 capacity cliff that residency decides
+// whether a schedule's table/panel set survives between row panels, and
+// omitting it made the replay optimistic exactly where reality thrashes.
+constexpr u64 kBaseTile = u64{5} << 40;
 // Per-layer spacing inside a region for the chained graph replay: layers
 // get disjoint weight/activation sub-regions 16 GiB apart.
 constexpr u64 kLayerStride = u64{1} << 34;
@@ -143,8 +176,15 @@ void replay_gather(Replay& r, const ConvShape& s, u64 base_in, i64 k0, i64 kc,
 ReplayMisses replay_schedule_at(Replay& r, const ConvShape& s,
                                 const BlockedLayout& lay,
                                 const ReplayBases& bases) {
+  const bool tbl_wt =
+      lay.tbl() && lay.tbl_orient == TblOrientation::kWeightTables;
+  const i64 k_groups_total =
+      lay.tbl() ? ceil_div(lay.k, static_cast<i64>(lay.tbl_group)) : 0;
+  // Offline-A stride per panel: plain/SDOT i8 panels, TBL index panels
+  // (16 bytes per group step) or TBL weight tables (64 per row-group step).
   const i64 a_panel_stride =
-      (lay.sdot ? round_up(lay.k, 4) : lay.k) * kMr;
+      lay.tbl() ? k_groups_total * (tbl_wt ? 64 : 16)
+                : (lay.sdot ? round_up(lay.k, 4) : lay.k) * kMr;
   const i64 sim_blocks = std::min<i64>(2, lay.n_blocks);
   u64 l1_per_block[2] = {0, 0};
   u64 l2_per_block[2] = {0, 0};
@@ -158,20 +198,75 @@ ReplayMisses replay_schedule_at(Replay& r, const ConvShape& s,
       const i64 k0 = kcb * lay.blk.kc;
       const i64 kstride = lay.k_stride(kcb);
       replay_gather(r, s, bases.in, k0, lay.kc_eff(kcb), n0, nc);
+      if (tbl_wt) {
+        const i64 groups_c = lay.tbl_groups(kcb);
+        const i64 nc_pad16 = round_up(nc, i64{16});
+        r.touch(bases.b, static_cast<u64>(nc_pad16 * kstride));
+        for (i64 p = 0; p < ceil_div(lay.m, i64{4}); ++p) {
+          const u64 a_slice =
+              bases.a + static_cast<u64>(p * a_panel_stride +
+                                         (k0 / lay.tbl_group) * 64);
+          for (i64 q = 0; q < nc_pad16 / 16; ++q) {
+            const u64 idx_panel = bases.b + static_cast<u64>(q * kstride * 16);
+            // Per group step: one 64-byte table line, one 16-byte index
+            // vector (a line per four steps).
+            for (i64 gs = 0; gs < groups_c; ++gs) {
+              r.touch(a_slice + static_cast<u64>(gs * 64),
+                      CacheSim::kLineBytes);
+              if (gs % 4 == 0)
+                r.touch(idx_panel + static_cast<u64>(gs * 16),
+                        CacheSim::kLineBytes);
+            }
+            r.touch(kBaseTile, kMr * kNr * 4);  // micro ST1s into the tile
+            const i64 row0 = p * 4;
+            const i64 col0 = n0 + q * 16;
+            const i64 rows = std::min<i64>(4, lay.m - row0);
+            const i64 cols = std::min<i64>(16, lay.n - col0);
+            for (i64 ii = 0; ii < rows; ++ii) {
+              r.touch(bases.c +
+                          static_cast<u64>(((row0 + ii) * lay.n + col0) * 4),
+                      static_cast<u64>(cols) * 4);
+              if (kcb == lay.k_blocks - 1 && bases.out != 0)
+                r.touch(
+                    bases.out + static_cast<u64>((row0 + ii) * lay.n + col0),
+                    static_cast<u64>(cols));
+            }
+          }
+        }
+        continue;
+      }
       r.touch(bases.b, static_cast<u64>(nc_pad * kstride));
       for (i64 p = 0; p < lay.m_panels(); ++p) {
         const u64 a_slice =
-            bases.a + static_cast<u64>(p * a_panel_stride + k0 * kMr);
+            bases.a +
+            static_cast<u64>(p * a_panel_stride +
+                             (lay.tbl() ? (k0 / lay.tbl_group) * 16
+                                        : k0 * kMr));
         for (i64 q = 0; q < nc_pad / kNr; ++q) {
           const u64 b_panel = bases.b + static_cast<u64>(q * kstride * kNr);
-          // The micro kernel's load pattern at line granularity: one A
-          // line per four depth steps, one B line per sixteen.
-          for (i64 kk = 0; kk < kstride; kk += 4) {
-            r.touch(a_slice + static_cast<u64>(kk * kMr), CacheSim::kLineBytes);
-            if (kk % 16 == 0)
-              r.touch(b_panel + static_cast<u64>(kk * kNr),
+          if (lay.tbl()) {
+            // kActTables: one 64-byte table line per group step, one
+            // 16-byte weight-index vector (a line per four steps).
+            const i64 groups_c = lay.tbl_groups(kcb);
+            for (i64 gs = 0; gs < groups_c; ++gs) {
+              r.touch(b_panel + static_cast<u64>(gs * 64),
                       CacheSim::kLineBytes);
+              if (gs % 4 == 0)
+                r.touch(a_slice + static_cast<u64>(gs * 16),
+                        CacheSim::kLineBytes);
+            }
+          } else {
+            // The micro kernel's load pattern at line granularity: one A
+            // line per four depth steps, one B line per sixteen.
+            for (i64 kk = 0; kk < kstride; kk += 4) {
+              r.touch(a_slice + static_cast<u64>(kk * kMr),
+                      CacheSim::kLineBytes);
+              if (kk % 16 == 0)
+                r.touch(b_panel + static_cast<u64>(kk * kNr),
+                        CacheSim::kLineBytes);
+            }
           }
+          r.touch(kBaseTile, kMr * kNr * 4);  // micro ST1s into the tile
           const i64 row0 = p * kMr;
           const i64 col0 = n0 + q * kNr;
           const i64 rows = std::min<i64>(kMr, lay.m - row0);
@@ -214,6 +309,9 @@ ReplayMisses replay_memoized(const ConvShape& s, const BlockedLayout& lay) {
   std::ostringstream os;
   os << geometry_key(s) << "|kc" << lay.blk.kc << "nc" << lay.blk.nc
      << (lay.sdot ? "|sdot" : "");
+  if (lay.tbl())
+    os << (lay.tbl_orient == TblOrientation::kActTables ? "|tblA" : "|tblB")
+       << lay.tbl_group;
   const std::string key = os.str();
   const auto it = g_replays.find(key);
   if (it != g_replays.end()) return it->second;
@@ -231,12 +329,22 @@ ReplayMisses replay_memoized(const ConvShape& s, const BlockedLayout& lay) {
 Counters issue_counts(const ConvShape& s, int bits, ArmKernel kernel,
                       const BlockedLayout& lay, bool fused_epilogue) {
   const bool sdot = kernel == ArmKernel::kSdotExt;
+  const bool tbl_wt =
+      lay.tbl() && lay.tbl_orient == TblOrientation::kWeightTables;
   const i64 m = s.gemm_m();
 
   Counters counts;
   Ctx tally_ctx;
   tally_ctx.model_cache = false;
-  const i64 q_total = lay.n_pad / kNr;  // micro columns across all jc bands
+  // Micro columns across all jc bands: 4-wide for the column-major tile,
+  // 16-wide for the TBL weight-tables row-major tile (per-band padding).
+  i64 q_total = lay.n_pad / kNr;
+  if (tbl_wt) {
+    q_total = 0;
+    for (i64 jc = 0; jc < lay.n_blocks; ++jc)
+      q_total += round_up(lay.nc_eff(jc), i64{16}) / 16;
+  }
+  const i64 row_panels = tbl_wt ? ceil_div(lay.m, i64{4}) : lay.m_panels();
   // Distinct Kc depths: every non-final block shares blk.kc, the final one
   // may be a tail — probe each depth once and scale by call counts.
   const i64 tail_kc = lay.kc_eff(lay.k_blocks - 1);
@@ -252,18 +360,35 @@ Counters issue_counts(const ConvShape& s, int bits, ArmKernel kernel,
   }
   for (const KcGroup& g : kc_groups) {
     const i64 kstride = sdot ? round_up(g.kc, 4) : g.kc;
-    const Counters per_call = probe_micro(kernel, bits, g.kc, kstride);
-    const u64 scale = static_cast<u64>(lay.m_panels() * q_total * g.blocks);
+    const i64 tbl_groups =
+        lay.tbl() ? ceil_div(g.kc, static_cast<i64>(lay.tbl_group)) : 0;
+    const Counters per_call = probe_micro(kernel, bits, g.kc, kstride,
+                                          tbl_groups, lay.tbl_group);
+    const u64 scale = static_cast<u64>(row_panels * q_total * g.blocks);
     for (size_t i = 0; i < kNumOps; ++i) counts.n[i] += per_call.n[i] * scale;
   }
-  // Fused gather pack of each Kc x Nc block, once per (jc, kcb).
+  // Per-(jc, kcb) B-block pack: fused gather (plain/SDOT), gather + online
+  // table build (TBL kActTables), or index encode (TBL kWeightTables).
   for (i64 kcb = 0; kcb < lay.k_blocks; ++kcb)
-    for (i64 jc = 0; jc < lay.n_blocks; ++jc)
-      tally_pack_im2col_gather(
-          &tally_ctx, round_up(lay.nc_eff(jc), kNr) * lay.k_stride(kcb));
-  // C accumulate re-loads for every K block after the first.
+    for (i64 jc = 0; jc < lay.n_blocks; ++jc) {
+      if (lay.tbl() && !tbl_wt) {
+        const i64 nc_pad = round_up(lay.nc_eff(jc), kNr);
+        tally_pack_tbl_tables(&tally_ctx, nc_pad * lay.tbl_groups(kcb));
+        tally_pack_im2col_gather(&tally_ctx, nc_pad * lay.kc_eff(kcb));
+      } else if (tbl_wt) {
+        tally_pack_im2col_gather(&tally_ctx,
+                                 round_up(lay.nc_eff(jc), i64{16}) *
+                                     lay.tbl_groups(kcb) * lay.tbl_group);
+      } else {
+        tally_pack_im2col_gather(
+            &tally_ctx, round_up(lay.nc_eff(jc), kNr) * lay.k_stride(kcb));
+      }
+    }
+  // C accumulate re-loads for every K block after the first (the 16-col
+  // row-major TBL tile re-loads four vectors per row).
   if (lay.k_blocks > 1) {
-    const u64 acc = static_cast<u64>((lay.k_blocks - 1) * m * q_total);
+    const u64 acc = static_cast<u64>((lay.k_blocks - 1) * m * q_total) *
+                    (tbl_wt ? 4u : 1u);
     counts[Op::kLd1] += acc;
     counts[Op::kAdd] += acc;
   }
@@ -280,9 +405,8 @@ Counters issue_counts(const ConvShape& s, int bits, ArmKernel kernel,
 // Assumes g_mu is held (the replay memo is shared).
 double score_locked(const ConvShape& s, int bits, ArmKernel kernel,
                     const GemmBlocking& blocking) {
-  const bool sdot = kernel == ArmKernel::kSdotExt;
   const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
-  const BlockedLayout lay = blocked_layout(m, n, k, blocking, sdot);
+  const BlockedLayout lay = layout_for(m, n, k, blocking, kernel, bits);
 
   Counters counts =
       issue_counts(s, bits, kernel, lay, /*fused_epilogue=*/false);
@@ -306,10 +430,9 @@ double score_graph(const std::vector<GraphSearchLayer>& layers,
   const CostModel cm = CostModel::cortex_a53();
   for (size_t i = 0; i < layers.size(); ++i) {
     const GraphSearchLayer& gl = layers[i];
-    const bool sdot = gl.kernel == ArmKernel::kSdotExt;
     const BlockedLayout lay =
-        blocked_layout(gl.shape.gemm_m(), gl.shape.gemm_n(), gl.shape.gemm_k(),
-                       blocking[i], sdot);
+        layout_for(gl.shape.gemm_m(), gl.shape.gemm_n(), gl.shape.gemm_k(),
+                   blocking[i], gl.kernel, gl.bits);
     ReplayBases bases;
     bases.a = kBaseA + static_cast<u64>(i) * kLayerStride;
     bases.in = kBaseIn + static_cast<u64>(i) * kLayerStride;
@@ -327,9 +450,35 @@ double score_graph(const std::vector<GraphSearchLayer>& layers,
 }  // namespace
 
 int blocking_scheme_id(ArmKernel kernel, int bits) {
+  if (kernel == ArmKernel::kTblGemm) return 4;
   if (kernel == ArmKernel::kSdotExt) return 3;
   if (kernel == ArmKernel::kNcnn) return 2;
   return bits <= 3 ? 1 : 0;
+}
+
+TblOrientation choose_tbl_orientation(i64 m, i64 n, i64 k, int bits,
+                                      bool weights_ternary) {
+  // Per-MAC issue cost of one TBL group step is ~12.1 cycles (1x ld1 idx,
+  // 1x ld1x4 tables, 4x tbl+2xsaddw) serving 64*g MACs. kActTables adds
+  // the online table build: ~10 cycles per (column, group) amortized over
+  // the m rows sharing the tables. kWeightTables builds nothing online but
+  // streams round_up(m,4)*ceil(k/g)*64 bytes of offline tables once per
+  // column-block pass; misses price at L2 (8 cyc/line) while the table set
+  // fits L2, else DRAM (58).
+  const int ga = tbl_group_for(TblOrientation::kActTables, bits,
+                               weights_ternary);
+  const int gb = tbl_group_for(TblOrientation::kWeightTables, bits,
+                               weights_ternary);
+  const double cost_a = 12.1 / (64.0 * ga) + 10.0 / (double(ga) * double(m));
+  const double table_bytes =
+      double(round_up(m, i64{4})) * double(ceil_div(k, i64{gb})) * 16.0;
+  const double miss = table_bytes <= 384.0 * 1024.0 ? 8.0 : 58.0;
+  const double passes = double(ceil_div(n, i64{256}));
+  const double cost_b =
+      12.1 / (64.0 * gb) +
+      miss * (table_bytes / 64.0) * passes / (double(m) * double(k) * double(n));
+  return cost_a <= cost_b ? TblOrientation::kActTables
+                          : TblOrientation::kWeightTables;
 }
 
 double score_blocking(const ConvShape& s, int bits, ArmKernel kernel,
@@ -341,6 +490,11 @@ double score_blocking(const ConvShape& s, int bits, ArmKernel kernel,
 GemmBlocking search_blocking(const ConvShape& s, int bits, ArmKernel kernel) {
   const bool sdot = kernel == ArmKernel::kSdotExt;
   const i64 m = s.gemm_m(), n = s.gemm_n(), k = s.gemm_k();
+  const int tblg =
+      kernel == ArmKernel::kTblGemm
+          ? tbl_group_for(choose_tbl_orientation(m, n, k, bits, false), bits,
+                          false)
+          : 0;
 
   std::ostringstream os;
   os << geometry_key(s) << "|b" << bits << "|sch"
@@ -363,11 +517,29 @@ GemmBlocking search_blocking(const ConvShape& s, int bits, ArmKernel kernel) {
     for (const i64 kc : {64, 128, 256})
       for (const i64 nc : {32, 64, 128}) {
         const GemmBlocking cand =
-            clamp_blocking(GemmBlocking{mc, kc, nc}, m, n, k, sdot);
+            clamp_blocking(GemmBlocking{mc, kc, nc}, m, n, k, sdot, tblg);
         if (std::find(candidates.begin(), candidates.end(), cand) ==
             candidates.end())
           candidates.push_back(cand);
       }
+  if (tblg != 0) {
+    // TBL-specific extensions. The weight-tables orientation streams its
+    // offline table set once per column pass, so wide Nc (up to the full
+    // column range) amortizes that traffic; the act-tables orientation
+    // amortizes online table builds over the Mc rows sharing them and
+    // prefers narrow Nc with a mid-size Kc. Neither regime sits inside the
+    // shared grid above, and extending only the TBL search keeps the other
+    // schemes' memoized winners (and the baselines built on them) stable.
+    for (const i64 mc : {64, 128})
+      for (const i64 kc : {96, 128, 192, 256})
+        for (const i64 nc : {i64{32}, i64{256}, i64{512}, n}) {
+          const GemmBlocking cand =
+              clamp_blocking(GemmBlocking{mc, kc, nc}, m, n, k, sdot, tblg);
+          if (std::find(candidates.begin(), candidates.end(), cand) ==
+              candidates.end())
+            candidates.push_back(cand);
+        }
+  }
 
   GemmBlocking best = candidates.front();
   double best_score = score_locked(s, bits, kernel, best);
@@ -427,6 +599,11 @@ GraphSearchResult search_graph_blocking(
     const bool sdot = gl.kernel == ArmKernel::kSdotExt;
     const i64 m = gl.shape.gemm_m(), n = gl.shape.gemm_n(),
               k = gl.shape.gemm_k();
+    const int tblg =
+        gl.kernel == ArmKernel::kTblGemm
+            ? tbl_group_for(choose_tbl_orientation(m, n, k, gl.bits, false),
+                            gl.bits, false)
+            : 0;
     const GemmBlocking greedy = search_blocking(gl.shape, gl.bits, gl.kernel);
     current.push_back(greedy);
     std::vector<GemmBlocking>& cc = cands[i];
@@ -435,7 +612,7 @@ GraphSearchResult search_graph_blocking(
          {default_blocking(m, n, k, sdot), GemmBlocking{128, 256, 32},
           GemmBlocking{128, 128, 64}, GemmBlocking{64, 128, 32},
           GemmBlocking{64, 256, 128}}) {
-      const GemmBlocking cand = clamp_blocking(raw, m, n, k, sdot);
+      const GemmBlocking cand = clamp_blocking(raw, m, n, k, sdot, tblg);
       if (std::find(cc.begin(), cc.end(), cand) == cc.end())
         cc.push_back(cand);
     }

@@ -39,9 +39,17 @@ double score_blocking(const ConvShape& s, int bits, ArmKernel kernel,
 GemmBlocking search_blocking(const ConvShape& s, int bits, ArmKernel kernel);
 
 /// Stable scheme id of the micro kernel that would execute (0 = SMLAL,
-/// 1 = MLA, 2 = ncnn, 3 = SDOT) — the persistent tuning cache keys ARM
-/// entries by it (gpukern::ArmTuningKey::scheme).
+/// 1 = MLA, 2 = ncnn, 3 = SDOT, 4 = TBL) — the persistent tuning cache
+/// keys ARM entries by it (gpukern::ArmTuningKey::scheme).
 int blocking_scheme_id(ArmKernel kernel, int bits);
+
+/// TBL orientation pricing (schemes.h TblOrientation), decided from
+/// geometry alone: kActTables pays the online table build amortized over
+/// the m rows it serves; kWeightTables pays nothing online but streams an
+/// 8x-inflated offline table set whose misses scale with the number of
+/// C column-block passes. Deterministic and cheap (no replay).
+TblOrientation choose_tbl_orientation(i64 m, i64 n, i64 k, int bits,
+                                      bool weights_ternary);
 
 struct TileSearchStats {
   i64 searches = 0;   ///< cold searches (full candidate sweeps)

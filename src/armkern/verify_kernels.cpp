@@ -72,10 +72,24 @@ std::vector<Combo> combos_for_bits(int bits) {
     cs.push_back(
         {ArmKernel::kSdotExt, ConvAlgo::kGemm, BlockingPolicy::kOff});
   }
+  // TBL ships blocked-only (kOff degrades to kOursGemm at plan time, a
+  // rung already swept above), so only the kAuto schedule is new coverage.
+  if (tbl_eligible_for(bits))
+    cs.push_back({ArmKernel::kTblGemm, ConvAlgo::kGemm});
   return cs;
 }
 
 }  // namespace
+
+int kernel_verify_expected_entries() {
+  const std::vector<ConvShape> shapes = sweep_shapes();
+  int n = 0;
+  for (int bits = 2; bits <= 8; ++bits)
+    for (const Combo& c : combos_for_bits(bits))
+      for (const ConvShape& s : shapes)
+        if (!(c.algo == ConvAlgo::kWinograd && !s.winograd_eligible())) ++n;
+  return n;
+}
 
 std::string KernelVerifyReport::failure_summary() const {
   std::ostringstream os;

@@ -37,10 +37,16 @@ struct KernelVerifyReport {
   std::string failure_summary() const;
 };
 
-/// Sweep bits 2..8 across every kernel (ours / ncnn / traditional / sdot)
-/// and algo (gemm / winograd / bitserial / direct / reference) that is
+/// Sweep bits 2..8 across every kernel (ours / ncnn / traditional / sdot /
+/// tbl) and algo (gemm / winograd / bitserial / direct / reference) that is
 /// eligible at that width, over a small set of representative conv shapes,
 /// executing each under the verifier on extreme-valued inputs.
 KernelVerifyReport verify_all_kernels();
+
+/// Number of entries verify_all_kernels() emits, derived from the same
+/// registered kernel x algo x bits x shape grid the sweep walks — tests
+/// compare against this instead of a hardcoded literal, so a newly
+/// registered scheme cannot silently shrink the sweep.
+int kernel_verify_expected_entries();
 
 }  // namespace lbc::armkern

@@ -23,12 +23,18 @@ CostModel CostModel::cortex_a53() {
   auto set = [&m](Op op, double c) { m.cycles[static_cast<size_t>(op)] = c; };
   set(Op::kLd1, 3.0);
   set(Op::kLd1_64, 2.0);
+  set(Op::kLd1x4, 6.0);  // 64-byte 4-register fill: two 32-byte load beats
   set(Op::kLd4r, 4.0);
   set(Op::kSt1, 3.0);
   set(Op::kSmlal8, 1.0);    // 8 int8 MACs / cycle
   set(Op::kSmlal16, 0.75);  // ncnn's 16-bit MACs, tuned-asm effective cost
   set(Op::kMla8, 1.0);      // 16 int8 MACs / cycle (2x SMLAL, Sec. 3.4)
   set(Op::kSdot, 1.0);      // v8.2 extension: 16 MACs straight to 32-bit
+  // TBL scheme class: a single-register TBL.16B is a 1-cycle NEON op on the
+  // A53, and each one answers 16 precomputed (weight, activation) products
+  // — the per-product arithmetic the MLA scheme pays is folded into the
+  // pack-time table build.
+  set(Op::kTbl, 1.0);
   set(Op::kSaddw8, 0.6);
   set(Op::kSaddw16, 0.6);
   set(Op::kSshll, 0.4);

@@ -6,12 +6,14 @@ std::string_view op_name(Op op) {
   switch (op) {
     case Op::kLd1: return "LD1.16B";
     case Op::kLd1_64: return "LD1.8B";
+    case Op::kLd1x4: return "LD1x4";
     case Op::kLd4r: return "LD4R";
     case Op::kSt1: return "ST1";
     case Op::kSmlal8: return "SMLAL.8H";
     case Op::kSmlal16: return "SMLAL.4S";
     case Op::kMla8: return "MLA.16B";
     case Op::kSdot: return "SDOT.4S";
+    case Op::kTbl: return "TBL.16B";
     case Op::kSaddw8: return "SADDW.8H";
     case Op::kSaddw16: return "SADDW.4S";
     case Op::kSshll: return "SSHLL";
@@ -38,6 +40,7 @@ bool is_mem_op(Op op) {
   switch (op) {
     case Op::kLd1:
     case Op::kLd1_64:
+    case Op::kLd1x4:
     case Op::kLd4r:
     case Op::kSt1:
       return true;
@@ -51,12 +54,13 @@ bool is_scalar_op(Op op) { return op == Op::kScalar || op == Op::kLoop; }
 bool is_stall_op(Op op) { return op == Op::kL1Miss || op == Op::kL2Miss; }
 
 u64 Counters::loads() const {
-  return (*this)[Op::kLd1] + (*this)[Op::kLd1_64] + (*this)[Op::kLd4r];
+  return (*this)[Op::kLd1] + (*this)[Op::kLd1_64] + (*this)[Op::kLd1x4] +
+         (*this)[Op::kLd4r];
 }
 
 u64 Counters::macs_instrs() const {
   return (*this)[Op::kSmlal8] + (*this)[Op::kSmlal16] + (*this)[Op::kMla8] +
-         (*this)[Op::kSdot];
+         (*this)[Op::kSdot] + (*this)[Op::kTbl];
 }
 
 }  // namespace lbc::armsim

@@ -29,12 +29,14 @@ void check_mem(Verifier& v, const void* p, u64 bytes);
 enum class Op : int {
   kLd1,      ///< LD1 {v}, 128-bit contiguous vector load
   kLd1_64,   ///< LD1 {v.8b}, 64-bit vector load
+  kLd1x4,    ///< LD1 {v0-v3}, 64-byte contiguous 4-register load
   kLd4r,     ///< LD4R: load 4 elements, replicate each across a register
   kSt1,      ///< ST1, 128-bit vector store
   kSmlal8,   ///< SMLAL/SMLAL2 on 8-bit lanes (8 MACs -> 16-bit acc)
   kSmlal16,  ///< SMLAL/SMLAL2 on 16-bit lanes (4 MACs -> 32-bit acc)
   kMla8,     ///< MLA .16B (16 MACs -> 8-bit acc)
   kSdot,     ///< SDOT .4S (ARMv8.2 extension: 16 MACs -> 32-bit acc)
+  kTbl,      ///< TBL/TBX .16B (16 product lookups from a 16-entry table)
   kSaddw8,   ///< SADDW/SADDW2 widening 8 -> 16 bit
   kSaddw16,  ///< SADDW/SADDW2 widening 16 -> 32 bit
   kSshll,    ///< SSHLL/SSHLL2 sign-extend 8 -> 16 bit

@@ -1,6 +1,7 @@
 // Functional emulation of the ARMv8.1 NEON (AdvSIMD) instructions used by
 // the paper's kernels (Sec. 2.3, 3.3): LD1 / LD4R / ST1 / SMLAL(2) / MLA /
-// SADDW(2) / SSHLL(2) / MOVI / AND / CNT / UADALP / SADALP / ADDV.
+// SADDW(2) / SSHLL(2) / MOVI / AND / CNT / UADALP / SADALP / ADDV, plus
+// TBL / TBX for the lookup-table scheme (DESIGN.md Sec. 16).
 //
 // Semantics are bit-faithful: SMLAL widens before accumulating; MLA
 // accumulates modulo 2^8 (non-saturating wrap, like the hardware), which is
@@ -77,6 +78,18 @@ inline void ld1_u8(Ctx& ctx, const u8* p, uint8x16& r) {
     ctx.verifier->on_load(Op::kLd1, &r, VType::kU8, p, /*half=*/false);
   ctx.mem(p, 16);
   for (int i = 0; i < 16; ++i) r.v[i] = p[i];
+}
+
+/// LD1 {Vt1.16B-Vt4.16B}, [Xn] — 64-byte contiguous load filling four
+/// registers in one instruction. The TBL scheme streams its four packed
+/// per-column product tables (one cache line) through this.
+inline void ld1x4_s8(Ctx& ctx, const i8* p, int8x16 out[4]) {
+  ctx.tally(Op::kLd1x4);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_ld1x4(&out[0], &out[1], &out[2], &out[3], p);
+  ctx.mem(p, 64);
+  for (int r = 0; r < 4; ++r)
+    for (int i = 0; i < 16; ++i) out[r].v[i] = p[r * 16 + i];
 }
 
 /// LD4R {V0.16B..V3.16B}, [Xn] — load 4 bytes, replicate each across one
@@ -181,6 +194,35 @@ inline void sdot_s8(Ctx& ctx, int32x4& acc, const int8x16& a, const int8x16& b) 
       dot += static_cast<i32>(a.v[4 * i + j]) * static_cast<i32>(b.v[4 * i + j]);
     acc.v[i] += dot;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Table lookups (the TBL scheme, 2-3 bit; DESIGN.md Sec. 16)
+// ---------------------------------------------------------------------------
+
+/// TBL Vd.16B, {Vn.16B}, Vm.16B — per-byte table lookup: each destination
+/// byte takes table[idx] for idx < 16 and 0 otherwise (the architectural
+/// out-of-range behaviour of the single-register form). With a 16-entry
+/// precomputed product table this answers 16 (weight, activation) products
+/// in one 1-cycle shuffle — the emulated twin of the AVX2 pshufb LUT.
+inline void tbl_s8(Ctx& ctx, int8x16& r, const int8x16& table,
+                   const uint8x16& idx) {
+  ctx.tally(Op::kTbl);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_tbl(&r, &table, &idx, /*tbx=*/false);
+  for (int i = 0; i < 16; ++i)
+    r.v[i] = (idx.v[i] < 16) ? table.v[idx.v[i]] : i8{0};
+}
+
+/// TBX Vd.16B, {Vn.16B}, Vm.16B — like TBL, but an out-of-range index
+/// leaves the destination byte unchanged (insert semantics).
+inline void tbx_s8(Ctx& ctx, int8x16& r, const int8x16& table,
+                   const uint8x16& idx) {
+  ctx.tally(Op::kTbl);
+  if (ctx.verifier != nullptr)
+    ctx.verifier->on_tbl(&r, &table, &idx, /*tbx=*/true);
+  for (int i = 0; i < 16; ++i)
+    if (idx.v[i] < 16) r.v[i] = table.v[idx.v[i]];
 }
 
 // ---------------------------------------------------------------------------
@@ -337,6 +379,17 @@ inline i32 addv_s32(Ctx& ctx, const int32x4& v) {
   ctx.tally(Op::kAddv);
   if (ctx.verifier != nullptr) ctx.verifier->on_addv(&v);
   return v.v[0] + v.v[1] + v.v[2] + v.v[3];
+}
+
+/// ADD Vd.16B, Vn.16B, Vm.16B — byte-lane add, wrapping mod 2^8. The TBL
+/// scheme's first accumulation level: each add folds one looked-up table
+/// entry into a byte accumulator (flushed per tbl_flush_interval).
+inline void add_s8(Ctx& ctx, int8x16& acc, const int8x16& v) {
+  ctx.tally(Op::kAdd);
+  if (ctx.verifier != nullptr) ctx.verifier->on_add8(&acc, &v);
+  for (int i = 0; i < 16; ++i)
+    acc.v[i] = static_cast<i8>(
+        static_cast<u8>(static_cast<u8>(acc.v[i]) + static_cast<u8>(v.v[i])));
 }
 
 inline void add_s32(Ctx& ctx, int32x4& acc, const int32x4& v) {

@@ -258,6 +258,47 @@ void Verifier::on_ld4r(const void* r0, const void* r1, const void* r2,
   }
 }
 
+void Verifier::on_ld1x4(const void* r0, const void* r1, const void* r2,
+                        const void* r3, const void* mem) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 instr = next_instr();
+  if (!scopes_.empty()) scopes_.back().loads++;
+  const char* p = static_cast<const char*>(mem);
+  int slot = 0;
+  for (const void* reg : {r0, r1, r2, r3}) {
+    VRegState& st = define(reg, VType::kS8, instr);
+    seed_load_lanes(st, p + 16 * slot, /*half=*/false);
+    ++slot;
+  }
+}
+
+void Verifier::on_tbl(const void* dstp, const void* tablep, const void* idxp,
+                      bool tbx) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 instr = next_instr();
+  if (!scopes_.empty()) scopes_.back().macs++;
+  VRegState* table = use(tablep, VType::kS8, Op::kTbl, instr, "its table");
+  use(idxp, VType::kU8, Op::kTbl, instr, "its index vector");
+  // A looked-up lane can observe any table lane, or — on an out-of-range
+  // index — 0 (TBL) / its prior value (TBX). Hull over all of them.
+  LaneInterval hull{0, 0};
+  for (int i = 0; i < 16; ++i) {
+    hull.lo = std::min(hull.lo, table->lane[static_cast<size_t>(i)].lo);
+    hull.hi = std::max(hull.hi, table->lane[static_cast<size_t>(i)].hi);
+  }
+  if (tbx) {
+    if (const VRegState* prior = regs_.find(dstp);
+        prior != nullptr && prior->initialized) {
+      for (int i = 0; i < 16; ++i) {
+        hull.lo = std::min(hull.lo, prior->lane[static_cast<size_t>(i)].lo);
+        hull.hi = std::max(hull.hi, prior->lane[static_cast<size_t>(i)].hi);
+      }
+    }
+  }
+  VRegState& d = define(dstp, VType::kS8, instr);
+  for (int i = 0; i < 16; ++i) d.lane[static_cast<size_t>(i)] = hull;
+}
+
 void Verifier::on_store(Op op, const void* reg) {
   std::lock_guard<std::mutex> lock(mu_);
   const u64 instr = next_instr();
@@ -401,6 +442,23 @@ void Verifier::on_widen(WidenKind k, Op op, const void* accp,
         acc->lane[static_cast<size_t>(i)].hi +=
             src->lane[static_cast<size_t>(off + i)].hi;
       }
+      // SADDW.8H is the TBL scheme's i16 accumulate: schemes whose spec
+      // declares a 16-bit flush interval must zero the accumulator before
+      // exceeding it, exactly like SMLAL.8H MACs in accumulate_mac. Schemes
+      // that accumulate 16-bit lanes through MACs instead (SMLAL) flush via
+      // SADDW.4S, so this bound never double-fires.
+      acc->accum++;
+      if (!scopes_.empty()) {
+        const KernelSpec& spec = scopes_.back().spec;
+        if (spec.acc16_flush > 0 && acc->accum == spec.acc16_flush + 1) {
+          std::ostringstream os;
+          os << spec.name << ": widening accumulation #" << acc->accum
+             << " into a " << vtype_name(acc->type)
+             << " accumulator exceeds the declared flush interval "
+             << spec.acc16_flush;
+          add_violation(instr, op, "flush-interval", os.str());
+        }
+      }
       break;
     }
     case WidenKind::kSaddw16Lo:
@@ -479,6 +537,28 @@ void Verifier::on_add(const void* accp, const void* vp) {
   for (int i = 0; i < 4; ++i) {
     acc->lane[static_cast<size_t>(i)].lo += v->lane[static_cast<size_t>(i)].lo;
     acc->lane[static_cast<size_t>(i)].hi += v->lane[static_cast<size_t>(i)].hi;
+  }
+  check_lane_bounds(*acc, accp, Op::kAdd, instr);
+}
+
+void Verifier::on_add8(const void* accp, const void* vp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 instr = next_instr();
+  VRegState* acc = use(accp, VType::kS8, Op::kAdd, instr, "its accumulator");
+  VRegState* v = use(vp, VType::kS8, Op::kAdd, instr, "its source");
+  acc->accum++;
+  for (int i = 0; i < 16; ++i) {
+    acc->lane[static_cast<size_t>(i)].lo += v->lane[static_cast<size_t>(i)].lo;
+    acc->lane[static_cast<size_t>(i)].hi += v->lane[static_cast<size_t>(i)].hi;
+  }
+  if (!scopes_.empty()) {
+    const KernelSpec& spec = scopes_.back().spec;
+    if (spec.acc8_flush > 0 && acc->accum == spec.acc8_flush + 1) {
+      std::ostringstream os;
+      os << spec.name << ": byte accumulation #" << acc->accum
+         << " exceeds the declared flush interval " << spec.acc8_flush;
+      add_violation(instr, Op::kAdd, "flush-interval", os.str());
+    }
   }
   check_lane_bounds(*acc, accp, Op::kAdd, instr);
 }

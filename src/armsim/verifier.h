@@ -43,10 +43,10 @@ namespace lbc::armsim {
 /// Zero-valued fields are unchecked.
 struct KernelSpec {
   const char* name = "kernel";
-  /// Max SMLAL.8H accumulations into one 16-bit lane between zeroes
-  /// (the scheme's flush interval; paper Sec. 3.3).
+  /// Max SMLAL.8H MACs into one 16-bit lane between zeroes (paper Sec. 3.3).
   int acc16_flush = 0;
-  /// Max MLA.16B accumulations into one 8-bit lane between zeroes.
+  /// Max byte-lane accumulations (MLA.16B MACs or the TBL scheme's ADD.16B
+  /// entry adds) into one 8-bit lane between zeroes.
   int acc8_flush = 0;
   /// v<->x spill slots Alg. 1 grants beyond the 32 vector registers
   /// (4 for the SMLAL scheme, 8 for the MLA scheme).
@@ -117,15 +117,25 @@ class Verifier {
   void on_load(Op op, const void* reg, VType t, const void* mem, bool half);
   void on_ld4r(const void* r0, const void* r1, const void* r2, const void* r3,
                const void* mem);
+  void on_ld1x4(const void* r0, const void* r1, const void* r2, const void* r3,
+                const void* mem);
   void on_store(Op op, const void* reg);
   void on_zero(const void* reg, VType t);
   void on_dup(const void* reg, VType t, i64 value);
   void on_mac(MacKind k, Op op, const void* acc, const void* a, const void* b);
+  /// TBL/TBX product lookup: `dst` lanes take values from `table`'s lanes,
+  /// or 0 (TBL) / their prior value (TBX) on an out-of-range index. Counts
+  /// as a MAC-class instruction for the CAL/LD scheme conformance band.
+  void on_tbl(const void* dst, const void* table, const void* idx, bool tbx);
   void on_widen(WidenKind k, Op op, const void* acc, const void* src);
   void on_sshll(const void* dst, const void* src, bool high);
   void on_and(const void* dst, const void* a, const void* b);
   void on_cnt(const void* dst, const void* src);
   void on_add(const void* acc, const void* v);
+  /// ADD.16B byte-lane accumulate (the TBL scheme's first level): interval
+  /// growth per lane, checked against the i8 range and the innermost
+  /// scope's acc8_flush interval — MLA.16B's two hazards, same treatment.
+  void on_add8(const void* acc, const void* v);
   void on_addv(const void* src);
   void on_mov_vx(u64 count);
 

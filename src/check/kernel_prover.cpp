@@ -124,6 +124,74 @@ void prove_traditional(ProofResult& r, const SchemeModel& m) {
   prove_i32_depth(r, m, "traditional.i32-depth-headroom");
 }
 
+void prove_tbl(ProofResult& r, const SchemeModel& m) {
+  const i32 q = qmax_for_bits(m.bits);
+  // Largest |entry| a product table can hold: d0*b0 + d1*b1 over ternary
+  // pairs (2*qmax), or one full product (qmax^2) in generic mode.
+  const i64 entry =
+      m.tbl_pair ? 2 * static_cast<i64>(m.b_max_abs)
+                 : static_cast<i64>(m.a_max_abs) * m.b_max_abs;
+  add(r, "tbl.entry-fits-i8", entry <= kI8Max,
+      ineq(entry, kI8Max,
+           m.tbl_pair ? "2 * bmax (pair d0*b0 + d1*b1)" : "amax * bmax",
+           "i8 table entry"));
+  // Every encoded index must land inside the single-register TBL's
+  // 16-entry window: pair classes top out at (1+1)*4 + (1+1) = 10, the
+  // generic form at value + qmax = 2*qmax.
+  const i64 max_idx = m.tbl_pair ? armkern::tbl_pair_index(1, 1) : 2 * q;
+  add(r, "tbl.index-in-table", max_idx <= 15,
+      ineq(max_idx, 15, m.tbl_pair ? "pair index (1,1)" : "qmax + qmax",
+           "16-entry table"));
+  // Two-level accumulation: ADD.16B folds one table entry per group step
+  // into a byte lane, so the declared i8 flush interval must both fit the
+  // lane (flush * entry <= 127) and cover the kernel's real cadence
+  // (tbl_flush_interval for this bits/pair mode).
+  add(r, "tbl.i8-lane-headroom",
+      m.acc8_flush > 0 && m.acc8_flush * entry <= kI8Max,
+      ineq(m.acc8_flush * entry, kI8Max, "flush * entry bound",
+           "i8 headroom"));
+  const int cadence = armkern::tbl_flush_interval(m.bits, m.tbl_pair);
+  add(r, "tbl.flush-covers-kernel", m.acc8_flush >= cadence,
+      ineq(cadence, m.acc8_flush, "kernel flush cadence", "declared flush"));
+  // The SADDW path has no range clamp after the table lookup, so the
+  // headroom bounds above only hold if the builder NEVER emits an entry
+  // outside them — including 0 at every invalid/neutral index, which is
+  // what makes padded rows, padded columns, and odd-K tails contribute
+  // nothing. Check the real shipping builder exhaustively: all (b0, b1)
+  // broadcast operands in range, all 16 indices.
+  if (m.tbl_build != nullptr) {
+    bool exact = true;
+    std::ostringstream detail;
+    for (i32 b0 = -q; b0 <= q && exact; ++b0)
+      for (i32 b1 = -q; b1 <= q && exact; ++b1) {
+        i8 table[16];
+        m.tbl_build(m.bits, m.tbl_pair, static_cast<i8>(b0),
+                    static_cast<i8>(b1), table);
+        for (int idx = 0; idx < 16 && exact; ++idx) {
+          i32 want = 0;
+          if (m.tbl_pair) {
+            const i32 d0 = idx / 4 - 1, d1 = idx % 4 - 1;
+            if (d0 <= 1 && d1 <= 1 && idx % 4 != 3) want = d0 * b0 + d1 * b1;
+          } else if (idx <= 2 * q) {
+            want = (idx - q) * b0;
+          }
+          if (table[idx] != want) {
+            exact = false;
+            detail << "table(" << b0 << ", " << b1 << ")[" << idx
+                   << "] = " << static_cast<i32>(table[idx]) << " != " << want;
+          }
+        }
+      }
+    add(r, "tbl.table-entries-exact", exact,
+        exact ? std::string("builder matches decoded ") +
+                    (m.tbl_pair ? "pair" : "generic") +
+                    " products for all operands and indices"
+              : detail.str());
+  }
+  prove_operand_range(r, m, "tbl.operand-range-adjusted");
+  prove_i32_depth(r, m, "tbl.i32-depth-headroom");
+}
+
 void prove_lut(ProofResult& r, const SchemeModel& m) {
   const i32 q = qmax_for_bits(m.bits);
   const i64 p = product_bound(m);
@@ -182,6 +250,38 @@ void prove_scalar(ProofResult& r, const SchemeModel& m) {
   prove_i32_depth(r, m, "scalar.i32-depth-headroom");
 }
 
+// ---- sweep grid registry -------------------------------------------------
+// prove_all_schemes() and proof_sweep_expected_entries() both walk these
+// tables, so the sweep size is derived from one place instead of being
+// hardcoded in tests.
+
+/// Representative GEMM reduction depths: a 1x1 conv over few channels, the
+/// fig09 workhorse (3x3 over 64 ch), a deep 3x3 (512 ch), and the deepest
+/// view the e2e net compiles.
+struct SweepShape {
+  i64 m, n, k;
+};
+constexpr SweepShape kSweepShapes[] = {
+    {16, 196, 9}, {64, 3136, 576}, {512, 49, 4608}, {512, 196, 8192}};
+
+/// One ARM scheme's registered bit-width range. `ternary_pair_row` adds the
+/// extra pair-mode row at bits_hi (the TBL pack's ternary detection).
+struct SweepScheme {
+  ProofScheme scheme;
+  int bits_lo, bits_hi;
+  bool ternary_pair_row = false;
+};
+constexpr SweepScheme kArmSweepGrid[] = {
+    {ProofScheme::kArmSmlal, 4, 8},
+    {ProofScheme::kArmMla, 2, 3},
+    {ProofScheme::kArmTbl, 2, 3, /*ternary_pair_row=*/true},
+    {ProofScheme::kArmSdot, 2, 8},
+    {ProofScheme::kArmNcnn, 2, 8},
+    {ProofScheme::kArmTraditional, 2, 8},
+};
+constexpr int kNativeSweepBitsLo = 2;
+constexpr int kNativeSweepBitsHi = 8;
+
 }  // namespace
 
 const char* proof_scheme_name(ProofScheme s) {
@@ -191,6 +291,7 @@ const char* proof_scheme_name(ProofScheme s) {
     case ProofScheme::kArmSdot: return "sdot";
     case ProofScheme::kArmNcnn: return "ncnn";
     case ProofScheme::kArmTraditional: return "traditional";
+    case ProofScheme::kArmTbl: return "tbl";
     case ProofScheme::kNativeLut: return "lut";
     case ProofScheme::kNativeDot: return "dot";
     case ProofScheme::kNativeScalar: return "scalar";
@@ -239,6 +340,13 @@ SchemeModel shipping_model(ProofScheme scheme, int bits, i64 depth) {
       m.acc16_flush = bits <= 3 ? armkern::mla_flush_interval(bits) * 4
                                 : armkern::smlal_flush_interval(bits);
       break;
+    case ProofScheme::kArmTbl:
+      // Pair mode always ships at 2-bit; 3-bit runs generic unless the
+      // pack detects ternary weights (prove_arm_kernel covers both).
+      m.tbl_pair = bits == 2;
+      m.acc8_flush = armkern::tbl_flush_interval(bits, m.tbl_pair);
+      m.tbl_build = &armkern::tbl_build_table;
+      break;
     case ProofScheme::kNativeLut:
       m.acc16_flush = static_cast<int>(hal::kLutFlushInterval);
       m.pad_zero_tail = true;
@@ -262,6 +370,7 @@ ProofResult prove(const SchemeModel& m) {
     case ProofScheme::kArmSdot: prove_sdot(r, m); break;
     case ProofScheme::kArmNcnn: prove_ncnn(r, m); break;
     case ProofScheme::kArmTraditional: prove_traditional(r, m); break;
+    case ProofScheme::kArmTbl: prove_tbl(r, m); break;
     case ProofScheme::kNativeLut: prove_lut(r, m); break;
     case ProofScheme::kNativeDot: prove_dot(r, m); break;
     case ProofScheme::kNativeScalar: prove_scalar(r, m); break;
@@ -270,7 +379,7 @@ ProofResult prove(const SchemeModel& m) {
 }
 
 Status prove_arm_kernel(armkern::ArmKernel kernel, int bits, i64 depth) {
-  ProofScheme scheme;
+  ProofScheme scheme = ProofScheme::kArmSmlal;
   switch (kernel) {
     case armkern::ArmKernel::kOursGemm:
       scheme = bits <= 3 ? ProofScheme::kArmMla : ProofScheme::kArmSmlal;
@@ -284,8 +393,21 @@ Status prove_arm_kernel(armkern::ArmKernel kernel, int bits, i64 depth) {
     case armkern::ArmKernel::kSdotExt:
       scheme = ProofScheme::kArmSdot;
       break;
-    default:
+    case armkern::ArmKernel::kTblGemm: {
+      // Both modes the plan might execute must hold: shipping default
+      // (pair at 2-bit, generic at 3-bit) AND the 3-bit pair variant the
+      // pack switches to when it detects ternary weights.
+      SchemeModel m = shipping_model(ProofScheme::kArmTbl, bits, depth);
+      LBC_RETURN_IF_ERROR(
+          prove(m).to_status().with_context("plan-time kernel proof"));
+      if (!m.tbl_pair) {
+        m.tbl_pair = true;
+        m.acc8_flush = armkern::tbl_flush_interval(bits, /*ternary_pairs=*/true);
+        LBC_RETURN_IF_ERROR(
+            prove(m).to_status().with_context("plan-time kernel proof"));
+      }
       return Status();
+    }
   }
   return prove(shipping_model(scheme, bits, depth))
       .to_status()
@@ -316,16 +438,6 @@ std::string ProofSweepReport::failure_summary() const {
 
 ProofSweepReport prove_all_schemes() {
   ProofSweepReport rep;
-  // Representative GEMM reduction depths: a 1x1 conv over few channels, the
-  // fig09 workhorse (3x3 over 64 ch), a deep 3x3 (512 ch), and the deepest
-  // view the e2e net compiles. Each ARM entry records the blocking the
-  // shape would actually run under (clamp_blocking of the default tile).
-  struct Shape {
-    i64 m, n, k;
-  };
-  const Shape shapes[] = {
-      {16, 196, 9}, {64, 3136, 576}, {512, 49, 4608}, {512, 196, 8192}};
-
   const auto run = [&rep](const SchemeModel& m, const std::string& config) {
     const ProofResult r = prove(m);
     rep.obligations += static_cast<int>(r.obligations.size());
@@ -338,7 +450,7 @@ ProofSweepReport prove_all_schemes() {
     rep.entries.push_back(std::move(e));
   };
 
-  const auto arm_config = [](ProofScheme s, int bits, const Shape& sh,
+  const auto arm_config = [](ProofScheme s, int bits, const SweepShape& sh,
                              bool sdot) {
     const armkern::GemmBlocking b =
         armkern::default_blocking(sh.m, sh.n, sh.k, sdot);
@@ -348,25 +460,26 @@ ProofSweepReport prove_all_schemes() {
     return os.str();
   };
 
-  for (const Shape& sh : shapes) {
-    // ARM schemes at their shipping bit widths.
-    for (int bits = 4; bits <= 8; ++bits)
-      run(shipping_model(ProofScheme::kArmSmlal, bits, sh.k),
-          arm_config(ProofScheme::kArmSmlal, bits, sh, false));
-    for (int bits = 2; bits <= 3; ++bits)
-      run(shipping_model(ProofScheme::kArmMla, bits, sh.k),
-          arm_config(ProofScheme::kArmMla, bits, sh, false));
-    for (int bits = 2; bits <= 8; ++bits) {
-      run(shipping_model(ProofScheme::kArmSdot, bits, sh.k),
-          arm_config(ProofScheme::kArmSdot, bits, sh, true));
-      run(shipping_model(ProofScheme::kArmNcnn, bits, sh.k),
-          arm_config(ProofScheme::kArmNcnn, bits, sh, false));
-      run(shipping_model(ProofScheme::kArmTraditional, bits, sh.k),
-          arm_config(ProofScheme::kArmTraditional, bits, sh, false));
+  for (const SweepShape& sh : kSweepShapes) {
+    // ARM schemes over the registered scheme x bit-width grid.
+    for (const SweepScheme& g : kArmSweepGrid) {
+      for (int bits = g.bits_lo; bits <= g.bits_hi; ++bits)
+        run(shipping_model(g.scheme, bits, sh.k),
+            arm_config(g.scheme, bits, sh, g.scheme == ProofScheme::kArmSdot));
+      if (g.ternary_pair_row) {
+        // The pair variant the pack switches to on ternary weights at the
+        // top of the scheme's range — a distinct mode with its own entry
+        // bound, swept explicitly.
+        SchemeModel tp = shipping_model(g.scheme, g.bits_hi, sh.k);
+        tp.tbl_pair = true;
+        tp.acc8_flush =
+            armkern::tbl_flush_interval(g.bits_hi, /*ternary_pairs=*/true);
+        run(tp, arm_config(g.scheme, g.bits_hi, sh, false) + " ternary-pair");
+      }
     }
     // Native schemes under their default {rb, cb} tiling (the tiling is
     // pure loop order — recorded for the grid, no proof term depends on it).
-    for (int bits = 2; bits <= 8; ++bits) {
+    for (int bits = kNativeSweepBitsLo; bits <= kNativeSweepBitsHi; ++bits) {
       const hal::NativeBlocking nb =
           hal::default_native_blocking(sh.m, sh.n, sh.k, bits);
       const ProofScheme vec = hal::native_scheme_for(bits) ==
@@ -384,6 +497,14 @@ ProofSweepReport prove_all_schemes() {
     }
   }
   return rep;
+}
+
+int proof_sweep_expected_entries() {
+  int per_shape = 0;
+  for (const SweepScheme& g : kArmSweepGrid)
+    per_shape += g.bits_hi - g.bits_lo + 1 + (g.ternary_pair_row ? 1 : 0);
+  per_shape += 2 * (kNativeSweepBitsHi - kNativeSweepBitsLo + 1);
+  return static_cast<int>(std::size(kSweepShapes)) * per_shape;
 }
 
 }  // namespace lbc::check

@@ -21,6 +21,10 @@
 //    first-level flush, 16-bit headroom across kSecondLevelRounds rounds.
 //  * ARM SDOT / ncnn-style / traditional: direct-i32 (or single-flush)
 //    variants of the same argument.
+//  * ARM TBL (2-3 bit): every product-table entry fits the signed-byte TBL
+//    lane, every index stays inside the 16-entry window, i16 lanes hold
+//    through the declared flush, and the shipping table builder produces
+//    exactly the decoded pair/generic products (checked exhaustively).
 //  * AVX2 LUT (2-4 bit): products fit the signed-byte pshufb table, i16
 //    lanes cannot overflow before the 256-step flush, every table index
 //    stays in [0, 15], and the N%32 zero-pad tail always indexes the w*0
@@ -54,6 +58,7 @@ enum class ProofScheme {
   kArmSdot,
   kArmNcnn,
   kArmTraditional,
+  kArmTbl,
   kNativeLut,
   kNativeDot,
   kNativeScalar,
@@ -82,6 +87,14 @@ struct SchemeModel {
   /// Native LUT: the N%32 tail is staged through a zero-padded block, so
   /// the pad-entry obligation is in force.
   bool pad_zero_tail = false;
+  /// ARM TBL: ternary pair mode (two depth positions per index) vs the
+  /// generic one-value-per-index form. Changes the table-entry bound.
+  bool tbl_pair = false;
+  /// ARM TBL: the table builder under proof. shipping_model points it at
+  /// armkern::tbl_build_table so the exhaustive table-entries obligation
+  /// checks the REAL build path; mutation tests substitute a corrupted one.
+  void (*tbl_build)(int bits, bool ternary_pairs, i8 b0, i8 b1,
+                    i8 out[16]) = nullptr;
 };
 
 /// One closed-form proof obligation: a named inequality with the model's
@@ -150,5 +163,11 @@ struct ProofSweepReport {
 /// blocking on x86) recorded in the config string. The static twin of
 /// verify_all_kernels().
 ProofSweepReport prove_all_schemes();
+
+/// Number of entries prove_all_schemes() emits, derived from the registered
+/// scheme x bit-width x shape grid — tests compare the report size against
+/// this instead of a hardcoded literal, so registering a new scheme cannot
+/// silently shrink the sweep.
+int proof_sweep_expected_entries();
 
 }  // namespace lbc::check

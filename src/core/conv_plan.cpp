@@ -46,6 +46,12 @@ armkern::ArmConvOptions arm_conv_options(int bits, ArmImpl impl,
       opt.kernel = armkern::ArmKernel::kSdotExt;
       opt.algo = armkern::ConvAlgo::kGemm;
       break;
+    case ArmImpl::kTblLut:
+      // > 3 bit degrades inside the driver (tbl -> ours), recorded in the
+      // fallback chain rather than asserted here.
+      opt.kernel = armkern::ArmKernel::kTblGemm;
+      opt.algo = armkern::ConvAlgo::kGemm;
+      break;
   }
   return opt;
 }
@@ -77,6 +83,9 @@ StatusOr<ConvPlan> plan_arm_conv(const ConvShape& s, const Tensor<i8>& weight,
     armkern::ArmKernel kern = opt.kernel;
     if (kern == armkern::ArmKernel::kSdotExt &&
         !armkern::sdot_eligible_for(opt.bits))
+      kern = armkern::ArmKernel::kOursGemm;
+    if (kern == armkern::ArmKernel::kTblGemm &&
+        !armkern::tbl_eligible_for(opt.bits))
       kern = armkern::ArmKernel::kOursGemm;
     const gpukern::ArmTuningKey key{
         s.gemm_m(), s.gemm_n(), s.gemm_k(), opt.bits,

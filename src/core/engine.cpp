@@ -57,6 +57,7 @@ const char* arm_impl_name(ArmImpl impl) {
     case ArmImpl::kTvmBitserial: return "tvm-bitserial";
     case ArmImpl::kTraditionalGemm: return "traditional-gemm";
     case ArmImpl::kSdotExt: return "sdot-ext";
+    case ArmImpl::kTblLut: return "tbl-lut";
   }
   return "unknown";
 }

@@ -48,6 +48,7 @@ enum class ArmImpl {
   kTvmBitserial,
   kTraditionalGemm,
   kSdotExt,  ///< ARMv8.2 SDOT kernel (extension; see bench/ext_sdot_arm)
+  kTblLut,   ///< TBL lookup-table scheme, 2-3 bit (DESIGN.md Sec. 16)
 };
 
 /// Which GPU implementation executes a layer.

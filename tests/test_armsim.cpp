@@ -248,7 +248,7 @@ TEST(Counters, ClassificationCompleteOverAllOps) {
     EXPECT_LE(classes, 1) << op_name(op);
     EXPECT_NE(op_name(op), "?") << "Op " << i << " missing from op_name";
     const bool mem = op == Op::kLd1 || op == Op::kLd1_64 ||
-                     op == Op::kLd4r || op == Op::kSt1;
+                     op == Op::kLd1x4 || op == Op::kLd4r || op == Op::kSt1;
     const bool scalar = op == Op::kScalar || op == Op::kLoop;
     const bool stall = op == Op::kL1Miss || op == Op::kL2Miss;
     EXPECT_EQ(is_mem_op(op), mem) << op_name(op);

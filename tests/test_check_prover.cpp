@@ -99,9 +99,11 @@ TEST(ProverSweep, AllShippingSchemesProveClean) {
   const check::ProofSweepReport rep = check::prove_all_schemes();
   EXPECT_TRUE(rep.ok()) << rep.failure_summary();
   EXPECT_EQ(rep.failures, 0);
-  // 4 shapes x (5 smlal + 2 mla + 7 sdot + 7 ncnn + 7 traditional +
-  // 7 native vec + 7 scalar) = 4 x 42 entries.
-  EXPECT_EQ(rep.entries.size(), 168u);
+  // The expected size is derived from the registered scheme x bits x shape
+  // grid (proof_sweep_expected_entries), not hardcoded — registering a new
+  // scheme cannot silently shrink the sweep.
+  EXPECT_EQ(static_cast<int>(rep.entries.size()),
+            check::proof_sweep_expected_entries());
   EXPECT_GT(rep.obligations, 0);
 }
 

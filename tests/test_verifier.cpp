@@ -367,7 +367,10 @@ TEST(VerifierMutation, OutOfBoundsPackReadCaught) {
 TEST(VerifierSweep, AllShippedKernelsPassClean) {
   const KernelVerifyReport report = verify_all_kernels();
   EXPECT_TRUE(report.ok()) << report.failure_summary();
-  EXPECT_GT(report.entries.size(), 50u);
+  // Derived from the registered kernel x algo x bits x shape grid, not a
+  // hardcoded floor — a new scheme cannot silently shrink the sweep.
+  EXPECT_EQ(static_cast<int>(report.entries.size()),
+            kernel_verify_expected_entries());
   // The sweep must exercise every rung, not collapse onto one algo.
   std::set<std::string> algos;
   for (const KernelVerifyEntry& e : report.entries)
